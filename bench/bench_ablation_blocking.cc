@@ -1,0 +1,218 @@
+// Ablation A1 (DESIGN.md): unblocked operators vs their naive
+// blocking/buffered counterparts — the paper's core claim (Sections I, VI)
+// that generating updates removes blocking and bounds buffering.
+//
+// For each operation we report, on the same input:
+//   - time and throughput,
+//   - events seen before the FIRST result event is produced (blocking),
+//   - the operator's maximum buffered events (unbounded buffering).
+//
+// Expected shape: the naive sort/count emit nothing until end of stream
+// and the naive predicate/descendant buffer whole elements, while the
+// unblocked versions emit within one element and keep only suspension
+// queues bounded by the key distance.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "core/result_display.h"
+#include "core/transform_stage.h"
+#include "data/generators.h"
+#include "naive/naive_ops.h"
+#include "ops/aggregates.h"
+#include "ops/child_step.h"
+#include "ops/clone.h"
+#include "ops/descendant_step.h"
+#include "ops/predicate.h"
+#include "ops/sorter.h"
+#include "ops/textops.h"
+#include "ops/tuples.h"
+#include "xml/sax_parser.h"
+
+namespace {
+
+using namespace xflux;  // NOLINT: bench-local convenience
+
+// Counts input events until the sink first receives a simple event.
+class FirstOutputProbe : public EventSink {
+ public:
+  void Accept(Event e) override {
+    ++outputs_;
+    if (first_at_ == 0 && e.IsSimple() &&
+        e.kind != EventKind::kStartStream) {
+      first_at_ = *input_counter_;
+    }
+  }
+  void Attach(const uint64_t* counter) { input_counter_ = counter; }
+  uint64_t first_at() const { return first_at_; }
+
+ private:
+  const uint64_t* input_counter_ = nullptr;
+  uint64_t first_at_ = 0;
+  uint64_t outputs_ = 0;
+};
+
+struct RunStats {
+  double seconds = 0;
+  uint64_t first_output_at = 0;  // input events before the first output
+  int64_t max_buffered = 0;
+};
+
+template <typename MakeStages>
+RunStats Run(const EventVec& input, MakeStages make_stages) {
+  Pipeline pipeline;
+  std::vector<std::unique_ptr<StateTransformer>> stages =
+      make_stages(pipeline.context());
+  for (auto& t : stages) {
+    pipeline.Add(std::make_unique<TransformStage>(pipeline.context(),
+                                                  std::move(t)));
+  }
+  FirstOutputProbe probe;
+  pipeline.SetSink(&probe);
+  uint64_t fed = 0;
+  probe.Attach(&fed);
+  RunStats stats;
+  stats.seconds = bench::Time([&] {
+    for (const Event& e : input) {
+      ++fed;
+      pipeline.Push(e);
+    }
+  });
+  stats.first_output_at = probe.first_at();
+  stats.max_buffered = pipeline.context()->metrics()->max_buffered_events();
+  return stats;
+}
+
+void Report(const char* name, const RunStats& unblocked,
+            const RunStats& naive, size_t total_events) {
+  std::printf("%-22s unblocked: %7.3fs first@%-8llu buf%-8lld | "
+              "naive: %7.3fs first@%-8llu buf%-8lld (of %zu events)\n",
+              name, unblocked.seconds,
+              static_cast<unsigned long long>(unblocked.first_output_at),
+              static_cast<long long>(unblocked.max_buffered), naive.seconds,
+              static_cast<unsigned long long>(naive.first_output_at),
+              static_cast<long long>(naive.max_buffered), total_events);
+}
+
+}  // namespace
+
+int main() {
+  XmarkOptions options =
+      XmarkOptionsForBytes(xflux::bench::XmarkBytes() / 4);
+  std::string doc = GenerateXmark(options);
+  auto tokens = SaxParser::Tokenize(doc);
+  if (!tokens.ok()) return 1;
+  const EventVec& input = tokens.value();
+  std::printf("A1: blocking/buffering ablation over %.1f MB XMark "
+              "(%zu events)\n",
+              doc.size() / 1e6, input.size());
+
+  // --- predicate: //item[location="Albania"] ---
+  auto run_predicate = [&](bool naive) {
+    Pipeline pipeline;
+    PipelineContext* c = pipeline.context();
+    pipeline.Add(std::make_unique<TransformStage>(
+        c, std::make_unique<DescendantStep>(c, 0, "item")));
+    pipeline.Add(std::make_unique<CloneFilter>(c, 0, 1));
+    pipeline.Add(std::make_unique<TransformStage>(
+        c, std::make_unique<ChildStep>(1, "location")));
+    pipeline.Add(std::make_unique<TransformStage>(
+        c, std::make_unique<TextCompare>(c, 1, TextMatch::kEquals,
+                                         "Albania")));
+    if (naive) {
+      pipeline.Add(std::make_unique<TransformStage>(
+          c, std::make_unique<NaivePredicate>(c, 0, 1)));
+    } else {
+      pipeline.Add(std::make_unique<TransformStage>(
+          c, std::make_unique<PredicateOp>(c, 0, 1,
+                                           PredicateScope::kElement)));
+    }
+    FirstOutputProbe probe;
+    pipeline.SetSink(&probe);
+    uint64_t fed = 0;
+    probe.Attach(&fed);
+    RunStats stats;
+    stats.seconds = bench::Time([&] {
+      for (const Event& e : input) {
+        ++fed;
+        pipeline.Push(e);
+      }
+    });
+    stats.first_output_at = probe.first_at();
+    stats.max_buffered = pipeline.context()->metrics()->max_buffered_events();
+    return stats;
+  };
+  Report("predicate //item[loc]", run_predicate(false), run_predicate(true),
+         input.size());
+
+  // --- count(//item) ---
+  auto run_count = [&](bool naive) {
+    return Run(input, [&](PipelineContext* c) {
+      std::vector<std::unique_ptr<StateTransformer>> v;
+      v.push_back(std::make_unique<DescendantStep>(c, 0, "item"));
+      if (naive) {
+        v.push_back(
+            std::make_unique<NaiveCount>(0, CountMode::kTopLevelElements));
+      } else {
+        v.push_back(std::make_unique<CountOp>(
+            c, 0, CountMode::kTopLevelElements));
+      }
+      return v;
+    });
+  };
+  Report("count(//item)", run_count(false), run_count(true), input.size());
+
+  // --- descendant //* ---
+  auto run_descendant = [&](bool naive) {
+    return Run(input, [&](PipelineContext* c) {
+      std::vector<std::unique_ptr<StateTransformer>> v;
+      if (naive) {
+        v.push_back(std::make_unique<NaiveDescendant>(c, 0, "*"));
+      } else {
+        v.push_back(std::make_unique<DescendantStep>(c, 0, "*"));
+      }
+      return v;
+    });
+  };
+  Report("descendant //*", run_descendant(false), run_descendant(true),
+         input.size());
+
+  // --- order by quantity ---
+  auto run_sort = [&](bool naive) {
+    Pipeline pipeline;
+    PipelineContext* c = pipeline.context();
+    pipeline.Add(std::make_unique<TransformStage>(
+        c, std::make_unique<DescendantStep>(c, 0, "item")));
+    pipeline.Add(std::make_unique<TransformStage>(
+        c, std::make_unique<MakeTuples>(0)));
+    pipeline.Add(std::make_unique<CloneFilter>(c, 0, 1));
+    pipeline.Add(std::make_unique<TransformStage>(
+        c, std::make_unique<ChildStep>(1, "quantity")));
+    pipeline.Add(std::make_unique<TransformStage>(
+        c, std::make_unique<StringValue>(1)));
+    if (naive) {
+      pipeline.Add(std::make_unique<TransformStage>(
+          c, std::make_unique<NaiveSorter>(c, 0, 1)));
+    } else {
+      pipeline.Add(std::make_unique<SortFilter>(c, 1));
+    }
+    FirstOutputProbe probe;
+    pipeline.SetSink(&probe);
+    uint64_t fed = 0;
+    probe.Attach(&fed);
+    RunStats stats;
+    stats.seconds = bench::Time([&] {
+      for (const Event& e : input) {
+        ++fed;
+        pipeline.Push(e);
+      }
+    });
+    stats.first_output_at = probe.first_at();
+    stats.max_buffered = pipeline.context()->metrics()->max_buffered_events();
+    return stats;
+  };
+  Report("order by quantity", run_sort(false), run_sort(true), input.size());
+
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Ablation A3 (DESIGN.md): the cost of the state-adjustment machinery as
+// the fraction of mutable input grows (Section IV).
+//
+// The XMark stream is post-processed so that a fraction p of the items'
+// location texts are wrapped in mutable regions; half of those then
+// receive one replacement update at the end of the stream (flipping some
+// predicate outcomes retroactively).  Expected shape: throughput degrades
+// smoothly with p — the machinery costs roughly in proportion to how much
+// of the stream is actually open to updates, and nothing is paid at p=0.
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "data/generators.h"
+#include "util/prng.h"
+#include "xml/sax_parser.h"
+#include "xquery/engine.h"
+
+namespace {
+
+using namespace xflux;  // NOLINT: bench-local convenience
+
+// Wraps a fraction of <location> text nodes in mutable regions and appends
+// replacement updates for half of them.
+EventVec InjectUpdates(const EventVec& input, double fraction,
+                       uint64_t seed) {
+  Prng prng(seed);
+  EventVec out;
+  out.reserve(input.size() + 64);
+  EventVec tail;  // replacement updates appended before eS
+  StreamId next_region = 1000;
+  bool in_location = false;
+  for (size_t i = 0; i < input.size(); ++i) {
+    const Event& e = input[i];
+    if (e.kind == EventKind::kStartElement && e.text == "location") {
+      in_location = true;
+      out.push_back(e);
+      continue;
+    }
+    if (e.kind == EventKind::kEndElement && e.text == "location") {
+      in_location = false;
+      out.push_back(e);
+      continue;
+    }
+    if (in_location && e.kind == EventKind::kCharacters &&
+        prng.Chance(fraction)) {
+      StreamId region = next_region++;
+      out.push_back(Event::StartMutable(0, region));
+      Event text = e;
+      text.id = region;
+      out.push_back(std::move(text));
+      out.push_back(Event::EndMutable(0, region));
+      if (prng.Chance(0.5)) {
+        StreamId fresh = next_region++;
+        tail.push_back(Event::StartReplace(region, fresh));
+        tail.push_back(Event::Characters(
+            fresh, prng.Chance(0.5) ? "Albania" : "Norway"));
+        tail.push_back(Event::EndReplace(region, fresh));
+      }
+      continue;
+    }
+    if (e.kind == EventKind::kEndStream) {
+      for (Event& t : tail) out.push_back(std::move(t));
+      tail.clear();
+    }
+    out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  XmarkOptions options =
+      XmarkOptionsForBytes(xflux::bench::XmarkBytes() / 4);
+  options.albania_fraction = 0.05;
+  std::string doc = GenerateXmark(options);
+  auto tokens = SaxParser::Tokenize(doc);
+  if (!tokens.ok()) return 1;
+
+  std::printf("A3: throughput vs mutable-input fraction, query "
+              "X//item[location=\"Albania\"]/quantity over %.1f MB XMark\n",
+              doc.size() / 1e6);
+  std::printf("%-10s %12s %10s %12s %12s\n", "mutable", "events", "time",
+              "MB/s", "max_states");
+
+  for (double fraction : {0.0, 0.01, 0.1, 0.5, 1.0}) {
+    EventVec stream = InjectUpdates(tokens.value(), fraction, 11);
+    auto session = xflux::QuerySession::Open(
+        "X//item[location=\"Albania\"]/quantity");
+    if (!session.ok()) return 1;
+    double seconds =
+        xflux::bench::Time([&] { session.value()->PushAll(stream); });
+    const Metrics* metrics =
+        session.value()->pipeline()->context()->metrics();
+    std::printf("%-10.2f %12zu %9.3fs %12.1f %12lld\n", fraction,
+                stream.size(), seconds, doc.size() / seconds / 1e6,
+                static_cast<long long>(metrics->max_live_states()));
+  }
+  return 0;
+}

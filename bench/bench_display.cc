@@ -1,0 +1,136 @@
+// Micro-benchmarks A4 (DESIGN.md): the result display's update-application
+// primitives and the OrderKey dense-order structure — the fixed costs every
+// retroactive update pays at the end of the pipeline.
+
+#include <benchmark/benchmark.h>
+
+#include "core/region_document.h"
+#include "util/order_key.h"
+#include "util/prng.h"
+
+namespace xflux {
+namespace {
+
+void BM_DisplayAppend(benchmark::State& state) {
+  for (auto _ : state) {
+    RegionDocument doc;
+    for (int i = 0; i < state.range(0); ++i) {
+      (void)doc.Feed(Event::StartElement(0, "e"));
+      (void)doc.Feed(Event::Characters(0, "x"));
+      (void)doc.Feed(Event::EndElement(0, "e"));
+    }
+    benchmark::DoNotOptimize(doc.item_count());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 3);
+}
+BENCHMARK(BM_DisplayAppend)->Arg(1000)->Arg(10000);
+
+void BM_DisplayReplaceChain(benchmark::State& state) {
+  for (auto _ : state) {
+    RegionDocument doc;
+    (void)doc.Feed(Event::StartMutable(0, 1));
+    (void)doc.Feed(Event::Characters(1, "v0"));
+    (void)doc.Feed(Event::EndMutable(0, 1));
+    StreamId target = 1;
+    for (StreamId i = 0; i < static_cast<StreamId>(state.range(0)); ++i) {
+      StreamId fresh = 10 + i;
+      (void)doc.Feed(Event::StartReplace(target, fresh));
+      (void)doc.Feed(Event::Characters(fresh, "v"));
+      (void)doc.Feed(Event::EndReplace(target, fresh));
+      target = fresh;
+    }
+    benchmark::DoNotOptimize(doc.live_region_count());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DisplayReplaceChain)->Arg(1000)->Arg(10000);
+
+void BM_DisplayInsertAfterChain(benchmark::State& state) {
+  for (auto _ : state) {
+    RegionDocument doc;
+    (void)doc.Feed(Event::StartMutable(0, 1));
+    (void)doc.Feed(Event::EndMutable(0, 1));
+    StreamId target = 1;
+    for (StreamId i = 0; i < static_cast<StreamId>(state.range(0)); ++i) {
+      StreamId fresh = 10 + i;
+      (void)doc.Feed(Event::StartInsertAfter(target, fresh));
+      (void)doc.Feed(Event::Characters(fresh, "v"));
+      (void)doc.Feed(Event::EndInsertAfter(target, fresh));
+      target = fresh;
+    }
+    benchmark::DoNotOptimize(doc.item_count());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DisplayInsertAfterChain)->Arg(1000)->Arg(10000);
+
+void BM_DisplayHideShowStorm(benchmark::State& state) {
+  RegionDocument doc;
+  for (StreamId i = 1; i <= static_cast<StreamId>(state.range(0)); ++i) {
+    (void)doc.Feed(Event::StartMutable(0, i));
+    (void)doc.Feed(Event::Characters(i, "x"));
+    (void)doc.Feed(Event::EndMutable(0, i));
+  }
+  Prng prng(5);
+  for (auto _ : state) {
+    StreamId id =
+        1 + static_cast<StreamId>(prng.Uniform(
+                static_cast<uint64_t>(state.range(0))));
+    (void)doc.Feed(Event::Hide(id));
+    (void)doc.Feed(Event::Show(id));
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_DisplayHideShowStorm)->Arg(1000);
+
+void BM_DisplayRender(benchmark::State& state) {
+  RegionDocument doc;
+  for (StreamId i = 1; i <= static_cast<StreamId>(state.range(0)); ++i) {
+    (void)doc.Feed(Event::StartMutable(0, i));
+    (void)doc.Feed(Event::StartElement(i, "e"));
+    (void)doc.Feed(Event::Characters(i, "x"));
+    (void)doc.Feed(Event::EndElement(i, "e"));
+    (void)doc.Feed(Event::EndMutable(0, i));
+    if (i % 3 == 0) (void)doc.Feed(Event::Hide(i));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(doc.RenderEvents());
+  }
+}
+BENCHMARK(BM_DisplayRender)->Arg(1000);
+
+void BM_OrderKeyBisection(benchmark::State& state) {
+  for (auto _ : state) {
+    OrderKey lo = OrderKey::Min();
+    OrderKey hi = OrderKey::Max();
+    for (int i = 0; i < state.range(0); ++i) {
+      OrderKey mid = OrderKey::Between(lo, hi);
+      if (i % 2 == 0) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    benchmark::DoNotOptimize(lo);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_OrderKeyBisection)->Arg(64)->Arg(512);
+
+void BM_OrderKeyAppendChain(benchmark::State& state) {
+  // The common streaming pattern: fresh keys appended at the tail.
+  for (auto _ : state) {
+    OrderKey cursor = OrderKey::Min();
+    for (int i = 0; i < state.range(0); ++i) {
+      cursor = OrderKey::Between(cursor, OrderKey::Max());
+    }
+    benchmark::DoNotOptimize(cursor);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_OrderKeyAppendChain)->Arg(1000);
+
+}  // namespace
+}  // namespace xflux
+
+BENCHMARK_MAIN();

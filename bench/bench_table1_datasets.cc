@@ -1,0 +1,56 @@
+// Reproduces the paper's Table 1 (Section VII): per dataset, the document
+// size, the number of SAX events, and the time to tokenize it.
+//
+// Paper (224 MB XMark / 318 MB DBLP, 3 GHz Pentium 4, Java+Piccolo):
+//
+//   Benchmark  document  size    events  time
+//   XMark      X         224 MB  12.7 M  9.6 s
+//   DBLP       D         318 MB  31.3 M  18.6 s
+//
+// Here the documents are synthetic equivalents at laptop scale (set
+// XFLUX_BENCH_MB to grow them); the shape to check is the events-per-MB
+// ratio (DBLP is much denser in small elements) and tokenizer throughput.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/event_sink.h"
+#include "data/generators.h"
+#include "xml/sax_parser.h"
+
+int main() {
+  using xflux::bench::Time;
+
+  struct Row {
+    const char* benchmark;
+    const char* name;
+    std::string document;
+  };
+  Row rows[] = {
+      {"XMark", "X",
+       xflux::GenerateXmark(
+           xflux::XmarkOptionsForBytes(xflux::bench::XmarkBytes()))},
+      {"DBLP", "D",
+       xflux::GenerateDblp(
+           xflux::DblpOptionsForBytes(xflux::bench::DblpBytes()))},
+  };
+
+  std::printf("Table 1: datasets (paper: X=224MB/12.7M events/9.6s, "
+              "D=318MB/31.3M events/18.6s)\n");
+  std::printf("%-10s %-8s %10s %12s %10s %12s\n", "Benchmark", "document",
+              "size", "events", "time", "MB/s");
+  for (Row& row : rows) {
+    xflux::NullSink sink;
+    uint64_t events = 0;
+    double seconds = Time([&] {
+      xflux::SaxParser parser(xflux::SaxParser::Options(), &sink);
+      (void)parser.Feed(row.document);
+      (void)parser.Finish();
+      events = parser.events_emitted();
+    });
+    std::printf("%-10s %-8s %8.1fMB %10.2fM %8.2fs %10.1f\n", row.benchmark,
+                row.name, row.document.size() / 1e6, events / 1e6, seconds,
+                row.document.size() / seconds / 1e6);
+  }
+  return 0;
+}

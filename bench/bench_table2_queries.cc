@@ -1,0 +1,139 @@
+// Reproduces the paper's Table 2 (Section VII): the nine benchmark
+// queries, with XFlux execution time, throughput, the SPEX comparison
+// where SPEX supports the query (1-3 and 8), state-transformer calls
+// ("events") and memory.
+//
+// Paper numbers (224 MB X / 318 MB D, 3 GHz P4, Java):
+//
+//   Q  XFlux   MB/s  SPEX   events  mem
+//   1   16 s   14.0   52 s    17 M  452 KB
+//   2   35 s    6.4   42 s    89 M  683 KB
+//   3  197 s    1.1   70 s   683 M  412 KB
+//   4  116 s    1.9     -    326 M  854 KB
+//   5   33 s    6.8     -     95 M  487 KB
+//   6  124 s    1.8     -    329 M  466 KB
+//   7   29 s    7.7     -     71 M  779 KB
+//   8   84 s    3.8  113 s   231 M  561 KB
+//   9   92 s    3.5     -    194 M  790 KB
+//
+// Shapes to check (absolute numbers are hardware/runtime-dependent):
+// Q1 is the fastest and beats SPEX; Q3 (//*) is the slowest XFlux query
+// and the one SPEX wins decisively; the backward-axis queries 4-6 carry
+// "acceptable overhead"; memory stays bounded for every query.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "data/generators.h"
+#include "spex/spex_engine.h"
+#include "xml/sax_parser.h"
+#include "xquery/engine.h"
+
+namespace {
+
+struct QueryRow {
+  int number;
+  const char* query;
+  const char* spex_xpath;  // null: unsupported by SPEX (dash in the paper)
+  bool on_dblp;
+  // Paper's measurements, for side-by-side shape comparison.
+  double paper_xflux_s;
+  double paper_mbs;
+  double paper_spex_s;  // <0: dash
+};
+
+const QueryRow kQueries[] = {
+    {1, "X//europe//item[location=\"Albania\"]/quantity",
+     "X//europe//item[location=\"Albania\"]/quantity", false, 16, 14.0, 52},
+    {2, "X//item[location=\"Albania\"][payment=\"Cash\"]/location",
+     "X//item[location=\"Albania\"][payment=\"Cash\"]/location", false, 35,
+     6.4, 42},
+    {3, "X//*[location=\"Albania\"]/quantity",
+     "X//*[location=\"Albania\"]/quantity", false, 197, 1.1, 70},
+    {4, "count(X//item[location=\"Albania\"]/..)", nullptr, false, 116, 1.9,
+     -1},
+    {5, "count(X//item[location=\"Albania\"]/ancestor::europe)", nullptr,
+     false, 33, 6.8, -1},
+    {6, "count(X//item[location=\"Albania\"]/ancestor::*//location)", nullptr,
+     false, 124, 1.8, -1},
+    {7,
+     "<result>{ for $c in X//item where $c/location = \"Albania\" "
+     "return <item>{ $c/quantity, $c/payment }</item> }</result>",
+     nullptr, false, 29, 7.7, -1},
+    {8, "D//inproceedings[author=\"John Smith\"]/title",
+     "D//inproceedings[author=\"John Smith\"]/title", true, 84, 3.8, 113},
+    {9,
+     "for $d in D//inproceedings where contains($d/author,\"Smith\") "
+     "order by $d/year "
+     "return ($d/year/text(),\": \",$d/title/text(),\"\\n\")",
+     nullptr, true, 92, 3.5, -1},
+};
+
+}  // namespace
+
+int main() {
+  using xflux::bench::Time;
+
+  std::string x_doc = xflux::GenerateXmark(
+      xflux::XmarkOptionsForBytes(xflux::bench::XmarkBytes()));
+  std::string d_doc = xflux::GenerateDblp(
+      xflux::DblpOptionsForBytes(xflux::bench::DblpBytes()));
+  std::printf("Table 2: the nine benchmark queries over X (%.1f MB) and D "
+              "(%.1f MB)\n",
+              x_doc.size() / 1e6, d_doc.size() / 1e6);
+  std::printf("%-2s %9s %7s %9s %9s %10s | paper: %7s %6s %7s\n", "Q",
+              "XFlux", "MB/s", "SPEX", "events", "mem", "XFlux", "MB/s",
+              "SPEX");
+
+  for (const QueryRow& row : kQueries) {
+    const std::string& doc = row.on_dblp ? d_doc : x_doc;
+
+    auto session = xflux::QuerySession::Open(row.query);
+    if (!session.ok()) {
+      std::fprintf(stderr, "Q%d compile failed: %s\n", row.number,
+                   session.status().ToString().c_str());
+      return 1;
+    }
+    double xflux_s = Time([&] {
+      auto status = session.value()->PushDocument(doc);
+      if (!status.ok()) {
+        std::fprintf(stderr, "Q%d failed: %s\n", row.number,
+                     status.ToString().c_str());
+      }
+    });
+    const xflux::Metrics* metrics =
+        session.value()->pipeline()->context()->metrics();
+
+    char spex_col[32] = "      -";
+    if (row.spex_xpath != nullptr) {
+      xflux::NullSink sink;
+      auto engine = xflux::SpexEngine::Compile(row.spex_xpath, &sink);
+      if (!engine.ok()) {
+        std::fprintf(stderr, "Q%d SPEX compile failed: %s\n", row.number,
+                     engine.status().ToString().c_str());
+        return 1;
+      }
+      double spex_s = Time([&] {
+        xflux::SaxParser parser(xflux::SaxParser::Options(),
+                                engine.value().get());
+        (void)parser.Feed(doc);
+        (void)parser.Finish();
+      });
+      std::snprintf(spex_col, sizeof(spex_col), "%8.2fs", spex_s);
+    }
+
+    char paper_spex[16] = "    -";
+    if (row.paper_spex_s >= 0) {
+      std::snprintf(paper_spex, sizeof(paper_spex), "%4.0fs",
+                    row.paper_spex_s);
+    }
+    std::printf("%-2d %8.2fs %7.1f %-9s %8.2fM %8.0fKB | %8.0fs %6.1f %7s\n",
+                row.number, xflux_s, doc.size() / xflux_s / 1e6, spex_col,
+                metrics->transformer_calls() / 1e6,
+                metrics->MaxApproxStateBytes() / 1024.0, row.paper_xflux_s,
+                row.paper_mbs, paper_spex);
+  }
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Shared helpers for the benchmark binaries: scale selection (the
+// XFLUX_BENCH_MB environment variable multiplies the default laptop-scale
+// document sizes) and simple wall-clock timing.
+
+#ifndef XFLUX_BENCH_BENCH_UTIL_H_
+#define XFLUX_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace xflux::bench {
+
+/// Approximate XMark document size in bytes (default 2 MiB; scaled by
+/// XFLUX_BENCH_MB).  The paper used 224 MB; only relative numbers matter.
+inline size_t XmarkBytes() {
+  const char* env = std::getenv("XFLUX_BENCH_MB");
+  double mb = env != nullptr ? std::strtod(env, nullptr) : 2.0;
+  if (mb <= 0) mb = 2.0;
+  return static_cast<size_t>(mb * 1024 * 1024);
+}
+
+/// DBLP document size: the paper's D is 1.42x its X (318 MB vs 224 MB).
+inline size_t DblpBytes() {
+  return static_cast<size_t>(static_cast<double>(XmarkBytes()) * 1.42);
+}
+
+/// Wall-clock seconds spent in `fn`.
+template <typename Fn>
+double Time(Fn&& fn) {
+  auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace xflux::bench
+
+#endif  // XFLUX_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,42 @@
+// Quickstart: compile a query, stream a document through it, read the
+// answer.
+//
+//   $ ./quickstart
+//
+// The one-call entry point is RunQueryOnXml; QuerySession (see the other
+// examples) gives incremental feeding and a live display.
+
+#include <cstdio>
+
+#include "xquery/engine.h"
+
+int main() {
+  const char* document =
+      "<library>"
+      "<book><author>Smith</author><title>Streams</title>"
+      "<price>30</price></book>"
+      "<book><author>Jones</author><title>Trees</title>"
+      "<price>25</price></book>"
+      "<book><author>Smith</author><title>Automata</title>"
+      "<price>40</price></book>"
+      "</library>";
+
+  const char* queries[] = {
+      "X//book[author=\"Smith\"]/title",
+      "count(X//book)",
+      "for $b in X//book order by $b/price return $b/title",
+      "<catalog>{ for $b in X//book where $b/author = \"Smith\" "
+      "return <entry>{ $b/title, $b/price }</entry> }</catalog>",
+  };
+
+  for (const char* query : queries) {
+    auto result = xflux::RunQueryOnXml(query, document);
+    if (!result.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("query : %s\nanswer: %s\n\n", query, result.value().c_str());
+  }
+  return 0;
+}

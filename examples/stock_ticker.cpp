@@ -1,0 +1,56 @@
+// Section V's motivating stream: a stock ticker whose quotes are mutable
+// regions.  The query tracks one symbol's quote; every replacement update
+// in the stream replaces the displayed value — bounded state, because the
+// mutability analysis drops everything else (names are fixed, so the
+// predicate decisions for other symbols are frozen and evicted).
+//
+//   $ ./stock_ticker
+
+#include <cstdio>
+
+#include "data/generators.h"
+#include "xquery/engine.h"
+
+int main() {
+  auto session = xflux::QuerySession::Open("X//stock[name=\"IBM\"]/quote");
+  if (!session.ok()) {
+    std::fprintf(stderr, "compile failed: %s\n",
+                 session.status().ToString().c_str());
+    return 1;
+  }
+  xflux::QuerySession& q = *session.value();
+
+  // Re-render whenever the displayed answer may have changed; print only
+  // actual changes.
+  std::string last;
+  int renders = 0;
+  q.display()->SetOnChange([&](const xflux::ResultDisplay& display) {
+    auto text = display.CurrentText();
+    // Elements still streaming in render as partial text, and a candidate
+    // quote may appear optimistically and be retracted a few events later
+    // (the paper's optimistic display).  Print only settled answers: one
+    // complete quote.
+    if (text.ok() && text.value() != last && !text.value().empty() &&
+        text.value().size() > 7 &&
+        text.value().compare(text.value().size() - 8, 8, "</quote>") == 0 &&
+        text.value().find("<quote>", 1) == std::string::npos) {
+      last = text.value();
+      std::printf("IBM quote: %s\n", last.c_str());
+      ++renders;
+    }
+  });
+
+  xflux::StockTickerOptions options;
+  options.symbols = 8;
+  options.updates = 60;
+  q.PushAll(xflux::GenerateStockTicker(options));
+
+  if (!q.display_status().ok()) {
+    std::fprintf(stderr, "display error: %s\n",
+                 q.display_status().ToString().c_str());
+    return 1;
+  }
+  std::printf("(%d quote changes displayed; final answer: %s)\n", renders,
+              q.CurrentText().value().c_str());
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Runs the paper's benchmark-style queries over a generated XMark-like
+// document and reports answers plus engine metrics (transformer calls,
+// state high-water marks) — a small-scale preview of bench_table2_queries.
+//
+//   $ ./xmark_explore [approx_kilobytes]
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "data/generators.h"
+#include "xml/sax_parser.h"
+#include "xquery/engine.h"
+
+int main(int argc, char** argv) {
+  size_t kilobytes = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 256;
+  xflux::XmarkOptions options = xflux::XmarkOptionsForBytes(kilobytes * 1024);
+  std::string document = xflux::GenerateXmark(options);
+  std::printf("document: %.1f KiB, %d items/region\n",
+              document.size() / 1024.0, options.items_per_region);
+
+  const char* queries[] = {
+      "count(X//item)",
+      "count(X//item[location=\"Albania\"])",
+      "X//europe//item[location=\"Albania\"]/quantity",
+      "count(X//item[location=\"Albania\"]/..)",
+      "count(X//item[location=\"Albania\"]/ancestor::europe)",
+      "<result>{ for $c in X//item where $c/location = \"Albania\" "
+      "return <item>{ $c/quantity, $c/payment }</item> }</result>",
+  };
+
+  for (const char* query : queries) {
+    auto session = xflux::QuerySession::Open(query);
+    if (!session.ok()) {
+      std::fprintf(stderr, "compile failed: %s\n",
+                   session.status().ToString().c_str());
+      return 1;
+    }
+    auto start = std::chrono::steady_clock::now();
+    auto status = session.value()->PushDocument(document);
+    auto elapsed = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+    if (!status.ok()) {
+      std::fprintf(stderr, "run failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    auto answer = session.value()->CurrentText();
+    const xflux::Metrics* metrics =
+        session.value()->pipeline()->context()->metrics();
+    std::string text = answer.ok() ? answer.value() : "<error>";
+    if (text.size() > 120) text = text.substr(0, 117) + "...";
+    std::printf("\nquery : %s\nanswer: %s\n", query, text.c_str());
+    std::printf("        %.1f ms, %.1f MB/s, %s\n", elapsed * 1e3,
+                document.size() / elapsed / 1e6, metrics->ToString().c_str());
+  }
+  return 0;
+}

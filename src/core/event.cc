@@ -1,0 +1,83 @@
+#include "core/event.h"
+
+#include <cassert>
+
+namespace xflux {
+
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kStartStream: return "sS";
+    case EventKind::kEndStream: return "eS";
+    case EventKind::kStartTuple: return "sT";
+    case EventKind::kEndTuple: return "eT";
+    case EventKind::kStartElement: return "sE";
+    case EventKind::kEndElement: return "eE";
+    case EventKind::kCharacters: return "cD";
+    case EventKind::kStartMutable: return "sM";
+    case EventKind::kEndMutable: return "eM";
+    case EventKind::kStartReplace: return "sR";
+    case EventKind::kEndReplace: return "eR";
+    case EventKind::kStartInsertBefore: return "sB";
+    case EventKind::kEndInsertBefore: return "eB";
+    case EventKind::kStartInsertAfter: return "sA";
+    case EventKind::kEndInsertAfter: return "eA";
+    case EventKind::kFreeze: return "freeze";
+    case EventKind::kHide: return "hide";
+    case EventKind::kShow: return "show";
+  }
+  return "??";
+}
+
+EventKind MatchingUpdateEnd(EventKind start) {
+  switch (start) {
+    case EventKind::kStartMutable: return EventKind::kEndMutable;
+    case EventKind::kStartReplace: return EventKind::kEndReplace;
+    case EventKind::kStartInsertBefore: return EventKind::kEndInsertBefore;
+    case EventKind::kStartInsertAfter: return EventKind::kEndInsertAfter;
+    default:
+      assert(false && "not an update start");
+      return EventKind::kEndMutable;
+  }
+}
+
+std::string Event::ToString() const {
+  std::string out = EventKindName(kind);
+  out += '(';
+  out += std::to_string(id);
+  switch (kind) {
+    case EventKind::kStartElement:
+    case EventKind::kEndElement:
+    case EventKind::kCharacters:
+      out += ",\"";
+      out += text;
+      out += '"';
+      break;
+    case EventKind::kStartMutable:
+    case EventKind::kEndMutable:
+    case EventKind::kStartReplace:
+    case EventKind::kEndReplace:
+    case EventKind::kStartInsertBefore:
+    case EventKind::kEndInsertBefore:
+    case EventKind::kStartInsertAfter:
+    case EventKind::kEndInsertAfter:
+      out += ',';
+      out += std::to_string(uid);
+      break;
+    default:
+      break;
+  }
+  out += ')';
+  return out;
+}
+
+std::string ToString(const EventVec& events) {
+  std::string out = "[ ";
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += events[i].ToString();
+  }
+  out += " ]";
+  return out;
+}
+
+}  // namespace xflux

@@ -1,0 +1,145 @@
+// The XML update-stream event vocabulary (paper Sections II and III).
+//
+// A stream is a sequence of Event values.  "Simple" events tokenize XML
+// (start/end stream, start/end tuple, start/end element, character data);
+// "update" events bracket regions that retroactively modify parts of the
+// stream that have already passed through (mutable regions, replacements,
+// insert-before/after, plus freeze/hide/show control events).
+//
+// Every event carries the number of the virtual substream it belongs to
+// (`id`); update brackets additionally carry the id of the region they
+// introduce (`uid`).  Multiple virtual substreams interleave inside the one
+// global stream that flows through a pipeline.
+
+#ifndef XFLUX_CORE_EVENT_H_
+#define XFLUX_CORE_EVENT_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace xflux {
+
+/// Identifier of a virtual substream / update region inside the global
+/// stream.  Ids are allocated by the pipeline context and never reused.
+using StreamId = uint32_t;
+
+/// Identity of an XML element node, assigned at the stream source.  Backward
+/// axes (Section VI-E) join a cloned stream against the main stream on OID
+/// equality.
+using Oid = uint64_t;
+
+/// All event forms of Sections II (simple) and III (updates).
+enum class EventKind : uint8_t {
+  // --- simple stream events (Section II) ---
+  kStartStream,   // sS(id)
+  kEndStream,     // eS(id)
+  kStartTuple,    // sT(id)
+  kEndTuple,      // eT(id)
+  kStartElement,  // sE(id, tag)
+  kEndElement,    // eE(id, tag)
+  kCharacters,    // cD(id, text)
+  // --- update events (Section III) ---
+  kStartMutable,       // sM(id, uid)
+  kEndMutable,         // eM(id, uid)
+  kStartReplace,       // sR(id, uid)
+  kEndReplace,         // eR(id, uid)
+  kStartInsertBefore,  // sB(id, uid)
+  kEndInsertBefore,    // eB(id, uid)
+  kStartInsertAfter,   // sA(id, uid)
+  kEndInsertAfter,     // eA(id, uid)
+  kFreeze,             // freeze(id): close region to further updates
+  kHide,               // hide(id): temporarily remove region content
+  kShow,               // show(id): restore hidden content
+};
+
+/// Returns the paper's two-letter abbreviation for an event kind ("sE",
+/// "cD", "sM", ...).
+const char* EventKindName(EventKind kind);
+
+/// One token of an XML update stream.
+///
+/// Field use by kind:
+///  - kStartElement / kEndElement: `text` is the tag, `oid` the node id.
+///    Attributes are tokenized as child elements whose tag starts with '@'.
+///  - kCharacters: `text` is the character data.
+///  - update brackets sU/eU: `id` is the target region, `uid` the new one.
+///  - kFreeze / kHide / kShow: `id` is the region acted upon.
+struct Event {
+  EventKind kind = EventKind::kStartStream;
+  StreamId id = 0;
+  StreamId uid = 0;
+  Oid oid = 0;
+  std::string text;
+
+  // -- factories for simple events --
+  static Event StartStream(StreamId id) { return {EventKind::kStartStream, id, 0, 0, {}}; }
+  static Event EndStream(StreamId id) { return {EventKind::kEndStream, id, 0, 0, {}}; }
+  static Event StartTuple(StreamId id) { return {EventKind::kStartTuple, id, 0, 0, {}}; }
+  static Event EndTuple(StreamId id) { return {EventKind::kEndTuple, id, 0, 0, {}}; }
+  static Event StartElement(StreamId id, std::string tag, Oid oid = 0) {
+    return {EventKind::kStartElement, id, 0, oid, std::move(tag)};
+  }
+  static Event EndElement(StreamId id, std::string tag, Oid oid = 0) {
+    return {EventKind::kEndElement, id, 0, oid, std::move(tag)};
+  }
+  static Event Characters(StreamId id, std::string text) {
+    return {EventKind::kCharacters, id, 0, 0, std::move(text)};
+  }
+
+  // -- factories for update events --
+  static Event StartMutable(StreamId id, StreamId uid) { return {EventKind::kStartMutable, id, uid, 0, {}}; }
+  static Event EndMutable(StreamId id, StreamId uid) { return {EventKind::kEndMutable, id, uid, 0, {}}; }
+  static Event StartReplace(StreamId id, StreamId uid) { return {EventKind::kStartReplace, id, uid, 0, {}}; }
+  static Event EndReplace(StreamId id, StreamId uid) { return {EventKind::kEndReplace, id, uid, 0, {}}; }
+  static Event StartInsertBefore(StreamId id, StreamId uid) { return {EventKind::kStartInsertBefore, id, uid, 0, {}}; }
+  static Event EndInsertBefore(StreamId id, StreamId uid) { return {EventKind::kEndInsertBefore, id, uid, 0, {}}; }
+  static Event StartInsertAfter(StreamId id, StreamId uid) { return {EventKind::kStartInsertAfter, id, uid, 0, {}}; }
+  static Event EndInsertAfter(StreamId id, StreamId uid) { return {EventKind::kEndInsertAfter, id, uid, 0, {}}; }
+  static Event Freeze(StreamId id) { return {EventKind::kFreeze, id, 0, 0, {}}; }
+  static Event Hide(StreamId id) { return {EventKind::kHide, id, 0, 0, {}}; }
+  static Event Show(StreamId id) { return {EventKind::kShow, id, 0, 0, {}}; }
+
+  /// True for the seven simple stream event kinds of Section II.
+  bool IsSimple() const { return kind <= EventKind::kCharacters; }
+  /// True for any update event (brackets plus freeze/hide/show).
+  bool IsUpdate() const { return !IsSimple(); }
+  /// True for sM/sR/sB/sA.
+  bool IsUpdateStart() const {
+    return kind == EventKind::kStartMutable || kind == EventKind::kStartReplace ||
+           kind == EventKind::kStartInsertBefore ||
+           kind == EventKind::kStartInsertAfter;
+  }
+  /// True for eM/eR/eB/eA.
+  bool IsUpdateEnd() const {
+    return kind == EventKind::kEndMutable || kind == EventKind::kEndReplace ||
+           kind == EventKind::kEndInsertBefore ||
+           kind == EventKind::kEndInsertAfter;
+  }
+
+  /// Paper-style rendering, e.g. `sE(0,"book")`, `sR(1,2)`.
+  std::string ToString() const;
+
+  friend bool operator==(const Event& a, const Event& b) {
+    return a.kind == b.kind && a.id == b.id && a.uid == b.uid &&
+           a.text == b.text;
+  }
+};
+
+/// Returns the matching end-bracket kind for an update start (sM -> eM etc).
+EventKind MatchingUpdateEnd(EventKind start);
+
+/// An in-memory event sequence; pipelines also stream events one at a time.
+using EventVec = std::vector<Event>;
+
+/// Renders a whole sequence as `[ sE(0,"a"), ... ]` (tests, debugging).
+std::string ToString(const EventVec& events);
+
+inline std::ostream& operator<<(std::ostream& os, const Event& e) {
+  return os << e.ToString();
+}
+
+}  // namespace xflux
+
+#endif  // XFLUX_CORE_EVENT_H_

@@ -1,0 +1,53 @@
+// The consumer side of an event stream.
+
+#ifndef XFLUX_CORE_EVENT_SINK_H_
+#define XFLUX_CORE_EVENT_SINK_H_
+
+#include <utility>
+
+#include "core/event.h"
+
+namespace xflux {
+
+/// Receives stream events one at a time.  The XML tokenizer, every pipeline
+/// stage, and the result display all speak this interface (the paper's
+/// push-based "dispatch" method).
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+
+  /// Consumes one event.
+  virtual void Accept(Event event) = 0;
+};
+
+/// An EventSink that appends everything into an EventVec (testing, oracles).
+class CollectingSink : public EventSink {
+ public:
+  void Accept(Event event) override { events_.push_back(std::move(event)); }
+
+  const EventVec& events() const { return events_; }
+  EventVec Take() { return std::move(events_); }
+  void Clear() { events_.clear(); }
+
+ private:
+  EventVec events_;
+};
+
+/// An EventSink that counts and discards (throughput benchmarks).
+class NullSink : public EventSink {
+ public:
+  void Accept(Event) override { ++count_; }
+  uint64_t count() const { return count_; }
+
+ private:
+  uint64_t count_ = 0;
+};
+
+/// Feeds a whole sequence into a sink.
+inline void FeedAll(const EventVec& events, EventSink* sink) {
+  for (const Event& e : events) sink->Accept(e);
+}
+
+}  // namespace xflux
+
+#endif  // XFLUX_CORE_EVENT_SINK_H_

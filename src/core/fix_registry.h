@@ -1,0 +1,89 @@
+// The mutability analysis of paper Section V.
+//
+// Update ids are classified into fixed (closed to updates) and not fixed
+// (open to updates) in one global map shared by every pipeline stage.  Data
+// already streamed on a base stream is immutable, so base streams are fixed;
+// a mutable region declared by the source is not fixed (unless the consumer
+// opted out of source updates); every other update inherits its target's
+// classification; freeze(id) closes an id for good.  Stages drop the state
+// copies of fixed ids — this is what keeps predicate evaluation over plain
+// (update-free) documents O(depth) instead of O(document).
+
+#ifndef XFLUX_CORE_FIX_REGISTRY_H_
+#define XFLUX_CORE_FIX_REGISTRY_H_
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/event.h"
+
+namespace xflux {
+
+/// Global fix: id -> bool map (see file comment).
+class FixRegistry {
+ public:
+  /// Disables the analysis entirely (every region reported mutable): the
+  /// baseline arm of the Section V ablation, where no state can ever be
+  /// evicted and predicates can never take the irrevocable cheap path.
+  void set_disabled(bool disabled) { disabled_ = disabled; }
+
+  /// True if `id` is closed to updates (the drop rule: updates addressed
+  /// to a fixed region are ignored).  Unknown ids (base streams) are
+  /// fixed: their data has already been emitted and cannot change.
+  bool IsFixed(StreamId id) const {
+    if (disabled_) return false;
+    auto it = fix_.find(id);
+    return it == fix_.end() ? true : it->second;
+  }
+
+  /// True if the region's *content* can never change retroactively — what
+  /// predicate outcomes and comparison verdicts key their irrevocable
+  /// cheap path on (Section V).  Operators declare their structural output
+  /// regions immutable at creation (a descendant step's copies re-tag
+  /// their content, so no update can ever address it), while the regions
+  /// stay open for the structural brackets that build them.
+  bool IsEffectivelyImmutable(StreamId id) const {
+    if (disabled_) return false;
+    return immutable_.count(id) > 0 || IsFixed(id);
+  }
+
+  void SetFixed(StreamId id, bool fixed) { fix_[id] = fixed; }
+  void SetImmutable(StreamId id) { immutable_.insert(id); }
+
+  /// Bookkeeping hook, applied to every event at every stage (idempotent):
+  ///  - sM(i,j): fix[j] = false (a mutable region is open to updates; a
+  ///    consumer that opts out of source updates marks the region fixed at
+  ///    injection time instead, see Pipeline),
+  ///  - sR/sB/sA(i,j): fix[j] = fix[i],
+  ///  - freeze(id): fix[id] = true.
+  void OnEvent(const Event& e) {
+    switch (e.kind) {
+      case EventKind::kStartMutable:
+        // Idempotence note: re-seeing an sM must not reopen a region that a
+        // later freeze closed, so only the first sighting writes.
+        fix_.try_emplace(e.uid, false);
+        break;
+      case EventKind::kStartReplace:
+      case EventKind::kStartInsertBefore:
+      case EventKind::kStartInsertAfter:
+        fix_.try_emplace(e.uid, IsFixed(e.id));
+        break;
+      case EventKind::kFreeze:
+        fix_[e.id] = true;
+        break;
+      default:
+        break;
+    }
+  }
+
+  size_t size() const { return fix_.size(); }
+
+ private:
+  std::unordered_map<StreamId, bool> fix_;
+  std::unordered_set<StreamId> immutable_;
+  bool disabled_ = false;
+};
+
+}  // namespace xflux
+
+#endif  // XFLUX_CORE_FIX_REGISTRY_H_

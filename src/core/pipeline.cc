@@ -1,0 +1,46 @@
+#include "core/pipeline.h"
+
+namespace xflux {
+
+Filter* Pipeline::Add(std::unique_ptr<Filter> stage) {
+  assert(!wired_ && "Add after SetSink");
+  Filter* raw = stage.get();
+  if (!stages_.empty()) {
+    stages_.back()->SetNext(raw);
+  }
+  stages_.push_back(std::move(stage));
+  return raw;
+}
+
+void Pipeline::SetSink(EventSink* sink) {
+  assert(!wired_ && "SetSink called twice");
+  sink_ = sink;
+  if (!stages_.empty()) {
+    stages_.back()->SetNext(sink);
+  }
+  wired_ = true;
+}
+
+void Pipeline::Push(Event event) {
+  assert(wired_ && "Push before SetSink");
+  if (event.kind == EventKind::kStartStream) {
+    // Source streams are base streams; an id-reusing bracket downstream
+    // must never re-root them.
+    context_->streams()->RegisterBase(event.id);
+  }
+  if (!accept_source_updates_ && event.kind == EventKind::kStartMutable) {
+    // The consumer opted out: the region is born fixed, so every stage
+    // evicts its state immediately and later updates to it are dropped.
+    context_->fix()->SetFixed(event.uid, true);
+  }
+  context_->fix()->OnEvent(event);
+  context_->streams()->OnEvent(event);
+  EventSink* first = stages_.empty() ? sink_ : stages_.front().get();
+  first->Accept(std::move(event));
+}
+
+void Pipeline::PushAll(const EventVec& events) {
+  for (const Event& e : events) Push(e);
+}
+
+}  // namespace xflux

@@ -1,0 +1,123 @@
+// Push-based pipeline plumbing (paper Section II).
+//
+// A query compiles into a chain of Filters sharing one PipelineContext
+// (id allocator, fix registry, lineage registry, metrics).  Events are
+// pushed through the chain by direct dispatch — the paper's "event
+// handling" processing method — and end at an arbitrary EventSink, usually
+// the result display.
+
+#ifndef XFLUX_CORE_PIPELINE_H_
+#define XFLUX_CORE_PIPELINE_H_
+
+#include <cassert>
+#include <memory>
+#include <vector>
+
+#include "core/event.h"
+#include "core/event_sink.h"
+#include "core/fix_registry.h"
+#include "core/stream_registry.h"
+#include "util/metrics.h"
+
+namespace xflux {
+
+/// Shared services for all stages of one pipeline.
+class PipelineContext {
+ public:
+  /// `first_dynamic_id` must be above every stream/region id the source
+  /// uses; the default leaves the whole low range to sources.
+  explicit PipelineContext(StreamId first_dynamic_id = 1 << 20)
+      : next_id_(first_dynamic_id) {}
+
+  /// Allocates a fresh region / substream id ("a new id that has not been
+  /// used before").
+  StreamId NewStreamId() { return next_id_++; }
+
+  Metrics* metrics() { return &metrics_; }
+  FixRegistry* fix() { return &fix_; }
+  StreamRegistry* streams() { return &streams_; }
+
+ private:
+  StreamId next_id_;
+  Metrics metrics_;
+  FixRegistry fix_;
+  StreamRegistry streams_;
+};
+
+/// A pipeline stage: consumes events via Accept, produces via Emit.
+class Filter : public EventSink {
+ public:
+  explicit Filter(PipelineContext* context) : context_(context) {}
+
+  /// Wires the downstream consumer; must be set before the first event.
+  void SetNext(EventSink* next) { next_ = next; }
+
+  void Accept(Event event) final {
+    // Idempotent global bookkeeping: every stage learns region lineage and
+    // mutability as the event passes.
+    context_->fix()->OnEvent(event);
+    context_->streams()->OnEvent(event);
+    context_->metrics()->CountTransformerCall();
+    Dispatch(std::move(event));
+  }
+
+ protected:
+  /// Stage logic: consume one event, call Emit zero or more times.
+  virtual void Dispatch(Event event) = 0;
+
+  /// Pushes one event downstream.
+  void Emit(Event event) {
+    assert(next_ != nullptr && "pipeline stage has no downstream sink");
+    context_->metrics()->CountEventEmitted();
+    // Generated events must be visible to the shared registries even before
+    // the next stage runs (the next stage may be the display).
+    context_->fix()->OnEvent(event);
+    context_->streams()->OnEvent(event);
+    next_->Accept(std::move(event));
+  }
+
+  PipelineContext* context() { return context_; }
+
+ private:
+  PipelineContext* context_;
+  EventSink* next_ = nullptr;
+};
+
+/// Owns a chain of filters plus the context, and feeds source events in.
+class Pipeline {
+ public:
+  Pipeline() : context_(std::make_unique<PipelineContext>()) {}
+  explicit Pipeline(StreamId first_dynamic_id)
+      : context_(std::make_unique<PipelineContext>(first_dynamic_id)) {}
+
+  PipelineContext* context() { return context_.get(); }
+
+  /// Appends a stage; stages are chained in insertion order.
+  /// Returns a borrowed pointer to the added stage.
+  Filter* Add(std::unique_ptr<Filter> stage);
+
+  /// Terminates the chain.  Must be called exactly once, after all Add
+  /// calls and before the first Push.
+  void SetSink(EventSink* sink);
+
+  /// When disabled, mutable regions arriving from the source are classified
+  /// fixed at injection — the consumer ignores source updates (Section V).
+  void set_accept_source_updates(bool accept) {
+    accept_source_updates_ = accept;
+  }
+
+  /// Injects one source event into the first stage.
+  void Push(Event event);
+  void PushAll(const EventVec& events);
+
+ private:
+  std::unique_ptr<PipelineContext> context_;
+  std::vector<std::unique_ptr<Filter>> stages_;
+  EventSink* sink_ = nullptr;
+  bool wired_ = false;
+  bool accept_source_updates_ = true;
+};
+
+}  // namespace xflux
+
+#endif  // XFLUX_CORE_PIPELINE_H_

@@ -1,0 +1,232 @@
+#include "core/region_document.h"
+
+#include <cassert>
+
+namespace xflux {
+
+RegionDocument::Iter RegionDocument::InsertPos(StreamId id) {
+  auto it = cursors_.find(id);
+  if (it != cursors_.end() && !it->second.empty()) return it->second.back();
+  return items_.end();
+}
+
+void RegionDocument::Bind(StreamId id, Interval* interval) {
+  auto [it, inserted] = active_.try_emplace(id, interval);
+  if (!inserted) {
+    it->second = interval;  // id reuse rebinds to the newest interval
+  } else if (metrics_ != nullptr) {
+    metrics_->OnDisplayRegion(+1);
+  }
+}
+
+void RegionDocument::Unbind(StreamId id) {
+  if (active_.erase(id) > 0 && metrics_ != nullptr) {
+    metrics_->OnDisplayRegion(-1);
+  }
+}
+
+RegionDocument::Interval* RegionDocument::OpenInterval(StreamId uid,
+                                                       Iter pos) {
+  intervals_.push_back(std::make_unique<Interval>());
+  Interval* interval = intervals_.back().get();
+  interval->id = uid;
+  interval->begin = items_.insert(pos, {Item::Type::kBegin, {}, interval});
+  interval->end = items_.insert(pos, {Item::Type::kEnd, {}, interval});
+  Bind(uid, interval);
+  cursors_[uid].push_back(interval->end);
+  return interval;
+}
+
+void RegionDocument::EraseRange(Iter from, Iter to) {
+  for (Iter i = from; i != to;) {
+    if (i->type == Item::Type::kBegin) {
+      auto it = active_.find(i->interval->id);
+      if (it != active_.end() && it->second == i->interval) {
+        Unbind(i->interval->id);
+      }
+    }
+    i = items_.erase(i);
+  }
+}
+
+Status RegionDocument::Feed(const Event& e) {
+  switch (e.kind) {
+    case EventKind::kStartStream:
+    case EventKind::kEndStream:
+      return Status::OK();
+
+    case EventKind::kStartTuple:
+    case EventKind::kEndTuple:
+    case EventKind::kStartElement:
+    case EventKind::kEndElement:
+    case EventKind::kCharacters:
+      if (dropping_.count(e.id) > 0) return Status::OK();
+      items_.insert(InsertPos(e.id), {Item::Type::kEvent, e, nullptr});
+      return Status::OK();
+
+    case EventKind::kStartMutable: {
+      if (dropping_.count(e.id) > 0) {
+        dropping_.insert(e.uid);
+        return Status::OK();
+      }
+      Interval* interval = OpenInterval(e.uid, InsertPos(e.id));
+      // A mutable region wraps inline data: events of the *target* stream
+      // arriving while the bracket is open are part of the region (this is
+      // how operators wrap pass-through content, e.g. the predicate's
+      // per-element regions and the descendant step's base copies).
+      cursors_[e.id].push_back(interval->end);
+      return Status::OK();
+    }
+
+    case EventKind::kStartReplace: {
+      auto it = active_.find(e.id);
+      if (it == active_.end() || dropping_.count(e.id) > 0) {
+        if (lenient_ || dropping_.count(e.id) > 0) {
+          dropping_.insert(e.uid);
+          return Status::OK();
+        }
+        return Status::InvalidArgument("replace targets unknown region " +
+                                       std::to_string(e.id));
+      }
+      Interval* target = it->second;
+      EraseRange(std::next(target->begin), target->end);
+      OpenInterval(e.uid, target->end);
+      return Status::OK();
+    }
+
+    case EventKind::kStartInsertBefore: {
+      auto it = active_.find(e.id);
+      if (it == active_.end() || dropping_.count(e.id) > 0) {
+        if (lenient_ || dropping_.count(e.id) > 0) {
+          dropping_.insert(e.uid);
+          return Status::OK();
+        }
+        return Status::InvalidArgument("insert-before targets unknown region " +
+                                       std::to_string(e.id));
+      }
+      OpenInterval(e.uid, it->second->begin);
+      return Status::OK();
+    }
+
+    case EventKind::kStartInsertAfter: {
+      auto it = active_.find(e.id);
+      if (it == active_.end() || dropping_.count(e.id) > 0) {
+        if (lenient_ || dropping_.count(e.id) > 0) {
+          dropping_.insert(e.uid);
+          return Status::OK();
+        }
+        return Status::InvalidArgument("insert-after targets unknown region " +
+                                       std::to_string(e.id));
+      }
+      OpenInterval(e.uid, std::next(it->second->end));
+      return Status::OK();
+    }
+
+    case EventKind::kEndMutable:
+    case EventKind::kEndReplace:
+    case EventKind::kEndInsertBefore:
+    case EventKind::kEndInsertAfter: {
+      if (dropping_.erase(e.uid) > 0) return Status::OK();
+      auto it = cursors_.find(e.uid);
+      if (it == cursors_.end() || it->second.empty()) {
+        return Status::InvalidArgument("end bracket for region " +
+                                       std::to_string(e.uid) +
+                                       " that is not open");
+      }
+      it->second.pop_back();
+      if (it->second.empty()) cursors_.erase(it);
+      if (e.kind == EventKind::kEndMutable) {
+        // Pop the target-stream cursor pushed by the matching sM.
+        auto tit = cursors_.find(e.id);
+        if (tit != cursors_.end() && !tit->second.empty()) {
+          tit->second.pop_back();
+          if (tit->second.empty()) cursors_.erase(tit);
+        }
+      }
+      return Status::OK();
+    }
+
+    case EventKind::kHide: {
+      auto it = active_.find(e.id);
+      if (it == active_.end()) {
+        if (lenient_) return Status::OK();
+        return Status::InvalidArgument("hide targets unknown region " +
+                                       std::to_string(e.id));
+      }
+      it->second->hidden = true;
+      return Status::OK();
+    }
+
+    case EventKind::kShow: {
+      auto it = active_.find(e.id);
+      if (it == active_.end()) {
+        if (lenient_) return Status::OK();
+        return Status::InvalidArgument("show targets unknown region " +
+                                       std::to_string(e.id));
+      }
+      it->second->hidden = false;
+      return Status::OK();
+    }
+
+    case EventKind::kFreeze: {
+      auto it = active_.find(e.id);
+      if (it == active_.end()) {
+        // Freezing an already-frozen or unknown region is a no-op: the
+        // source and the operators may both close the same region.
+        return Status::OK();
+      }
+      Interval* target = it->second;
+      if (target->hidden) {
+        // Irrevocably removed: reclaim the content immediately (Section V).
+        Iter from = target->begin;
+        Iter to = std::next(target->end);
+        EraseRange(from, to);
+      } else {
+        Unbind(e.id);
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unhandled event kind");
+}
+
+Status RegionDocument::FeedAll(const EventVec& events) {
+  for (const Event& e : events) {
+    XFLUX_RETURN_IF_ERROR(Feed(e));
+  }
+  return Status::OK();
+}
+
+EventVec RegionDocument::RenderEvents(const RenderOptions& options) const {
+  EventVec out;
+  int skip_depth = 0;
+  for (const Item& item : items_) {
+    if (item.type == Item::Type::kBegin) {
+      if (skip_depth > 0 || item.interval->hidden) ++skip_depth;
+      continue;
+    }
+    if (item.type == Item::Type::kEnd) {
+      if (skip_depth > 0) --skip_depth;
+      continue;
+    }
+    if (skip_depth > 0) continue;
+    const Event& e = item.event;
+    if (!options.keep_tuples && (e.kind == EventKind::kStartTuple ||
+                                 e.kind == EventKind::kEndTuple)) {
+      continue;
+    }
+    Event copy = e;
+    copy.id = options.out_id;
+    out.push_back(std::move(copy));
+  }
+  return out;
+}
+
+StatusOr<EventVec> Materialize(const EventVec& stream,
+                               const RenderOptions& options, bool lenient) {
+  RegionDocument doc(nullptr, lenient);
+  XFLUX_RETURN_IF_ERROR(doc.FeedAll(stream));
+  return doc.RenderEvents(options);
+}
+
+}  // namespace xflux

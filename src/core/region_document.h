@@ -1,0 +1,131 @@
+// Incremental document that applies update streams (paper Sections I, III).
+//
+// A RegionDocument consumes the global event stream one event at a time and
+// maintains the *current* answer: the sequence of simple events that results
+// from eagerly applying every update seen so far.  It is the engine behind
+// both the result display (which renders the answer as text, Section IV's
+// "final display of the query result") and the materializer used as the
+// reference semantics in tests ("after the updates are applied, the result
+// is equivalent to ...", Section III).
+//
+// Representation: a doubly-linked list of items.  Each update region is an
+// *interval* delimited by two sentinel items.  Replacement splices the new
+// region between the target's sentinels (after discarding the old content);
+// insert-before/-after splice immediately outside them; hide/show toggle a
+// visibility flag; freeze makes a region unaddressable (and physically
+// deletes it when it is hidden, the irrevocable cheap path of Section V).
+
+#ifndef XFLUX_CORE_REGION_DOCUMENT_H_
+#define XFLUX_CORE_REGION_DOCUMENT_H_
+
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/event.h"
+#include "util/metrics.h"
+#include "util/status.h"
+
+namespace xflux {
+
+/// Options controlling how RenderEvents flattens the current answer.
+struct RenderOptions {
+  StreamId out_id = 0;       ///< stream id stamped on every rendered event
+  bool keep_tuples = false;  ///< keep sT/eT markers instead of stripping them
+};
+
+/// See file comment.
+class RegionDocument {
+ public:
+  /// `metrics`, when non-null, tracks the live region-registry size.
+  /// In lenient mode (the result display), updates addressed to unknown
+  /// regions are dropped instead of erroring: a region vanishes legally
+  /// when irrevocably removed content (hidden + frozen) is reclaimed, and
+  /// in-flight source updates to it are then simply irrelevant.
+  explicit RegionDocument(Metrics* metrics = nullptr, bool lenient = false)
+      : metrics_(metrics), lenient_(lenient) {}
+
+  RegionDocument(const RegionDocument&) = delete;
+  RegionDocument& operator=(const RegionDocument&) = delete;
+
+  /// Applies one event.  Simple events append at the cursor of their
+  /// region (or at the document tail); update events restructure the
+  /// document as described in the file comment.
+  Status Feed(const Event& e);
+
+  /// Applies a whole sequence, stopping at the first error.
+  Status FeedAll(const EventVec& events);
+
+  /// Flattens the currently-visible content into a plain event sequence.
+  EventVec RenderEvents(const RenderOptions& options = {}) const;
+
+  /// Number of regions still addressable by future updates.
+  size_t live_region_count() const { return active_.size(); }
+
+  /// Total items held (content + sentinels): the document's buffering cost.
+  size_t item_count() const { return items_.size(); }
+
+ private:
+  struct Interval;
+
+  struct Item {
+    enum class Type : uint8_t { kEvent, kBegin, kEnd };
+    Type type;
+    Event event;         // valid when type == kEvent
+    Interval* interval;  // valid when type == kBegin / kEnd
+  };
+  using ItemList = std::list<Item>;
+  using Iter = ItemList::iterator;
+
+  // One bracketed region instance.  Re-using an update id creates a fresh
+  // interval and rebinds the id; the old interval stays in the document but
+  // is no longer addressable (paper: "only the latest one is active").
+  struct Interval {
+    StreamId id = 0;
+    Iter begin;  // sentinel; content lies strictly between begin and end
+    Iter end;
+    bool hidden = false;
+  };
+
+  // Where the next event of region `id` goes (insert before the returned
+  // position).  Falls back to the document tail for base streams.
+  Iter InsertPos(StreamId id);
+
+  // Creates a new interval for region `uid` with its sentinels inserted
+  // before `pos`, binds it, and pushes its content cursor.
+  Interval* OpenInterval(StreamId uid, Iter pos);
+
+  // Unbinds (and if `erase_items`, physically removes) everything in
+  // [from, to), including nested region bindings.
+  void EraseRange(Iter from, Iter to);
+
+  void Bind(StreamId id, Interval* interval);
+  void Unbind(StreamId id);
+
+  ItemList items_;
+  // Region id -> active interval.
+  std::unordered_map<StreamId, Interval*> active_;
+  // Insertion cursors for currently-open brackets, stacked per region id.
+  std::unordered_map<StreamId, std::vector<Iter>> cursors_;
+  // Owns every interval ever created (items reference them by pointer).
+  std::vector<std::unique_ptr<Interval>> intervals_;
+  // Lenient mode: regions whose updates are being dropped.
+  std::unordered_set<StreamId> dropping_;
+  Metrics* metrics_;
+  bool lenient_;
+};
+
+/// Eagerly applies all updates in `stream` and returns the equivalent plain
+/// event sequence (the paper's reference semantics, used as the oracle for
+/// every unblocked operator).  `lenient` forwards to RegionDocument: use it
+/// for pipeline outputs, where updates may legally address regions whose
+/// content was already irrevocably reclaimed.
+StatusOr<EventVec> Materialize(const EventVec& stream,
+                               const RenderOptions& options = {},
+                               bool lenient = false);
+
+}  // namespace xflux
+
+#endif  // XFLUX_CORE_REGION_DOCUMENT_H_

@@ -1,0 +1,25 @@
+#include "core/result_display.h"
+
+#include "xml/serializer.h"
+
+namespace xflux {
+
+void ResultDisplay::Accept(Event event) {
+  if (!status_.ok()) return;
+  status_ = document_.Feed(event);
+  if (status_.ok() && on_change_) on_change_(*this);
+}
+
+EventVec ResultDisplay::CurrentEvents() const {
+  RenderOptions opts;
+  opts.keep_tuples = options_.keep_tuples;
+  return document_.RenderEvents(opts);
+}
+
+StatusOr<std::string> ResultDisplay::CurrentText() const {
+  XmlSerializer::Options opts;
+  opts.pretty = options_.pretty;
+  return XmlSerializer::ToXml(CurrentEvents(), opts);
+}
+
+}  // namespace xflux

@@ -1,0 +1,66 @@
+// The query result display (paper Sections I and IV).
+//
+// The final consumer of a pipeline: applies every update event to the
+// displayed answer, "replacing old results with new", so that the current
+// text is always the exact answer for the stream consumed so far.  This is
+// the one component the paper implements with explicit update handling
+// rather than a state transformer; here it delegates to RegionDocument and
+// renders through the XML serializer.
+
+#ifndef XFLUX_CORE_RESULT_DISPLAY_H_
+#define XFLUX_CORE_RESULT_DISPLAY_H_
+
+#include <functional>
+#include <string>
+
+#include "core/event_sink.h"
+#include "core/region_document.h"
+#include "util/metrics.h"
+#include "util/status.h"
+
+namespace xflux {
+
+/// See file comment.
+class ResultDisplay : public EventSink {
+ public:
+  struct Options {
+    bool pretty = false;       ///< pretty-print the rendered answer
+    bool keep_tuples = false;  ///< keep sT/eT markers in CurrentEvents()
+  };
+
+  explicit ResultDisplay(Metrics* metrics = nullptr)
+      : ResultDisplay(Options(), metrics) {}
+  explicit ResultDisplay(const Options& options, Metrics* metrics = nullptr)
+      : options_(options), document_(metrics, /*lenient=*/true) {}
+
+  void Accept(Event event) override;
+
+  /// First protocol error, if any.
+  const Status& status() const { return status_; }
+
+  /// The current answer as an event sequence.
+  EventVec CurrentEvents() const;
+
+  /// The current answer rendered as XML text.
+  StatusOr<std::string> CurrentText() const;
+
+  /// Invoked after every event that may have changed the answer — live
+  /// displays re-render from here.
+  void SetOnChange(std::function<void(const ResultDisplay&)> on_change) {
+    on_change_ = std::move(on_change);
+  }
+
+  /// Live regions still open to updates (display-side buffering cost).
+  size_t live_region_count() const { return document_.live_region_count(); }
+  size_t item_count() const { return document_.item_count(); }
+
+ private:
+  Options options_;
+  RegionDocument document_;
+  Status status_;
+  std::function<void(const ResultDisplay&)> on_change_;
+};
+
+}  // namespace xflux
+
+#endif  // XFLUX_CORE_RESULT_DISPLAY_H_

@@ -1,0 +1,106 @@
+// The state-transformer abstraction of paper Section II, with the
+// state-adjustment hook of Section IV.
+//
+// An operator is written as if its input were a plain XML stream: a state
+// modifier F(e) that destructively updates an operator-specific state and
+// returns output events.  The adjustment wrapper (core/transform_stage.h)
+// takes care of incoming updates by keeping one state copy per mutable
+// region and invoking Adjust when a retroactive update changes a past
+// section of the stream.
+
+#ifndef XFLUX_CORE_STATE_TRANSFORMER_H_
+#define XFLUX_CORE_STATE_TRANSFORMER_H_
+
+#include <memory>
+#include <string>
+
+#include "core/event.h"
+
+namespace xflux {
+
+class PipelineContext;
+
+/// Operator-specific state (the S in the paper's (S, s, z, i:f) tuple).
+/// States must be cloneable: the wrapper snapshots them at region
+/// boundaries.
+class OperatorState {
+ public:
+  virtual ~OperatorState() = default;
+
+  /// Deep copy.
+  virtual std::unique_ptr<OperatorState> Clone() const = 0;
+};
+
+/// Convenience CRTP base: implements Clone via the copy constructor.
+template <typename Derived>
+class StateBase : public OperatorState {
+ public:
+  std::unique_ptr<OperatorState> Clone() const override {
+    return std::make_unique<Derived>(static_cast<const Derived&>(*this));
+  }
+};
+
+/// A pipeline operator over one or more base streams.
+///
+/// Implementations may assume `state` in Process/Adjust is of the type
+/// returned by InitialState (the wrapper guarantees it) and downcast with
+/// static_cast.
+class StateTransformer {
+ public:
+  virtual ~StateTransformer() = default;
+
+  /// Operator name for diagnostics and metrics.
+  virtual std::string Name() const = 0;
+
+  /// True if the operator consumes events whose lineage roots at `base_id`.
+  /// Events of other streams pass through the stage untouched.
+  virtual bool Consumes(StreamId base_id) const = 0;
+
+  /// The initial state z.
+  virtual std::unique_ptr<OperatorState> InitialState() const = 0;
+
+  /// The state modifier F(e): destructively updates `state` and appends
+  /// output events to `out`.  Only simple events are passed in; the wrapper
+  /// handles all update events.  `root` is the base stream the event's
+  /// lineage roots at — binary operators dispatch on it (the paper's
+  /// per-stream transformers f_1 ... f_n).
+  virtual void Process(const Event& e, StreamId root, OperatorState* state,
+                       EventVec* out) = 0;
+
+  /// Which state copy an Adjust call is fixing up.  Operators use this to
+  /// decide whether to embed events: e.g. the counting operator re-emits
+  /// its replace update only from the live tail, while the predicate emits
+  /// show/hide only from element-end snapshots.
+  enum class AdjustTarget {
+    kStartSnapshot,  // a region's start (or shadow) state
+    kEndSnapshot,    // a closed region's end state
+    kLiveTail,       // the state at the current head of the stream
+  };
+
+  /// The paper's Adjust(s1, s2): given that an earlier update changed state
+  /// s1 into s2, destructively adjusts `state` accordingly and may append
+  /// events to `out` (never null).  `region` is the id of the update region
+  /// the snapshot belongs to (0 for the live tail) — operators that emit
+  /// corrective updates key the emission to the one snapshot that owns the
+  /// corresponding output region, avoiding duplicates.
+  ///
+  /// The default is the inert adjustment: state is unchanged.
+  virtual void Adjust(OperatorState* state, const OperatorState& s1,
+                      const OperatorState& s2, AdjustTarget target,
+                      StreamId region, EventVec* out) {
+    (void)state;
+    (void)s1;
+    (void)s2;
+    (void)target;
+    (void)region;
+    (void)out;
+  }
+
+  /// True if Adjust is the identity (most XPath steps).  Inert operators
+  /// skip the adjustment loop entirely.
+  virtual bool IsInert() const { return true; }
+};
+
+}  // namespace xflux
+
+#endif  // XFLUX_CORE_STATE_TRANSFORMER_H_

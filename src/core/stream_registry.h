@@ -1,0 +1,71 @@
+// Region lineage tracking.
+//
+// The paper works with one global event stream composed of virtual
+// substreams.  An operator is declared over base stream numbers, but the
+// *content of an update addressed to that stream* arrives under a fresh
+// region id — it still semantically belongs to the operator's input.  The
+// registry records, for every region id, the base stream at the root of its
+// update chain, so a stage can decide applicability with one lookup.
+
+#ifndef XFLUX_CORE_STREAM_REGISTRY_H_
+#define XFLUX_CORE_STREAM_REGISTRY_H_
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/event.h"
+
+namespace xflux {
+
+/// Maps region ids to the base stream their update chain roots at.
+class StreamRegistry {
+ public:
+  /// Returns the base stream `id` descends from; an id never seen in a
+  /// bracket is its own root (it *is* a base stream).
+  StreamId RootOf(StreamId id) const {
+    auto it = root_.find(id);
+    return it == root_.end() ? id : it->second;
+  }
+
+  /// Declares `id` a base stream: update brackets that reuse it as a region
+  /// id (the paper's concatenation does this deliberately) never re-root
+  /// it.
+  void RegisterBase(StreamId id) { bases_.insert(id); }
+
+  /// Declares that stream `id` carries data belonging to base stream
+  /// `root` — used by operators whose output merges streams (e.g.
+  /// concatenation's per-tuple ids belong to its output).
+  void AddAlias(StreamId id, StreamId root) { root_[id] = RootOf(root); }
+
+  /// Bookkeeping hook (idempotent): sU(i,j) roots region j at i's root,
+  /// unless j is a registered base stream.
+  void OnEvent(const Event& e) {
+    if (e.IsUpdateStart() && bases_.count(e.uid) == 0) {
+      root_.try_emplace(e.uid, RootOf(e.id));
+    }
+  }
+
+  /// Declares `clone_id` the clone-parallel of `original_id` (CloneFilter
+  /// registers every duplicated update region).  A binary operator's
+  /// wrapper uses this to process both parallels against one state copy —
+  /// the two regions carry the data and condition views of the same
+  /// content.
+  void AddPartner(StreamId clone_id, StreamId original_id) {
+    partner_[clone_id] = original_id;
+  }
+
+  /// The original region `id` is a clone-parallel of, or 0.
+  StreamId PartnerOf(StreamId id) const {
+    auto it = partner_.find(id);
+    return it == partner_.end() ? 0 : it->second;
+  }
+
+ private:
+  std::unordered_map<StreamId, StreamId> root_;
+  std::unordered_map<StreamId, StreamId> partner_;
+  std::unordered_set<StreamId> bases_;
+};
+
+}  // namespace xflux
+
+#endif  // XFLUX_CORE_STREAM_REGISTRY_H_

@@ -1,0 +1,472 @@
+#include "core/transform_stage.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace xflux {
+
+namespace {
+
+void RemoveFrom(std::map<OrderKey, std::vector<StreamId>>* index,
+                const OrderKey& key, StreamId id) {
+  auto it = index->find(key);
+  if (it == index->end()) return;
+  auto& ids = it->second;
+  ids.erase(std::remove(ids.begin(), ids.end(), id), ids.end());
+  if (ids.empty()) index->erase(it);
+}
+
+}  // namespace
+
+TransformStage::TransformStage(PipelineContext* context,
+                               std::unique_ptr<StateTransformer> transformer)
+    : Filter(context), transformer_(std::move(transformer)) {
+  main_end_ = transformer_->InitialState();
+}
+
+bool TransformStage::Relevant(StreamId id) {
+  return transformer_->Consumes(context()->streams()->RootOf(id));
+}
+
+OperatorState* TransformStage::CurState(StreamId id) {
+  auto ait = region_alias_.find(id);
+  if (ait != region_alias_.end()) id = ait->second;
+  // Region content only arrives while its bracket is open; the same id
+  // outside any bracket is base-stream data (stream ids double as region
+  // ids in the concatenation protocol).
+  auto it = states_.find(id);
+  if (it != states_.end() && !it->second.closed) return it->second.end.get();
+  return main_end_.get();
+}
+
+void TransformStage::SetCurState(StreamId id,
+                                 std::unique_ptr<OperatorState> state) {
+  auto ait = region_alias_.find(id);
+  if (ait != region_alias_.end()) id = ait->second;
+  auto it = states_.find(id);
+  if (it != states_.end() && !it->second.closed) {
+    it->second.end = std::move(state);
+  } else {
+    main_end_ = std::move(state);
+  }
+}
+
+OrderKey TransformStage::NextGlobalKey() {
+  OrderKey key = OrderKey::Between(global_cursor_, NextKeyAfter(global_cursor_));
+  global_cursor_ = key;
+  return key;
+}
+
+OrderKey TransformStage::OrderForMutable(StreamId target, bool* positional,
+                                         OrderKey* span_end) {
+  auto it = states_.find(target);
+  if (it != states_.end() && !it->second.closed) {
+    RegionState& parent = it->second;
+    OrderKey key =
+        OrderKey::Between(parent.content_cursor,
+                          NextKeyAfter(parent.content_cursor));
+    parent.content_cursor = key;
+    *positional = true;
+    *span_end = parent.span_end;
+    return key;
+  }
+  *positional = false;
+  *span_end = OrderKey::Max();
+  return NextGlobalKey();
+}
+
+OrderKey TransformStage::NextKeyAfter(const OrderKey& key) const {
+  auto it = all_keys_.upper_bound(key);
+  return it == all_keys_.end() ? OrderKey::Max() : *it;
+}
+
+OrderKey TransformStage::PrevKeyBefore(const OrderKey& key) const {
+  auto it = all_keys_.lower_bound(key);
+  if (it == all_keys_.begin()) return OrderKey::Min();
+  return *std::prev(it);
+}
+
+TransformStage::RegionState* TransformStage::CreateRegion(
+    StreamId uid, std::unique_ptr<OperatorState> start,
+    std::unique_ptr<OperatorState> end, OrderKey order, bool output) {
+  Evict(uid);  // id reuse rebinds to the newest instance
+  RegionState rs;
+  rs.start = std::move(start);
+  rs.end = std::move(end);
+  rs.order = order;
+  rs.content_cursor = order;
+  rs.output = output;
+  auto [it, inserted] = states_.emplace(uid, std::move(rs));
+  assert(inserted);
+  (void)inserted;
+  starts_by_key_[order].push_back(uid);
+  all_keys_.insert(order);
+  open_regions_.insert(uid);
+  context()->metrics()->OnStateCreated();
+  return &it->second;
+}
+
+void TransformStage::CloseRegion(StreamId uid, RegionState* rs) {
+  rs->closed = true;
+  // A retro-located region closes within its span (just after its last
+  // content position); a live one closes at the stream head.
+  rs->end_order =
+      rs->positional
+          ? OrderKey::Between(rs->content_cursor,
+                              NextKeyAfter(rs->content_cursor))
+          : NextGlobalKey();
+  ends_by_key_[rs->end_order].push_back(uid);
+  all_keys_.insert(rs->end_order);
+  open_regions_.erase(uid);
+}
+
+void TransformStage::Evict(StreamId id) {
+  auto it = states_.find(id);
+  if (it == states_.end()) return;
+  RegionState& rs = it->second;
+  RemoveFrom(&starts_by_key_, rs.order, id);
+  if (rs.closed) RemoveFrom(&ends_by_key_, rs.end_order, id);
+  open_regions_.erase(id);
+  // all_keys_ entries may be shared between regions; stale keys only make
+  // Between intervals tighter, so they are left in place.
+  states_.erase(it);
+  context()->metrics()->OnStateDropped();
+}
+
+void TransformStage::Adj(const OrderKey& pivot, StreamId uid,
+                         const OperatorState& s1, const OperatorState& s2) {
+  context()->metrics()->CountAdjustCall();
+  if (transformer_->IsInert()) return;
+  using Target = StateTransformer::AdjustTarget;
+  EventVec emitted;
+
+  // If the update sits inside an open insert/replace span, its effect is
+  // confined to that span: the region's pending delta fold carries it to
+  // everything outside (including the live tail) once the span closes.
+  OrderKey bound = OrderKey::Max();
+  bool inside_pending_fold = false;
+  for (StreamId r : open_regions_) {
+    if (r == uid) continue;
+    RegionState& rs = states_.at(r);
+    if (rs.delta_fold && rs.order <= pivot && pivot < rs.span_end &&
+        (!inside_pending_fold || rs.span_end < bound)) {
+      inside_pending_fold = true;
+      bound = rs.span_end;  // innermost containing span wins
+    }
+  }
+
+  // Start snapshots positioned after the update (within the bound).
+  for (auto it = starts_by_key_.upper_bound(pivot);
+       it != starts_by_key_.end() && it->first < bound; ++it) {
+    for (StreamId r : it->second) {
+      if (r == uid) continue;
+      RegionState& rs = states_.at(r);
+      transformer_->Adjust(rs.start.get(), s1, s2,
+                           Target::kStartSnapshot, r, &emitted);
+    }
+  }
+  // End snapshots of closed regions positioned after the update.
+  for (auto it = ends_by_key_.upper_bound(pivot);
+       it != ends_by_key_.end() && it->first < bound; ++it) {
+    for (StreamId r : it->second) {
+      if (r == uid) continue;
+      RegionState& rs = states_.at(r);
+      transformer_->Adjust(rs.end.get(), s1, s2, Target::kEndSnapshot, r,
+                           &emitted);
+      if (rs.shadow != nullptr) {
+        transformer_->Adjust(rs.shadow.get(), s1, s2,
+                             Target::kStartSnapshot, r, &emitted);
+      }
+    }
+  }
+  // Open regions' end states sit at the head of their content span; they
+  // are affected by anything positioned before that span ends (and inside
+  // the bound).
+  for (StreamId r : open_regions_) {
+    if (r == uid) continue;
+    RegionState& rs = states_.at(r);
+    if (pivot < rs.span_end && rs.span_end <= bound) {
+      transformer_->Adjust(rs.end.get(), s1, s2, Target::kEndSnapshot, r,
+                           &emitted);
+    }
+  }
+  if (!inside_pending_fold) {
+    transformer_->Adjust(main_end_.get(), s1, s2, Target::kLiveTail, 0,
+                         &emitted);
+  }
+  for (Event& e : emitted) EmitFromOperator(std::move(e));
+}
+
+void TransformStage::OnUpdateStart(const Event& e) {
+  if (dropping_.count(e.id) > 0) {
+    dropping_.insert(e.uid);
+    return;
+  }
+  if (!Relevant(e.uid)) {
+    Emit(e);
+    return;
+  }
+  // A clone-parallel of a region this stage already tracks shares its
+  // state: both views of the same content feed one copy.
+  StreamId partner = context()->streams()->PartnerOf(e.uid);
+  if (partner != 0 && Relevant(partner) && states_.count(partner) > 0) {
+    region_alias_[e.uid] = partner;
+    Emit(e);
+    return;
+  }
+  if (e.kind == EventKind::kStartMutable) {
+    // sM: start[uid] <- end[id], end[uid] <- end[id], positioned at the
+    // target stream's current position.
+    OperatorState* cur = CurState(e.id);
+    bool positional = false;
+    OrderKey span_end = OrderKey::Max();
+    OrderKey order = OrderForMutable(e.id, &positional, &span_end);
+    RegionState* created =
+        CreateRegion(e.uid, cur->Clone(), cur->Clone(), order,
+                     /*output=*/false);
+    created->positional = positional;
+    created->span_end = span_end;
+    Emit(e);
+    return;
+  }
+  // sR / sB / sA: an update addressed to region e.id.
+  auto it = states_.find(e.id);
+  if (it == states_.end() || context()->fix()->IsFixed(e.id)) {
+    // The target is closed to updates (or ignored): drop the whole update.
+    dropping_.insert(e.uid);
+    return;
+  }
+  RegionState& target = it->second;
+  RegionState* created = nullptr;
+  switch (e.kind) {
+    case EventKind::kStartReplace: {
+      // start[uid] <- start[id]; same position as the replaced content.
+      created = CreateRegion(e.uid, target.start->Clone(),
+                             target.start->Clone(), target.order,
+                             /*output=*/false);
+      created->span_end = NextKeyAfter(created->order);
+      break;
+    }
+    case EventKind::kStartInsertBefore: {
+      created = CreateRegion(
+          e.uid, target.start->Clone(), target.start->Clone(),
+          OrderKey::Between(PrevKeyBefore(target.order), target.order),
+          /*output=*/false);
+      created->span_end = target.order;
+      break;
+    }
+    case EventKind::kStartInsertAfter: {
+      // start[uid] <- end[id]; positioned just after the target.
+      OrderKey hi = NextKeyAfter(target.order);
+      created = CreateRegion(e.uid, target.end->Clone(), target.end->Clone(),
+                             OrderKey::Between(target.order, hi),
+                             /*output=*/false);
+      created->span_end = hi;
+      break;
+    }
+    default:
+      assert(false);
+  }
+  created->delta_fold = true;
+  created->positional = true;
+  Emit(e);
+}
+
+void TransformStage::OnUpdateEnd(const Event& e) {
+  if (dropping_.erase(e.uid) > 0) return;
+  if (!Relevant(e.uid)) {
+    Emit(e);
+    return;
+  }
+  if (region_alias_.count(e.uid) > 0) {
+    // The original's bracket does the folding; the parallel just closes.
+    Emit(e);
+    return;
+  }
+  auto it = states_.find(e.uid);
+  if (it == states_.end()) {
+    Emit(e);  // bracket for a region we never tracked (defensive)
+    return;
+  }
+  RegionState& rs = it->second;
+  switch (e.kind) {
+    case EventKind::kEndMutable:
+      // Inline data: the enclosing stream's state advances through it.
+      CloseRegion(e.uid, &rs);
+      if (rs.saw_uid_content) {
+        // Content arrived under the region's own id and advanced end[uid];
+        // fold it back into the enclosing stream.
+        SetCurState(e.id, rs.end->Clone());
+      } else {
+        // Pass-through style: the content carried the *target* id and
+        // advanced the enclosing state directly; snapshot it as this
+        // region's end so later hide/replace adjustments see the content's
+        // effect.
+        rs.end = CurState(e.id)->Clone();
+      }
+      break;
+    case EventKind::kEndReplace: {
+      // Old content's effect (end[id]) is retracted, new content's
+      // (end[uid]) applied, for everything positioned later.
+      CloseRegion(e.uid, &rs);
+      auto tit = states_.find(e.id);
+      assert(tit != states_.end());
+      std::unique_ptr<OperatorState> old_end = tit->second.end->Clone();
+      Adj(rs.order, e.uid, *old_end, *states_.at(e.uid).end);
+      states_.at(e.id).end = states_.at(e.uid).end->Clone();
+      break;
+    }
+    case EventKind::kEndInsertBefore:
+    case EventKind::kEndInsertAfter:
+      // Inserted content adds its whole effect to everything later.
+      CloseRegion(e.uid, &rs);
+      Adj(rs.order, e.uid, *states_.at(e.uid).start, *states_.at(e.uid).end);
+      break;
+    default:
+      assert(false);
+  }
+  Emit(e);
+  if (context()->fix()->IsFixed(e.uid)) {
+    // No retroactive change can ever arrive (refused updates or immutable
+    // operator structure): the states are dead weight (Section V).
+    Evict(e.uid);
+    Emit(Event::Freeze(e.uid));
+  }
+}
+
+void TransformStage::OnHide(const Event& e) {
+  if (dropping_.count(e.id) > 0) return;
+  if (!Relevant(e.id)) {
+    Emit(e);
+    return;
+  }
+  if (region_alias_.count(e.id) > 0) {
+    Emit(e);  // the original's hide carries the adjustment
+    return;
+  }
+  auto it = states_.find(e.id);
+  if (it == states_.end()) {
+    if (!context()->fix()->IsFixed(e.id)) Emit(e);
+    return;
+  }
+  RegionState& rs = it->second;
+  Adj(rs.order, e.id, *rs.end, *rs.start);
+  rs.shadow = std::move(rs.end);
+  rs.end = rs.start->Clone();
+  Emit(e);
+}
+
+void TransformStage::OnShow(const Event& e) {
+  if (dropping_.count(e.id) > 0) return;
+  if (!Relevant(e.id)) {
+    Emit(e);
+    return;
+  }
+  if (region_alias_.count(e.id) > 0) {
+    Emit(e);
+    return;
+  }
+  auto it = states_.find(e.id);
+  if (it == states_.end()) {
+    if (!context()->fix()->IsFixed(e.id)) Emit(e);
+    return;
+  }
+  RegionState& rs = it->second;
+  if (rs.shadow == nullptr) {
+    Emit(e);  // show without a preceding hide: nothing to restore
+    return;
+  }
+  Adj(rs.order, e.id, *rs.end, *rs.shadow);
+  rs.end = std::move(rs.shadow);
+  rs.shadow = rs.end->Clone();
+  Emit(e);
+}
+
+void TransformStage::OnFreeze(const Event& e) {
+  if (dropping_.count(e.id) > 0) return;
+  if (region_alias_.erase(e.id) > 0) {
+    Emit(e);
+    return;
+  }
+  if (Relevant(e.id)) Evict(e.id);
+  Emit(e);
+}
+
+void TransformStage::EmitFromOperator(Event e) {
+  if (!transformer_->IsInert()) {
+    // Snapshot the regions the operator creates on its output, so that
+    // retroactive updates can be delivered to decisions made inside them
+    // (e.g. a predicate's per-element show/hide).
+    switch (e.kind) {
+      case EventKind::kStartMutable:
+        if (states_.count(e.uid) == 0) {
+          OperatorState* cur = CurState(e.id);
+          bool positional = false;
+          OrderKey span_end = OrderKey::Max();
+          OrderKey order = OrderForMutable(e.id, &positional, &span_end);
+          RegionState* created = CreateRegion(e.uid, cur->Clone(),
+                                              cur->Clone(), order,
+                                              /*output=*/true);
+          created->positional = positional;
+          created->span_end = span_end;
+        }
+        break;
+      case EventKind::kEndMutable: {
+        auto it = states_.find(e.uid);
+        if (it != states_.end() && it->second.output && !it->second.closed) {
+          it->second.end = CurState(e.id)->Clone();
+          CloseRegion(e.uid, &it->second);
+        }
+        break;
+      }
+      case EventKind::kFreeze:
+        Evict(e.id);
+        break;
+      default:
+        break;
+    }
+  }
+  Emit(std::move(e));
+}
+
+void TransformStage::Dispatch(Event e) {
+  switch (e.kind) {
+    case EventKind::kStartMutable:
+    case EventKind::kStartReplace:
+    case EventKind::kStartInsertBefore:
+    case EventKind::kStartInsertAfter:
+      OnUpdateStart(e);
+      return;
+    case EventKind::kEndMutable:
+    case EventKind::kEndReplace:
+    case EventKind::kEndInsertBefore:
+    case EventKind::kEndInsertAfter:
+      OnUpdateEnd(e);
+      return;
+    case EventKind::kHide:
+      OnHide(e);
+      return;
+    case EventKind::kShow:
+      OnShow(e);
+      return;
+    case EventKind::kFreeze:
+      OnFreeze(e);
+      return;
+    default:
+      break;
+  }
+  // Simple event.
+  if (dropping_.count(e.id) > 0) return;
+  StreamId root = context()->streams()->RootOf(e.id);
+  if (!transformer_->Consumes(root)) {
+    Emit(std::move(e));
+    return;
+  }
+  auto rit = states_.find(e.id);
+  if (rit != states_.end()) rit->second.saw_uid_content = true;
+  EventVec out;
+  transformer_->Process(e, root, CurState(e.id), &out);
+  for (Event& produced : out) EmitFromOperator(std::move(produced));
+}
+
+}  // namespace xflux

@@ -1,0 +1,153 @@
+// The state-adjustment wrapper W of paper Section IV.
+//
+// Wraps a StateTransformer written for plain streams into a pipeline stage
+// that handles arbitrary incoming updates:
+//
+//  - one set of state copies is kept per mutable region (the paper's
+//    start / end / shadow maps),
+//  - each region carries order timestamps reflecting its position in the
+//    stream had updates been applied eagerly.  We refine the paper's single
+//    order[id] into a start key (assigned at bracket open) and an end key
+//    (assigned at close): an update adjusts a start snapshot only if it is
+//    positioned before the region opened, and an end snapshot only if it is
+//    positioned before the region's content finished,
+//  - when an update completes, the affected snapshots — and the live tail
+//    state — are fixed up through the operator's Adjust function (the
+//    paper's adj(uid, s1, s2)); events produced while adjusting are emitted
+//    downstream,
+//  - hide/show swap the end state against the start/shadow copies,
+//  - for non-inert operators the wrapper also snapshots the regions the
+//    operator itself emits (the predicate wraps every top-level element in a
+//    mutable region: "every top-level element from e1 has its own substream
+//    id, and thus its own copy of the state"), so retroactive updates can
+//    flip decisions made long ago,
+//  - fixed regions (Section V mutability analysis) have their states
+//    evicted, and updates addressed to fixed regions are dropped wholesale.
+//
+// Operators therefore never see update events at all: they process simple
+// events against whichever state copy the wrapper hands them.
+
+#ifndef XFLUX_CORE_TRANSFORM_STAGE_H_
+#define XFLUX_CORE_TRANSFORM_STAGE_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "core/state_transformer.h"
+#include "util/order_key.h"
+
+namespace xflux {
+
+/// See file comment.
+class TransformStage : public Filter {
+ public:
+  TransformStage(PipelineContext* context,
+                 std::unique_ptr<StateTransformer> transformer);
+
+  StateTransformer* transformer() { return transformer_.get(); }
+
+  /// Number of regions this stage currently keeps state copies for.
+  size_t tracked_region_count() const { return states_.size(); }
+
+  /// Number of those regions whose brackets are still open.
+  size_t open_region_count() const { return open_regions_.size(); }
+
+  /// Ids of all tracked regions (diagnostics).
+  std::vector<StreamId> TrackedRegionIds() const {
+    std::vector<StreamId> ids;
+    ids.reserve(states_.size());
+    for (const auto& [id, rs] : states_) ids.push_back(id);
+    return ids;
+  }
+
+ protected:
+  void Dispatch(Event event) override;
+
+ private:
+  struct RegionState {
+    std::unique_ptr<OperatorState> start;   // state at the region's start
+    std::unique_ptr<OperatorState> end;     // state after its current content
+    std::unique_ptr<OperatorState> shadow;  // saved end while hidden
+    OrderKey order;      // position of the region's start
+    OrderKey end_order;  // position of the region's close (once closed)
+    // Last position key handed out inside this region; nested regions are
+    // ordered after it, within the span.
+    OrderKey content_cursor;
+    // Upper bound of the region's positional span (exclusive).  Max for
+    // regions whose content sits at the live head of the stream.
+    OrderKey span_end = OrderKey::Max();
+    // True when the region's position is retro-located (insert/replace
+    // content, or a region nested inside one): its close key stays within
+    // the span instead of at the live head.
+    bool positional = false;
+    bool closed = false;
+    bool output = false;  // region emitted by this stage's own operator
+    // True for sR/sB/sA regions: their effect reaches the live tail through
+    // a delta fold at their close, not through direct processing.
+    bool delta_fold = false;
+    // True when simple events carrying the region's own id were processed
+    // against its state (as opposed to pass-through content carrying the
+    // target id); decides the eM fold direction.
+    bool saw_uid_content = false;
+  };
+
+  bool Relevant(StreamId id);
+  // The state at the current position of stream `id`: a tracked region's
+  // end state, or the live tail state for base streams.
+  OperatorState* CurState(StreamId id);
+  void SetCurState(StreamId id, std::unique_ptr<OperatorState> state);
+  // Next fresh key after the last position handed out (stream order).
+  OrderKey NextGlobalKey();
+  // Position key for a new mutable region targeting `target`: inside the
+  // target region's span when it is tracked and open, at the live head
+  // otherwise.  Returns whether the key is retro-located via `positional`
+  // and the containing span bound via `span_end`.
+  OrderKey OrderForMutable(StreamId target, bool* positional,
+                           OrderKey* span_end);
+  // Smallest existing key strictly greater / largest strictly smaller.
+  OrderKey NextKeyAfter(const OrderKey& key) const;
+  OrderKey PrevKeyBefore(const OrderKey& key) const;
+  RegionState* CreateRegion(StreamId uid, std::unique_ptr<OperatorState> start,
+                            std::unique_ptr<OperatorState> end, OrderKey order,
+                            bool output);
+  void CloseRegion(StreamId uid, RegionState* rs);
+  void Evict(StreamId id);
+  // The paper's adj(uid, s1, s2): adjusts every snapshot positioned after
+  // `pivot` plus the live tail state.
+  void Adj(const OrderKey& pivot, StreamId uid, const OperatorState& s1,
+           const OperatorState& s2);
+
+  void OnUpdateStart(const Event& e);
+  void OnUpdateEnd(const Event& e);
+  void OnHide(const Event& e);
+  void OnShow(const Event& e);
+  void OnFreeze(const Event& e);
+  // Registers snapshots for regions the operator itself emits, then
+  // forwards the event downstream.
+  void EmitFromOperator(Event e);
+
+  std::unique_ptr<StateTransformer> transformer_;
+  std::unique_ptr<OperatorState> main_end_;  // live tail state
+  OrderKey global_cursor_;  // last position key handed out in stream order
+  std::unordered_map<StreamId, RegionState> states_;
+  std::map<OrderKey, std::vector<StreamId>> starts_by_key_;
+  std::map<OrderKey, std::vector<StreamId>> ends_by_key_;  // closed regions
+  std::unordered_set<StreamId> open_regions_;
+  std::set<OrderKey> all_keys_;  // for Between queries
+  // Regions whose updates the consumer refuses (fixed targets): their
+  // content is swallowed until the bracket closes.
+  std::unordered_set<StreamId> dropping_;
+  // Clone-parallel regions sharing the original's state copy: a binary
+  // operator sees the data view and the condition view of the same content
+  // through one state, just as it does for the base streams.
+  std::unordered_map<StreamId, StreamId> region_alias_;
+};
+
+}  // namespace xflux
+
+#endif  // XFLUX_CORE_TRANSFORM_STAGE_H_

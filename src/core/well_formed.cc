@@ -1,0 +1,95 @@
+#include "core/well_formed.h"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace xflux {
+
+Status CheckWellFormed(const EventVec& events, StreamId i) {
+  std::vector<const std::string*> stack;
+  for (const Event& e : events) {
+    if (e.id != i) continue;
+    switch (e.kind) {
+      case EventKind::kStartElement:
+        stack.push_back(&e.text);
+        break;
+      case EventKind::kEndElement:
+        if (stack.empty()) {
+          return Status::InvalidArgument("unmatched end element </" + e.text +
+                                         "> in stream " + std::to_string(i));
+        }
+        if (*stack.back() != e.text) {
+          return Status::InvalidArgument("mismatched tags <" + *stack.back() +
+                                         "> vs </" + e.text + "> in stream " +
+                                         std::to_string(i));
+        }
+        stack.pop_back();
+        break;
+      default:
+        break;
+    }
+  }
+  if (!stack.empty()) {
+    return Status::InvalidArgument("unclosed element <" + *stack.back() +
+                                   "> in stream " + std::to_string(i));
+  }
+  return Status::OK();
+}
+
+Status ValidateUpdateStream(const EventVec& events) {
+  struct OpenBracket {
+    EventKind kind;
+    StreamId target;
+  };
+  // Region ids currently open (content may arrive for them).
+  std::unordered_map<StreamId, OpenBracket> open;
+  // Region ids whose bracket has closed (content may no longer arrive),
+  // unless the id is re-opened by a later bracket (id reuse is legal).
+  std::unordered_set<StreamId> closed;
+  // Ids that have ever appeared as a region, to validate WF per region.
+  std::unordered_set<StreamId> seen_regions;
+
+  for (const Event& e : events) {
+    if (e.IsUpdateStart()) {
+      if (open.count(e.uid)) {
+        return Status::InvalidArgument("region " + std::to_string(e.uid) +
+                                       " opened twice concurrently");
+      }
+      closed.erase(e.uid);  // id reuse: the latest bracket becomes active
+      open[e.uid] = {e.kind, e.id};
+      seen_regions.insert(e.uid);
+    } else if (e.IsUpdateEnd()) {
+      auto it = open.find(e.uid);
+      if (it == open.end()) {
+        return Status::InvalidArgument("end bracket for region " +
+                                       std::to_string(e.uid) +
+                                       " without matching start");
+      }
+      if (MatchingUpdateEnd(it->second.kind) != e.kind ||
+          it->second.target != e.id) {
+        return Status::InvalidArgument("mismatched update brackets for region " +
+                                       std::to_string(e.uid));
+      }
+      open.erase(it);
+      closed.insert(e.uid);
+    } else if (e.IsSimple() && e.kind != EventKind::kStartStream &&
+               e.kind != EventKind::kEndStream) {
+      // Content for a closed region is a protocol violation.
+      if (closed.count(e.id) && !open.count(e.id)) {
+        return Status::InvalidArgument("content for closed region " +
+                                       std::to_string(e.id));
+      }
+    }
+  }
+  if (!open.empty()) {
+    return Status::InvalidArgument("unclosed update bracket for region " +
+                                   std::to_string(open.begin()->first));
+  }
+  for (StreamId r : seen_regions) {
+    XFLUX_RETURN_IF_ERROR(CheckWellFormed(events, r));
+  }
+  return Status::OK();
+}
+
+}  // namespace xflux

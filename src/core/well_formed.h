@@ -1,0 +1,30 @@
+// Well-formedness judgments over event sequences (paper Section II).
+//
+// `CheckWellFormed(v, i)` asserts the paper's v ∈ WF_i: the kStartElement /
+// kEndElement events with id == i in v are properly nested with matching
+// tags (events of other streams are irrelevant).  `ValidateUpdateStream`
+// additionally checks the bracket discipline of update events across the
+// whole global stream.  Both are used heavily by the test suite as
+// invariants that every operator must preserve.
+
+#ifndef XFLUX_CORE_WELL_FORMED_H_
+#define XFLUX_CORE_WELL_FORMED_H_
+
+#include "core/event.h"
+#include "util/status.h"
+
+namespace xflux {
+
+/// Checks the paper's WF_i judgment for stream `i` over `events`.
+Status CheckWellFormed(const EventVec& events, StreamId i);
+
+/// Checks global update-bracket discipline:
+///  - every sU(i,j) is closed by a matching eU(i,j) of the same kind,
+///  - the events with id == j appear only between those brackets,
+///  - within each bracket, the content of stream j satisfies WF_j.
+/// Regions may interleave (brackets of different uids need not nest).
+Status ValidateUpdateStream(const EventVec& events);
+
+}  // namespace xflux
+
+#endif  // XFLUX_CORE_WELL_FORMED_H_

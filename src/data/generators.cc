@@ -1,0 +1,270 @@
+#include "data/generators.h"
+
+#include <cstdio>
+
+#include "util/prng.h"
+
+namespace xflux {
+
+namespace {
+
+const std::vector<std::string> kLocations = {
+    "United States", "Germany", "France",  "Japan",   "Brazil",
+    "Kenya",         "India",   "Albania", "Iceland", "Peru"};
+
+const std::vector<std::string> kWords = {
+    "antique", "rare",   "vintage", "classic", "modern",  "ornate",
+    "carved",  "gilded", "signed",  "limited", "original", "restored",
+    "pristine", "unique", "exotic",  "handmade"};
+
+const std::vector<std::string> kNouns = {
+    "clock", "vase",   "painting", "sculpture", "coin",  "stamp",
+    "book",  "camera", "watch",    "lamp",      "chair", "mirror"};
+
+const std::vector<std::string> kFirstNames = {
+    "John", "Jane", "Ann",  "Bob",   "Carol", "David",
+    "Eve",  "Fred", "Gina", "Henry", "Irene", "Jack"};
+
+const std::vector<std::string> kLastNames = {
+    "Jones", "Brown", "Davis",  "Miller", "Wilson",   "Moore",
+    "Clark", "Lewis", "Walker", "Young",  "Anderson", "Harris"};
+
+const std::vector<std::string> kRegions = {"africa",   "asia",     "australia",
+                                           "europe",   "namerica", "samerica"};
+
+std::string Sentence(Prng* prng, int words) {
+  std::string out;
+  for (int i = 0; i < words; ++i) {
+    if (i > 0) out += ' ';
+    out += prng->Pick(kWords);
+  }
+  return out;
+}
+
+// The recursive parlist/listitem description: XMark's //*-heavy part.
+void AppendParlist(Prng* prng, int depth, std::string* out) {
+  *out += "<parlist>";
+  int items = static_cast<int>(prng->Uniform(3)) + 1;
+  for (int i = 0; i < items; ++i) {
+    *out += "<listitem>";
+    if (depth > 0 && prng->Chance(0.4)) {
+      AppendParlist(prng, depth - 1, out);
+    } else {
+      *out += "<text>" + Sentence(prng, 4) + "</text>";
+    }
+    *out += "</listitem>";
+  }
+  *out += "</parlist>";
+}
+
+void AppendItem(Prng* prng, const XmarkOptions& options, int id,
+                std::string* out) {
+  *out += "<item id=\"item" + std::to_string(id) + "\">";
+  const std::string& location = prng->Chance(options.albania_fraction)
+                                    ? kLocations[7]  // Albania
+                                    : prng->Pick(kLocations);
+  *out += "<location>" + location + "</location>";
+  *out += "<quantity>" + std::to_string(prng->Uniform(5) + 1) + "</quantity>";
+  *out += "<name>" + prng->Pick(kWords) + " " + prng->Pick(kNouns) + "</name>";
+  *out += "<payment>" +
+          std::string(prng->Chance(0.4) ? "Cash" : "Creditcard") +
+          "</payment>";
+  *out += "<description>";
+  AppendParlist(prng, options.max_description_depth, out);
+  *out += "</description>";
+  *out += "<shipping>" + Sentence(prng, 3) + "</shipping>";
+  *out += "</item>";
+}
+
+}  // namespace
+
+std::string GenerateXmark(const XmarkOptions& options) {
+  Prng prng(options.seed);
+  std::string out = "<site>";
+
+  out += "<regions>";
+  int item_id = 0;
+  for (const std::string& region : kRegions) {
+    out += "<" + region + ">";
+    for (int i = 0; i < options.items_per_region; ++i) {
+      AppendItem(&prng, options, item_id++, &out);
+    }
+    out += "</" + region + ">";
+  }
+  out += "</regions>";
+
+  out += "<categories>";
+  for (int i = 0; i < options.categories; ++i) {
+    out += "<category id=\"cat" + std::to_string(i) + "\"><name>" +
+           prng.Pick(kWords) + "</name><description><text>" +
+           Sentence(&prng, 6) + "</text></description></category>";
+  }
+  out += "</categories>";
+
+  out += "<people>";
+  for (int i = 0; i < options.people; ++i) {
+    out += "<person id=\"person" + std::to_string(i) + "\"><name>" +
+           prng.Pick(kFirstNames) + " " + prng.Pick(kLastNames) +
+           "</name><emailaddress>mailto:p" + std::to_string(i) +
+           "@example.com</emailaddress></person>";
+  }
+  out += "</people>";
+
+  out += "<open_auctions>";
+  for (int i = 0; i < options.open_auctions; ++i) {
+    out += "<open_auction id=\"open" + std::to_string(i) + "\">";
+    int bids = static_cast<int>(prng.Uniform(4)) + 1;
+    for (int b = 0; b < bids; ++b) {
+      out += "<bidder><personref person=\"person" +
+             std::to_string(prng.Uniform(
+                 static_cast<uint64_t>(options.people) + 1)) +
+             "\"/><increase>" + std::to_string(prng.Uniform(50) + 1) +
+             "</increase></bidder>";
+    }
+    out += "<current>" + std::to_string(prng.Uniform(1000) + 10) +
+           "</current></open_auction>";
+  }
+  out += "</open_auctions>";
+
+  out += "<closed_auctions>";
+  for (int i = 0; i < options.closed_auctions; ++i) {
+    out += "<closed_auction><price>" +
+           std::to_string(prng.Uniform(1000) + 10) +
+           "</price><date>2008-01-" +
+           std::to_string(prng.Uniform(28) + 1) + "</date></closed_auction>";
+  }
+  out += "</closed_auctions>";
+
+  out += "</site>";
+  return out;
+}
+
+XmarkOptions XmarkOptionsForBytes(size_t approx_bytes, uint64_t seed) {
+  XmarkOptions options;
+  options.seed = seed;
+  // An item averages ~450 bytes with the default description depth; the
+  // fixed sections are small at scale.
+  int items_total = static_cast<int>(approx_bytes / 450);
+  options.items_per_region =
+      items_total / static_cast<int>(kRegions.size()) + 1;
+  options.people = options.items_per_region / 2 + 5;
+  options.open_auctions = options.items_per_region / 2 + 5;
+  options.closed_auctions = options.items_per_region / 4 + 5;
+  return options;
+}
+
+std::string GenerateDblp(const DblpOptions& options) {
+  Prng prng(options.seed);
+  std::string out = "<dblp>";
+  const std::vector<std::string> venues = {
+      "ICDE", "SIGMOD", "VLDB", "PODS", "EDBT", "CIKM"};
+  for (int i = 0; i < options.entries; ++i) {
+    bool inproc = prng.Chance(0.7);
+    out += inproc ? "<inproceedings>" : "<article>";
+    std::string author;
+    if (prng.Chance(options.john_smith_fraction)) {
+      author = "John Smith";
+    } else if (prng.Chance(options.smith_fraction)) {
+      author = prng.Pick(kFirstNames) + " Smith";
+    } else {
+      author = prng.Pick(kFirstNames) + " " + prng.Pick(kLastNames);
+    }
+    out += "<author>" + author + "</author>";
+    if (prng.Chance(0.5)) {
+      out += "<author>" + prng.Pick(kFirstNames) + " " +
+             prng.Pick(kLastNames) + "</author>";
+    }
+    out += "<title>" + Sentence(&prng, 6) + "</title>";
+    out += "<year>" + std::to_string(1985 + prng.Uniform(23)) + "</year>";
+    if (inproc) {
+      out += "<booktitle>" + prng.Pick(venues) + "</booktitle>";
+      out += "<pages>" + std::to_string(prng.Uniform(400)) + "-" +
+             std::to_string(prng.Uniform(400) + 400) + "</pages>";
+      out += "</inproceedings>";
+    } else {
+      out += "<journal>" + prng.Pick(venues) + " Journal</journal>";
+      out += "<volume>" + std::to_string(prng.Uniform(40) + 1) + "</volume>";
+      out += "</article>";
+    }
+  }
+  out += "</dblp>";
+  return out;
+}
+
+DblpOptions DblpOptionsForBytes(size_t approx_bytes, uint64_t seed) {
+  DblpOptions options;
+  options.seed = seed;
+  options.entries = static_cast<int>(approx_bytes / 180) + 1;  // ~180 B/entry
+  return options;
+}
+
+EventVec GenerateStockTicker(const StockTickerOptions& options) {
+  Prng prng(options.seed);
+  EventVec out;
+  const std::vector<std::string> names = {
+      "IBM",  "AAPL", "MSFT", "GOOG", "AMZN", "ORCL", "HPQ",  "DELL",
+      "TXN",  "AMD",  "NVDA", "CSCO", "EMC",  "SAP",  "SUNW", "YHOO",
+      "EBAY", "ADBE", "INTC", "MOT"};
+  StreamId next_region = options.first_region_id;
+  std::vector<StreamId> active_quote_region(
+      static_cast<size_t>(options.symbols));
+  std::vector<double> price(static_cast<size_t>(options.symbols));
+
+  auto format_price = [](double p) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2f", p);
+    return std::string(buf);
+  };
+
+  out.push_back(Event::StartStream(0));
+  out.push_back(Event::StartElement(0, "ticker", 1));
+  Oid oid = 2;
+  for (int s = 0; s < options.symbols; ++s) {
+    price[static_cast<size_t>(s)] = 20.0 + prng.NextDouble() * 200.0;
+    out.push_back(Event::StartElement(0, "stock", oid));
+    out.push_back(Event::StartElement(0, "name", oid + 1));
+    out.push_back(Event::Characters(
+        0, names[static_cast<size_t>(s) % names.size()] +
+               (s < static_cast<int>(names.size())
+                    ? ""
+                    : std::to_string(s / static_cast<int>(names.size())))));
+    out.push_back(Event::EndElement(0, "name", oid + 1));
+    // The quote is the mutable part (Section V: names immutable, quotes
+    // mutable).
+    StreamId region = next_region++;
+    active_quote_region[static_cast<size_t>(s)] = region;
+    out.push_back(Event::StartMutable(0, region));
+    out.push_back(Event::StartElement(region, "quote", oid + 2));
+    out.push_back(Event::Characters(
+        region, format_price(price[static_cast<size_t>(s)])));
+    out.push_back(Event::EndElement(region, "quote", oid + 2));
+    out.push_back(Event::EndMutable(0, region));
+    out.push_back(Event::EndElement(0, "stock", oid));
+    oid += 3;
+  }
+  out.push_back(Event::EndElement(0, "ticker", 1));
+
+  // The continuous tail: quote replacements.
+  for (int u = 0; u < options.updates; ++u) {
+    auto s = static_cast<size_t>(prng.Uniform(
+        static_cast<uint64_t>(options.symbols)));
+    price[s] *= 1.0 + (prng.NextDouble() - 0.5) * 0.04;
+    StreamId target = active_quote_region[s];
+    StreamId fresh = next_region++;
+    out.push_back(Event::StartReplace(target, fresh));
+    out.push_back(Event::StartElement(fresh, "quote", oid));
+    out.push_back(Event::Characters(fresh, format_price(price[s])));
+    out.push_back(Event::EndElement(fresh, "quote", oid));
+    out.push_back(Event::EndReplace(target, fresh));
+    // The ticker always addresses the newest quote region: the replaced
+    // one is closed so consumers can evict its state (Section V: "we often
+    // know exactly the scope of a generated update").
+    out.push_back(Event::Freeze(target));
+    active_quote_region[s] = fresh;
+    ++oid;
+  }
+  out.push_back(Event::EndStream(0));
+  return out;
+}
+
+}  // namespace xflux

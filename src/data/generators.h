@@ -1,0 +1,78 @@
+// Synthetic dataset generators (substitutes for the paper's evaluation
+// inputs, see DESIGN.md Section 2).
+//
+//  - GenerateXmark: an XMark-like auction document (the paper's X): six
+//    regions with items (location / quantity / payment / name and a
+//    recursive parlist description), categories, people, and auctions.
+//  - GenerateDblp: a DBLP-like bibliography (the paper's D):
+//    inproceedings/article entries with authors, titles and years.
+//  - GenerateStockTicker: a continuous update stream (Section V's stock
+//    example): an initial listing whose quote regions are mutable, followed
+//    by a stream of replacement updates.
+//
+// All generators are fully deterministic in their seed.
+
+#ifndef XFLUX_DATA_GENERATORS_H_
+#define XFLUX_DATA_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/event.h"
+
+namespace xflux {
+
+/// Scale and selectivity knobs for the XMark-like document.
+struct XmarkOptions {
+  uint64_t seed = 42;
+  int items_per_region = 50;
+  int people = 25;
+  int open_auctions = 25;
+  int closed_auctions = 10;
+  int categories = 10;
+  /// Maximum nesting of the recursive parlist/listitem description (drives
+  /// the //* workload; 0 disables recursion).
+  int max_description_depth = 3;
+  /// Fraction of items located in Albania (the benchmark predicate).
+  double albania_fraction = 0.05;
+};
+
+/// Renders an XMark-like document.
+std::string GenerateXmark(const XmarkOptions& options);
+
+/// Scales items_per_region so the document is roughly `approx_bytes` long.
+XmarkOptions XmarkOptionsForBytes(size_t approx_bytes, uint64_t seed = 42);
+
+/// Scale knobs for the DBLP-like bibliography.
+struct DblpOptions {
+  uint64_t seed = 7;
+  int entries = 500;
+  /// Fraction of entries with an author whose name contains "Smith".
+  double smith_fraction = 0.02;
+  /// Fraction of entries whose author is exactly "John Smith".
+  double john_smith_fraction = 0.005;
+};
+
+/// Renders a DBLP-like document.
+std::string GenerateDblp(const DblpOptions& options);
+
+/// Scales entries so the document is roughly `approx_bytes` long.
+DblpOptions DblpOptionsForBytes(size_t approx_bytes, uint64_t seed = 7);
+
+/// Scale knobs for the stock-ticker update stream.
+struct StockTickerOptions {
+  uint64_t seed = 3;
+  int symbols = 20;
+  int updates = 200;
+  /// First region id to allocate for the mutable quote regions (source ids
+  /// must stay below the pipeline's dynamic-id range, which starts at 2^20).
+  StreamId first_region_id = 1000;
+};
+
+/// Builds the ticker as an event stream with embedded updates: the stream
+/// ends after the initial listing plus `updates` quote replacements.
+EventVec GenerateStockTicker(const StockTickerOptions& options);
+
+}  // namespace xflux
+
+#endif  // XFLUX_DATA_GENERATORS_H_

@@ -1,0 +1,288 @@
+#include "naive/naive_ops.h"
+
+#include <map>
+
+#include "ops/sorter.h"
+
+namespace xflux {
+
+namespace {
+
+int64_t PayloadBytes(const EventVec& events) {
+  int64_t bytes = 0;
+  for (const Event& e : events) {
+    bytes += static_cast<int64_t>(sizeof(Event) + e.text.size());
+  }
+  return bytes;
+}
+
+struct NaivePredicateState : StateBase<NaivePredicateState> {
+  int depth = 0;
+  int cdepth = 0;
+  bool outcome = false;
+  EventVec buffer;  // the cached current element
+};
+
+struct NaiveSorterState : StateBase<NaiveSorterState> {
+  bool in_tuple = false;
+  bool found_key = false;
+  std::string key;
+  EventVec current;
+  std::multimap<std::string, EventVec> tuples;
+  int kdepth = 0;
+};
+
+struct NaiveCountState : StateBase<NaiveCountState> {
+  int depth = 0;
+  int64_t count = 0;
+};
+
+struct NaiveDescendantState : StateBase<NaiveDescendantState> {
+  int depth = 0;
+  EventVec buffer;  // the cached current top-level subtree
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// NaivePredicate
+
+std::unique_ptr<OperatorState> NaivePredicate::InitialState() const {
+  return std::make_unique<NaivePredicateState>();
+}
+
+void NaivePredicate::Process(const Event& e, StreamId root,
+                             OperatorState* state, EventVec* out) {
+  auto* s = static_cast<NaivePredicateState*>(state);
+  Metrics* metrics = context_->metrics();
+  if (root == condition_input_) {
+    switch (e.kind) {
+      case EventKind::kStartElement:
+        ++s->cdepth;
+        break;
+      case EventKind::kEndElement:
+        --s->cdepth;
+        break;
+      case EventKind::kCharacters:
+        if (s->cdepth == 0 && !e.text.empty()) s->outcome = true;
+        break;
+      default:
+        break;
+    }
+    return;
+  }
+  switch (e.kind) {
+    case EventKind::kStartStream:
+    case EventKind::kEndStream:
+    case EventKind::kStartTuple:
+    case EventKind::kEndTuple:
+      out->push_back(e);
+      return;
+    case EventKind::kStartElement:
+      if (s->depth == 0) {
+        s->outcome = false;
+        s->buffer.clear();
+      }
+      ++s->depth;
+      metrics->OnBuffered(1, static_cast<int64_t>(sizeof(Event) + e.text.size()));
+      s->buffer.push_back(e);
+      return;
+    case EventKind::kEndElement: {
+      --s->depth;
+      s->buffer.push_back(e);
+      metrics->OnBuffered(1, static_cast<int64_t>(sizeof(Event) + e.text.size()));
+      if (s->depth == 0) {
+        metrics->OnUnbuffered(static_cast<int64_t>(s->buffer.size()),
+                              PayloadBytes(s->buffer));
+        if (s->outcome) {
+          for (Event& b : s->buffer) out->push_back(std::move(b));
+        }
+        s->buffer.clear();
+      }
+      return;
+    }
+    case EventKind::kCharacters:
+      if (s->depth > 0) {
+        metrics->OnBuffered(1,
+                            static_cast<int64_t>(sizeof(Event) + e.text.size()));
+        s->buffer.push_back(e);
+      }
+      return;
+    default:
+      return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// NaiveSorter
+
+std::unique_ptr<OperatorState> NaiveSorter::InitialState() const {
+  return std::make_unique<NaiveSorterState>();
+}
+
+void NaiveSorter::Process(const Event& e, StreamId root, OperatorState* state,
+                          EventVec* out) {
+  auto* s = static_cast<NaiveSorterState*>(state);
+  Metrics* metrics = context_->metrics();
+  if (root == key_input_) {
+    switch (e.kind) {
+      case EventKind::kStartElement:
+        ++s->kdepth;
+        break;
+      case EventKind::kEndElement:
+        --s->kdepth;
+        break;
+      case EventKind::kCharacters:
+        if (s->kdepth == 0 && s->in_tuple && !s->found_key) {
+          s->key = e.text;
+          s->found_key = true;
+        }
+        break;
+      default:
+        break;
+    }
+    return;
+  }
+  switch (e.kind) {
+    case EventKind::kStartStream:
+      out->push_back(e);
+      return;
+    case EventKind::kEndStream:
+      // The blocking release: everything comes out at once, sorted.
+      for (auto& [key, events] : s->tuples) {
+        metrics->OnUnbuffered(static_cast<int64_t>(events.size()),
+                              PayloadBytes(events));
+        for (Event& b : events) out->push_back(std::move(b));
+      }
+      s->tuples.clear();
+      out->push_back(e);
+      return;
+    case EventKind::kStartTuple:
+      s->in_tuple = true;
+      s->found_key = false;
+      s->key.clear();
+      s->current.clear();
+      return;
+    case EventKind::kEndTuple:
+      s->in_tuple = false;
+      metrics->OnBuffered(static_cast<int64_t>(s->current.size()),
+                          PayloadBytes(s->current));
+      s->tuples.emplace(EncodeSortKey(s->found_key ? s->key : ""),
+                        std::move(s->current));
+      s->current.clear();
+      return;
+    default:
+      if (s->in_tuple) s->current.push_back(e);
+      return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// NaiveCount
+
+std::unique_ptr<OperatorState> NaiveCount::InitialState() const {
+  return std::make_unique<NaiveCountState>();
+}
+
+void NaiveCount::Process(const Event& e, StreamId /*root*/,
+                         OperatorState* state, EventVec* out) {
+  auto* s = static_cast<NaiveCountState*>(state);
+  switch (e.kind) {
+    case EventKind::kStartStream:
+      out->push_back(e);
+      return;
+    case EventKind::kEndStream:
+      // Blocking: the total is revealed only now.
+      out->push_back(Event::Characters(e.id, std::to_string(s->count)));
+      out->push_back(e);
+      return;
+    case EventKind::kStartElement:
+      if (s->depth == 0 && mode_ == CountMode::kTopLevelElements) ++s->count;
+      ++s->depth;
+      return;
+    case EventKind::kEndElement:
+      --s->depth;
+      return;
+    case EventKind::kCharacters:
+      if (mode_ == CountMode::kCharacterData) ++s->count;
+      return;
+    default:
+      return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// NaiveDescendant
+
+std::unique_ptr<OperatorState> NaiveDescendant::InitialState() const {
+  return std::make_unique<NaiveDescendantState>();
+}
+
+bool NaiveDescendant::Matches(const std::string& tag) const {
+  if (tag_ == "*") return tag.empty() || tag[0] != '@';
+  return tag == tag_;
+}
+
+void NaiveDescendant::Process(const Event& e, StreamId /*root*/,
+                              OperatorState* state, EventVec* out) {
+  auto* s = static_cast<NaiveDescendantState*>(state);
+  Metrics* metrics = context_->metrics();
+  switch (e.kind) {
+    case EventKind::kStartStream:
+    case EventKind::kEndStream:
+    case EventKind::kStartTuple:
+    case EventKind::kEndTuple:
+      out->push_back(e);
+      return;
+    case EventKind::kStartElement:
+    case EventKind::kEndElement:
+    case EventKind::kCharacters: {
+      if (e.kind == EventKind::kStartElement) {
+        ++s->depth;
+      }
+      bool closing_root = false;
+      if (e.kind == EventKind::kEndElement) {
+        --s->depth;
+        closing_root = s->depth == 0;
+      }
+      if (s->depth > 0 || closing_root) {
+        metrics->OnBuffered(1,
+                            static_cast<int64_t>(sizeof(Event) + e.text.size()));
+        s->buffer.push_back(e);
+      }
+      if (!closing_root) return;
+      // The whole document-element subtree is cached; emit the matching
+      // descendants in postorder by scanning it.
+      metrics->OnUnbuffered(static_cast<int64_t>(s->buffer.size()),
+                            PayloadBytes(s->buffer));
+      // For each matching element, find its span and emit it after its
+      // descendants — postorder by closing position.
+      std::vector<size_t> open;  // indexes of open start events
+      std::vector<std::pair<size_t, size_t>> spans;  // [start, end] indexes
+      int depth = 0;
+      for (size_t i = 0; i < s->buffer.size(); ++i) {
+        const Event& b = s->buffer[i];
+        if (b.kind == EventKind::kStartElement) {
+          if (depth >= 1 && Matches(b.text)) open.push_back(i);
+          ++depth;
+        } else if (b.kind == EventKind::kEndElement) {
+          --depth;
+          if (depth >= 1 && Matches(b.text) && !open.empty()) {
+            spans.emplace_back(open.back(), i);
+            open.pop_back();
+          }
+        }
+      }
+      // spans are already ordered by closing position == postorder.
+      for (const auto& [from, to] : spans) {
+        for (size_t i = from; i <= to; ++i) out->push_back(s->buffer[i]);
+      }
+      s->buffer.clear();
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+}  // namespace xflux

@@ -1,0 +1,109 @@
+// Naive blocking/buffered baseline operators.
+//
+// These implement the same semantics as the unblocked operators in
+// src/ops/, the way a conventional engine would: by caching events until a
+// decision can be made.  They exist (a) as oracles for the equivalence
+// property tests — an unblocked operator's materialized output must equal
+// its naive counterpart's — and (b) as the comparison arm of the buffering
+// and latency ablation benchmarks (experiment A1 in DESIGN.md).  They are
+// only meaningful on plain streams: they make irrevocable decisions, which
+// is exactly the paper's argument against them.
+
+#ifndef XFLUX_NAIVE_NAIVE_OPS_H_
+#define XFLUX_NAIVE_NAIVE_OPS_H_
+
+#include <string>
+
+#include "core/pipeline.h"
+#include "core/state_transformer.h"
+#include "ops/aggregates.h"
+
+namespace xflux {
+
+/// Blocking predicate: caches each top-level element of the data stream
+/// until its condition resolves, then emits or discards it wholesale.
+class NaivePredicate : public StateTransformer {
+ public:
+  NaivePredicate(PipelineContext* context, StreamId data_input,
+                 StreamId condition_input)
+      : context_(context),
+        data_input_(data_input),
+        condition_input_(condition_input) {}
+
+  std::string Name() const override { return "naive-predicate"; }
+  bool Consumes(StreamId base_id) const override {
+    return base_id == data_input_ || base_id == condition_input_;
+  }
+  std::unique_ptr<OperatorState> InitialState() const override;
+  void Process(const Event& e, StreamId root, OperatorState* state,
+               EventVec* out) override;
+
+ private:
+  PipelineContext* context_;
+  StreamId data_input_;
+  StreamId condition_input_;
+};
+
+/// Blocking sort: caches every tuple with its key and releases the whole
+/// sorted sequence at end of stream.
+class NaiveSorter : public StateTransformer {
+ public:
+  NaiveSorter(PipelineContext* context, StreamId data_input,
+              StreamId key_input)
+      : context_(context), data_input_(data_input), key_input_(key_input) {}
+
+  std::string Name() const override { return "naive-sort"; }
+  bool Consumes(StreamId base_id) const override {
+    return base_id == data_input_ || base_id == key_input_;
+  }
+  std::unique_ptr<OperatorState> InitialState() const override;
+  void Process(const Event& e, StreamId root, OperatorState* state,
+               EventVec* out) override;
+
+ private:
+  PipelineContext* context_;
+  StreamId data_input_;
+  StreamId key_input_;
+};
+
+/// Blocking count: emits the total exactly once, at end of stream.
+class NaiveCount : public StateTransformer {
+ public:
+  NaiveCount(StreamId input, CountMode mode) : input_(input), mode_(mode) {}
+
+  std::string Name() const override { return "naive-count"; }
+  bool Consumes(StreamId base_id) const override { return base_id == input_; }
+  std::unique_ptr<OperatorState> InitialState() const override;
+  void Process(const Event& e, StreamId root, OperatorState* state,
+               EventVec* out) override;
+
+ private:
+  StreamId input_;
+  CountMode mode_;
+};
+
+/// Buffered descendant step: caches each top-level subtree entirely, then
+/// emits the matching descendants in postorder — the O(subtree) buffering
+/// the paper's //* avoids.
+class NaiveDescendant : public StateTransformer {
+ public:
+  NaiveDescendant(PipelineContext* context, StreamId input, std::string tag)
+      : context_(context), input_(input), tag_(std::move(tag)) {}
+
+  std::string Name() const override { return "naive-descendant(" + tag_ + ")"; }
+  bool Consumes(StreamId base_id) const override { return base_id == input_; }
+  std::unique_ptr<OperatorState> InitialState() const override;
+  void Process(const Event& e, StreamId root, OperatorState* state,
+               EventVec* out) override;
+
+ private:
+  bool Matches(const std::string& tag) const;
+
+  PipelineContext* context_;
+  StreamId input_;
+  std::string tag_;
+};
+
+}  // namespace xflux
+
+#endif  // XFLUX_NAIVE_NAIVE_OPS_H_

@@ -1,0 +1,226 @@
+#include "ops/aggregates.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace xflux {
+
+std::string FormatNumber(double value) {
+  if (value == std::floor(value) && std::abs(value) < 1e15) {
+    return std::to_string(static_cast<long long>(value));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", value);
+  return buf;
+}
+
+namespace {
+
+struct CountState : StateBase<CountState> {
+  int depth = 0;
+  int64_t count = 0;
+  bool started = false;
+};
+
+struct SumState : StateBase<SumState> {
+  int depth = 0;
+  double sum = 0;
+  bool started = false;
+};
+
+struct AvgState : StateBase<AvgState> {
+  int depth = 0;
+  double sum = 0;
+  int64_t count = 0;
+  bool started = false;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// CountOp
+
+std::unique_ptr<OperatorState> CountOp::InitialState() const {
+  return std::make_unique<CountState>();
+}
+
+void CountOp::EmitReplace(int64_t value, EventVec* out) const {
+  out->push_back(Event::StartReplace(region_id_, replace_id_));
+  out->push_back(Event::Characters(replace_id_, std::to_string(value)));
+  out->push_back(Event::EndReplace(region_id_, replace_id_));
+}
+
+void CountOp::Process(const Event& e, StreamId /*root*/, OperatorState* state,
+                      EventVec* out) {
+  auto* s = static_cast<CountState*>(state);
+  switch (e.kind) {
+    case EventKind::kStartStream:
+      s->started = true;
+      out->push_back(e);
+      out->push_back(Event::StartMutable(e.id, region_id_));
+      out->push_back(Event::Characters(region_id_, "0"));
+      out->push_back(Event::EndMutable(e.id, region_id_));
+      return;
+    case EventKind::kEndStream:
+      out->push_back(e);
+      return;
+    case EventKind::kStartElement:
+      if (s->depth == 0 && mode_ == CountMode::kTopLevelElements) {
+        ++s->count;
+        EmitReplace(s->count, out);
+      }
+      ++s->depth;
+      return;
+    case EventKind::kEndElement:
+      --s->depth;
+      return;
+    case EventKind::kCharacters:
+      if (mode_ == CountMode::kCharacterData) {
+        ++s->count;
+        EmitReplace(s->count, out);
+      }
+      return;
+    default:
+      return;  // tuples and everything else are swallowed
+  }
+}
+
+void CountOp::Adjust(OperatorState* state, const OperatorState& s1,
+                     const OperatorState& s2, AdjustTarget target,
+                     StreamId /*region*/, EventVec* out) {
+  auto* s = static_cast<CountState*>(state);
+  int64_t delta = static_cast<const CountState&>(s2).count -
+                  static_cast<const CountState&>(s1).count;
+  if (delta == 0) return;
+  s->count += delta;
+  if (target == AdjustTarget::kLiveTail && s->started) {
+    EmitReplace(s->count, out);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SumOp
+
+std::unique_ptr<OperatorState> SumOp::InitialState() const {
+  return std::make_unique<SumState>();
+}
+
+void SumOp::EmitReplace(double value, EventVec* out) const {
+  out->push_back(Event::StartReplace(region_id_, replace_id_));
+  out->push_back(Event::Characters(replace_id_, FormatNumber(value)));
+  out->push_back(Event::EndReplace(region_id_, replace_id_));
+}
+
+void SumOp::Process(const Event& e, StreamId /*root*/, OperatorState* state,
+                    EventVec* out) {
+  auto* s = static_cast<SumState*>(state);
+  switch (e.kind) {
+    case EventKind::kStartStream:
+      s->started = true;
+      out->push_back(e);
+      out->push_back(Event::StartMutable(e.id, region_id_));
+      out->push_back(Event::Characters(region_id_, "0"));
+      out->push_back(Event::EndMutable(e.id, region_id_));
+      return;
+    case EventKind::kEndStream:
+      out->push_back(e);
+      return;
+    case EventKind::kStartElement:
+      ++s->depth;
+      return;
+    case EventKind::kEndElement:
+      --s->depth;
+      return;
+    case EventKind::kCharacters: {
+      double v = std::strtod(e.text.c_str(), nullptr);
+      if (v != 0) {
+        s->sum += v;
+        EmitReplace(s->sum, out);
+      }
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void SumOp::Adjust(OperatorState* state, const OperatorState& s1,
+                   const OperatorState& s2, AdjustTarget target,
+                   StreamId /*region*/, EventVec* out) {
+  auto* s = static_cast<SumState*>(state);
+  double delta = static_cast<const SumState&>(s2).sum -
+                 static_cast<const SumState&>(s1).sum;
+  if (delta == 0) return;
+  s->sum += delta;
+  if (target == AdjustTarget::kLiveTail && s->started) {
+    EmitReplace(s->sum, out);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AvgOp
+
+std::unique_ptr<OperatorState> AvgOp::InitialState() const {
+  return std::make_unique<AvgState>();
+}
+
+void AvgOp::EmitReplace(double sum, int64_t count, EventVec* out) const {
+  out->push_back(Event::StartReplace(region_id_, replace_id_));
+  out->push_back(Event::Characters(
+      replace_id_, count == 0 ? "" : FormatNumber(sum / count)));
+  out->push_back(Event::EndReplace(region_id_, replace_id_));
+}
+
+void AvgOp::Process(const Event& e, StreamId /*root*/, OperatorState* state,
+                    EventVec* out) {
+  auto* s = static_cast<AvgState*>(state);
+  switch (e.kind) {
+    case EventKind::kStartStream:
+      s->started = true;
+      out->push_back(e);
+      out->push_back(Event::StartMutable(e.id, region_id_));
+      out->push_back(Event::Characters(region_id_, ""));
+      out->push_back(Event::EndMutable(e.id, region_id_));
+      return;
+    case EventKind::kEndStream:
+      out->push_back(e);
+      return;
+    case EventKind::kStartElement:
+      ++s->depth;
+      return;
+    case EventKind::kEndElement:
+      --s->depth;
+      return;
+    case EventKind::kCharacters: {
+      char* end = nullptr;
+      double v = std::strtod(e.text.c_str(), &end);
+      if (end != e.text.c_str()) {
+        s->sum += v;
+        ++s->count;
+        EmitReplace(s->sum, s->count, out);
+      }
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void AvgOp::Adjust(OperatorState* state, const OperatorState& s1,
+                   const OperatorState& s2, AdjustTarget target,
+                   StreamId /*region*/, EventVec* out) {
+  auto* s = static_cast<AvgState*>(state);
+  const auto& a = static_cast<const AvgState&>(s1);
+  const auto& b = static_cast<const AvgState&>(s2);
+  double dsum = b.sum - a.sum;
+  int64_t dcount = b.count - a.count;
+  if (dsum == 0 && dcount == 0) return;
+  s->sum += dsum;
+  s->count += dcount;
+  if (target == AdjustTarget::kLiveTail && s->started) {
+    EmitReplace(s->sum, s->count, out);
+  }
+}
+
+}  // namespace xflux

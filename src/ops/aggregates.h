@@ -1,0 +1,142 @@
+// Unblocked aggregation operators (paper Section III's counting example).
+//
+// A blocking aggregate would wait for end-of-stream to reveal its value.
+// These operators instead emit a mutable region holding the running value
+// at stream start, and a replacement update each time the value changes —
+// the result display continuously shows the current aggregate.  Their
+// Adjust functions shift the running value by the update's delta and, from
+// the live tail, re-emit the replacement so retroactive changes (a hidden
+// element, a replaced subtree) immediately correct the displayed number.
+
+#ifndef XFLUX_OPS_AGGREGATES_H_
+#define XFLUX_OPS_AGGREGATES_H_
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "core/state_transformer.h"
+
+namespace xflux {
+
+/// What a CountOp counts.
+enum class CountMode {
+  kTopLevelElements,  // sE events at depth 0: count(e) over a node sequence
+  kCharacterData,     // cD events at any depth: the paper's Section III F
+};
+
+/// Unblocked count.  Output: a single mutable region whose content is the
+/// current count as character data, continuously replaced.
+class CountOp : public StateTransformer {
+ public:
+  CountOp(PipelineContext* context, std::vector<StreamId> inputs,
+          CountMode mode)
+      : context_(context),
+        inputs_(std::move(inputs)),
+        mode_(mode),
+        region_id_(context->NewStreamId()),
+        replace_id_(context->NewStreamId()) {}
+  CountOp(PipelineContext* context, StreamId input, CountMode mode)
+      : CountOp(context, std::vector<StreamId>{input}, mode) {}
+
+  std::string Name() const override { return "count"; }
+  bool Consumes(StreamId base_id) const override {
+    return std::find(inputs_.begin(), inputs_.end(), base_id) !=
+           inputs_.end();
+  }
+  std::unique_ptr<OperatorState> InitialState() const override;
+  void Process(const Event& e, StreamId root, OperatorState* state,
+               EventVec* out) override;
+  void Adjust(OperatorState* state, const OperatorState& s1,
+              const OperatorState& s2, AdjustTarget target, StreamId region,
+              EventVec* out) override;
+  bool IsInert() const override { return false; }
+
+ private:
+  void EmitReplace(int64_t value, EventVec* out) const;
+
+  PipelineContext* context_;
+  std::vector<StreamId> inputs_;
+  CountMode mode_;
+  StreamId region_id_;   // the displayed mutable region (nid)
+  StreamId replace_id_;  // reused for every replacement (rid): the paper's
+                         // "only the latest update with an id is active"
+};
+
+/// Unblocked sum over numeric character data at depth 0 of the input (the
+/// key stream typically comes from a path step).  Same output protocol as
+/// CountOp.
+class SumOp : public StateTransformer {
+ public:
+  SumOp(PipelineContext* context, std::vector<StreamId> inputs)
+      : context_(context),
+        inputs_(std::move(inputs)),
+        region_id_(context->NewStreamId()),
+        replace_id_(context->NewStreamId()) {}
+  SumOp(PipelineContext* context, StreamId input)
+      : SumOp(context, std::vector<StreamId>{input}) {}
+
+  std::string Name() const override { return "sum"; }
+  bool Consumes(StreamId base_id) const override {
+    return std::find(inputs_.begin(), inputs_.end(), base_id) !=
+           inputs_.end();
+  }
+  std::unique_ptr<OperatorState> InitialState() const override;
+  void Process(const Event& e, StreamId root, OperatorState* state,
+               EventVec* out) override;
+  void Adjust(OperatorState* state, const OperatorState& s1,
+              const OperatorState& s2, AdjustTarget target, StreamId region,
+              EventVec* out) override;
+  bool IsInert() const override { return false; }
+
+ private:
+  void EmitReplace(double value, EventVec* out) const;
+
+  PipelineContext* context_;
+  std::vector<StreamId> inputs_;
+  StreamId region_id_;
+  StreamId replace_id_;
+};
+
+/// Unblocked average over numeric character data of the input; emits the
+/// running mean with the same replace protocol.
+class AvgOp : public StateTransformer {
+ public:
+  AvgOp(PipelineContext* context, std::vector<StreamId> inputs)
+      : context_(context),
+        inputs_(std::move(inputs)),
+        region_id_(context->NewStreamId()),
+        replace_id_(context->NewStreamId()) {}
+  AvgOp(PipelineContext* context, StreamId input)
+      : AvgOp(context, std::vector<StreamId>{input}) {}
+
+  std::string Name() const override { return "avg"; }
+  bool Consumes(StreamId base_id) const override {
+    return std::find(inputs_.begin(), inputs_.end(), base_id) !=
+           inputs_.end();
+  }
+  std::unique_ptr<OperatorState> InitialState() const override;
+  void Process(const Event& e, StreamId root, OperatorState* state,
+               EventVec* out) override;
+  void Adjust(OperatorState* state, const OperatorState& s1,
+              const OperatorState& s2, AdjustTarget target, StreamId region,
+              EventVec* out) override;
+  bool IsInert() const override { return false; }
+
+ private:
+  void EmitReplace(double sum, int64_t count, EventVec* out) const;
+
+  PipelineContext* context_;
+  std::vector<StreamId> inputs_;
+  StreamId region_id_;
+  StreamId replace_id_;
+};
+
+/// Renders a double the way the engine prints aggregate values (integers
+/// without a decimal point).
+std::string FormatNumber(double value);
+
+}  // namespace xflux
+
+#endif  // XFLUX_OPS_AGGREGATES_H_

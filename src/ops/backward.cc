@@ -1,0 +1,98 @@
+#include "ops/backward.h"
+
+namespace xflux {
+
+namespace {
+
+struct BackwardState : StateBase<BackwardState> {
+  int depth = 0;       // candidate-stream element depth
+  int ddepth = 0;      // data-stream element depth
+  StreamId nid = 0;    // current candidate's output region
+  int outcome = 0;     // matches seen inside the current candidate
+  Oid last_item_oid = 0;  // data side: last top-level item closed
+};
+
+}  // namespace
+
+std::unique_ptr<OperatorState> BackwardAxisOp::InitialState() const {
+  return std::make_unique<BackwardState>();
+}
+
+void BackwardAxisOp::Process(const Event& e, StreamId root,
+                             OperatorState* state, EventVec* out) {
+  auto* s = static_cast<BackwardState*>(state);
+  if (root == data_input_) {
+    // The data stream is consumed; it only drives the match target.
+    switch (e.kind) {
+      case EventKind::kStartElement:
+        ++s->ddepth;
+        break;
+      case EventKind::kEndElement:
+        --s->ddepth;
+        if (s->ddepth == 0) {
+          right_end_ = e.oid;
+          s->last_item_oid = e.oid;
+        }
+        break;
+      default:
+        break;
+    }
+    return;
+  }
+  // Candidate stream.
+  switch (e.kind) {
+    case EventKind::kStartStream:
+    case EventKind::kEndStream:
+    case EventKind::kStartTuple:
+    case EventKind::kEndTuple:
+      out->push_back(e);
+      return;
+    case EventKind::kStartElement:
+      if (s->depth == 0) {
+        s->nid = context_->NewStreamId();
+        s->outcome = 0;
+        out->push_back(Event::StartMutable(e.id, s->nid));
+        out->push_back(e);
+      } else {
+        out->push_back(e);
+      }
+      ++s->depth;
+      return;
+    case EventKind::kEndElement:
+      --s->depth;
+      if (s->depth >= 1 &&
+          (mode_ == BackwardMode::kAncestor || s->depth == 1) &&
+          e.oid != 0 && e.oid == right_end_) {
+        ++s->outcome;
+      }
+      out->push_back(e);
+      if (s->depth == 0) {
+        out->push_back(Event::EndMutable(e.id, s->nid));
+        if (s->outcome == 0) out->push_back(Event::Hide(s->nid));
+        // Every potential match has already closed (nesting), so the
+        // decision is final: evict all state for the candidate.
+        out->push_back(Event::Freeze(s->nid));
+      }
+      return;
+    default:
+      out->push_back(e);
+      return;
+  }
+}
+
+void BackwardAxisOp::Adjust(OperatorState* /*state*/, const OperatorState& s1,
+                            const OperatorState& s2, AdjustTarget target,
+                            StreamId /*region*/, EventVec* /*out*/) {
+  // A data item retracted before its cloned copies arrive (the fixed
+  // predicate path) must not match: clear the target.  The clearing is an
+  // instance-level, idempotent side effect, so it runs for whichever
+  // snapshot the wrapper adjusts first.
+  (void)target;
+  const auto& a = static_cast<const BackwardState&>(s1);
+  const auto& b = static_cast<const BackwardState&>(s2);
+  if (a.last_item_oid != b.last_item_oid && right_end_ == a.last_item_oid) {
+    right_end_ = 0;
+  }
+}
+
+}  // namespace xflux

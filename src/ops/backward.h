@@ -1,0 +1,77 @@
+// Backward axes: ancestor::* / ancestor::tag and parent (paper
+// Section VI-E).
+//
+// Backward steps can reach anything already streamed, so the source is
+// cloned before the pipeline; the clone passes through a descendant step
+// (so every candidate ancestor's subtree is available as a copy), and this
+// operator joins the candidate stream against the data stream on element
+// identity (OID): a candidate is an ancestor of a data item exactly when
+// the item's closing event appears (same OID) inside the candidate's copy.
+// Each candidate is wrapped in a mutable region, kept if it matched at
+// least one data item, hidden otherwise — the same optimistic emit/retract
+// discipline as the general predicate.
+//
+// Decisions are frozen at candidate close: every potential match closes
+// before the candidate does (nesting), so on streams without late updates
+// the outcome is final and its state can be evicted.  A data item retracted
+// *before* its copies arrive (the fixed predicate path: hide+freeze is
+// emitted at the item's end tag, ahead of the cloned copies) is handled by
+// clearing the match target during state adjustment; later retractions are
+// out of scope, as in the paper's simplified presentation.
+
+#ifndef XFLUX_OPS_BACKWARD_H_
+#define XFLUX_OPS_BACKWARD_H_
+
+#include <string>
+
+#include "core/pipeline.h"
+#include "core/state_transformer.h"
+
+namespace xflux {
+
+/// Which backward axis to evaluate.
+enum class BackwardMode {
+  kAncestor,  // ancestor::* / ancestor::tag (candidates chosen upstream)
+  kParent,    // parent (..): only direct children count as matches
+};
+
+/// See file comment.  `candidate_input` must carry the cloned source after
+/// the appropriate descendant step (//* for ancestor::*/parent, //tag for
+/// ancestor::tag).
+class BackwardAxisOp : public StateTransformer {
+ public:
+  BackwardAxisOp(PipelineContext* context, StreamId data_input,
+                 StreamId candidate_input, BackwardMode mode)
+      : context_(context),
+        data_input_(data_input),
+        candidate_input_(candidate_input),
+        mode_(mode) {}
+
+  std::string Name() const override {
+    return mode_ == BackwardMode::kAncestor ? "ancestor" : "parent";
+  }
+  bool Consumes(StreamId base_id) const override {
+    return base_id == data_input_ || base_id == candidate_input_;
+  }
+  std::unique_ptr<OperatorState> InitialState() const override;
+  void Process(const Event& e, StreamId root, OperatorState* state,
+               EventVec* out) override;
+  void Adjust(OperatorState* state, const OperatorState& s1,
+              const OperatorState& s2, AdjustTarget target, StreamId region,
+              EventVec* out) override;
+  bool IsInert() const override { return false; }
+
+ private:
+  PipelineContext* context_;
+  StreamId data_input_;
+  StreamId candidate_input_;
+  BackwardMode mode_;
+  // The OID of the last top-level data item that closed (the paper's
+  // right_end).  Instance-level: matching is an alignment property of the
+  // live stream, not of any one region.
+  Oid right_end_ = 0;
+};
+
+}  // namespace xflux
+
+#endif  // XFLUX_OPS_BACKWARD_H_

@@ -1,0 +1,53 @@
+#include "ops/child_step.h"
+
+namespace xflux {
+
+namespace {
+
+// The paper's /tag state: the current element depth and whether events are
+// being passed through.
+struct ChildStepState : StateBase<ChildStepState> {
+  int depth = 0;
+  bool pass = false;
+};
+
+}  // namespace
+
+std::unique_ptr<OperatorState> ChildStep::InitialState() const {
+  return std::make_unique<ChildStepState>();
+}
+
+bool ChildStep::Matches(const std::string& tag) const {
+  if (tag_ == "*") return tag.empty() || tag[0] != '@';
+  return tag == tag_;
+}
+
+void ChildStep::Process(const Event& e, StreamId /*root*/,
+                        OperatorState* state, EventVec* out) {
+  auto* s = static_cast<ChildStepState*>(state);
+  switch (e.kind) {
+    case EventKind::kStartStream:
+    case EventKind::kEndStream:
+    case EventKind::kStartTuple:
+    case EventKind::kEndTuple:
+      out->push_back(e);
+      return;
+    case EventKind::kStartElement:
+      if (s->depth == 1 && Matches(e.text)) s->pass = true;
+      ++s->depth;
+      break;
+    case EventKind::kEndElement:
+      --s->depth;
+      if (s->depth == 1 && s->pass) {
+        s->pass = false;
+        out->push_back(e);
+        return;
+      }
+      break;
+    default:
+      break;
+  }
+  if (s->pass) out->push_back(e);
+}
+
+}  // namespace xflux

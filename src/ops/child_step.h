@@ -1,0 +1,39 @@
+// The XPath child step /tag (paper Section II's worked example), plus the
+// wildcard /* and attribute steps /@attr (attributes are '@'-tagged child
+// elements in this engine).
+
+#ifndef XFLUX_OPS_CHILD_STEP_H_
+#define XFLUX_OPS_CHILD_STEP_H_
+
+#include <string>
+
+#include "core/state_transformer.h"
+
+namespace xflux {
+
+/// Selects the children of every top-level element of the input stream
+/// whose tag matches (or all children for "*").  Inert: for well-formed
+/// content the depth/pass state returns to its starting value.
+class ChildStep : public StateTransformer {
+ public:
+  /// `tag` is an element name, "@name" for an attribute, or "*" for any
+  /// non-attribute child.
+  ChildStep(StreamId input, std::string tag)
+      : input_(input), tag_(std::move(tag)) {}
+
+  std::string Name() const override { return "child(" + tag_ + ")"; }
+  bool Consumes(StreamId base_id) const override { return base_id == input_; }
+  std::unique_ptr<OperatorState> InitialState() const override;
+  void Process(const Event& e, StreamId root, OperatorState* state,
+               EventVec* out) override;
+
+ private:
+  bool Matches(const std::string& tag) const;
+
+  StreamId input_;
+  std::string tag_;
+};
+
+}  // namespace xflux
+
+#endif  // XFLUX_OPS_CHILD_STEP_H_

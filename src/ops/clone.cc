@@ -1,0 +1,47 @@
+#include "ops/clone.h"
+
+namespace xflux {
+
+StreamId CloneFilter::MapId(StreamId id) {
+  if (id == input_) return clone_base_;
+  auto it = map_.find(id);
+  return it != map_.end() ? it->second : clone_base_;
+}
+
+void CloneFilter::Dispatch(Event event) {
+  if (context()->streams()->RootOf(event.id) != input_) {
+    Emit(std::move(event));
+    return;
+  }
+  Event copy = event;
+  if (event.IsUpdateStart()) {
+    // Open a parallel region on the clone side.
+    StreamId mapped_uid = context()->NewStreamId();
+    copy.id = MapId(event.id);
+    copy.uid = mapped_uid;
+    map_[event.uid] = mapped_uid;
+    context()->streams()->AddPartner(mapped_uid, event.uid);
+    if (context()->fix()->IsEffectivelyImmutable(event.uid)) {
+      // The parallel of immutable operator structure (a descendant step's
+      // copies) is itself immutable content.
+      context()->fix()->SetImmutable(mapped_uid);
+    }
+  } else if (event.IsUpdateEnd()) {
+    copy.id = MapId(event.id);
+    copy.uid = MapId(event.uid);
+  } else {
+    copy.id = MapId(event.id);
+    if (event.kind == EventKind::kFreeze) {
+      // The clone-side region also closes; drop the mapping afterwards.
+      StreamId original = event.id;
+      Emit(std::move(event));
+      Emit(std::move(copy));
+      map_.erase(original);  // safe: freeze means no further references
+      return;
+    }
+  }
+  Emit(std::move(event));
+  Emit(std::move(copy));
+}
+
+}  // namespace xflux

@@ -1,0 +1,43 @@
+// Stream cloning (paper Sections VI-B and VI-E).
+//
+// Predicates and backward axes are binary: they combine a data stream with
+// a condition stream derived from the same source.  Cloning duplicates
+// every event of one base stream onto a second base stream — "each event is
+// repeated twice under different substream numbers" — including update
+// brackets, which are replicated with a parallel set of fresh region ids so
+// updates replay identically on both branches.  Cloning is a raw filter
+// (its id map is monotone and position-independent, so it needs no state
+// adjustment).
+
+#ifndef XFLUX_OPS_CLONE_H_
+#define XFLUX_OPS_CLONE_H_
+
+#include <unordered_map>
+
+#include "core/pipeline.h"
+
+namespace xflux {
+
+/// Duplicates base stream `input` as base stream `clone_base`.
+class CloneFilter : public Filter {
+ public:
+  CloneFilter(PipelineContext* context, StreamId input, StreamId clone_base)
+      : Filter(context), input_(input), clone_base_(clone_base) {
+    context->streams()->RegisterBase(clone_base);
+  }
+
+ protected:
+  void Dispatch(Event event) override;
+
+ private:
+  // Maps an id of the input lineage to its clone-side parallel id.
+  StreamId MapId(StreamId id);
+
+  StreamId input_;
+  StreamId clone_base_;
+  std::unordered_map<StreamId, StreamId> map_;
+};
+
+}  // namespace xflux
+
+#endif  // XFLUX_OPS_CLONE_H_

@@ -1,0 +1,60 @@
+#include "ops/concat.h"
+
+namespace xflux {
+
+namespace {
+
+struct ConcatState : StateBase<ConcatState> {
+  StreamId anchor = 0;  // the current tuple's capture region
+};
+
+}  // namespace
+
+std::unique_ptr<OperatorState> ConcatOp::InitialState() const {
+  return std::make_unique<ConcatState>();
+}
+
+void ConcatOp::Process(const Event& e, StreamId root, OperatorState* state,
+                       EventVec* out) {
+  auto* s = static_cast<ConcatState*>(state);
+  bool is_last_branch = root == branches_.back();
+  if (e.kind == EventKind::kStartTuple) {
+    if (!is_last_branch) return;  // earlier branches' markers are stripped
+    // The last branch's tuple anchors the chain: a fresh mutable region
+    // captures its content (the sM target-capture rule: the marker id is
+    // the last branch's stream), and each earlier branch is an
+    // insert-before against its successor, so branch 0's content ends up
+    // first.  The output tuple keeps the incoming marker id so the whole
+    // structure stays nested in whatever encloses it.
+    s->anchor = context_->NewStreamId();
+    out->push_back(e);
+    out->push_back(Event::StartMutable(e.id, s->anchor));
+    StreamId successor = s->anchor;
+    for (size_t i = branches_.size() - 1; i > 0; --i) {
+      out->push_back(Event::StartInsertBefore(successor, branches_[i - 1]));
+      successor = branches_[i - 1];
+    }
+    return;
+  }
+  if (e.kind == EventKind::kEndTuple) {
+    if (!is_last_branch) return;
+    // Close the insert-before chain in reverse order of opening.
+    for (size_t i = 1; i < branches_.size(); ++i) {
+      StreamId successor =
+          i < branches_.size() - 1 ? branches_[i] : s->anchor;
+      out->push_back(Event::EndInsertBefore(successor, branches_[i - 1]));
+    }
+    out->push_back(Event::EndMutable(e.id, s->anchor));
+    // The anchor's scope is the tuple, which is now complete; updates to
+    // concatenated content target the branch regions, never the anchor.
+    out->push_back(Event::Freeze(s->anchor));
+    out->push_back(e);
+    return;
+  }
+  // Content flows through untouched; each branch's events fall into its own
+  // region because the region ids *are* the branch stream ids (and the last
+  // branch is captured by the anchor's sM).
+  out->push_back(e);
+}
+
+}  // namespace xflux

@@ -1,0 +1,60 @@
+// Sequence concatenation (paper Section VI-A), generalized to n branches.
+//
+// Concatenating tuple streams is blocking and unbounded when done naively:
+// all of branch i must precede branch i+1 inside each tuple, but events
+// arrive interleaved.  Following the paper, the last branch's tuple is
+// wrapped in a mutable region and every earlier branch is declared an
+// insert-before update against its successor, so all branches flow
+// immediately and the display splices them into the correct order
+// retroactively.  The paper's trick of reusing the input stream numbers as
+// the update region ids is kept: each branch's events fall into its own
+// region by id, and the source's own update regions (nested inside any
+// branch) keep working.
+
+#ifndef XFLUX_OPS_CONCAT_H_
+#define XFLUX_OPS_CONCAT_H_
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "core/state_transformer.h"
+
+namespace xflux {
+
+/// Per-tuple concatenation of two or more input streams, in the order
+/// given.  The output's tuple markers carry fresh ids aliased to the first
+/// branch; a consumer of the concatenation must consume all branch ids.
+class ConcatOp : public StateTransformer {
+ public:
+  ConcatOp(PipelineContext* context, std::vector<StreamId> branches)
+      : context_(context), branches_(std::move(branches)) {
+    for (StreamId b : branches_) {
+      // The branch ids double as update-region ids; they must never be
+      // re-rooted by that reuse.
+      context_->streams()->RegisterBase(b);
+    }
+  }
+
+  /// Binary convenience: the paper's left/right form.
+  ConcatOp(PipelineContext* context, StreamId left, StreamId right)
+      : ConcatOp(context, std::vector<StreamId>{left, right}) {}
+
+  std::string Name() const override { return "concat"; }
+  bool Consumes(StreamId base_id) const override {
+    return std::find(branches_.begin(), branches_.end(), base_id) !=
+           branches_.end();
+  }
+  std::unique_ptr<OperatorState> InitialState() const override;
+  void Process(const Event& e, StreamId root, OperatorState* state,
+               EventVec* out) override;
+
+ private:
+  PipelineContext* context_;
+  std::vector<StreamId> branches_;
+};
+
+}  // namespace xflux
+
+#endif  // XFLUX_OPS_CONCAT_H_

@@ -1,0 +1,129 @@
+#include "ops/descendant_step.h"
+
+#include <vector>
+
+namespace xflux {
+
+namespace {
+
+// The paper's (depth, m[·]) state: the element depth plus the stack of open
+// copy regions (the m mapping restricted to currently-open levels).
+struct DescendantState : StateBase<DescendantState> {
+  int depth = 0;  // number of open elements, document element included
+  // match_stack[k] = copy region of the k-th enclosing match; the first
+  // entry is the mutable base copy (original ids), deeper entries are
+  // insert-before regions.
+  std::vector<StreamId> copies;
+};
+
+}  // namespace
+
+std::unique_ptr<OperatorState> DescendantStep::InitialState() const {
+  return std::make_unique<DescendantState>();
+}
+
+bool DescendantStep::Matches(const std::string& tag, int level) const {
+  if (level < 1) return false;  // the document element itself is not a match
+  if (tag_ == "*") return tag.empty() || tag[0] != '@';
+  return tag == tag_;
+}
+
+void DescendantStep::Process(const Event& e, StreamId /*root*/,
+                             OperatorState* state, EventVec* out) {
+  auto* s = static_cast<DescendantState*>(state);
+  switch (e.kind) {
+    case EventKind::kStartStream:
+    case EventKind::kEndStream:
+    case EventKind::kStartTuple:
+    case EventKind::kEndTuple:
+      out->push_back(e);
+      return;
+
+    case EventKind::kStartElement: {
+      int level = s->depth;
+      ++s->depth;
+      bool in_copy = !s->copies.empty();
+      if (Matches(e.text, level)) {
+        if (!in_copy) {
+          // Outermost match: the base copy, wrapped so deeper copies can be
+          // inserted before it.
+          StreamId base_copy = context_->NewStreamId();
+          // The copy's content is re-tagged: nothing can address it, so its
+          // content is immutable from birth (predicates over it may take
+          // the irrevocable cheap path).
+          context_->fix()->SetImmutable(base_copy);
+          out->push_back(Event::StartMutable(e.id, base_copy));
+          out->push_back(e);
+          s->copies.push_back(base_copy);
+        } else {
+          // Replicate the start into the enclosing copies (all but the
+          // base, which receives the original event)...
+          out->push_back(e);
+          for (size_t i = 1; i < s->copies.size(); ++i) {
+            out->push_back(Event::StartElement(s->copies[i], e.text, e.oid));
+          }
+          // ...then open this element's own copy, in front of the copy of
+          // its nearest enclosing match (postorder placement).
+          StreamId nid = context_->NewStreamId();
+          context_->fix()->SetImmutable(nid);
+          out->push_back(Event::StartInsertBefore(s->copies.back(), nid));
+          out->push_back(Event::StartElement(nid, e.text, e.oid));
+          s->copies.push_back(nid);
+        }
+      } else if (in_copy) {
+        out->push_back(e);
+        for (size_t i = 1; i < s->copies.size(); ++i) {
+          out->push_back(Event::StartElement(s->copies[i], e.text, e.oid));
+        }
+      }
+      return;
+    }
+
+    case EventKind::kEndElement: {
+      --s->depth;
+      int level = s->depth;
+      if (s->copies.empty()) return;
+      if (Matches(e.text, level)) {
+        StreamId closing = s->copies.back();
+        s->copies.pop_back();
+        if (s->copies.empty()) {
+          // The base copy closes with its mutable wrapper.  Its scope is
+          // complete: no operator will ever address the copy region again,
+          // so it is frozen immediately and every stage (and the display)
+          // can evict its state (Section V).
+          out->push_back(e);
+          out->push_back(Event::EndMutable(e.id, closing));
+          out->push_back(Event::Freeze(closing));
+        } else {
+          out->push_back(Event::EndElement(closing, e.text, e.oid));
+          out->push_back(
+              Event::EndInsertBefore(s->copies.back(), closing));
+          out->push_back(Event::Freeze(closing));
+          out->push_back(e);
+          for (size_t i = 1; i < s->copies.size(); ++i) {
+            out->push_back(Event::EndElement(s->copies[i], e.text, e.oid));
+          }
+        }
+      } else {
+        out->push_back(e);
+        for (size_t i = 1; i < s->copies.size(); ++i) {
+          out->push_back(Event::EndElement(s->copies[i], e.text, e.oid));
+        }
+      }
+      return;
+    }
+
+    case EventKind::kCharacters:
+      if (s->copies.empty()) return;
+      out->push_back(e);
+      for (size_t i = 1; i < s->copies.size(); ++i) {
+        out->push_back(Event::Characters(s->copies[i], e.text));
+      }
+      return;
+
+    default:
+      return;
+  }
+}
+
+}  // namespace xflux

@@ -1,0 +1,54 @@
+// The descendant steps //* and //tag (paper Section VI-C).
+//
+// A naive //* must buffer every element of depth 2 so that inner elements
+// can be emitted (in postorder) before their enclosing elements.  This
+// operator instead emits every nested copy the moment its events arrive,
+// wrapped in insert-before updates that retroactively move each inner copy
+// in front of its enclosing copy:
+//
+//  - the outermost matching element's copy passes through with its original
+//    stream ids, wrapped in a mutable region, so deeper copies have an
+//    anchor to insert before,
+//  - each deeper matching element opens a fresh region inserted before the
+//    copy of its nearest enclosing match,
+//  - every event inside a match is replicated into all open copy regions.
+//
+// For //tag only elements with a matching tag open copies, so non-recursive
+// documents generate no updates at all — //tag is then as cheap as /tag.
+
+#ifndef XFLUX_OPS_DESCENDANT_STEP_H_
+#define XFLUX_OPS_DESCENDANT_STEP_H_
+
+#include <string>
+
+#include "core/pipeline.h"
+#include "core/state_transformer.h"
+
+namespace xflux {
+
+/// Streams the matching descendants of the document element, innermost
+/// copies first (postorder), using insert-before updates instead of
+/// buffering.  `tag` is an element name or "*" for every element
+/// (attributes are never matched by "*").
+class DescendantStep : public StateTransformer {
+ public:
+  DescendantStep(PipelineContext* context, StreamId input, std::string tag)
+      : context_(context), input_(input), tag_(std::move(tag)) {}
+
+  std::string Name() const override { return "descendant(" + tag_ + ")"; }
+  bool Consumes(StreamId base_id) const override { return base_id == input_; }
+  std::unique_ptr<OperatorState> InitialState() const override;
+  void Process(const Event& e, StreamId root, OperatorState* state,
+               EventVec* out) override;
+
+ private:
+  bool Matches(const std::string& tag, int level) const;
+
+  PipelineContext* context_;
+  StreamId input_;
+  std::string tag_;
+};
+
+}  // namespace xflux
+
+#endif  // XFLUX_OPS_DESCENDANT_STEP_H_

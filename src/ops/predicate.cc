@@ -1,0 +1,181 @@
+#include "ops/predicate.h"
+
+namespace xflux {
+
+namespace {
+
+// The paper's predicate state, with one refinement: `outcome` is kept as a
+// *cumulative* firing count plus the count observed at the current item's
+// start, so that the generic state adjustment can tell whether an update
+// lands inside the current item (flips its truth) or before it entirely
+// (shifts both counters, truth unchanged).  `seq` is a monotone per-event
+// counter used to order update positions against item starts.
+struct PredicateState : StateBase<PredicateState> {
+  int depth = 0;        // data-stream element depth inside the current item
+  int cdepth = 0;       // condition-stream element depth
+  bool in_item = false;
+  StreamId nid = 0;     // the current/last item's output region
+  int64_t outcome_total = 0;  // cumulative count of true condition firings
+  int64_t item_base = 0;      // outcome_total at the current item's start
+  uint64_t seq = 0;           // monotone event counter
+  uint64_t item_start_seq = 0;
+  bool fixed_true = false;
+  bool fixed_false = true;
+  bool at_item_end = false;  // set on the snapshot taken right after an item
+
+  bool Truth() const { return fixed_true || outcome_total - item_base > 0; }
+};
+
+}  // namespace
+
+std::unique_ptr<OperatorState> PredicateOp::InitialState() const {
+  return std::make_unique<PredicateState>();
+}
+
+void PredicateOp::OnItemStart(const Event& e, OperatorState* state,
+                              EventVec* out) {
+  auto* s = static_cast<PredicateState*>(state);
+  s->nid = context_->NewStreamId();
+  s->item_base = s->outcome_total;
+  s->item_start_seq = s->seq;
+  s->fixed_true = false;
+  s->fixed_false = true;
+  s->in_item = true;
+  s->at_item_end = false;
+  if (scope_ == PredicateScope::kTuple) {
+    // Tuple scope: the markers stay outside the region (they are stripped
+    // by the display), so the whole bracket structure travels inside the
+    // tuple span and can be relocated by a later sort.
+    out->push_back(e);
+    out->push_back(Event::StartMutable(e.id, s->nid));
+  } else {
+    out->push_back(Event::StartMutable(e.id, s->nid));
+    out->push_back(e);
+  }
+}
+
+void PredicateOp::OnItemEnd(const Event& e, OperatorState* state,
+                            EventVec* out) {
+  auto* s = static_cast<PredicateState*>(state);
+  s->in_item = false;
+  s->at_item_end = true;
+  if (scope_ == PredicateScope::kTuple) {
+    out->push_back(Event::EndMutable(e.id, s->nid));
+  } else {
+    out->push_back(e);
+    out->push_back(Event::EndMutable(e.id, s->nid));
+  }
+  if (s->fixed_true) {
+    // Certain to be true: keep, and close the region for updates.
+    out->push_back(Event::Freeze(s->nid));
+  } else if (s->outcome_total - s->item_base > 0) {
+    // True, but a future update may revoke it: keep the region open.
+  } else if (s->fixed_false) {
+    // Certain to be false: remove irrevocably (no buffering, Section V).
+    out->push_back(Event::Hide(s->nid));
+    out->push_back(Event::Freeze(s->nid));
+  } else {
+    // False for now; a future update may flip it.
+    out->push_back(Event::Hide(s->nid));
+  }
+  if (scope_ == PredicateScope::kTuple) out->push_back(e);
+}
+
+void PredicateOp::Process(const Event& e, StreamId root, OperatorState* state,
+                          EventVec* out) {
+  auto* s = static_cast<PredicateState*>(state);
+  ++s->seq;
+  if (root == condition_input_) {
+    // The paper's F2: count non-empty top-level condition deliveries.
+    switch (e.kind) {
+      case EventKind::kStartElement:
+        ++s->cdepth;
+        break;
+      case EventKind::kEndElement:
+        --s->cdepth;
+        break;
+      case EventKind::kCharacters:
+        if (s->cdepth == 0) {
+          bool fixed = context_->fix()->IsEffectivelyImmutable(e.id);
+          s->fixed_false = s->fixed_false && e.text.empty() && fixed;
+          if (!e.text.empty()) {
+            if (fixed) {
+              s->fixed_true = true;
+            } else {
+              ++s->outcome_total;
+            }
+          }
+        }
+        break;
+      default:
+        break;
+    }
+    return;  // condition events are consumed
+  }
+  // The paper's F1: the data stream.
+  switch (e.kind) {
+    case EventKind::kStartStream:
+    case EventKind::kEndStream:
+      out->push_back(e);
+      return;
+    case EventKind::kStartTuple:
+      if (scope_ == PredicateScope::kTuple) {
+        OnItemStart(e, state, out);
+      } else {
+        out->push_back(e);
+      }
+      return;
+    case EventKind::kEndTuple:
+      if (scope_ == PredicateScope::kTuple) {
+        OnItemEnd(e, state, out);
+      } else {
+        out->push_back(e);
+      }
+      return;
+    case EventKind::kStartElement:
+      if (scope_ == PredicateScope::kElement && s->depth == 0) {
+        ++s->depth;
+        OnItemStart(e, state, out);
+        return;
+      }
+      ++s->depth;
+      if (s->in_item) out->push_back(e);
+      return;
+    case EventKind::kEndElement:
+      --s->depth;
+      if (scope_ == PredicateScope::kElement && s->depth == 0) {
+        OnItemEnd(e, state, out);
+        return;
+      }
+      if (s->in_item) out->push_back(e);
+      return;
+    case EventKind::kCharacters:
+      if (s->in_item) out->push_back(e);
+      return;
+    default:
+      return;
+  }
+}
+
+void PredicateOp::Adjust(OperatorState* state, const OperatorState& s1,
+                         const OperatorState& s2, AdjustTarget target,
+                         StreamId region, EventVec* out) {
+  auto* s = static_cast<PredicateState*>(state);
+  const auto& a = static_cast<const PredicateState&>(s1);
+  const auto& b = static_cast<const PredicateState&>(s2);
+  int64_t delta = b.outcome_total - a.outcome_total;
+  if (delta == 0) return;
+  bool was_true = s->Truth();
+  s->outcome_total += delta;
+  if (s->item_start_seq > a.seq) {
+    // The update lies entirely before this item: its truth is unaffected.
+    s->item_base += delta;
+  }
+  bool now_true = s->Truth();
+  if (target == AdjustTarget::kEndSnapshot && region == s->nid &&
+      s->at_item_end && was_true != now_true) {
+    out->push_back(now_true ? Event::Show(s->nid) : Event::Hide(s->nid));
+  }
+}
+
+}  // namespace xflux

@@ -1,0 +1,86 @@
+// The general XPath predicate e1[e2] and the FLWOR where-clause
+// (paper Section VI-B).
+//
+// A naive predicate must cache each top-level element of e1 until the
+// condition e2 resolves — potentially the whole stream, and with update
+// streams the outcome can flip at any future time, forcing unbounded
+// caching.  This operator instead:
+//
+//  - wraps every top-level e1 element in its own mutable region and lets it
+//    flow through immediately ("optimistically display any possible
+//    output"),
+//  - counts the condition's non-empty cData deliveries; at element end the
+//    element is hidden if the outcome is (so far) false,
+//  - when the condition's outcome is *fixed* — the condition data is
+//    immutable (Section V's mutability analysis) — the decision is
+//    irrevocable: the region is frozen and all state for it is evicted,
+//  - otherwise the element's region stays open, and a retroactive update to
+//    the condition reaches this operator's Adjust, which emits show/hide to
+//    flip the decision in the display.
+//
+// The where-clause is the same machinery with tuple scope: the region wraps
+// a whole FLWOR tuple instead of one element.
+
+#ifndef XFLUX_OPS_PREDICATE_H_
+#define XFLUX_OPS_PREDICATE_H_
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "core/state_transformer.h"
+
+namespace xflux {
+
+/// What one predicate decision covers.
+enum class PredicateScope {
+  kElement,  // XPath predicate: each top-level element of e1
+  kTuple,    // FLWOR where-clause: each sT/eT tuple
+};
+
+/// See file comment.  Binary: consumes the data stream (e1's output) and
+/// the condition stream (e2's output, typically produced by CloneFilter +
+/// steps + TextCompare).
+class PredicateOp : public StateTransformer {
+ public:
+  PredicateOp(PipelineContext* context, std::vector<StreamId> data_inputs,
+              StreamId condition_input, PredicateScope scope)
+      : context_(context),
+        data_inputs_(std::move(data_inputs)),
+        condition_input_(condition_input),
+        scope_(scope) {}
+  PredicateOp(PipelineContext* context, StreamId data_input,
+              StreamId condition_input, PredicateScope scope)
+      : PredicateOp(context, std::vector<StreamId>{data_input},
+                    condition_input, scope) {}
+
+  std::string Name() const override {
+    return scope_ == PredicateScope::kElement ? "predicate" : "where";
+  }
+  bool Consumes(StreamId base_id) const override {
+    return base_id == condition_input_ ||
+           std::find(data_inputs_.begin(), data_inputs_.end(), base_id) !=
+               data_inputs_.end();
+  }
+  std::unique_ptr<OperatorState> InitialState() const override;
+  void Process(const Event& e, StreamId root, OperatorState* state,
+               EventVec* out) override;
+  void Adjust(OperatorState* state, const OperatorState& s1,
+              const OperatorState& s2, AdjustTarget target, StreamId region,
+              EventVec* out) override;
+  bool IsInert() const override { return false; }
+
+ private:
+  void OnItemStart(const Event& e, OperatorState* state, EventVec* out);
+  void OnItemEnd(const Event& e, OperatorState* state, EventVec* out);
+
+  PipelineContext* context_;
+  std::vector<StreamId> data_inputs_;
+  StreamId condition_input_;
+  PredicateScope scope_;
+};
+
+}  // namespace xflux
+
+#endif  // XFLUX_OPS_PREDICATE_H_

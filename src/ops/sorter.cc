@@ -1,0 +1,135 @@
+#include "ops/sorter.h"
+
+#include <bit>
+#include <cstdint>
+#include <cstdlib>
+
+namespace xflux {
+
+std::string EncodeSortKey(const std::string& raw) {
+  // Empty keys first ("empty least"), then numbers numerically (prefix '0'
+  // + order-preserving IEEE bits), then everything else lexicographically
+  // (prefix '1').
+  if (raw.empty()) return "\x01";
+  const char* begin = raw.c_str();
+  char* end = nullptr;
+  double v = std::strtod(begin, &end);
+  bool numeric = end != begin && *end == '\0';
+  if (!numeric) return "1" + raw;
+  uint64_t bits = std::bit_cast<uint64_t>(v);
+  bits = (bits & 0x8000000000000000ULL) ? ~bits : (bits | 0x8000000000000000ULL);
+  std::string out = "0";
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out.push_back(static_cast<char>((bits >> shift) & 0xFF));
+  }
+  return out;
+}
+
+StreamId SortFilter::MapId(StreamId id, bool inside_tuple) const {
+  auto it = rename_.find(id);
+  if (it != rename_.end()) return it->second;
+  // Unmapped ids inside a tuple are the tuple's own substreams: they live
+  // in the current sort region.  Outside a tuple they are left alone.
+  return inside_tuple ? region_ : id;
+}
+
+Event SortFilter::Rename(Event e, bool inside_tuple) {
+  if (e.IsUpdateStart()) {
+    StreamId fresh = context()->NewStreamId();
+    e.id = MapId(e.id, inside_tuple);
+    rename_[e.uid] = fresh;
+    e.uid = fresh;
+    return e;
+  }
+  if (e.IsUpdateEnd()) {
+    e.id = MapId(e.id, inside_tuple);
+    e.uid = MapId(e.uid, inside_tuple);
+    return e;
+  }
+  e.id = MapId(e.id, inside_tuple);  // simple events and freeze/hide/show
+  return e;
+}
+
+void SortFilter::Release(const std::string& raw_key) {
+  std::string key = EncodeSortKey(raw_key);
+  // Insert after the last already-placed tuple whose key is <= ours; the
+  // anchor region's "" key is below every encoded key.
+  auto it = keys_.upper_bound(key);
+  --it;
+  mid_ = it->second;
+  region_ = context()->NewStreamId();
+  keys_.emplace(key, region_);
+  found_key_ = true;
+  Emit(Event::StartInsertAfter(mid_, region_));
+  context()->metrics()->OnUnbuffered(
+      static_cast<int64_t>(queue_.size()),
+      static_cast<int64_t>(queue_.size() * sizeof(Event)));
+  for (Event& q : queue_) Emit(Rename(std::move(q), /*inside_tuple=*/true));
+  queue_.clear();
+}
+
+void SortFilter::Dispatch(Event e) {
+  if (context()->streams()->RootOf(e.id) == key_input_) {
+    switch (e.kind) {
+      case EventKind::kStartElement:
+        ++kdepth_;
+        break;
+      case EventKind::kEndElement:
+        --kdepth_;
+        break;
+      case EventKind::kCharacters:
+        if (kdepth_ == 0 && in_tuple_ && !found_key_) Release(e.text);
+        break;
+      default:
+        break;
+    }
+    return;  // the key stream is consumed
+  }
+  switch (e.kind) {
+    case EventKind::kStartStream:
+      Emit(e);
+      if (!started_) {
+        started_ = true;
+        anchor_ = context()->NewStreamId();
+        // The anchor sorts before everything in the chosen direction
+        // (encoded keys are non-empty and start below 0x7F).
+        keys_.emplace(descending_ ? "\x7F" : "", anchor_);
+        Emit(Event::StartMutable(e.id, anchor_));
+        Emit(Event::EndMutable(e.id, anchor_));
+      }
+      return;
+    case EventKind::kEndStream:
+      Emit(e);
+      return;
+    case EventKind::kStartTuple:
+      in_tuple_ = true;
+      found_key_ = false;
+      return;
+    case EventKind::kEndTuple:
+      if (!found_key_) {
+        // No key was delivered for this tuple: it sorts with the empty key.
+        Release("");
+      }
+      Emit(Event::EndInsertAfter(mid_, region_));
+      in_tuple_ = false;
+      return;
+    default:
+      if (!in_tuple_) {
+        // Between tuples only control events addressed to renamed regions
+        // flow (a where-clause's trailing hide, late source updates); remap
+        // them, leave unknown ids alone.
+        Emit(Rename(std::move(e), /*inside_tuple=*/false));
+        return;
+      }
+      if (found_key_) {
+        Emit(Rename(std::move(e), /*inside_tuple=*/true));
+      } else {
+        context()->metrics()->OnBuffered(1,
+                                         static_cast<int64_t>(sizeof(Event)));
+        queue_.push_back(std::move(e));
+      }
+      return;
+  }
+}
+
+}  // namespace xflux

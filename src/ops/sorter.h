@@ -1,0 +1,82 @@
+// Unblocked sorting (paper Section VI-D).
+//
+// Naive sorting buffers the whole sequence.  This filter instead inserts
+// every incoming tuple at its correct place retroactively with an
+// insert-after update: a tuple with key k is inserted after the
+// already-emitted tuple holding the largest key <= k (an empty anchor
+// region emitted at stream start catches keys smaller than everything).
+// Tuple events are suspended in a queue only until the tuple's key arrives
+// (the key may trail the data), then released immediately.  Sorting is
+// thereby non-blocking, though its key table still grows with the stream —
+// the unbounded-state caveat the paper acknowledges.
+//
+// The filter is a raw pipeline stage (not a wrapped state transformer): it
+// must see and relocate update brackets that ride inside tuples, which it
+// does by renaming each tuple's substream ids into its insert-after region
+// (a consistent renaming preserves all update structure, so retroactive
+// updates keep working against the sorted output).
+
+#ifndef XFLUX_OPS_SORTER_H_
+#define XFLUX_OPS_SORTER_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "core/pipeline.h"
+
+namespace xflux {
+
+/// Sorts the tuples of the stream by the string key delivered once per
+/// tuple on the key input (typically CloneFilter + steps + StringValue).
+/// Output is the re-ordered tuple content (tuple markers stripped); keys
+/// compare as numbers when both are numeric, as strings otherwise.
+class SortFilter : public Filter {
+ public:
+  SortFilter(PipelineContext* context, StreamId key_input,
+             bool descending = false)
+      : Filter(context),
+        key_input_(key_input),
+        descending_(descending),
+        keys_([descending](const std::string& a, const std::string& b) {
+          return descending ? b < a : a < b;
+        }) {}
+
+ protected:
+  void Dispatch(Event event) override;
+
+ private:
+  StreamId MapId(StreamId id, bool inside_tuple) const;
+  Event Rename(Event e, bool inside_tuple);
+  void Release(const std::string& raw_key);
+
+  using KeyOrder = std::function<bool(const std::string&, const std::string&)>;
+
+  StreamId key_input_;
+  bool descending_ = false;
+  StreamId anchor_ = 0;
+  bool started_ = false;
+  // Encoded key -> insert region holding a tuple with that key, ordered by
+  // the sort direction; the anchor's sentinel key precedes every encoded
+  // key in that order.
+  std::multimap<std::string, StreamId, KeyOrder> keys_;
+  EventVec queue_;  // suspended events of the current tuple
+  bool in_tuple_ = false;
+  bool found_key_ = false;
+  StreamId region_ = 0;  // current tuple's insert-after region
+  StreamId mid_ = 0;     // its target
+  int kdepth_ = 0;       // key-stream element depth
+  // Update-region ids renamed into sorted regions (grows with the stream,
+  // like the paper's keys table).
+  std::unordered_map<StreamId, StreamId> rename_;
+};
+
+/// Encodes a sort key so that lexicographic byte order matches numeric
+/// order for numbers and string order otherwise (empty keys first, then
+/// numbers, then strings).  Exposed for testing.
+std::string EncodeSortKey(const std::string& raw);
+
+}  // namespace xflux
+
+#endif  // XFLUX_OPS_SORTER_H_

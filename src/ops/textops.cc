@@ -1,0 +1,199 @@
+#include "ops/textops.h"
+
+#include "core/pipeline.h"
+
+namespace xflux {
+
+namespace {
+
+struct AccumState : StateBase<AccumState> {
+  int depth = 0;
+  std::string value;  // accumulated string value of the current item
+};
+
+// TextCompare's state: the accumulated value plus the bookkeeping needed to
+// re-emit a verdict when an update changes the value retroactively.
+struct CompareState : StateBase<CompareState> {
+  int depth = 0;
+  std::string value;
+  bool mutable_contrib = false;  // any contributing text was non-fixed
+  StreamId verdict_region = 0;   // the emitted verdict's mutable region
+  bool at_item_end = false;      // snapshot taken right after a verdict
+  uint64_t seq = 0;              // monotone event counter (position proxy)
+  uint64_t item_start_seq = 0;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TextCompare
+
+std::unique_ptr<OperatorState> TextCompare::InitialState() const {
+  return std::make_unique<CompareState>();
+}
+
+bool TextCompare::Matches(const std::string& value) const {
+  if (match_ == TextMatch::kEquals) return value == literal_;
+  return value.find(literal_) != std::string::npos;
+}
+
+void TextCompare::EmitVerdict(const Event& e, OperatorState* state,
+                              EventVec* out) {
+  auto* s = static_cast<CompareState*>(state);
+  std::string verdict = Matches(s->value) ? "1" : "";
+  s->at_item_end = true;
+  if (!s->mutable_contrib) {
+    // All contributing text was fixed: a plain, fixed verdict — the
+    // consumer's decision is irrevocable (Section V's cheap path).
+    s->verdict_region = 0;
+    out->push_back(Event::Characters(e.id, std::move(verdict)));
+    return;
+  }
+  // Mutable input: the verdict itself must be open for updates.
+  s->verdict_region = context_->NewStreamId();
+  out->push_back(Event::StartMutable(e.id, s->verdict_region));
+  out->push_back(Event::Characters(s->verdict_region, std::move(verdict)));
+  out->push_back(Event::EndMutable(e.id, s->verdict_region));
+}
+
+void TextCompare::Process(const Event& e, StreamId /*root*/,
+                          OperatorState* state, EventVec* out) {
+  auto* s = static_cast<CompareState*>(state);
+  ++s->seq;
+  switch (e.kind) {
+    case EventKind::kStartStream:
+    case EventKind::kEndStream:
+    case EventKind::kStartTuple:
+    case EventKind::kEndTuple:
+      out->push_back(e);
+      return;
+    case EventKind::kStartElement:
+      if (s->depth == 0) {
+        s->value.clear();
+        s->mutable_contrib = false;
+        s->at_item_end = false;
+        s->item_start_seq = s->seq;
+      }
+      ++s->depth;
+      return;
+    case EventKind::kEndElement:
+      --s->depth;
+      if (s->depth == 0) EmitVerdict(e, state, out);
+      return;
+    case EventKind::kCharacters:
+      if (s->depth == 0) {
+        // A bare text item is compared directly.
+        s->value = e.text;
+        s->mutable_contrib = !context_->fix()->IsEffectivelyImmutable(e.id);
+        EmitVerdict(e, state, out);
+      } else {
+        s->value += e.text;
+        if (!context_->fix()->IsEffectivelyImmutable(e.id)) {
+          s->mutable_contrib = true;
+        }
+      }
+      return;
+    default:
+      return;
+  }
+}
+
+void TextCompare::Adjust(OperatorState* state, const OperatorState& s1,
+                         const OperatorState& s2, AdjustTarget target,
+                         StreamId region, EventVec* out) {
+  auto* s = static_cast<CompareState*>(state);
+  const auto& a = static_cast<const CompareState&>(s1);
+  const auto& b = static_cast<const CompareState&>(s2);
+  if (a.value == b.value) return;
+  if (s->item_start_seq > a.seq) return;  // update precedes this item
+  // The update rewrote the value's tail: a.value extends the adjusted
+  // state's prefix (accumulation is append-only), so splice in b's tail.
+  if (s->value.rfind(a.value, 0) != 0) return;  // unrelated item
+  bool before = Matches(s->value);
+  s->value = b.value + s->value.substr(a.value.size());
+  bool after = Matches(s->value);
+  if (target == AdjustTarget::kEndSnapshot && region == s->verdict_region &&
+      s->at_item_end && s->verdict_region != 0 && before != after) {
+    // Replacements keep targeting the original verdict region: it stays
+    // addressable across cascaded corrections.
+    StreamId rid = context_->NewStreamId();
+    out->push_back(Event::StartReplace(s->verdict_region, rid));
+    out->push_back(Event::Characters(rid, after ? "1" : ""));
+    out->push_back(Event::EndReplace(s->verdict_region, rid));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TextExtract
+
+std::unique_ptr<OperatorState> TextExtract::InitialState() const {
+  return std::make_unique<AccumState>();
+}
+
+void TextExtract::Process(const Event& e, StreamId /*root*/,
+                          OperatorState* state, EventVec* out) {
+  auto* s = static_cast<AccumState*>(state);
+  switch (e.kind) {
+    case EventKind::kStartStream:
+    case EventKind::kEndStream:
+    case EventKind::kStartTuple:
+    case EventKind::kEndTuple:
+      out->push_back(e);
+      return;
+    case EventKind::kStartElement:
+      ++s->depth;
+      return;
+    case EventKind::kEndElement:
+      --s->depth;
+      return;
+    case EventKind::kCharacters:
+      // text() selects the text children of each top-level element (depth
+      // 1) and keeps bare top-level text items.
+      if (s->depth <= 1) out->push_back(e);
+      return;
+    default:
+      return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// StringValue
+
+std::unique_ptr<OperatorState> StringValue::InitialState() const {
+  return std::make_unique<AccumState>();
+}
+
+void StringValue::Process(const Event& e, StreamId /*root*/,
+                          OperatorState* state, EventVec* out) {
+  auto* s = static_cast<AccumState*>(state);
+  switch (e.kind) {
+    case EventKind::kStartStream:
+    case EventKind::kEndStream:
+    case EventKind::kStartTuple:
+    case EventKind::kEndTuple:
+      out->push_back(e);
+      return;
+    case EventKind::kStartElement:
+      if (s->depth == 0) s->value.clear();
+      ++s->depth;
+      return;
+    case EventKind::kEndElement:
+      --s->depth;
+      if (s->depth == 0) {
+        out->push_back(Event::Characters(e.id, s->value));
+        s->value.clear();
+      }
+      return;
+    case EventKind::kCharacters:
+      if (s->depth == 0) {
+        out->push_back(e);
+      } else {
+        s->value += e.text;
+      }
+      return;
+    default:
+      return;
+  }
+}
+
+}  // namespace xflux

@@ -1,0 +1,98 @@
+// Text-valued operators: string comparison, substring test, text
+// extraction.  These feed predicate condition streams ("e2 delivers a
+// non-empty cData event" means true) and sorting key streams.
+
+#ifndef XFLUX_OPS_TEXTOPS_H_
+#define XFLUX_OPS_TEXTOPS_H_
+
+#include <string>
+
+#include "core/state_transformer.h"
+
+namespace xflux {
+
+/// How a TextCompare op matches the string value of each item.
+enum class TextMatch {
+  kEquals,    // string value == literal
+  kContains,  // literal is a substring of the string value
+};
+
+/// For every top-level item of the input (an element or a bare text node),
+/// emits one cData verdict at depth 0: non-empty ("1") if the item's string
+/// value matches, empty ("") otherwise.  This is exactly the shape the
+/// general predicate's condition transformer expects.
+///
+/// Mutability is propagated: if any mutable text contributed to the value,
+/// the verdict is wrapped in its own (non-fixed) mutable region, and when a
+/// retroactive update changes the value, the operator's Adjust re-emits the
+/// verdict as a replacement — so the predicate downstream sees its
+/// condition flip.  When all contributing text was fixed, a plain (fixed)
+/// cData verdict is emitted and the decision downstream is irrevocable.
+class TextCompare : public StateTransformer {
+ public:
+  TextCompare(PipelineContext* context, StreamId input, TextMatch match,
+              std::string literal)
+      : context_(context),
+        input_(input),
+        match_(match),
+        literal_(std::move(literal)) {}
+
+  std::string Name() const override {
+    return match_ == TextMatch::kEquals ? "eq(\"" + literal_ + "\")"
+                                        : "contains(\"" + literal_ + "\")";
+  }
+  bool Consumes(StreamId base_id) const override { return base_id == input_; }
+  std::unique_ptr<OperatorState> InitialState() const override;
+  void Process(const Event& e, StreamId root, OperatorState* state,
+               EventVec* out) override;
+  void Adjust(OperatorState* state, const OperatorState& s1,
+              const OperatorState& s2, AdjustTarget target, StreamId region,
+              EventVec* out) override;
+  bool IsInert() const override { return false; }
+
+ private:
+  bool Matches(const std::string& value) const;
+  void EmitVerdict(const Event& e, OperatorState* state, EventVec* out);
+
+  PipelineContext* context_;
+  StreamId input_;
+  TextMatch match_;
+  std::string literal_;
+};
+
+/// The XPath text() step: emits the immediate text children of every
+/// top-level element (and passes bare top-level text through).
+class TextExtract : public StateTransformer {
+ public:
+  explicit TextExtract(StreamId input) : input_(input) {}
+
+  std::string Name() const override { return "text()"; }
+  bool Consumes(StreamId base_id) const override { return base_id == input_; }
+  std::unique_ptr<OperatorState> InitialState() const override;
+  void Process(const Event& e, StreamId root, OperatorState* state,
+               EventVec* out) override;
+
+ private:
+  StreamId input_;
+};
+
+/// Collapses every top-level item to one cData event carrying its full
+/// string value (all text at any depth, concatenated).  Used to extract
+/// sorting keys.
+class StringValue : public StateTransformer {
+ public:
+  explicit StringValue(StreamId input) : input_(input) {}
+
+  std::string Name() const override { return "string()"; }
+  bool Consumes(StreamId base_id) const override { return base_id == input_; }
+  std::unique_ptr<OperatorState> InitialState() const override;
+  void Process(const Event& e, StreamId root, OperatorState* state,
+               EventVec* out) override;
+
+ private:
+  StreamId input_;
+};
+
+}  // namespace xflux
+
+#endif  // XFLUX_OPS_TEXTOPS_H_

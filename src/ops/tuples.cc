@@ -1,0 +1,154 @@
+#include "ops/tuples.h"
+
+namespace xflux {
+
+namespace {
+
+struct DepthState : StateBase<DepthState> {
+  int depth = 0;
+};
+
+struct ConstructState : StateBase<ConstructState> {
+  bool opened = false;  // whole-stream wrapper emitted
+  bool closed = false;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// MakeTuples
+
+std::unique_ptr<OperatorState> MakeTuples::InitialState() const {
+  return std::make_unique<DepthState>();
+}
+
+void MakeTuples::Process(const Event& e, StreamId /*root*/,
+                         OperatorState* state, EventVec* out) {
+  auto* s = static_cast<DepthState*>(state);
+  switch (e.kind) {
+    case EventKind::kStartStream:
+    case EventKind::kEndStream:
+      out->push_back(e);
+      return;
+    case EventKind::kStartTuple:
+    case EventKind::kEndTuple:
+      return;  // re-binding an already tupled stream replaces the brackets
+    case EventKind::kStartElement:
+      if (s->depth == 0) out->push_back(Event::StartTuple(e.id));
+      ++s->depth;
+      out->push_back(e);
+      return;
+    case EventKind::kEndElement:
+      --s->depth;
+      out->push_back(e);
+      if (s->depth == 0) out->push_back(Event::EndTuple(e.id));
+      return;
+    case EventKind::kCharacters:
+      if (s->depth == 0) {
+        // A bare text item binds as a singleton tuple.
+        out->push_back(Event::StartTuple(e.id));
+        out->push_back(e);
+        out->push_back(Event::EndTuple(e.id));
+      } else {
+        out->push_back(e);
+      }
+      return;
+    default:
+      return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// StripTuples
+
+std::unique_ptr<OperatorState> StripTuples::InitialState() const {
+  return std::make_unique<DepthState>();
+}
+
+void StripTuples::Process(const Event& e, StreamId /*root*/,
+                          OperatorState* /*state*/, EventVec* out) {
+  if (e.kind == EventKind::kStartTuple || e.kind == EventKind::kEndTuple) {
+    return;
+  }
+  out->push_back(e);
+}
+
+// ---------------------------------------------------------------------------
+// ElementConstruct
+
+std::unique_ptr<OperatorState> ElementConstruct::InitialState() const {
+  return std::make_unique<ConstructState>();
+}
+
+void ElementConstruct::Process(const Event& e, StreamId /*root*/,
+                               OperatorState* state, EventVec* out) {
+  auto* s = static_cast<ConstructState*>(state);
+  switch (e.kind) {
+    case EventKind::kStartStream:
+      out->push_back(e);
+      // Several consumed base streams (clone branches) deliver their own
+      // sS/eS; the wrapper opens once and closes once.
+      if (scope_ == ConstructScope::kWholeStream && !s->opened) {
+        s->opened = true;
+        out->push_back(Event::StartElement(e.id, tag_));
+      }
+      return;
+    case EventKind::kEndStream:
+      if (scope_ == ConstructScope::kWholeStream && !s->closed) {
+        s->closed = true;
+        out->push_back(Event::EndElement(e.id, tag_));
+      }
+      out->push_back(e);
+      return;
+    case EventKind::kStartTuple:
+      out->push_back(e);
+      if (scope_ == ConstructScope::kPerTuple) {
+        out->push_back(Event::StartElement(e.id, tag_));
+      }
+      return;
+    case EventKind::kEndTuple:
+      if (scope_ == ConstructScope::kPerTuple) {
+        out->push_back(Event::EndElement(e.id, tag_));
+      }
+      out->push_back(e);
+      return;
+    default:
+      out->push_back(e);
+      return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TextLiteral
+
+std::unique_ptr<OperatorState> TextLiteral::InitialState() const {
+  return std::make_unique<DepthState>();
+}
+
+void TextLiteral::Process(const Event& e, StreamId /*root*/,
+                          OperatorState* /*state*/, EventVec* out) {
+  switch (e.kind) {
+    case EventKind::kStartStream:
+      out->push_back(e);
+      if (scope_ == ConstructScope::kWholeStream) {
+        out->push_back(Event::Characters(e.id, text_));
+      }
+      return;
+    case EventKind::kEndStream:
+      out->push_back(e);
+      return;
+    case EventKind::kStartTuple:
+      out->push_back(e);
+      if (scope_ == ConstructScope::kPerTuple) {
+        out->push_back(Event::Characters(e.id, text_));
+      }
+      return;
+    case EventKind::kEndTuple:
+      out->push_back(e);
+      return;
+    default:
+      return;  // the literal replaces the branch's content
+  }
+}
+
+}  // namespace xflux

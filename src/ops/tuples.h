@@ -1,0 +1,105 @@
+// FLWOR tuple plumbing and element construction.
+//
+// A FLWOR loop `for $x in e` turns every top-level item of e's stream into
+// a tuple (the paper's sT/eT events); the where-clause, order-by, and
+// return clauses then operate tuple-at-a-time, and the tuple markers are
+// stripped before the final output.
+
+#ifndef XFLUX_OPS_TUPLES_H_
+#define XFLUX_OPS_TUPLES_H_
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "core/state_transformer.h"
+
+namespace xflux {
+
+/// Wraps each top-level item of the input in sT/eT brackets
+/// (the binding step of `for $x in e`).
+class MakeTuples : public StateTransformer {
+ public:
+  explicit MakeTuples(StreamId input) : input_(input) {}
+
+  std::string Name() const override { return "for"; }
+  bool Consumes(StreamId base_id) const override { return base_id == input_; }
+  std::unique_ptr<OperatorState> InitialState() const override;
+  void Process(const Event& e, StreamId root, OperatorState* state,
+               EventVec* out) override;
+
+ private:
+  StreamId input_;
+};
+
+/// Removes sT/eT markers (end of a FLWOR pipeline, and the concatenation
+/// F1 transformer of Section VI-A).
+class StripTuples : public StateTransformer {
+ public:
+  explicit StripTuples(std::vector<StreamId> inputs)
+      : inputs_(std::move(inputs)) {}
+
+  std::string Name() const override { return "strip-tuples"; }
+  bool Consumes(StreamId base_id) const override {
+    return std::find(inputs_.begin(), inputs_.end(), base_id) !=
+           inputs_.end();
+  }
+  std::unique_ptr<OperatorState> InitialState() const override;
+  void Process(const Event& e, StreamId root, OperatorState* state,
+               EventVec* out) override;
+
+ private:
+  std::vector<StreamId> inputs_;
+};
+
+/// What an ElementConstruct wraps.
+enum class ConstructScope {
+  kPerTuple,     // return <tag>{...}</tag> inside a FLWOR loop
+  kWholeStream,  // <tag>{ ...whole query... }</tag> around the result
+};
+
+/// Element construction <tag>{e}</tag>.
+class ElementConstruct : public StateTransformer {
+ public:
+  ElementConstruct(std::vector<StreamId> inputs, std::string tag,
+                   ConstructScope scope)
+      : inputs_(std::move(inputs)), tag_(std::move(tag)), scope_(scope) {}
+
+  std::string Name() const override { return "<" + tag_ + ">{...}"; }
+  bool Consumes(StreamId base_id) const override {
+    return std::find(inputs_.begin(), inputs_.end(), base_id) !=
+           inputs_.end();
+  }
+  std::unique_ptr<OperatorState> InitialState() const override;
+  void Process(const Event& e, StreamId root, OperatorState* state,
+               EventVec* out) override;
+
+ private:
+  std::vector<StreamId> inputs_;
+  std::string tag_;
+  ConstructScope scope_;
+};
+
+/// Emits a fixed text literal once per tuple (or once per stream), used for
+/// string literals in return clauses, e.g. `return (..., ": ", ...)`.
+class TextLiteral : public StateTransformer {
+ public:
+  TextLiteral(StreamId input, std::string text, ConstructScope scope)
+      : input_(input), text_(std::move(text)), scope_(scope) {}
+
+  std::string Name() const override { return "literal"; }
+  bool Consumes(StreamId base_id) const override { return base_id == input_; }
+  std::unique_ptr<OperatorState> InitialState() const override;
+  void Process(const Event& e, StreamId root, OperatorState* state,
+               EventVec* out) override;
+
+ private:
+  StreamId input_;
+  std::string text_;
+  ConstructScope scope_;
+};
+
+}  // namespace xflux
+
+#endif  // XFLUX_OPS_TUPLES_H_

@@ -1,0 +1,215 @@
+#include "spex/spex_engine.h"
+
+#include <algorithm>
+
+namespace xflux {
+
+namespace {
+
+bool IsNameChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == '-' || c == '@';
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<SpexEngine>> SpexEngine::Compile(
+    std::string_view xpath, EventSink* out) {
+  std::vector<Step> steps;
+  size_t i = 0;
+  // An optional leading source name (the benchmark queries write X//...).
+  while (i < xpath.size() && IsNameChar(xpath[i])) ++i;
+  while (i < xpath.size()) {
+    Step step;
+    if (xpath.substr(i, 2) == "//") {
+      step.descendant = true;
+      i += 2;
+    } else if (xpath[i] == '/') {
+      i += 1;
+    } else {
+      return Status::ParseError("expected '/' in XPath at offset " +
+                                std::to_string(i));
+    }
+    if (i < xpath.size() && xpath[i] == '*') {
+      step.name = "*";
+      ++i;
+    } else {
+      size_t start = i;
+      while (i < xpath.size() && IsNameChar(xpath[i])) ++i;
+      if (i == start) {
+        return Status::ParseError("expected a name test at offset " +
+                                  std::to_string(i));
+      }
+      step.name = std::string(xpath.substr(start, i - start));
+    }
+    while (i < xpath.size() && xpath[i] == '[') {
+      ++i;
+      Predicate pred;
+      size_t start = i;
+      while (i < xpath.size() && IsNameChar(xpath[i])) ++i;
+      if (i == start) {
+        return Status::ParseError("expected a predicate child name");
+      }
+      pred.child = std::string(xpath.substr(start, i - start));
+      if (i < xpath.size() && xpath[i] == '=') {
+        ++i;
+        if (i >= xpath.size() || xpath[i] != '"') {
+          return Status::ParseError("expected a quoted literal in predicate");
+        }
+        ++i;
+        size_t lit_start = i;
+        while (i < xpath.size() && xpath[i] != '"') ++i;
+        if (i >= xpath.size()) {
+          return Status::ParseError("unterminated predicate literal");
+        }
+        pred.literal = std::string(xpath.substr(lit_start, i - lit_start));
+        pred.has_literal = true;
+        ++i;
+      }
+      if (i >= xpath.size() || xpath[i] != ']') {
+        return Status::ParseError("expected ']' in predicate");
+      }
+      ++i;
+      step.predicates.push_back(std::move(pred));
+    }
+    steps.push_back(std::move(step));
+  }
+  if (steps.empty()) return Status::ParseError("empty XPath");
+  return std::unique_ptr<SpexEngine>(new SpexEngine(std::move(steps), out));
+}
+
+bool SpexEngine::NameMatches(const Step& step, const std::string& tag) const {
+  if (step.name == "*") return tag.empty() || tag[0] != '@';
+  return step.name == tag;
+}
+
+void SpexEngine::EmitOut(const Event& e) {
+  if (output_candidate_ >= 0) {
+    candidates_[static_cast<size_t>(output_candidate_)].buffer.push_back(e);
+    ++buffered_;
+    max_buffered_ = std::max(max_buffered_, buffered_);
+  } else {
+    out_->Accept(e);
+  }
+}
+
+void SpexEngine::Accept(Event e) {
+  switch (e.kind) {
+    case EventKind::kStartElement: {
+      Frame frame;
+      if (stack_.empty()) {
+        // The document element: matching starts at its children.
+        frame.active.push_back(0);
+        stack_.push_back(std::move(frame));
+        return;
+      }
+      const Frame& parent = stack_.back();
+      bool inside_output = output_depth_ > 0;
+      if (inside_output) EmitOut(e);
+      // Predicate children of candidates sitting at the parent element.
+      if (!inside_output && capture_targets_.empty()) {
+        for (size_t ci = 0; ci < candidates_.size(); ++ci) {
+          const Candidate& cand = candidates_[ci];
+          if (cand.depth != static_cast<int>(stack_.size())) continue;
+          for (size_t pi = 0; pi < steps_[cand.step].predicates.size();
+               ++pi) {
+            if (steps_[cand.step].predicates[pi].child == e.text) {
+              capture_targets_.emplace_back(ci, pi);
+              frame.pred_capture = 1;
+            }
+          }
+        }
+        if (frame.pred_capture != 0) capture_text_.clear();
+      }
+      // Automaton transitions.
+      for (size_t p : parent.active) {
+        ++transitions_;
+        const Step& step = steps_[p];
+        if (step.descendant) frame.active.push_back(p);
+        if (!NameMatches(step, e.text)) continue;
+        frame.matched.push_back(p);
+        if (p + 1 == steps_.size()) {
+          // A result node: stream its subtree (deduplicated when nested
+          // inside an already-matched result).  It waits on the predicates
+          // of the candidate on its own derivation path: the candidate at
+          // its parent element occupying the previous step.
+          if (!inside_output) {
+            if (output_depth_ == 0) {
+              output_candidate_ = -1;
+              for (size_t ci = 0; ci < candidates_.size(); ++ci) {
+                if (candidates_[ci].depth ==
+                        static_cast<int>(stack_.size()) &&
+                    candidates_[ci].step + 1 == p) {
+                  output_candidate_ = static_cast<int>(ci);
+                }
+              }
+            }
+            EmitOut(e);
+          }
+          ++output_depth_;
+          ++frame.outputs_opened;
+        } else {
+          frame.active.push_back(p + 1);
+          if (!steps_[p].predicates.empty() && !inside_output) {
+            Candidate cand;
+            cand.step = p;
+            cand.depth = static_cast<int>(stack_.size()) + 1;
+            cand.predicate_ok.assign(steps_[p].predicates.size(), false);
+            candidates_.push_back(std::move(cand));
+            ++frame.candidates_opened;
+          }
+        }
+      }
+      stack_.push_back(std::move(frame));
+      return;
+    }
+
+    case EventKind::kEndElement: {
+      if (stack_.empty()) return;
+      Frame frame = std::move(stack_.back());
+      stack_.pop_back();
+      if (stack_.empty()) return;  // the document element closed
+      bool was_inside_output = output_depth_ > 0;
+      output_depth_ -= frame.outputs_opened;
+      bool closes_output = was_inside_output && output_depth_ == 0;
+      // Resolve a predicate-child capture ending here.
+      if (frame.pred_capture != 0) {
+        for (auto& [ci, pi] : capture_targets_) {
+          Candidate& cand = candidates_[ci];
+          const Predicate& pred = steps_[cand.step].predicates[pi];
+          if (!pred.has_literal || capture_text_ == pred.literal) {
+            cand.predicate_ok[pi] = true;
+          }
+        }
+        capture_targets_.clear();
+      }
+      if (was_inside_output) EmitOut(e);
+      if (closes_output) output_candidate_ = -1;
+      // Close candidates opened by this element.
+      for (int k = 0; k < frame.candidates_opened; ++k) {
+        Candidate cand = std::move(candidates_.back());
+        candidates_.pop_back();
+        buffered_ -= cand.buffer.size();
+        bool ok = std::all_of(cand.predicate_ok.begin(),
+                              cand.predicate_ok.end(),
+                              [](bool b) { return b; });
+        if (ok) {
+          // The governing predicates held: the results are final.
+          for (Event& b : cand.buffer) out_->Accept(std::move(b));
+          buffered_ -= 0;
+        }
+      }
+      return;
+    }
+
+    case EventKind::kCharacters:
+      if (!capture_targets_.empty()) capture_text_ += e.text;
+      if (output_depth_ > 0) EmitOut(e);
+      return;
+
+    default:
+      return;  // stream/tuple brackets and updates are not supported
+  }
+}
+
+}  // namespace xflux

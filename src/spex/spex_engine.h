@@ -1,0 +1,102 @@
+// A reimplementation of the automata-based streaming XPath evaluation that
+// SPEX [16] represents in the paper's evaluation (Section VII).
+//
+// The engine compiles an XPath expression — child and descendant steps,
+// name tests and wildcards, and simple predicates [child], [child="text"]
+// — into a step sequence evaluated as a stack automaton: each open element
+// carries the set of step positions it occupies, descendant steps stay
+// active below their match point, and elements matching a predicated step
+// open a candidate scope whose matched output subtrees are buffered until
+// the predicates resolve at the element's end tag.
+//
+// This is the style of system the paper calls "optimal for a restricted
+// subset of XPath": it does no update processing and supports no XQuery
+// constructs, but evaluates //-heavy paths in one pass with no update
+// machinery — the comparison point for benchmark queries 1-3 and 8.
+
+#ifndef XFLUX_SPEX_SPEX_ENGINE_H_
+#define XFLUX_SPEX_SPEX_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/event.h"
+#include "core/event_sink.h"
+#include "util/status.h"
+
+namespace xflux {
+
+/// See file comment.  Consumes a plain tokenized XML stream and pushes the
+/// matching elements' events to `out`.
+class SpexEngine : public EventSink {
+ public:
+  /// Compiles the XPath subset: ("//" | "/") (name | "*")
+  /// ("[" name ("=" "\"lit\"")? "]")* ...
+  static StatusOr<std::unique_ptr<SpexEngine>> Compile(std::string_view xpath,
+                                                       EventSink* out);
+
+  void Accept(Event event) override;
+
+  /// Automaton transitions taken (the throughput cost driver).
+  uint64_t transitions() const { return transitions_; }
+  /// High-water mark of buffered candidate events.
+  size_t max_buffered_events() const { return max_buffered_; }
+
+ private:
+  struct Predicate {
+    std::string child;
+    std::string literal;
+    bool has_literal = false;
+  };
+  struct Step {
+    bool descendant = false;
+    std::string name;  // "*" matches any element
+    std::vector<Predicate> predicates;
+  };
+
+  // A predicated element whose output subtrees wait for its predicates.
+  struct Candidate {
+    size_t step = 0;
+    int depth = 0;  // stack depth of the candidate element
+    std::vector<bool> predicate_ok;
+    EventVec buffer;
+  };
+
+  struct Frame {
+    std::vector<size_t> active;   // step positions live for this element
+    std::vector<size_t> matched;  // step positions this element occupies
+    int candidates_opened = 0;
+    int outputs_opened = 0;   // final-step matches rooted at this element
+    int pred_capture = 0;     // >0: capturing text for parent candidates
+  };
+
+  SpexEngine(std::vector<Step> steps, EventSink* out)
+      : steps_(std::move(steps)), out_(out) {}
+
+  bool NameMatches(const Step& step, const std::string& tag) const;
+  void EmitOut(const Event& e);
+
+  std::vector<Step> steps_;
+  EventSink* out_;
+  std::vector<Frame> stack_;
+  std::vector<Candidate> candidates_;
+  // Capture state for predicate children of open candidates: indexes into
+  // candidates_ paired with predicate slots, for the currently-open
+  // predicate child.
+  std::vector<std::pair<size_t, size_t>> capture_targets_;
+  std::string capture_text_;
+  int output_depth_ = 0;  // >0: inside a final-step match, pass events
+  // Index of the candidate governing the open output subtree (-1: none);
+  // results are buffered against the candidate on their own match path,
+  // not whatever candidate happens to be innermost.
+  int output_candidate_ = -1;
+  uint64_t transitions_ = 0;
+  size_t buffered_ = 0;
+  size_t max_buffered_ = 0;
+};
+
+}  // namespace xflux
+
+#endif  // XFLUX_SPEX_SPEX_ENGINE_H_

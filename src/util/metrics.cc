@@ -1,0 +1,21 @@
+#include "util/metrics.h"
+
+#include <cstdio>
+
+namespace xflux {
+
+std::string Metrics::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "calls=%llu emitted=%llu adjusts=%llu max_states=%lld "
+                "max_buffered_events=%lld max_mem=%lldB",
+                static_cast<unsigned long long>(transformer_calls_),
+                static_cast<unsigned long long>(events_emitted_),
+                static_cast<unsigned long long>(adjust_calls_),
+                static_cast<long long>(max_live_states_),
+                static_cast<long long>(max_buffered_events_),
+                static_cast<long long>(MaxApproxStateBytes()));
+  return buf;
+}
+
+}  // namespace xflux

@@ -1,0 +1,107 @@
+// Instrumentation counters shared by a pipeline.
+//
+// These back the "events" (state-transformer method calls) and "mem"
+// columns of the paper's Table 2, plus the buffering measurements of the
+// ablation benchmarks.
+
+#ifndef XFLUX_UTIL_METRICS_H_
+#define XFLUX_UTIL_METRICS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+namespace xflux {
+
+/// Counters and high-water-mark gauges for one pipeline run.
+///
+/// All stages of a pipeline share one Metrics instance (via the pipeline
+/// context); the benchmarks read it after the stream is drained.
+class Metrics {
+ public:
+  /// One state-transformer invocation (the paper's "events" column counts
+  /// these in millions).
+  void CountTransformerCall() { ++transformer_calls_; }
+
+  /// One event emitted downstream by any stage.
+  void CountEventEmitted(uint64_t n = 1) { events_emitted_ += n; }
+
+  /// One adjust() application triggered by a retroactive update.
+  void CountAdjustCall() { ++adjust_calls_; }
+
+  /// Tracks creation/destruction of per-region state copies kept by the
+  /// adjustment wrapper (mutability analysis shrinks this).
+  void OnStateCreated() {
+    ++live_states_;
+    max_live_states_ = std::max(max_live_states_, live_states_);
+  }
+  void OnStateDropped() { --live_states_; }
+
+  /// Tracks operator-internal buffering (suspension queues, naive
+  /// baselines' element caches).  `bytes` approximates event payloads.
+  void OnBuffered(int64_t events, int64_t bytes) {
+    buffered_events_ += events;
+    buffered_bytes_ += bytes;
+    max_buffered_events_ = std::max(max_buffered_events_, buffered_events_);
+    max_buffered_bytes_ = std::max(max_buffered_bytes_, buffered_bytes_);
+  }
+  void OnUnbuffered(int64_t events, int64_t bytes) {
+    buffered_events_ -= events;
+    buffered_bytes_ -= bytes;
+  }
+
+  /// Tracks live entries in the result display's region registry.
+  void OnDisplayRegion(int64_t delta) {
+    display_regions_ += delta;
+    max_display_regions_ = std::max(max_display_regions_, display_regions_);
+  }
+
+  uint64_t transformer_calls() const { return transformer_calls_; }
+  uint64_t events_emitted() const { return events_emitted_; }
+  uint64_t adjust_calls() const { return adjust_calls_; }
+  int64_t live_states() const { return live_states_; }
+  int64_t max_live_states() const { return max_live_states_; }
+  int64_t buffered_events() const { return buffered_events_; }
+  int64_t max_buffered_events() const { return max_buffered_events_; }
+  int64_t max_buffered_bytes() const { return max_buffered_bytes_; }
+  int64_t display_regions() const { return display_regions_; }
+  int64_t max_display_regions() const { return max_display_regions_; }
+
+  /// Rough resident footprint of pipeline state, in bytes: per-region state
+  /// copies plus buffered payload plus display registry entries.  This is
+  /// the analogue of the paper's "mem" column (heap used by the engine).
+  int64_t ApproxStateBytes() const {
+    constexpr int64_t kPerStateBytes = 96;    // typical operator state
+    constexpr int64_t kPerRegionBytes = 64;   // display registry entry
+    return live_states_ * kPerStateBytes + buffered_bytes_ +
+           display_regions_ * kPerRegionBytes;
+  }
+  int64_t MaxApproxStateBytes() const {
+    constexpr int64_t kPerStateBytes = 96;
+    constexpr int64_t kPerRegionBytes = 64;
+    return max_live_states_ * kPerStateBytes + max_buffered_bytes_ +
+           max_display_regions_ * kPerRegionBytes;
+  }
+
+  void Reset() { *this = Metrics(); }
+
+  /// One-line human-readable dump for benches and examples.
+  std::string ToString() const;
+
+ private:
+  uint64_t transformer_calls_ = 0;
+  uint64_t events_emitted_ = 0;
+  uint64_t adjust_calls_ = 0;
+  int64_t live_states_ = 0;
+  int64_t max_live_states_ = 0;
+  int64_t buffered_events_ = 0;
+  int64_t buffered_bytes_ = 0;
+  int64_t max_buffered_events_ = 0;
+  int64_t max_buffered_bytes_ = 0;
+  int64_t display_regions_ = 0;
+  int64_t max_display_regions_ = 0;
+};
+
+}  // namespace xflux
+
+#endif  // XFLUX_UTIL_METRICS_H_

@@ -1,0 +1,178 @@
+#include "util/order_key.h"
+
+#include <cassert>
+#include <cstdint>
+#include <cstdio>
+
+namespace xflux {
+
+// Encoding: a key is [len][int digits][fraction bytes], where `len` is the
+// number of big-endian integer digits (no leading zeros; the integer 0 is
+// the single digit 0x00).  Lexicographic byte order equals numeric order:
+// the len byte ranks all shorter integers below all longer ones.  The
+// integer part makes the streaming append pattern — Between(cursor, Max),
+// millions of times — produce O(log n) length keys (integer increments)
+// instead of ever-growing midpoints; fractions handle the retro-located
+// inserts between existing keys.  Generated fractions never end in 0x00,
+// which preserves density.
+
+namespace {
+
+int ByteAt(const std::string& s, size_t i) {
+  return i < s.size() ? static_cast<unsigned char>(s[i]) : -1;
+}
+
+// Returns a byte string strictly greater than `a` that extends `prefix`,
+// assuming there is no upper bound beyond `prefix`.  Skips over 0xFF runs
+// in `a` and then picks the midpoint of the remaining headroom.
+std::string AboveSuffix(std::string prefix, const std::string& a, size_t i) {
+  size_t j = i;
+  while (j < a.size() && static_cast<unsigned char>(a[j]) == 0xFF) {
+    prefix.push_back('\xFF');
+    ++j;
+  }
+  int m = ByteAt(a, j);
+  int up = (m + 257) / 2;  // strictly in (m, 256); never 0
+  assert(up > m && up <= 255 && up >= 1);
+  prefix.push_back(static_cast<char>(up));
+  return prefix;
+}
+
+// Core midpoint on raw fraction strings; requires a < b lexicographically.
+std::string BetweenDigits(const std::string& a, const std::string& b) {
+  std::string prefix;
+  size_t i = 0;
+  for (;;) {
+    int ca = ByteAt(a, i);
+    int cb = i < b.size() ? static_cast<unsigned char>(b[i]) : 256;
+    assert(cb != 256 && "upper key exhausted: inputs were not ordered");
+    if (ca == cb) {
+      prefix.push_back(static_cast<char>(ca));
+      ++i;
+      continue;
+    }
+    assert(ca < cb);
+    if (cb - ca >= 2) {
+      int mid = ca + (cb - ca) / 2;  // strictly in (ca, cb)
+      if (mid >= 1) {
+        prefix.push_back(static_cast<char>(mid));
+        return prefix;
+      }
+      // mid would be 0x00 (ca == -1, cb <= 2); descend below cb instead.
+      prefix.push_back('\0');
+      prefix.push_back('\x80');
+      return prefix;
+    }
+    // cb == ca + 1: no room at this digit.
+    if (ca >= 0) {
+      // Take the lower branch and find something above a's remainder.
+      prefix.push_back(static_cast<char>(ca));
+      return AboveSuffix(std::move(prefix), a, i + 1);
+    }
+    // ca == -1, cb == 0: descend into b's 0x00 digit and keep looking.
+    prefix.push_back('\0');
+    ++i;
+  }
+}
+
+struct Parts {
+  // The integer band: -2 for Min, -1 for the sub-zero band (len byte 0),
+  // otherwise the encoded non-negative integer.
+  int64_t integer = 0;
+  std::string fraction;
+};
+
+Parts Decode(const std::string& digits) {
+  Parts parts;
+  if (digits.empty()) {
+    parts.integer = -2;  // Min
+    return parts;
+  }
+  auto len = static_cast<size_t>(static_cast<unsigned char>(digits[0]));
+  if (len == 0) {
+    parts.integer = -1;  // the sub-zero band
+    parts.fraction = digits.substr(1);
+    return parts;
+  }
+  assert(digits.size() >= 1 + len);
+  uint64_t value = 0;
+  for (size_t i = 0; i < len; ++i) {
+    value = (value << 8) | static_cast<unsigned char>(digits[1 + i]);
+  }
+  parts.integer = static_cast<int64_t>(value);
+  parts.fraction = digits.substr(1 + len);
+  return parts;
+}
+
+std::string EncodeInteger(int64_t value) {
+  if (value < 0) {
+    // The sub-zero band: len byte 0; callers append a fraction.
+    return std::string(1, '\0');
+  }
+  auto v = static_cast<uint64_t>(value);
+  std::string digits;
+  do {
+    digits.insert(digits.begin(), static_cast<char>(v & 0xFF));
+    v >>= 8;
+  } while (v != 0);
+  std::string out;
+  out.push_back(static_cast<char>(digits.size()));
+  out += digits;
+  return out;
+}
+
+}  // namespace
+
+OrderKey OrderKey::Between(const OrderKey& lo, const OrderKey& hi) {
+  assert(lo < hi && "Between requires lo < hi");
+  OrderKey out;
+  Parts a = Decode(lo.digits_);
+  if (hi.is_max_) {
+    // The streaming append: bump the integer part.
+    out.digits_ = EncodeInteger(a.integer < 0 ? 0 : a.integer + 1);
+    return out;
+  }
+  Parts b = Decode(hi.digits_);
+  if (b.integer >= a.integer + 2) {
+    // A whole integer fits strictly between.
+    int64_t mid = a.integer + 1;
+    out.digits_ = EncodeInteger(mid);
+    if (mid < 0) out.digits_ += '\x80';  // band keys carry a fraction
+    return out;
+  }
+  if (b.integer == a.integer + 1) {
+    if (a.integer == -2) {
+      // lo is Min and hi sits in the sub-zero band: bisect below hi's
+      // fraction (band keys always carry one).
+      out.digits_ = EncodeInteger(-1) + BetweenDigits("", b.fraction);
+    } else {
+      // Stay in lo's band, above lo's fraction: strictly below any key of
+      // the next band.
+      out.digits_ = EncodeInteger(a.integer) + AboveSuffix("", a.fraction, 0);
+    }
+    return out;
+  }
+  // Same band: bisect the fractions.
+  assert(b.integer == a.integer);
+  out.digits_ =
+      EncodeInteger(b.integer) + BetweenDigits(a.fraction, b.fraction);
+  return out;
+}
+
+std::string OrderKey::ToString() const {
+  if (is_max_) return "MAX";
+  if (digits_.empty()) return "MIN";
+  Parts parts = Decode(digits_);
+  std::string out = std::to_string(parts.integer);  // -1: sub-zero band
+  if (!parts.fraction.empty()) {
+    out += ".";
+    char buf[3];
+    for (unsigned char c : parts.fraction) {
+      std::snprintf(buf, sizeof(buf), "%02x", c);
+      out += buf;
+    }
+  }
+  return out;
+}
+
+}  // namespace xflux

@@ -1,0 +1,70 @@
+// Dense total-order keys ("fractional indexing").
+//
+// Section IV of the paper assigns each update region a timestamp
+// order[id] computed as the real-number midpoint between two existing
+// timestamps.  Naive floating point runs out of precision after ~50 nested
+// insertions, so we implement the same dense order with unbounded byte
+// strings: keys compare lexicographically, and Between(lo, hi) always
+// produces a key strictly between its arguments, growing by at most one
+// byte per midpoint in the common case.
+
+#ifndef XFLUX_UTIL_ORDER_KEY_H_
+#define XFLUX_UTIL_ORDER_KEY_H_
+
+#include <compare>
+#include <string>
+
+namespace xflux {
+
+/// A point in a dense total order.
+///
+/// `Min()` precedes every generated key and `Max()` follows every key
+/// (including all keys generated against it); between any two distinct keys
+/// a new key can always be generated with `Between`.  Generated keys never
+/// end in the byte 0x00, which is what guarantees density.
+class OrderKey {
+ public:
+  /// Default-constructs the minimum key.
+  OrderKey() = default;
+
+  /// The key preceding all generated keys (the paper's order 0).
+  static OrderKey Min() { return OrderKey(); }
+
+  /// The key following all generated keys (the paper's order 1).  The base
+  /// stream is pinned here so that every retroactive update adjusts the
+  /// live tail state.
+  static OrderKey Max() {
+    OrderKey k;
+    k.is_max_ = true;
+    return k;
+  }
+
+  /// Returns a key strictly between `lo` and `hi`.  Requires `lo < hi`.
+  static OrderKey Between(const OrderKey& lo, const OrderKey& hi);
+
+  bool is_max() const { return is_max_; }
+  bool is_min() const { return !is_max_ && digits_.empty(); }
+
+  friend bool operator==(const OrderKey& a, const OrderKey& b) {
+    return a.is_max_ == b.is_max_ && a.digits_ == b.digits_;
+  }
+  friend std::strong_ordering operator<=>(const OrderKey& a,
+                                          const OrderKey& b) {
+    if (a.is_max_ != b.is_max_) {
+      return a.is_max_ ? std::strong_ordering::greater
+                       : std::strong_ordering::less;
+    }
+    return a.digits_.compare(b.digits_) <=> 0;
+  }
+
+  /// Hex rendering for debugging and test failure messages.
+  std::string ToString() const;
+
+ private:
+  bool is_max_ = false;
+  std::string digits_;  // big-endian fractional bytes; lexicographic order
+};
+
+}  // namespace xflux
+
+#endif  // XFLUX_UTIL_ORDER_KEY_H_

@@ -1,0 +1,65 @@
+// Deterministic pseudo-random generator for the synthetic data generators.
+//
+// splitmix64: tiny, fast, and fully reproducible across platforms, which the
+// benchmark harness relies on (the same seed always yields byte-identical
+// documents).
+
+#ifndef XFLUX_UTIL_PRNG_H_
+#define XFLUX_UTIL_PRNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace xflux {
+
+/// A splitmix64 generator with convenience sampling helpers.
+class Prng {
+ public:
+  explicit Prng(uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t NextU64() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, n).  Requires n > 0.
+  uint64_t Uniform(uint64_t n) { return NextU64() % n; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability p.
+  bool Chance(double p) { return NextDouble() < p; }
+
+  /// Uniformly picks one element of a non-empty vector.
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    return v[Uniform(v.size())];
+  }
+
+  /// Zipf-like skewed index in [0, n): low indexes are much more likely.
+  /// Used to model author-name reuse in the DBLP-like generator.
+  uint64_t Skewed(uint64_t n) {
+    double u = NextDouble();
+    double x = u * u * u;  // cube concentrates mass near 0
+    auto idx = static_cast<uint64_t>(x * static_cast<double>(n));
+    return idx >= n ? n - 1 : idx;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace xflux
+
+#endif  // XFLUX_UTIL_PRNG_H_

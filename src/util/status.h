@@ -1,0 +1,113 @@
+// Minimal error-handling vocabulary for xflux.
+//
+// The library does not use C++ exceptions (per the project style rules);
+// fallible operations return a Status, and fallible value-producing
+// operations return a StatusOr<T>.
+
+#ifndef XFLUX_UTIL_STATUS_H_
+#define XFLUX_UTIL_STATUS_H_
+
+#include <cassert>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace xflux {
+
+/// Coarse error taxonomy; mirrors the usual database-library categories.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,  // caller passed something malformed
+  kParseError = 2,       // malformed XML or query text
+  kNotSupported = 3,     // feature outside the implemented subset
+  kInternal = 4,         // invariant violation inside the library
+};
+
+/// Returns the canonical human-readable name of a status code.
+const char* StatusCodeName(StatusCode code);
+
+/// Result of a fallible operation: a code plus a human-readable message.
+///
+/// Statuses are cheap to copy when OK (empty message) and are intended to be
+/// checked at every call site; ignoring one is a bug.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Factory helpers, one per code.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status ParseError(std::string m) {
+    return Status(StatusCode::kParseError, std::move(m));
+  }
+  static Status NotSupported(std::string m) {
+    return Status(StatusCode::kNotSupported, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// A value or an error. `ok()` must be checked before `value()`.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from Status so `return Status::ParseError(...)` works.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "OK StatusOr must carry a value");
+  }
+  /// Implicit from T so `return value` works.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return value_;
+  }
+  T& value() & {
+    assert(ok());
+    return value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(value_);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace xflux
+
+/// Propagates a non-OK Status out of the current function.
+#define XFLUX_RETURN_IF_ERROR(expr)          \
+  do {                                       \
+    ::xflux::Status _st = (expr);            \
+    if (!_st.ok()) return _st;               \
+  } while (false)
+
+#endif  // XFLUX_UTIL_STATUS_H_

@@ -1,0 +1,123 @@
+#include "xml/escape.h"
+
+#include <cstdint>
+
+namespace xflux {
+
+namespace {
+
+// Appends the UTF-8 encoding of `cp` to `out`.
+void AppendUtf8(uint32_t cp, std::string* out) {
+  if (cp < 0x80) {
+    out->push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
+
+std::string EscapeImpl(std::string_view text, bool quote) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        if (quote) {
+          out += "&quot;";
+        } else {
+          out.push_back(c);
+        }
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string EscapeText(std::string_view text) {
+  return EscapeImpl(text, /*quote=*/false);
+}
+
+std::string EscapeAttribute(std::string_view text) {
+  return EscapeImpl(text, /*quote=*/true);
+}
+
+StatusOr<std::string> DecodeEntities(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  size_t i = 0;
+  while (i < text.size()) {
+    char c = text[i];
+    if (c != '&') {
+      out.push_back(c);
+      ++i;
+      continue;
+    }
+    size_t semi = text.find(';', i + 1);
+    if (semi == std::string_view::npos || semi - i > 12) {
+      return Status::ParseError("unterminated entity reference");
+    }
+    std::string_view name = text.substr(i + 1, semi - i - 1);
+    if (name == "amp") {
+      out.push_back('&');
+    } else if (name == "lt") {
+      out.push_back('<');
+    } else if (name == "gt") {
+      out.push_back('>');
+    } else if (name == "quot") {
+      out.push_back('"');
+    } else if (name == "apos") {
+      out.push_back('\'');
+    } else if (!name.empty() && name[0] == '#') {
+      uint32_t cp = 0;
+      bool hex = name.size() > 1 && (name[1] == 'x' || name[1] == 'X');
+      std::string_view digits = name.substr(hex ? 2 : 1);
+      if (digits.empty()) return Status::ParseError("empty character reference");
+      for (char d : digits) {
+        uint32_t v;
+        if (d >= '0' && d <= '9') {
+          v = static_cast<uint32_t>(d - '0');
+        } else if (hex && d >= 'a' && d <= 'f') {
+          v = static_cast<uint32_t>(d - 'a' + 10);
+        } else if (hex && d >= 'A' && d <= 'F') {
+          v = static_cast<uint32_t>(d - 'A' + 10);
+        } else {
+          return Status::ParseError("bad character reference &" +
+                                    std::string(name) + ";");
+        }
+        cp = cp * (hex ? 16 : 10) + v;
+        if (cp > 0x10FFFF) {
+          return Status::ParseError("character reference out of range");
+        }
+      }
+      AppendUtf8(cp, &out);
+    } else {
+      return Status::ParseError("unknown entity &" + std::string(name) + ";");
+    }
+    i = semi + 1;
+  }
+  return out;
+}
+
+}  // namespace xflux

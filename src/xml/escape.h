@@ -1,0 +1,25 @@
+// XML text escaping and entity decoding.
+
+#ifndef XFLUX_XML_ESCAPE_H_
+#define XFLUX_XML_ESCAPE_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace xflux {
+
+/// Escapes character data for element content: & < >.
+std::string EscapeText(std::string_view text);
+
+/// Escapes an attribute value for a double-quoted attribute: & < > ".
+std::string EscapeAttribute(std::string_view text);
+
+/// Decodes the five predefined entities plus decimal/hex character
+/// references; unknown entities are a parse error.
+StatusOr<std::string> DecodeEntities(std::string_view text);
+
+}  // namespace xflux
+
+#endif  // XFLUX_XML_ESCAPE_H_

@@ -1,0 +1,273 @@
+#include "xml/sax_parser.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "xml/escape.h"
+
+namespace xflux {
+
+namespace {
+
+bool IsSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+}
+
+bool IsNameChar(char c) {
+  return !IsSpace(c) && c != '>' && c != '/' && c != '=' && c != '<';
+}
+
+bool AllWhitespace(std::string_view s) {
+  return std::all_of(s.begin(), s.end(), [](char c) { return IsSpace(c); });
+}
+
+}  // namespace
+
+SaxParser::SaxParser(const Options& options, EventSink* sink)
+    : options_(options), sink_(sink), next_oid_(options.first_oid) {}
+
+void SaxParser::Emit(Event e) {
+  ++events_emitted_;
+  sink_->Accept(std::move(e));
+}
+
+Status SaxParser::Feed(std::string_view chunk) {
+  if (finished_) return Status::InvalidArgument("Feed after Finish");
+  if (!started_) {
+    started_ = true;
+    if (options_.emit_stream_brackets) {
+      Emit(Event::StartStream(options_.stream_id));
+    }
+  }
+  // Drop the already-consumed prefix before appending, keeping the buffer
+  // bounded by the largest single token.
+  if (pos_ > 0) {
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buffer_.append(chunk);
+  return Consume();
+}
+
+Status SaxParser::Finish() {
+  if (finished_) return Status::OK();
+  finished_ = true;
+  if (pos_ < buffer_.size()) {
+    // Leftover input that never completed a token.
+    std::string_view rest(buffer_.data() + pos_, buffer_.size() - pos_);
+    if (rest.find('<') != std::string_view::npos) {
+      return Status::ParseError("unterminated markup at end of document");
+    }
+    pending_text_.append(rest);
+  }
+  XFLUX_RETURN_IF_ERROR(FlushText());
+  if (!open_elements_.empty()) {
+    return Status::ParseError("unclosed element <" +
+                              open_elements_.back().first +
+                              "> at end of document");
+  }
+  if (options_.emit_stream_brackets) {
+    Emit(Event::EndStream(options_.stream_id));
+  }
+  return Status::OK();
+}
+
+Status SaxParser::FlushText() {
+  if (pending_text_.empty()) return Status::OK();
+  std::string raw;
+  raw.swap(pending_text_);
+  if (!options_.keep_whitespace && AllWhitespace(raw)) return Status::OK();
+  auto decoded = DecodeEntities(raw);
+  if (!decoded.ok()) return decoded.status();
+  if (open_elements_.empty()) {
+    // Text outside the document element: only whitespace is legal.
+    if (!AllWhitespace(decoded.value())) {
+      return Status::ParseError("character data outside document element");
+    }
+    return Status::OK();
+  }
+  Emit(Event::Characters(options_.stream_id, std::move(decoded).value()));
+  return Status::OK();
+}
+
+Status SaxParser::Consume() {
+  while (pos_ < buffer_.size()) {
+    if (buffer_[pos_] != '<') {
+      size_t lt = buffer_.find('<', pos_);
+      if (lt == std::string::npos) {
+        // Text may continue in the next chunk; keep accumulating.
+        pending_text_.append(buffer_, pos_, buffer_.size() - pos_);
+        pos_ = buffer_.size();
+        return Status::OK();
+      }
+      pending_text_.append(buffer_, pos_, lt - pos_);
+      pos_ = lt;
+      continue;
+    }
+    auto consumed = ConsumeMarkup();
+    if (!consumed.ok()) return consumed.status();
+    if (!consumed.value()) return Status::OK();  // need more input
+  }
+  return Status::OK();
+}
+
+StatusOr<bool> SaxParser::ConsumeMarkup() {
+  std::string_view buf(buffer_.data() + pos_, buffer_.size() - pos_);
+  // Comments.
+  if (buf.rfind("<!--", 0) == 0) {
+    size_t end = buf.find("-->", 4);
+    if (end == std::string_view::npos) return false;
+    pos_ += end + 3;
+    return true;
+  }
+  // CDATA: raw character data, no entity decoding.
+  if (buf.rfind("<![CDATA[", 0) == 0) {
+    size_t end = buf.find("]]>", 9);
+    if (end == std::string_view::npos) return false;
+    // CDATA bytes bypass entity decoding: escape them so the later decode
+    // round-trips the literal content.
+    XFLUX_RETURN_IF_ERROR(FlushText());
+    std::string literal(buf.substr(9, end - 9));
+    if (open_elements_.empty() && !AllWhitespace(literal)) {
+      return Status::ParseError("character data outside document element");
+    }
+    if (!open_elements_.empty()) {
+      Emit(Event::Characters(options_.stream_id, std::move(literal)));
+    }
+    pos_ += end + 3;
+    return true;
+  }
+  // DOCTYPE and other declarations: skip, honoring an internal subset.
+  if (buf.rfind("<!", 0) == 0) {
+    int bracket_depth = 0;
+    for (size_t i = 2; i < buf.size(); ++i) {
+      char c = buf[i];
+      if (c == '[') ++bracket_depth;
+      if (c == ']') --bracket_depth;
+      if (c == '>' && bracket_depth == 0) {
+        pos_ += i + 1;
+        return true;
+      }
+    }
+    return false;
+  }
+  // Processing instructions and the XML declaration.
+  if (buf.rfind("<?", 0) == 0) {
+    size_t end = buf.find("?>", 2);
+    if (end == std::string_view::npos) return false;
+    pos_ += end + 2;
+    return true;
+  }
+  // End tag.
+  if (buf.rfind("</", 0) == 0) {
+    size_t end = buf.find('>', 2);
+    if (end == std::string_view::npos) return false;
+    std::string_view name = buf.substr(2, end - 2);
+    while (!name.empty() && IsSpace(name.back())) name.remove_suffix(1);
+    XFLUX_RETURN_IF_ERROR(FlushText());
+    if (open_elements_.empty()) {
+      return Status::ParseError("unmatched end tag </" + std::string(name) +
+                                ">");
+    }
+    if (open_elements_.back().first != name) {
+      return Status::ParseError("mismatched end tag </" + std::string(name) +
+                                ">, expected </" +
+                                open_elements_.back().first + ">");
+    }
+    Emit(Event::EndElement(options_.stream_id, std::string(name),
+                           open_elements_.back().second));
+    open_elements_.pop_back();
+    pos_ += end + 1;
+    return true;
+  }
+  // Start tag: find the terminating '>', skipping quoted attribute values.
+  char quote = 0;
+  for (size_t i = 1; i < buf.size(); ++i) {
+    char c = buf[i];
+    if (quote != 0) {
+      if (c == quote) quote = 0;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      quote = c;
+      continue;
+    }
+    if (c == '<') {
+      return Status::ParseError("'<' inside tag");
+    }
+    if (c == '>') {
+      XFLUX_RETURN_IF_ERROR(FlushText());
+      XFLUX_RETURN_IF_ERROR(EmitStartTag(buf.substr(1, i - 1)));
+      pos_ += i + 1;
+      return true;
+    }
+  }
+  return false;
+}
+
+Status SaxParser::EmitStartTag(std::string_view body) {
+  bool self_closing = false;
+  if (!body.empty() && body.back() == '/') {
+    self_closing = true;
+    body.remove_suffix(1);
+  }
+  size_t i = 0;
+  while (i < body.size() && IsNameChar(body[i])) ++i;
+  if (i == 0) return Status::ParseError("empty tag name");
+  std::string name(body.substr(0, i));
+
+  Oid oid = next_oid_++;
+  Emit(Event::StartElement(options_.stream_id, name, oid));
+
+  // Attributes, tokenized as '@name' child elements.
+  while (i < body.size()) {
+    while (i < body.size() && IsSpace(body[i])) ++i;
+    if (i >= body.size()) break;
+    size_t ns = i;
+    while (i < body.size() && IsNameChar(body[i])) ++i;
+    if (i == ns) return Status::ParseError("bad attribute in <" + name + ">");
+    std::string attr(body.substr(ns, i - ns));
+    while (i < body.size() && IsSpace(body[i])) ++i;
+    if (i >= body.size() || body[i] != '=') {
+      return Status::ParseError("attribute '" + attr + "' missing '='");
+    }
+    ++i;
+    while (i < body.size() && IsSpace(body[i])) ++i;
+    if (i >= body.size() || (body[i] != '"' && body[i] != '\'')) {
+      return Status::ParseError("attribute '" + attr + "' missing quote");
+    }
+    char quote = body[i++];
+    size_t vs = i;
+    while (i < body.size() && body[i] != quote) ++i;
+    if (i >= body.size()) {
+      return Status::ParseError("unterminated attribute value in <" + name +
+                                ">");
+    }
+    auto value = DecodeEntities(body.substr(vs, i - vs));
+    if (!value.ok()) return value.status();
+    ++i;  // closing quote
+
+    Oid attr_oid = next_oid_++;
+    Emit(Event::StartElement(options_.stream_id, "@" + attr, attr_oid));
+    Emit(Event::Characters(options_.stream_id, std::move(value).value()));
+    Emit(Event::EndElement(options_.stream_id, "@" + attr, attr_oid));
+  }
+
+  if (self_closing) {
+    Emit(Event::EndElement(options_.stream_id, name, oid));
+  } else {
+    open_elements_.emplace_back(std::move(name), oid);
+  }
+  return Status::OK();
+}
+
+StatusOr<EventVec> SaxParser::Tokenize(std::string_view document,
+                                       const Options& options) {
+  CollectingSink sink;
+  SaxParser parser(options, &sink);
+  XFLUX_RETURN_IF_ERROR(parser.Feed(document));
+  XFLUX_RETURN_IF_ERROR(parser.Finish());
+  return sink.Take();
+}
+
+}  // namespace xflux

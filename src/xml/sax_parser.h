@@ -1,0 +1,85 @@
+// Streaming XML tokenizer (the paper's stream source, Section II).
+//
+// Breaks an XML document into the event vocabulary of core/event.h, one
+// chunk at a time — the equivalent of the SAX parser the paper uses to feed
+// XFlux.  Attributes are tokenized as child elements whose tag begins with
+// '@' (so XPath attribute steps are ordinary child steps); the serializer
+// reverses the encoding.
+
+#ifndef XFLUX_XML_SAX_PARSER_H_
+#define XFLUX_XML_SAX_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/event.h"
+#include "core/event_sink.h"
+#include "util/status.h"
+
+namespace xflux {
+
+/// Incremental SAX-style tokenizer.  Feed() may be called with arbitrary
+/// chunk boundaries; events are pushed to the sink as soon as they are
+/// complete.  Finish() must be called once at end of input.
+class SaxParser {
+ public:
+  struct Options {
+    /// Stream number stamped on every emitted event.
+    StreamId stream_id = 0;
+    /// Emit sS/eS brackets around the document.
+    bool emit_stream_brackets = true;
+    /// Keep whitespace-only character data (dropped by default, as is usual
+    /// for data-oriented XML).
+    bool keep_whitespace = false;
+    /// First OID to assign; element OIDs increase in document order.
+    Oid first_oid = 1;
+  };
+
+  SaxParser(const Options& options, EventSink* sink);
+
+  SaxParser(const SaxParser&) = delete;
+  SaxParser& operator=(const SaxParser&) = delete;
+
+  /// Consumes the next chunk of document text.
+  Status Feed(std::string_view chunk);
+
+  /// Flushes trailing text and validates that every element was closed.
+  Status Finish();
+
+  /// Number of events emitted so far (Table 1's "events" column).
+  uint64_t events_emitted() const { return events_emitted_; }
+
+  /// One-shot convenience: tokenizes a whole document into a vector.
+  static StatusOr<EventVec> Tokenize(std::string_view document,
+                                     const Options& options);
+  static StatusOr<EventVec> Tokenize(std::string_view document) {
+    return Tokenize(document, Options());
+  }
+
+ private:
+  // Consumes as many complete tokens from buffer_ as possible.
+  Status Consume();
+  // Handles the markup starting at buffer_[pos_] == '<'.  Returns true if a
+  // complete token was consumed, false if more input is needed.
+  StatusOr<bool> ConsumeMarkup();
+  // Parses the inside of a start tag (between '<' and '>').
+  Status EmitStartTag(std::string_view body);
+  Status FlushText();
+  void Emit(Event e);
+
+  Options options_;
+  EventSink* sink_;
+  std::string buffer_;
+  size_t pos_ = 0;
+  std::string pending_text_;  // raw (undecoded) character data
+  std::vector<std::pair<std::string, Oid>> open_elements_;
+  Oid next_oid_;
+  uint64_t events_emitted_ = 0;
+  bool started_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace xflux
+
+#endif  // XFLUX_XML_SAX_PARSER_H_

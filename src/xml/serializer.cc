@@ -1,0 +1,114 @@
+#include "xml/serializer.h"
+
+#include "xml/escape.h"
+
+namespace xflux {
+
+void XmlSerializer::CloseOpenTag() {
+  if (tag_open_) {
+    out_ += '>';
+    tag_open_ = false;
+  }
+}
+
+void XmlSerializer::Indent() {
+  if (!options_.pretty) return;
+  if (!out_.empty()) out_ += '\n';
+  out_.append(static_cast<size_t>(depth_) * 2, ' ');
+}
+
+void XmlSerializer::Accept(Event event) {
+  if (!status_.ok()) return;
+  switch (event.kind) {
+    case EventKind::kStartStream:
+    case EventKind::kEndStream:
+    case EventKind::kStartTuple:
+    case EventKind::kEndTuple:
+      return;
+
+    case EventKind::kStartElement:
+      if (in_attribute_) {
+        status_ = Status::InvalidArgument("element inside attribute value");
+        return;
+      }
+      if (!event.text.empty() && event.text[0] == '@') {
+        // Inside a start tag this is an attribute; selected standalone (an
+        // XPath attribute step result) it renders as its string value.
+        in_attribute_ = true;
+        detached_attribute_ = !tag_open_;
+        attribute_name_ = event.text.substr(1);
+        attribute_value_.clear();
+        return;
+      }
+      CloseOpenTag();
+      Indent();
+      out_ += '<';
+      out_ += event.text;
+      tag_open_ = true;
+      if (!had_child_elements_.empty()) had_child_elements_.back() = true;
+      had_child_elements_.push_back(false);
+      ++depth_;
+      return;
+
+    case EventKind::kEndElement:
+      if (in_attribute_) {
+        if (detached_attribute_) {
+          out_ += EscapeText(attribute_value_);
+        } else {
+          out_ += ' ';
+          out_ += attribute_name_;
+          out_ += "=\"";
+          out_ += EscapeAttribute(attribute_value_);
+          out_ += '"';
+        }
+        in_attribute_ = false;
+        detached_attribute_ = false;
+        return;
+      }
+      --depth_;
+      if (tag_open_) {
+        out_ += "/>";
+        tag_open_ = false;
+      } else {
+        if (!had_child_elements_.empty() && had_child_elements_.back()) {
+          Indent();
+        }
+        out_ += "</";
+        out_ += event.text;
+        out_ += '>';
+      }
+      if (!had_child_elements_.empty()) had_child_elements_.pop_back();
+      return;
+
+    case EventKind::kCharacters:
+      if (in_attribute_) {
+        attribute_value_ += event.text;
+        return;
+      }
+      CloseOpenTag();
+      out_ += EscapeText(event.text);
+      return;
+
+    default:
+      status_ = Status::InvalidArgument(
+          "update event reached the serializer: " + event.ToString() +
+          "; materialize the stream first");
+      return;
+  }
+}
+
+std::string XmlSerializer::Take() {
+  std::string result = std::move(out_);
+  *this = XmlSerializer(options_);
+  return result;
+}
+
+StatusOr<std::string> XmlSerializer::ToXml(const EventVec& events,
+                                           const Options& options) {
+  XmlSerializer writer(options);
+  for (const Event& e : events) writer.Accept(e);
+  if (!writer.status().ok()) return writer.status();
+  return writer.Take();
+}
+
+}  // namespace xflux

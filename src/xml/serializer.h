@@ -1,0 +1,68 @@
+// Event-stream -> XML text serializer (the inverse of the tokenizer).
+//
+// '@'-tagged child elements are rendered back as attributes.  Tuple and
+// stream brackets are dropped.  Update events are rejected: callers must
+// materialize the stream (core/region_document.h) first — the result
+// display does exactly that.
+
+#ifndef XFLUX_XML_SERIALIZER_H_
+#define XFLUX_XML_SERIALIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/event.h"
+#include "core/event_sink.h"
+#include "util/status.h"
+
+namespace xflux {
+
+/// Streaming XML writer.
+class XmlSerializer : public EventSink {
+ public:
+  struct Options {
+    /// Insert newlines and two-space indentation between elements.
+    bool pretty = false;
+  };
+
+  XmlSerializer() : XmlSerializer(Options()) {}
+  explicit XmlSerializer(const Options& options) : options_(options) {}
+
+  /// Appends the rendering of one event.  Errors latch into status().
+  void Accept(Event event) override;
+
+  /// First error encountered, if any.
+  const Status& status() const { return status_; }
+
+  /// The text produced so far.
+  const std::string& text() const { return out_; }
+
+  /// Moves the text out and resets the writer.
+  std::string Take();
+
+  /// One-shot convenience: renders a whole simple-event sequence.
+  static StatusOr<std::string> ToXml(const EventVec& events,
+                                     const Options& options);
+  static StatusOr<std::string> ToXml(const EventVec& events) {
+    return ToXml(events, Options());
+  }
+
+ private:
+  void CloseOpenTag();
+  void Indent();
+
+  Options options_;
+  std::string out_;
+  Status status_;
+  bool tag_open_ = false;        // "<name" emitted, ">" pending
+  bool in_attribute_ = false;       // inside an '@' child
+  bool detached_attribute_ = false; // '@' child selected as a result item
+  std::string attribute_name_;
+  std::string attribute_value_;
+  int depth_ = 0;
+  std::vector<bool> had_child_elements_;
+};
+
+}  // namespace xflux
+
+#endif  // XFLUX_XML_SERIALIZER_H_

@@ -1,0 +1,67 @@
+#include "xquery/ast.h"
+
+namespace xflux {
+
+namespace {
+
+const char* KindName(AstKind k) {
+  switch (k) {
+    case AstKind::kStream: return "stream";
+    case AstKind::kVarRef: return "var";
+    case AstKind::kStep: return "step";
+    case AstKind::kFilter: return "filter";
+    case AstKind::kCompare: return "compare";
+    case AstKind::kFlwor: return "flwor";
+    case AstKind::kElementCtor: return "element";
+    case AstKind::kSequence: return "sequence";
+    case AstKind::kCount: return "count";
+    case AstKind::kSum: return "sum";
+    case AstKind::kAvg: return "avg";
+    case AstKind::kStringLiteral: return "literal";
+  }
+  return "?";
+}
+
+const char* AxisName(AstAxis a) {
+  switch (a) {
+    case AstAxis::kChild: return "child";
+    case AstAxis::kDescendant: return "descendant";
+    case AstAxis::kAttribute: return "attribute";
+    case AstAxis::kText: return "text";
+    case AstAxis::kParent: return "parent";
+    case AstAxis::kAncestor: return "ancestor";
+  }
+  return "?";
+}
+
+const char* MatchName(AstMatch m) {
+  switch (m) {
+    case AstMatch::kEquals: return "equals";
+    case AstMatch::kContains: return "contains";
+    case AstMatch::kExists: return "exists";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string AstNode::ToString(int indent) const {
+  std::string out(static_cast<size_t>(indent) * 2, ' ');
+  out += KindName(kind);
+  if (kind == AstKind::kStep) {
+    out += "(";
+    out += AxisName(axis);
+    out += "::" + name + ")";
+  } else if (kind == AstKind::kCompare) {
+    out += "(";
+    out += MatchName(match);
+    out += " \"" + name + "\")";
+  } else if (!name.empty()) {
+    out += "(" + name + ")";
+  }
+  out += "\n";
+  for (const auto& c : children) out += c->ToString(indent + 1);
+  return out;
+}
+
+}  // namespace xflux

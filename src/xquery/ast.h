@@ -1,0 +1,79 @@
+// Abstract syntax for the supported XQuery subset.
+//
+// The subset covers the constructs the paper's engine implements (Section
+// VII): XPath paths with all forward steps, general predicates, the
+// backward steps parent and ancestor, FLWOR loops with where / order by,
+// element construction, sequences, string comparison and contains(), and
+// the count/sum aggregates.
+
+#ifndef XFLUX_XQUERY_AST_H_
+#define XFLUX_XQUERY_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace xflux {
+
+/// Node discriminator.
+enum class AstKind {
+  kStream,     // the input stream (a bare name such as X, or stream())
+  kVarRef,     // $v               [name]
+  kStep,       // axis step        [axis, name; children: {input}]
+  kFilter,     // e1[e2]           [children: {input, condition}]
+  kCompare,    // e = "lit" / contains(e, "lit")  [name=literal; {input}]
+  kFlwor,      // for $v in e where c order by k return r
+               //                  [name=var; {in, where?, orderby?, return}]
+  kElementCtor,  // <tag>{e}</tag> [name=tag; {content}]
+  kSequence,   // (e1, e2, ...)    [children]
+  kCount,      // count(e)         [children: {input}]
+  kSum,        // sum(e)           [children: {input}]
+  kAvg,        // avg(e)           [children: {input}]
+  kStringLiteral,  // "text"       [name=text]
+};
+
+/// XPath axes of the subset.
+enum class AstAxis {
+  kChild,       // /name, /*
+  kDescendant,  // //name, //*
+  kAttribute,   // /@name
+  kText,        // /text()
+  kParent,      // /..
+  kAncestor,    // /ancestor::name, /ancestor::*
+};
+
+/// How a kCompare matches.
+enum class AstMatch {
+  kEquals,    // e = "lit"
+  kContains,  // contains(e, "lit")
+  kExists,    // bare predicate path: [e]
+};
+
+/// One AST node; shape depends on `kind` (see AstKind comments).
+struct AstNode {
+  AstKind kind;
+  AstAxis axis = AstAxis::kChild;
+  AstMatch match = AstMatch::kEquals;
+  std::string name;  // step name / variable / tag / literal text
+  std::vector<std::unique_ptr<AstNode>> children;
+
+  /// FLWOR: order by ... descending.
+  bool descending = false;
+
+  // FLWOR child slots (indexes into children; -1 when absent).
+  int in_child = -1;
+  int where_child = -1;
+  int orderby_child = -1;
+  int return_child = -1;
+
+  explicit AstNode(AstKind k) : kind(k) {}
+
+  /// Multi-line structural rendering for tests and diagnostics.
+  std::string ToString(int indent = 0) const;
+};
+
+using AstPtr = std::unique_ptr<AstNode>;
+
+}  // namespace xflux
+
+#endif  // XFLUX_XQUERY_AST_H_

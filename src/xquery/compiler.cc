@@ -1,0 +1,355 @@
+#include "xquery/compiler.h"
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "core/transform_stage.h"
+#include "ops/aggregates.h"
+#include "ops/backward.h"
+#include "ops/child_step.h"
+#include "ops/clone.h"
+#include "ops/concat.h"
+#include "ops/descendant_step.h"
+#include "ops/predicate.h"
+#include "ops/sorter.h"
+#include "ops/textops.h"
+#include "ops/tuples.h"
+#include "xquery/parser.h"
+
+namespace xflux {
+
+namespace {
+
+// Counts backward steps so the source can be cloned before anything else
+// consumes it ("cloning the stream source immediately after it is
+// generated", Section VI-E).
+int CountBackwardSteps(const AstNode& n) {
+  int count = 0;
+  if (n.kind == AstKind::kStep &&
+      (n.axis == AstAxis::kParent || n.axis == AstAxis::kAncestor)) {
+    ++count;
+  }
+  for (const auto& c : n.children) count += CountBackwardSteps(*c);
+  return count;
+}
+
+class Compiler {
+ public:
+  Compiler() : pipeline_(std::make_unique<Pipeline>()) {}
+
+  StatusOr<CompiledQuery> Run(const AstNode& ast) {
+    PipelineContext* ctx = pipeline_->context();
+    ctx->streams()->RegisterBase(kSource);
+    int backward = CountBackwardSteps(ast);
+    for (int i = 0; i < backward; ++i) {
+      StreamId clone = NewBase();
+      pipeline_->Add(std::make_unique<CloneFilter>(ctx, kSource, clone));
+      source_clones_.push_back(clone);
+    }
+    auto out = CompileTop(ast);
+    if (!out.ok()) return out.status();
+    CompiledQuery result;
+    result.pipeline = std::move(pipeline_);
+    result.source_id = kSource;
+    return result;
+  }
+
+ private:
+  static constexpr StreamId kSource = 0;
+  using Roots = std::vector<StreamId>;
+
+  PipelineContext* ctx() { return pipeline_->context(); }
+
+  StreamId NewBase() {
+    StreamId id = ctx()->NewStreamId();
+    ctx()->streams()->RegisterBase(id);
+    return id;
+  }
+
+  void AddStage(std::unique_ptr<StateTransformer> op) {
+    pipeline_->Add(std::make_unique<TransformStage>(ctx(), std::move(op)));
+  }
+
+  // Top-level expressions (whole-stream scope).  The result is the set of
+  // base streams the output events root at.
+  StatusOr<Roots> CompileTop(const AstNode& n) {
+    switch (n.kind) {
+      case AstKind::kElementCtor: {
+        auto content = CompileTop(*n.children[0]);
+        if (!content.ok()) return content.status();
+        AddStage(std::make_unique<ElementConstruct>(
+            content.value(), n.name, ConstructScope::kWholeStream));
+        return content;
+      }
+      case AstKind::kCount:
+      case AstKind::kSum:
+      case AstKind::kAvg: {
+        auto in = CompileTop(*n.children[0]);
+        if (!in.ok()) return in.status();
+        if (n.kind == AstKind::kCount) {
+          AddStage(std::make_unique<CountOp>(ctx(), in.value(),
+                                             CountMode::kTopLevelElements));
+        } else if (n.kind == AstKind::kSum) {
+          AddStage(std::make_unique<SumOp>(ctx(), in.value()));
+        } else {
+          AddStage(std::make_unique<AvgOp>(ctx(), in.value()));
+        }
+        return in;
+      }
+      case AstKind::kFlwor:
+        return CompileFlwor(n);
+      case AstKind::kStream:
+      case AstKind::kVarRef:
+      case AstKind::kStep:
+      case AstKind::kFilter: {
+        auto out = CompilePathOn(n, kSource);
+        if (!out.ok()) return out.status();
+        return Roots{out.value()};
+      }
+      default:
+        return Status::NotSupported("expression kind not supported here");
+    }
+  }
+
+  // Paths: a step/filter chain; every leaf (stream or variable reference)
+  // resolves to `context_stream`.
+  StatusOr<StreamId> CompilePathOn(const AstNode& n, StreamId context_stream) {
+    switch (n.kind) {
+      case AstKind::kStream:
+        return context_stream;
+      case AstKind::kVarRef:
+        if (!n.name.empty() && variables_.count(n.name) == 0) {
+          return Status::InvalidArgument("unbound variable $" + n.name);
+        }
+        // A variable's path is evaluated on whatever stream the caller
+        // routed the tuples to (a clone branch or the loop stream itself).
+        return context_stream;
+      case AstKind::kStep:
+        return CompileStep(n, context_stream);
+      case AstKind::kFilter:
+        return CompileFilter(n, context_stream);
+      default:
+        return Status::NotSupported("unsupported expression inside a path");
+    }
+  }
+
+  StatusOr<StreamId> CompileStep(const AstNode& n, StreamId context_stream) {
+    auto in = CompilePathOn(*n.children[0], context_stream);
+    if (!in.ok()) return in.status();
+    StreamId s = in.value();
+    switch (n.axis) {
+      case AstAxis::kChild:
+        AddStage(std::make_unique<ChildStep>(s, n.name));
+        return s;
+      case AstAxis::kAttribute:
+        AddStage(std::make_unique<ChildStep>(s, "@" + n.name));
+        return s;
+      case AstAxis::kText:
+        AddStage(std::make_unique<TextExtract>(s));
+        return s;
+      case AstAxis::kDescendant:
+        AddStage(std::make_unique<DescendantStep>(ctx(), s, n.name));
+        return s;
+      case AstAxis::kParent:
+      case AstAxis::kAncestor: {
+        if (source_clones_.empty()) {
+          return Status::Internal("backward step without a source clone");
+        }
+        StreamId candidates = source_clones_.front();
+        source_clones_.pop_front();
+        // parent needs every element as a candidate; ancestor::tag only
+        // the matching ones.
+        std::string candidate_tag =
+            n.axis == AstAxis::kParent ? "*" : n.name;
+        AddStage(std::make_unique<DescendantStep>(ctx(), candidates,
+                                                  candidate_tag));
+        AddStage(std::make_unique<BackwardAxisOp>(
+            ctx(), s, candidates,
+            n.axis == AstAxis::kParent ? BackwardMode::kParent
+                                       : BackwardMode::kAncestor));
+        return candidates;
+      }
+    }
+    return Status::Internal("unhandled axis");
+  }
+
+  // e1[e2]: clone e1's output, run the condition on the clone, join.
+  StatusOr<StreamId> CompileFilter(const AstNode& n, StreamId context_stream) {
+    auto in = CompilePathOn(*n.children[0], context_stream);
+    if (!in.ok()) return in.status();
+    StreamId data = in.value();
+    auto cond = CompileCondition(*n.children[1], data);
+    if (!cond.ok()) return cond.status();
+    AddStage(std::make_unique<PredicateOp>(ctx(), data, cond.value(),
+                                           PredicateScope::kElement));
+    return data;
+  }
+
+  // Compiles a kCompare condition against a clone of `data`; returns the
+  // condition stream.
+  StatusOr<StreamId> CompileCondition(const AstNode& cmp, StreamId data) {
+    if (cmp.kind != AstKind::kCompare) {
+      return Status::NotSupported("unsupported predicate condition");
+    }
+    StreamId cond = NewBase();
+    pipeline_->Add(std::make_unique<CloneFilter>(ctx(), data, cond));
+    auto path = CompilePathOn(*cmp.children[0], cond);
+    if (!path.ok()) return path.status();
+    switch (cmp.match) {
+      case AstMatch::kEquals:
+        AddStage(std::make_unique<TextCompare>(ctx(), path.value(),
+                                               TextMatch::kEquals, cmp.name));
+        break;
+      case AstMatch::kContains:
+        AddStage(std::make_unique<TextCompare>(
+            ctx(), path.value(), TextMatch::kContains, cmp.name));
+        break;
+      case AstMatch::kExists:
+        // Existence: any delivered item matches (contains the empty
+        // string); absent items deliver nothing.
+        AddStage(std::make_unique<TextCompare>(ctx(), path.value(),
+                                               TextMatch::kContains, ""));
+        break;
+    }
+    return path;
+  }
+
+  StatusOr<Roots> CompileFlwor(const AstNode& n) {
+    // Predicates on the binding path are peeled into tuple scope: the
+    // region then wraps the whole tuple (not an element straddling tuple
+    // markers), which keeps it relocatable by a later sort.
+    const AstNode* in_node = n.children[static_cast<size_t>(n.in_child)].get();
+    std::vector<const AstNode*> peeled_conditions;
+    while (in_node->kind == AstKind::kFilter) {
+      peeled_conditions.push_back(in_node->children[1].get());
+      in_node = in_node->children[0].get();
+    }
+    std::reverse(peeled_conditions.begin(), peeled_conditions.end());
+
+    auto in = CompileTop(*in_node);
+    if (!in.ok()) return in.status();
+    if (in.value().size() != 1) {
+      return Status::NotSupported("for-binding over a multi-branch sequence");
+    }
+    StreamId loop = in.value().front();
+    variables_[n.name] = loop;
+    AddStage(std::make_unique<MakeTuples>(loop));
+
+    // The sort key comes from a clone of the raw tuples, before filtering
+    // and the return transform.
+    StreamId sort_key = 0;
+    if (n.orderby_child >= 0) {
+      sort_key = NewBase();
+      pipeline_->Add(std::make_unique<CloneFilter>(ctx(), loop, sort_key));
+      auto key = CompilePathOn(
+          *n.children[static_cast<size_t>(n.orderby_child)], sort_key);
+      if (!key.ok()) return key.status();
+      AddStage(std::make_unique<StringValue>(key.value()));
+    }
+
+    // The where condition is extracted from a clone of the raw tuples, but
+    // the tuple-scoped predicate itself runs after the return transform so
+    // that its region wraps the *constructed* tuple output (and the whole
+    // structure can be relocated by a later sort).
+    std::vector<StreamId> tuple_conditions;
+    for (const AstNode* cond_node : peeled_conditions) {
+      auto cond = CompileCondition(*cond_node, loop);
+      if (!cond.ok()) return cond.status();
+      tuple_conditions.push_back(cond.value());
+    }
+    if (n.where_child >= 0) {
+      auto cond = CompileCondition(
+          *n.children[static_cast<size_t>(n.where_child)], loop);
+      if (!cond.ok()) return cond.status();
+      tuple_conditions.push_back(cond.value());
+    }
+
+    auto ret = CompileReturn(*n.children[static_cast<size_t>(n.return_child)],
+                             loop);
+    if (!ret.ok()) return ret.status();
+
+    for (StreamId cond : tuple_conditions) {
+      AddStage(std::make_unique<PredicateOp>(ctx(), ret.value(), cond,
+                                             PredicateScope::kTuple));
+    }
+    if (n.orderby_child >= 0) {
+      pipeline_->Add(std::make_unique<SortFilter>(ctx(), sort_key,
+                                                   n.descending));
+    }
+    variables_.erase(n.name);
+    return ret;
+  }
+
+  // Return clauses run per tuple.  Returns all base streams the per-tuple
+  // output roots at.
+  StatusOr<Roots> CompileReturn(const AstNode& n, StreamId loop) {
+    switch (n.kind) {
+      case AstKind::kVarRef:
+        if (!n.name.empty() && variables_.count(n.name) == 0) {
+          return Status::InvalidArgument("unbound variable $" + n.name);
+        }
+        return Roots{loop};
+      case AstKind::kStep:
+      case AstKind::kFilter: {
+        auto out = CompilePathOn(n, loop);
+        if (!out.ok()) return out.status();
+        return Roots{out.value()};
+      }
+      case AstKind::kElementCtor: {
+        auto content = CompileReturn(*n.children[0], loop);
+        if (!content.ok()) return content.status();
+        AddStage(std::make_unique<ElementConstruct>(
+            content.value(), n.name, ConstructScope::kPerTuple));
+        return content;
+      }
+      case AstKind::kStringLiteral:
+        AddStage(std::make_unique<TextLiteral>(loop, n.name,
+                                               ConstructScope::kPerTuple));
+        return Roots{loop};
+      case AstKind::kSequence: {
+        // Branch 0 transforms the loop stream in place; the others run on
+        // clones created before any branch's stages.
+        Roots branches;
+        branches.push_back(loop);
+        for (size_t i = 1; i < n.children.size(); ++i) {
+          StreamId b = NewBase();
+          pipeline_->Add(std::make_unique<CloneFilter>(ctx(), loop, b));
+          branches.push_back(b);
+        }
+        Roots outs;
+        for (size_t i = 0; i < n.children.size(); ++i) {
+          auto out = CompileReturn(*n.children[i], branches[i]);
+          if (!out.ok()) return out.status();
+          if (out.value().size() != 1) {
+            return Status::NotSupported("nested sequences in return clauses");
+          }
+          outs.push_back(out.value().front());
+        }
+        AddStage(std::make_unique<ConcatOp>(ctx(), outs));
+        return outs;
+      }
+      default:
+        return Status::NotSupported("unsupported return clause");
+    }
+  }
+
+  std::unique_ptr<Pipeline> pipeline_;
+  std::unordered_map<std::string, StreamId> variables_;
+  std::deque<StreamId> source_clones_;
+};
+
+}  // namespace
+
+StatusOr<CompiledQuery> CompileAst(const AstNode& ast) {
+  Compiler compiler;
+  return compiler.Run(ast);
+}
+
+StatusOr<CompiledQuery> CompileQuery(std::string_view query) {
+  auto ast = ParseQuery(query);
+  if (!ast.ok()) return ast.status();
+  return CompileAst(*ast.value());
+}
+
+}  // namespace xflux

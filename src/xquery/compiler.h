@@ -1,0 +1,33 @@
+// Compiles the XQuery-subset AST into a pipeline of state transformers
+// (the translation the paper references from its earlier work [4]): each
+// XPath step, predicate, FLWOR clause, constructor, and aggregate becomes
+// one stage, all wrapped by the state-adjustment machinery.
+
+#ifndef XFLUX_XQUERY_COMPILER_H_
+#define XFLUX_XQUERY_COMPILER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "core/pipeline.h"
+#include "util/status.h"
+#include "xquery/ast.h"
+
+namespace xflux {
+
+/// A compiled query: an assembled pipeline awaiting a sink and then source
+/// events on stream `source_id`.
+struct CompiledQuery {
+  std::unique_ptr<Pipeline> pipeline;
+  StreamId source_id = 0;
+};
+
+/// Compiles a parsed AST.
+StatusOr<CompiledQuery> CompileAst(const AstNode& ast);
+
+/// Parses and compiles in one step.
+StatusOr<CompiledQuery> CompileQuery(std::string_view query);
+
+}  // namespace xflux
+
+#endif  // XFLUX_XQUERY_COMPILER_H_

@@ -1,0 +1,38 @@
+#include "xquery/engine.h"
+
+#include "xml/sax_parser.h"
+
+namespace xflux {
+
+StatusOr<std::unique_ptr<QuerySession>> QuerySession::Open(
+    std::string_view query, const ResultDisplay::Options& display_options) {
+  auto compiled = CompileQuery(query);
+  if (!compiled.ok()) return compiled.status();
+  auto session = std::unique_ptr<QuerySession>(new QuerySession());
+  session->pipeline_ = std::move(compiled.value().pipeline);
+  session->source_id_ = compiled.value().source_id;
+  session->display_ = std::make_unique<ResultDisplay>(
+      display_options, session->pipeline_->context()->metrics());
+  session->pipeline_->SetSink(session->display_.get());
+  return session;
+}
+
+Status QuerySession::PushDocument(std::string_view xml) {
+  PipelineSource source(pipeline_.get());
+  SaxParser::Options options;
+  options.stream_id = source_id_;
+  SaxParser parser(options, &source);
+  XFLUX_RETURN_IF_ERROR(parser.Feed(xml));
+  XFLUX_RETURN_IF_ERROR(parser.Finish());
+  return display_->status();
+}
+
+StatusOr<std::string> RunQueryOnXml(std::string_view query,
+                                    std::string_view xml) {
+  auto session = QuerySession::Open(query);
+  if (!session.ok()) return session.status();
+  XFLUX_RETURN_IF_ERROR(session.value()->PushDocument(xml));
+  return session.value()->CurrentText();
+}
+
+}  // namespace xflux

@@ -1,0 +1,72 @@
+// One-call conveniences for running queries: the public entry point most
+// applications use.
+
+#ifndef XFLUX_XQUERY_ENGINE_H_
+#define XFLUX_XQUERY_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "core/pipeline.h"
+#include "core/result_display.h"
+#include "util/status.h"
+#include "xquery/compiler.h"
+
+namespace xflux {
+
+/// Bridges an event producer (e.g. the SAX tokenizer) to a pipeline.
+class PipelineSource : public EventSink {
+ public:
+  explicit PipelineSource(Pipeline* pipeline) : pipeline_(pipeline) {}
+  void Accept(Event event) override { pipeline_->Push(std::move(event)); }
+
+ private:
+  Pipeline* pipeline_;
+};
+
+/// A compiled query wired to a live result display.  Feed events (or whole
+/// documents) and read the continuously-maintained answer.
+class QuerySession {
+ public:
+  /// Compiles `query` and attaches a display with the given options.
+  static StatusOr<std::unique_ptr<QuerySession>> Open(
+      std::string_view query, const ResultDisplay::Options& display_options);
+  static StatusOr<std::unique_ptr<QuerySession>> Open(std::string_view query) {
+    return Open(query, ResultDisplay::Options());
+  }
+
+  /// Pushes one source event.
+  void Push(Event event) { pipeline_->Push(std::move(event)); }
+  void PushAll(const EventVec& events) { pipeline_->PushAll(events); }
+
+  /// Tokenizes and pushes a whole XML document (emits sS/eS brackets).
+  Status PushDocument(std::string_view xml);
+
+  /// The current answer text.
+  StatusOr<std::string> CurrentText() const { return display_->CurrentText(); }
+  EventVec CurrentEvents() const { return display_->CurrentEvents(); }
+
+  Pipeline* pipeline() { return pipeline_.get(); }
+  ResultDisplay* display() { return display_.get(); }
+  StreamId source_id() const { return source_id_; }
+
+  /// Errors latched by the display (protocol violations).
+  const Status& display_status() const { return display_->status(); }
+
+ private:
+  QuerySession() = default;
+
+  std::unique_ptr<Pipeline> pipeline_;
+  std::unique_ptr<ResultDisplay> display_;
+  StreamId source_id_ = 0;
+};
+
+/// Parses `query`, evaluates it over `xml`, and returns the final answer —
+/// the simplest way to use the engine.
+StatusOr<std::string> RunQueryOnXml(std::string_view query,
+                                    std::string_view xml);
+
+}  // namespace xflux
+
+#endif  // XFLUX_XQUERY_ENGINE_H_

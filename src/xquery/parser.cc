@@ -1,0 +1,425 @@
+#include "xquery/parser.h"
+
+#include <cctype>
+
+namespace xflux {
+
+namespace {
+
+bool IsNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-';
+}
+
+// A tiny cursor-based parser; errors carry the byte offset.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  StatusOr<AstPtr> Parse() {
+    auto expr = ParseExpr();
+    if (!expr.ok()) return expr.status();
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Error("trailing input after query");
+    }
+    return expr;
+  }
+
+ private:
+  Status Error(const std::string& message) {
+    return Status::ParseError(message + " at offset " + std::to_string(pos_));
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Peek(std::string_view token) {
+    SkipSpace();
+    return text_.substr(pos_, token.size()) == token;
+  }
+
+  bool Consume(std::string_view token) {
+    if (!Peek(token)) return false;
+    pos_ += token.size();
+    return true;
+  }
+
+  // Peeks a whole identifier/keyword (not a prefix of a longer name).
+  bool PeekWord(std::string_view word) {
+    SkipSpace();
+    if (text_.substr(pos_, word.size()) != word) return false;
+    size_t after = pos_ + word.size();
+    return after >= text_.size() || !IsNameChar(text_[after]);
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    if (!PeekWord(word)) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  StatusOr<std::string> ParseName() {
+    SkipSpace();
+    if (pos_ >= text_.size() || !IsNameStart(text_[pos_])) {
+      return Error("expected a name");
+    }
+    size_t start = pos_;
+    while (pos_ < text_.size() && IsNameChar(text_[pos_])) ++pos_;
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  StatusOr<std::string> ParseStringLiteral() {
+    SkipSpace();
+    if (pos_ >= text_.size() || (text_[pos_] != '"' && text_[pos_] != '\'')) {
+      return Error("expected a string literal");
+    }
+    char quote = text_[pos_++];
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != quote) {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case '\\': out += '\\'; break;
+          case '"': out += '"'; break;
+          case '\'': out += '\''; break;
+          default: out += esc;
+        }
+      } else {
+        out += c;
+      }
+    }
+    if (pos_ >= text_.size()) return Error("unterminated string literal");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  // Expr := Flwor | ElementCtor | '(' Expr (',' Expr)* ')' | StringLit
+  //       | count(Expr) | sum(Expr) | contains(Path, Lit) | Path ['=' Lit]
+  StatusOr<AstPtr> ParseExpr() {
+    SkipSpace();
+    if (PeekWord("for")) return ParseFlwor();
+    if (Peek("<")) return ParseElementCtor();
+    if (Peek("\"") || Peek("'")) {
+      auto lit = ParseStringLiteral();
+      if (!lit.ok()) return lit.status();
+      auto node = std::make_unique<AstNode>(AstKind::kStringLiteral);
+      node->name = std::move(lit).value();
+      return AstPtr(std::move(node));
+    }
+    if (Consume("(")) {
+      auto seq = std::make_unique<AstNode>(AstKind::kSequence);
+      do {
+        auto item = ParseExpr();
+        if (!item.ok()) return item.status();
+        seq->children.push_back(std::move(item).value());
+      } while (Consume(","));
+      if (!Consume(")")) return Error("expected ')'");
+      if (seq->children.size() == 1) return std::move(seq->children[0]);
+      return AstPtr(std::move(seq));
+    }
+    if (PeekWord("count") || PeekWord("sum") || PeekWord("avg")) {
+      AstKind kind = PeekWord("count")
+                         ? AstKind::kCount
+                         : (PeekWord("sum") ? AstKind::kSum : AstKind::kAvg);
+      (void)(kind == AstKind::kCount
+                 ? ConsumeWord("count")
+                 : (kind == AstKind::kSum ? ConsumeWord("sum")
+                                          : ConsumeWord("avg")));
+      if (!Consume("(")) return Error("expected '(' after aggregate");
+      auto arg = ParseExpr();
+      if (!arg.ok()) return arg.status();
+      if (!Consume(")")) return Error("expected ')' after aggregate");
+      auto node = std::make_unique<AstNode>(kind);
+      node->children.push_back(std::move(arg).value());
+      return AstPtr(std::move(node));
+    }
+    if (PeekWord("contains")) return ParseContains();
+    return ParseComparableTail(ParsePath());
+  }
+
+  // contains(path, "lit")
+  StatusOr<AstPtr> ParseContains() {
+    ConsumeWord("contains");
+    if (!Consume("(")) return Error("expected '(' after contains");
+    auto path = ParsePath();
+    if (!path.ok()) return path.status();
+    if (!Consume(",")) return Error("expected ',' in contains");
+    auto lit = ParseStringLiteral();
+    if (!lit.ok()) return lit.status();
+    if (!Consume(")")) return Error("expected ')' after contains");
+    auto node = std::make_unique<AstNode>(AstKind::kCompare);
+    node->match = AstMatch::kContains;
+    node->name = std::move(lit).value();
+    node->children.push_back(std::move(path).value());
+    return AstPtr(std::move(node));
+  }
+
+  // Wraps a parsed path in a kCompare when followed by '= "lit"'.
+  StatusOr<AstPtr> ParseComparableTail(StatusOr<AstPtr> path) {
+    if (!path.ok()) return path.status();
+    if (!Consume("=")) return path;
+    auto lit = ParseStringLiteral();
+    if (!lit.ok()) return lit.status();
+    auto node = std::make_unique<AstNode>(AstKind::kCompare);
+    node->match = AstMatch::kEquals;
+    node->name = std::move(lit).value();
+    node->children.push_back(std::move(path).value());
+    return AstPtr(std::move(node));
+  }
+
+  // Path := ('$'var | Name ['(' ')'] | RelativeStep) Step*
+  StatusOr<AstPtr> ParsePath() {
+    SkipSpace();
+    AstPtr current;
+    if (Consume("$")) {
+      auto name = ParseName();
+      if (!name.ok()) return name.status();
+      current = std::make_unique<AstNode>(AstKind::kVarRef);
+      current->name = std::move(name).value();
+    } else if (pos_ < text_.size() &&
+               (IsNameStart(text_[pos_]) || text_[pos_] == '@' ||
+                text_[pos_] == '*')) {
+      // A relative path inside a predicate starts with a step; a document
+      // source is a bare name (optionally called like stream()).  We treat
+      // a leading name as the source only at the start of an absolute
+      // path, which the caller distinguishes by context: here a bare name
+      // followed by '/' '//' '=' ']' ')' ',' or end is ambiguous, so the
+      // convention is: inside predicates ParseRelativePath is used instead.
+      auto name = ParseName();
+      if (!name.ok()) return name.status();
+      if (Consume("(")) {
+        if (!Consume(")")) return Error("expected ')' after stream()");
+      }
+      current = std::make_unique<AstNode>(AstKind::kStream);
+      current->name = std::move(name).value();
+    } else {
+      return Error("expected a path expression");
+    }
+    return ParseSteps(std::move(current));
+  }
+
+  // A path relative to the context item (predicate conditions).
+  StatusOr<AstPtr> ParseRelativePath() {
+    auto context = std::make_unique<AstNode>(AstKind::kVarRef);
+    context->name = "";  // the context item
+    auto step = ParseOneStep(std::move(context), /*descendant=*/false);
+    if (!step.ok()) return step.status();
+    return ParseSteps(std::move(step).value());
+  }
+
+  // Parses one axis step applied to `input`.
+  StatusOr<AstPtr> ParseOneStep(AstPtr input, bool descendant) {
+    SkipSpace();
+    auto node = std::make_unique<AstNode>(AstKind::kStep);
+    node->children.push_back(std::move(input));
+    if (descendant) {
+      node->axis = AstAxis::kDescendant;
+      if (Consume("*")) {
+        node->name = "*";
+        return AstPtr(std::move(node));
+      }
+      auto name = ParseName();
+      if (!name.ok()) return name.status();
+      node->name = std::move(name).value();
+      return AstPtr(std::move(node));
+    }
+    if (Consume("..")) {
+      node->axis = AstAxis::kParent;
+      return AstPtr(std::move(node));
+    }
+    if (Consume("@")) {
+      node->axis = AstAxis::kAttribute;
+      auto name = ParseName();
+      if (!name.ok()) return name.status();
+      node->name = std::move(name).value();
+      return AstPtr(std::move(node));
+    }
+    if (PeekWord("ancestor")) {
+      ConsumeWord("ancestor");
+      if (!Consume("::")) return Error("expected '::' after ancestor");
+      node->axis = AstAxis::kAncestor;
+      if (Consume("*")) {
+        node->name = "*";
+      } else {
+        auto name = ParseName();
+        if (!name.ok()) return name.status();
+        node->name = std::move(name).value();
+      }
+      return AstPtr(std::move(node));
+    }
+    if (PeekWord("text")) {
+      size_t save = pos_;
+      ConsumeWord("text");
+      if (Consume("(")) {
+        if (!Consume(")")) return Error("expected ')' after text(");
+        node->axis = AstAxis::kText;
+        return AstPtr(std::move(node));
+      }
+      pos_ = save;  // a child element named "text"
+    }
+    node->axis = AstAxis::kChild;
+    if (Consume("*")) {
+      node->name = "*";
+      return AstPtr(std::move(node));
+    }
+    auto name = ParseName();
+    if (!name.ok()) return name.status();
+    node->name = std::move(name).value();
+    return AstPtr(std::move(node));
+  }
+
+  // Step* := ('//' | '/') step, plus '[' predicate ']' filters.
+  StatusOr<AstPtr> ParseSteps(AstPtr current) {
+    for (;;) {
+      SkipSpace();
+      if (Consume("//")) {
+        auto step = ParseOneStep(std::move(current), /*descendant=*/true);
+        if (!step.ok()) return step.status();
+        current = std::move(step).value();
+      } else if (Consume("/")) {
+        auto step = ParseOneStep(std::move(current), /*descendant=*/false);
+        if (!step.ok()) return step.status();
+        current = std::move(step).value();
+      } else if (Consume("[")) {
+        auto cond = ParsePredicateCondition();
+        if (!cond.ok()) return cond.status();
+        if (!Consume("]")) return Error("expected ']'");
+        auto filter = std::make_unique<AstNode>(AstKind::kFilter);
+        filter->children.push_back(std::move(current));
+        filter->children.push_back(std::move(cond).value());
+        current = std::move(filter);
+      } else {
+        return current;
+      }
+    }
+  }
+
+  // Predicate condition: relative path, optionally compared to a literal,
+  // or contains(relative-path, "lit").
+  StatusOr<AstPtr> ParsePredicateCondition() {
+    SkipSpace();
+    if (PeekWord("contains")) {
+      ConsumeWord("contains");
+      if (!Consume("(")) return Error("expected '(' after contains");
+      auto path = ParseRelativePath();
+      if (!path.ok()) return path.status();
+      if (!Consume(",")) return Error("expected ',' in contains");
+      auto lit = ParseStringLiteral();
+      if (!lit.ok()) return lit.status();
+      if (!Consume(")")) return Error("expected ')' after contains");
+      auto node = std::make_unique<AstNode>(AstKind::kCompare);
+      node->match = AstMatch::kContains;
+      node->name = std::move(lit).value();
+      node->children.push_back(std::move(path).value());
+      return AstPtr(std::move(node));
+    }
+    auto path = ParseRelativePath();
+    if (!path.ok()) return path.status();
+    auto node = std::make_unique<AstNode>(AstKind::kCompare);
+    node->children.push_back(std::move(path).value());
+    if (Consume("=")) {
+      node->match = AstMatch::kEquals;
+      auto lit = ParseStringLiteral();
+      if (!lit.ok()) return lit.status();
+      node->name = std::move(lit).value();
+    } else {
+      node->match = AstMatch::kExists;
+    }
+    return AstPtr(std::move(node));
+  }
+
+  // for $v in Expr [where Cond] [order by Expr] return Expr
+  StatusOr<AstPtr> ParseFlwor() {
+    ConsumeWord("for");
+    if (!Consume("$")) return Error("expected '$' after for");
+    auto var = ParseName();
+    if (!var.ok()) return var.status();
+    if (!ConsumeWord("in")) return Error("expected 'in'");
+    auto node = std::make_unique<AstNode>(AstKind::kFlwor);
+    node->name = std::move(var).value();
+
+    auto in_expr = ParseExpr();
+    if (!in_expr.ok()) return in_expr.status();
+    node->in_child = static_cast<int>(node->children.size());
+    node->children.push_back(std::move(in_expr).value());
+
+    if (ConsumeWord("where")) {
+      auto cond = ParseExpr();  // a kCompare over a $var path, typically
+      if (!cond.ok()) return cond.status();
+      node->where_child = static_cast<int>(node->children.size());
+      node->children.push_back(std::move(cond).value());
+    }
+    if (ConsumeWord("order")) {
+      if (!ConsumeWord("by")) return Error("expected 'by' after order");
+      auto key = ParseExpr();
+      if (!key.ok()) return key.status();
+      node->orderby_child = static_cast<int>(node->children.size());
+      node->children.push_back(std::move(key).value());
+      if (ConsumeWord("descending")) {
+        node->descending = true;
+      } else {
+        (void)ConsumeWord("ascending");
+      }
+    }
+    if (!ConsumeWord("return")) return Error("expected 'return'");
+    auto ret = ParseExpr();
+    if (!ret.ok()) return ret.status();
+    node->return_child = static_cast<int>(node->children.size());
+    node->children.push_back(std::move(ret).value());
+    return AstPtr(std::move(node));
+  }
+
+  // <tag>{ Expr (',' Expr)* }</tag>
+  StatusOr<AstPtr> ParseElementCtor() {
+    if (!Consume("<")) return Error("expected '<'");
+    auto tag = ParseName();
+    if (!tag.ok()) return tag.status();
+    if (!Consume(">")) return Error("expected '>' in constructor");
+    if (!Consume("{")) return Error("expected '{' in constructor");
+    auto node = std::make_unique<AstNode>(AstKind::kElementCtor);
+    node->name = tag.value();
+    auto content = std::make_unique<AstNode>(AstKind::kSequence);
+    do {
+      auto item = ParseExpr();
+      if (!item.ok()) return item.status();
+      content->children.push_back(std::move(item).value());
+    } while (Consume(","));
+    if (!Consume("}")) return Error("expected '}' in constructor");
+    if (!Consume("</")) return Error("expected '</' in constructor");
+    auto close = ParseName();
+    if (!close.ok()) return close.status();
+    if (close.value() != tag.value()) {
+      return Error("constructor close tag mismatch: <" + tag.value() +
+                   "> vs </" + close.value() + ">");
+    }
+    if (!Consume(">")) return Error("expected '>' after close tag");
+    if (content->children.size() == 1) {
+      node->children.push_back(std::move(content->children[0]));
+    } else {
+      node->children.push_back(std::move(content));
+    }
+    return AstPtr(std::move(node));
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<AstPtr> ParseQuery(std::string_view query) {
+  Parser parser(query);
+  return parser.Parse();
+}
+
+}  // namespace xflux

@@ -1,0 +1,18 @@
+// Recursive-descent parser for the supported XQuery subset (see ast.h).
+
+#ifndef XFLUX_XQUERY_PARSER_H_
+#define XFLUX_XQUERY_PARSER_H_
+
+#include <string_view>
+
+#include "util/status.h"
+#include "xquery/ast.h"
+
+namespace xflux {
+
+/// Parses a query; returns the AST or a parse error with position info.
+StatusOr<AstPtr> ParseQuery(std::string_view query);
+
+}  // namespace xflux
+
+#endif  // XFLUX_XQUERY_PARSER_H_

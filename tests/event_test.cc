@@ -1,0 +1,131 @@
+#include "core/event.h"
+
+#include <gtest/gtest.h>
+
+#include "core/well_formed.h"
+
+namespace xflux {
+namespace {
+
+TEST(EventTest, FactoriesSetFields) {
+  Event e = Event::StartElement(3, "book", 17);
+  EXPECT_EQ(e.kind, EventKind::kStartElement);
+  EXPECT_EQ(e.id, 3u);
+  EXPECT_EQ(e.text, "book");
+  EXPECT_EQ(e.oid, 17u);
+
+  Event u = Event::StartReplace(1, 2);
+  EXPECT_EQ(u.kind, EventKind::kStartReplace);
+  EXPECT_EQ(u.id, 1u);
+  EXPECT_EQ(u.uid, 2u);
+}
+
+TEST(EventTest, Classification) {
+  EXPECT_TRUE(Event::Characters(0, "x").IsSimple());
+  EXPECT_TRUE(Event::StartTuple(0).IsSimple());
+  EXPECT_FALSE(Event::StartMutable(0, 1).IsSimple());
+  EXPECT_TRUE(Event::StartMutable(0, 1).IsUpdateStart());
+  EXPECT_TRUE(Event::EndInsertAfter(0, 1).IsUpdateEnd());
+  EXPECT_TRUE(Event::Hide(1).IsUpdate());
+  EXPECT_FALSE(Event::Hide(1).IsUpdateStart());
+}
+
+TEST(EventTest, MatchingUpdateEnd) {
+  EXPECT_EQ(MatchingUpdateEnd(EventKind::kStartMutable), EventKind::kEndMutable);
+  EXPECT_EQ(MatchingUpdateEnd(EventKind::kStartReplace), EventKind::kEndReplace);
+  EXPECT_EQ(MatchingUpdateEnd(EventKind::kStartInsertBefore),
+            EventKind::kEndInsertBefore);
+  EXPECT_EQ(MatchingUpdateEnd(EventKind::kStartInsertAfter),
+            EventKind::kEndInsertAfter);
+}
+
+TEST(EventTest, ToStringMatchesPaperNotation) {
+  EXPECT_EQ(Event::StartElement(0, "name").ToString(), "sE(0,\"name\")");
+  EXPECT_EQ(Event::Characters(0, "Smith").ToString(), "cD(0,\"Smith\")");
+  EXPECT_EQ(Event::StartReplace(1, 2).ToString(), "sR(1,2)");
+  EXPECT_EQ(Event::Freeze(7).ToString(), "freeze(7)");
+}
+
+TEST(WellFormedTest, TokenizedElementIsWellFormed) {
+  // <name>Smith</name> from Section II.
+  EventVec v = {Event::StartElement(0, "name"), Event::Characters(0, "Smith"),
+                Event::EndElement(0, "name")};
+  EXPECT_TRUE(CheckWellFormed(v, 0).ok());
+}
+
+TEST(WellFormedTest, OtherStreamsAreIrrelevant) {
+  EventVec v = {Event::StartElement(0, "a"), Event::StartElement(1, "b"),
+                Event::EndElement(0, "a")};
+  EXPECT_TRUE(CheckWellFormed(v, 0).ok());
+  EXPECT_FALSE(CheckWellFormed(v, 1).ok());
+}
+
+TEST(WellFormedTest, MismatchedTagsRejected) {
+  EventVec v = {Event::StartElement(0, "a"), Event::EndElement(0, "b")};
+  EXPECT_FALSE(CheckWellFormed(v, 0).ok());
+}
+
+TEST(WellFormedTest, UnmatchedEndRejected) {
+  EventVec v = {Event::EndElement(0, "a")};
+  EXPECT_FALSE(CheckWellFormed(v, 0).ok());
+}
+
+TEST(WellFormedTest, ConcatenationOfWellFormedIsWellFormed) {
+  EventVec a = {Event::StartElement(0, "a"), Event::EndElement(0, "a")};
+  EventVec b = {Event::Characters(0, "t")};
+  EventVec both = a;
+  both.insert(both.end(), b.begin(), b.end());
+  EXPECT_TRUE(CheckWellFormed(both, 0).ok());
+}
+
+TEST(ValidateUpdateStreamTest, PaperUpdateExampleValidates) {
+  EventVec v = {
+      Event::StartMutable(0, 1),      Event::Characters(1, "x"),
+      Event::EndMutable(0, 1),        Event::StartReplace(1, 2),
+      Event::Characters(2, "y"),      Event::EndReplace(1, 2),
+      Event::StartInsertAfter(2, 3),  Event::Characters(3, "z"),
+      Event::EndInsertAfter(2, 3),    Event::StartInsertBefore(1, 3),
+      Event::Characters(3, "w"),      Event::EndInsertBefore(1, 3),
+  };
+  EXPECT_TRUE(ValidateUpdateStream(v).ok()) << ValidateUpdateStream(v);
+}
+
+TEST(ValidateUpdateStreamTest, InterleavedBracketsValidate) {
+  // The concatenation example of Section VI-A: events of region 1 appear
+  // between the brackets of region 0 and vice versa.
+  EventVec v = {
+      Event::StartTuple(2),           Event::StartMutable(2, 1),
+      Event::StartInsertBefore(1, 0), Event::Characters(0, "x"),
+      Event::Characters(1, "y"),      Event::Characters(0, "z"),
+      Event::Characters(1, "w"),      Event::EndInsertBefore(1, 0),
+      Event::EndMutable(2, 1),        Event::EndTuple(2),
+  };
+  EXPECT_TRUE(ValidateUpdateStream(v).ok()) << ValidateUpdateStream(v);
+}
+
+TEST(ValidateUpdateStreamTest, MismatchedBracketRejected) {
+  EventVec v = {Event::StartMutable(0, 1), Event::EndReplace(0, 1)};
+  EXPECT_FALSE(ValidateUpdateStream(v).ok());
+}
+
+TEST(ValidateUpdateStreamTest, UnclosedBracketRejected) {
+  EventVec v = {Event::StartMutable(0, 1)};
+  EXPECT_FALSE(ValidateUpdateStream(v).ok());
+}
+
+TEST(ValidateUpdateStreamTest, ContentAfterCloseRejected) {
+  EventVec v = {Event::StartMutable(0, 1), Event::EndMutable(0, 1),
+                Event::Characters(1, "late")};
+  EXPECT_FALSE(ValidateUpdateStream(v).ok());
+}
+
+TEST(ValidateUpdateStreamTest, IdReuseIsLegal) {
+  EventVec v = {Event::StartMutable(0, 1),     Event::EndMutable(0, 1),
+                Event::StartInsertAfter(1, 3), Event::EndInsertAfter(1, 3),
+                Event::StartInsertBefore(1, 3), Event::Characters(3, "w"),
+                Event::EndInsertBefore(1, 3)};
+  EXPECT_TRUE(ValidateUpdateStream(v).ok()) << ValidateUpdateStream(v);
+}
+
+}  // namespace
+}  // namespace xflux

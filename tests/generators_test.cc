@@ -1,0 +1,110 @@
+#include "data/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "core/well_formed.h"
+#include "xml/sax_parser.h"
+#include "xquery/engine.h"
+
+namespace xflux {
+namespace {
+
+TEST(XmarkGenTest, ProducesWellFormedXml) {
+  XmarkOptions options;
+  options.items_per_region = 10;
+  std::string doc = GenerateXmark(options);
+  auto events = SaxParser::Tokenize(doc);
+  ASSERT_TRUE(events.ok()) << events.status();
+  EXPECT_TRUE(CheckWellFormed(events.value(), 0).ok());
+}
+
+TEST(XmarkGenTest, DeterministicInSeed) {
+  XmarkOptions options;
+  options.items_per_region = 5;
+  EXPECT_EQ(GenerateXmark(options), GenerateXmark(options));
+  XmarkOptions other = options;
+  other.seed = 43;
+  EXPECT_NE(GenerateXmark(options), GenerateXmark(other));
+}
+
+TEST(XmarkGenTest, HasExpectedVocabulary) {
+  XmarkOptions options;
+  options.items_per_region = 20;
+  options.albania_fraction = 0.5;
+  std::string doc = GenerateXmark(options);
+  auto count = RunQueryOnXml("count(X//item)", doc);
+  ASSERT_TRUE(count.ok()) << count.status();
+  EXPECT_EQ(count.value(), "120");  // 6 regions x 20
+  auto albania = RunQueryOnXml(
+      "count(X//item[location=\"Albania\"])", doc);
+  ASSERT_TRUE(albania.ok());
+  int hits = std::stoi(albania.value());
+  EXPECT_GT(hits, 20);  // ~50% of 120, wide margin
+  EXPECT_LT(hits, 110);
+}
+
+TEST(XmarkGenTest, RecursiveDescriptionsNestParlists) {
+  XmarkOptions options;
+  options.items_per_region = 10;
+  options.max_description_depth = 3;
+  std::string doc = GenerateXmark(options);
+  EXPECT_NE(doc.find("<parlist><listitem><parlist>"), std::string::npos);
+}
+
+TEST(XmarkGenTest, SizeKnobIsRoughlyAccurate) {
+  for (size_t target : {100 * 1024ul, 1024 * 1024ul}) {
+    std::string doc = GenerateXmark(XmarkOptionsForBytes(target));
+    EXPECT_GT(doc.size(), target / 2) << target;
+    EXPECT_LT(doc.size(), target * 2) << target;
+  }
+}
+
+TEST(DblpGenTest, ProducesWellFormedXmlWithSmiths) {
+  DblpOptions options;
+  options.entries = 300;
+  options.smith_fraction = 0.1;
+  options.john_smith_fraction = 0.05;
+  std::string doc = GenerateDblp(options);
+  auto events = SaxParser::Tokenize(doc);
+  ASSERT_TRUE(events.ok()) << events.status();
+  EXPECT_TRUE(CheckWellFormed(events.value(), 0).ok());
+  EXPECT_NE(doc.find("John Smith"), std::string::npos);
+
+  auto count = RunQueryOnXml("count(D//inproceedings)", doc);
+  ASSERT_TRUE(count.ok());
+  EXPECT_GT(std::stoi(count.value()), 100);
+}
+
+TEST(DblpGenTest, DeterministicInSeed) {
+  DblpOptions options;
+  options.entries = 50;
+  EXPECT_EQ(GenerateDblp(options), GenerateDblp(options));
+}
+
+TEST(StockTickerTest, StreamValidatesAndMaterializes) {
+  StockTickerOptions options;
+  options.symbols = 5;
+  options.updates = 40;
+  EventVec stream = GenerateStockTicker(options);
+  ASSERT_TRUE(ValidateUpdateStream(stream).ok())
+      << ValidateUpdateStream(stream);
+}
+
+TEST(StockTickerTest, QueryTracksLatestQuote) {
+  StockTickerOptions options;
+  options.symbols = 3;
+  options.updates = 30;
+  EventVec stream = GenerateStockTicker(options);
+  auto session = QuerySession::Open("X//stock[name=\"IBM\"]/quote");
+  ASSERT_TRUE(session.ok()) << session.status();
+  session.value()->PushAll(stream);
+  ASSERT_TRUE(session.value()->display_status().ok())
+      << session.value()->display_status();
+  std::string text = session.value()->CurrentText().value();
+  // Exactly one quote, and it reflects the last IBM update in the stream.
+  EXPECT_EQ(text.find("<quote>"), 0u);
+  EXPECT_EQ(text.find("<quote>", 1), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xflux

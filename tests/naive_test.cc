@@ -1,0 +1,249 @@
+#include "naive/naive_ops.h"
+
+#include <gtest/gtest.h>
+
+#include "core/result_display.h"
+#include "core/transform_stage.h"
+#include "ops/backward.h"
+#include "ops/child_step.h"
+#include "ops/clone.h"
+#include "ops/descendant_step.h"
+#include "ops/predicate.h"
+#include "ops/sorter.h"
+#include "ops/textops.h"
+#include "ops/tuples.h"
+#include "tests/test_util.h"
+#include "util/prng.h"
+#include "xml/serializer.h"
+
+namespace xflux {
+namespace {
+
+std::string MatXml(const EventVec& raw) {
+  auto m = Materialize(raw);
+  EXPECT_TRUE(m.ok()) << m.status();
+  if (!m.ok()) return "<error>";
+  auto xml = XmlSerializer::ToXml(m.value());
+  EXPECT_TRUE(xml.ok()) << xml.status();
+  return xml.ok() ? xml.value() : "<error>";
+}
+
+// A well-formed random document built with an explicit stack.
+std::string StackedRandomDocument(uint64_t seed, int node_budget) {
+  Prng prng(seed);
+  const std::vector<std::string> tags = {"book", "author", "title", "x"};
+  const std::vector<std::string> texts = {"Smith", "Jones", "5", "17", "zz"};
+  std::string out = "<root>";
+  std::vector<std::string> stack;
+  for (int i = 0; i < node_budget; ++i) {
+    double roll = prng.NextDouble();
+    if (roll < 0.40 && stack.size() < 6) {
+      const std::string& tag = prng.Pick(tags);
+      out += "<" + tag + ">";
+      stack.push_back(tag);
+    } else if (roll < 0.70 && !stack.empty()) {
+      out += "</" + stack.back() + ">";
+      stack.pop_back();
+    } else {
+      out += prng.Pick(texts);
+    }
+  }
+  while (!stack.empty()) {
+    out += "</" + stack.back() + ">";
+    stack.pop_back();
+  }
+  out += "</root>";
+  return out;
+}
+
+TEST(NaiveCountTest, CountsAtEndOfStream) {
+  EventVec in = Tok("<l><a/><b/></l>");
+  RunResult r = RunPipeline(in, [](PipelineContext*) {
+    std::vector<std::unique_ptr<StateTransformer>> v;
+    v.push_back(std::make_unique<ChildStep>(0, "*"));
+    v.push_back(std::make_unique<NaiveCount>(0, CountMode::kTopLevelElements));
+    return v;
+  });
+  EXPECT_EQ(r.materialized, EventVec{Event::Characters(0, "2")});
+}
+
+TEST(NaiveDescendantTest, MatchesUnblockedDescendant) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    std::string doc = StackedRandomDocument(seed, 60);
+    EventVec in = Tok(doc);
+    RunResult unblocked = RunPipeline(in, [](PipelineContext* c) {
+      std::vector<std::unique_ptr<StateTransformer>> v;
+      v.push_back(std::make_unique<DescendantStep>(c, 0, "*"));
+      return v;
+    });
+    RunResult naive = RunPipeline(in, [](PipelineContext* c) {
+      std::vector<std::unique_ptr<StateTransformer>> v;
+      v.push_back(std::make_unique<NaiveDescendant>(c, 0, "*"));
+      return v;
+    });
+    EXPECT_EQ(MatXml(unblocked.raw), MatXml(naive.raw))
+        << "seed " << seed << " doc " << doc;
+  }
+}
+
+TEST(NaiveDescendantTest, TagModeMatchesToo) {
+  for (uint64_t seed = 21; seed <= 40; ++seed) {
+    std::string doc = StackedRandomDocument(seed, 60);
+    EventVec in = Tok(doc);
+    RunResult unblocked = RunPipeline(in, [](PipelineContext* c) {
+      std::vector<std::unique_ptr<StateTransformer>> v;
+      v.push_back(std::make_unique<DescendantStep>(c, 0, "book"));
+      return v;
+    });
+    RunResult naive = RunPipeline(in, [](PipelineContext* c) {
+      std::vector<std::unique_ptr<StateTransformer>> v;
+      v.push_back(std::make_unique<NaiveDescendant>(c, 0, "book"));
+      return v;
+    });
+    EXPECT_EQ(MatXml(unblocked.raw), MatXml(naive.raw))
+        << "seed " << seed << " doc " << doc;
+  }
+}
+
+RunResult RunWithPredicate(const EventVec& in, bool naive) {
+  Pipeline pipeline;
+  PipelineContext* c = pipeline.context();
+  pipeline.Add(std::make_unique<TransformStage>(
+      c, std::make_unique<ChildStep>(0, "book")));
+  pipeline.Add(std::make_unique<CloneFilter>(c, 0, 1));
+  pipeline.Add(std::make_unique<TransformStage>(
+      c, std::make_unique<ChildStep>(1, "author")));
+  pipeline.Add(std::make_unique<TransformStage>(
+      c, std::make_unique<TextCompare>(c, 1, TextMatch::kEquals, "Smith")));
+  if (naive) {
+    pipeline.Add(std::make_unique<TransformStage>(
+        c, std::make_unique<NaivePredicate>(c, 0, 1)));
+  } else {
+    pipeline.Add(std::make_unique<TransformStage>(
+        c, std::make_unique<PredicateOp>(c, 0, 1, PredicateScope::kElement)));
+  }
+  CollectingSink sink;
+  pipeline.SetSink(&sink);
+  pipeline.PushAll(in);
+  RunResult result;
+  result.raw = sink.Take();
+  auto m = Materialize(result.raw);
+  EXPECT_TRUE(m.ok()) << m.status();
+  if (m.ok()) result.materialized = std::move(m).value();
+  return result;
+}
+
+TEST(NaivePredicateTest, MatchesUnblockedPredicate) {
+  for (uint64_t seed = 50; seed <= 80; ++seed) {
+    std::string doc = StackedRandomDocument(seed, 80);
+    EventVec in = Tok(doc);
+    RunResult unblocked = RunWithPredicate(in, /*naive=*/false);
+    RunResult naive = RunWithPredicate(in, /*naive=*/true);
+    EXPECT_EQ(MatXml(unblocked.raw), MatXml(naive.raw))
+        << "seed " << seed << " doc " << doc;
+  }
+}
+
+TEST(NaivePredicateTest, BuffersWholeElements) {
+  Pipeline pipeline;
+  PipelineContext* c = pipeline.context();
+  pipeline.Add(std::make_unique<TransformStage>(
+      c, std::make_unique<ChildStep>(0, "book")));
+  pipeline.Add(std::make_unique<CloneFilter>(c, 0, 1));
+  pipeline.Add(std::make_unique<TransformStage>(
+      c, std::make_unique<ChildStep>(1, "author")));
+  pipeline.Add(std::make_unique<TransformStage>(
+      c, std::make_unique<TextCompare>(c, 1, TextMatch::kEquals, "Smith")));
+  pipeline.Add(std::make_unique<TransformStage>(
+      c, std::make_unique<NaivePredicate>(c, 0, 1)));
+  CollectingSink sink;
+  pipeline.SetSink(&sink);
+  pipeline.PushAll(
+      Tok("<l><book><author>Smith</author><t>abc</t></book></l>"));
+  EXPECT_GT(c->metrics()->max_buffered_events(), 0);
+  EXPECT_EQ(c->metrics()->buffered_events(), 0);  // all released
+}
+
+RunResult RunWithSorter(const EventVec& in, bool naive) {
+  Pipeline pipeline;
+  PipelineContext* c = pipeline.context();
+  pipeline.Add(std::make_unique<TransformStage>(
+      c, std::make_unique<ChildStep>(0, "e")));
+  pipeline.Add(std::make_unique<TransformStage>(
+      c, std::make_unique<MakeTuples>(0)));
+  pipeline.Add(std::make_unique<CloneFilter>(c, 0, 1));
+  pipeline.Add(std::make_unique<TransformStage>(
+      c, std::make_unique<ChildStep>(1, "k")));
+  pipeline.Add(std::make_unique<TransformStage>(
+      c, std::make_unique<StringValue>(1)));
+  if (naive) {
+    pipeline.Add(std::make_unique<TransformStage>(
+        c, std::make_unique<NaiveSorter>(c, 0, 1)));
+  } else {
+    pipeline.Add(std::make_unique<SortFilter>(c, 1));
+  }
+  CollectingSink sink;
+  pipeline.SetSink(&sink);
+  pipeline.PushAll(in);
+  RunResult result;
+  result.raw = sink.Take();
+  auto m = Materialize(result.raw);
+  EXPECT_TRUE(m.ok()) << m.status();
+  if (m.ok()) result.materialized = std::move(m).value();
+  return result;
+}
+
+TEST(NaiveSorterTest, MatchesUnblockedSorter) {
+  Prng prng(7);
+  for (int round = 0; round < 15; ++round) {
+    std::string doc = "<l>";
+    int n = static_cast<int>(prng.Uniform(12)) + 1;
+    for (int i = 0; i < n; ++i) {
+      doc += "<e><k>" + std::to_string(prng.Uniform(20)) + "</k><v>" +
+             std::to_string(i) + "</v></e>";
+    }
+    doc += "</l>";
+    EventVec in = Tok(doc);
+    RunResult unblocked = RunWithSorter(in, /*naive=*/false);
+    RunResult naive = RunWithSorter(in, /*naive=*/true);
+    EXPECT_EQ(MatXml(unblocked.raw), MatXml(naive.raw)) << doc;
+  }
+}
+
+TEST(NaiveSorterTest, UnblockedEmitsBeforeEndOfStream) {
+  // The headline behavioural difference: the unblocked sorter has produced
+  // output before eS; the naive one has not.
+  std::string doc = "<l><e><k>2</k></e><e><k>1</k></e></l>";
+  EventVec in = Tok(doc);
+  EventVec prefix(in.begin(), in.end() - 2);  // withhold </l> and eS
+
+  auto run_prefix = [&](bool naive) {
+    Pipeline pipeline;
+    PipelineContext* c = pipeline.context();
+    pipeline.Add(std::make_unique<TransformStage>(
+        c, std::make_unique<ChildStep>(0, "e")));
+    pipeline.Add(std::make_unique<TransformStage>(
+        c, std::make_unique<MakeTuples>(0)));
+    pipeline.Add(std::make_unique<CloneFilter>(c, 0, 1));
+    pipeline.Add(std::make_unique<TransformStage>(
+        c, std::make_unique<ChildStep>(1, "k")));
+    pipeline.Add(std::make_unique<TransformStage>(
+        c, std::make_unique<StringValue>(1)));
+    if (naive) {
+      pipeline.Add(std::make_unique<TransformStage>(
+          c, std::make_unique<NaiveSorter>(c, 0, 1)));
+    } else {
+      pipeline.Add(std::make_unique<SortFilter>(c, 1));
+    }
+    ResultDisplay display;
+    pipeline.SetSink(&display);
+    pipeline.PushAll(prefix);
+    return display.CurrentText().value();
+  };
+
+  EXPECT_NE(run_prefix(false), "");  // unblocked: partial sorted output
+  EXPECT_EQ(run_prefix(true), "");   // naive: still blocking
+}
+
+}  // namespace
+}  // namespace xflux

@@ -1,0 +1,628 @@
+#include <gtest/gtest.h>
+
+#include "core/result_display.h"
+#include "core/transform_stage.h"
+#include "ops/aggregates.h"
+#include "ops/backward.h"
+#include "ops/child_step.h"
+#include "ops/clone.h"
+#include "ops/concat.h"
+#include "ops/descendant_step.h"
+#include "ops/predicate.h"
+#include "ops/sorter.h"
+#include "ops/textops.h"
+#include "ops/tuples.h"
+#include "tests/test_util.h"
+#include "xml/serializer.h"
+
+namespace xflux {
+namespace {
+
+std::string MaterializedXml(const EventVec& raw) {
+  auto m = Materialize(raw);
+  EXPECT_TRUE(m.ok()) << m.status();
+  if (!m.ok()) return "<error>";
+  auto xml = XmlSerializer::ToXml(m.value());
+  EXPECT_TRUE(xml.ok()) << xml.status();
+  return xml.ok() ? xml.value() : "<error>";
+}
+
+// ---------------------------------------------------------------------------
+// DescendantStep
+
+TEST(DescendantStepTest, PaperExamplePostorder) {
+  // Section VI-C: //* over the two-branch document yields postorder.
+  EventVec in = Tok(
+      "<a><b><c><d>X</d><d>Y</d></c></b><b><c><d>Z</d></c></b></a>");
+  RunResult r = RunPipeline(in, [](PipelineContext* c) {
+    std::vector<std::unique_ptr<StateTransformer>> v;
+    v.push_back(std::make_unique<DescendantStep>(c, 0, "*"));
+    return v;
+  });
+  EXPECT_EQ(MaterializedXml(r.raw),
+            "<d>X</d><d>Y</d><c><d>X</d><d>Y</d></c>"
+            "<b><c><d>X</d><d>Y</d></c></b>"
+            "<d>Z</d><c><d>Z</d></c><b><c><d>Z</d></c></b>");
+}
+
+TEST(DescendantStepTest, SmallPaperExample) {
+  // <a><b><c>x</c></b></a> //* == <c>x</c><b><c>x</c></b>.
+  EventVec in = Tok("<a><b><c>x</c></b></a>");
+  RunResult r = RunPipeline(in, [](PipelineContext* c) {
+    std::vector<std::unique_ptr<StateTransformer>> v;
+    v.push_back(std::make_unique<DescendantStep>(c, 0, "*"));
+    return v;
+  });
+  EXPECT_EQ(MaterializedXml(r.raw), "<c>x</c><b><c>x</c></b>");
+}
+
+TEST(DescendantStepTest, TagStepSelectsAllDepths) {
+  EventVec in = Tok("<a><x><item>1</item></x><item>2</item></a>");
+  RunResult r = RunPipeline(in, [](PipelineContext* c) {
+    std::vector<std::unique_ptr<StateTransformer>> v;
+    v.push_back(std::make_unique<DescendantStep>(c, 0, "item"));
+    return v;
+  });
+  EXPECT_EQ(MaterializedXml(r.raw), "<item>1</item><item>2</item>");
+}
+
+TEST(DescendantStepTest, RecursiveTagPostorder) {
+  // //part over recursive parts: inner copies come first.
+  EventVec in = Tok("<doc><part>a<part>b</part></part></doc>");
+  RunResult r = RunPipeline(in, [](PipelineContext* c) {
+    std::vector<std::unique_ptr<StateTransformer>> v;
+    v.push_back(std::make_unique<DescendantStep>(c, 0, "part"));
+    return v;
+  });
+  EXPECT_EQ(MaterializedXml(r.raw),
+            "<part>b</part><part>a<part>b</part></part>");
+}
+
+TEST(DescendantStepTest, NonRecursiveTagGeneratesNoUpdates) {
+  // For non-recursive data //tag is as cheap as /tag: no update events.
+  EventVec in = Tok("<a><b><item>1</item></b><item>2</item></a>");
+  RunResult r = RunPipeline(in, [](PipelineContext* c) {
+    std::vector<std::unique_ptr<StateTransformer>> v;
+    v.push_back(std::make_unique<DescendantStep>(c, 0, "item"));
+    return v;
+  });
+  int inserts = 0;
+  for (const Event& e : r.raw) {
+    if (e.kind == EventKind::kStartInsertBefore) ++inserts;
+  }
+  EXPECT_EQ(inserts, 0);
+}
+
+TEST(DescendantStepTest, WildcardSkipsAttributes) {
+  EventVec in = Tok("<a><b id=\"1\">x</b></a>");
+  RunResult r = RunPipeline(in, [](PipelineContext* c) {
+    std::vector<std::unique_ptr<StateTransformer>> v;
+    v.push_back(std::make_unique<DescendantStep>(c, 0, "*"));
+    return v;
+  });
+  // The attribute is preserved inside b's copy but no standalone @id copy
+  // appears.
+  EXPECT_EQ(MaterializedXml(r.raw), "<b id=\"1\">x</b>");
+}
+
+TEST(DescendantStepTest, DeepNestingStressPostorder) {
+  // A chain a/b1/b2/.../b6: //* returns copies innermost-first.
+  EventVec in = Tok("<a><n><n><n><n><n>x</n></n></n></n></n></a>");
+  RunResult r = RunPipeline(in, [](PipelineContext* c) {
+    std::vector<std::unique_ptr<StateTransformer>> v;
+    v.push_back(std::make_unique<DescendantStep>(c, 0, "n"));
+    return v;
+  });
+  std::string xml = MaterializedXml(r.raw);
+  // Five copies, sizes strictly increasing (postorder).
+  EXPECT_EQ(xml,
+            "<n>x</n><n><n>x</n></n><n><n><n>x</n></n></n>"
+            "<n><n><n><n>x</n></n></n></n>"
+            "<n><n><n><n><n>x</n></n></n></n></n>");
+}
+
+// ---------------------------------------------------------------------------
+// Clone + TextCompare
+
+TEST(CloneTest, DuplicatesOntoSecondStream) {
+  Pipeline pipeline;
+  pipeline.Add(std::make_unique<CloneFilter>(pipeline.context(), 0, 1));
+  CollectingSink sink;
+  pipeline.SetSink(&sink);
+  pipeline.PushAll(Tok("<a>x</a>"));
+  int zeros = 0, ones = 0;
+  for (const Event& e : sink.events()) {
+    if (e.kind == EventKind::kStartElement) {
+      if (e.id == 0) ++zeros;
+      if (e.id == 1) ++ones;
+    }
+  }
+  EXPECT_EQ(zeros, 1);
+  EXPECT_EQ(ones, 1);
+}
+
+TEST(CloneTest, UpdateBracketsGetParallelRegions) {
+  Pipeline pipeline;
+  pipeline.Add(std::make_unique<CloneFilter>(pipeline.context(), 0, 1));
+  CollectingSink sink;
+  pipeline.SetSink(&sink);
+  pipeline.PushAll({Event::StartStream(0), Event::StartMutable(0, 20),
+                    Event::Characters(20, "x"), Event::EndMutable(0, 20),
+                    Event::EndStream(0)});
+  EventVec out = sink.Take();
+  ASSERT_TRUE(ValidateUpdateStream(out).ok()) << ValidateUpdateStream(out);
+  // Two distinct mutable regions, one rooted at each base.
+  std::vector<Event> starts;
+  for (const Event& e : out) {
+    if (e.kind == EventKind::kStartMutable) starts.push_back(e);
+  }
+  ASSERT_EQ(starts.size(), 2u);
+  EXPECT_EQ(starts[0].id, 0u);
+  EXPECT_EQ(starts[1].id, 1u);
+  EXPECT_NE(starts[0].uid, starts[1].uid);
+  // Both regions carry the text.
+  int texts = 0;
+  for (const Event& e : out) {
+    if (e.kind == EventKind::kCharacters) ++texts;
+  }
+  EXPECT_EQ(texts, 2);
+}
+
+TEST(TextCompareTest, EqualsEmitsBooleanCData) {
+  EventVec in = Tok("<lib><author>Smith</author><author>Jones</author></lib>");
+  RunResult r = RunPipeline(in, [](PipelineContext* c) {
+    std::vector<std::unique_ptr<StateTransformer>> v;
+    v.push_back(std::make_unique<ChildStep>(0, "author"));
+    v.push_back(
+        std::make_unique<TextCompare>(c, 0, TextMatch::kEquals, "Smith"));
+    return v;
+  });
+  EventVec expect = {Event::Characters(0, "1"), Event::Characters(0, "")};
+  EXPECT_EQ(r.materialized, expect);
+}
+
+TEST(TextCompareTest, ContainsMatchesSubstring) {
+  EventVec in = Tok("<l><a>John Smith</a><a>Jane Doe</a></l>");
+  RunResult r = RunPipeline(in, [](PipelineContext* c) {
+    std::vector<std::unique_ptr<StateTransformer>> v;
+    v.push_back(std::make_unique<ChildStep>(0, "a"));
+    v.push_back(
+        std::make_unique<TextCompare>(c, 0, TextMatch::kContains, "Smith"));
+    return v;
+  });
+  EventVec expect = {Event::Characters(0, "1"), Event::Characters(0, "")};
+  EXPECT_EQ(r.materialized, expect);
+}
+
+TEST(TextCompareTest, StringValueConcatenatesNestedText) {
+  EventVec in = Tok("<l><a><first>John </first><last>Smith</last></a></l>");
+  RunResult r = RunPipeline(in, [](PipelineContext* c) {
+    std::vector<std::unique_ptr<StateTransformer>> v;
+    v.push_back(std::make_unique<ChildStep>(0, "a"));
+    v.push_back(
+        std::make_unique<TextCompare>(c, 0, TextMatch::kEquals, "John Smith"));
+    return v;
+  });
+  EXPECT_EQ(r.materialized, EventVec{Event::Characters(0, "1")});
+}
+
+TEST(TextExtractTest, SelectsTextChildren) {
+  EventVec in = Tok("<l><t>hello<b>bold</b> world</t></l>");
+  RunResult r = RunPipeline(in, [](PipelineContext* c) {
+    std::vector<std::unique_ptr<StateTransformer>> v;
+    v.push_back(std::make_unique<ChildStep>(0, "t"));
+    v.push_back(std::make_unique<TextExtract>(0));
+    return v;
+  });
+  EventVec expect = {Event::Characters(0, "hello"),
+                     Event::Characters(0, " world")};
+  EXPECT_EQ(r.materialized, expect);
+}
+
+// ---------------------------------------------------------------------------
+// PredicateOp: full //book[author="Smith"] pipelines.
+
+std::vector<std::unique_ptr<StateTransformer>> BookByAuthorStages(
+    PipelineContext* c, const std::string& author) {
+  std::vector<std::unique_ptr<StateTransformer>> v;
+  v.push_back(std::make_unique<DescendantStep>(c, 0, "book"));
+  return v;
+}
+
+// Builds the full pipeline //book[author=<name>] with the clone-based
+// condition branch, mirroring how the query compiler wires predicates.
+RunResult RunBookPredicate(const EventVec& in, const std::string& author,
+                           TransformStage** predicate_stage = nullptr) {
+  Pipeline pipeline;
+  PipelineContext* c = pipeline.context();
+  pipeline.Add(std::make_unique<TransformStage>(
+      c, std::make_unique<DescendantStep>(c, 0, "book")));
+  pipeline.Add(std::make_unique<CloneFilter>(c, 0, 1));
+  pipeline.Add(std::make_unique<TransformStage>(
+      c, std::make_unique<ChildStep>(1, "author")));
+  pipeline.Add(std::make_unique<TransformStage>(
+      c, std::make_unique<TextCompare>(c, 1, TextMatch::kEquals, author)));
+  auto* stage = static_cast<TransformStage*>(
+      pipeline.Add(std::make_unique<TransformStage>(
+          c, std::make_unique<PredicateOp>(c, 0, 1,
+                                           PredicateScope::kElement))));
+  if (predicate_stage != nullptr) *predicate_stage = stage;
+  CollectingSink sink;
+  pipeline.SetSink(&sink);
+  pipeline.PushAll(in);
+  RunResult result;
+  result.raw = sink.Take();
+  auto m = Materialize(result.raw);
+  EXPECT_TRUE(m.ok()) << m.status();
+  if (m.ok()) result.materialized = std::move(m).value();
+  return result;
+}
+
+TEST(PredicateTest, SelectsMatchingElementsOnPlainStream) {
+  EventVec in = Tok(
+      "<lib><book><author>Smith</author><title>A</title></book>"
+      "<book><author>Jones</author><title>B</title></book>"
+      "<book><author>Smith</author><title>C</title></book></lib>");
+  RunResult r = RunBookPredicate(in, "Smith");
+  EXPECT_EQ(MaterializedXml(r.raw),
+            "<book><author>Smith</author><title>A</title></book>"
+            "<book><author>Smith</author><title>C</title></book>");
+}
+
+TEST(PredicateTest, NoMatchesYieldsEmpty) {
+  EventVec in = Tok("<lib><book><author>Jones</author></book></lib>");
+  RunResult r = RunBookPredicate(in, "Smith");
+  EXPECT_EQ(MaterializedXml(r.raw), "");
+}
+
+TEST(PredicateTest, ElementWithoutConditionChildIsFalse) {
+  EventVec in = Tok("<lib><book><title>NoAuthor</title></book></lib>");
+  RunResult r = RunBookPredicate(in, "Smith");
+  EXPECT_EQ(MaterializedXml(r.raw), "");
+}
+
+TEST(PredicateTest, FixedOutcomesFreeStateImmediately) {
+  // On a plain (immutable) stream every predicate decision is fixed, so
+  // the predicate stage ends with zero tracked regions (Section V).
+  EventVec in = Tok(
+      "<lib><book><author>Smith</author></book>"
+      "<book><author>Jones</author></book></lib>");
+  TransformStage* stage = nullptr;
+  RunBookPredicate(in, "Smith", &stage);
+  ASSERT_NE(stage, nullptr);
+  EXPECT_EQ(stage->tracked_region_count(), 0u);
+}
+
+TEST(PredicateTest, UpdateFlipsDecisionToTrue) {
+  // The author is mutable and initially Jones (book hidden); a replacement
+  // to Smith must make the book appear retroactively.
+  EventVec in = {
+      Event::StartStream(0),
+      Event::StartElement(0, "lib"),
+      Event::StartElement(0, "book"),
+      Event::StartElement(0, "author"),
+      Event::StartMutable(0, 60),
+      Event::Characters(60, "Jones"),
+      Event::EndMutable(0, 60),
+      Event::EndElement(0, "author"),
+      Event::StartElement(0, "title"),
+      Event::Characters(0, "T"),
+      Event::EndElement(0, "title"),
+      Event::EndElement(0, "book"),
+      Event::EndElement(0, "lib"),
+  };
+  Pipeline pipeline;
+  PipelineContext* c = pipeline.context();
+  pipeline.Add(std::make_unique<TransformStage>(
+      c, std::make_unique<DescendantStep>(c, 0, "book")));
+  pipeline.Add(std::make_unique<CloneFilter>(c, 0, 1));
+  pipeline.Add(std::make_unique<TransformStage>(
+      c, std::make_unique<ChildStep>(1, "author")));
+  pipeline.Add(std::make_unique<TransformStage>(
+      c, std::make_unique<TextCompare>(c, 1, TextMatch::kEquals, "Smith")));
+  pipeline.Add(std::make_unique<TransformStage>(
+      c, std::make_unique<PredicateOp>(c, 0, 1, PredicateScope::kElement)));
+  ResultDisplay display;
+  pipeline.SetSink(&display);
+  pipeline.PushAll(in);
+  ASSERT_TRUE(display.status().ok()) << display.status();
+  EXPECT_EQ(display.CurrentText().value(), "");  // Jones: hidden
+
+  pipeline.PushAll({Event::StartReplace(60, 61), Event::Characters(61, "Smith"),
+                    Event::EndReplace(60, 61)});
+  ASSERT_TRUE(display.status().ok()) << display.status();
+  EXPECT_EQ(display.CurrentText().value(),
+            "<book><author>Smith</author><title>T</title></book>");
+
+  // And flip it back off again.
+  pipeline.PushAll({Event::StartReplace(61, 62), Event::Characters(62, "Jones"),
+                    Event::EndReplace(61, 62)});
+  ASSERT_TRUE(display.status().ok()) << display.status();
+  EXPECT_EQ(display.CurrentText().value(), "");
+}
+
+TEST(PredicateTest, UpdateFlipsDecisionToFalse) {
+  EventVec in = {
+      Event::StartStream(0),
+      Event::StartElement(0, "lib"),
+      Event::StartElement(0, "book"),
+      Event::StartElement(0, "author"),
+      Event::StartMutable(0, 60),
+      Event::Characters(60, "Smith"),
+      Event::EndMutable(0, 60),
+      Event::EndElement(0, "author"),
+      Event::EndElement(0, "book"),
+      Event::EndElement(0, "lib"),
+  };
+  Pipeline pipeline;
+  PipelineContext* c = pipeline.context();
+  pipeline.Add(std::make_unique<TransformStage>(
+      c, std::make_unique<DescendantStep>(c, 0, "book")));
+  pipeline.Add(std::make_unique<CloneFilter>(c, 0, 1));
+  pipeline.Add(std::make_unique<TransformStage>(
+      c, std::make_unique<ChildStep>(1, "author")));
+  pipeline.Add(std::make_unique<TransformStage>(
+      c, std::make_unique<TextCompare>(c, 1, TextMatch::kEquals, "Smith")));
+  pipeline.Add(std::make_unique<TransformStage>(
+      c, std::make_unique<PredicateOp>(c, 0, 1, PredicateScope::kElement)));
+  ResultDisplay display;
+  pipeline.SetSink(&display);
+  pipeline.PushAll(in);
+  EXPECT_EQ(display.CurrentText().value(),
+            "<book><author>Smith</author></book>");
+  pipeline.PushAll({Event::StartReplace(60, 61), Event::Characters(61, "Doe"),
+                    Event::EndReplace(60, 61)});
+  ASSERT_TRUE(display.status().ok()) << display.status();
+  EXPECT_EQ(display.CurrentText().value(), "");
+}
+
+TEST(PredicateTest, WhereClauseScopesTuples) {
+  // for $b in /book where $b/author = "Smith" return $b
+  EventVec in = Tok(
+      "<lib><book><author>Smith</author><t>A</t></book>"
+      "<book><author>Jones</author><t>B</t></book></lib>");
+  Pipeline pipeline;
+  PipelineContext* c = pipeline.context();
+  pipeline.Add(std::make_unique<TransformStage>(
+      c, std::make_unique<ChildStep>(0, "book")));
+  pipeline.Add(std::make_unique<TransformStage>(
+      c, std::make_unique<MakeTuples>(0)));
+  pipeline.Add(std::make_unique<CloneFilter>(c, 0, 1));
+  pipeline.Add(std::make_unique<TransformStage>(
+      c, std::make_unique<ChildStep>(1, "author")));
+  pipeline.Add(std::make_unique<TransformStage>(
+      c, std::make_unique<TextCompare>(c, 1, TextMatch::kEquals, "Smith")));
+  pipeline.Add(std::make_unique<TransformStage>(
+      c, std::make_unique<PredicateOp>(c, 0, 1, PredicateScope::kTuple)));
+  CollectingSink sink;
+  pipeline.SetSink(&sink);
+  pipeline.PushAll(in);
+  EXPECT_EQ(MaterializedXml(sink.events()),
+            "<book><author>Smith</author><t>A</t></book>");
+}
+
+// ---------------------------------------------------------------------------
+// ConcatOp
+
+TEST(ConcatTest, LeftContentPrecedesRightPerTuple) {
+  // Hand-built tuple streams: left (0) arrives *after* right (1) within
+  // the tuple, but must be displayed first.
+  EventVec in = {
+      Event::StartStream(0),     Event::StartStream(1),
+      Event::StartTuple(1),      Event::Characters(1, "R1"),
+      Event::StartTuple(0),      Event::Characters(0, "L1"),
+      Event::EndTuple(0),        Event::Characters(1, "R2"),
+      Event::EndTuple(1),        Event::EndStream(1),
+      Event::EndStream(0),
+  };
+  RunResult r = RunPipeline(in, [](PipelineContext* c) {
+    std::vector<std::unique_ptr<StateTransformer>> v;
+    v.push_back(std::make_unique<ConcatOp>(c, 0, 1));
+    return v;
+  });
+  EventVec expect = {Event::Characters(0, "L1"), Event::Characters(0, "R1"),
+                     Event::Characters(0, "R2")};
+  EXPECT_EQ(r.materialized, expect);
+}
+
+TEST(ConcatTest, PaperExampleStreamShape) {
+  // Section VI-A's example: the right tuple becomes a mutable region and
+  // the left stream an insert-before update.
+  EventVec in = {
+      Event::StartTuple(0),      Event::StartTuple(1),
+      Event::Characters(0, "x"), Event::Characters(1, "y"),
+      Event::Characters(0, "z"), Event::Characters(1, "w"),
+      Event::EndTuple(0),        Event::EndTuple(1),
+  };
+  RunResult r = RunPipeline(in, [](PipelineContext* c) {
+    std::vector<std::unique_ptr<StateTransformer>> v;
+    v.push_back(std::make_unique<ConcatOp>(c, 0, 1));
+    return v;
+  });
+  EventVec expect = {Event::Characters(0, "x"), Event::Characters(0, "z"),
+                     Event::Characters(0, "y"), Event::Characters(0, "w")};
+  EXPECT_EQ(r.materialized, expect);
+}
+
+// ---------------------------------------------------------------------------
+// SortOp
+
+RunResult RunOrderBy(const EventVec& in, const std::string& item_tag,
+                     const std::string& key_tag) {
+  Pipeline pipeline;
+  PipelineContext* c = pipeline.context();
+  pipeline.Add(std::make_unique<TransformStage>(
+      c, std::make_unique<ChildStep>(0, item_tag)));
+  pipeline.Add(std::make_unique<TransformStage>(
+      c, std::make_unique<MakeTuples>(0)));
+  pipeline.Add(std::make_unique<CloneFilter>(c, 0, 1));
+  pipeline.Add(std::make_unique<TransformStage>(
+      c, std::make_unique<ChildStep>(1, key_tag)));
+  pipeline.Add(std::make_unique<TransformStage>(
+      c, std::make_unique<StringValue>(1)));
+  pipeline.Add(std::make_unique<SortFilter>(c, 1));
+  CollectingSink sink;
+  pipeline.SetSink(&sink);
+  pipeline.PushAll(in);
+  RunResult result;
+  result.raw = sink.Take();
+  auto m = Materialize(result.raw);
+  EXPECT_TRUE(m.ok()) << m.status() << "\n" << ToString(result.raw);
+  if (m.ok()) result.materialized = std::move(m).value();
+  return result;
+}
+
+TEST(SortTest, SortsNumericKeys) {
+  EventVec in = Tok(
+      "<shop><book><price>30</price><t>c</t></book>"
+      "<book><price>9.5</price><t>a</t></book>"
+      "<book><price>120</price><t>d</t></book>"
+      "<book><price>10</price><t>b</t></book></shop>");
+  RunResult r = RunOrderBy(in, "book", "price");
+  EXPECT_EQ(MaterializedXml(r.raw),
+            "<book><price>9.5</price><t>a</t></book>"
+            "<book><price>10</price><t>b</t></book>"
+            "<book><price>30</price><t>c</t></book>"
+            "<book><price>120</price><t>d</t></book>");
+}
+
+TEST(SortTest, SortsStringKeysStable) {
+  EventVec in = Tok(
+      "<l><e><k>b</k><v>1</v></e><e><k>a</k><v>2</v></e>"
+      "<e><k>b</k><v>3</v></e></l>");
+  RunResult r = RunOrderBy(in, "e", "k");
+  EXPECT_EQ(MaterializedXml(r.raw),
+            "<e><k>a</k><v>2</v></e><e><k>b</k><v>1</v></e>"
+            "<e><k>b</k><v>3</v></e>");
+}
+
+TEST(SortTest, MissingKeySortsFirst) {
+  EventVec in = Tok(
+      "<l><e><k>5</k></e><e><nokey>x</nokey></e><e><k>1</k></e></l>");
+  RunResult r = RunOrderBy(in, "e", "k");
+  EXPECT_EQ(MaterializedXml(r.raw),
+            "<e><nokey>x</nokey></e><e><k>1</k></e><e><k>5</k></e>");
+}
+
+TEST(SortTest, EncodeSortKeyOrdersNumbers) {
+  EXPECT_LT(EncodeSortKey("2"), EncodeSortKey("10"));
+  EXPECT_LT(EncodeSortKey("-5"), EncodeSortKey("3"));
+  EXPECT_LT(EncodeSortKey("-10"), EncodeSortKey("-2"));
+  EXPECT_LT(EncodeSortKey("9.5"), EncodeSortKey("10"));
+  EXPECT_LT(EncodeSortKey("10"), EncodeSortKey("abc"));  // numbers first
+  EXPECT_LT(EncodeSortKey("abc"), EncodeSortKey("abd"));
+}
+
+// ---------------------------------------------------------------------------
+// ElementConstruct / MakeTuples / literals
+
+TEST(ConstructTest, WholeStreamWrap) {
+  EventVec in = Tok("<l><a>1</a><a>2</a></l>");
+  RunResult r = RunPipeline(in, [](PipelineContext* c) {
+    std::vector<std::unique_ptr<StateTransformer>> v;
+    v.push_back(std::make_unique<ChildStep>(0, "a"));
+    v.push_back(std::make_unique<ElementConstruct>(
+        std::vector<StreamId>{0}, "result", ConstructScope::kWholeStream));
+    return v;
+  });
+  EXPECT_EQ(MaterializedXml(r.raw), "<result><a>1</a><a>2</a></result>");
+}
+
+TEST(ConstructTest, PerTupleWrap) {
+  EventVec in = Tok("<l><a>1</a><a>2</a></l>");
+  RunResult r = RunPipeline(in, [](PipelineContext* c) {
+    std::vector<std::unique_ptr<StateTransformer>> v;
+    v.push_back(std::make_unique<ChildStep>(0, "a"));
+    v.push_back(std::make_unique<MakeTuples>(0));
+    v.push_back(std::make_unique<ElementConstruct>(
+        std::vector<StreamId>{0}, "item", ConstructScope::kPerTuple));
+    return v;
+  });
+  EXPECT_EQ(MaterializedXml(r.raw),
+            "<item><a>1</a></item><item><a>2</a></item>");
+}
+
+TEST(ConstructTest, TextLiteralPerTuple) {
+  EventVec in = Tok("<l><a>1</a><a>2</a></l>");
+  RunResult r = RunPipeline(in, [](PipelineContext* c) {
+    std::vector<std::unique_ptr<StateTransformer>> v;
+    v.push_back(std::make_unique<ChildStep>(0, "a"));
+    v.push_back(std::make_unique<MakeTuples>(0));
+    v.push_back(std::make_unique<TextLiteral>(0, ": ", ConstructScope::kPerTuple));
+    return v;
+  });
+  EventVec expect = {Event::Characters(0, ": "), Event::Characters(0, ": ")};
+  EXPECT_EQ(r.materialized, expect);
+}
+
+// ---------------------------------------------------------------------------
+// BackwardAxisOp
+
+RunResult RunBackward(const EventVec& in, const std::string& data_tag,
+                      const std::string& candidate_tag, BackwardMode mode) {
+  Pipeline pipeline;
+  PipelineContext* c = pipeline.context();
+  pipeline.Add(std::make_unique<CloneFilter>(c, 0, 1));
+  pipeline.Add(std::make_unique<TransformStage>(
+      c, std::make_unique<DescendantStep>(c, 0, data_tag)));
+  pipeline.Add(std::make_unique<TransformStage>(
+      c, std::make_unique<DescendantStep>(c, 1, candidate_tag)));
+  pipeline.Add(std::make_unique<TransformStage>(
+      c, std::make_unique<BackwardAxisOp>(c, 0, 1, mode)));
+  CollectingSink sink;
+  pipeline.SetSink(&sink);
+  pipeline.PushAll(in);
+  RunResult result;
+  result.raw = sink.Take();
+  auto m = Materialize(result.raw);
+  EXPECT_TRUE(m.ok()) << m.status();
+  if (m.ok()) result.materialized = std::move(m).value();
+  return result;
+}
+
+TEST(BackwardTest, AncestorStarFindsAllAncestors) {
+  EventVec in = Tok("<a><b><c><item>x</item></c></b><d>y</d></a>");
+  RunResult r = RunBackward(in, "item", "*", BackwardMode::kAncestor);
+  // Ancestors of item: c and b (postorder: c first); d does not contain it.
+  EXPECT_EQ(MaterializedXml(r.raw),
+            "<c><item>x</item></c><b><c><item>x</item></c></b>");
+}
+
+TEST(BackwardTest, ParentFindsOnlyDirectParent) {
+  EventVec in = Tok("<a><b><c><item>x</item></c></b></a>");
+  RunResult r = RunBackward(in, "item", "*", BackwardMode::kParent);
+  EXPECT_EQ(MaterializedXml(r.raw), "<c><item>x</item></c>");
+}
+
+TEST(BackwardTest, AncestorTagSelectsByName) {
+  EventVec in = Tok(
+      "<site><europe><x><item>1</item></x></europe>"
+      "<asia><item>2</item></asia></site>");
+  RunResult r = RunBackward(in, "item", "europe", BackwardMode::kAncestor);
+  EXPECT_EQ(MaterializedXml(r.raw),
+            "<europe><x><item>1</item></x></europe>");
+}
+
+TEST(BackwardTest, CountOfParents) {
+  // count(//item/..) style: two items under distinct parents.
+  EventVec in = Tok("<a><p><item>1</item></p><q><item>2</item></q></a>");
+  Pipeline pipeline;
+  PipelineContext* c = pipeline.context();
+  pipeline.Add(std::make_unique<CloneFilter>(c, 0, 1));
+  pipeline.Add(std::make_unique<TransformStage>(
+      c, std::make_unique<DescendantStep>(c, 0, "item")));
+  pipeline.Add(std::make_unique<TransformStage>(
+      c, std::make_unique<DescendantStep>(c, 1, "*")));
+  pipeline.Add(std::make_unique<TransformStage>(
+      c, std::make_unique<BackwardAxisOp>(c, 0, 1, BackwardMode::kParent)));
+  pipeline.Add(std::make_unique<TransformStage>(
+      c, std::make_unique<CountOp>(c, 1, CountMode::kTopLevelElements)));
+  ResultDisplay display;
+  pipeline.SetSink(&display);
+  pipeline.PushAll(in);
+  ASSERT_TRUE(display.status().ok()) << display.status();
+  EXPECT_EQ(display.CurrentText().value(), "2");
+}
+
+}  // namespace
+}  // namespace xflux

@@ -1,0 +1,97 @@
+#include "util/order_key.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/prng.h"
+
+namespace xflux {
+namespace {
+
+TEST(OrderKeyTest, MinLessThanMax) {
+  EXPECT_LT(OrderKey::Min(), OrderKey::Max());
+  EXPECT_EQ(OrderKey::Min(), OrderKey::Min());
+  EXPECT_EQ(OrderKey::Max(), OrderKey::Max());
+}
+
+TEST(OrderKeyTest, BetweenMinMaxIsStrictlyInside) {
+  OrderKey mid = OrderKey::Between(OrderKey::Min(), OrderKey::Max());
+  EXPECT_LT(OrderKey::Min(), mid);
+  EXPECT_LT(mid, OrderKey::Max());
+}
+
+TEST(OrderKeyTest, BetweenIsStrictlyBetween) {
+  OrderKey a = OrderKey::Between(OrderKey::Min(), OrderKey::Max());
+  OrderKey b = OrderKey::Between(a, OrderKey::Max());
+  ASSERT_LT(a, b);
+  OrderKey c = OrderKey::Between(a, b);
+  EXPECT_LT(a, c);
+  EXPECT_LT(c, b);
+}
+
+TEST(OrderKeyTest, RepeatedLowerBisectionStaysOrdered) {
+  // Squeeze 200 keys into (Min, first): the float version of the paper
+  // would flatline after ~50 halvings; OrderKey must not.
+  OrderKey hi = OrderKey::Between(OrderKey::Min(), OrderKey::Max());
+  for (int i = 0; i < 200; ++i) {
+    OrderKey mid = OrderKey::Between(OrderKey::Min(), hi);
+    ASSERT_LT(OrderKey::Min(), mid) << "iteration " << i;
+    ASSERT_LT(mid, hi) << "iteration " << i;
+    hi = mid;
+  }
+}
+
+TEST(OrderKeyTest, RepeatedUpperBisectionStaysOrdered) {
+  OrderKey lo = OrderKey::Between(OrderKey::Min(), OrderKey::Max());
+  for (int i = 0; i < 200; ++i) {
+    OrderKey mid = OrderKey::Between(lo, OrderKey::Max());
+    ASSERT_LT(lo, mid) << "iteration " << i;
+    ASSERT_LT(mid, OrderKey::Max()) << "iteration " << i;
+    lo = mid;
+  }
+}
+
+TEST(OrderKeyTest, RepeatedInnerBisectionStaysOrdered) {
+  OrderKey lo = OrderKey::Between(OrderKey::Min(), OrderKey::Max());
+  OrderKey hi = OrderKey::Between(lo, OrderKey::Max());
+  for (int i = 0; i < 300; ++i) {
+    OrderKey mid = OrderKey::Between(lo, hi);
+    ASSERT_LT(lo, mid) << "iteration " << i;
+    ASSERT_LT(mid, hi) << "iteration " << i;
+    if (i % 2 == 0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+}
+
+TEST(OrderKeyTest, RandomInsertionsPreserveTotalOrder) {
+  Prng prng(42);
+  std::vector<OrderKey> keys = {OrderKey::Min(), OrderKey::Max()};
+  for (int i = 0; i < 2000; ++i) {
+    size_t slot = prng.Uniform(keys.size() - 1);
+    OrderKey mid = OrderKey::Between(keys[slot], keys[slot + 1]);
+    ASSERT_LT(keys[slot], mid) << "iteration " << i;
+    ASSERT_LT(mid, keys[slot + 1]) << "iteration " << i;
+    keys.insert(keys.begin() + static_cast<ptrdiff_t>(slot) + 1, mid);
+  }
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  // All keys distinct.
+  for (size_t i = 0; i + 1 < keys.size(); ++i) {
+    ASSERT_NE(keys[i], keys[i + 1]);
+  }
+}
+
+TEST(OrderKeyTest, ToStringIsDistinctForDistinctKeys) {
+  OrderKey a = OrderKey::Between(OrderKey::Min(), OrderKey::Max());
+  OrderKey b = OrderKey::Between(a, OrderKey::Max());
+  EXPECT_NE(a.ToString(), b.ToString());
+  EXPECT_EQ(OrderKey::Min().ToString(), "MIN");
+  EXPECT_EQ(OrderKey::Max().ToString(), "MAX");
+}
+
+}  // namespace
+}  // namespace xflux

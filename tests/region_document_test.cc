@@ -1,0 +1,247 @@
+#include "core/region_document.h"
+
+#include <gtest/gtest.h>
+
+#include "core/well_formed.h"
+
+namespace xflux {
+namespace {
+
+EventVec MustMaterialize(const EventVec& stream, RenderOptions opts = {}) {
+  auto result = Materialize(stream, opts);
+  EXPECT_TRUE(result.ok()) << result.status();
+  return result.ok() ? std::move(result).value() : EventVec{};
+}
+
+TEST(RegionDocumentTest, PlainEventsPassThrough) {
+  EventVec in = {Event::StartElement(0, "a"), Event::Characters(0, "x"),
+                 Event::EndElement(0, "a")};
+  EXPECT_EQ(MustMaterialize(in), in);
+}
+
+TEST(RegionDocumentTest, MutableRegionContentIsInline) {
+  EventVec in = {Event::Characters(0, "a"), Event::StartMutable(0, 1),
+                 Event::Characters(1, "b"), Event::EndMutable(0, 1),
+                 Event::Characters(0, "c")};
+  EventVec expect = {Event::Characters(0, "a"), Event::Characters(0, "b"),
+                     Event::Characters(0, "c")};
+  EXPECT_EQ(MustMaterialize(in), expect);
+}
+
+TEST(RegionDocumentTest, PaperSectionThreeExample) {
+  // Section III: mutable "x" replaced by "y", "z" inserted after, "w"
+  // inserted before; result is equivalent to [cD(0,"w"),cD(0,"y"),cD(0,"z")].
+  EventVec in = {
+      Event::StartMutable(0, 1),      Event::Characters(1, "x"),
+      Event::EndMutable(0, 1),        Event::StartReplace(1, 2),
+      Event::Characters(2, "y"),      Event::EndReplace(1, 2),
+      Event::StartInsertAfter(2, 3),  Event::Characters(3, "z"),
+      Event::EndInsertAfter(2, 3),    Event::StartInsertBefore(1, 3),
+      Event::Characters(3, "w"),      Event::EndInsertBefore(1, 3),
+  };
+  EventVec expect = {Event::Characters(0, "w"), Event::Characters(0, "y"),
+                     Event::Characters(0, "z")};
+  EXPECT_EQ(MustMaterialize(in), expect);
+}
+
+TEST(RegionDocumentTest, PaperConcatenationExample) {
+  // Section VI-A: stream 1's tuple is wrapped in a mutable region and the
+  // stream-0 events are an insert-before update, so all of stream 0 ends up
+  // before all of stream 1.
+  EventVec in = {
+      Event::StartTuple(2),           Event::StartMutable(2, 1),
+      Event::StartInsertBefore(1, 0), Event::Characters(0, "x"),
+      Event::Characters(1, "y"),      Event::Characters(0, "z"),
+      Event::Characters(1, "w"),      Event::EndInsertBefore(1, 0),
+      Event::EndMutable(2, 1),        Event::EndTuple(2),
+  };
+  EventVec expect = {Event::Characters(0, "x"), Event::Characters(0, "z"),
+                     Event::Characters(0, "y"), Event::Characters(0, "w")};
+  EXPECT_EQ(MustMaterialize(in), expect);
+}
+
+TEST(RegionDocumentTest, ReplaceWithEmptySequenceRemoves) {
+  // "Removing elements is done by replacing them with the empty sequence."
+  EventVec in = {Event::Characters(0, "a"),  Event::StartMutable(0, 1),
+                 Event::Characters(1, "b"),  Event::EndMutable(0, 1),
+                 Event::Characters(0, "c"),  Event::StartReplace(1, 2),
+                 Event::EndReplace(1, 2)};
+  EventVec expect = {Event::Characters(0, "a"), Event::Characters(0, "c")};
+  EXPECT_EQ(MustMaterialize(in), expect);
+}
+
+TEST(RegionDocumentTest, CascadedReplaceTakesLatest) {
+  EventVec in = {Event::StartMutable(0, 1), Event::Characters(1, "v1"),
+                 Event::EndMutable(0, 1),
+                 Event::StartReplace(1, 2), Event::Characters(2, "v2"),
+                 Event::EndReplace(1, 2),
+                 Event::StartReplace(2, 3), Event::Characters(3, "v3"),
+                 Event::EndReplace(2, 3)};
+  EventVec expect = {Event::Characters(0, "v3")};
+  EXPECT_EQ(MustMaterialize(in), expect);
+}
+
+TEST(RegionDocumentTest, ReplaceOfOuterRegionDiscardsInnerUpdates) {
+  // Replacing region 1 wipes the replacement chain that lived inside it.
+  EventVec in = {Event::StartMutable(0, 1), Event::Characters(1, "v1"),
+                 Event::EndMutable(0, 1),
+                 Event::StartReplace(1, 2), Event::Characters(2, "v2"),
+                 Event::EndReplace(1, 2),
+                 Event::StartReplace(1, 3), Event::Characters(3, "v3"),
+                 Event::EndReplace(1, 3)};
+  EventVec expect = {Event::Characters(0, "v3")};
+  EXPECT_EQ(MustMaterialize(in), expect);
+}
+
+TEST(RegionDocumentTest, HideRemovesAndShowRestores) {
+  EventVec base = {Event::StartMutable(0, 1), Event::Characters(1, "q"),
+                   Event::EndMutable(0, 1)};
+  EventVec hidden = base;
+  hidden.push_back(Event::Hide(1));
+  EXPECT_EQ(MustMaterialize(hidden), EventVec{});
+
+  EventVec shown = hidden;
+  shown.push_back(Event::Show(1));
+  EXPECT_EQ(MustMaterialize(shown), EventVec{Event::Characters(0, "q")});
+}
+
+TEST(RegionDocumentTest, HiddenRegionStillAcceptsUpdates) {
+  // "we temporarily remove the content ... although we leave it open for
+  // updates"
+  EventVec in = {Event::StartMutable(0, 1), Event::Characters(1, "old"),
+                 Event::EndMutable(0, 1),   Event::Hide(1),
+                 Event::StartReplace(1, 2), Event::Characters(2, "new"),
+                 Event::EndReplace(1, 2),   Event::Show(1)};
+  EXPECT_EQ(MustMaterialize(in), EventVec{Event::Characters(0, "new")});
+}
+
+TEST(RegionDocumentTest, NestedHiddenRegions) {
+  EventVec in = {Event::StartMutable(0, 1),  Event::Characters(1, "a"),
+                 Event::StartMutable(1, 2),  Event::Characters(2, "b"),
+                 Event::EndMutable(1, 2),    Event::Characters(1, "c"),
+                 Event::EndMutable(0, 1),    Event::Hide(2)};
+  EventVec expect = {Event::Characters(0, "a"), Event::Characters(0, "c")};
+  EXPECT_EQ(MustMaterialize(in), expect);
+
+  in.push_back(Event::Hide(1));
+  EXPECT_EQ(MustMaterialize(in), EventVec{});
+
+  in.push_back(Event::Show(1));
+  EXPECT_EQ(MustMaterialize(in), expect);  // inner region stays hidden
+}
+
+TEST(RegionDocumentTest, FreezeDropsRegistryEntry) {
+  RegionDocument doc;
+  ASSERT_TRUE(doc.FeedAll({Event::StartMutable(0, 1),
+                           Event::Characters(1, "x"),
+                           Event::EndMutable(0, 1)})
+                  .ok());
+  EXPECT_EQ(doc.live_region_count(), 1u);
+  ASSERT_TRUE(doc.Feed(Event::Freeze(1)).ok());
+  EXPECT_EQ(doc.live_region_count(), 0u);
+  // Content survives a freeze of a visible region.
+  EXPECT_EQ(doc.RenderEvents(), EventVec{Event::Characters(0, "x")});
+}
+
+TEST(RegionDocumentTest, FreezeOfHiddenRegionReclaimsContent) {
+  RegionDocument doc;
+  ASSERT_TRUE(doc.FeedAll({Event::StartMutable(0, 1),
+                           Event::Characters(1, "x"),
+                           Event::EndMutable(0, 1), Event::Hide(1)})
+                  .ok());
+  size_t before = doc.item_count();
+  ASSERT_TRUE(doc.Feed(Event::Freeze(1)).ok());
+  EXPECT_LT(doc.item_count(), before);
+  EXPECT_EQ(doc.RenderEvents(), EventVec{});
+}
+
+TEST(RegionDocumentTest, InsertAfterChainOrders) {
+  // Successive insert-afters against the same target land nearest-first,
+  // matching the order[] timestamp rule of Section IV.
+  EventVec in = {Event::StartMutable(0, 1),     Event::Characters(1, "a"),
+                 Event::EndMutable(0, 1),
+                 Event::StartInsertAfter(1, 2), Event::Characters(2, "b"),
+                 Event::EndInsertAfter(1, 2),
+                 Event::StartInsertAfter(2, 3), Event::Characters(3, "c"),
+                 Event::EndInsertAfter(2, 3)};
+  EventVec expect = {Event::Characters(0, "a"), Event::Characters(0, "b"),
+                     Event::Characters(0, "c")};
+  EXPECT_EQ(MustMaterialize(in), expect);
+}
+
+TEST(RegionDocumentTest, TuplesKeptWhenRequested) {
+  EventVec in = {Event::StartTuple(0), Event::Characters(0, "x"),
+                 Event::EndTuple(0)};
+  RenderOptions opts;
+  opts.keep_tuples = true;
+  EXPECT_EQ(MustMaterialize(in, opts), in);
+  EXPECT_EQ(MustMaterialize(in), EventVec{Event::Characters(0, "x")});
+}
+
+TEST(RegionDocumentTest, RenderRetagsToOutId) {
+  EventVec in = {Event::Characters(5, "x")};
+  RenderOptions opts;
+  opts.out_id = 9;
+  EXPECT_EQ(MustMaterialize(in, opts), EventVec{Event::Characters(9, "x")});
+}
+
+TEST(RegionDocumentTest, UpdateTargetingUnknownRegionFails) {
+  EventVec in = {Event::StartReplace(42, 1), Event::EndReplace(42, 1)};
+  EXPECT_FALSE(Materialize(in).ok());
+  EXPECT_FALSE(Materialize({Event::Hide(42)}).ok());
+  EXPECT_FALSE(Materialize({Event::Show(42)}).ok());
+}
+
+TEST(RegionDocumentTest, FreezeOfUnknownRegionIsNoOp) {
+  EXPECT_TRUE(Materialize({Event::Freeze(42)}).ok());
+}
+
+TEST(RegionDocumentTest, MetricsTrackLiveRegions) {
+  Metrics metrics;
+  RegionDocument doc(&metrics);
+  ASSERT_TRUE(doc.FeedAll({Event::StartMutable(0, 1), Event::EndMutable(0, 1),
+                           Event::StartMutable(0, 2), Event::EndMutable(0, 2)})
+                  .ok());
+  EXPECT_EQ(metrics.display_regions(), 2);
+  ASSERT_TRUE(doc.Feed(Event::Freeze(1)).ok());
+  EXPECT_EQ(metrics.display_regions(), 1);
+  EXPECT_EQ(metrics.max_display_regions(), 2);
+}
+
+TEST(RegionDocumentTest, StockTickerScenario) {
+  // A stock quotation stream: the quote region is mutable and gets replaced
+  // repeatedly; the display always shows the newest quote (Section V).
+  EventVec in = {Event::StartElement(0, "stock"),
+                 Event::StartElement(0, "name"),
+                 Event::Characters(0, "IBM"),
+                 Event::EndElement(0, "name"),
+                 Event::StartMutable(0, 1),
+                 Event::StartElement(1, "quote"),
+                 Event::Characters(1, "120.00"),
+                 Event::EndElement(1, "quote"),
+                 Event::EndMutable(0, 1),
+                 Event::EndElement(0, "stock"),
+                 // ticks
+                 Event::StartReplace(1, 2),
+                 Event::StartElement(2, "quote"),
+                 Event::Characters(2, "121.50"),
+                 Event::EndElement(2, "quote"),
+                 Event::EndReplace(1, 2),
+                 Event::StartReplace(2, 3),
+                 Event::StartElement(3, "quote"),
+                 Event::Characters(3, "119.75"),
+                 Event::EndElement(3, "quote"),
+                 Event::EndReplace(2, 3)};
+  EventVec expect = {Event::StartElement(0, "stock"),
+                     Event::StartElement(0, "name"),
+                     Event::Characters(0, "IBM"),
+                     Event::EndElement(0, "name"),
+                     Event::StartElement(0, "quote"),
+                     Event::Characters(0, "119.75"),
+                     Event::EndElement(0, "quote"),
+                     Event::EndElement(0, "stock")};
+  EXPECT_EQ(MustMaterialize(in), expect);
+}
+
+}  // namespace
+}  // namespace xflux

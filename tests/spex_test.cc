@@ -1,0 +1,141 @@
+#include "spex/spex_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "util/prng.h"
+#include "xml/sax_parser.h"
+#include "xml/serializer.h"
+#include "xquery/engine.h"
+
+namespace xflux {
+namespace {
+
+std::string RunSpex(std::string_view xpath, std::string_view xml) {
+  CollectingSink sink;
+  auto engine = SpexEngine::Compile(xpath, &sink);
+  EXPECT_TRUE(engine.ok()) << engine.status();
+  if (!engine.ok()) return "<error>";
+  auto events = SaxParser::Tokenize(xml);
+  EXPECT_TRUE(events.ok()) << events.status();
+  for (const Event& e : events.value()) engine.value()->Accept(e);
+  auto xml_out = XmlSerializer::ToXml(sink.events());
+  EXPECT_TRUE(xml_out.ok()) << xml_out.status();
+  return xml_out.ok() ? xml_out.value() : "<error>";
+}
+
+constexpr char kDoc[] =
+    "<site><regions>"
+    "<europe>"
+    "<item><location>Albania</location><quantity>2</quantity>"
+    "<payment>Cash</payment></item>"
+    "<item><location>France</location><quantity>5</quantity>"
+    "<payment>Credit</payment></item>"
+    "</europe>"
+    "<asia>"
+    "<item><location>Albania</location><quantity>7</quantity>"
+    "<payment>Credit</payment></item>"
+    "</asia>"
+    "</regions></site>";
+
+TEST(SpexTest, SimpleDescendant) {
+  EXPECT_EQ(RunSpex("X//quantity", kDoc),
+            "<quantity>2</quantity><quantity>5</quantity>"
+            "<quantity>7</quantity>");
+}
+
+TEST(SpexTest, DescendantChain) {
+  EXPECT_EQ(RunSpex("X//europe//quantity", kDoc),
+            "<quantity>2</quantity><quantity>5</quantity>");
+}
+
+TEST(SpexTest, PredicateEquality) {
+  EXPECT_EQ(RunSpex("X//item[location=\"Albania\"]/quantity", kDoc),
+            "<quantity>2</quantity><quantity>7</quantity>");
+}
+
+TEST(SpexTest, TwoPredicates) {
+  EXPECT_EQ(RunSpex("X//item[location=\"Albania\"][payment=\"Cash\"]/location",
+                    kDoc),
+            "<location>Albania</location>");
+}
+
+TEST(SpexTest, WildcardPredicate) {
+  EXPECT_EQ(RunSpex("X//*[location=\"Albania\"]/quantity", kDoc),
+            "<quantity>2</quantity><quantity>7</quantity>");
+}
+
+TEST(SpexTest, ExistencePredicate) {
+  EXPECT_EQ(RunSpex("X//item[payment]/quantity", kDoc),
+            "<quantity>2</quantity><quantity>5</quantity>"
+            "<quantity>7</quantity>");
+}
+
+TEST(SpexTest, ChildSteps) {
+  EXPECT_EQ(RunSpex("X/regions/europe/item/quantity", kDoc),
+            "<quantity>2</quantity><quantity>5</quantity>");
+}
+
+TEST(SpexTest, NoMatchesIsEmpty) {
+  EXPECT_EQ(RunSpex("X//item[location=\"Nowhere\"]/quantity", kDoc), "");
+}
+
+TEST(SpexTest, BuffersOnlyWhilePredicatesPending) {
+  CollectingSink sink;
+  auto engine = SpexEngine::Compile("X//item[location=\"Albania\"]/quantity",
+                                    &sink);
+  ASSERT_TRUE(engine.ok());
+  auto events = SaxParser::Tokenize(kDoc);
+  ASSERT_TRUE(events.ok());
+  for (const Event& e : events.value()) engine.value()->Accept(e);
+  EXPECT_GT(engine.value()->max_buffered_events(), 0u);
+  EXPECT_GT(engine.value()->transitions(), 0u);
+}
+
+TEST(SpexTest, ParseErrorsReported) {
+  CollectingSink sink;
+  EXPECT_FALSE(SpexEngine::Compile("", &sink).ok());
+  EXPECT_FALSE(SpexEngine::Compile("X//item[", &sink).ok());
+  EXPECT_FALSE(SpexEngine::Compile("X//item[loc=\"x]", &sink).ok());
+  EXPECT_FALSE(SpexEngine::Compile("X//", &sink).ok());
+}
+
+// Cross-check SPEX against the XFlux engine on random documents: both must
+// produce the same materialized answers for the shared XPath subset.
+TEST(SpexTest, AgreesWithXFluxOnRandomDocuments) {
+  Prng prng(99);
+  const std::vector<std::string> tags = {"item", "location", "quantity",
+                                         "europe", "x"};
+  for (int round = 0; round < 25; ++round) {
+    std::string doc = "<site>";
+    std::vector<std::string> stack;
+    for (int i = 0; i < 80; ++i) {
+      double roll = prng.NextDouble();
+      if (roll < 0.40 && stack.size() < 5) {
+        const std::string& tag = prng.Pick(tags);
+        doc += "<" + tag + ">";
+        stack.push_back(tag);
+      } else if (roll < 0.70 && !stack.empty()) {
+        doc += "</" + stack.back() + ">";
+        stack.pop_back();
+      } else {
+        doc += prng.Chance(0.5) ? "Albania" : "France";
+      }
+    }
+    while (!stack.empty()) {
+      doc += "</" + stack.back() + ">";
+      stack.pop_back();
+    }
+    doc += "</site>";
+
+    // Only queries whose results cannot nest (both engines deduplicate
+    // nested matches differently on pathological documents).
+    const std::string query = "X//item[location=\"Albania\"]/quantity";
+    std::string spex = RunSpex(query, doc);
+    auto xflux = RunQueryOnXml(query, doc);
+    ASSERT_TRUE(xflux.ok()) << xflux.status();
+    EXPECT_EQ(spex, xflux.value()) << doc;
+  }
+}
+
+}  // namespace
+}  // namespace xflux

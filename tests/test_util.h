@@ -1,0 +1,70 @@
+// Shared helpers for pipeline tests: run a stage chain over an event
+// sequence and observe both the raw output update stream and the
+// materialized (display-equivalent) answer.
+
+#ifndef XFLUX_TESTS_TEST_UTIL_H_
+#define XFLUX_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "core/region_document.h"
+#include "core/state_transformer.h"
+#include "core/transform_stage.h"
+#include "core/well_formed.h"
+#include "xml/sax_parser.h"
+
+namespace xflux {
+
+/// Raw and materialized output of one pipeline run.
+struct RunResult {
+  EventVec raw;           // the update stream reaching the sink
+  EventVec materialized;  // after applying all updates
+};
+
+/// Runs `input` through a pipeline made of the given stages.
+/// `make_stages` receives the context and returns the transformer chain.
+template <typename MakeStages>
+RunResult RunPipeline(const EventVec& input, MakeStages make_stages,
+                      bool accept_source_updates = true) {
+  Pipeline pipeline;
+  pipeline.set_accept_source_updates(accept_source_updates);
+  std::vector<std::unique_ptr<StateTransformer>> transformers =
+      make_stages(pipeline.context());
+  for (auto& t : transformers) {
+    pipeline.Add(std::make_unique<TransformStage>(pipeline.context(),
+                                                  std::move(t)));
+  }
+  CollectingSink sink;
+  pipeline.SetSink(&sink);
+  pipeline.PushAll(input);
+
+  RunResult result;
+  result.raw = sink.Take();
+  auto mat = Materialize(result.raw);
+  EXPECT_TRUE(mat.ok()) << mat.status() << "\nraw: " << ToString(result.raw);
+  if (mat.ok()) result.materialized = std::move(mat).value();
+  return result;
+}
+
+/// Tokenizes `xml` as stream 0 (with sS/eS brackets).
+inline EventVec Tok(std::string_view xml) {
+  auto r = SaxParser::Tokenize(xml);
+  EXPECT_TRUE(r.ok()) << r.status();
+  return r.ok() ? std::move(r).value() : EventVec{};
+}
+
+/// Strips OIDs so event sequences can be compared structurally.
+inline EventVec StripOids(EventVec v) {
+  for (Event& e : v) e.oid = 0;
+  return v;
+}
+
+}  // namespace xflux
+
+#endif  // XFLUX_TESTS_TEST_UTIL_H_

@@ -1,0 +1,324 @@
+#include "core/transform_stage.h"
+
+#include <gtest/gtest.h>
+
+#include "core/result_display.h"
+#include "ops/aggregates.h"
+#include "ops/child_step.h"
+#include "tests/test_util.h"
+
+namespace xflux {
+namespace {
+
+std::vector<std::unique_ptr<StateTransformer>> OneChildStep(
+    PipelineContext*, const std::string& tag = "book") {
+  std::vector<std::unique_ptr<StateTransformer>> v;
+  v.push_back(std::make_unique<ChildStep>(0, tag));
+  return v;
+}
+
+TEST(TransformStageTest, ChildStepSelectsMatchingChildren) {
+  EventVec in = Tok("<lib><book>a</book><dvd>b</dvd><book>c</book></lib>");
+  RunResult r = RunPipeline(in, [](PipelineContext* c) {
+    return OneChildStep(c);
+  });
+  EventVec expect = {
+      Event::StartElement(0, "book"),
+      Event::Characters(0, "a"),   Event::EndElement(0, "book"),
+      Event::StartElement(0, "book"), Event::Characters(0, "c"),
+      Event::EndElement(0, "book")};
+  EXPECT_EQ(r.materialized, expect);
+}
+
+TEST(TransformStageTest, ChildStepWildcardSelectsAllElementChildren) {
+  EventVec in = Tok("<lib><book>a</book><dvd id=\"1\">b</dvd></lib>");
+  RunResult r = RunPipeline(in, [](PipelineContext* c) {
+    return OneChildStep(c, "*");
+  });
+  // The wildcard selects both children but not the @id attribute child as a
+  // top-level result (it stays inside dvd).
+  ASSERT_GE(r.materialized.size(), 2u);
+  EXPECT_EQ(r.materialized[0], Event::StartElement(0, "book"));
+  // dvd keeps its attribute child.
+  bool has_attr = false;
+  for (const Event& e : r.materialized) {
+    if (e.kind == EventKind::kStartElement && e.text == "@id") has_attr = true;
+  }
+  EXPECT_TRUE(has_attr);
+}
+
+TEST(TransformStageTest, ChildStepAttributeStep) {
+  EventVec in = Tok("<lib><book id=\"b1\">a</book></lib>");
+  RunResult r = RunPipeline(in, [](PipelineContext* c) {
+    std::vector<std::unique_ptr<StateTransformer>> v;
+    v.push_back(std::make_unique<ChildStep>(0, "book"));
+    v.push_back(std::make_unique<ChildStep>(0, "@id"));
+    return v;
+  });
+  EventVec expect = {Event::StartElement(0, "@id"),
+                     Event::Characters(0, "b1"), Event::EndElement(0, "@id")};
+  EXPECT_EQ(r.materialized, expect);
+}
+
+// The central equivalence property: running an operator over an update
+// stream and then applying the updates gives the same answer as applying
+// the updates first and running the operator over the plain stream.
+void CheckEquivalence(const EventVec& update_stream,
+                      const std::string& tag = "book") {
+  ASSERT_TRUE(ValidateUpdateStream(update_stream).ok())
+      << ValidateUpdateStream(update_stream);
+  RunResult streamed = RunPipeline(update_stream, [&](PipelineContext* c) {
+    return OneChildStep(c, tag);
+  });
+  auto plain_in = Materialize(update_stream);
+  ASSERT_TRUE(plain_in.ok()) << plain_in.status();
+  RunResult plain = RunPipeline(plain_in.value(), [&](PipelineContext* c) {
+    return OneChildStep(c, tag);
+  });
+  EXPECT_EQ(streamed.materialized, plain.materialized);
+}
+
+TEST(TransformStageTest, EquivalenceMutableRegionInline) {
+  // <lib><book>x</book></lib> where the book content is mutable.
+  EventVec in = {
+      Event::StartStream(0),          Event::StartElement(0, "lib"),
+      Event::StartMutable(0, 20),     Event::StartElement(20, "book"),
+      Event::Characters(20, "x"),     Event::EndElement(20, "book"),
+      Event::EndMutable(0, 20),       Event::EndElement(0, "lib"),
+      Event::EndStream(0)};
+  CheckEquivalence(in);
+}
+
+TEST(TransformStageTest, EquivalenceReplaceChangesSelection) {
+  // The mutable region first holds a dvd (not selected); a replacement
+  // turns it into a book (selected).  The child step must retroactively
+  // produce the book.
+  EventVec in = {
+      Event::StartStream(0),       Event::StartElement(0, "lib"),
+      Event::StartMutable(0, 20),  Event::StartElement(20, "dvd"),
+      Event::Characters(20, "x"),  Event::EndElement(20, "dvd"),
+      Event::EndMutable(0, 20),    Event::EndElement(0, "lib"),
+      Event::StartReplace(20, 21), Event::StartElement(21, "book"),
+      Event::Characters(21, "y"),  Event::EndElement(21, "book"),
+      Event::EndReplace(20, 21),   Event::EndStream(0)};
+  CheckEquivalence(in);
+  RunResult r = RunPipeline(in, [](PipelineContext* c) {
+    return OneChildStep(c);
+  });
+  EventVec expect = {Event::StartElement(0, "book"),
+                     Event::Characters(0, "y"), Event::EndElement(0, "book")};
+  EXPECT_EQ(r.materialized, expect);
+}
+
+TEST(TransformStageTest, EquivalenceReplaceRemovesSelection) {
+  EventVec in = {
+      Event::StartStream(0),       Event::StartElement(0, "lib"),
+      Event::StartMutable(0, 20),  Event::StartElement(20, "book"),
+      Event::Characters(20, "x"),  Event::EndElement(20, "book"),
+      Event::EndMutable(0, 20),    Event::EndElement(0, "lib"),
+      Event::StartReplace(20, 21), Event::EndReplace(20, 21),
+      Event::EndStream(0)};
+  CheckEquivalence(in);
+  RunResult r = RunPipeline(in, [](PipelineContext* c) {
+    return OneChildStep(c);
+  });
+  EventVec expect = {};
+  EXPECT_EQ(r.materialized, expect);
+}
+
+TEST(TransformStageTest, EquivalenceInsertAfterAddsSelection) {
+  EventVec in = {
+      Event::StartStream(0),           Event::StartElement(0, "lib"),
+      Event::StartMutable(0, 20),      Event::StartElement(20, "book"),
+      Event::Characters(20, "x"),      Event::EndElement(20, "book"),
+      Event::EndMutable(0, 20),        Event::EndElement(0, "lib"),
+      Event::StartInsertAfter(20, 21), Event::StartElement(21, "book"),
+      Event::Characters(21, "y"),      Event::EndElement(21, "book"),
+      Event::EndInsertAfter(20, 21),   Event::EndStream(0)};
+  CheckEquivalence(in);
+  RunResult r = RunPipeline(in, [](PipelineContext* c) {
+    return OneChildStep(c);
+  });
+  // Both books selected, x before y.
+  EventVec expect = {
+      Event::StartElement(0, "book"),
+      Event::Characters(0, "x"),      Event::EndElement(0, "book"),
+      Event::StartElement(0, "book"), Event::Characters(0, "y"),
+      Event::EndElement(0, "book")};
+  EXPECT_EQ(r.materialized, expect);
+}
+
+TEST(TransformStageTest, EquivalenceHideShow) {
+  EventVec base = {
+      Event::StartStream(0),      Event::StartElement(0, "lib"),
+      Event::StartMutable(0, 20), Event::StartElement(20, "book"),
+      Event::Characters(20, "x"), Event::EndElement(20, "book"),
+      Event::EndMutable(0, 20),   Event::EndElement(0, "lib")};
+  EventVec hidden = base;
+  hidden.push_back(Event::Hide(20));
+  hidden.push_back(Event::EndStream(0));
+  CheckEquivalence(hidden);
+
+  EventVec shown = base;
+  shown.push_back(Event::Hide(20));
+  shown.push_back(Event::Show(20));
+  shown.push_back(Event::EndStream(0));
+  CheckEquivalence(shown);
+}
+
+TEST(TransformStageTest, IgnoredSourceUpdatesAreDropped) {
+  EventVec in = {
+      Event::StartStream(0),       Event::StartElement(0, "lib"),
+      Event::StartMutable(0, 20),  Event::StartElement(20, "book"),
+      Event::Characters(20, "x"),  Event::EndElement(20, "book"),
+      Event::EndMutable(0, 20),    Event::EndElement(0, "lib"),
+      Event::StartReplace(20, 21), Event::StartElement(21, "book"),
+      Event::Characters(21, "y"),  Event::EndElement(21, "book"),
+      Event::EndReplace(20, 21),   Event::EndStream(0)};
+  RunResult r = RunPipeline(
+      in, [](PipelineContext* c) { return OneChildStep(c); },
+      /*accept_source_updates=*/false);
+  // The replace is ignored: the original book remains.
+  EventVec expect = {Event::StartElement(0, "book"),
+                     Event::Characters(0, "x"), Event::EndElement(0, "book")};
+  EXPECT_EQ(r.materialized, expect);
+}
+
+TEST(TransformStageTest, FixedRegionStatesAreEvicted) {
+  Pipeline pipeline;
+  pipeline.set_accept_source_updates(false);
+  auto* stage = static_cast<TransformStage*>(pipeline.Add(
+      std::make_unique<TransformStage>(pipeline.context(),
+                                       std::make_unique<ChildStep>(0, "b"))));
+  CollectingSink sink;
+  pipeline.SetSink(&sink);
+  pipeline.PushAll({Event::StartElement(0, "a"),
+                    Event::StartMutable(0, 20), Event::StartElement(20, "b"),
+                    Event::EndElement(20, "b"), Event::EndMutable(0, 20),
+                    Event::EndElement(0, "a"), Event::EndStream(0)});
+  // The ignored (fixed) region's state copies were evicted at its close.
+  EXPECT_EQ(stage->tracked_region_count(), 0u);
+}
+
+TEST(TransformStageTest, AcceptedRegionStatesAreKept) {
+  Pipeline pipeline;
+  auto* stage = static_cast<TransformStage*>(pipeline.Add(
+      std::make_unique<TransformStage>(pipeline.context(),
+                                       std::make_unique<ChildStep>(0, "b"))));
+  CollectingSink sink;
+  pipeline.SetSink(&sink);
+  pipeline.PushAll({Event::StartElement(0, "a"),
+                    Event::StartMutable(0, 20), Event::StartElement(20, "b"),
+                    Event::EndElement(20, "b"), Event::EndMutable(0, 20),
+                    Event::EndElement(0, "a"), Event::EndStream(0)});
+  EXPECT_EQ(stage->tracked_region_count(), 1u);
+  // An explicit freeze evicts.
+  pipeline.Push(Event::Freeze(20));
+  EXPECT_EQ(stage->tracked_region_count(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// CountOp: the paper's canonical non-inert operator.
+
+std::string DisplayedCount(const EventVec& raw) {
+  auto m = Materialize(raw);
+  EXPECT_TRUE(m.ok()) << m.status();
+  std::string text;
+  for (const Event& e : m.value()) {
+    if (e.kind == EventKind::kCharacters) text += e.text;
+  }
+  return text;
+}
+
+TEST(CountOpTest, CountsTopLevelElements) {
+  EventVec in = Tok("<lib><a/><b/><c/></lib>");
+  RunResult r = RunPipeline(in, [](PipelineContext* c) {
+    std::vector<std::unique_ptr<StateTransformer>> v;
+    v.push_back(std::make_unique<ChildStep>(0, "*"));
+    v.push_back(std::make_unique<CountOp>(c, 0, CountMode::kTopLevelElements));
+    return v;
+  });
+  EXPECT_EQ(DisplayedCount(r.raw), "3");
+}
+
+TEST(CountOpTest, CountIsContinuous) {
+  // The display shows the running count after every element, not only at
+  // end of stream.
+  Pipeline pipeline;
+  pipeline.Add(std::make_unique<TransformStage>(
+      pipeline.context(),
+      std::make_unique<CountOp>(pipeline.context(), 0,
+                                CountMode::kTopLevelElements)));
+  ResultDisplay display;
+  pipeline.SetSink(&display);
+
+  pipeline.Push(Event::StartStream(0));
+  EXPECT_EQ(display.CurrentText().value(), "0");
+  pipeline.Push(Event::StartElement(0, "a"));
+  EXPECT_EQ(display.CurrentText().value(), "1");
+  pipeline.Push(Event::EndElement(0, "a"));
+  pipeline.Push(Event::StartElement(0, "b"));
+  pipeline.Push(Event::EndElement(0, "b"));
+  EXPECT_EQ(display.CurrentText().value(), "2");
+}
+
+TEST(CountOpTest, AdjustsForHiddenRegion) {
+  // Count two mutable elements, then hide one: the displayed count drops.
+  Pipeline pipeline;
+  pipeline.Add(std::make_unique<TransformStage>(
+      pipeline.context(),
+      std::make_unique<CountOp>(pipeline.context(), 0,
+                                CountMode::kTopLevelElements)));
+  ResultDisplay display;
+  pipeline.SetSink(&display);
+  pipeline.PushAll({Event::StartStream(0), Event::StartMutable(0, 20),
+                    Event::StartElement(20, "a"), Event::EndElement(20, "a"),
+                    Event::EndMutable(0, 20), Event::StartMutable(0, 21),
+                    Event::StartElement(21, "b"), Event::EndElement(21, "b"),
+                    Event::EndMutable(0, 21)});
+  EXPECT_EQ(display.CurrentText().value(), "2");
+  pipeline.Push(Event::Hide(20));
+  EXPECT_EQ(display.CurrentText().value(), "1");
+  pipeline.Push(Event::Show(20));
+  EXPECT_EQ(display.CurrentText().value(), "2");
+}
+
+TEST(CountOpTest, AdjustsForReplacedRegion) {
+  Pipeline pipeline;
+  pipeline.Add(std::make_unique<TransformStage>(
+      pipeline.context(),
+      std::make_unique<CountOp>(pipeline.context(), 0,
+                                CountMode::kTopLevelElements)));
+  ResultDisplay display;
+  pipeline.SetSink(&display);
+  pipeline.PushAll({Event::StartStream(0), Event::StartMutable(0, 20),
+                    Event::StartElement(20, "a"), Event::EndElement(20, "a"),
+                    Event::EndMutable(0, 20)});
+  EXPECT_EQ(display.CurrentText().value(), "1");
+  // Replace the single element with three.
+  pipeline.PushAll({Event::StartReplace(20, 21), Event::StartElement(21, "x"),
+                    Event::EndElement(21, "x"), Event::StartElement(21, "y"),
+                    Event::EndElement(21, "y"), Event::StartElement(21, "z"),
+                    Event::EndElement(21, "z"), Event::EndReplace(20, 21)});
+  EXPECT_EQ(display.CurrentText().value(), "3");
+  // And replace those three with nothing.
+  pipeline.PushAll({Event::StartReplace(21, 22), Event::EndReplace(21, 22)});
+  EXPECT_EQ(display.CurrentText().value(), "0");
+}
+
+TEST(CountOpTest, PaperSectionThreeCharacterDataCount) {
+  // Section III's example: counting cData events at any depth, unblocked
+  // by continuous replacement updates.
+  Pipeline pipeline;
+  pipeline.Add(std::make_unique<TransformStage>(
+      pipeline.context(),
+      std::make_unique<CountOp>(pipeline.context(), 0,
+                                CountMode::kCharacterData)));
+  ResultDisplay display;
+  pipeline.SetSink(&display);
+  pipeline.PushAll(Tok("<a><b>one</b><c>two<d>three</d></c></a>"));
+  EXPECT_EQ(display.CurrentText().value(), "3");
+}
+
+}  // namespace
+}  // namespace xflux

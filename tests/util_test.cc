@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "core/fix_registry.h"
+#include "core/stream_registry.h"
+#include "ops/aggregates.h"
+#include "util/metrics.h"
+#include "util/prng.h"
+#include "util/status.h"
+
+namespace xflux {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  Status s = Status::ParseError("bad token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.message(), "bad token");
+  EXPECT_EQ(s.ToString(), "PARSE_ERROR: bad token");
+  EXPECT_EQ(Status::NotSupported("x").code(), StatusCode::kNotSupported);
+  EXPECT_EQ(Status::InvalidArgument("x").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, StatusOrHoldsValueOrError) {
+  StatusOr<int> good = 42;
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 42);
+  StatusOr<int> bad = Status::InvalidArgument("nope");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+Status Propagates(bool fail) {
+  XFLUX_RETURN_IF_ERROR(fail ? Status::Internal("inner") : Status::OK());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  EXPECT_TRUE(Propagates(false).ok());
+  EXPECT_EQ(Propagates(true).message(), "inner");
+}
+
+TEST(MetricsTest, HighWaterMarks) {
+  Metrics m;
+  m.OnStateCreated();
+  m.OnStateCreated();
+  m.OnStateDropped();
+  EXPECT_EQ(m.live_states(), 1);
+  EXPECT_EQ(m.max_live_states(), 2);
+
+  m.OnBuffered(10, 100);
+  m.OnBuffered(5, 50);
+  m.OnUnbuffered(12, 120);
+  EXPECT_EQ(m.buffered_events(), 3);
+  EXPECT_EQ(m.max_buffered_events(), 15);
+  EXPECT_EQ(m.max_buffered_bytes(), 150);
+
+  m.OnDisplayRegion(+3);
+  m.OnDisplayRegion(-1);
+  EXPECT_EQ(m.display_regions(), 2);
+  EXPECT_EQ(m.max_display_regions(), 3);
+  EXPECT_GT(m.MaxApproxStateBytes(), 0);
+
+  m.Reset();
+  EXPECT_EQ(m.live_states(), 0);
+  EXPECT_EQ(m.max_buffered_events(), 0);
+}
+
+TEST(PrngTest, DeterministicAndBounded) {
+  Prng a(1), b(1), c(2);
+  EXPECT_EQ(a.NextU64(), b.NextU64());
+  EXPECT_NE(Prng(1).NextU64(), c.NextU64());
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(a.Uniform(10), 10u);
+    int64_t r = a.Range(-5, 5);
+    EXPECT_GE(r, -5);
+    EXPECT_LE(r, 5);
+    double d = a.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    EXPECT_LT(a.Skewed(10), 10u);
+  }
+}
+
+TEST(FixRegistryTest, UnknownIdsAreFixed) {
+  FixRegistry fix;
+  EXPECT_TRUE(fix.IsFixed(7));
+}
+
+TEST(FixRegistryTest, MutableRegionsOpenAndInherit) {
+  FixRegistry fix;
+  fix.OnEvent(Event::StartMutable(0, 10));
+  EXPECT_FALSE(fix.IsFixed(10));
+  fix.OnEvent(Event::StartReplace(10, 11));
+  EXPECT_FALSE(fix.IsFixed(11));  // inherits the target's openness
+  fix.OnEvent(Event::Freeze(11));
+  EXPECT_TRUE(fix.IsFixed(11));
+  // Updates to a fixed target are born fixed.
+  fix.OnEvent(Event::StartReplace(11, 12));
+  EXPECT_TRUE(fix.IsFixed(12));
+}
+
+TEST(FixRegistryTest, ReseeingStartDoesNotReopen) {
+  FixRegistry fix;
+  fix.OnEvent(Event::StartMutable(0, 10));
+  fix.OnEvent(Event::Freeze(10));
+  fix.OnEvent(Event::StartMutable(0, 10));  // idempotent bookkeeping replay
+  EXPECT_TRUE(fix.IsFixed(10));
+}
+
+TEST(FixRegistryTest, DisabledReportsEverythingMutable) {
+  FixRegistry fix;
+  fix.set_disabled(true);
+  EXPECT_FALSE(fix.IsFixed(7));
+  fix.OnEvent(Event::Freeze(7));
+  EXPECT_FALSE(fix.IsFixed(7));
+}
+
+TEST(StreamRegistryTest, LineageRootsChainToBase) {
+  StreamRegistry reg;
+  EXPECT_EQ(reg.RootOf(5), 5u);  // unseen ids are their own root
+  reg.OnEvent(Event::StartMutable(0, 10));
+  reg.OnEvent(Event::StartReplace(10, 11));
+  reg.OnEvent(Event::StartInsertAfter(11, 12));
+  EXPECT_EQ(reg.RootOf(10), 0u);
+  EXPECT_EQ(reg.RootOf(11), 0u);
+  EXPECT_EQ(reg.RootOf(12), 0u);
+}
+
+TEST(StreamRegistryTest, RegisteredBasesAreNeverRerooted) {
+  StreamRegistry reg;
+  reg.RegisterBase(1);
+  reg.OnEvent(Event::StartMutable(5, 1));  // the concat id-reuse pattern
+  EXPECT_EQ(reg.RootOf(1), 1u);
+}
+
+TEST(StreamRegistryTest, AliasesAndPartners) {
+  StreamRegistry reg;
+  reg.AddAlias(30, 0);
+  EXPECT_EQ(reg.RootOf(30), 0u);
+  EXPECT_EQ(reg.PartnerOf(40), 0u);
+  reg.AddPartner(40, 20);
+  EXPECT_EQ(reg.PartnerOf(40), 20u);
+}
+
+TEST(FormatNumberTest, IntegersAndDecimals) {
+  EXPECT_EQ(FormatNumber(3.0), "3");
+  EXPECT_EQ(FormatNumber(-17.0), "-17");
+  EXPECT_EQ(FormatNumber(2.5), "2.5");
+  EXPECT_EQ(FormatNumber(0.0), "0");
+}
+
+}  // namespace
+}  // namespace xflux

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "core/well_formed.h"
+#include "xml/escape.h"
+#include "xml/sax_parser.h"
+#include "xml/serializer.h"
+
+namespace xflux {
+namespace {
+
+EventVec MustTokenize(std::string_view doc, SaxParser::Options opts = {}) {
+  auto result = SaxParser::Tokenize(doc, opts);
+  EXPECT_TRUE(result.ok()) << result.status();
+  return result.ok() ? std::move(result).value() : EventVec{};
+}
+
+TEST(EscapeTest, EscapeTextRoundTrip) {
+  std::string original = "a<b>&c\"d'e";
+  auto decoded = DecodeEntities(EscapeText(original));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), original);
+}
+
+TEST(EscapeTest, AttributeEscapesQuotes) {
+  EXPECT_EQ(EscapeAttribute("a\"b"), "a&quot;b");
+  EXPECT_EQ(EscapeText("a\"b"), "a\"b");
+}
+
+TEST(EscapeTest, NumericCharacterReferences) {
+  auto d = DecodeEntities("&#65;&#x42;&#x20AC;");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value(), "AB\xE2\x82\xAC");  // "AB€"
+}
+
+TEST(EscapeTest, UnknownEntityRejected) {
+  EXPECT_FALSE(DecodeEntities("&bogus;").ok());
+  EXPECT_FALSE(DecodeEntities("&unterminated").ok());
+  EXPECT_FALSE(DecodeEntities("&#xZZ;").ok());
+}
+
+TEST(SaxParserTest, PaperNameExample) {
+  // Section II: <name>Smith</name> tokenizes to [sE, cD, eE].
+  EventVec v = MustTokenize("<name>Smith</name>",
+                            {.emit_stream_brackets = false});
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], Event::StartElement(0, "name"));
+  EXPECT_EQ(v[1], Event::Characters(0, "Smith"));
+  EXPECT_EQ(v[2], Event::EndElement(0, "name"));
+}
+
+TEST(SaxParserTest, StreamBracketsWrapDocument) {
+  EventVec v = MustTokenize("<a/>");
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_EQ(v.front().kind, EventKind::kStartStream);
+  EXPECT_EQ(v.back().kind, EventKind::kEndStream);
+}
+
+TEST(SaxParserTest, NestedElementsAreWellFormed) {
+  EventVec v = MustTokenize(
+      "<a><b><c><d>X</d><d>Y</d></c></b><b><c><d>Z</d></c></b></a>");
+  EXPECT_TRUE(CheckWellFormed(v, 0).ok());
+}
+
+TEST(SaxParserTest, AttributesBecomeAtChildren) {
+  EventVec v = MustTokenize("<item id=\"7\" cat='a&amp;b'/>",
+                            {.emit_stream_brackets = false});
+  EventVec expect = {
+      Event::StartElement(0, "item"), Event::StartElement(0, "@id"),
+      Event::Characters(0, "7"),      Event::EndElement(0, "@id"),
+      Event::StartElement(0, "@cat"), Event::Characters(0, "a&b"),
+      Event::EndElement(0, "@cat"),   Event::EndElement(0, "item")};
+  EXPECT_EQ(v, expect);
+}
+
+TEST(SaxParserTest, WhitespaceOnlyTextDroppedByDefault) {
+  EventVec v = MustTokenize("<a>\n  <b>x</b>\n</a>",
+                            {.emit_stream_brackets = false});
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_EQ(v[1], Event::StartElement(0, "b"));
+}
+
+TEST(SaxParserTest, WhitespaceKeptWhenRequested) {
+  EventVec v = MustTokenize("<a> <b>x</b></a>", {.emit_stream_brackets = false,
+                                                 .keep_whitespace = true});
+  EXPECT_EQ(v[1], Event::Characters(0, " "));
+}
+
+TEST(SaxParserTest, EntityDecodingInText) {
+  EventVec v = MustTokenize("<a>x &lt; y &amp; z</a>",
+                            {.emit_stream_brackets = false});
+  EXPECT_EQ(v[1], Event::Characters(0, "x < y & z"));
+}
+
+TEST(SaxParserTest, CommentsPIsAndDoctypeSkipped) {
+  EventVec v = MustTokenize(
+      "<?xml version=\"1.0\"?><!DOCTYPE a [<!ELEMENT a ANY>]>"
+      "<a><!-- note --><b>x</b><?pi data?></a>",
+      {.emit_stream_brackets = false});
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_EQ(v[0], Event::StartElement(0, "a"));
+  EXPECT_EQ(v[1], Event::StartElement(0, "b"));
+}
+
+TEST(SaxParserTest, CdataIsLiteral) {
+  EventVec v = MustTokenize("<a><![CDATA[x<y&z]]></a>",
+                            {.emit_stream_brackets = false});
+  EXPECT_EQ(v[1], Event::Characters(0, "x<y&z"));
+}
+
+TEST(SaxParserTest, OidsIncreaseInDocumentOrderAndMatchOnEnd) {
+  EventVec v = MustTokenize("<a><b/><c/></a>", {.emit_stream_brackets = false});
+  ASSERT_EQ(v.size(), 6u);
+  EXPECT_EQ(v[0].oid, 1u);  // a
+  EXPECT_EQ(v[1].oid, 2u);  // b
+  EXPECT_EQ(v[2].oid, 2u);  // /b matches b
+  EXPECT_EQ(v[3].oid, 3u);  // c
+  EXPECT_EQ(v[5].oid, 1u);  // /a matches a
+}
+
+TEST(SaxParserTest, ChunkedFeedingIsBoundaryInsensitive) {
+  const std::string doc =
+      "<root a=\"1\"><x>hello &amp; goodbye</x><!-- c --><y><z/></y></root>";
+  EventVec whole = MustTokenize(doc, {.emit_stream_brackets = false});
+  for (size_t chunk = 1; chunk <= 7; ++chunk) {
+    CollectingSink sink;
+    SaxParser parser({.emit_stream_brackets = false}, &sink);
+    for (size_t i = 0; i < doc.size(); i += chunk) {
+      ASSERT_TRUE(parser.Feed(doc.substr(i, chunk)).ok()) << "chunk " << chunk;
+    }
+    ASSERT_TRUE(parser.Finish().ok());
+    EXPECT_EQ(sink.events(), whole) << "chunk size " << chunk;
+  }
+}
+
+TEST(SaxParserTest, MalformedDocumentsRejected) {
+  EXPECT_FALSE(SaxParser::Tokenize("<a><b></a></b>").ok());
+  EXPECT_FALSE(SaxParser::Tokenize("<a>").ok());
+  EXPECT_FALSE(SaxParser::Tokenize("</a>").ok());
+  EXPECT_FALSE(SaxParser::Tokenize("<a attr></a>").ok());
+  EXPECT_FALSE(SaxParser::Tokenize("<a attr=x></a>").ok());
+  EXPECT_FALSE(SaxParser::Tokenize("<a>text").ok());
+  EXPECT_FALSE(SaxParser::Tokenize("text<a/>").ok());
+  EXPECT_FALSE(SaxParser::Tokenize("<a>&bad;</a>").ok());
+}
+
+TEST(SerializerTest, RoundTripsSimpleDocument) {
+  const std::string doc = "<a x=\"1\"><b>hi &amp; low</b><c/></a>";
+  EventVec v = MustTokenize(doc, {.emit_stream_brackets = false});
+  auto xml = XmlSerializer::ToXml(v);
+  ASSERT_TRUE(xml.ok()) << xml.status();
+  EXPECT_EQ(xml.value(), doc);
+}
+
+TEST(SerializerTest, TokenizeSerializeFixpoint) {
+  // serialize(tokenize(x)) is a fixpoint: one more round trip is identity.
+  const std::string doc =
+      "<library><book id=\"b1\" lang='en'><title>T&amp;C</title>"
+      "<price>9.99</price></book><empty/></library>";
+  EventVec v1 = MustTokenize(doc, {.emit_stream_brackets = false});
+  auto xml1 = XmlSerializer::ToXml(v1);
+  ASSERT_TRUE(xml1.ok());
+  EventVec v2 = MustTokenize(xml1.value(), {.emit_stream_brackets = false});
+  auto xml2 = XmlSerializer::ToXml(v2);
+  ASSERT_TRUE(xml2.ok());
+  EXPECT_EQ(xml1.value(), xml2.value());
+}
+
+TEST(SerializerTest, TuplesAndStreamBracketsDropped) {
+  EventVec v = {Event::StartStream(0), Event::StartTuple(0),
+                Event::StartElement(0, "a"), Event::EndElement(0, "a"),
+                Event::EndTuple(0), Event::EndStream(0)};
+  auto xml = XmlSerializer::ToXml(v);
+  ASSERT_TRUE(xml.ok());
+  EXPECT_EQ(xml.value(), "<a/>");
+}
+
+TEST(SerializerTest, UpdateEventsRejected) {
+  EventVec v = {Event::StartMutable(0, 1), Event::EndMutable(0, 1)};
+  EXPECT_FALSE(XmlSerializer::ToXml(v).ok());
+}
+
+TEST(SerializerTest, PrettyPrinting) {
+  EventVec v = MustTokenize("<a><b>x</b><c/></a>",
+                            {.emit_stream_brackets = false});
+  auto xml = XmlSerializer::ToXml(v, {.pretty = true});
+  ASSERT_TRUE(xml.ok());
+  EXPECT_EQ(xml.value(), "<a>\n  <b>x</b>\n  <c/>\n</a>");
+}
+
+}  // namespace
+}  // namespace xflux

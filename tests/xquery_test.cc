@@ -1,0 +1,291 @@
+#include <gtest/gtest.h>
+
+#include "xquery/engine.h"
+#include "xquery/parser.h"
+
+namespace xflux {
+namespace {
+
+std::string RunQ(std::string_view query, std::string_view xml) {
+  auto result = RunQueryOnXml(query, xml);
+  EXPECT_TRUE(result.ok()) << result.status() << "\nquery: " << query;
+  return result.ok() ? result.value() : "<error>";
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+
+TEST(ParserTest, SimplePathParses) {
+  auto ast = ParseQuery("X//item[location=\"Albania\"]/quantity");
+  ASSERT_TRUE(ast.ok()) << ast.status();
+  EXPECT_EQ(ast.value()->kind, AstKind::kStep);  // /quantity outermost
+  EXPECT_EQ(ast.value()->name, "quantity");
+  EXPECT_EQ(ast.value()->children[0]->kind, AstKind::kFilter);
+}
+
+TEST(ParserTest, BackwardAxesParse) {
+  ASSERT_TRUE(ParseQuery("count(X//item/..)").ok());
+  ASSERT_TRUE(ParseQuery("count(X//item/ancestor::europe)").ok());
+  ASSERT_TRUE(ParseQuery("count(X//item/ancestor::*//location)").ok());
+}
+
+TEST(ParserTest, FlworParses) {
+  auto ast = ParseQuery(
+      "for $d in D//inproceedings where contains($d/author,\"Smith\") "
+      "order by $d/year return ($d/year/text(),\": \",$d/title/text(),\"\\n\")");
+  ASSERT_TRUE(ast.ok()) << ast.status();
+  const AstNode& flwor = *ast.value();
+  EXPECT_EQ(flwor.kind, AstKind::kFlwor);
+  EXPECT_EQ(flwor.name, "d");
+  EXPECT_GE(flwor.where_child, 0);
+  EXPECT_GE(flwor.orderby_child, 0);
+  EXPECT_GE(flwor.return_child, 0);
+}
+
+TEST(ParserTest, ElementConstructorParses) {
+  auto ast = ParseQuery(
+      "<result>{ for $c in X//item where $c/location = \"Albania\" "
+      "return <item>{ $c/quantity, $c/payment }</item> }</result>");
+  ASSERT_TRUE(ast.ok()) << ast.status();
+  EXPECT_EQ(ast.value()->kind, AstKind::kElementCtor);
+  EXPECT_EQ(ast.value()->name, "result");
+}
+
+TEST(ParserTest, MultiplePredicatesParse) {
+  auto ast = ParseQuery(
+      "X//item[location=\"Albania\"][payment=\"Cash\"]/location");
+  ASSERT_TRUE(ast.ok()) << ast.status();
+}
+
+TEST(ParserTest, SyntaxErrorsAreReported) {
+  EXPECT_FALSE(ParseQuery("").ok());
+  EXPECT_FALSE(ParseQuery("X//item[").ok());
+  EXPECT_FALSE(ParseQuery("for $x return 3").ok());
+  EXPECT_FALSE(ParseQuery("X//item extra").ok());
+  EXPECT_FALSE(ParseQuery("<a>{ X }</b>").ok());
+  EXPECT_FALSE(ParseQuery("count(X//item").ok());
+  EXPECT_FALSE(ParseQuery("X//item = unclosed\"").ok());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end evaluation on miniature documents.
+
+constexpr char kAuctions[] =
+    "<site><regions>"
+    "<europe>"
+    "<item id=\"i1\"><location>Albania</location><quantity>2</quantity>"
+    "<payment>Cash</payment><name>clock</name></item>"
+    "<item id=\"i2\"><location>France</location><quantity>5</quantity>"
+    "<payment>Credit</payment><name>vase</name></item>"
+    "</europe>"
+    "<asia>"
+    "<item id=\"i3\"><location>Albania</location><quantity>7</quantity>"
+    "<payment>Credit</payment><name>coin</name></item>"
+    "</asia>"
+    "</regions></site>";
+
+TEST(QueryTest, Q1DescendantChainWithPredicate) {
+  EXPECT_EQ(RunQ("X//europe//item[location=\"Albania\"]/quantity", kAuctions),
+            "<quantity>2</quantity>");
+}
+
+TEST(QueryTest, Q2TwoPredicates) {
+  EXPECT_EQ(RunQ("X//item[location=\"Albania\"][payment=\"Cash\"]/location",
+                kAuctions),
+            "<location>Albania</location>");
+}
+
+TEST(QueryTest, Q3WildcardWithPredicate) {
+  // //*[location="Albania"]/quantity: every element with a matching
+  // location child.
+  EXPECT_EQ(RunQ("X//*[location=\"Albania\"]/quantity", kAuctions),
+            "<quantity>2</quantity><quantity>7</quantity>");
+}
+
+TEST(QueryTest, Q4CountOfParents) {
+  EXPECT_EQ(RunQ("count(X//item[location=\"Albania\"]/..)", kAuctions), "2");
+}
+
+TEST(QueryTest, Q5CountOfAncestorTag) {
+  EXPECT_EQ(RunQ("count(X//item[location=\"Albania\"]/ancestor::europe)",
+                kAuctions),
+            "1");
+}
+
+TEST(QueryTest, Q6CountOfAncestorDescendants) {
+  // Ancestors of the two Albania items, then //location under each
+  // ancestor copy, counted.
+  // europe (2 locations), asia (1), regions (3), plus none for hidden.
+  EXPECT_EQ(RunQ("count(X//item[location=\"Albania\"]/ancestor::*//location)",
+                kAuctions),
+            "6");
+}
+
+TEST(QueryTest, Q7FlworConstruct) {
+  EXPECT_EQ(
+      RunQ("<result>{ for $c in X//item where $c/location = \"Albania\" "
+          "return <item>{ $c/quantity, $c/payment }</item> }</result>",
+          kAuctions),
+      "<result><item><quantity>2</quantity><payment>Cash</payment></item>"
+      "<item><quantity>7</quantity><payment>Credit</payment></item>"
+      "</result>");
+}
+
+constexpr char kDblp[] =
+    "<dblp>"
+    "<inproceedings><author>John Smith</author><title>T1</title>"
+    "<year>2001</year></inproceedings>"
+    "<inproceedings><author>Jane Doe</author><title>T2</title>"
+    "<year>1999</year></inproceedings>"
+    "<inproceedings><author>Ann Smith</author><title>T3</title>"
+    "<year>1997</year></inproceedings>"
+    "</dblp>";
+
+TEST(QueryTest, Q8AuthorTitle) {
+  EXPECT_EQ(RunQ("D//inproceedings[author=\"John Smith\"]/title", kDblp),
+            "<title>T1</title>");
+}
+
+TEST(QueryTest, Q9FlworContainsOrderBy) {
+  EXPECT_EQ(
+      RunQ("for $d in D//inproceedings where contains($d/author,\"Smith\") "
+          "order by $d/year "
+          "return ($d/year/text(),\": \",$d/title/text(),\"\\n\")",
+          kDblp),
+      "1997: T3\n2001: T1\n");
+}
+
+TEST(QueryTest, SimpleChildSteps) {
+  EXPECT_EQ(RunQ("X/regions/europe/item/name", kAuctions),
+            "<name>clock</name><name>vase</name>");
+}
+
+TEST(QueryTest, AttributeStep) {
+  EXPECT_EQ(RunQ("X//item[location=\"Albania\"]/@id", kAuctions),
+            "i1i3");  // attribute values render as text items
+}
+
+TEST(QueryTest, ExistencePredicate) {
+  const char doc[] =
+      "<l><a><flag/>x</a><b>y</b><a>z</a></l>";
+  EXPECT_EQ(RunQ("X//a[flag]", doc), "<a><flag/>x</a>");
+}
+
+TEST(QueryTest, TextStep) {
+  EXPECT_EQ(RunQ("X//item[payment=\"Cash\"]/name/text()", kAuctions), "clock");
+}
+
+TEST(QueryTest, CountWholeSets) {
+  EXPECT_EQ(RunQ("count(X//item)", kAuctions), "3");
+  EXPECT_EQ(RunQ("count(X//location)", kAuctions), "3");
+  EXPECT_EQ(RunQ("count(X//item[location=\"Nowhere\"])", kAuctions), "0");
+}
+
+TEST(QueryTest, SumAggregates) {
+  EXPECT_EQ(RunQ("sum(X//quantity)", kAuctions), "14");
+}
+
+TEST(QueryTest, AvgAggregates) {
+  // quantities 2, 5, 7 -> mean 14/3.
+  EXPECT_EQ(RunQ("avg(X//quantity/text())", kAuctions), "4.66667");
+  EXPECT_EQ(RunQ("avg(X//nosuch)", kAuctions), "");
+}
+
+TEST(QueryTest, OrderByDescending) {
+  EXPECT_EQ(RunQ("for $i in X//item order by $i/quantity descending "
+                 "return $i/name",
+                 kAuctions),
+            "<name>coin</name><name>vase</name><name>clock</name>");
+  // An explicit 'ascending' keyword parses too.
+  EXPECT_EQ(RunQ("for $i in X//item order by $i/quantity ascending "
+                 "return $i/name",
+                 kAuctions),
+            "<name>clock</name><name>vase</name><name>coin</name>");
+}
+
+TEST(QueryTest, OrderByNumericKeys) {
+  EXPECT_EQ(RunQ("for $i in X//item order by $i/quantity return $i/name",
+                kAuctions),
+            "<name>clock</name><name>vase</name><name>coin</name>");
+}
+
+TEST(QueryTest, IntroBookstoreQuery) {
+  // The paper's introduction query (flattened one level).
+  const char books[] =
+      "<biblio>"
+      "<book><publisher>Wiley</publisher><author>Smith</author>"
+      "<title>B1</title><price>30</price></book>"
+      "<book><publisher>Other</publisher><author>Smith</author>"
+      "<title>B2</title><price>10</price></book>"
+      "<book><publisher>Wiley</publisher><author>Smith</author>"
+      "<title>B3</title><price>20</price></book>"
+      "<book><publisher>Wiley</publisher><author>Jones</author>"
+      "<title>B4</title><price>5</price></book>"
+      "</biblio>";
+  EXPECT_EQ(
+      RunQ("<books>{ for $b in X//book[publisher=\"Wiley\"] "
+          "where $b/author = \"Smith\" order by $b/price "
+          "return <book>{ $b/title, $b/price }</book> }</books>",
+          books),
+      "<books><book><title>B3</title><price>20</price></book>"
+      "<book><title>B1</title><price>30</price></book></books>");
+}
+
+TEST(QueryTest, UnsupportedAndInvalidQueriesFail) {
+  EXPECT_FALSE(RunQueryOnXml("X//item[", "<a/>").ok());
+  EXPECT_FALSE(RunQueryOnXml("for $x in X//a return $y", "<a/>").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Continuous sessions: updates arriving after the document.
+
+TEST(QuerySessionTest, ContinuousUpdateFlipsAnswer) {
+  auto session = QuerySession::Open("X//stock[name=\"IBM\"]/quote");
+  ASSERT_TRUE(session.ok()) << session.status();
+  QuerySession& q = *session.value();
+  q.PushAll({Event::StartStream(0),
+             Event::StartElement(0, "ticker", 1),
+             Event::StartElement(0, "stock", 2),
+             Event::StartElement(0, "name", 3),
+             Event::Characters(0, "IBM"),
+             Event::EndElement(0, "name", 3),
+             Event::StartElement(0, "quote", 4),
+             Event::StartMutable(0, 1000),
+             Event::Characters(1000, "120.00"),
+             Event::EndMutable(0, 1000),
+             Event::EndElement(0, "quote", 4),
+             Event::EndElement(0, "stock", 2)});
+  EXPECT_EQ(q.CurrentText().value(), "<quote>120.00</quote>");
+  // A tick: the quote region is replaced.
+  q.PushAll({Event::StartReplace(1000, 1001), Event::Characters(1001, "121.5"),
+             Event::EndReplace(1000, 1001)});
+  ASSERT_TRUE(q.display_status().ok()) << q.display_status();
+  EXPECT_EQ(q.CurrentText().value(), "<quote>121.5</quote>");
+}
+
+TEST(QuerySessionTest, PredicateFlipsOnUpdate) {
+  auto session = QuerySession::Open("X//stock[name=\"IBM\"]/quote");
+  ASSERT_TRUE(session.ok()) << session.status();
+  QuerySession& q = *session.value();
+  q.PushAll({Event::StartStream(0),
+             Event::StartElement(0, "ticker", 1),
+             Event::StartElement(0, "stock", 2),
+             Event::StartElement(0, "name", 3),
+             Event::StartMutable(0, 1000),
+             Event::Characters(1000, "HP"),
+             Event::EndMutable(0, 1000),
+             Event::EndElement(0, "name", 3),
+             Event::StartElement(0, "quote", 4),
+             Event::Characters(0, "55"),
+             Event::EndElement(0, "quote", 4),
+             Event::EndElement(0, "stock", 2)});
+  EXPECT_EQ(q.CurrentText().value(), "");
+  // The name changes to IBM: the quote appears retroactively.
+  q.PushAll({Event::StartReplace(1000, 1001), Event::Characters(1001, "IBM"),
+             Event::EndReplace(1000, 1001)});
+  ASSERT_TRUE(q.display_status().ok()) << q.display_status();
+  EXPECT_EQ(q.CurrentText().value(), "<quote>55</quote>");
+}
+
+}  // namespace
+}  // namespace xflux
