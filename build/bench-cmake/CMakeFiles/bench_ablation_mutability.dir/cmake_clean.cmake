@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_mutability"
+  "../bench/bench_ablation_mutability.pdb"
+  "CMakeFiles/bench_ablation_mutability.dir/bench_ablation_mutability.cc.o"
+  "CMakeFiles/bench_ablation_mutability.dir/bench_ablation_mutability.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mutability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_updates"
+  "../bench/bench_ablation_updates.pdb"
+  "CMakeFiles/bench_ablation_updates.dir/bench_ablation_updates.cc.o"
+  "CMakeFiles/bench_ablation_updates.dir/bench_ablation_updates.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

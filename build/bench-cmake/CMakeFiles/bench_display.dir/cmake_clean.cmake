@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_display"
+  "../bench/bench_display.pdb"
+  "CMakeFiles/bench_display.dir/bench_display.cc.o"
+  "CMakeFiles/bench_display.dir/bench_display.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_display.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_queries"
+  "../bench/bench_table2_queries.pdb"
+  "CMakeFiles/bench_table2_queries.dir/bench_table2_queries.cc.o"
+  "CMakeFiles/bench_table2_queries.dir/bench_table2_queries.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bookstore.dir/bookstore.cpp.o"
+  "CMakeFiles/bookstore.dir/bookstore.cpp.o.d"
+  "bookstore"
+  "bookstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bookstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmark_explore.dir/xmark_explore.cpp.o"
+  "CMakeFiles/xmark_explore.dir/xmark_explore.cpp.o.d"
+  "xmark_explore"
+  "xmark_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmark_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

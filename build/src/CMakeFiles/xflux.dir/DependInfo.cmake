@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/event.cc" "src/CMakeFiles/xflux.dir/core/event.cc.o" "gcc" "src/CMakeFiles/xflux.dir/core/event.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/CMakeFiles/xflux.dir/core/pipeline.cc.o" "gcc" "src/CMakeFiles/xflux.dir/core/pipeline.cc.o.d"
+  "/root/repo/src/core/region_document.cc" "src/CMakeFiles/xflux.dir/core/region_document.cc.o" "gcc" "src/CMakeFiles/xflux.dir/core/region_document.cc.o.d"
+  "/root/repo/src/core/result_display.cc" "src/CMakeFiles/xflux.dir/core/result_display.cc.o" "gcc" "src/CMakeFiles/xflux.dir/core/result_display.cc.o.d"
+  "/root/repo/src/core/transform_stage.cc" "src/CMakeFiles/xflux.dir/core/transform_stage.cc.o" "gcc" "src/CMakeFiles/xflux.dir/core/transform_stage.cc.o.d"
+  "/root/repo/src/core/well_formed.cc" "src/CMakeFiles/xflux.dir/core/well_formed.cc.o" "gcc" "src/CMakeFiles/xflux.dir/core/well_formed.cc.o.d"
+  "/root/repo/src/data/generators.cc" "src/CMakeFiles/xflux.dir/data/generators.cc.o" "gcc" "src/CMakeFiles/xflux.dir/data/generators.cc.o.d"
+  "/root/repo/src/naive/naive_ops.cc" "src/CMakeFiles/xflux.dir/naive/naive_ops.cc.o" "gcc" "src/CMakeFiles/xflux.dir/naive/naive_ops.cc.o.d"
+  "/root/repo/src/ops/aggregates.cc" "src/CMakeFiles/xflux.dir/ops/aggregates.cc.o" "gcc" "src/CMakeFiles/xflux.dir/ops/aggregates.cc.o.d"
+  "/root/repo/src/ops/backward.cc" "src/CMakeFiles/xflux.dir/ops/backward.cc.o" "gcc" "src/CMakeFiles/xflux.dir/ops/backward.cc.o.d"
+  "/root/repo/src/ops/child_step.cc" "src/CMakeFiles/xflux.dir/ops/child_step.cc.o" "gcc" "src/CMakeFiles/xflux.dir/ops/child_step.cc.o.d"
+  "/root/repo/src/ops/clone.cc" "src/CMakeFiles/xflux.dir/ops/clone.cc.o" "gcc" "src/CMakeFiles/xflux.dir/ops/clone.cc.o.d"
+  "/root/repo/src/ops/concat.cc" "src/CMakeFiles/xflux.dir/ops/concat.cc.o" "gcc" "src/CMakeFiles/xflux.dir/ops/concat.cc.o.d"
+  "/root/repo/src/ops/descendant_step.cc" "src/CMakeFiles/xflux.dir/ops/descendant_step.cc.o" "gcc" "src/CMakeFiles/xflux.dir/ops/descendant_step.cc.o.d"
+  "/root/repo/src/ops/predicate.cc" "src/CMakeFiles/xflux.dir/ops/predicate.cc.o" "gcc" "src/CMakeFiles/xflux.dir/ops/predicate.cc.o.d"
+  "/root/repo/src/ops/sorter.cc" "src/CMakeFiles/xflux.dir/ops/sorter.cc.o" "gcc" "src/CMakeFiles/xflux.dir/ops/sorter.cc.o.d"
+  "/root/repo/src/ops/textops.cc" "src/CMakeFiles/xflux.dir/ops/textops.cc.o" "gcc" "src/CMakeFiles/xflux.dir/ops/textops.cc.o.d"
+  "/root/repo/src/ops/tuples.cc" "src/CMakeFiles/xflux.dir/ops/tuples.cc.o" "gcc" "src/CMakeFiles/xflux.dir/ops/tuples.cc.o.d"
+  "/root/repo/src/spex/spex_engine.cc" "src/CMakeFiles/xflux.dir/spex/spex_engine.cc.o" "gcc" "src/CMakeFiles/xflux.dir/spex/spex_engine.cc.o.d"
+  "/root/repo/src/util/metrics.cc" "src/CMakeFiles/xflux.dir/util/metrics.cc.o" "gcc" "src/CMakeFiles/xflux.dir/util/metrics.cc.o.d"
+  "/root/repo/src/util/order_key.cc" "src/CMakeFiles/xflux.dir/util/order_key.cc.o" "gcc" "src/CMakeFiles/xflux.dir/util/order_key.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/xflux.dir/util/status.cc.o" "gcc" "src/CMakeFiles/xflux.dir/util/status.cc.o.d"
+  "/root/repo/src/xml/escape.cc" "src/CMakeFiles/xflux.dir/xml/escape.cc.o" "gcc" "src/CMakeFiles/xflux.dir/xml/escape.cc.o.d"
+  "/root/repo/src/xml/sax_parser.cc" "src/CMakeFiles/xflux.dir/xml/sax_parser.cc.o" "gcc" "src/CMakeFiles/xflux.dir/xml/sax_parser.cc.o.d"
+  "/root/repo/src/xml/serializer.cc" "src/CMakeFiles/xflux.dir/xml/serializer.cc.o" "gcc" "src/CMakeFiles/xflux.dir/xml/serializer.cc.o.d"
+  "/root/repo/src/xquery/ast.cc" "src/CMakeFiles/xflux.dir/xquery/ast.cc.o" "gcc" "src/CMakeFiles/xflux.dir/xquery/ast.cc.o.d"
+  "/root/repo/src/xquery/compiler.cc" "src/CMakeFiles/xflux.dir/xquery/compiler.cc.o" "gcc" "src/CMakeFiles/xflux.dir/xquery/compiler.cc.o.d"
+  "/root/repo/src/xquery/engine.cc" "src/CMakeFiles/xflux.dir/xquery/engine.cc.o" "gcc" "src/CMakeFiles/xflux.dir/xquery/engine.cc.o.d"
+  "/root/repo/src/xquery/parser.cc" "src/CMakeFiles/xflux.dir/xquery/parser.cc.o" "gcc" "src/CMakeFiles/xflux.dir/xquery/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/event_test.cc" "tests/CMakeFiles/xflux_tests.dir/event_test.cc.o" "gcc" "tests/CMakeFiles/xflux_tests.dir/event_test.cc.o.d"
+  "/root/repo/tests/generators_test.cc" "tests/CMakeFiles/xflux_tests.dir/generators_test.cc.o" "gcc" "tests/CMakeFiles/xflux_tests.dir/generators_test.cc.o.d"
+  "/root/repo/tests/naive_test.cc" "tests/CMakeFiles/xflux_tests.dir/naive_test.cc.o" "gcc" "tests/CMakeFiles/xflux_tests.dir/naive_test.cc.o.d"
+  "/root/repo/tests/ops_test.cc" "tests/CMakeFiles/xflux_tests.dir/ops_test.cc.o" "gcc" "tests/CMakeFiles/xflux_tests.dir/ops_test.cc.o.d"
+  "/root/repo/tests/order_key_test.cc" "tests/CMakeFiles/xflux_tests.dir/order_key_test.cc.o" "gcc" "tests/CMakeFiles/xflux_tests.dir/order_key_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/xflux_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/xflux_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/region_document_test.cc" "tests/CMakeFiles/xflux_tests.dir/region_document_test.cc.o" "gcc" "tests/CMakeFiles/xflux_tests.dir/region_document_test.cc.o.d"
+  "/root/repo/tests/spex_test.cc" "tests/CMakeFiles/xflux_tests.dir/spex_test.cc.o" "gcc" "tests/CMakeFiles/xflux_tests.dir/spex_test.cc.o.d"
+  "/root/repo/tests/transform_stage_test.cc" "tests/CMakeFiles/xflux_tests.dir/transform_stage_test.cc.o" "gcc" "tests/CMakeFiles/xflux_tests.dir/transform_stage_test.cc.o.d"
+  "/root/repo/tests/util_test.cc" "tests/CMakeFiles/xflux_tests.dir/util_test.cc.o" "gcc" "tests/CMakeFiles/xflux_tests.dir/util_test.cc.o.d"
+  "/root/repo/tests/xml_test.cc" "tests/CMakeFiles/xflux_tests.dir/xml_test.cc.o" "gcc" "tests/CMakeFiles/xflux_tests.dir/xml_test.cc.o.d"
+  "/root/repo/tests/xquery_test.cc" "tests/CMakeFiles/xflux_tests.dir/xquery_test.cc.o" "gcc" "tests/CMakeFiles/xflux_tests.dir/xquery_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xflux.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

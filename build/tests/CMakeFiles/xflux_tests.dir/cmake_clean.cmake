@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xflux_tests.dir/event_test.cc.o"
+  "CMakeFiles/xflux_tests.dir/event_test.cc.o.d"
+  "CMakeFiles/xflux_tests.dir/generators_test.cc.o"
+  "CMakeFiles/xflux_tests.dir/generators_test.cc.o.d"
+  "CMakeFiles/xflux_tests.dir/naive_test.cc.o"
+  "CMakeFiles/xflux_tests.dir/naive_test.cc.o.d"
+  "CMakeFiles/xflux_tests.dir/ops_test.cc.o"
+  "CMakeFiles/xflux_tests.dir/ops_test.cc.o.d"
+  "CMakeFiles/xflux_tests.dir/order_key_test.cc.o"
+  "CMakeFiles/xflux_tests.dir/order_key_test.cc.o.d"
+  "CMakeFiles/xflux_tests.dir/property_test.cc.o"
+  "CMakeFiles/xflux_tests.dir/property_test.cc.o.d"
+  "CMakeFiles/xflux_tests.dir/region_document_test.cc.o"
+  "CMakeFiles/xflux_tests.dir/region_document_test.cc.o.d"
+  "CMakeFiles/xflux_tests.dir/spex_test.cc.o"
+  "CMakeFiles/xflux_tests.dir/spex_test.cc.o.d"
+  "CMakeFiles/xflux_tests.dir/transform_stage_test.cc.o"
+  "CMakeFiles/xflux_tests.dir/transform_stage_test.cc.o.d"
+  "CMakeFiles/xflux_tests.dir/util_test.cc.o"
+  "CMakeFiles/xflux_tests.dir/util_test.cc.o.d"
+  "CMakeFiles/xflux_tests.dir/xml_test.cc.o"
+  "CMakeFiles/xflux_tests.dir/xml_test.cc.o.d"
+  "CMakeFiles/xflux_tests.dir/xquery_test.cc.o"
+  "CMakeFiles/xflux_tests.dir/xquery_test.cc.o.d"
+  "xflux_tests"
+  "xflux_tests.pdb"
+  "xflux_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xflux_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
