@@ -65,8 +65,8 @@ RunStats Run(const EventVec& input, MakeStages make_stages) {
   std::vector<std::unique_ptr<StateTransformer>> stages =
       make_stages(pipeline.context());
   for (auto& t : stages) {
-    pipeline.Add(std::make_unique<TransformStage>(pipeline.context(),
-                                                  std::move(t)));
+    pipeline.AddStage<TransformStage>(pipeline.context(),
+                                                  std::move(t));
   }
   FirstOutputProbe probe;
   pipeline.SetSink(&probe);
@@ -84,8 +84,17 @@ RunStats Run(const EventVec& input, MakeStages make_stages) {
   return stats;
 }
 
+std::string RunStatsJson(const RunStats& s) {
+  JsonWriter w = JsonWriter::Object();
+  w.Field("seconds", s.seconds);
+  w.Field("first_output_at", s.first_output_at);
+  w.Field("max_buffered", s.max_buffered);
+  return w.Close();
+}
+
 void Report(const char* name, const RunStats& unblocked,
-            const RunStats& naive, size_t total_events) {
+            const RunStats& naive, size_t total_events,
+            JsonWriter* json_rows) {
   std::printf("%-22s unblocked: %7.3fs first@%-8llu buf%-8lld | "
               "naive: %7.3fs first@%-8llu buf%-8lld (of %zu events)\n",
               name, unblocked.seconds,
@@ -93,6 +102,12 @@ void Report(const char* name, const RunStats& unblocked,
               static_cast<long long>(unblocked.max_buffered), naive.seconds,
               static_cast<unsigned long long>(naive.first_output_at),
               static_cast<long long>(naive.max_buffered), total_events);
+  JsonWriter r = JsonWriter::Object();
+  r.Field("operation", name);
+  r.Field("total_events", static_cast<uint64_t>(total_events));
+  r.Raw("unblocked", RunStatsJson(unblocked));
+  r.Raw("naive", RunStatsJson(naive));
+  json_rows->RawElement(r.Close());
 }
 
 }  // namespace
@@ -107,26 +122,27 @@ int main() {
   std::printf("A1: blocking/buffering ablation over %.1f MB XMark "
               "(%zu events)\n",
               doc.size() / 1e6, input.size());
+  JsonWriter json_rows = JsonWriter::Array();
 
   // --- predicate: //item[location="Albania"] ---
   auto run_predicate = [&](bool naive) {
     Pipeline pipeline;
     PipelineContext* c = pipeline.context();
-    pipeline.Add(std::make_unique<TransformStage>(
-        c, std::make_unique<DescendantStep>(c, 0, "item")));
-    pipeline.Add(std::make_unique<CloneFilter>(c, 0, 1));
-    pipeline.Add(std::make_unique<TransformStage>(
-        c, std::make_unique<ChildStep>(1, "location")));
-    pipeline.Add(std::make_unique<TransformStage>(
+    pipeline.AddStage<TransformStage>(
+        c, std::make_unique<DescendantStep>(c, 0, "item"));
+    pipeline.AddStage<CloneFilter>(c, 0, 1);
+    pipeline.AddStage<TransformStage>(
+        c, std::make_unique<ChildStep>(1, "location"));
+    pipeline.AddStage<TransformStage>(
         c, std::make_unique<TextCompare>(c, 1, TextMatch::kEquals,
-                                         "Albania")));
+                                         "Albania"));
     if (naive) {
-      pipeline.Add(std::make_unique<TransformStage>(
-          c, std::make_unique<NaivePredicate>(c, 0, 1)));
+      pipeline.AddStage<TransformStage>(
+          c, std::make_unique<NaivePredicate>(c, 0, 1));
     } else {
-      pipeline.Add(std::make_unique<TransformStage>(
+      pipeline.AddStage<TransformStage>(
           c, std::make_unique<PredicateOp>(c, 0, 1,
-                                           PredicateScope::kElement)));
+                                           PredicateScope::kElement));
     }
     FirstOutputProbe probe;
     pipeline.SetSink(&probe);
@@ -144,7 +160,7 @@ int main() {
     return stats;
   };
   Report("predicate //item[loc]", run_predicate(false), run_predicate(true),
-         input.size());
+         input.size(), &json_rows);
 
   // --- count(//item) ---
   auto run_count = [&](bool naive) {
@@ -161,7 +177,8 @@ int main() {
       return v;
     });
   };
-  Report("count(//item)", run_count(false), run_count(true), input.size());
+  Report("count(//item)", run_count(false), run_count(true), input.size(),
+         &json_rows);
 
   // --- descendant //* ---
   auto run_descendant = [&](bool naive) {
@@ -176,26 +193,26 @@ int main() {
     });
   };
   Report("descendant //*", run_descendant(false), run_descendant(true),
-         input.size());
+         input.size(), &json_rows);
 
   // --- order by quantity ---
   auto run_sort = [&](bool naive) {
     Pipeline pipeline;
     PipelineContext* c = pipeline.context();
-    pipeline.Add(std::make_unique<TransformStage>(
-        c, std::make_unique<DescendantStep>(c, 0, "item")));
-    pipeline.Add(std::make_unique<TransformStage>(
-        c, std::make_unique<MakeTuples>(0)));
-    pipeline.Add(std::make_unique<CloneFilter>(c, 0, 1));
-    pipeline.Add(std::make_unique<TransformStage>(
-        c, std::make_unique<ChildStep>(1, "quantity")));
-    pipeline.Add(std::make_unique<TransformStage>(
-        c, std::make_unique<StringValue>(1)));
+    pipeline.AddStage<TransformStage>(
+        c, std::make_unique<DescendantStep>(c, 0, "item"));
+    pipeline.AddStage<TransformStage>(
+        c, std::make_unique<MakeTuples>(0));
+    pipeline.AddStage<CloneFilter>(c, 0, 1);
+    pipeline.AddStage<TransformStage>(
+        c, std::make_unique<ChildStep>(1, "quantity"));
+    pipeline.AddStage<TransformStage>(
+        c, std::make_unique<StringValue>(1));
     if (naive) {
-      pipeline.Add(std::make_unique<TransformStage>(
-          c, std::make_unique<NaiveSorter>(c, 0, 1)));
+      pipeline.AddStage<TransformStage>(
+          c, std::make_unique<NaiveSorter>(c, 0, 1));
     } else {
-      pipeline.Add(std::make_unique<SortFilter>(c, 1));
+      pipeline.AddStage<SortFilter>(c, 1);
     }
     FirstOutputProbe probe;
     pipeline.SetSink(&probe);
@@ -212,7 +229,11 @@ int main() {
     stats.max_buffered = pipeline.context()->metrics()->max_buffered_events();
     return stats;
   };
-  Report("order by quantity", run_sort(false), run_sort(true), input.size());
+  Report("order by quantity", run_sort(false), run_sort(true), input.size(),
+         &json_rows);
 
+  JsonWriter json = bench::BenchJsonHeader("ablation_blocking");
+  json.Raw("rows", json_rows.Close());
+  bench::WriteBenchJson("ablation_blocking", json.Close());
   return 0;
 }

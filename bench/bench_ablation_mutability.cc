@@ -20,6 +20,7 @@ int main() {
   std::printf("%-10s %-10s | %-9s %12s %14s %10s\n", "symbols", "updates",
               "analysis", "max_states", "display_regs", "time");
 
+  xflux::JsonWriter json_rows = xflux::JsonWriter::Array();
   for (int scale : {50, 200, 800}) {
     for (bool disabled : {false, true}) {
       xflux::StockTickerOptions options;
@@ -45,7 +46,19 @@ int main() {
                   static_cast<long long>(metrics->max_live_states()),
                   static_cast<long long>(metrics->max_display_regions()),
                   seconds);
+      xflux::JsonWriter r = xflux::JsonWriter::Object();
+      r.Field("symbols", options.symbols);
+      r.Field("updates", options.updates);
+      r.Field("analysis_enabled", !disabled);
+      r.Field("stream_events", static_cast<uint64_t>(stream.size()));
+      r.Field("seconds", seconds);
+      r.Raw("metrics", metrics->ToJson());
+      json_rows.RawElement(r.Close());
     }
   }
+  xflux::JsonWriter json =
+      xflux::bench::BenchJsonHeader("ablation_mutability");
+  json.Raw("rows", json_rows.Close());
+  xflux::bench::WriteBenchJson("ablation_mutability", json.Close());
   return 0;
 }

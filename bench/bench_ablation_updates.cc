@@ -85,6 +85,7 @@ int main() {
   std::printf("%-10s %12s %10s %12s %12s\n", "mutable", "events", "time",
               "MB/s", "max_states");
 
+  JsonWriter json_rows = JsonWriter::Array();
   for (double fraction : {0.0, 0.01, 0.1, 0.5, 1.0}) {
     EventVec stream = InjectUpdates(tokens.value(), fraction, 11);
     auto session = xflux::QuerySession::Open(
@@ -97,6 +98,16 @@ int main() {
     std::printf("%-10.2f %12zu %9.3fs %12.1f %12lld\n", fraction,
                 stream.size(), seconds, doc.size() / seconds / 1e6,
                 static_cast<long long>(metrics->max_live_states()));
+    JsonWriter r = JsonWriter::Object();
+    r.Field("mutable_fraction", fraction);
+    r.Field("stream_events", static_cast<uint64_t>(stream.size()));
+    r.Field("seconds", seconds);
+    r.Field("mb_per_s", doc.size() / seconds / 1e6);
+    r.Raw("metrics", metrics->ToJson());
+    json_rows.RawElement(r.Close());
   }
+  JsonWriter json = bench::BenchJsonHeader("ablation_updates");
+  json.Raw("rows", json_rows.Close());
+  bench::WriteBenchJson("ablation_updates", json.Close());
   return 0;
 }

@@ -4,6 +4,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bench/bench_util.h"
 #include "core/region_document.h"
 #include "util/order_key.h"
 #include "util/prng.h"
@@ -133,4 +139,33 @@ BENCHMARK(BM_OrderKeyAppendChain)->Arg(1000);
 }  // namespace
 }  // namespace xflux
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but defaults google-benchmark's JSON reporter to
+// BENCH_display.json so this binary leaves the same kind of trajectory
+// file as the other benches.  Any explicit --benchmark_out wins.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).rfind("--benchmark_out", 0) == 0) {
+      has_out = true;
+    }
+  }
+  std::string out_flag;
+  std::string format_flag;
+  std::string path = xflux::bench::BenchJsonPath("display");
+  if (!has_out) {
+    out_flag = "--benchmark_out=" + path;
+    format_flag = "--benchmark_out_format=json";
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int argc_adjusted = static_cast<int>(args.size());
+  benchmark::Initialize(&argc_adjusted, args.data());
+  if (benchmark::ReportUnrecognizedArguments(argc_adjusted, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!has_out) std::printf("wrote %s\n", path.c_str());
+  return 0;
+}

@@ -39,6 +39,7 @@ int main() {
               "D=318MB/31.3M events/18.6s)\n");
   std::printf("%-10s %-8s %10s %12s %10s %12s\n", "Benchmark", "document",
               "size", "events", "time", "MB/s");
+  xflux::JsonWriter json_rows = xflux::JsonWriter::Array();
   for (Row& row : rows) {
     xflux::NullSink sink;
     uint64_t events = 0;
@@ -51,6 +52,17 @@ int main() {
     std::printf("%-10s %-8s %8.1fMB %10.2fM %8.2fs %10.1f\n", row.benchmark,
                 row.name, row.document.size() / 1e6, events / 1e6, seconds,
                 row.document.size() / seconds / 1e6);
+    xflux::JsonWriter r = xflux::JsonWriter::Object();
+    r.Field("benchmark", row.benchmark);
+    r.Field("document", row.name);
+    r.Field("doc_bytes", static_cast<uint64_t>(row.document.size()));
+    r.Field("events", events);
+    r.Field("seconds", seconds);
+    r.Field("mb_per_s", row.document.size() / seconds / 1e6);
+    json_rows.RawElement(r.Close());
   }
+  xflux::JsonWriter json = xflux::bench::BenchJsonHeader("table1_datasets");
+  json.Raw("rows", json_rows.Close());
+  xflux::bench::WriteBenchJson("table1_datasets", json.Close());
   return 0;
 }

@@ -87,9 +87,13 @@ int main() {
               "XFlux", "MB/s", "SPEX", "events", "mem", "XFlux", "MB/s",
               "SPEX");
 
+  xflux::JsonWriter rows = xflux::JsonWriter::Array();
+
   for (const QueryRow& row : kQueries) {
     const std::string& doc = row.on_dblp ? d_doc : x_doc;
 
+    // Timed pass: instrumentation off, so the reported throughput is the
+    // production hot path.
     auto session = xflux::QuerySession::Open(row.query);
     if (!session.ok()) {
       std::fprintf(stderr, "Q%d compile failed: %s\n", row.number,
@@ -107,6 +111,7 @@ int main() {
         session.value()->pipeline()->context()->metrics();
 
     char spex_col[32] = "      -";
+    double spex_s = -1;
     if (row.spex_xpath != nullptr) {
       xflux::NullSink sink;
       auto engine = xflux::SpexEngine::Compile(row.spex_xpath, &sink);
@@ -115,7 +120,7 @@ int main() {
                      engine.status().ToString().c_str());
         return 1;
       }
-      double spex_s = Time([&] {
+      spex_s = Time([&] {
         xflux::SaxParser parser(xflux::SaxParser::Options(),
                                 engine.value().get());
         (void)parser.Feed(doc);
@@ -134,6 +139,36 @@ int main() {
                 metrics->transformer_calls() / 1e6,
                 metrics->MaxApproxStateBytes() / 1024.0, row.paper_xflux_s,
                 row.paper_mbs, paper_spex);
+
+    // Second, instrumented pass for the per-stage breakdown in the JSON.
+    // Untimed in the table; its StageStats carry their own wall clocks.
+    xflux::QuerySession::Options stats_options;
+    stats_options.instrumentation = true;
+    auto probe = xflux::QuerySession::Open(row.query, stats_options);
+    if (!probe.ok()) return 1;
+    (void)probe.value()->PushDocument(doc);
+
+    xflux::JsonWriter r = xflux::JsonWriter::Object();
+    r.Field("query", row.number);
+    r.Field("text", row.query);
+    r.Field("document", row.on_dblp ? "D" : "X");
+    r.Field("doc_bytes", static_cast<uint64_t>(doc.size()));
+    r.Field("seconds", xflux_s);
+    r.Field("mb_per_s", doc.size() / xflux_s / 1e6);
+    if (spex_s >= 0) {
+      r.Field("spex_seconds", spex_s);
+    } else {
+      r.Raw("spex_seconds", "null");
+    }
+    r.Field("paper_seconds", row.paper_xflux_s);
+    r.Field("paper_mb_per_s", row.paper_mbs);
+    r.Raw("metrics", metrics->ToJson());
+    r.Raw("stages", probe.value()->stats()->ToJson());
+    rows.RawElement(r.Close());
   }
+
+  xflux::JsonWriter json = xflux::bench::BenchJsonHeader("table2_queries");
+  json.Raw("rows", rows.Close());
+  xflux::bench::WriteBenchJson("table2_queries", json.Close());
   return 0;
 }

@@ -1,6 +1,7 @@
 // Shared helpers for the benchmark binaries: scale selection (the
 // XFLUX_BENCH_MB environment variable multiplies the default laptop-scale
-// document sizes) and simple wall-clock timing.
+// document sizes), simple wall-clock timing, and the BENCH_<name>.json
+// trajectory files every bench writes next to its stdout table.
 
 #ifndef XFLUX_BENCH_BENCH_UTIL_H_
 #define XFLUX_BENCH_BENCH_UTIL_H_
@@ -9,6 +10,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+
+#include "util/json.h"
 
 namespace xflux::bench {
 
@@ -34,6 +37,43 @@ double Time(Fn&& fn) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        start)
       .count();
+}
+
+/// Where the BENCH_*.json files land: $XFLUX_BENCH_JSON_DIR or the current
+/// directory.
+inline std::string BenchJsonPath(const std::string& bench_name) {
+  const char* dir = std::getenv("XFLUX_BENCH_JSON_DIR");
+  std::string path = dir != nullptr && *dir != '\0' ? std::string(dir) + "/"
+                                                    : std::string();
+  return path + "BENCH_" + bench_name + ".json";
+}
+
+/// Writes one bench run's JSON document (see EXPERIMENTS.md for the
+/// schema) to BENCH_<name>.json and notes the path on stdout.  Returns
+/// false (with a note on stderr) if the file cannot be written.
+inline bool WriteBenchJson(const std::string& bench_name,
+                           const std::string& json) {
+  std::string path = BenchJsonPath(bench_name);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+/// Starts the top-level object every bench JSON shares: bench name plus
+/// the scale settings of the run.  Benches add a "rows" array and Close().
+inline JsonWriter BenchJsonHeader(const std::string& bench_name) {
+  JsonWriter w = JsonWriter::Object();
+  w.Field("bench", bench_name);
+  w.Field("xmark_bytes", static_cast<uint64_t>(XmarkBytes()));
+  w.Field("dblp_bytes", static_cast<uint64_t>(DblpBytes()));
+  return w;
 }
 
 }  // namespace xflux::bench

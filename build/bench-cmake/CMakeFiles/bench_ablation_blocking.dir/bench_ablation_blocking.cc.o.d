@@ -200,7 +200,7 @@ bench-cmake/CMakeFiles/bench_ablation_blocking.dir/bench_ablation_blocking.cc.o:
  /usr/include/c++/12/limits /usr/include/c++/12/ctime \
  /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/json.h \
  /root/repo/src/core/result_display.h /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
@@ -233,6 +233,7 @@ bench-cmake/CMakeFiles/bench_ablation_blocking.dir/bench_ablation_blocking.cc.o:
  /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/core/pipeline.h \
  /root/repo/src/core/fix_registry.h /root/repo/src/core/stream_registry.h \
+ /root/repo/src/util/stage_stats.h \
  /root/repo/src/core/state_transformer.h /root/repo/src/util/order_key.h \
  /root/repo/src/data/generators.h /root/repo/src/naive/naive_ops.h \
  /root/repo/src/ops/aggregates.h /root/repo/src/ops/child_step.h \

@@ -160,9 +160,9 @@ bench-cmake/CMakeFiles/bench_ablation_mutability.dir/bench_ablation_mutability.c
  /usr/include/c++/12/bits/basic_ios.tcc /usr/include/c++/12/ostream \
  /usr/include/c++/12/bits/ostream.tcc \
  /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/data/generators.h \
- /root/repo/src/core/event.h /usr/include/c++/12/vector \
- /usr/include/c++/12/bits/stl_uninitialized.h \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/json.h \
+ /root/repo/src/data/generators.h /root/repo/src/core/event.h \
+ /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/xquery/engine.h \
@@ -207,8 +207,8 @@ bench-cmake/CMakeFiles/bench_ablation_mutability.dir/bench_ablation_mutability.c
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/core/pipeline.h \
  /usr/include/c++/12/cassert /usr/include/assert.h \
- /root/repo/src/core/event_sink.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/core/fix_registry.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/core/event_sink.h /root/repo/src/core/fix_registry.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
@@ -224,9 +224,10 @@ bench-cmake/CMakeFiles/bench_ablation_mutability.dir/bench_ablation_mutability.c
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/core/result_display.h /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/array \
- /root/repo/src/core/region_document.h /usr/include/c++/12/list \
- /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /root/repo/src/util/status.h /root/repo/src/xquery/compiler.h \
+ /root/repo/src/util/stage_stats.h /root/repo/src/core/result_display.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/array /root/repo/src/core/region_document.h \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc /root/repo/src/util/status.h \
+ /root/repo/src/core/trace_sink.h /root/repo/src/xquery/compiler.h \
  /root/repo/src/xquery/ast.h

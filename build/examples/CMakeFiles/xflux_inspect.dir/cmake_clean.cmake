@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xflux_inspect.dir/xflux_inspect.cc.o"
+  "CMakeFiles/xflux_inspect.dir/xflux_inspect.cc.o.d"
+  "xflux_inspect"
+  "xflux_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xflux_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for xflux_inspect.
+# This may be replaced when dependencies are built.

@@ -224,8 +224,9 @@ examples/CMakeFiles/xmark_explore.dir/xmark_explore.cpp.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/core/result_display.h /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/array \
- /root/repo/src/core/region_document.h /usr/include/c++/12/list \
- /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /root/repo/src/util/stage_stats.h /root/repo/src/core/result_display.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/array /root/repo/src/core/region_document.h \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc /root/repo/src/core/trace_sink.h \
  /root/repo/src/xquery/compiler.h /root/repo/src/xquery/ast.h

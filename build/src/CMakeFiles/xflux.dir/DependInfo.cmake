@@ -12,6 +12,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/core/pipeline.cc" "src/CMakeFiles/xflux.dir/core/pipeline.cc.o" "gcc" "src/CMakeFiles/xflux.dir/core/pipeline.cc.o.d"
   "/root/repo/src/core/region_document.cc" "src/CMakeFiles/xflux.dir/core/region_document.cc.o" "gcc" "src/CMakeFiles/xflux.dir/core/region_document.cc.o.d"
   "/root/repo/src/core/result_display.cc" "src/CMakeFiles/xflux.dir/core/result_display.cc.o" "gcc" "src/CMakeFiles/xflux.dir/core/result_display.cc.o.d"
+  "/root/repo/src/core/trace_sink.cc" "src/CMakeFiles/xflux.dir/core/trace_sink.cc.o" "gcc" "src/CMakeFiles/xflux.dir/core/trace_sink.cc.o.d"
   "/root/repo/src/core/transform_stage.cc" "src/CMakeFiles/xflux.dir/core/transform_stage.cc.o" "gcc" "src/CMakeFiles/xflux.dir/core/transform_stage.cc.o.d"
   "/root/repo/src/core/well_formed.cc" "src/CMakeFiles/xflux.dir/core/well_formed.cc.o" "gcc" "src/CMakeFiles/xflux.dir/core/well_formed.cc.o.d"
   "/root/repo/src/data/generators.cc" "src/CMakeFiles/xflux.dir/data/generators.cc.o" "gcc" "src/CMakeFiles/xflux.dir/data/generators.cc.o.d"
@@ -27,8 +28,10 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/ops/textops.cc" "src/CMakeFiles/xflux.dir/ops/textops.cc.o" "gcc" "src/CMakeFiles/xflux.dir/ops/textops.cc.o.d"
   "/root/repo/src/ops/tuples.cc" "src/CMakeFiles/xflux.dir/ops/tuples.cc.o" "gcc" "src/CMakeFiles/xflux.dir/ops/tuples.cc.o.d"
   "/root/repo/src/spex/spex_engine.cc" "src/CMakeFiles/xflux.dir/spex/spex_engine.cc.o" "gcc" "src/CMakeFiles/xflux.dir/spex/spex_engine.cc.o.d"
+  "/root/repo/src/util/json.cc" "src/CMakeFiles/xflux.dir/util/json.cc.o" "gcc" "src/CMakeFiles/xflux.dir/util/json.cc.o.d"
   "/root/repo/src/util/metrics.cc" "src/CMakeFiles/xflux.dir/util/metrics.cc.o" "gcc" "src/CMakeFiles/xflux.dir/util/metrics.cc.o.d"
   "/root/repo/src/util/order_key.cc" "src/CMakeFiles/xflux.dir/util/order_key.cc.o" "gcc" "src/CMakeFiles/xflux.dir/util/order_key.cc.o.d"
+  "/root/repo/src/util/stage_stats.cc" "src/CMakeFiles/xflux.dir/util/stage_stats.cc.o" "gcc" "src/CMakeFiles/xflux.dir/util/stage_stats.cc.o.d"
   "/root/repo/src/util/status.cc" "src/CMakeFiles/xflux.dir/util/status.cc.o" "gcc" "src/CMakeFiles/xflux.dir/util/status.cc.o.d"
   "/root/repo/src/xml/escape.cc" "src/CMakeFiles/xflux.dir/xml/escape.cc.o" "gcc" "src/CMakeFiles/xflux.dir/xml/escape.cc.o.d"
   "/root/repo/src/xml/sax_parser.cc" "src/CMakeFiles/xflux.dir/xml/sax_parser.cc.o" "gcc" "src/CMakeFiles/xflux.dir/xml/sax_parser.cc.o.d"

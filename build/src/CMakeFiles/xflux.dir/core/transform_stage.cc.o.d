@@ -211,8 +211,8 @@ src/CMakeFiles/xflux.dir/core/transform_stage.cc.o: \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/pipeline.h \
  /usr/include/c++/12/cassert /usr/include/assert.h \
- /root/repo/src/core/event.h /root/repo/src/core/event_sink.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/core/event.h /root/repo/src/core/event_sink.h \
  /root/repo/src/core/fix_registry.h /root/repo/src/core/stream_registry.h \
  /root/repo/src/util/metrics.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/stl_algo.h \
@@ -222,4 +222,5 @@ src/CMakeFiles/xflux.dir/core/transform_stage.cc.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/util/stage_stats.h \
  /root/repo/src/core/state_transformer.h /root/repo/src/util/order_key.h

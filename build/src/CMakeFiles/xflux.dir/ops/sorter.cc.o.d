@@ -212,12 +212,13 @@ src/CMakeFiles/xflux.dir/ops/sorter.cc.o: /root/repo/src/ops/sorter.cc \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/core/event.h \
- /root/repo/src/core/event_sink.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/core/fix_registry.h \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/core/event.h \
+ /root/repo/src/core/event_sink.h /root/repo/src/core/fix_registry.h \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/core/stream_registry.h /root/repo/src/util/metrics.h \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/util/stage_stats.h

@@ -205,9 +205,9 @@ src/CMakeFiles/xflux.dir/ops/tuples.cc.o: /root/repo/src/ops/tuples.cc \
  /usr/include/c++/12/backward/auto_ptr.h \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
- /usr/include/c++/12/pstl/glue_memory_defs.h /root/repo/src/core/event.h \
- /root/repo/src/core/event_sink.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/core/fix_registry.h \
+ /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/core/event.h \
+ /root/repo/src/core/event_sink.h /root/repo/src/core/fix_registry.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
@@ -216,4 +216,5 @@ src/CMakeFiles/xflux.dir/ops/tuples.cc.o: /root/repo/src/ops/tuples.cc \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/core/stream_registry.h /root/repo/src/util/metrics.h \
+ /root/repo/src/util/stage_stats.h \
  /root/repo/src/core/state_transformer.h

@@ -16,6 +16,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/property_test.cc" "tests/CMakeFiles/xflux_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/xflux_tests.dir/property_test.cc.o.d"
   "/root/repo/tests/region_document_test.cc" "tests/CMakeFiles/xflux_tests.dir/region_document_test.cc.o" "gcc" "tests/CMakeFiles/xflux_tests.dir/region_document_test.cc.o.d"
   "/root/repo/tests/spex_test.cc" "tests/CMakeFiles/xflux_tests.dir/spex_test.cc.o" "gcc" "tests/CMakeFiles/xflux_tests.dir/spex_test.cc.o.d"
+  "/root/repo/tests/stats_test.cc" "tests/CMakeFiles/xflux_tests.dir/stats_test.cc.o" "gcc" "tests/CMakeFiles/xflux_tests.dir/stats_test.cc.o.d"
   "/root/repo/tests/transform_stage_test.cc" "tests/CMakeFiles/xflux_tests.dir/transform_stage_test.cc.o" "gcc" "tests/CMakeFiles/xflux_tests.dir/transform_stage_test.cc.o.d"
   "/root/repo/tests/util_test.cc" "tests/CMakeFiles/xflux_tests.dir/util_test.cc.o" "gcc" "tests/CMakeFiles/xflux_tests.dir/util_test.cc.o.d"
   "/root/repo/tests/xml_test.cc" "tests/CMakeFiles/xflux_tests.dir/xml_test.cc.o" "gcc" "tests/CMakeFiles/xflux_tests.dir/xml_test.cc.o.d"

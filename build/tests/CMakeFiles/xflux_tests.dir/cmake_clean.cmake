@@ -15,6 +15,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/xflux_tests.dir/region_document_test.cc.o.d"
   "CMakeFiles/xflux_tests.dir/spex_test.cc.o"
   "CMakeFiles/xflux_tests.dir/spex_test.cc.o.d"
+  "CMakeFiles/xflux_tests.dir/stats_test.cc.o"
+  "CMakeFiles/xflux_tests.dir/stats_test.cc.o.d"
   "CMakeFiles/xflux_tests.dir/transform_stage_test.cc.o"
   "CMakeFiles/xflux_tests.dir/transform_stage_test.cc.o.d"
   "CMakeFiles/xflux_tests.dir/util_test.cc.o"

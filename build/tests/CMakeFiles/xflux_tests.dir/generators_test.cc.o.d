@@ -302,7 +302,8 @@ tests/CMakeFiles/xflux_tests.dir/generators_test.cc.o: \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/core/result_display.h \
+ /root/repo/src/util/stage_stats.h /root/repo/src/core/result_display.h \
  /root/repo/src/core/region_document.h /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /root/repo/src/xquery/compiler.h /root/repo/src/xquery/ast.h
+ /root/repo/src/core/trace_sink.h /root/repo/src/xquery/compiler.h \
+ /root/repo/src/xquery/ast.h

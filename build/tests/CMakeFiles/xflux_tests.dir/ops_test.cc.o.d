@@ -303,7 +303,7 @@ tests/CMakeFiles/xflux_tests.dir/ops_test.cc.o: \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/util/status.h /root/repo/src/core/transform_stage.h \
  /root/repo/src/core/pipeline.h /root/repo/src/core/fix_registry.h \
- /root/repo/src/core/stream_registry.h \
+ /root/repo/src/core/stream_registry.h /root/repo/src/util/stage_stats.h \
  /root/repo/src/core/state_transformer.h /root/repo/src/util/order_key.h \
  /root/repo/src/ops/aggregates.h /root/repo/src/ops/backward.h \
  /root/repo/src/ops/child_step.h /root/repo/src/ops/clone.h \

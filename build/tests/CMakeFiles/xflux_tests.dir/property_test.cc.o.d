@@ -306,5 +306,6 @@ tests/CMakeFiles/xflux_tests.dir/property_test.cc.o: \
  /root/repo/src/core/event_sink.h /root/repo/src/xml/serializer.h \
  /root/repo/src/xquery/engine.h /root/repo/src/core/pipeline.h \
  /root/repo/src/core/fix_registry.h /root/repo/src/core/stream_registry.h \
- /root/repo/src/core/result_display.h /root/repo/src/xquery/compiler.h \
+ /root/repo/src/util/stage_stats.h /root/repo/src/core/result_display.h \
+ /root/repo/src/core/trace_sink.h /root/repo/src/xquery/compiler.h \
  /root/repo/src/xquery/ast.h

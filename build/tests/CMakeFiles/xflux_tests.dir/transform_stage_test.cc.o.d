@@ -211,8 +211,8 @@ tests/CMakeFiles/xflux_tests.dir/transform_stage_test.cc.o: \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/pipeline.h \
  /usr/include/c++/12/cassert /usr/include/assert.h \
- /root/repo/src/core/event.h /root/repo/src/core/event_sink.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/core/event.h /root/repo/src/core/event_sink.h \
  /root/repo/src/core/fix_registry.h /root/repo/src/core/stream_registry.h \
  /root/repo/src/util/metrics.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/stl_algo.h \
@@ -222,6 +222,7 @@ tests/CMakeFiles/xflux_tests.dir/transform_stage_test.cc.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/util/stage_stats.h \
  /root/repo/src/core/state_transformer.h /root/repo/src/util/order_key.h \
  /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/cstddef \
  /usr/include/c++/12/limits \

@@ -300,5 +300,6 @@ tests/CMakeFiles/xflux_tests.dir/util_test.cc.o: \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/core/pipeline.h /root/repo/src/core/event_sink.h \
- /root/repo/src/util/metrics.h /root/repo/src/core/state_transformer.h \
- /root/repo/src/util/prng.h /root/repo/src/util/status.h
+ /root/repo/src/util/metrics.h /root/repo/src/util/stage_stats.h \
+ /root/repo/src/core/state_transformer.h /root/repo/src/util/prng.h \
+ /root/repo/src/util/status.h

@@ -295,5 +295,17 @@ tests/CMakeFiles/xflux_tests.dir/xml_test.cc.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/core/well_formed.h /root/repo/src/core/event.h \
  /root/repo/src/util/status.h /root/repo/src/xml/escape.h \
- /root/repo/src/xml/sax_parser.h /root/repo/src/core/event_sink.h \
- /root/repo/src/xml/serializer.h
+ /root/repo/src/../tests/test_util.h /root/repo/src/core/pipeline.h \
+ /root/repo/src/core/event_sink.h /root/repo/src/core/fix_registry.h \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
+ /root/repo/src/core/stream_registry.h /root/repo/src/util/metrics.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/util/stage_stats.h /root/repo/src/core/region_document.h \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc \
+ /root/repo/src/core/state_transformer.h \
+ /root/repo/src/core/transform_stage.h /root/repo/src/util/order_key.h \
+ /root/repo/src/xml/sax_parser.h /root/repo/src/xml/serializer.h

@@ -1,0 +1,80 @@
+// Pipeline inspector: compiles a query, runs it instrumented over a
+// document, and prints the per-stage breakdown — which operator saw how
+// many events, how many adjust() applications it paid, and where the time
+// went.  The quickest way to see why a query is slow.
+//
+//   $ ./xflux_inspect                          # Q1-style query, XMark doc
+//   $ ./xflux_inspect 'count(X//item)'         # your query, XMark doc
+//   $ ./xflux_inspect 'X//a/b' doc.xml         # your query, your document
+//
+// The generated XMark document defaults to ~1 MiB; set XFLUX_BENCH_MB to
+// scale it like the bench binaries do.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "data/generators.h"
+#include "xquery/engine.h"
+
+namespace {
+
+bool ReadFile(const char* path, std::string* out) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) return false;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out->append(buf, n);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* query = argc > 1
+                          ? argv[1]
+                          : "X//europe//item[location=\"Albania\"]/quantity";
+
+  std::string document;
+  if (argc > 2) {
+    if (!ReadFile(argv[2], &document)) {
+      std::fprintf(stderr, "cannot read %s\n", argv[2]);
+      return 1;
+    }
+  } else {
+    document = xflux::GenerateXmark(
+        xflux::XmarkOptionsForBytes(xflux::bench::XmarkBytes() / 2));
+  }
+
+  xflux::QuerySession::Options options;
+  options.instrumentation = true;
+  auto session = xflux::QuerySession::Open(query, options);
+  if (!session.ok()) {
+    std::fprintf(stderr, "compile failed: %s\n",
+                 session.status().ToString().c_str());
+    return 1;
+  }
+
+  double seconds = xflux::bench::Time([&] {
+    auto status = session.value()->PushDocument(document);
+    if (!status.ok()) {
+      std::fprintf(stderr, "run failed: %s\n", status.ToString().c_str());
+    }
+  });
+
+  auto answer = session.value()->CurrentText();
+  std::string text = answer.ok() ? answer.value() : "<error>";
+  if (text.size() > 160) text = text.substr(0, 157) + "...";
+
+  std::printf("query   : %s\n", query);
+  std::printf("document: %.1f KiB\n", document.size() / 1024.0);
+  std::printf("answer  : %s\n", text.c_str());
+  std::printf("time    : %.1f ms (%.1f MB/s, instrumented)\n\n",
+              seconds * 1e3, document.size() / seconds / 1e6);
+  std::printf("%s", session.value()->stats()->ToTable().c_str());
+  std::printf("\npipeline: %s\n",
+              session.value()->metrics()->ToString().c_str());
+  return 0;
+}

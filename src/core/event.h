@@ -121,9 +121,12 @@ struct Event {
   /// Paper-style rendering, e.g. `sE(0,"book")`, `sR(1,2)`.
   std::string ToString() const;
 
+  /// Full-value equality, `oid` included: backward-axis joins key on node
+  /// identity, so two events that differ only in oid are NOT the same
+  /// event.  Tests comparing structure only should StripOids first.
   friend bool operator==(const Event& a, const Event& b) {
     return a.kind == b.kind && a.id == b.id && a.uid == b.uid &&
-           a.text == b.text;
+           a.oid == b.oid && a.text == b.text;
   }
 };
 

@@ -1,6 +1,45 @@
 #include "core/pipeline.h"
 
+#include <chrono>
+
 namespace xflux {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t ElapsedNs(Clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           start)
+          .count());
+}
+
+}  // namespace
+
+void Filter::AcceptInstrumented(Event event) {
+  StageStats& s = *stats_;
+  if (event.IsSimple()) {
+    ++s.in_simple;
+  } else {
+    ++s.in_update;
+  }
+  Clock::time_point start = Clock::now();
+  Dispatch(std::move(event));
+  s.wall_ns += ElapsedNs(start);
+}
+
+void Filter::EmitInstrumented(Event event) {
+  StageStats& s = *stats_;
+  if (event.IsSimple()) {
+    ++s.out_simple;
+  } else {
+    ++s.out_update;
+  }
+  Clock::time_point start = Clock::now();
+  next_->Accept(std::move(event));
+  s.downstream_ns += ElapsedNs(start);
+}
 
 Filter* Pipeline::Add(std::unique_ptr<Filter> stage) {
   assert(!wired_ && "Add after SetSink");
@@ -8,7 +47,20 @@ Filter* Pipeline::Add(std::unique_ptr<Filter> stage) {
   if (!stages_.empty()) {
     stages_.back()->SetNext(raw);
   }
+  raw->BindStats(context_->stats());
   stages_.push_back(std::move(stage));
+  return raw;
+}
+
+Filter* Pipeline::InsertAfter(size_t index, std::unique_ptr<Filter> stage) {
+  assert(index < stages_.size() && "InsertAfter past the end of the chain");
+  Filter* raw = stage.get();
+  raw->BindStats(context_->stats());
+  raw->SetNext(index + 1 < stages_.size() ? stages_[index + 1].get()
+                                          : static_cast<EventSink*>(sink_));
+  stages_[index]->SetNext(raw);
+  stages_.insert(stages_.begin() + static_cast<ptrdiff_t>(index) + 1,
+                 std::move(stage));
   return raw;
 }
 

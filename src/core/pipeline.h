@@ -1,16 +1,18 @@
 // Push-based pipeline plumbing (paper Section II).
 //
 // A query compiles into a chain of Filters sharing one PipelineContext
-// (id allocator, fix registry, lineage registry, metrics).  Events are
-// pushed through the chain by direct dispatch — the paper's "event
-// handling" processing method — and end at an arbitrary EventSink, usually
-// the result display.
+// (id allocator, fix registry, lineage registry, metrics, per-stage
+// stats).  Events are pushed through the chain by direct dispatch — the
+// paper's "event handling" processing method — and end at an arbitrary
+// EventSink, usually the result display.
 
 #ifndef XFLUX_CORE_PIPELINE_H_
 #define XFLUX_CORE_PIPELINE_H_
 
 #include <cassert>
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "core/event.h"
@@ -18,15 +20,20 @@
 #include "core/fix_registry.h"
 #include "core/stream_registry.h"
 #include "util/metrics.h"
+#include "util/stage_stats.h"
 
 namespace xflux {
+
+/// First stream id the pipeline context allocates dynamically; everything
+/// below is left to the source.
+inline constexpr StreamId kDefaultFirstDynamicId = 1 << 20;
 
 /// Shared services for all stages of one pipeline.
 class PipelineContext {
  public:
   /// `first_dynamic_id` must be above every stream/region id the source
   /// uses; the default leaves the whole low range to sources.
-  explicit PipelineContext(StreamId first_dynamic_id = 1 << 20)
+  explicit PipelineContext(StreamId first_dynamic_id = kDefaultFirstDynamicId)
       : next_id_(first_dynamic_id) {}
 
   /// Allocates a fresh region / substream id ("a new id that has not been
@@ -36,12 +43,22 @@ class PipelineContext {
   Metrics* metrics() { return &metrics_; }
   FixRegistry* fix() { return &fix_; }
   StreamRegistry* streams() { return &streams_; }
+  StatsRegistry* stats() { return &stats_; }
+
+  /// Runtime switch for per-stage instrumentation.  Off (the default), the
+  /// hot path pays one predicted branch per event and every StageStats
+  /// record stays untouched; on, stages record counts and steady_clock
+  /// timings in Accept/Emit.  May be flipped at any point between events.
+  void set_instrumentation(bool enabled) { instrumentation_ = enabled; }
+  bool instrumentation_enabled() const { return instrumentation_; }
 
  private:
   StreamId next_id_;
   Metrics metrics_;
   FixRegistry fix_;
   StreamRegistry streams_;
+  StatsRegistry stats_;
+  bool instrumentation_ = false;
 };
 
 /// A pipeline stage: consumes events via Accept, produces via Emit.
@@ -52,18 +69,35 @@ class Filter : public EventSink {
   /// Wires the downstream consumer; must be set before the first event.
   void SetNext(EventSink* next) { next_ = next; }
 
+  /// Binds this stage to its StageStats record; called by Pipeline when the
+  /// stage is added (the record exists even while instrumentation is off —
+  /// its counters just stay zero).
+  void BindStats(StatsRegistry* registry) {
+    stats_ = registry->Register(StageName());
+  }
+
+  /// This stage's record, or nullptr before the stage joins a pipeline.
+  const StageStats* stage_stats() const { return stats_; }
+
   void Accept(Event event) final {
     // Idempotent global bookkeeping: every stage learns region lineage and
     // mutability as the event passes.
     context_->fix()->OnEvent(event);
     context_->streams()->OnEvent(event);
     context_->metrics()->CountTransformerCall();
+    if (instrumented()) {
+      AcceptInstrumented(std::move(event));
+      return;
+    }
     Dispatch(std::move(event));
   }
 
  protected:
   /// Stage logic: consume one event, call Emit zero or more times.
   virtual void Dispatch(Event event) = 0;
+
+  /// Display name for diagnostics and StageStats ("child::a", "clone", …).
+  virtual std::string StageName() const { return "stage"; }
 
   /// Pushes one event downstream.
   void Emit(Event event) {
@@ -73,14 +107,33 @@ class Filter : public EventSink {
     // the next stage runs (the next stage may be the display).
     context_->fix()->OnEvent(event);
     context_->streams()->OnEvent(event);
+    if (instrumented()) {
+      EmitInstrumented(std::move(event));
+      return;
+    }
     next_->Accept(std::move(event));
   }
 
   PipelineContext* context() { return context_; }
 
+  /// The stage's stats record while instrumentation is on, else nullptr —
+  /// stages attribute operator-internal gauges (live states, suspension
+  /// queues, adjust calls) through this, keeping records untouched when
+  /// instrumentation is off.
+  StageStats* stats() { return instrumented() ? stats_ : nullptr; }
+
  private:
+  bool instrumented() const {
+    return context_->instrumentation_enabled() && stats_ != nullptr;
+  }
+  // Out-of-line slow paths (pipeline.cc): count the event and measure the
+  // time spent in Dispatch / downstream Accept via steady_clock.
+  void AcceptInstrumented(Event event);
+  void EmitInstrumented(Event event);
+
   PipelineContext* context_;
   EventSink* next_ = nullptr;
+  StageStats* stats_ = nullptr;
 };
 
 /// Owns a chain of filters plus the context, and feeds source events in.
@@ -95,6 +148,27 @@ class Pipeline {
   /// Appends a stage; stages are chained in insertion order.
   /// Returns a borrowed pointer to the added stage.
   Filter* Add(std::unique_ptr<Filter> stage);
+
+  /// Constructs a stage of concrete type T in place, appends it, and
+  /// returns it still typed — the preferred way to assemble pipelines:
+  ///
+  ///   auto* step = pipeline.AddStage<TransformStage>(
+  ///       ctx, std::make_unique<ChildStep>(0, "author"));
+  template <class T, class... Args>
+  T* AddStage(Args&&... args) {
+    auto stage = std::make_unique<T>(std::forward<Args>(args)...);
+    T* raw = stage.get();
+    Add(std::move(stage));
+    return raw;
+  }
+
+  /// Splices a stage (typically a TraceSink tap) into the chain directly
+  /// after stage `index`; works both before and after SetSink.  Returns a
+  /// borrowed pointer to the inserted stage.
+  Filter* InsertAfter(size_t index, std::unique_ptr<Filter> stage);
+
+  size_t stage_count() const { return stages_.size(); }
+  Filter* stage(size_t index) { return stages_[index].get(); }
 
   /// Terminates the chain.  Must be called exactly once, after all Add
   /// calls and before the first Push.

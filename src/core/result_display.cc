@@ -7,7 +7,11 @@ namespace xflux {
 void ResultDisplay::Accept(Event event) {
   if (!status_.ok()) return;
   status_ = document_.Feed(event);
-  if (status_.ok() && on_change_) on_change_(*this);
+  if (!status_.ok()) {
+    if (on_error_) on_error_(status_);
+    return;
+  }
+  if (on_change_) on_change_(*this);
 }
 
 EventVec ResultDisplay::CurrentEvents() const {

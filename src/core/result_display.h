@@ -50,6 +50,12 @@ class ResultDisplay : public EventSink {
     on_change_ = std::move(on_change);
   }
 
+  /// Invoked exactly once, when the first protocol error latches — trace
+  /// taps dump their event window from here.
+  void SetOnError(std::function<void(const Status&)> on_error) {
+    on_error_ = std::move(on_error);
+  }
+
   /// Live regions still open to updates (display-side buffering cost).
   size_t live_region_count() const { return document_.live_region_count(); }
   size_t item_count() const { return document_.item_count(); }
@@ -59,6 +65,7 @@ class ResultDisplay : public EventSink {
   RegionDocument document_;
   Status status_;
   std::function<void(const ResultDisplay&)> on_change_;
+  std::function<void(const Status&)> on_error_;
 };
 
 }  // namespace xflux

@@ -1,0 +1,39 @@
+#include "core/trace_sink.h"
+
+namespace xflux {
+
+void TraceSink::Record(const Event& event) {
+  ++seen_;
+  if (ring_.size() < options_.capacity) {
+    ring_.push_back(event);
+    return;
+  }
+  ring_[head_] = event;
+  head_ = (head_ + 1) % ring_.size();
+}
+
+EventVec TraceSink::Snapshot() const {
+  EventVec out;
+  out.reserve(ring_.size());
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::string TraceSink::Dump() const {
+  std::string out = options_.label;
+  out += ": last " + std::to_string(ring_.size()) + " of " +
+         std::to_string(seen_) + " events";
+  if (events_dropped() > 0) {
+    out += " (" + std::to_string(events_dropped()) + " older dropped)";
+  }
+  out += '\n';
+  uint64_t seq = events_dropped();
+  for (const Event& e : Snapshot()) {
+    out += "  #" + std::to_string(seq++) + ' ' + e.ToString() + '\n';
+  }
+  return out;
+}
+
+}  // namespace xflux

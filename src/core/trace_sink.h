@@ -1,0 +1,74 @@
+// A pass-through trace tap for debugging pipelines.
+//
+// Insertable between any two stages (Pipeline::InsertAfter) or at the end
+// of the chain: forwards every event unchanged while keeping a bounded
+// ring buffer of the most recent ones.  When something downstream goes
+// wrong — typically the result display latching a protocol-error Status —
+// the ring is dumped in the paper's event notation, showing the exact
+// stream window that led up to the failure.
+
+#ifndef XFLUX_CORE_TRACE_SINK_H_
+#define XFLUX_CORE_TRACE_SINK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+
+namespace xflux {
+
+/// See file comment.
+class TraceSink : public Filter {
+ public:
+  struct Options {
+    size_t capacity = 256;        ///< ring size; at least 1 is kept
+    std::string label = "trace";  ///< stage name in stats and dumps
+  };
+
+  // (Two constructors rather than one defaulted Options argument: a nested
+  // aggregate's member initializers are not available for default args
+  // inside the enclosing class.)
+  explicit TraceSink(PipelineContext* context)
+      : TraceSink(context, Options()) {}
+  TraceSink(PipelineContext* context, Options options)
+      : Filter(context), options_(std::move(options)) {
+    if (options_.capacity == 0) options_.capacity = 1;
+    ring_.reserve(options_.capacity);
+  }
+
+  /// Total events that passed through the tap.
+  uint64_t events_seen() const { return seen_; }
+
+  /// Events that have already been overwritten in the ring.
+  uint64_t events_dropped() const {
+    return seen_ - std::min<uint64_t>(seen_, ring_.size());
+  }
+
+  /// The retained window, oldest first.
+  EventVec Snapshot() const;
+
+  /// Multi-line rendering of the window in paper notation, each event
+  /// prefixed with its global sequence number.
+  std::string Dump() const;
+
+ protected:
+  void Dispatch(Event event) override {
+    Record(event);
+    Emit(std::move(event));
+  }
+
+  std::string StageName() const override { return options_.label; }
+
+ private:
+  void Record(const Event& event);
+
+  Options options_;
+  EventVec ring_;     // filled up to capacity, then overwritten at head_
+  size_t head_ = 0;   // next slot to overwrite once the ring is full
+  uint64_t seen_ = 0;
+};
+
+}  // namespace xflux
+
+#endif  // XFLUX_CORE_TRACE_SINK_H_

@@ -103,6 +103,7 @@ TransformStage::RegionState* TransformStage::CreateRegion(
   all_keys_.insert(order);
   open_regions_.insert(uid);
   context()->metrics()->OnStateCreated();
+  if (StageStats* s = stats()) s->OnStateCreated();
   return &it->second;
 }
 
@@ -131,11 +132,13 @@ void TransformStage::Evict(StreamId id) {
   // Between intervals tighter, so they are left in place.
   states_.erase(it);
   context()->metrics()->OnStateDropped();
+  if (StageStats* s = stats()) s->OnStateDropped();
 }
 
 void TransformStage::Adj(const OrderKey& pivot, StreamId uid,
                          const OperatorState& s1, const OperatorState& s2) {
   context()->metrics()->CountAdjustCall();
+  if (StageStats* s = stats()) ++s->adjust_calls;
   if (transformer_->IsInert()) return;
   using Target = StateTransformer::AdjustTarget;
   EventVec emitted;

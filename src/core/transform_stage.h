@@ -68,6 +68,8 @@ class TransformStage : public Filter {
  protected:
   void Dispatch(Event event) override;
 
+  std::string StageName() const override { return transformer_->Name(); }
+
  private:
   struct RegionState {
     std::unique_ptr<OperatorState> start;   // state at the region's start

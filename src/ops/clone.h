@@ -29,6 +29,11 @@ class CloneFilter : public Filter {
  protected:
   void Dispatch(Event event) override;
 
+  std::string StageName() const override {
+    return "clone " + std::to_string(input_) + "->" +
+           std::to_string(clone_base_);
+  }
+
  private:
   // Maps an id of the input lineage to its clone-side parallel id.
   StreamId MapId(StreamId id);

@@ -64,6 +64,10 @@ void SortFilter::Release(const std::string& raw_key) {
   context()->metrics()->OnUnbuffered(
       static_cast<int64_t>(queue_.size()),
       static_cast<int64_t>(queue_.size() * sizeof(Event)));
+  if (StageStats* s = stats()) {
+    s->OnUnbuffered(static_cast<int64_t>(queue_.size()),
+                    static_cast<int64_t>(queue_.size() * sizeof(Event)));
+  }
   for (Event& q : queue_) Emit(Rename(std::move(q), /*inside_tuple=*/true));
   queue_.clear();
 }
@@ -126,6 +130,9 @@ void SortFilter::Dispatch(Event e) {
       } else {
         context()->metrics()->OnBuffered(1,
                                          static_cast<int64_t>(sizeof(Event)));
+        if (StageStats* s = stats()) {
+          s->OnBuffered(1, static_cast<int64_t>(sizeof(Event)));
+        }
         queue_.push_back(std::move(e));
       }
       return;

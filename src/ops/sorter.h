@@ -46,6 +46,10 @@ class SortFilter : public Filter {
  protected:
   void Dispatch(Event event) override;
 
+  std::string StageName() const override {
+    return descending_ ? "sort desc" : "sort";
+  }
+
  private:
   StreamId MapId(StreamId id, bool inside_tuple) const;
   Event Rename(Event e, bool inside_tuple);

@@ -1,0 +1,117 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace xflux {
+
+void JsonAppendQuoted(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\b': *out += "\\b"; break;
+      case '\f': *out += "\\f"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+std::string JsonQuote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  JsonAppendQuoted(&out, s);
+  return out;
+}
+
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  return buf;
+}
+
+void JsonWriter::Comma() {
+  if (!first_) out_ += ',';
+  first_ = false;
+}
+
+void JsonWriter::Key(std::string_view key) {
+  Comma();
+  JsonAppendQuoted(&out_, key);
+  out_ += ':';
+}
+
+void JsonWriter::Field(std::string_view key, std::string_view value) {
+  Key(key);
+  JsonAppendQuoted(&out_, value);
+}
+
+void JsonWriter::Field(std::string_view key, double value) {
+  Key(key);
+  out_ += JsonNumber(value);
+}
+
+void JsonWriter::Field(std::string_view key, int64_t value) {
+  Key(key);
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::Field(std::string_view key, uint64_t value) {
+  Key(key);
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::Field(std::string_view key, bool value) {
+  Key(key);
+  out_ += value ? "true" : "false";
+}
+
+void JsonWriter::Raw(std::string_view key, std::string_view json) {
+  Key(key);
+  out_ += json;
+}
+
+void JsonWriter::Element(std::string_view value) {
+  Comma();
+  JsonAppendQuoted(&out_, value);
+}
+
+void JsonWriter::Element(double value) {
+  Comma();
+  out_ += JsonNumber(value);
+}
+
+void JsonWriter::Element(int64_t value) {
+  Comma();
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::Element(uint64_t value) {
+  Comma();
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::RawElement(std::string_view json) {
+  Comma();
+  out_ += json;
+}
+
+std::string JsonWriter::Close() {
+  out_ += close_;
+  return std::move(out_);
+}
+
+}  // namespace xflux

@@ -1,0 +1,76 @@
+// Minimal JSON emission helpers (no third-party libraries).
+//
+// Back the observability exports: Metrics::ToJson, StatsRegistry::ToJson,
+// and the BENCH_<name>.json trajectory files the bench binaries write.
+// Emission only — nothing in the engine ever needs to parse JSON.
+
+#ifndef XFLUX_UTIL_JSON_H_
+#define XFLUX_UTIL_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace xflux {
+
+/// Appends `s` as a JSON string literal (quotes and escapes included).
+void JsonAppendQuoted(std::string* out, std::string_view s);
+
+/// Returns `s` as a JSON string literal.
+std::string JsonQuote(std::string_view s);
+
+/// Renders a double as a JSON number (non-finite values become null, which
+/// plain %g would not produce legally).
+std::string JsonNumber(double value);
+
+/// Append-only writer for one JSON object or array.  Values are emitted in
+/// call order; nest by passing another writer's Close() result to Raw.
+///
+///   JsonWriter row = JsonWriter::Object();
+///   row.Field("query", "Q1");
+///   row.Field("seconds", 0.05);
+///   row.Raw("stages", registry.ToJson());
+///   std::string json = row.Close();
+class JsonWriter {
+ public:
+  static JsonWriter Object() { return JsonWriter('{', '}'); }
+  static JsonWriter Array() { return JsonWriter('[', ']'); }
+
+  /// Object fields (assert-free: calling Field on an array is simply wrong).
+  void Field(std::string_view key, std::string_view value);
+  void Field(std::string_view key, const char* value) {
+    Field(key, std::string_view(value));
+  }
+  void Field(std::string_view key, double value);
+  void Field(std::string_view key, int64_t value);
+  void Field(std::string_view key, uint64_t value);
+  void Field(std::string_view key, int value) {
+    Field(key, static_cast<int64_t>(value));
+  }
+  void Field(std::string_view key, bool value);
+  /// `json` must already be valid JSON (a nested object/array/number).
+  void Raw(std::string_view key, std::string_view json);
+
+  /// Array elements.
+  void Element(std::string_view value);
+  void Element(double value);
+  void Element(int64_t value);
+  void Element(uint64_t value);
+  void RawElement(std::string_view json);
+
+  /// Terminates and returns the document.  The writer is spent afterwards.
+  std::string Close();
+
+ private:
+  JsonWriter(char open, char close) : close_(close) { out_ += open; }
+  void Comma();
+  void Key(std::string_view key);
+
+  std::string out_;
+  char close_;
+  bool first_ = true;
+};
+
+}  // namespace xflux
+
+#endif  // XFLUX_UTIL_JSON_H_

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "util/json.h"
+
 namespace xflux {
 
 std::string Metrics::ToString() const {
@@ -16,6 +18,23 @@ std::string Metrics::ToString() const {
                 static_cast<long long>(max_buffered_events_),
                 static_cast<long long>(MaxApproxStateBytes()));
   return buf;
+}
+
+std::string Metrics::ToJson() const {
+  JsonWriter w = JsonWriter::Object();
+  w.Field("transformer_calls", transformer_calls_);
+  w.Field("events_emitted", events_emitted_);
+  w.Field("adjust_calls", adjust_calls_);
+  w.Field("live_states", live_states_);
+  w.Field("max_live_states", max_live_states_);
+  w.Field("buffered_events", buffered_events_);
+  w.Field("max_buffered_events", max_buffered_events_);
+  w.Field("max_buffered_bytes", max_buffered_bytes_);
+  w.Field("display_regions", display_regions_);
+  w.Field("max_display_regions", max_display_regions_);
+  w.Field("approx_state_bytes", ApproxStateBytes());
+  w.Field("max_approx_state_bytes", MaxApproxStateBytes());
+  return w.Close();
 }
 
 }  // namespace xflux

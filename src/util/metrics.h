@@ -88,6 +88,10 @@ class Metrics {
   /// One-line human-readable dump for benches and examples.
   std::string ToString() const;
 
+  /// One JSON object with every counter and high-water mark (see
+  /// EXPERIMENTS.md for the schema).
+  std::string ToJson() const;
+
  private:
   uint64_t transformer_calls_ = 0;
   uint64_t events_emitted_ = 0;

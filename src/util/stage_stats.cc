@@ -1,0 +1,76 @@
+#include "util/stage_stats.h"
+
+#include <cstdio>
+
+#include "util/json.h"
+
+namespace xflux {
+
+void StageStats::Reset() {
+  std::string saved_name = std::move(name);
+  int saved_index = index;
+  *this = StageStats();
+  name = std::move(saved_name);
+  index = saved_index;
+}
+
+std::string StageStats::ToJson() const {
+  JsonWriter w = JsonWriter::Object();
+  w.Field("index", index);
+  w.Field("name", name);
+  w.Field("in_simple", in_simple);
+  w.Field("in_update", in_update);
+  w.Field("out_simple", out_simple);
+  w.Field("out_update", out_update);
+  w.Field("adjust_calls", adjust_calls);
+  w.Field("max_live_states", max_live_states);
+  w.Field("max_buffered_events", max_buffered_events);
+  w.Field("max_buffered_bytes", max_buffered_bytes);
+  w.Field("wall_ns", wall_ns);
+  w.Field("self_ns", self_ns());
+  w.Field("approx_bytes", ApproxStateBytes());
+  return w.Close();
+}
+
+StageStats* StatsRegistry::Register(std::string name) {
+  auto stats = std::make_unique<StageStats>();
+  stats->name = std::move(name);
+  stats->index = static_cast<int>(stages_.size());
+  stages_.push_back(std::move(stats));
+  return stages_.back().get();
+}
+
+void StatsRegistry::Reset() {
+  for (auto& s : stages_) s->Reset();
+}
+
+std::string StatsRegistry::ToJson() const {
+  JsonWriter w = JsonWriter::Array();
+  for (const auto& s : stages_) w.RawElement(s->ToJson());
+  return w.Close();
+}
+
+std::string StatsRegistry::ToTable() const {
+  std::string out =
+      "  # stage                               in(s/u)          out(s/u)"
+      "   adjusts   states       us    ~bytes\n";
+  char line[192];
+  for (const auto& s : stages_) {
+    std::snprintf(
+        line, sizeof(line),
+        "%3d %-28s %9llu/%-7llu %9llu/%-7llu %9llu %8lld %8.0f %9lld\n",
+        s->index, s->name.c_str(),
+        static_cast<unsigned long long>(s->in_simple),
+        static_cast<unsigned long long>(s->in_update),
+        static_cast<unsigned long long>(s->out_simple),
+        static_cast<unsigned long long>(s->out_update),
+        static_cast<unsigned long long>(s->adjust_calls),
+        static_cast<long long>(s->max_live_states),
+        static_cast<double>(s->self_ns()) / 1e3,
+        static_cast<long long>(s->ApproxStateBytes()));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace xflux

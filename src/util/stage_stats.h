@@ -1,0 +1,118 @@
+// Per-stage observability (the measurement substrate behind the paper's
+// Table 2 columns, broken down by pipeline position).
+//
+// The shared Metrics instance answers "what did the whole pipeline cost";
+// StageStats answers "which stage" — the question that matters for a
+// Q3-style //*-heavy chain where one operator dominates.  Every Filter is
+// bound to one StageStats record in the pipeline's StatsRegistry when it is
+// added; the counters only advance while the context's instrumentation
+// switch is on, so the uninstrumented hot path pays a single branch.
+
+#ifndef XFLUX_UTIL_STAGE_STATS_H_
+#define XFLUX_UTIL_STAGE_STATS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace xflux {
+
+/// Counters and gauges for one pipeline stage.  All fields are mutated by
+/// the owning Filter only while instrumentation is enabled.
+struct StageStats {
+  std::string name;  ///< operator name ("child::author", "clone 0->1", ...)
+  int index = 0;     ///< position in the pipeline, 0 = closest to the source
+
+  // Events entering the stage (Filter::Accept), split as in the paper:
+  // simple stream events vs update events.
+  uint64_t in_simple = 0;
+  uint64_t in_update = 0;
+  // Events the stage emitted downstream (Filter::Emit), same split.
+  uint64_t out_simple = 0;
+  uint64_t out_update = 0;
+  // adjust() applications triggered by retroactive updates at this stage.
+  uint64_t adjust_calls = 0;
+  // Live per-region state copies kept by this stage's adjustment wrapper.
+  int64_t live_states = 0;
+  int64_t max_live_states = 0;
+  // Operator-internal buffering (suspension queues), event payload bytes.
+  int64_t buffered_events = 0;
+  int64_t buffered_bytes = 0;
+  int64_t max_buffered_events = 0;
+  int64_t max_buffered_bytes = 0;
+  // Wall time inside Dispatch (downstream stages included) and the portion
+  // of it spent inside downstream Accept calls, via steady_clock.
+  uint64_t wall_ns = 0;
+  uint64_t downstream_ns = 0;
+
+  uint64_t events_in() const { return in_simple + in_update; }
+  uint64_t events_out() const { return out_simple + out_update; }
+
+  /// Time attributable to this stage alone: Dispatch time minus the time
+  /// its emissions spent in downstream stages.
+  uint64_t self_ns() const {
+    return wall_ns - std::min(wall_ns, downstream_ns);
+  }
+
+  void OnStateCreated() {
+    ++live_states;
+    max_live_states = std::max(max_live_states, live_states);
+  }
+  void OnStateDropped() { --live_states; }
+  void OnBuffered(int64_t events, int64_t bytes) {
+    buffered_events += events;
+    buffered_bytes += bytes;
+    max_buffered_events = std::max(max_buffered_events, buffered_events);
+    max_buffered_bytes = std::max(max_buffered_bytes, buffered_bytes);
+  }
+  void OnUnbuffered(int64_t events, int64_t bytes) {
+    buffered_events -= events;
+    buffered_bytes -= bytes;
+  }
+
+  /// Rough resident footprint of this stage, mirroring
+  /// Metrics::ApproxStateBytes (per-state copies plus buffered payload).
+  int64_t ApproxStateBytes() const {
+    constexpr int64_t kPerStateBytes = 96;
+    return max_live_states * kPerStateBytes + max_buffered_bytes;
+  }
+
+  /// Zeroes every counter; name and index survive.
+  void Reset();
+
+  /// One JSON object (see EXPERIMENTS.md for the schema).
+  std::string ToJson() const;
+};
+
+/// Owns the StageStats records of one pipeline, in stage order.  Records
+/// are registered at Pipeline::Add time and never move (stable pointers),
+/// so Filters can cache them.
+class StatsRegistry {
+ public:
+  /// Creates the record for the next stage; the index is assigned in
+  /// registration order.
+  StageStats* Register(std::string name);
+
+  size_t size() const { return stages_.size(); }
+  const StageStats& stage(size_t i) const { return *stages_[i]; }
+  StageStats& stage(size_t i) { return *stages_[i]; }
+
+  /// Zeroes all records (e.g. between bench repetitions).
+  void Reset();
+
+  /// JSON array of the per-stage objects, in pipeline order.
+  std::string ToJson() const;
+
+  /// Human-readable aligned table (name, in/out events, adjust calls, µs,
+  /// approx bytes) — what `xflux_inspect` prints.
+  std::string ToTable() const;
+
+ private:
+  std::vector<std::unique_ptr<StageStats>> stages_;
+};
+
+}  // namespace xflux
+
+#endif  // XFLUX_UTIL_STAGE_STATS_H_

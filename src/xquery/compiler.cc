@@ -36,7 +36,8 @@ int CountBackwardSteps(const AstNode& n) {
 
 class Compiler {
  public:
-  Compiler() : pipeline_(std::make_unique<Pipeline>()) {}
+  explicit Compiler(StreamId first_dynamic_id)
+      : pipeline_(std::make_unique<Pipeline>(first_dynamic_id)) {}
 
   StatusOr<CompiledQuery> Run(const AstNode& ast) {
     PipelineContext* ctx = pipeline_->context();
@@ -44,7 +45,7 @@ class Compiler {
     int backward = CountBackwardSteps(ast);
     for (int i = 0; i < backward; ++i) {
       StreamId clone = NewBase();
-      pipeline_->Add(std::make_unique<CloneFilter>(ctx, kSource, clone));
+      pipeline_->AddStage<CloneFilter>(ctx, kSource, clone);
       source_clones_.push_back(clone);
     }
     auto out = CompileTop(ast);
@@ -68,7 +69,7 @@ class Compiler {
   }
 
   void AddStage(std::unique_ptr<StateTransformer> op) {
-    pipeline_->Add(std::make_unique<TransformStage>(ctx(), std::move(op)));
+    pipeline_->AddStage<TransformStage>(ctx(), std::move(op));
   }
 
   // Top-level expressions (whole-stream scope).  The result is the set of
@@ -193,7 +194,7 @@ class Compiler {
       return Status::NotSupported("unsupported predicate condition");
     }
     StreamId cond = NewBase();
-    pipeline_->Add(std::make_unique<CloneFilter>(ctx(), data, cond));
+    pipeline_->AddStage<CloneFilter>(ctx(), data, cond);
     auto path = CompilePathOn(*cmp.children[0], cond);
     if (!path.ok()) return path.status();
     switch (cmp.match) {
@@ -241,7 +242,7 @@ class Compiler {
     StreamId sort_key = 0;
     if (n.orderby_child >= 0) {
       sort_key = NewBase();
-      pipeline_->Add(std::make_unique<CloneFilter>(ctx(), loop, sort_key));
+      pipeline_->AddStage<CloneFilter>(ctx(), loop, sort_key);
       auto key = CompilePathOn(
           *n.children[static_cast<size_t>(n.orderby_child)], sort_key);
       if (!key.ok()) return key.status();
@@ -274,8 +275,7 @@ class Compiler {
                                              PredicateScope::kTuple));
     }
     if (n.orderby_child >= 0) {
-      pipeline_->Add(std::make_unique<SortFilter>(ctx(), sort_key,
-                                                   n.descending));
+      pipeline_->AddStage<SortFilter>(ctx(), sort_key, n.descending);
     }
     variables_.erase(n.name);
     return ret;
@@ -314,7 +314,7 @@ class Compiler {
         branches.push_back(loop);
         for (size_t i = 1; i < n.children.size(); ++i) {
           StreamId b = NewBase();
-          pipeline_->Add(std::make_unique<CloneFilter>(ctx(), loop, b));
+          pipeline_->AddStage<CloneFilter>(ctx(), loop, b);
           branches.push_back(b);
         }
         Roots outs;
@@ -341,15 +341,17 @@ class Compiler {
 
 }  // namespace
 
-StatusOr<CompiledQuery> CompileAst(const AstNode& ast) {
-  Compiler compiler;
+StatusOr<CompiledQuery> CompileAst(const AstNode& ast,
+                                   StreamId first_dynamic_id) {
+  Compiler compiler(first_dynamic_id);
   return compiler.Run(ast);
 }
 
-StatusOr<CompiledQuery> CompileQuery(std::string_view query) {
+StatusOr<CompiledQuery> CompileQuery(std::string_view query,
+                                     StreamId first_dynamic_id) {
   auto ast = ParseQuery(query);
   if (!ast.ok()) return ast.status();
-  return CompileAst(*ast.value());
+  return CompileAst(*ast.value(), first_dynamic_id);
 }
 
 }  // namespace xflux

@@ -22,11 +22,16 @@ struct CompiledQuery {
   StreamId source_id = 0;
 };
 
-/// Compiles a parsed AST.
-StatusOr<CompiledQuery> CompileAst(const AstNode& ast);
+/// Compiles a parsed AST.  `first_dynamic_id` seeds the pipeline's id
+/// allocator (see PipelineContext); the compiler itself draws clone/branch
+/// ids from it, so it must be fixed at compile time.
+StatusOr<CompiledQuery> CompileAst(
+    const AstNode& ast, StreamId first_dynamic_id = kDefaultFirstDynamicId);
 
 /// Parses and compiles in one step.
-StatusOr<CompiledQuery> CompileQuery(std::string_view query);
+StatusOr<CompiledQuery> CompileQuery(
+    std::string_view query,
+    StreamId first_dynamic_id = kDefaultFirstDynamicId);
 
 }  // namespace xflux
 

@@ -1,20 +1,49 @@
 #include "xquery/engine.h"
 
+#include <cstdio>
+
 #include "xml/sax_parser.h"
 
 namespace xflux {
 
 StatusOr<std::unique_ptr<QuerySession>> QuerySession::Open(
-    std::string_view query, const ResultDisplay::Options& display_options) {
-  auto compiled = CompileQuery(query);
+    std::string_view query, const Options& options) {
+  auto compiled = CompileQuery(query, options.first_dynamic_id);
   if (!compiled.ok()) return compiled.status();
   auto session = std::unique_ptr<QuerySession>(new QuerySession());
   session->pipeline_ = std::move(compiled.value().pipeline);
   session->source_id_ = compiled.value().source_id;
+  Pipeline* pipeline = session->pipeline_.get();
+  pipeline->set_accept_source_updates(options.accept_source_updates);
+  pipeline->context()->set_instrumentation(options.instrumentation);
+  if (options.trace_capacity > 0) {
+    session->trace_ = pipeline->AddStage<TraceSink>(
+        pipeline->context(),
+        TraceSink::Options{options.trace_capacity, "trace"});
+  }
   session->display_ = std::make_unique<ResultDisplay>(
-      display_options, session->pipeline_->context()->metrics());
-  session->pipeline_->SetSink(session->display_.get());
+      options.display, pipeline->context()->metrics());
+  if (session->trace_ != nullptr) {
+    TraceSink* trace = session->trace_;
+    session->display_->SetOnError([trace](const Status& status) {
+      std::fprintf(stderr, "display protocol error: %s\n%s",
+                   status.ToString().c_str(), trace->Dump().c_str());
+    });
+  }
+  pipeline->SetSink(session->display_.get());
   return session;
+}
+
+StatusOr<std::unique_ptr<QuerySession>> QuerySession::Open(
+    std::string_view query) {
+  return Open(query, Options());
+}
+
+StatusOr<std::unique_ptr<QuerySession>> QuerySession::Open(
+    std::string_view query, const ResultDisplay::Options& display_options) {
+  Options options;
+  options.display = display_options;
+  return Open(query, options);
 }
 
 Status QuerySession::PushDocument(std::string_view xml) {

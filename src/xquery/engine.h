@@ -10,6 +10,7 @@
 
 #include "core/pipeline.h"
 #include "core/result_display.h"
+#include "core/trace_sink.h"
 #include "util/status.h"
 #include "xquery/compiler.h"
 
@@ -29,12 +30,32 @@ class PipelineSource : public EventSink {
 /// documents) and read the continuously-maintained answer.
 class QuerySession {
  public:
-  /// Compiles `query` and attaches a display with the given options.
+  /// Everything configurable about a session, in one place.
+  struct Options {
+    ResultDisplay::Options display;  ///< rendering of the live answer
+    /// When false, mutable regions from the source are classified fixed at
+    /// injection — source updates are ignored (Section V).
+    bool accept_source_updates = true;
+    /// First stream id the pipeline allocates; must be above every id the
+    /// source uses.
+    StreamId first_dynamic_id = kDefaultFirstDynamicId;
+    /// Per-stage StageStats counting/timing (see util/stage_stats.h).
+    bool instrumentation = false;
+    /// When > 0, a TraceSink tap with this ring capacity is inserted just
+    /// before the display and its window is dumped to stderr if the display
+    /// latches a protocol error.
+    size_t trace_capacity = 0;
+  };
+
+  /// Compiles `query` and attaches a display, per `options`.
+  static StatusOr<std::unique_ptr<QuerySession>> Open(
+      std::string_view query, const Options& options);
+  static StatusOr<std::unique_ptr<QuerySession>> Open(std::string_view query);
+
+  /// Deprecated shim for the old two-overload API; display-only options.
+  [[deprecated("use Open(query, QuerySession::Options)")]]
   static StatusOr<std::unique_ptr<QuerySession>> Open(
       std::string_view query, const ResultDisplay::Options& display_options);
-  static StatusOr<std::unique_ptr<QuerySession>> Open(std::string_view query) {
-    return Open(query, ResultDisplay::Options());
-  }
 
   /// Pushes one source event.
   void Push(Event event) { pipeline_->Push(std::move(event)); }
@@ -51,6 +72,14 @@ class QuerySession {
   ResultDisplay* display() { return display_.get(); }
   StreamId source_id() const { return source_id_; }
 
+  /// Whole-pipeline counters and per-stage records (the latter only
+  /// advance with Options::instrumentation on).
+  Metrics* metrics() { return pipeline_->context()->metrics(); }
+  StatsRegistry* stats() { return pipeline_->context()->stats(); }
+
+  /// The trace tap, or nullptr when Options::trace_capacity was 0.
+  TraceSink* trace() { return trace_; }
+
   /// Errors latched by the display (protocol violations).
   const Status& display_status() const { return display_->status(); }
 
@@ -59,6 +88,7 @@ class QuerySession {
 
   std::unique_ptr<Pipeline> pipeline_;
   std::unique_ptr<ResultDisplay> display_;
+  TraceSink* trace_ = nullptr;  // owned by the pipeline
   StreamId source_id_ = 0;
 };
 

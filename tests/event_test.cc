@@ -30,6 +30,16 @@ TEST(EventTest, Classification) {
   EXPECT_FALSE(Event::Hide(1).IsUpdateStart());
 }
 
+TEST(EventTest, EqualityComparesOid) {
+  // Regression: operator== used to skip oid, so events differing only in
+  // node identity compared equal — masking oid bugs in backward-axis joins.
+  Event a = Event::StartElement(0, "name", 17);
+  Event b = Event::StartElement(0, "name", 18);
+  EXPECT_FALSE(a == b);
+  b.oid = 17;
+  EXPECT_TRUE(a == b);
+}
+
 TEST(EventTest, MatchingUpdateEnd) {
   EXPECT_EQ(MatchingUpdateEnd(EventKind::kStartMutable), EventKind::kEndMutable);
   EXPECT_EQ(MatchingUpdateEnd(EventKind::kStartReplace), EventKind::kEndReplace);

@@ -126,7 +126,7 @@ TEST(DescendantStepTest, DeepNestingStressPostorder) {
 
 TEST(CloneTest, DuplicatesOntoSecondStream) {
   Pipeline pipeline;
-  pipeline.Add(std::make_unique<CloneFilter>(pipeline.context(), 0, 1));
+  pipeline.AddStage<CloneFilter>(pipeline.context(), 0, 1);
   CollectingSink sink;
   pipeline.SetSink(&sink);
   pipeline.PushAll(Tok("<a>x</a>"));
@@ -143,7 +143,7 @@ TEST(CloneTest, DuplicatesOntoSecondStream) {
 
 TEST(CloneTest, UpdateBracketsGetParallelRegions) {
   Pipeline pipeline;
-  pipeline.Add(std::make_unique<CloneFilter>(pipeline.context(), 0, 1));
+  pipeline.AddStage<CloneFilter>(pipeline.context(), 0, 1);
   CollectingSink sink;
   pipeline.SetSink(&sink);
   pipeline.PushAll({Event::StartStream(0), Event::StartMutable(0, 20),
@@ -235,17 +235,15 @@ RunResult RunBookPredicate(const EventVec& in, const std::string& author,
                            TransformStage** predicate_stage = nullptr) {
   Pipeline pipeline;
   PipelineContext* c = pipeline.context();
-  pipeline.Add(std::make_unique<TransformStage>(
-      c, std::make_unique<DescendantStep>(c, 0, "book")));
-  pipeline.Add(std::make_unique<CloneFilter>(c, 0, 1));
-  pipeline.Add(std::make_unique<TransformStage>(
-      c, std::make_unique<ChildStep>(1, "author")));
-  pipeline.Add(std::make_unique<TransformStage>(
-      c, std::make_unique<TextCompare>(c, 1, TextMatch::kEquals, author)));
-  auto* stage = static_cast<TransformStage*>(
-      pipeline.Add(std::make_unique<TransformStage>(
-          c, std::make_unique<PredicateOp>(c, 0, 1,
-                                           PredicateScope::kElement))));
+  pipeline.AddStage<TransformStage>(
+      c, std::make_unique<DescendantStep>(c, 0, "book"));
+  pipeline.AddStage<CloneFilter>(c, 0, 1);
+  pipeline.AddStage<TransformStage>(
+      c, std::make_unique<ChildStep>(1, "author"));
+  pipeline.AddStage<TransformStage>(
+      c, std::make_unique<TextCompare>(c, 1, TextMatch::kEquals, author));
+  auto* stage = pipeline.AddStage<TransformStage>(
+      c, std::make_unique<PredicateOp>(c, 0, 1, PredicateScope::kElement));
   if (predicate_stage != nullptr) *predicate_stage = stage;
   CollectingSink sink;
   pipeline.SetSink(&sink);
@@ -313,15 +311,15 @@ TEST(PredicateTest, UpdateFlipsDecisionToTrue) {
   };
   Pipeline pipeline;
   PipelineContext* c = pipeline.context();
-  pipeline.Add(std::make_unique<TransformStage>(
-      c, std::make_unique<DescendantStep>(c, 0, "book")));
-  pipeline.Add(std::make_unique<CloneFilter>(c, 0, 1));
-  pipeline.Add(std::make_unique<TransformStage>(
-      c, std::make_unique<ChildStep>(1, "author")));
-  pipeline.Add(std::make_unique<TransformStage>(
-      c, std::make_unique<TextCompare>(c, 1, TextMatch::kEquals, "Smith")));
-  pipeline.Add(std::make_unique<TransformStage>(
-      c, std::make_unique<PredicateOp>(c, 0, 1, PredicateScope::kElement)));
+  pipeline.AddStage<TransformStage>(
+      c, std::make_unique<DescendantStep>(c, 0, "book"));
+  pipeline.AddStage<CloneFilter>(c, 0, 1);
+  pipeline.AddStage<TransformStage>(
+      c, std::make_unique<ChildStep>(1, "author"));
+  pipeline.AddStage<TransformStage>(
+      c, std::make_unique<TextCompare>(c, 1, TextMatch::kEquals, "Smith"));
+  pipeline.AddStage<TransformStage>(
+      c, std::make_unique<PredicateOp>(c, 0, 1, PredicateScope::kElement));
   ResultDisplay display;
   pipeline.SetSink(&display);
   pipeline.PushAll(in);
@@ -356,15 +354,15 @@ TEST(PredicateTest, UpdateFlipsDecisionToFalse) {
   };
   Pipeline pipeline;
   PipelineContext* c = pipeline.context();
-  pipeline.Add(std::make_unique<TransformStage>(
-      c, std::make_unique<DescendantStep>(c, 0, "book")));
-  pipeline.Add(std::make_unique<CloneFilter>(c, 0, 1));
-  pipeline.Add(std::make_unique<TransformStage>(
-      c, std::make_unique<ChildStep>(1, "author")));
-  pipeline.Add(std::make_unique<TransformStage>(
-      c, std::make_unique<TextCompare>(c, 1, TextMatch::kEquals, "Smith")));
-  pipeline.Add(std::make_unique<TransformStage>(
-      c, std::make_unique<PredicateOp>(c, 0, 1, PredicateScope::kElement)));
+  pipeline.AddStage<TransformStage>(
+      c, std::make_unique<DescendantStep>(c, 0, "book"));
+  pipeline.AddStage<CloneFilter>(c, 0, 1);
+  pipeline.AddStage<TransformStage>(
+      c, std::make_unique<ChildStep>(1, "author"));
+  pipeline.AddStage<TransformStage>(
+      c, std::make_unique<TextCompare>(c, 1, TextMatch::kEquals, "Smith"));
+  pipeline.AddStage<TransformStage>(
+      c, std::make_unique<PredicateOp>(c, 0, 1, PredicateScope::kElement));
   ResultDisplay display;
   pipeline.SetSink(&display);
   pipeline.PushAll(in);
@@ -383,17 +381,17 @@ TEST(PredicateTest, WhereClauseScopesTuples) {
       "<book><author>Jones</author><t>B</t></book></lib>");
   Pipeline pipeline;
   PipelineContext* c = pipeline.context();
-  pipeline.Add(std::make_unique<TransformStage>(
-      c, std::make_unique<ChildStep>(0, "book")));
-  pipeline.Add(std::make_unique<TransformStage>(
-      c, std::make_unique<MakeTuples>(0)));
-  pipeline.Add(std::make_unique<CloneFilter>(c, 0, 1));
-  pipeline.Add(std::make_unique<TransformStage>(
-      c, std::make_unique<ChildStep>(1, "author")));
-  pipeline.Add(std::make_unique<TransformStage>(
-      c, std::make_unique<TextCompare>(c, 1, TextMatch::kEquals, "Smith")));
-  pipeline.Add(std::make_unique<TransformStage>(
-      c, std::make_unique<PredicateOp>(c, 0, 1, PredicateScope::kTuple)));
+  pipeline.AddStage<TransformStage>(
+      c, std::make_unique<ChildStep>(0, "book"));
+  pipeline.AddStage<TransformStage>(
+      c, std::make_unique<MakeTuples>(0));
+  pipeline.AddStage<CloneFilter>(c, 0, 1);
+  pipeline.AddStage<TransformStage>(
+      c, std::make_unique<ChildStep>(1, "author"));
+  pipeline.AddStage<TransformStage>(
+      c, std::make_unique<TextCompare>(c, 1, TextMatch::kEquals, "Smith"));
+  pipeline.AddStage<TransformStage>(
+      c, std::make_unique<PredicateOp>(c, 0, 1, PredicateScope::kTuple));
   CollectingSink sink;
   pipeline.SetSink(&sink);
   pipeline.PushAll(in);
@@ -451,16 +449,16 @@ RunResult RunOrderBy(const EventVec& in, const std::string& item_tag,
                      const std::string& key_tag) {
   Pipeline pipeline;
   PipelineContext* c = pipeline.context();
-  pipeline.Add(std::make_unique<TransformStage>(
-      c, std::make_unique<ChildStep>(0, item_tag)));
-  pipeline.Add(std::make_unique<TransformStage>(
-      c, std::make_unique<MakeTuples>(0)));
-  pipeline.Add(std::make_unique<CloneFilter>(c, 0, 1));
-  pipeline.Add(std::make_unique<TransformStage>(
-      c, std::make_unique<ChildStep>(1, key_tag)));
-  pipeline.Add(std::make_unique<TransformStage>(
-      c, std::make_unique<StringValue>(1)));
-  pipeline.Add(std::make_unique<SortFilter>(c, 1));
+  pipeline.AddStage<TransformStage>(
+      c, std::make_unique<ChildStep>(0, item_tag));
+  pipeline.AddStage<TransformStage>(
+      c, std::make_unique<MakeTuples>(0));
+  pipeline.AddStage<CloneFilter>(c, 0, 1);
+  pipeline.AddStage<TransformStage>(
+      c, std::make_unique<ChildStep>(1, key_tag));
+  pipeline.AddStage<TransformStage>(
+      c, std::make_unique<StringValue>(1));
+  pipeline.AddStage<SortFilter>(c, 1);
   CollectingSink sink;
   pipeline.SetSink(&sink);
   pipeline.PushAll(in);
@@ -562,13 +560,13 @@ RunResult RunBackward(const EventVec& in, const std::string& data_tag,
                       const std::string& candidate_tag, BackwardMode mode) {
   Pipeline pipeline;
   PipelineContext* c = pipeline.context();
-  pipeline.Add(std::make_unique<CloneFilter>(c, 0, 1));
-  pipeline.Add(std::make_unique<TransformStage>(
-      c, std::make_unique<DescendantStep>(c, 0, data_tag)));
-  pipeline.Add(std::make_unique<TransformStage>(
-      c, std::make_unique<DescendantStep>(c, 1, candidate_tag)));
-  pipeline.Add(std::make_unique<TransformStage>(
-      c, std::make_unique<BackwardAxisOp>(c, 0, 1, mode)));
+  pipeline.AddStage<CloneFilter>(c, 0, 1);
+  pipeline.AddStage<TransformStage>(
+      c, std::make_unique<DescendantStep>(c, 0, data_tag));
+  pipeline.AddStage<TransformStage>(
+      c, std::make_unique<DescendantStep>(c, 1, candidate_tag));
+  pipeline.AddStage<TransformStage>(
+      c, std::make_unique<BackwardAxisOp>(c, 0, 1, mode));
   CollectingSink sink;
   pipeline.SetSink(&sink);
   pipeline.PushAll(in);
@@ -608,15 +606,15 @@ TEST(BackwardTest, CountOfParents) {
   EventVec in = Tok("<a><p><item>1</item></p><q><item>2</item></q></a>");
   Pipeline pipeline;
   PipelineContext* c = pipeline.context();
-  pipeline.Add(std::make_unique<CloneFilter>(c, 0, 1));
-  pipeline.Add(std::make_unique<TransformStage>(
-      c, std::make_unique<DescendantStep>(c, 0, "item")));
-  pipeline.Add(std::make_unique<TransformStage>(
-      c, std::make_unique<DescendantStep>(c, 1, "*")));
-  pipeline.Add(std::make_unique<TransformStage>(
-      c, std::make_unique<BackwardAxisOp>(c, 0, 1, BackwardMode::kParent)));
-  pipeline.Add(std::make_unique<TransformStage>(
-      c, std::make_unique<CountOp>(c, 1, CountMode::kTopLevelElements)));
+  pipeline.AddStage<CloneFilter>(c, 0, 1);
+  pipeline.AddStage<TransformStage>(
+      c, std::make_unique<DescendantStep>(c, 0, "item"));
+  pipeline.AddStage<TransformStage>(
+      c, std::make_unique<DescendantStep>(c, 1, "*"));
+  pipeline.AddStage<TransformStage>(
+      c, std::make_unique<BackwardAxisOp>(c, 0, 1, BackwardMode::kParent));
+  pipeline.AddStage<TransformStage>(
+      c, std::make_unique<CountOp>(c, 1, CountMode::kTopLevelElements));
   ResultDisplay display;
   pipeline.SetSink(&display);
   pipeline.PushAll(in);

@@ -1,0 +1,267 @@
+// Tests for the per-stage observability layer: StageStats counters and
+// timing, the instrumentation switch, the TraceSink ring, Pipeline's
+// typed AddStage/InsertAfter, and the JSON exports.
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/event_sink.h"
+#include "core/pipeline.h"
+#include "core/trace_sink.h"
+#include "tests/test_util.h"
+#include "util/json.h"
+#include "util/stage_stats.h"
+#include "xquery/engine.h"
+
+namespace xflux {
+namespace {
+
+// Rough well-formedness check without a parser: the exports only emit
+// escaped strings and numbers, so balanced delimiters outside strings is
+// what can go structurally wrong.
+bool BalancedJson(const std::string& json) {
+  int depth = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < json.size(); ++i) {
+    char c = json[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    if (depth < 0) return false;
+  }
+  return depth == 0 && !in_string && !json.empty();
+}
+
+TEST(StageStatsTest, CountersSplitSimpleAndUpdateEvents) {
+  Pipeline pipeline;
+  pipeline.context()->set_instrumentation(true);
+  TraceSink* a = pipeline.AddStage<TraceSink>(pipeline.context());
+  TraceSink* b = pipeline.AddStage<TraceSink>(pipeline.context());
+  CollectingSink sink;
+  pipeline.SetSink(&sink);
+
+  pipeline.Push(Event::StartElement(0, "a"));
+  pipeline.Push(Event::StartMutable(0, 7));
+  pipeline.Push(Event::Characters(7, "x"));
+  pipeline.Push(Event::EndMutable(0, 7));
+  pipeline.Push(Event::EndElement(0, "a"));
+
+  ASSERT_NE(a->stage_stats(), nullptr);
+  ASSERT_NE(b->stage_stats(), nullptr);
+  // 3 simple events (sE, cD, eE) and 2 update events (sM, eM), forwarded
+  // unchanged by both taps.
+  for (const StageStats* s : {a->stage_stats(), b->stage_stats()}) {
+    EXPECT_EQ(s->in_simple, 3u);
+    EXPECT_EQ(s->in_update, 2u);
+    EXPECT_EQ(s->out_simple, 3u);
+    EXPECT_EQ(s->out_update, 2u);
+    EXPECT_EQ(s->events_in(), 5u);
+  }
+  EXPECT_EQ(sink.events().size(), 5u);
+  // Registration order is pipeline order.
+  EXPECT_EQ(a->stage_stats()->index, 0);
+  EXPECT_EQ(b->stage_stats()->index, 1);
+}
+
+TEST(StageStatsTest, WallTimeAccumulatesMonotonically) {
+  Pipeline pipeline;
+  pipeline.context()->set_instrumentation(true);
+  TraceSink* tap = pipeline.AddStage<TraceSink>(pipeline.context());
+  NullSink sink;
+  pipeline.SetSink(&sink);
+
+  for (int i = 0; i < 100; ++i) pipeline.Push(Event::Characters(0, "x"));
+  const StageStats* s = tap->stage_stats();
+  uint64_t first = s->wall_ns;
+  EXPECT_GT(first, 0u);
+  for (int i = 0; i < 100; ++i) pipeline.Push(Event::Characters(0, "x"));
+  EXPECT_GE(s->wall_ns, first);
+  // Self time never exceeds inclusive time.
+  EXPECT_LE(s->self_ns(), s->wall_ns);
+}
+
+TEST(StageStatsTest, DisabledInstrumentationLeavesStatsUntouched) {
+  Pipeline pipeline;  // instrumentation defaults to off
+  TraceSink* tap = pipeline.AddStage<TraceSink>(pipeline.context());
+  CollectingSink sink;
+  pipeline.SetSink(&sink);
+
+  for (int i = 0; i < 50; ++i) pipeline.Push(Event::Characters(0, "x"));
+
+  // Events still flow; the record exists but every counter stays zero.
+  EXPECT_EQ(sink.events().size(), 50u);
+  const StageStats* s = tap->stage_stats();
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->events_in(), 0u);
+  EXPECT_EQ(s->events_out(), 0u);
+  EXPECT_EQ(s->wall_ns, 0u);
+  EXPECT_EQ(s->adjust_calls, 0u);
+}
+
+TEST(StageStatsTest, RegistryResetZeroesCountersButKeepsNames) {
+  Pipeline pipeline;
+  pipeline.context()->set_instrumentation(true);
+  TraceSink* tap = pipeline.AddStage<TraceSink>(
+      pipeline.context(), TraceSink::Options{4, "tap"});
+  NullSink sink;
+  pipeline.SetSink(&sink);
+  pipeline.Push(Event::Characters(0, "x"));
+  EXPECT_EQ(tap->stage_stats()->events_in(), 1u);
+
+  pipeline.context()->stats()->Reset();
+  EXPECT_EQ(tap->stage_stats()->events_in(), 0u);
+  EXPECT_EQ(tap->stage_stats()->name, "tap");
+  EXPECT_EQ(tap->stage_stats()->index, 0);
+}
+
+TEST(TraceSinkTest, RingTruncatesToCapacityKeepingNewest) {
+  Pipeline pipeline;
+  TraceSink* tap = pipeline.AddStage<TraceSink>(
+      pipeline.context(), TraceSink::Options{4, "tap"});
+  NullSink sink;
+  pipeline.SetSink(&sink);
+
+  for (int i = 0; i < 10; ++i) {
+    pipeline.Push(Event::Characters(0, std::to_string(i)));
+  }
+  EXPECT_EQ(tap->events_seen(), 10u);
+  EXPECT_EQ(tap->events_dropped(), 6u);
+
+  EventVec window = tap->Snapshot();
+  ASSERT_EQ(window.size(), 4u);
+  // Oldest-first: events 6..9 survive.
+  for (size_t i = 0; i < window.size(); ++i) {
+    EXPECT_EQ(window[i].text, std::to_string(6 + i));
+  }
+
+  std::string dump = tap->Dump();
+  EXPECT_NE(dump.find("tap: last 4 of 10 events"), std::string::npos);
+  EXPECT_NE(dump.find("(6 older dropped)"), std::string::npos);
+  EXPECT_NE(dump.find("#6 "), std::string::npos);
+  EXPECT_NE(dump.find("#9 "), std::string::npos);
+}
+
+TEST(TraceSinkTest, BelowCapacityNothingDrops) {
+  Pipeline pipeline;
+  TraceSink* tap = pipeline.AddStage<TraceSink>(
+      pipeline.context(), TraceSink::Options{8, "tap"});
+  NullSink sink;
+  pipeline.SetSink(&sink);
+  pipeline.Push(Event::Characters(0, "only"));
+  EXPECT_EQ(tap->events_seen(), 1u);
+  EXPECT_EQ(tap->events_dropped(), 0u);
+  ASSERT_EQ(tap->Snapshot().size(), 1u);
+  EXPECT_EQ(tap->Snapshot()[0].text, "only");
+}
+
+TEST(PipelineApiTest, InsertAfterTapsAnExistingChain) {
+  Pipeline pipeline;
+  pipeline.AddStage<TraceSink>(pipeline.context(),
+                               TraceSink::Options{4, "first"});
+  pipeline.AddStage<TraceSink>(pipeline.context(),
+                               TraceSink::Options{4, "last"});
+  CollectingSink sink;
+  pipeline.SetSink(&sink);
+
+  auto tap = std::make_unique<TraceSink>(pipeline.context(),
+                                         TraceSink::Options{4, "mid"});
+  TraceSink* mid = static_cast<TraceSink*>(pipeline.InsertAfter(
+      0, std::move(tap)));
+  ASSERT_EQ(pipeline.stage_count(), 3u);
+  EXPECT_EQ(pipeline.stage(1), mid);
+
+  pipeline.Push(Event::Characters(0, "x"));
+  EXPECT_EQ(mid->events_seen(), 1u);
+  EXPECT_EQ(sink.events().size(), 1u);
+}
+
+TEST(PipelineApiTest, AddStageReturnsConcreteType) {
+  Pipeline pipeline;
+  // The returned pointer is TraceSink*, not Filter*: its concrete members
+  // are usable without a cast.
+  TraceSink* tap = pipeline.AddStage<TraceSink>(pipeline.context());
+  NullSink sink;
+  pipeline.SetSink(&sink);
+  pipeline.Push(Event::Characters(0, "x"));
+  EXPECT_EQ(tap->events_seen(), 1u);
+}
+
+TEST(StatsJsonTest, RegistryAndMetricsExportBalancedJson) {
+  QuerySession::Options options;
+  options.instrumentation = true;
+  auto session = QuerySession::Open("count(X//item)", options);
+  ASSERT_TRUE(session.ok()) << session.status();
+  ASSERT_TRUE(
+      session.value()->PushDocument("<X><item/><item/></X>").ok());
+
+  StatsRegistry* stats = session.value()->stats();
+  ASSERT_GT(stats->size(), 0u);
+  EXPECT_GT(stats->stage(0).events_in(), 0u);
+
+  std::string stages_json = stats->ToJson();
+  EXPECT_TRUE(BalancedJson(stages_json)) << stages_json;
+  EXPECT_EQ(stages_json.front(), '[');
+  EXPECT_NE(stages_json.find("\"adjust_calls\""), std::string::npos);
+
+  std::string metrics_json = session.value()->metrics()->ToJson();
+  EXPECT_TRUE(BalancedJson(metrics_json)) << metrics_json;
+  EXPECT_NE(metrics_json.find("\"transformer_calls\""), std::string::npos);
+
+  // The human table lists every stage by name.
+  std::string table = stats->ToTable();
+  for (size_t i = 0; i < stats->size(); ++i) {
+    EXPECT_NE(table.find(stats->stage(i).name), std::string::npos)
+        << "missing stage in table: " << stats->stage(i).name;
+  }
+}
+
+TEST(StatsJsonTest, JsonWriterEscapesStrings) {
+  JsonWriter w = JsonWriter::Object();
+  w.Field("q", "say \"hi\"\n\tdone\x01");
+  std::string json = w.Close();
+  EXPECT_TRUE(BalancedJson(json)) << json;
+  EXPECT_NE(json.find("\\\"hi\\\""), std::string::npos);
+  EXPECT_NE(json.find("\\n"), std::string::npos);
+  EXPECT_NE(json.find("\\t"), std::string::npos);
+  EXPECT_NE(json.find("\\u0001"), std::string::npos);
+}
+
+TEST(StatsJsonTest, SessionOptionsControlInstrumentation) {
+  // Same query, instrumentation off: identical answer, untouched stats.
+  auto session = QuerySession::Open("count(X//item)");
+  ASSERT_TRUE(session.ok()) << session.status();
+  ASSERT_TRUE(
+      session.value()->PushDocument("<X><item/><item/></X>").ok());
+  auto answer = session.value()->CurrentText();
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(answer.value(), "2");
+
+  StatsRegistry* stats = session.value()->stats();
+  for (size_t i = 0; i < stats->size(); ++i) {
+    EXPECT_EQ(stats->stage(i).events_in(), 0u);
+    EXPECT_EQ(stats->stage(i).wall_ns, 0u);
+  }
+}
+
+TEST(StatsJsonTest, TraceCapacityOptionInsertsTap) {
+  QuerySession::Options options;
+  options.trace_capacity = 16;
+  auto session = QuerySession::Open("count(X//item)", options);
+  ASSERT_TRUE(session.ok()) << session.status();
+  ASSERT_TRUE(session.value()->PushDocument("<X><item/></X>").ok());
+  ASSERT_NE(session.value()->trace(), nullptr);
+  EXPECT_GT(session.value()->trace()->events_seen(), 0u);
+}
+
+}  // namespace
+}  // namespace xflux

@@ -37,8 +37,8 @@ RunResult RunPipeline(const EventVec& input, MakeStages make_stages,
   std::vector<std::unique_ptr<StateTransformer>> transformers =
       make_stages(pipeline.context());
   for (auto& t : transformers) {
-    pipeline.Add(std::make_unique<TransformStage>(pipeline.context(),
-                                                  std::move(t)));
+    pipeline.AddStage<TransformStage>(pipeline.context(),
+                                                  std::move(t));
   }
   CollectingSink sink;
   pipeline.SetSink(&sink);

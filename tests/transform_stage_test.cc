@@ -27,7 +27,7 @@ TEST(TransformStageTest, ChildStepSelectsMatchingChildren) {
       Event::Characters(0, "a"),   Event::EndElement(0, "book"),
       Event::StartElement(0, "book"), Event::Characters(0, "c"),
       Event::EndElement(0, "book")};
-  EXPECT_EQ(r.materialized, expect);
+  EXPECT_EQ(StripOids(r.materialized), expect);
 }
 
 TEST(TransformStageTest, ChildStepWildcardSelectsAllElementChildren) {
@@ -38,7 +38,7 @@ TEST(TransformStageTest, ChildStepWildcardSelectsAllElementChildren) {
   // The wildcard selects both children but not the @id attribute child as a
   // top-level result (it stays inside dvd).
   ASSERT_GE(r.materialized.size(), 2u);
-  EXPECT_EQ(r.materialized[0], Event::StartElement(0, "book"));
+  EXPECT_EQ(StripOids(r.materialized)[0], Event::StartElement(0, "book"));
   // dvd keeps its attribute child.
   bool has_attr = false;
   for (const Event& e : r.materialized) {
@@ -57,7 +57,7 @@ TEST(TransformStageTest, ChildStepAttributeStep) {
   });
   EventVec expect = {Event::StartElement(0, "@id"),
                      Event::Characters(0, "b1"), Event::EndElement(0, "@id")};
-  EXPECT_EQ(r.materialized, expect);
+  EXPECT_EQ(StripOids(r.materialized), expect);
 }
 
 // The central equivalence property: running an operator over an update
@@ -187,9 +187,8 @@ TEST(TransformStageTest, IgnoredSourceUpdatesAreDropped) {
 TEST(TransformStageTest, FixedRegionStatesAreEvicted) {
   Pipeline pipeline;
   pipeline.set_accept_source_updates(false);
-  auto* stage = static_cast<TransformStage*>(pipeline.Add(
-      std::make_unique<TransformStage>(pipeline.context(),
-                                       std::make_unique<ChildStep>(0, "b"))));
+  auto* stage = pipeline.AddStage<TransformStage>(
+      pipeline.context(), std::make_unique<ChildStep>(0, "b"));
   CollectingSink sink;
   pipeline.SetSink(&sink);
   pipeline.PushAll({Event::StartElement(0, "a"),
@@ -202,9 +201,8 @@ TEST(TransformStageTest, FixedRegionStatesAreEvicted) {
 
 TEST(TransformStageTest, AcceptedRegionStatesAreKept) {
   Pipeline pipeline;
-  auto* stage = static_cast<TransformStage*>(pipeline.Add(
-      std::make_unique<TransformStage>(pipeline.context(),
-                                       std::make_unique<ChildStep>(0, "b"))));
+  auto* stage = pipeline.AddStage<TransformStage>(
+      pipeline.context(), std::make_unique<ChildStep>(0, "b"));
   CollectingSink sink;
   pipeline.SetSink(&sink);
   pipeline.PushAll({Event::StartElement(0, "a"),
