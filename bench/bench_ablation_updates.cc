@@ -33,12 +33,12 @@ EventVec InjectUpdates(const EventVec& input, double fraction,
   bool in_location = false;
   for (size_t i = 0; i < input.size(); ++i) {
     const Event& e = input[i];
-    if (e.kind == EventKind::kStartElement && e.text == "location") {
+    if (e.kind == EventKind::kStartElement && e.tag_name() == "location") {
       in_location = true;
       out.push_back(e);
       continue;
     }
-    if (e.kind == EventKind::kEndElement && e.text == "location") {
+    if (e.kind == EventKind::kEndElement && e.tag_name() == "location") {
       in_location = false;
       out.push_back(e);
       continue;

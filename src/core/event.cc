@@ -47,9 +47,13 @@ std::string Event::ToString() const {
   switch (kind) {
     case EventKind::kStartElement:
     case EventKind::kEndElement:
+      out += ",\"";
+      out += tag_name();
+      out += '"';
+      break;
     case EventKind::kCharacters:
       out += ",\"";
-      out += text;
+      out += chars();
       out += '"';
       break;
     case EventKind::kStartMutable:

@@ -10,6 +10,11 @@
 // (`id`); update brackets additionally carry the id of the region they
 // introduce (`uid`).  Multiple virtual substreams interleave inside the one
 // global stream that flows through a pipeline.
+//
+// The representation is compact by design (see DESIGN.md): element tags
+// are interned Symbols (integer compare in the path steps), character data
+// is a refcounted TextRef (copying an event through state maps and region
+// documents never allocates), and the whole struct is 32 bytes.
 
 #ifndef XFLUX_CORE_EVENT_H_
 #define XFLUX_CORE_EVENT_H_
@@ -17,7 +22,11 @@
 #include <cstdint>
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <vector>
+
+#include "util/symbol_table.h"
+#include "util/text_ref.h"
 
 namespace xflux {
 
@@ -61,45 +70,74 @@ const char* EventKindName(EventKind kind);
 /// One token of an XML update stream.
 ///
 /// Field use by kind:
-///  - kStartElement / kEndElement: `text` is the tag, `oid` the node id.
-///    Attributes are tokenized as child elements whose tag starts with '@'.
-///  - kCharacters: `text` is the character data.
+///  - kStartElement / kEndElement: `tag` is the interned tag, `oid` the
+///    node id.  Attributes are tokenized as child elements whose tag
+///    spelling starts with '@'.
+///  - kCharacters: `text` is the (shared, immutable) character data.
 ///  - update brackets sU/eU: `id` is the target region, `uid` the new one.
 ///  - kFreeze / kHide / kShow: `id` is the region acted upon.
 struct Event {
   EventKind kind = EventKind::kStartStream;
   StreamId id = 0;
   StreamId uid = 0;
+  Symbol tag;    // sE/eE only
   Oid oid = 0;
-  std::string text;
+  TextRef text;  // cD only
+
+  /// The resolved tag spelling (sE/eE); "" for other kinds.
+  std::string_view tag_name() const { return TagSpelling(tag); }
+  /// True for sE/eE whose tag spelling starts with '@' (an attribute
+  /// tokenized as a child element).
+  bool HasAttributeTag() const {
+    return SymbolTable::Global().IsAttribute(tag);
+  }
+  /// The character data (cD); "" for other kinds.
+  std::string_view chars() const { return text.view(); }
 
   // -- factories for simple events --
-  static Event StartStream(StreamId id) { return {EventKind::kStartStream, id, 0, 0, {}}; }
-  static Event EndStream(StreamId id) { return {EventKind::kEndStream, id, 0, 0, {}}; }
-  static Event StartTuple(StreamId id) { return {EventKind::kStartTuple, id, 0, 0, {}}; }
-  static Event EndTuple(StreamId id) { return {EventKind::kEndTuple, id, 0, 0, {}}; }
-  static Event StartElement(StreamId id, std::string tag, Oid oid = 0) {
-    return {EventKind::kStartElement, id, 0, oid, std::move(tag)};
+  static Event StartStream(StreamId id) { return Plain(EventKind::kStartStream, id); }
+  static Event EndStream(StreamId id) { return Plain(EventKind::kEndStream, id); }
+  static Event StartTuple(StreamId id) { return Plain(EventKind::kStartTuple, id); }
+  static Event EndTuple(StreamId id) { return Plain(EventKind::kEndTuple, id); }
+  static Event StartElement(StreamId id, Symbol tag, Oid oid = 0) {
+    Event e = Plain(EventKind::kStartElement, id);
+    e.tag = tag;
+    e.oid = oid;
+    return e;
   }
-  static Event EndElement(StreamId id, std::string tag, Oid oid = 0) {
-    return {EventKind::kEndElement, id, 0, oid, std::move(tag)};
+  static Event StartElement(StreamId id, std::string_view tag, Oid oid = 0) {
+    return StartElement(id, InternTag(tag), oid);
   }
-  static Event Characters(StreamId id, std::string text) {
-    return {EventKind::kCharacters, id, 0, 0, std::move(text)};
+  static Event EndElement(StreamId id, Symbol tag, Oid oid = 0) {
+    Event e = Plain(EventKind::kEndElement, id);
+    e.tag = tag;
+    e.oid = oid;
+    return e;
+  }
+  static Event EndElement(StreamId id, std::string_view tag, Oid oid = 0) {
+    return EndElement(id, InternTag(tag), oid);
+  }
+  static Event Characters(StreamId id, TextRef text) {
+    Event e = Plain(EventKind::kCharacters, id);
+    e.text = std::move(text);
+    return e;
+  }
+  static Event Characters(StreamId id, std::string_view text) {
+    return Characters(id, TextRef::Copy(text));
   }
 
   // -- factories for update events --
-  static Event StartMutable(StreamId id, StreamId uid) { return {EventKind::kStartMutable, id, uid, 0, {}}; }
-  static Event EndMutable(StreamId id, StreamId uid) { return {EventKind::kEndMutable, id, uid, 0, {}}; }
-  static Event StartReplace(StreamId id, StreamId uid) { return {EventKind::kStartReplace, id, uid, 0, {}}; }
-  static Event EndReplace(StreamId id, StreamId uid) { return {EventKind::kEndReplace, id, uid, 0, {}}; }
-  static Event StartInsertBefore(StreamId id, StreamId uid) { return {EventKind::kStartInsertBefore, id, uid, 0, {}}; }
-  static Event EndInsertBefore(StreamId id, StreamId uid) { return {EventKind::kEndInsertBefore, id, uid, 0, {}}; }
-  static Event StartInsertAfter(StreamId id, StreamId uid) { return {EventKind::kStartInsertAfter, id, uid, 0, {}}; }
-  static Event EndInsertAfter(StreamId id, StreamId uid) { return {EventKind::kEndInsertAfter, id, uid, 0, {}}; }
-  static Event Freeze(StreamId id) { return {EventKind::kFreeze, id, 0, 0, {}}; }
-  static Event Hide(StreamId id) { return {EventKind::kHide, id, 0, 0, {}}; }
-  static Event Show(StreamId id) { return {EventKind::kShow, id, 0, 0, {}}; }
+  static Event StartMutable(StreamId id, StreamId uid) { return Plain(EventKind::kStartMutable, id, uid); }
+  static Event EndMutable(StreamId id, StreamId uid) { return Plain(EventKind::kEndMutable, id, uid); }
+  static Event StartReplace(StreamId id, StreamId uid) { return Plain(EventKind::kStartReplace, id, uid); }
+  static Event EndReplace(StreamId id, StreamId uid) { return Plain(EventKind::kEndReplace, id, uid); }
+  static Event StartInsertBefore(StreamId id, StreamId uid) { return Plain(EventKind::kStartInsertBefore, id, uid); }
+  static Event EndInsertBefore(StreamId id, StreamId uid) { return Plain(EventKind::kEndInsertBefore, id, uid); }
+  static Event StartInsertAfter(StreamId id, StreamId uid) { return Plain(EventKind::kStartInsertAfter, id, uid); }
+  static Event EndInsertAfter(StreamId id, StreamId uid) { return Plain(EventKind::kEndInsertAfter, id, uid); }
+  static Event Freeze(StreamId id) { return Plain(EventKind::kFreeze, id); }
+  static Event Hide(StreamId id) { return Plain(EventKind::kHide, id); }
+  static Event Show(StreamId id) { return Plain(EventKind::kShow, id); }
 
   /// True for the seven simple stream event kinds of Section II.
   bool IsSimple() const { return kind <= EventKind::kCharacters; }
@@ -118,23 +156,42 @@ struct Event {
            kind == EventKind::kEndInsertAfter;
   }
 
-  /// Paper-style rendering, e.g. `sE(0,"book")`, `sR(1,2)`.
+  /// Paper-style rendering with resolved tag names, e.g. `sE(0,"book")`,
+  /// `sR(1,2)`.
   std::string ToString() const;
 
   /// Full-value equality, `oid` included: backward-axis joins key on node
   /// identity, so two events that differ only in oid are NOT the same
-  /// event.  Tests comparing structure only should StripOids first.
+  /// event.  Character data compares by content (shared or not).  Tests
+  /// comparing structure only should StripOids first.
   friend bool operator==(const Event& a, const Event& b) {
     return a.kind == b.kind && a.id == b.id && a.uid == b.uid &&
-           a.oid == b.oid && a.text == b.text;
+           a.oid == b.oid && a.tag == b.tag && a.text == b.text;
+  }
+
+ private:
+  static Event Plain(EventKind kind, StreamId id, StreamId uid = 0) {
+    Event e;
+    e.kind = kind;
+    e.id = id;
+    e.uid = uid;
+    return e;
   }
 };
+
+static_assert(sizeof(Event) <= 32,
+              "Event must stay compact: tags are Symbols, text is a "
+              "TextRef, no std::string members");
 
 /// Returns the matching end-bracket kind for an update start (sM -> eM etc).
 EventKind MatchingUpdateEnd(EventKind start);
 
 /// An in-memory event sequence; pipelines also stream events one at a time.
 using EventVec = std::vector<Event>;
+
+/// One parser/generator emission unit: a contiguous run of events handed
+/// down the pipeline with a single virtual call (see EventSink::AcceptBatch).
+using EventBatch = std::vector<Event>;
 
 /// Renders a whole sequence as `[ sE(0,"a"), ... ]` (tests, debugging).
 std::string ToString(const EventVec& events);

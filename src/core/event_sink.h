@@ -3,27 +3,40 @@
 #ifndef XFLUX_CORE_EVENT_SINK_H_
 #define XFLUX_CORE_EVENT_SINK_H_
 
+#include <iterator>
 #include <utility>
 
 #include "core/event.h"
 
 namespace xflux {
 
-/// Receives stream events one at a time.  The XML tokenizer, every pipeline
-/// stage, and the result display all speak this interface (the paper's
-/// push-based "dispatch" method).
+/// Receives stream events one at a time — the paper's push-based
+/// "dispatch" method — or, for producers that emit runs of events, a whole
+/// EventBatch per virtual call.  The XML tokenizer, every pipeline stage,
+/// and the result display all speak this interface.
 class EventSink {
  public:
   virtual ~EventSink() = default;
 
   /// Consumes one event.
   virtual void Accept(Event event) = 0;
+
+  /// Consumes a run of events, in order.  Semantically identical to
+  /// Accept-ing each element; the default does exactly that.  Straight-line
+  /// sinks override it to amortize the virtual hop over the whole run.
+  virtual void AcceptBatch(EventBatch batch) {
+    for (Event& e : batch) Accept(std::move(e));
+  }
 };
 
 /// An EventSink that appends everything into an EventVec (testing, oracles).
 class CollectingSink : public EventSink {
  public:
   void Accept(Event event) override { events_.push_back(std::move(event)); }
+  void AcceptBatch(EventBatch batch) override {
+    events_.insert(events_.end(), std::make_move_iterator(batch.begin()),
+                   std::make_move_iterator(batch.end()));
+  }
 
   const EventVec& events() const { return events_; }
   EventVec Take() { return std::move(events_); }
@@ -37,6 +50,7 @@ class CollectingSink : public EventSink {
 class NullSink : public EventSink {
  public:
   void Accept(Event) override { ++count_; }
+  void AcceptBatch(EventBatch batch) override { count_ += batch.size(); }
   uint64_t count() const { return count_; }
 
  private:

@@ -41,6 +41,34 @@ void Filter::EmitInstrumented(Event event) {
   s.downstream_ns += ElapsedNs(start);
 }
 
+void Filter::AcceptBatchInstrumented(EventBatch batch) {
+  StageStats& s = *stats_;
+  for (const Event& e : batch) {
+    if (e.IsSimple()) {
+      ++s.in_simple;
+    } else {
+      ++s.in_update;
+    }
+  }
+  Clock::time_point start = Clock::now();
+  DispatchBatch(std::move(batch));
+  s.wall_ns += ElapsedNs(start);
+}
+
+void Filter::EmitBatchInstrumented(EventBatch batch) {
+  StageStats& s = *stats_;
+  for (const Event& e : batch) {
+    if (e.IsSimple()) {
+      ++s.out_simple;
+    } else {
+      ++s.out_update;
+    }
+  }
+  Clock::time_point start = Clock::now();
+  next_->AcceptBatch(std::move(batch));
+  s.downstream_ns += ElapsedNs(start);
+}
+
 Filter* Pipeline::Add(std::unique_ptr<Filter> stage) {
   assert(!wired_ && "Add after SetSink");
   Filter* raw = stage.get();
@@ -91,8 +119,26 @@ void Pipeline::Push(Event event) {
   first->Accept(std::move(event));
 }
 
+void Pipeline::PushBatch(EventBatch batch) {
+  assert(wired_ && "Push before SetSink");
+  for (const Event& e : batch) {
+    if (e.kind == EventKind::kStartStream) {
+      context_->streams()->RegisterBase(e.id);
+    }
+    if (!accept_source_updates_ && e.kind == EventKind::kStartMutable) {
+      context_->fix()->SetFixed(e.uid, true);
+    }
+    context_->fix()->OnEvent(e);
+    context_->streams()->OnEvent(e);
+  }
+  EventSink* first = stages_.empty() ? sink_ : stages_.front().get();
+  first->AcceptBatch(std::move(batch));
+}
+
 void Pipeline::PushAll(const EventVec& events) {
-  for (const Event& e : events) Push(e);
+  // Events copy cheaply (interned tags, refcounted text), so feeding a
+  // whole in-memory sequence goes through the batched path.
+  PushBatch(EventBatch(events.begin(), events.end()));
 }
 
 }  // namespace xflux

@@ -92,9 +92,29 @@ class Filter : public EventSink {
     Dispatch(std::move(event));
   }
 
+  void AcceptBatch(EventBatch batch) final {
+    for (const Event& e : batch) {
+      context_->fix()->OnEvent(e);
+      context_->streams()->OnEvent(e);
+      context_->metrics()->CountTransformerCall();
+    }
+    if (instrumented()) {
+      AcceptBatchInstrumented(std::move(batch));
+      return;
+    }
+    DispatchBatch(std::move(batch));
+  }
+
  protected:
   /// Stage logic: consume one event, call Emit zero or more times.
   virtual void Dispatch(Event event) = 0;
+
+  /// Batch stage logic.  Must be observably identical to Dispatch-ing each
+  /// event in order (the default does exactly that); straight-through
+  /// stages override it to forward the whole run with one EmitBatch.
+  virtual void DispatchBatch(EventBatch batch) {
+    for (Event& e : batch) Dispatch(std::move(e));
+  }
 
   /// Display name for diagnostics and StageStats ("child::a", "clone", …).
   virtual std::string StageName() const { return "stage"; }
@@ -114,6 +134,21 @@ class Filter : public EventSink {
     next_->Accept(std::move(event));
   }
 
+  /// Pushes a run of events downstream with one virtual call.
+  void EmitBatch(EventBatch batch) {
+    assert(next_ != nullptr && "pipeline stage has no downstream sink");
+    for (const Event& e : batch) {
+      context_->metrics()->CountEventEmitted();
+      context_->fix()->OnEvent(e);
+      context_->streams()->OnEvent(e);
+    }
+    if (instrumented()) {
+      EmitBatchInstrumented(std::move(batch));
+      return;
+    }
+    next_->AcceptBatch(std::move(batch));
+  }
+
   PipelineContext* context() { return context_; }
 
   /// The stage's stats record while instrumentation is on, else nullptr —
@@ -130,6 +165,8 @@ class Filter : public EventSink {
   // time spent in Dispatch / downstream Accept via steady_clock.
   void AcceptInstrumented(Event event);
   void EmitInstrumented(Event event);
+  void AcceptBatchInstrumented(EventBatch batch);
+  void EmitBatchInstrumented(EventBatch batch);
 
   PipelineContext* context_;
   EventSink* next_ = nullptr;
@@ -182,6 +219,9 @@ class Pipeline {
 
   /// Injects one source event into the first stage.
   void Push(Event event);
+  /// Injects a run of source events with one virtual call per stage that
+  /// supports batching (identical semantics to Push-ing each in order).
+  void PushBatch(EventBatch batch);
   void PushAll(const EventVec& events);
 
  private:

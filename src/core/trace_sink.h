@@ -58,6 +58,12 @@ class TraceSink : public Filter {
     Emit(std::move(event));
   }
 
+  // Straight-through: record each event, forward the run in one call.
+  void DispatchBatch(EventBatch batch) override {
+    for (const Event& e : batch) Record(e);
+    EmitBatch(std::move(batch));
+  }
+
   std::string StageName() const override { return options_.label; }
 
  private:

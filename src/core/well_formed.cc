@@ -7,22 +7,24 @@
 namespace xflux {
 
 Status CheckWellFormed(const EventVec& events, StreamId i) {
-  std::vector<const std::string*> stack;
+  std::vector<Symbol> stack;
   for (const Event& e : events) {
     if (e.id != i) continue;
     switch (e.kind) {
       case EventKind::kStartElement:
-        stack.push_back(&e.text);
+        stack.push_back(e.tag);
         break;
       case EventKind::kEndElement:
         if (stack.empty()) {
-          return Status::InvalidArgument("unmatched end element </" + e.text +
-                                         "> in stream " + std::to_string(i));
+          return Status::InvalidArgument(
+              "unmatched end element </" + std::string(e.tag_name()) +
+              "> in stream " + std::to_string(i));
         }
-        if (*stack.back() != e.text) {
-          return Status::InvalidArgument("mismatched tags <" + *stack.back() +
-                                         "> vs </" + e.text + "> in stream " +
-                                         std::to_string(i));
+        if (stack.back() != e.tag) {
+          return Status::InvalidArgument(
+              "mismatched tags <" + std::string(TagSpelling(stack.back())) +
+              "> vs </" + std::string(e.tag_name()) + "> in stream " +
+              std::to_string(i));
         }
         stack.pop_back();
         break;
@@ -31,8 +33,9 @@ Status CheckWellFormed(const EventVec& events, StreamId i) {
     }
   }
   if (!stack.empty()) {
-    return Status::InvalidArgument("unclosed element <" + *stack.back() +
-                                   "> in stream " + std::to_string(i));
+    return Status::InvalidArgument(
+        "unclosed element <" + std::string(TagSpelling(stack.back())) +
+        "> in stream " + std::to_string(i));
   }
   return Status::OK();
 }

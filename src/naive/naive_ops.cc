@@ -3,24 +3,18 @@
 #include <map>
 
 #include "ops/sorter.h"
+#include "util/buffer_ledger.h"
 
 namespace xflux {
 
 namespace {
-
-int64_t PayloadBytes(const EventVec& events) {
-  int64_t bytes = 0;
-  for (const Event& e : events) {
-    bytes += static_cast<int64_t>(sizeof(Event) + e.text.size());
-  }
-  return bytes;
-}
 
 struct NaivePredicateState : StateBase<NaivePredicateState> {
   int depth = 0;
   int cdepth = 0;
   bool outcome = false;
   EventVec buffer;  // the cached current element
+  BufferLedger ledger;  // its bytes, shared payloads counted once
 };
 
 struct NaiveSorterState : StateBase<NaiveSorterState> {
@@ -29,6 +23,7 @@ struct NaiveSorterState : StateBase<NaiveSorterState> {
   std::string key;
   EventVec current;
   std::multimap<std::string, EventVec> tuples;
+  BufferLedger ledger;  // bytes across all cached tuples
   int kdepth = 0;
 };
 
@@ -40,6 +35,7 @@ struct NaiveCountState : StateBase<NaiveCountState> {
 struct NaiveDescendantState : StateBase<NaiveDescendantState> {
   int depth = 0;
   EventVec buffer;  // the cached current top-level subtree
+  BufferLedger ledger;  // its bytes, shared payloads counted once
 };
 
 }  // namespace
@@ -84,16 +80,16 @@ void NaivePredicate::Process(const Event& e, StreamId root,
         s->buffer.clear();
       }
       ++s->depth;
-      metrics->OnBuffered(1, static_cast<int64_t>(sizeof(Event) + e.text.size()));
+      metrics->OnBuffered(1, s->ledger.Add(e.text, sizeof(Event)));
       s->buffer.push_back(e);
       return;
     case EventKind::kEndElement: {
       --s->depth;
       s->buffer.push_back(e);
-      metrics->OnBuffered(1, static_cast<int64_t>(sizeof(Event) + e.text.size()));
+      metrics->OnBuffered(1, s->ledger.Add(e.text, sizeof(Event)));
       if (s->depth == 0) {
         metrics->OnUnbuffered(static_cast<int64_t>(s->buffer.size()),
-                              PayloadBytes(s->buffer));
+                              s->ledger.Clear());
         if (s->outcome) {
           for (Event& b : s->buffer) out->push_back(std::move(b));
         }
@@ -103,8 +99,7 @@ void NaivePredicate::Process(const Event& e, StreamId root,
     }
     case EventKind::kCharacters:
       if (s->depth > 0) {
-        metrics->OnBuffered(1,
-                            static_cast<int64_t>(sizeof(Event) + e.text.size()));
+        metrics->OnBuffered(1, s->ledger.Add(e.text, sizeof(Event)));
         s->buffer.push_back(e);
       }
       return;
@@ -134,7 +129,7 @@ void NaiveSorter::Process(const Event& e, StreamId root, OperatorState* state,
         break;
       case EventKind::kCharacters:
         if (s->kdepth == 0 && s->in_tuple && !s->found_key) {
-          s->key = e.text;
+          s->key = std::string(e.chars());
           s->found_key = true;
         }
         break;
@@ -150,8 +145,11 @@ void NaiveSorter::Process(const Event& e, StreamId root, OperatorState* state,
     case EventKind::kEndStream:
       // The blocking release: everything comes out at once, sorted.
       for (auto& [key, events] : s->tuples) {
-        metrics->OnUnbuffered(static_cast<int64_t>(events.size()),
-                              PayloadBytes(events));
+        int64_t freed = 0;
+        for (const Event& b : events) {
+          freed += s->ledger.Remove(b.text, sizeof(Event));
+        }
+        metrics->OnUnbuffered(static_cast<int64_t>(events.size()), freed);
         for (Event& b : events) out->push_back(std::move(b));
       }
       s->tuples.clear();
@@ -165,8 +163,13 @@ void NaiveSorter::Process(const Event& e, StreamId root, OperatorState* state,
       return;
     case EventKind::kEndTuple:
       s->in_tuple = false;
-      metrics->OnBuffered(static_cast<int64_t>(s->current.size()),
-                          PayloadBytes(s->current));
+      {
+        int64_t added = 0;
+        for (const Event& b : s->current) {
+          added += s->ledger.Add(b.text, sizeof(Event));
+        }
+        metrics->OnBuffered(static_cast<int64_t>(s->current.size()), added);
+      }
       s->tuples.emplace(EncodeSortKey(s->found_key ? s->key : ""),
                         std::move(s->current));
       s->current.clear();
@@ -218,9 +221,9 @@ std::unique_ptr<OperatorState> NaiveDescendant::InitialState() const {
   return std::make_unique<NaiveDescendantState>();
 }
 
-bool NaiveDescendant::Matches(const std::string& tag) const {
-  if (tag_ == "*") return tag.empty() || tag[0] != '@';
-  return tag == tag_;
+bool NaiveDescendant::Matches(Symbol tag) const {
+  if (wildcard_) return !SymbolTable::Global().IsAttribute(tag);
+  return tag == tag_sym_;
 }
 
 void NaiveDescendant::Process(const Event& e, StreamId /*root*/,
@@ -246,15 +249,14 @@ void NaiveDescendant::Process(const Event& e, StreamId /*root*/,
         closing_root = s->depth == 0;
       }
       if (s->depth > 0 || closing_root) {
-        metrics->OnBuffered(1,
-                            static_cast<int64_t>(sizeof(Event) + e.text.size()));
+        metrics->OnBuffered(1, s->ledger.Add(e.text, sizeof(Event)));
         s->buffer.push_back(e);
       }
       if (!closing_root) return;
       // The whole document-element subtree is cached; emit the matching
       // descendants in postorder by scanning it.
       metrics->OnUnbuffered(static_cast<int64_t>(s->buffer.size()),
-                            PayloadBytes(s->buffer));
+                            s->ledger.Clear());
       // For each matching element, find its span and emit it after its
       // descendants — postorder by closing position.
       std::vector<size_t> open;  // indexes of open start events
@@ -263,11 +265,11 @@ void NaiveDescendant::Process(const Event& e, StreamId /*root*/,
       for (size_t i = 0; i < s->buffer.size(); ++i) {
         const Event& b = s->buffer[i];
         if (b.kind == EventKind::kStartElement) {
-          if (depth >= 1 && Matches(b.text)) open.push_back(i);
+          if (depth >= 1 && Matches(b.tag)) open.push_back(i);
           ++depth;
         } else if (b.kind == EventKind::kEndElement) {
           --depth;
-          if (depth >= 1 && Matches(b.text) && !open.empty()) {
+          if (depth >= 1 && Matches(b.tag) && !open.empty()) {
             spans.emplace_back(open.back(), i);
             open.pop_back();
           }

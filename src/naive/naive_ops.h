@@ -17,6 +17,7 @@
 #include "core/pipeline.h"
 #include "core/state_transformer.h"
 #include "ops/aggregates.h"
+#include "util/symbol_table.h"
 
 namespace xflux {
 
@@ -88,7 +89,11 @@ class NaiveCount : public StateTransformer {
 class NaiveDescendant : public StateTransformer {
  public:
   NaiveDescendant(PipelineContext* context, StreamId input, std::string tag)
-      : context_(context), input_(input), tag_(std::move(tag)) {}
+      : context_(context),
+        input_(input),
+        tag_(std::move(tag)),
+        wildcard_(tag_ == "*"),
+        tag_sym_(wildcard_ ? Symbol() : InternTag(tag_)) {}
 
   std::string Name() const override { return "naive-descendant(" + tag_ + ")"; }
   bool Consumes(StreamId base_id) const override { return base_id == input_; }
@@ -97,11 +102,13 @@ class NaiveDescendant : public StateTransformer {
                EventVec* out) override;
 
  private:
-  bool Matches(const std::string& tag) const;
+  bool Matches(Symbol tag) const;
 
   PipelineContext* context_;
   StreamId input_;
   std::string tag_;
+  bool wildcard_;
+  Symbol tag_sym_;
 };
 
 }  // namespace xflux

@@ -17,9 +17,9 @@ std::unique_ptr<OperatorState> ChildStep::InitialState() const {
   return std::make_unique<ChildStepState>();
 }
 
-bool ChildStep::Matches(const std::string& tag) const {
-  if (tag_ == "*") return tag.empty() || tag[0] != '@';
-  return tag == tag_;
+bool ChildStep::Matches(Symbol tag) const {
+  if (wildcard_) return !SymbolTable::Global().IsAttribute(tag);
+  return tag == tag_sym_;
 }
 
 void ChildStep::Process(const Event& e, StreamId /*root*/,
@@ -33,7 +33,7 @@ void ChildStep::Process(const Event& e, StreamId /*root*/,
       out->push_back(e);
       return;
     case EventKind::kStartElement:
-      if (s->depth == 1 && Matches(e.text)) s->pass = true;
+      if (s->depth == 1 && Matches(e.tag)) s->pass = true;
       ++s->depth;
       break;
     case EventKind::kEndElement:

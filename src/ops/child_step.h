@@ -8,6 +8,7 @@
 #include <string>
 
 #include "core/state_transformer.h"
+#include "util/symbol_table.h"
 
 namespace xflux {
 
@@ -19,7 +20,10 @@ class ChildStep : public StateTransformer {
   /// `tag` is an element name, "@name" for an attribute, or "*" for any
   /// non-attribute child.
   ChildStep(StreamId input, std::string tag)
-      : input_(input), tag_(std::move(tag)) {}
+      : input_(input),
+        tag_(std::move(tag)),
+        wildcard_(tag_ == "*"),
+        tag_sym_(wildcard_ ? Symbol() : InternTag(tag_)) {}
 
   std::string Name() const override { return "child(" + tag_ + ")"; }
   bool Consumes(StreamId base_id) const override { return base_id == input_; }
@@ -28,10 +32,12 @@ class ChildStep : public StateTransformer {
                EventVec* out) override;
 
  private:
-  bool Matches(const std::string& tag) const;
+  bool Matches(Symbol tag) const;
 
   StreamId input_;
   std::string tag_;
+  bool wildcard_;
+  Symbol tag_sym_;
 };
 
 }  // namespace xflux

@@ -22,10 +22,10 @@ std::unique_ptr<OperatorState> DescendantStep::InitialState() const {
   return std::make_unique<DescendantState>();
 }
 
-bool DescendantStep::Matches(const std::string& tag, int level) const {
+bool DescendantStep::Matches(Symbol tag, int level) const {
   if (level < 1) return false;  // the document element itself is not a match
-  if (tag_ == "*") return tag.empty() || tag[0] != '@';
-  return tag == tag_;
+  if (wildcard_) return !SymbolTable::Global().IsAttribute(tag);
+  return tag == tag_sym_;
 }
 
 void DescendantStep::Process(const Event& e, StreamId /*root*/,
@@ -43,7 +43,7 @@ void DescendantStep::Process(const Event& e, StreamId /*root*/,
       int level = s->depth;
       ++s->depth;
       bool in_copy = !s->copies.empty();
-      if (Matches(e.text, level)) {
+      if (Matches(e.tag, level)) {
         if (!in_copy) {
           // Outermost match: the base copy, wrapped so deeper copies can be
           // inserted before it.
@@ -60,20 +60,20 @@ void DescendantStep::Process(const Event& e, StreamId /*root*/,
           // base, which receives the original event)...
           out->push_back(e);
           for (size_t i = 1; i < s->copies.size(); ++i) {
-            out->push_back(Event::StartElement(s->copies[i], e.text, e.oid));
+            out->push_back(Event::StartElement(s->copies[i], e.tag, e.oid));
           }
           // ...then open this element's own copy, in front of the copy of
           // its nearest enclosing match (postorder placement).
           StreamId nid = context_->NewStreamId();
           context_->fix()->SetImmutable(nid);
           out->push_back(Event::StartInsertBefore(s->copies.back(), nid));
-          out->push_back(Event::StartElement(nid, e.text, e.oid));
+          out->push_back(Event::StartElement(nid, e.tag, e.oid));
           s->copies.push_back(nid);
         }
       } else if (in_copy) {
         out->push_back(e);
         for (size_t i = 1; i < s->copies.size(); ++i) {
-          out->push_back(Event::StartElement(s->copies[i], e.text, e.oid));
+          out->push_back(Event::StartElement(s->copies[i], e.tag, e.oid));
         }
       }
       return;
@@ -83,7 +83,7 @@ void DescendantStep::Process(const Event& e, StreamId /*root*/,
       --s->depth;
       int level = s->depth;
       if (s->copies.empty()) return;
-      if (Matches(e.text, level)) {
+      if (Matches(e.tag, level)) {
         StreamId closing = s->copies.back();
         s->copies.pop_back();
         if (s->copies.empty()) {
@@ -95,19 +95,19 @@ void DescendantStep::Process(const Event& e, StreamId /*root*/,
           out->push_back(Event::EndMutable(e.id, closing));
           out->push_back(Event::Freeze(closing));
         } else {
-          out->push_back(Event::EndElement(closing, e.text, e.oid));
+          out->push_back(Event::EndElement(closing, e.tag, e.oid));
           out->push_back(
               Event::EndInsertBefore(s->copies.back(), closing));
           out->push_back(Event::Freeze(closing));
           out->push_back(e);
           for (size_t i = 1; i < s->copies.size(); ++i) {
-            out->push_back(Event::EndElement(s->copies[i], e.text, e.oid));
+            out->push_back(Event::EndElement(s->copies[i], e.tag, e.oid));
           }
         }
       } else {
         out->push_back(e);
         for (size_t i = 1; i < s->copies.size(); ++i) {
-          out->push_back(Event::EndElement(s->copies[i], e.text, e.oid));
+          out->push_back(Event::EndElement(s->copies[i], e.tag, e.oid));
         }
       }
       return;

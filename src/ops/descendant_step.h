@@ -23,6 +23,7 @@
 
 #include "core/pipeline.h"
 #include "core/state_transformer.h"
+#include "util/symbol_table.h"
 
 namespace xflux {
 
@@ -33,7 +34,11 @@ namespace xflux {
 class DescendantStep : public StateTransformer {
  public:
   DescendantStep(PipelineContext* context, StreamId input, std::string tag)
-      : context_(context), input_(input), tag_(std::move(tag)) {}
+      : context_(context),
+        input_(input),
+        tag_(std::move(tag)),
+        wildcard_(tag_ == "*"),
+        tag_sym_(wildcard_ ? Symbol() : InternTag(tag_)) {}
 
   std::string Name() const override { return "descendant(" + tag_ + ")"; }
   bool Consumes(StreamId base_id) const override { return base_id == input_; }
@@ -42,11 +47,13 @@ class DescendantStep : public StateTransformer {
                EventVec* out) override;
 
  private:
-  bool Matches(const std::string& tag, int level) const;
+  bool Matches(Symbol tag, int level) const;
 
   PipelineContext* context_;
   StreamId input_;
   std::string tag_;
+  bool wildcard_;
+  Symbol tag_sym_;
 };
 
 }  // namespace xflux

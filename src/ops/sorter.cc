@@ -3,19 +3,28 @@
 #include <bit>
 #include <cstdint>
 #include <cstdlib>
+#include <cstring>
 
 namespace xflux {
 
-std::string EncodeSortKey(const std::string& raw) {
+std::string EncodeSortKey(std::string_view raw) {
   // Empty keys first ("empty least"), then numbers numerically (prefix '0'
   // + order-preserving IEEE bits), then everything else lexicographically
   // (prefix '1').
   if (raw.empty()) return "\x01";
-  const char* begin = raw.c_str();
-  char* end = nullptr;
-  double v = std::strtod(begin, &end);
-  bool numeric = end != begin && *end == '\0';
-  if (!numeric) return "1" + raw;
+  // strtod needs NUL termination; keys longer than the scratch buffer are
+  // never numeric in practice and sort as strings.
+  char scratch[64];
+  bool numeric = false;
+  double v = 0;
+  if (raw.size() < sizeof(scratch)) {
+    std::memcpy(scratch, raw.data(), raw.size());
+    scratch[raw.size()] = '\0';
+    char* end = nullptr;
+    v = std::strtod(scratch, &end);
+    numeric = end != scratch && *end == '\0';
+  }
+  if (!numeric) return "1" + std::string(raw);
   uint64_t bits = std::bit_cast<uint64_t>(v);
   bits = (bits & 0x8000000000000000ULL) ? ~bits : (bits | 0x8000000000000000ULL);
   std::string out = "0";
@@ -50,7 +59,7 @@ Event SortFilter::Rename(Event e, bool inside_tuple) {
   return e;
 }
 
-void SortFilter::Release(const std::string& raw_key) {
+void SortFilter::Release(std::string_view raw_key) {
   std::string key = EncodeSortKey(raw_key);
   // Insert after the last already-placed tuple whose key is <= ours; the
   // anchor region's "" key is below every encoded key.
@@ -61,12 +70,11 @@ void SortFilter::Release(const std::string& raw_key) {
   keys_.emplace(key, region_);
   found_key_ = true;
   Emit(Event::StartInsertAfter(mid_, region_));
-  context()->metrics()->OnUnbuffered(
-      static_cast<int64_t>(queue_.size()),
-      static_cast<int64_t>(queue_.size() * sizeof(Event)));
+  int64_t held = queue_ledger_.Clear();
+  context()->metrics()->OnUnbuffered(static_cast<int64_t>(queue_.size()),
+                                     held);
   if (StageStats* s = stats()) {
-    s->OnUnbuffered(static_cast<int64_t>(queue_.size()),
-                    static_cast<int64_t>(queue_.size() * sizeof(Event)));
+    s->OnUnbuffered(static_cast<int64_t>(queue_.size()), held);
   }
   for (Event& q : queue_) Emit(Rename(std::move(q), /*inside_tuple=*/true));
   queue_.clear();
@@ -82,7 +90,7 @@ void SortFilter::Dispatch(Event e) {
         --kdepth_;
         break;
       case EventKind::kCharacters:
-        if (kdepth_ == 0 && in_tuple_ && !found_key_) Release(e.text);
+        if (kdepth_ == 0 && in_tuple_ && !found_key_) Release(e.chars());
         break;
       default:
         break;
@@ -128,10 +136,10 @@ void SortFilter::Dispatch(Event e) {
       if (found_key_) {
         Emit(Rename(std::move(e), /*inside_tuple=*/true));
       } else {
-        context()->metrics()->OnBuffered(1,
-                                         static_cast<int64_t>(sizeof(Event)));
+        int64_t delta = queue_ledger_.Add(e.text, sizeof(Event));
+        context()->metrics()->OnBuffered(1, delta);
         if (StageStats* s = stats()) {
-          s->OnBuffered(1, static_cast<int64_t>(sizeof(Event)));
+          s->OnBuffered(1, delta);
         }
         queue_.push_back(std::move(e));
       }

@@ -22,9 +22,11 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 
 #include "core/pipeline.h"
+#include "util/buffer_ledger.h"
 
 namespace xflux {
 
@@ -53,7 +55,7 @@ class SortFilter : public Filter {
  private:
   StreamId MapId(StreamId id, bool inside_tuple) const;
   Event Rename(Event e, bool inside_tuple);
-  void Release(const std::string& raw_key);
+  void Release(std::string_view raw_key);
 
   using KeyOrder = std::function<bool(const std::string&, const std::string&)>;
 
@@ -66,6 +68,7 @@ class SortFilter : public Filter {
   // key in that order.
   std::multimap<std::string, StreamId, KeyOrder> keys_;
   EventVec queue_;  // suspended events of the current tuple
+  BufferLedger queue_ledger_;  // bytes held by queue_, shared payloads once
   bool in_tuple_ = false;
   bool found_key_ = false;
   StreamId region_ = 0;  // current tuple's insert-after region
@@ -79,7 +82,7 @@ class SortFilter : public Filter {
 /// Encodes a sort key so that lexicographic byte order matches numeric
 /// order for numbers and string order otherwise (empty keys first, then
 /// numbers, then strings).  Exposed for testing.
-std::string EncodeSortKey(const std::string& raw);
+std::string EncodeSortKey(std::string_view raw);
 
 }  // namespace xflux
 

@@ -83,11 +83,11 @@ void TextCompare::Process(const Event& e, StreamId /*root*/,
     case EventKind::kCharacters:
       if (s->depth == 0) {
         // A bare text item is compared directly.
-        s->value = e.text;
+        s->value = std::string(e.chars());
         s->mutable_contrib = !context_->fix()->IsEffectivelyImmutable(e.id);
         EmitVerdict(e, state, out);
       } else {
-        s->value += e.text;
+        s->value += e.chars();
         if (!context_->fix()->IsEffectivelyImmutable(e.id)) {
           s->mutable_contrib = true;
         }
@@ -188,7 +188,7 @@ void StringValue::Process(const Event& e, StreamId /*root*/,
       if (s->depth == 0) {
         out->push_back(e);
       } else {
-        s->value += e.text;
+        s->value += e.chars();
       }
       return;
     default:

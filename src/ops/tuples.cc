@@ -90,25 +90,25 @@ void ElementConstruct::Process(const Event& e, StreamId /*root*/,
       // sS/eS; the wrapper opens once and closes once.
       if (scope_ == ConstructScope::kWholeStream && !s->opened) {
         s->opened = true;
-        out->push_back(Event::StartElement(e.id, tag_));
+        out->push_back(Event::StartElement(e.id, tag_sym_));
       }
       return;
     case EventKind::kEndStream:
       if (scope_ == ConstructScope::kWholeStream && !s->closed) {
         s->closed = true;
-        out->push_back(Event::EndElement(e.id, tag_));
+        out->push_back(Event::EndElement(e.id, tag_sym_));
       }
       out->push_back(e);
       return;
     case EventKind::kStartTuple:
       out->push_back(e);
       if (scope_ == ConstructScope::kPerTuple) {
-        out->push_back(Event::StartElement(e.id, tag_));
+        out->push_back(Event::StartElement(e.id, tag_sym_));
       }
       return;
     case EventKind::kEndTuple:
       if (scope_ == ConstructScope::kPerTuple) {
-        out->push_back(Event::EndElement(e.id, tag_));
+        out->push_back(Event::EndElement(e.id, tag_sym_));
       }
       out->push_back(e);
       return;
@@ -131,7 +131,7 @@ void TextLiteral::Process(const Event& e, StreamId /*root*/,
     case EventKind::kStartStream:
       out->push_back(e);
       if (scope_ == ConstructScope::kWholeStream) {
-        out->push_back(Event::Characters(e.id, text_));
+        out->push_back(Event::Characters(e.id, text_ref_));
       }
       return;
     case EventKind::kEndStream:
@@ -140,7 +140,7 @@ void TextLiteral::Process(const Event& e, StreamId /*root*/,
     case EventKind::kStartTuple:
       out->push_back(e);
       if (scope_ == ConstructScope::kPerTuple) {
-        out->push_back(Event::Characters(e.id, text_));
+        out->push_back(Event::Characters(e.id, text_ref_));
       }
       return;
     case EventKind::kEndTuple:

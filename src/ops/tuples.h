@@ -14,6 +14,8 @@
 
 #include "core/pipeline.h"
 #include "core/state_transformer.h"
+#include "util/symbol_table.h"
+#include "util/text_ref.h"
 
 namespace xflux {
 
@@ -64,7 +66,10 @@ class ElementConstruct : public StateTransformer {
  public:
   ElementConstruct(std::vector<StreamId> inputs, std::string tag,
                    ConstructScope scope)
-      : inputs_(std::move(inputs)), tag_(std::move(tag)), scope_(scope) {}
+      : inputs_(std::move(inputs)),
+        tag_(std::move(tag)),
+        tag_sym_(InternTag(tag_)),
+        scope_(scope) {}
 
   std::string Name() const override { return "<" + tag_ + ">{...}"; }
   bool Consumes(StreamId base_id) const override {
@@ -78,6 +83,7 @@ class ElementConstruct : public StateTransformer {
  private:
   std::vector<StreamId> inputs_;
   std::string tag_;
+  Symbol tag_sym_;
   ConstructScope scope_;
 };
 
@@ -86,7 +92,10 @@ class ElementConstruct : public StateTransformer {
 class TextLiteral : public StateTransformer {
  public:
   TextLiteral(StreamId input, std::string text, ConstructScope scope)
-      : input_(input), text_(std::move(text)), scope_(scope) {}
+      : input_(input),
+        text_(std::move(text)),
+        text_ref_(TextRef::Copy(text_)),
+        scope_(scope) {}
 
   std::string Name() const override { return "literal"; }
   bool Consumes(StreamId base_id) const override { return base_id == input_; }
@@ -97,6 +106,7 @@ class TextLiteral : public StateTransformer {
  private:
   StreamId input_;
   std::string text_;
+  TextRef text_ref_;  // shared payload, refcount-bumped per emission
   ConstructScope scope_;
 };
 

@@ -32,6 +32,7 @@ StatusOr<std::unique_ptr<SpexEngine>> SpexEngine::Compile(
     }
     if (i < xpath.size() && xpath[i] == '*') {
       step.name = "*";
+      step.wildcard = true;
       ++i;
     } else {
       size_t start = i;
@@ -41,6 +42,7 @@ StatusOr<std::unique_ptr<SpexEngine>> SpexEngine::Compile(
                                   std::to_string(i));
       }
       step.name = std::string(xpath.substr(start, i - start));
+      step.name_sym = InternTag(step.name);
     }
     while (i < xpath.size() && xpath[i] == '[') {
       ++i;
@@ -51,6 +53,7 @@ StatusOr<std::unique_ptr<SpexEngine>> SpexEngine::Compile(
         return Status::ParseError("expected a predicate child name");
       }
       pred.child = std::string(xpath.substr(start, i - start));
+      pred.child_sym = InternTag(pred.child);
       if (i < xpath.size() && xpath[i] == '=') {
         ++i;
         if (i >= xpath.size() || xpath[i] != '"') {
@@ -78,9 +81,9 @@ StatusOr<std::unique_ptr<SpexEngine>> SpexEngine::Compile(
   return std::unique_ptr<SpexEngine>(new SpexEngine(std::move(steps), out));
 }
 
-bool SpexEngine::NameMatches(const Step& step, const std::string& tag) const {
-  if (step.name == "*") return tag.empty() || tag[0] != '@';
-  return step.name == tag;
+bool SpexEngine::NameMatches(const Step& step, Symbol tag) const {
+  if (step.wildcard) return !SymbolTable::Global().IsAttribute(tag);
+  return step.name_sym == tag;
 }
 
 void SpexEngine::EmitOut(const Event& e) {
@@ -113,7 +116,7 @@ void SpexEngine::Accept(Event e) {
           if (cand.depth != static_cast<int>(stack_.size())) continue;
           for (size_t pi = 0; pi < steps_[cand.step].predicates.size();
                ++pi) {
-            if (steps_[cand.step].predicates[pi].child == e.text) {
+            if (steps_[cand.step].predicates[pi].child_sym == e.tag) {
               capture_targets_.emplace_back(ci, pi);
               frame.pred_capture = 1;
             }
@@ -126,7 +129,7 @@ void SpexEngine::Accept(Event e) {
         ++transitions_;
         const Step& step = steps_[p];
         if (step.descendant) frame.active.push_back(p);
-        if (!NameMatches(step, e.text)) continue;
+        if (!NameMatches(step, e.tag)) continue;
         frame.matched.push_back(p);
         if (p + 1 == steps_.size()) {
           // A result node: stream its subtree (deduplicated when nested
@@ -203,7 +206,7 @@ void SpexEngine::Accept(Event e) {
     }
 
     case EventKind::kCharacters:
-      if (!capture_targets_.empty()) capture_text_ += e.text;
+      if (!capture_targets_.empty()) capture_text_ += e.chars();
       if (output_depth_ > 0) EmitOut(e);
       return;
 

@@ -25,6 +25,7 @@
 #include "core/event.h"
 #include "core/event_sink.h"
 #include "util/status.h"
+#include "util/symbol_table.h"
 
 namespace xflux {
 
@@ -47,12 +48,15 @@ class SpexEngine : public EventSink {
  private:
   struct Predicate {
     std::string child;
+    Symbol child_sym;  // interned at compile time
     std::string literal;
     bool has_literal = false;
   };
   struct Step {
     bool descendant = false;
-    std::string name;  // "*" matches any element
+    std::string name;   // "*" matches any element
+    bool wildcard = false;
+    Symbol name_sym;    // interned at compile time (unset for "*")
     std::vector<Predicate> predicates;
   };
 
@@ -75,7 +79,7 @@ class SpexEngine : public EventSink {
   SpexEngine(std::vector<Step> steps, EventSink* out)
       : steps_(std::move(steps)), out_(out) {}
 
-  bool NameMatches(const Step& step, const std::string& tag) const;
+  bool NameMatches(const Step& step, Symbol tag) const;
   void EmitOut(const Event& e);
 
   std::vector<Step> steps_;

@@ -1,0 +1,70 @@
+// Buffered-bytes accounting for shared payloads.
+//
+// With TextRef, ten buffered copies of one cD event hold one text buffer,
+// so charging payload bytes per copy would overstate memory by 10x.  The
+// ledger pins the accounting rule: a holder charges its own fixed item
+// bytes (sizeof(Event)) per copy, and each distinct text buffer's bytes
+// exactly once — on the first copy in, and credited back when the last
+// copy leaves.  Stages that report StageStats::buffered_bytes for event
+// queues route their OnBuffered/OnUnbuffered deltas through a ledger.
+
+#ifndef XFLUX_UTIL_BUFFER_LEDGER_H_
+#define XFLUX_UTIL_BUFFER_LEDGER_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "util/text_ref.h"
+
+namespace xflux {
+
+/// Tracks the bytes held by one buffering site.  Add/Remove return the
+/// byte delta to report to StageStats (payload bytes appear only in the
+/// delta of the first add / last remove of each distinct buffer).
+class BufferLedger {
+ public:
+  /// Accounts one buffered item of `item_bytes` plus its payload.
+  int64_t Add(const TextRef& text, size_t item_bytes) {
+    int64_t delta = static_cast<int64_t>(item_bytes);
+    if (!text.empty() && ++holders_[text.buffer_id()] == 1) {
+      delta += static_cast<int64_t>(text.size());
+    }
+    bytes_ += delta;
+    return delta;
+  }
+
+  /// Reverses one Add of the same item.  Returns the (positive) bytes
+  /// released.
+  int64_t Remove(const TextRef& text, size_t item_bytes) {
+    int64_t delta = static_cast<int64_t>(item_bytes);
+    if (!text.empty()) {
+      auto it = holders_.find(text.buffer_id());
+      if (it != holders_.end() && --it->second == 0) {
+        holders_.erase(it);
+        delta += static_cast<int64_t>(text.size());
+      }
+    }
+    bytes_ -= delta;
+    return delta;
+  }
+
+  /// Drops everything; returns the bytes that were held.
+  int64_t Clear() {
+    int64_t held = bytes_;
+    holders_.clear();
+    bytes_ = 0;
+    return held;
+  }
+
+  /// Bytes currently accounted (items + each distinct payload once).
+  int64_t bytes() const { return bytes_; }
+
+ private:
+  // Buffer identity -> number of buffered items referencing it.
+  std::unordered_map<const void*, int64_t> holders_;
+  int64_t bytes_ = 0;
+};
+
+}  // namespace xflux
+
+#endif  // XFLUX_UTIL_BUFFER_LEDGER_H_

@@ -1,0 +1,43 @@
+#include "util/symbol_table.h"
+
+namespace xflux {
+
+SymbolTable& SymbolTable::Global() {
+  static SymbolTable* table = new SymbolTable();
+  return *table;
+}
+
+SymbolTable::SymbolTable() {
+  entries_.push_back(Entry{std::string(), false});
+  index_.emplace(std::string_view(entries_.back().spelling), 0);
+}
+
+Symbol SymbolTable::Intern(std::string_view spelling) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(spelling);
+  if (it != index_.end()) return Symbol(it->second);
+  uint32_t value = static_cast<uint32_t>(entries_.size());
+  entries_.push_back(
+      Entry{std::string(spelling), !spelling.empty() && spelling[0] == '@'});
+  index_.emplace(std::string_view(entries_.back().spelling), value);
+  return Symbol(value);
+}
+
+std::string_view SymbolTable::Spelling(Symbol symbol) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (symbol.value() >= entries_.size()) return {};
+  return entries_[symbol.value()].spelling;
+}
+
+bool SymbolTable::IsAttribute(Symbol symbol) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (symbol.value() >= entries_.size()) return false;
+  return entries_[symbol.value()].attribute;
+}
+
+size_t SymbolTable::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace xflux

@@ -1,0 +1,98 @@
+// Interned element tag names.
+//
+// Every sE/eE event carries its tag as a Symbol — a small integer handle
+// into the process-wide SymbolTable — so tag comparison in the path steps
+// is an integer compare and Event needs no string member for tags.
+// Attributes keep the tokenizer's convention of a '@'-prefixed spelling
+// ("@id"); IsAttribute() tests that prefix without touching the string on
+// the hot path's behalf.
+//
+// The table is append-only: spellings are never removed, handles are never
+// reused, and the spelling storage is stable (a deque of strings), so a
+// string_view returned by Spelling() stays valid for the process lifetime.
+
+#ifndef XFLUX_UTIL_SYMBOL_TABLE_H_
+#define XFLUX_UTIL_SYMBOL_TABLE_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace xflux {
+
+/// An interned tag name.  Value 0 is the empty spelling "" (the default
+/// for events without a tag).  Equality of symbols is equality of
+/// spellings — the table never hands out two handles for one spelling.
+class Symbol {
+ public:
+  constexpr Symbol() = default;
+
+  uint32_t value() const { return value_; }
+  bool empty() const { return value_ == 0; }
+
+  friend constexpr bool operator==(Symbol a, Symbol b) {
+    return a.value_ == b.value_;
+  }
+  friend constexpr bool operator!=(Symbol a, Symbol b) {
+    return a.value_ != b.value_;
+  }
+  friend constexpr bool operator<(Symbol a, Symbol b) {
+    return a.value_ < b.value_;
+  }
+
+ private:
+  friend class SymbolTable;
+  explicit constexpr Symbol(uint32_t value) : value_(value) {}
+
+  uint32_t value_ = 0;
+};
+
+/// The process-wide intern table.  Intern() is thread-safe; Spelling() and
+/// IsAttribute() are lock-free reads of immutable entries.
+class SymbolTable {
+ public:
+  static SymbolTable& Global();
+
+  /// Returns the (unique) handle for `spelling`, interning it on first use.
+  Symbol Intern(std::string_view spelling);
+
+  /// The spelling behind a handle; valid for the process lifetime.
+  std::string_view Spelling(Symbol symbol) const;
+
+  /// True when the spelling starts with '@' — the tokenizer's encoding of
+  /// attributes as child elements.
+  bool IsAttribute(Symbol symbol) const;
+
+  /// Number of interned spellings (including the implicit empty one).
+  size_t size() const;
+
+ private:
+  SymbolTable();
+
+  struct Entry {
+    std::string spelling;
+    bool attribute = false;
+  };
+
+  mutable std::mutex mutex_;
+  // Deque: stable addresses, so index_ keys and Spelling() views survive
+  // growth.  Entry 0 is "".
+  std::deque<Entry> entries_;
+  std::unordered_map<std::string_view, uint32_t> index_;
+};
+
+/// Shorthands for the global table.
+inline Symbol InternTag(std::string_view spelling) {
+  return SymbolTable::Global().Intern(spelling);
+}
+inline std::string_view TagSpelling(Symbol symbol) {
+  return SymbolTable::Global().Spelling(symbol);
+}
+
+}  // namespace xflux
+
+#endif  // XFLUX_UTIL_SYMBOL_TABLE_H_

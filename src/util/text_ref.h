@@ -1,0 +1,108 @@
+// Shared immutable character-data payloads.
+//
+// A cD event's text lives in one heap buffer, refcounted intrusively; a
+// TextRef is a single pointer, so copying an event through wrapper state
+// maps, shadow snapshots, and RegionDocument is a refcount bump instead of
+// a string allocation.  Buffers are immutable after construction and
+// NUL-terminated (c_str() feeds strtod in the aggregates without a copy).
+
+#ifndef XFLUX_UTIL_TEXT_REF_H_
+#define XFLUX_UTIL_TEXT_REF_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <string_view>
+#include <utility>
+
+namespace xflux {
+
+/// A refcounted immutable text buffer.  Empty text is represented as a
+/// null rep (no allocation, no refcount traffic).
+class TextRef {
+ public:
+  TextRef() = default;
+
+  TextRef(const TextRef& other) : rep_(other.rep_) {
+    if (rep_ != nullptr) rep_->refs.fetch_add(1, std::memory_order_relaxed);
+  }
+  TextRef(TextRef&& other) noexcept : rep_(other.rep_) {
+    other.rep_ = nullptr;
+  }
+  TextRef& operator=(TextRef other) noexcept {
+    std::swap(rep_, other.rep_);
+    return *this;
+  }
+  ~TextRef() { Release(); }
+
+  /// Allocates one buffer holding a copy of `chars`.  Empty input yields
+  /// the allocation-free empty ref.
+  static TextRef Copy(std::string_view chars);
+
+  std::string_view view() const {
+    return rep_ == nullptr ? std::string_view()
+                           : std::string_view(data(), rep_->size);
+  }
+  /// NUL-terminated; the empty ref returns a static "".
+  const char* c_str() const { return rep_ == nullptr ? "" : data(); }
+
+  size_t size() const { return rep_ == nullptr ? 0 : rep_->size; }
+  bool empty() const { return rep_ == nullptr || rep_->size == 0; }
+
+  /// Number of TextRefs sharing this buffer (0 for the empty ref).
+  uint32_t use_count() const {
+    return rep_ == nullptr ? 0 : rep_->refs.load(std::memory_order_relaxed);
+  }
+
+  /// Buffer identity — equal means physically shared storage.  Used by the
+  /// aliasing tests and the buffered-bytes ledger; null for the empty ref.
+  const void* buffer_id() const { return rep_; }
+
+  friend bool operator==(const TextRef& a, const TextRef& b) {
+    return a.rep_ == b.rep_ || a.view() == b.view();
+  }
+  friend bool operator!=(const TextRef& a, const TextRef& b) {
+    return !(a == b);
+  }
+
+ private:
+  struct Rep {
+    std::atomic<uint32_t> refs;
+    uint32_t size;
+    // Followed in the same allocation by `size` chars and a NUL.
+  };
+
+  explicit TextRef(Rep* rep) : rep_(rep) {}
+
+  const char* data() const {
+    return reinterpret_cast<const char*>(rep_) + sizeof(Rep);
+  }
+
+  void Release() {
+    if (rep_ != nullptr &&
+        rep_->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      rep_->~Rep();
+      ::operator delete(rep_);
+    }
+    rep_ = nullptr;
+  }
+
+  Rep* rep_ = nullptr;
+};
+
+inline TextRef TextRef::Copy(std::string_view chars) {
+  if (chars.empty()) return TextRef();
+  void* mem = ::operator new(sizeof(Rep) + chars.size() + 1);
+  Rep* rep = new (mem) Rep{std::atomic<uint32_t>(1),
+                           static_cast<uint32_t>(chars.size())};
+  char* data = reinterpret_cast<char*>(mem) + sizeof(Rep);
+  std::memcpy(data, chars.data(), chars.size());
+  data[chars.size()] = '\0';
+  return TextRef(rep);
+}
+
+}  // namespace xflux
+
+#endif  // XFLUX_UTIL_TEXT_REF_H_

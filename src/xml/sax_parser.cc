@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cctype>
+#include <utility>
 
+#include "util/text_ref.h"
 #include "xml/escape.h"
 
 namespace xflux {
@@ -24,11 +26,26 @@ bool AllWhitespace(std::string_view s) {
 }  // namespace
 
 SaxParser::SaxParser(const Options& options, EventSink* sink)
-    : options_(options), sink_(sink), next_oid_(options.first_oid) {}
+    : options_(options), sink_(sink), next_oid_(options.first_oid) {
+  if (options_.batch_size > 0) batch_.reserve(options_.batch_size);
+}
 
 void SaxParser::Emit(Event e) {
   ++events_emitted_;
-  sink_->Accept(std::move(e));
+  if (options_.batch_size == 0) {
+    sink_->Accept(std::move(e));
+    return;
+  }
+  batch_.push_back(std::move(e));
+  if (batch_.size() >= options_.batch_size) FlushBatch();
+}
+
+void SaxParser::FlushBatch() {
+  if (batch_.empty()) return;
+  EventBatch out;
+  out.reserve(options_.batch_size);
+  out.swap(batch_);
+  sink_->AcceptBatch(std::move(out));
 }
 
 Status SaxParser::Feed(std::string_view chunk) {
@@ -46,30 +63,39 @@ Status SaxParser::Feed(std::string_view chunk) {
     pos_ = 0;
   }
   buffer_.append(chunk);
-  return Consume();
+  Status status = Consume();
+  // Completed events must reach the sink before Feed returns, error or not
+  // (callers observe the display between chunks).
+  FlushBatch();
+  return status;
 }
 
 Status SaxParser::Finish() {
   if (finished_) return Status::OK();
   finished_ = true;
-  if (pos_ < buffer_.size()) {
-    // Leftover input that never completed a token.
-    std::string_view rest(buffer_.data() + pos_, buffer_.size() - pos_);
-    if (rest.find('<') != std::string_view::npos) {
-      return Status::ParseError("unterminated markup at end of document");
+  Status status = [&]() -> Status {
+    if (pos_ < buffer_.size()) {
+      // Leftover input that never completed a token.
+      std::string_view rest(buffer_.data() + pos_, buffer_.size() - pos_);
+      if (rest.find('<') != std::string_view::npos) {
+        return Status::ParseError("unterminated markup at end of document");
+      }
+      pending_text_.append(rest);
     }
-    pending_text_.append(rest);
-  }
-  XFLUX_RETURN_IF_ERROR(FlushText());
-  if (!open_elements_.empty()) {
-    return Status::ParseError("unclosed element <" +
-                              open_elements_.back().first +
-                              "> at end of document");
-  }
-  if (options_.emit_stream_brackets) {
-    Emit(Event::EndStream(options_.stream_id));
-  }
-  return Status::OK();
+    XFLUX_RETURN_IF_ERROR(FlushText());
+    if (!open_elements_.empty()) {
+      return Status::ParseError(
+          "unclosed element <" +
+          std::string(TagSpelling(open_elements_.back().tag)) +
+          "> at end of document");
+    }
+    if (options_.emit_stream_brackets) {
+      Emit(Event::EndStream(options_.stream_id));
+    }
+    return Status::OK();
+  }();
+  FlushBatch();
+  return status;
 }
 
 Status SaxParser::FlushText() {
@@ -77,16 +103,23 @@ Status SaxParser::FlushText() {
   std::string raw;
   raw.swap(pending_text_);
   if (!options_.keep_whitespace && AllWhitespace(raw)) return Status::OK();
-  auto decoded = DecodeEntities(raw);
-  if (!decoded.ok()) return decoded.status();
+  // Entity-free text (the common case) goes straight into a shared buffer.
+  std::string_view chars = raw;
+  std::string decoded;
+  if (raw.find('&') != std::string::npos) {
+    auto status = DecodeEntities(raw);
+    if (!status.ok()) return status.status();
+    decoded = std::move(status).value();
+    chars = decoded;
+  }
   if (open_elements_.empty()) {
     // Text outside the document element: only whitespace is legal.
-    if (!AllWhitespace(decoded.value())) {
+    if (!AllWhitespace(chars)) {
       return Status::ParseError("character data outside document element");
     }
     return Status::OK();
   }
-  Emit(Event::Characters(options_.stream_id, std::move(decoded).value()));
+  Emit(Event::Characters(options_.stream_id, TextRef::Copy(chars)));
   return Status::OK();
 }
 
@@ -124,15 +157,13 @@ StatusOr<bool> SaxParser::ConsumeMarkup() {
   if (buf.rfind("<![CDATA[", 0) == 0) {
     size_t end = buf.find("]]>", 9);
     if (end == std::string_view::npos) return false;
-    // CDATA bytes bypass entity decoding: escape them so the later decode
-    // round-trips the literal content.
     XFLUX_RETURN_IF_ERROR(FlushText());
-    std::string literal(buf.substr(9, end - 9));
+    std::string_view literal = buf.substr(9, end - 9);
     if (open_elements_.empty() && !AllWhitespace(literal)) {
       return Status::ParseError("character data outside document element");
     }
     if (!open_elements_.empty()) {
-      Emit(Event::Characters(options_.stream_id, std::move(literal)));
+      Emit(Event::Characters(options_.stream_id, TextRef::Copy(literal)));
     }
     pos_ += end + 3;
     return true;
@@ -169,13 +200,15 @@ StatusOr<bool> SaxParser::ConsumeMarkup() {
       return Status::ParseError("unmatched end tag </" + std::string(name) +
                                 ">");
     }
-    if (open_elements_.back().first != name) {
+    // The end tag reuses the matching start tag's symbol: one spelling
+    // compare, no intern lookup.
+    const OpenElement& open = open_elements_.back();
+    if (TagSpelling(open.tag) != name) {
       return Status::ParseError("mismatched end tag </" + std::string(name) +
                                 ">, expected </" +
-                                open_elements_.back().first + ">");
+                                std::string(TagSpelling(open.tag)) + ">");
     }
-    Emit(Event::EndElement(options_.stream_id, std::string(name),
-                           open_elements_.back().second));
+    Emit(Event::EndElement(options_.stream_id, open.tag, open.oid));
     open_elements_.pop_back();
     pos_ += end + 1;
     return true;
@@ -214,49 +247,59 @@ Status SaxParser::EmitStartTag(std::string_view body) {
   size_t i = 0;
   while (i < body.size() && IsNameChar(body[i])) ++i;
   if (i == 0) return Status::ParseError("empty tag name");
-  std::string name(body.substr(0, i));
+  std::string_view name = body.substr(0, i);
+  Symbol tag = InternTag(name);
 
   Oid oid = next_oid_++;
-  Emit(Event::StartElement(options_.stream_id, name, oid));
+  Emit(Event::StartElement(options_.stream_id, tag, oid));
 
   // Attributes, tokenized as '@name' child elements.
+  std::string attr_tag;
   while (i < body.size()) {
     while (i < body.size() && IsSpace(body[i])) ++i;
     if (i >= body.size()) break;
     size_t ns = i;
     while (i < body.size() && IsNameChar(body[i])) ++i;
-    if (i == ns) return Status::ParseError("bad attribute in <" + name + ">");
-    std::string attr(body.substr(ns, i - ns));
+    if (i == ns) {
+      return Status::ParseError("bad attribute in <" + std::string(name) +
+                                ">");
+    }
+    std::string_view attr = body.substr(ns, i - ns);
     while (i < body.size() && IsSpace(body[i])) ++i;
     if (i >= body.size() || body[i] != '=') {
-      return Status::ParseError("attribute '" + attr + "' missing '='");
+      return Status::ParseError("attribute '" + std::string(attr) +
+                                "' missing '='");
     }
     ++i;
     while (i < body.size() && IsSpace(body[i])) ++i;
     if (i >= body.size() || (body[i] != '"' && body[i] != '\'')) {
-      return Status::ParseError("attribute '" + attr + "' missing quote");
+      return Status::ParseError("attribute '" + std::string(attr) +
+                                "' missing quote");
     }
     char quote = body[i++];
     size_t vs = i;
     while (i < body.size() && body[i] != quote) ++i;
     if (i >= body.size()) {
-      return Status::ParseError("unterminated attribute value in <" + name +
-                                ">");
+      return Status::ParseError("unterminated attribute value in <" +
+                                std::string(name) + ">");
     }
     auto value = DecodeEntities(body.substr(vs, i - vs));
     if (!value.ok()) return value.status();
     ++i;  // closing quote
 
+    attr_tag.assign(1, '@');
+    attr_tag.append(attr);
+    Symbol attr_sym = InternTag(attr_tag);
     Oid attr_oid = next_oid_++;
-    Emit(Event::StartElement(options_.stream_id, "@" + attr, attr_oid));
-    Emit(Event::Characters(options_.stream_id, std::move(value).value()));
-    Emit(Event::EndElement(options_.stream_id, "@" + attr, attr_oid));
+    Emit(Event::StartElement(options_.stream_id, attr_sym, attr_oid));
+    Emit(Event::Characters(options_.stream_id, TextRef::Copy(value.value())));
+    Emit(Event::EndElement(options_.stream_id, attr_sym, attr_oid));
   }
 
   if (self_closing) {
-    Emit(Event::EndElement(options_.stream_id, name, oid));
+    Emit(Event::EndElement(options_.stream_id, tag, oid));
   } else {
-    open_elements_.emplace_back(std::move(name), oid);
+    open_elements_.push_back(OpenElement{tag, oid});
   }
   return Status::OK();
 }

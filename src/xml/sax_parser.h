@@ -5,6 +5,11 @@
 // XFlux.  Attributes are tokenized as child elements whose tag begins with
 // '@' (so XPath attribute steps are ordinary child steps); the serializer
 // reverses the encoding.
+//
+// Tags are interned into the global SymbolTable as they are parsed, and
+// completed events are handed to the sink in EventBatch runs (one virtual
+// call per Options::batch_size events) — the producing end of the batched
+// data plane.
 
 #ifndef XFLUX_XML_SAX_PARSER_H_
 #define XFLUX_XML_SAX_PARSER_H_
@@ -16,12 +21,14 @@
 #include "core/event.h"
 #include "core/event_sink.h"
 #include "util/status.h"
+#include "util/symbol_table.h"
 
 namespace xflux {
 
 /// Incremental SAX-style tokenizer.  Feed() may be called with arbitrary
-/// chunk boundaries; events are pushed to the sink as soon as they are
-/// complete.  Finish() must be called once at end of input.
+/// chunk boundaries; events are pushed to the sink no later than the end of
+/// the Feed() call that completes them.  Finish() must be called once at
+/// end of input.
 class SaxParser {
  public:
   struct Options {
@@ -34,6 +41,10 @@ class SaxParser {
     bool keep_whitespace = false;
     /// First OID to assign; element OIDs increase in document order.
     Oid first_oid = 1;
+    /// Events accumulated before one AcceptBatch call to the sink.  0
+    /// disables batching (every event goes through sink->Accept singly);
+    /// any pending run is always flushed at the end of Feed()/Finish().
+    size_t batch_size = 64;
   };
 
   SaxParser(const Options& options, EventSink* sink);
@@ -58,6 +69,11 @@ class SaxParser {
   }
 
  private:
+  struct OpenElement {
+    Symbol tag;
+    Oid oid;
+  };
+
   // Consumes as many complete tokens from buffer_ as possible.
   Status Consume();
   // Handles the markup starting at buffer_[pos_] == '<'.  Returns true if a
@@ -67,13 +83,16 @@ class SaxParser {
   Status EmitStartTag(std::string_view body);
   Status FlushText();
   void Emit(Event e);
+  // Hands any accumulated batch to the sink.
+  void FlushBatch();
 
   Options options_;
   EventSink* sink_;
   std::string buffer_;
   size_t pos_ = 0;
   std::string pending_text_;  // raw (undecoded) character data
-  std::vector<std::pair<std::string, Oid>> open_elements_;
+  std::vector<OpenElement> open_elements_;
+  EventBatch batch_;
   Oid next_oid_;
   uint64_t events_emitted_ = 0;
   bool started_ = false;

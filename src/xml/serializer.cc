@@ -31,19 +31,19 @@ void XmlSerializer::Accept(Event event) {
         status_ = Status::InvalidArgument("element inside attribute value");
         return;
       }
-      if (!event.text.empty() && event.text[0] == '@') {
+      if (event.HasAttributeTag()) {
         // Inside a start tag this is an attribute; selected standalone (an
         // XPath attribute step result) it renders as its string value.
         in_attribute_ = true;
         detached_attribute_ = !tag_open_;
-        attribute_name_ = event.text.substr(1);
+        attribute_name_ = event.tag_name().substr(1);
         attribute_value_.clear();
         return;
       }
       CloseOpenTag();
       Indent();
       out_ += '<';
-      out_ += event.text;
+      out_ += event.tag_name();
       tag_open_ = true;
       if (!had_child_elements_.empty()) had_child_elements_.back() = true;
       had_child_elements_.push_back(false);
@@ -74,7 +74,7 @@ void XmlSerializer::Accept(Event event) {
           Indent();
         }
         out_ += "</";
-        out_ += event.text;
+        out_ += event.tag_name();
         out_ += '>';
       }
       if (!had_child_elements_.empty()) had_child_elements_.pop_back();
@@ -82,11 +82,11 @@ void XmlSerializer::Accept(Event event) {
 
     case EventKind::kCharacters:
       if (in_attribute_) {
-        attribute_value_ += event.text;
+        attribute_value_ += event.chars();
         return;
       }
       CloseOpenTag();
-      out_ += EscapeText(event.text);
+      out_ += EscapeText(event.chars());
       return;
 
     default:

@@ -21,6 +21,9 @@ class PipelineSource : public EventSink {
  public:
   explicit PipelineSource(Pipeline* pipeline) : pipeline_(pipeline) {}
   void Accept(Event event) override { pipeline_->Push(std::move(event)); }
+  void AcceptBatch(EventBatch batch) override {
+    pipeline_->PushBatch(std::move(batch));
+  }
 
  private:
   Pipeline* pipeline_;

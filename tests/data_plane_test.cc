@@ -1,0 +1,265 @@
+// The compact event data plane: struct layout, TextRef sharing semantics,
+// the buffered-bytes accounting rule, and the batch-vs-single-event
+// equivalence property for the whole engine.
+
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/region_document.h"
+#include "core/trace_sink.h"
+#include "data/generators.h"
+#include "tests/test_util.h"
+#include "util/buffer_ledger.h"
+#include "util/text_ref.h"
+#include "xml/sax_parser.h"
+#include "xquery/engine.h"
+
+namespace xflux {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Event layout
+
+TEST(EventLayoutTest, EventIsCompact) {
+  // The old representation carried a std::string (56 bytes total on
+  // libstdc++); the compact plane must stay strictly smaller.  The
+  // static_assert in event.h pins <= 32; this keeps the intent visible in
+  // the test log too.
+  EXPECT_LE(sizeof(Event), 32u);
+  EXPECT_LT(sizeof(Event), 56u);
+  static_assert(!std::is_same_v<decltype(Event::text), std::string>,
+                "Event must not carry a std::string payload");
+  EXPECT_TRUE((std::is_same_v<decltype(Event::tag), Symbol>));
+  EXPECT_TRUE((std::is_same_v<decltype(Event::text), TextRef>));
+}
+
+TEST(EventLayoutTest, ToStringResolvesTagSpellings) {
+  Event e = Event::StartElement(3, "dp_widget", 9);
+  EXPECT_EQ(e.ToString(), "sE(3,\"dp_widget\")");
+  Event c = Event::Characters(1, "hello");
+  EXPECT_EQ(c.ToString(), "cD(1,\"hello\")");
+}
+
+TEST(EventLayoutTest, EqualityComparesTagAndTextContent) {
+  Event a = Event::StartElement(0, "dp_tag", 5);
+  Event b = Event::StartElement(0, "dp_tag", 5);
+  EXPECT_EQ(a, b);
+  // Same chars, different buffers: still equal by content.
+  Event c1 = Event::Characters(0, "shared text");
+  Event c2 = Event::Characters(0, "shared text");
+  EXPECT_NE(c1.text.buffer_id(), c2.text.buffer_id());
+  EXPECT_EQ(c1, c2);
+  EXPECT_NE(c1, Event::Characters(0, "other text"));
+}
+
+// ---------------------------------------------------------------------------
+// TextRef
+
+TEST(TextRefTest, CopiesShareOneBuffer) {
+  TextRef a = TextRef::Copy("payload");
+  TextRef b = a;
+  EXPECT_EQ(a.buffer_id(), b.buffer_id());
+  EXPECT_EQ(a.use_count(), 2u);
+  EXPECT_EQ(b.view(), "payload");
+  {
+    TextRef c = b;
+    EXPECT_EQ(a.use_count(), 3u);
+  }
+  EXPECT_EQ(a.use_count(), 2u);
+}
+
+TEST(TextRefTest, EmptyRefNeverAllocates) {
+  TextRef empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.buffer_id(), nullptr);
+  EXPECT_EQ(TextRef::Copy("").buffer_id(), nullptr);
+  EXPECT_STREQ(empty.c_str(), "");
+}
+
+TEST(TextRefTest, CStrIsNulTerminated) {
+  TextRef t = TextRef::Copy("12.5");
+  EXPECT_STREQ(t.c_str(), "12.5");
+  EXPECT_EQ(t.size(), 4u);
+}
+
+TEST(TextRefTest, AliasingSurvivesMaterialize) {
+  // A cD payload must flow through RegionDocument (buffering, replacement
+  // splicing, rendering) by reference, not by copy: the materialized
+  // output's event shares the input's buffer.
+  TextRef payload = TextRef::Copy("shared through the document");
+  EventVec stream;
+  stream.push_back(Event::StartStream(0));
+  stream.push_back(Event::StartElement(0, "dp_doc", 1));
+  stream.push_back(Event::Characters(0, payload));
+  stream.push_back(Event::EndElement(0, "dp_doc", 1));
+  stream.push_back(Event::EndStream(0));
+
+  auto materialized = Materialize(stream);
+  ASSERT_TRUE(materialized.ok()) << materialized.status();
+  bool found = false;
+  for (const Event& e : materialized.value()) {
+    if (e.kind != EventKind::kCharacters) continue;
+    found = true;
+    EXPECT_EQ(e.text.buffer_id(), payload.buffer_id())
+        << "materialization copied the payload instead of sharing it";
+  }
+  EXPECT_TRUE(found);
+}
+
+// ---------------------------------------------------------------------------
+// BufferLedger: the buffered-bytes accounting rule
+
+TEST(BufferLedgerTest, PayloadBytesCountOncePerDistinctBuffer) {
+  TextRef shared = TextRef::Copy("0123456789");  // 10 payload bytes
+  constexpr size_t kItem = sizeof(Event);
+  BufferLedger ledger;
+  // First holder pays item + payload.
+  EXPECT_EQ(ledger.Add(shared, kItem), static_cast<int64_t>(kItem + 10));
+  // Further holders of the SAME buffer pay only their item bytes.
+  EXPECT_EQ(ledger.Add(shared, kItem), static_cast<int64_t>(kItem));
+  EXPECT_EQ(ledger.bytes(), static_cast<int64_t>(2 * kItem + 10));
+  // A different buffer with identical content is distinct storage.
+  TextRef other = TextRef::Copy("0123456789");
+  EXPECT_EQ(ledger.Add(other, kItem), static_cast<int64_t>(kItem + 10));
+  // Removing a non-last holder releases only item bytes...
+  EXPECT_EQ(ledger.Remove(shared, kItem), static_cast<int64_t>(kItem));
+  // ...the last holder releases the payload too.
+  EXPECT_EQ(ledger.Remove(shared, kItem), static_cast<int64_t>(kItem + 10));
+  EXPECT_EQ(ledger.bytes(), static_cast<int64_t>(kItem + 10));
+  EXPECT_EQ(ledger.Clear(), static_cast<int64_t>(kItem + 10));
+  EXPECT_EQ(ledger.bytes(), 0);
+}
+
+TEST(BufferLedgerTest, EmptyPayloadsChargeItemBytesOnly) {
+  BufferLedger ledger;
+  TextRef empty;
+  EXPECT_EQ(ledger.Add(empty, 32), 32);
+  EXPECT_EQ(ledger.Add(empty, 32), 32);
+  EXPECT_EQ(ledger.Remove(empty, 32), 32);
+  EXPECT_EQ(ledger.Clear(), 32);
+}
+
+// ---------------------------------------------------------------------------
+// Batch-vs-single equivalence
+
+// The queries exercise every operator family: steps, descendant
+// replication (update-generating), predicates, aggregates, FLWOR with
+// construction, and sorting.
+const char* const kQueries[] = {
+    "X//book/author",
+    "X//*",
+    "X//book[publisher=\"Wiley\"]/author",
+    "count(X//book)",
+    "sum(X//price)",
+    "<all>{ for $b in X//book return <b>{ $b/author, $b/price }</b> }</all>",
+    "for $b in X//book order by $b/price return $b/author",
+};
+
+std::string TestDocument() {
+  return "<biblio>"
+         "<book id=\"1\"><publisher>Wiley</publisher>"
+         "<author>Smith</author><price>42</price></book>"
+         "<book id=\"2\"><publisher>Other</publisher>"
+         "<author>Jones</author><price>7</price>"
+         "<note>second <b>edition</b> now &amp; improved</note></book>"
+         "<book id=\"3\"><publisher>Wiley</publisher>"
+         "<author>Doe</author><price>13</price></book>"
+         "</biblio>";
+}
+
+// Batched emission must be observably identical to event-at-a-time: same
+// displayed events, same text, for every query and any batch size.
+TEST(BatchEquivalenceTest, QueriesMatchEventAtATimeForAllBatchSizes) {
+  std::string doc = TestDocument();
+
+  for (const char* query : kQueries) {
+    // Reference: one event per Pipeline::Push.
+    auto single = QuerySession::Open(query);
+    ASSERT_TRUE(single.ok()) << single.status();
+    SaxParser::Options token_options;
+    token_options.stream_id = single.value()->source_id();
+    auto tokens = SaxParser::Tokenize(doc, token_options);
+    ASSERT_TRUE(tokens.ok()) << tokens.status();
+    for (const Event& e : tokens.value()) single.value()->Push(e);
+    auto single_text = single.value()->CurrentText();
+    ASSERT_TRUE(single_text.ok()) << query << ": " << single_text.status();
+    EventVec single_events = single.value()->CurrentEvents();
+
+    for (size_t batch_size : {size_t{1}, size_t{3}, size_t{64}}) {
+      auto batched = QuerySession::Open(query);
+      ASSERT_TRUE(batched.ok()) << batched.status();
+      SaxParser::Options options;
+      options.stream_id = batched.value()->source_id();
+      options.batch_size = batch_size;
+      PipelineSource source(batched.value()->pipeline());
+      SaxParser parser(options, &source);
+      // Ragged chunks so batches straddle Feed boundaries.
+      for (size_t at = 0; at < doc.size(); at += 97) {
+        ASSERT_TRUE(parser.Feed(doc.substr(at, 97)).ok());
+      }
+      ASSERT_TRUE(parser.Finish().ok());
+
+      auto batched_text = batched.value()->CurrentText();
+      ASSERT_TRUE(batched_text.ok()) << query << ": " << batched_text.status();
+      EXPECT_EQ(batched_text.value(), single_text.value())
+          << query << " (batch_size " << batch_size << ")";
+      EXPECT_EQ(StripOids(batched.value()->CurrentEvents()),
+                StripOids(single_events))
+          << query << " (batch_size " << batch_size << ")";
+    }
+  }
+}
+
+// PushBatch through a straight-through stage (TraceSink overrides
+// DispatchBatch) must produce the identical sink sequence and trace window
+// as per-event Push.
+TEST(BatchEquivalenceTest, PushBatchMatchesPushThroughTraceSink) {
+  EventVec events = GenerateStockTicker({});
+  ASSERT_FALSE(events.empty());
+
+  CollectingSink single_sink;
+  Pipeline single;
+  TraceSink* single_tap = single.AddStage<TraceSink>(single.context());
+  single.SetSink(&single_sink);
+  for (const Event& e : events) single.Push(e);
+
+  CollectingSink batched_sink;
+  Pipeline batched;
+  TraceSink* batched_tap = batched.AddStage<TraceSink>(batched.context());
+  batched.SetSink(&batched_sink);
+  batched.PushBatch(EventBatch(events.begin(), events.end()));
+
+  EXPECT_EQ(batched_sink.events(), single_sink.events());
+  EXPECT_EQ(batched_tap->Snapshot(), single_tap->Snapshot());
+  EXPECT_EQ(batched_tap->events_seen(), single_tap->events_seen());
+}
+
+// The default AcceptBatch loop and the metrics bookkeeping must agree
+// between the two paths, not just the output events.
+TEST(BatchEquivalenceTest, MetricsAgreeBetweenPaths) {
+  std::string doc = TestDocument();
+  const char* query = "X//book[publisher=\"Wiley\"]/author";
+
+  auto single = QuerySession::Open(query);
+  ASSERT_TRUE(single.ok());
+  SaxParser::Options token_options;
+  token_options.stream_id = single.value()->source_id();
+  auto tokens = SaxParser::Tokenize(doc, token_options);
+  ASSERT_TRUE(tokens.ok());
+  for (const Event& e : tokens.value()) single.value()->Push(e);
+
+  auto batched = QuerySession::Open(query);
+  ASSERT_TRUE(batched.ok());
+  ASSERT_TRUE(batched.value()->PushDocument(doc).ok());
+
+  EXPECT_EQ(batched.value()->metrics()->transformer_calls(),
+            single.value()->metrics()->transformer_calls());
+  EXPECT_EQ(batched.value()->metrics()->events_emitted(),
+            single.value()->metrics()->events_emitted());
+}
+
+}  // namespace
+}  // namespace xflux

@@ -11,7 +11,7 @@ TEST(EventTest, FactoriesSetFields) {
   Event e = Event::StartElement(3, "book", 17);
   EXPECT_EQ(e.kind, EventKind::kStartElement);
   EXPECT_EQ(e.id, 3u);
-  EXPECT_EQ(e.text, "book");
+  EXPECT_EQ(e.tag_name(), "book");
   EXPECT_EQ(e.oid, 17u);
 
   Event u = Event::StartReplace(1, 2);

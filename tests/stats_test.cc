@@ -141,7 +141,7 @@ TEST(TraceSinkTest, RingTruncatesToCapacityKeepingNewest) {
   ASSERT_EQ(window.size(), 4u);
   // Oldest-first: events 6..9 survive.
   for (size_t i = 0; i < window.size(); ++i) {
-    EXPECT_EQ(window[i].text, std::to_string(6 + i));
+    EXPECT_EQ(window[i].chars(), std::to_string(6 + i));
   }
 
   std::string dump = tap->Dump();
@@ -161,7 +161,7 @@ TEST(TraceSinkTest, BelowCapacityNothingDrops) {
   EXPECT_EQ(tap->events_seen(), 1u);
   EXPECT_EQ(tap->events_dropped(), 0u);
   ASSERT_EQ(tap->Snapshot().size(), 1u);
-  EXPECT_EQ(tap->Snapshot()[0].text, "only");
+  EXPECT_EQ(tap->Snapshot()[0].chars(), "only");
 }
 
 TEST(PipelineApiTest, InsertAfterTapsAnExistingChain) {

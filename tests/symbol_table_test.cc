@@ -1,0 +1,77 @@
+// SymbolTable: interning, round-trips, and the '@' attribute convention.
+
+#include "util/symbol_table.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace xflux {
+namespace {
+
+TEST(SymbolTableTest, DefaultSymbolIsEmptySpelling) {
+  Symbol s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.value(), 0u);
+  EXPECT_EQ(TagSpelling(s), "");
+  EXPECT_EQ(InternTag(""), s);
+}
+
+TEST(SymbolTableTest, InternRoundTripsSpelling) {
+  Symbol book = InternTag("st_book");
+  EXPECT_FALSE(book.empty());
+  EXPECT_EQ(TagSpelling(book), "st_book");
+}
+
+TEST(SymbolTableTest, SameSpellingCollidesToOneSymbol) {
+  // Interning the same spelling twice — including via a differently-backed
+  // string — must yield the identical handle: tag equality IS spelling
+  // equality.
+  Symbol a = InternTag("st_collide");
+  std::string spelled = std::string("st_") + "collide";
+  Symbol b = InternTag(spelled);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.value(), b.value());
+}
+
+TEST(SymbolTableTest, DistinctSpellingsGetDistinctSymbols) {
+  Symbol a = InternTag("st_alpha");
+  Symbol b = InternTag("st_beta");
+  EXPECT_NE(a, b);
+  EXPECT_NE(TagSpelling(a), TagSpelling(b));
+}
+
+TEST(SymbolTableTest, AttributeSpellingsAreFlagged) {
+  Symbol attr = InternTag("@st_id");
+  Symbol elem = InternTag("st_id");
+  EXPECT_TRUE(SymbolTable::Global().IsAttribute(attr));
+  EXPECT_FALSE(SymbolTable::Global().IsAttribute(elem));
+  EXPECT_FALSE(SymbolTable::Global().IsAttribute(Symbol()));
+  EXPECT_NE(attr, elem);
+}
+
+TEST(SymbolTableTest, SpellingViewsStayValidAcrossGrowth) {
+  // The table promises process-lifetime stability: views taken early must
+  // survive arbitrarily many later interns.
+  Symbol first = InternTag("st_stable_first");
+  std::string_view view = TagSpelling(first);
+  std::vector<Symbol> later;
+  for (int i = 0; i < 1000; ++i) {
+    later.push_back(InternTag("st_grow_" + std::to_string(i)));
+  }
+  EXPECT_EQ(view, "st_stable_first");
+  EXPECT_EQ(TagSpelling(later[500]), "st_grow_500");
+  EXPECT_GE(SymbolTable::Global().size(), 1000u);
+}
+
+TEST(SymbolTableTest, SymbolsOrderByHandleForMapKeys) {
+  Symbol a = InternTag("st_order_a");
+  Symbol b = InternTag("st_order_b");
+  // Interned later => larger handle; only used as a strict weak order.
+  EXPECT_TRUE(a < b);
+  EXPECT_FALSE(b < a);
+}
+
+}  // namespace
+}  // namespace xflux

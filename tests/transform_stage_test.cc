@@ -42,7 +42,7 @@ TEST(TransformStageTest, ChildStepWildcardSelectsAllElementChildren) {
   // dvd keeps its attribute child.
   bool has_attr = false;
   for (const Event& e : r.materialized) {
-    if (e.kind == EventKind::kStartElement && e.text == "@id") has_attr = true;
+    if (e.kind == EventKind::kStartElement && e.tag_name() == "@id") has_attr = true;
   }
   EXPECT_TRUE(has_attr);
 }
@@ -223,7 +223,7 @@ std::string DisplayedCount(const EventVec& raw) {
   EXPECT_TRUE(m.ok()) << m.status();
   std::string text;
   for (const Event& e : m.value()) {
-    if (e.kind == EventKind::kCharacters) text += e.text;
+    if (e.kind == EventKind::kCharacters) text += e.chars();
   }
   return text;
 }
