@@ -7,15 +7,25 @@
 //   $ ./xflux_inspect 'count(X//item)'         # your query, XMark doc
 //   $ ./xflux_inspect 'X//a/b' doc.xml         # your query, your document
 //
+// Robustness drills: --guard=<failfast|drop|resync> inserts the
+// ProtocolGuard as the first pipeline stage, and --inject=<spec> mutates
+// the event stream before it reaches the session (spec is "light",
+// "heavy", or "drop=0.01,kind=0.02,..." — see testing/fault_injector.h).
+//
+//   $ ./xflux_inspect --guard=drop --inject=heavy --seed=7 'count(X//item)'
+//
 // The generated XMark document defaults to ~1 MiB; set XFLUX_BENCH_MB to
 // scale it like the bench binaries do.
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "data/generators.h"
+#include "testing/fault_injector.h"
+#include "xml/sax_parser.h"
 #include "xquery/engine.h"
 
 namespace {
@@ -33,14 +43,35 @@ bool ReadFile(const char* path, std::string* out) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const char* query = argc > 1
-                          ? argv[1]
+  std::vector<const char*> positional;
+  std::string guard_name;
+  std::string inject_spec;
+  uint64_t seed = 1;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--guard=", 0) == 0) {
+      guard_name = arg.substr(8);
+    } else if (arg.rfind("--inject=", 0) == 0) {
+      inject_spec = arg.substr(9);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr,
+                   "unknown flag %s (want --guard= --inject= --seed=)\n",
+                   arg.c_str());
+      return 1;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  const char* query = !positional.empty()
+                          ? positional[0]
                           : "X//europe//item[location=\"Albania\"]/quantity";
 
   std::string document;
-  if (argc > 2) {
-    if (!ReadFile(argv[2], &document)) {
-      std::fprintf(stderr, "cannot read %s\n", argv[2]);
+  if (positional.size() > 1) {
+    if (!ReadFile(positional[1], &document)) {
+      std::fprintf(stderr, "cannot read %s\n", positional[1]);
       return 1;
     }
   } else {
@@ -50,6 +81,16 @@ int main(int argc, char** argv) {
 
   xflux::QuerySession::Options options;
   options.instrumentation = true;
+  if (!guard_name.empty()) {
+    auto policy = xflux::ProtocolGuard::ParsePolicy(guard_name);
+    if (!policy.ok()) {
+      std::fprintf(stderr, "bad --guard: %s\n",
+                   policy.status().ToString().c_str());
+      return 1;
+    }
+    options.guard = true;
+    options.guard_options.policy = policy.value();
+  }
   auto session = xflux::QuerySession::Open(query, options);
   if (!session.ok()) {
     std::fprintf(stderr, "compile failed: %s\n",
@@ -57,12 +98,48 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  double seconds = xflux::bench::Time([&] {
-    auto status = session.value()->PushDocument(document);
-    if (!status.ok()) {
-      std::fprintf(stderr, "run failed: %s\n", status.ToString().c_str());
+  xflux::FaultSpec fault_spec;
+  if (!inject_spec.empty()) {
+    auto parsed = xflux::ParseFaultSpec(inject_spec);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "bad --inject: %s\n",
+                   parsed.status().ToString().c_str());
+      return 1;
     }
-  });
+    fault_spec = parsed.value();
+  }
+
+  double seconds;
+  xflux::FaultCounts fault_counts;
+  if (!inject_spec.empty()) {
+    // Mutate the token stream, then drive the session event-by-event —
+    // the hostile-input drill the guard policies exist for.
+    auto tokens = xflux::SaxParser::Tokenize(document);
+    if (!tokens.ok()) {
+      std::fprintf(stderr, "tokenize failed: %s\n",
+                   tokens.status().ToString().c_str());
+      return 1;
+    }
+    xflux::EventVec mutated = xflux::MutateStream(tokens.value(), fault_spec,
+                                                  seed, &fault_counts);
+    seconds = xflux::bench::Time([&] {
+      session.value()->PushAll(mutated);
+      if (session.value()->guard() != nullptr) {
+        session.value()->guard()->Finish();
+      }
+      if (!session.value()->status().ok()) {
+        std::fprintf(stderr, "run failed: %s\n",
+                     session.value()->status().ToString().c_str());
+      }
+    });
+  } else {
+    seconds = xflux::bench::Time([&] {
+      auto status = session.value()->PushDocument(document);
+      if (!status.ok()) {
+        std::fprintf(stderr, "run failed: %s\n", status.ToString().c_str());
+      }
+    });
+  }
 
   auto answer = session.value()->CurrentText();
   std::string text = answer.ok() ? answer.value() : "<error>";
@@ -73,6 +150,31 @@ int main(int argc, char** argv) {
   std::printf("answer  : %s\n", text.c_str());
   std::printf("time    : %.1f ms (%.1f MB/s, instrumented)\n\n",
               seconds * 1e3, document.size() / seconds / 1e6);
+  if (!inject_spec.empty()) {
+    std::printf(
+        "injected: %llu faults (seed %llu: %llu drop, %llu dup, %llu swap, "
+        "%llu tag, %llu kind, %llu id, %llu trunc)\n",
+        (unsigned long long)fault_counts.total(), (unsigned long long)seed,
+        (unsigned long long)fault_counts.drops,
+        (unsigned long long)fault_counts.duplicates,
+        (unsigned long long)fault_counts.swaps,
+        (unsigned long long)fault_counts.tag_corruptions,
+        (unsigned long long)fault_counts.kind_corruptions,
+        (unsigned long long)fault_counts.id_corruptions,
+        (unsigned long long)fault_counts.truncations);
+  }
+  if (const auto* guard = session.value()->guard()) {
+    std::printf("guard   : %llu violations, %llu events dropped, "
+                "%llu regions dropped, %llu resyncs\n",
+                (unsigned long long)guard->violations(),
+                (unsigned long long)guard->dropped_events(),
+                (unsigned long long)guard->dropped_regions(),
+                (unsigned long long)guard->resyncs());
+    if (!guard->last_violation().ok()) {
+      std::printf("last    : %s\n",
+                  guard->last_violation().ToString().c_str());
+    }
+  }
   std::printf("%s", session.value()->stats()->ToTable().c_str());
   std::printf("\npipeline: %s\n",
               session.value()->metrics()->ToString().c_str());

@@ -1,6 +1,6 @@
 #include "core/event.h"
 
-#include <cassert>
+#include "util/check.h"
 
 namespace xflux {
 
@@ -29,14 +29,23 @@ const char* EventKindName(EventKind kind) {
 }
 
 EventKind MatchingUpdateEnd(EventKind start) {
+  EventKind end;
+  XFLUX_CHECK(TryMatchingUpdateEnd(start, &end) && "not an update start");
+  return end;
+}
+
+bool TryMatchingUpdateEnd(EventKind start, EventKind* end) {
   switch (start) {
-    case EventKind::kStartMutable: return EventKind::kEndMutable;
-    case EventKind::kStartReplace: return EventKind::kEndReplace;
-    case EventKind::kStartInsertBefore: return EventKind::kEndInsertBefore;
-    case EventKind::kStartInsertAfter: return EventKind::kEndInsertAfter;
+    case EventKind::kStartMutable: *end = EventKind::kEndMutable; return true;
+    case EventKind::kStartReplace: *end = EventKind::kEndReplace; return true;
+    case EventKind::kStartInsertBefore:
+      *end = EventKind::kEndInsertBefore;
+      return true;
+    case EventKind::kStartInsertAfter:
+      *end = EventKind::kEndInsertAfter;
+      return true;
     default:
-      assert(false && "not an update start");
-      return EventKind::kEndMutable;
+      return false;
   }
 }
 

@@ -184,7 +184,14 @@ static_assert(sizeof(Event) <= 32,
               "TextRef, no std::string members");
 
 /// Returns the matching end-bracket kind for an update start (sM -> eM etc).
+/// Traps (XFLUX_CHECK) when `start` is not an update start; hostile-input
+/// paths must use TryMatchingUpdateEnd instead.
 EventKind MatchingUpdateEnd(EventKind start);
+
+/// Like MatchingUpdateEnd but total: returns false (leaving `end` untouched)
+/// when `start` is not an update start.  This is the form protocol checkers
+/// use on untrusted streams.
+bool TryMatchingUpdateEnd(EventKind start, EventKind* end);
 
 /// An in-memory event sequence; pipelines also stream events one at a time.
 using EventVec = std::vector<Event>;

@@ -92,6 +92,15 @@ Filter* Pipeline::InsertAfter(size_t index, std::unique_ptr<Filter> stage) {
   return raw;
 }
 
+Filter* Pipeline::InsertFront(std::unique_ptr<Filter> stage) {
+  Filter* raw = stage.get();
+  raw->BindStats(context_->stats());
+  raw->SetNext(stages_.empty() ? static_cast<EventSink*>(sink_)
+                               : stages_.front().get());
+  stages_.insert(stages_.begin(), std::move(stage));
+  return raw;
+}
+
 void Pipeline::SetSink(EventSink* sink) {
   assert(!wired_ && "SetSink called twice");
   sink_ = sink;
@@ -103,6 +112,7 @@ void Pipeline::SetSink(EventSink* sink) {
 
 void Pipeline::Push(Event event) {
   assert(wired_ && "Push before SetSink");
+  if (context_->poisoned()) return;
   if (event.kind == EventKind::kStartStream) {
     // Source streams are base streams; an id-reusing bracket downstream
     // must never re-root them.
@@ -121,6 +131,7 @@ void Pipeline::Push(Event event) {
 
 void Pipeline::PushBatch(EventBatch batch) {
   assert(wired_ && "Push before SetSink");
+  if (context_->poisoned()) return;
   for (const Event& e : batch) {
     if (e.kind == EventKind::kStartStream) {
       context_->streams()->RegisterBase(e.id);

@@ -19,6 +19,7 @@
 #include "core/event_sink.h"
 #include "core/fix_registry.h"
 #include "core/stream_registry.h"
+#include "util/error_channel.h"
 #include "util/metrics.h"
 #include "util/stage_stats.h"
 
@@ -44,6 +45,18 @@ class PipelineContext {
   FixRegistry* fix() { return &fix_; }
   StreamRegistry* streams() { return &streams_; }
   StatsRegistry* stats() { return &stats_; }
+  ErrorChannel* errors() { return &errors_; }
+  const ErrorChannel* errors() const { return &errors_; }
+
+  /// Reports a pipeline error.  The first non-OK status latches; once
+  /// poisoned, every stage drops events instead of dispatching, so a
+  /// protocol violation can never push a stage into undefined behavior —
+  /// the stream simply stops and the caller reads the error via status().
+  void ReportError(Status status) { errors_.Report(std::move(status)); }
+
+  /// The first reported error, or OK.
+  const Status& status() const { return errors_.status(); }
+  bool poisoned() const { return !errors_.ok(); }
 
   /// Runtime switch for per-stage instrumentation.  Off (the default), the
   /// hot path pays one predicted branch per event and every StageStats
@@ -58,6 +71,7 @@ class PipelineContext {
   FixRegistry fix_;
   StreamRegistry streams_;
   StatsRegistry stats_;
+  ErrorChannel errors_;
   bool instrumentation_ = false;
 };
 
@@ -80,10 +94,16 @@ class Filter : public EventSink {
   const StageStats* stage_stats() const { return stats_; }
 
   void Accept(Event event) final {
+    // A poisoned pipeline stops dispatching: the stage that reported the
+    // error may hold inconsistent state, and everything after the first
+    // error is cascade anyway.
+    if (!context_->errors()->ok()) return;
     // Idempotent global bookkeeping: every stage learns region lineage and
     // mutability as the event passes.
-    context_->fix()->OnEvent(event);
-    context_->streams()->OnEvent(event);
+    if (!source_transparent_) {
+      context_->fix()->OnEvent(event);
+      context_->streams()->OnEvent(event);
+    }
     context_->metrics()->CountTransformerCall();
     if (instrumented()) {
       AcceptInstrumented(std::move(event));
@@ -93,10 +113,15 @@ class Filter : public EventSink {
   }
 
   void AcceptBatch(EventBatch batch) final {
-    for (const Event& e : batch) {
-      context_->fix()->OnEvent(e);
-      context_->streams()->OnEvent(e);
-      context_->metrics()->CountTransformerCall();
+    if (!context_->errors()->ok()) return;
+    if (source_transparent_) {
+      context_->metrics()->CountTransformerCall(batch.size());
+    } else {
+      for (const Event& e : batch) {
+        context_->fix()->OnEvent(e);
+        context_->streams()->OnEvent(e);
+        context_->metrics()->CountTransformerCall();
+      }
     }
     if (instrumented()) {
       AcceptBatchInstrumented(std::move(batch));
@@ -119,9 +144,11 @@ class Filter : public EventSink {
   /// Display name for diagnostics and StageStats ("child::a", "clone", …).
   virtual std::string StageName() const { return "stage"; }
 
-  /// Pushes one event downstream.
+  /// Pushes one event downstream.  Dropped once the pipeline is poisoned
+  /// (a stage may report an error mid-Dispatch and keep emitting).
   void Emit(Event event) {
     assert(next_ != nullptr && "pipeline stage has no downstream sink");
+    if (!context_->errors()->ok()) return;
     context_->metrics()->CountEventEmitted();
     // Generated events must be visible to the shared registries even before
     // the next stage runs (the next stage may be the display).
@@ -137,10 +164,17 @@ class Filter : public EventSink {
   /// Pushes a run of events downstream with one virtual call.
   void EmitBatch(EventBatch batch) {
     assert(next_ != nullptr && "pipeline stage has no downstream sink");
-    for (const Event& e : batch) {
-      context_->metrics()->CountEventEmitted();
-      context_->fix()->OnEvent(e);
-      context_->streams()->OnEvent(e);
+    if (!context_->errors()->ok()) return;
+    if (source_transparent_) {
+      // Pass-through forwarding of source events the Pipeline entry
+      // points already registered; only the count is new information.
+      context_->metrics()->CountEventEmitted(batch.size());
+    } else {
+      for (const Event& e : batch) {
+        context_->metrics()->CountEventEmitted();
+        context_->fix()->OnEvent(e);
+        context_->streams()->OnEvent(e);
+      }
     }
     if (instrumented()) {
       EmitBatchInstrumented(std::move(batch));
@@ -150,6 +184,14 @@ class Filter : public EventSink {
   }
 
   PipelineContext* context() { return context_; }
+
+  /// Opt-out of the idempotent per-event registry bookkeeping, for
+  /// *first-stage* filters that forward source events unchanged (the
+  /// protocol guard): Pipeline::Push/PushBatch already ran fix/streams
+  /// OnEvent on every source event, so re-running it here only costs.
+  /// Stage-synthesized events still register through the single-event
+  /// Emit, which keeps full bookkeeping.
+  void set_source_transparent(bool value) { source_transparent_ = value; }
 
   /// The stage's stats record while instrumentation is on, else nullptr —
   /// stages attribute operator-internal gauges (live states, suspension
@@ -171,6 +213,7 @@ class Filter : public EventSink {
   PipelineContext* context_;
   EventSink* next_ = nullptr;
   StageStats* stats_ = nullptr;
+  bool source_transparent_ = false;
 };
 
 /// Owns a chain of filters plus the context, and feeds source events in.
@@ -181,6 +224,10 @@ class Pipeline {
       : context_(std::make_unique<PipelineContext>(first_dynamic_id)) {}
 
   PipelineContext* context() { return context_.get(); }
+  const PipelineContext* context() const { return context_.get(); }
+
+  /// The pipeline's sticky first error (see PipelineContext::ReportError).
+  const Status& status() const { return context_->status(); }
 
   /// Appends a stage; stages are chained in insertion order.
   /// Returns a borrowed pointer to the added stage.
@@ -203,6 +250,11 @@ class Pipeline {
   /// after stage `index`; works both before and after SetSink.  Returns a
   /// borrowed pointer to the inserted stage.
   Filter* InsertAfter(size_t index, std::unique_ptr<Filter> stage);
+
+  /// Splices a stage in front of the whole chain — how a ProtocolGuard
+  /// becomes the first stage of an already-compiled pipeline.  Works both
+  /// before and after SetSink.  Returns a borrowed pointer.
+  Filter* InsertFront(std::unique_ptr<Filter> stage);
 
   size_t stage_count() const { return stages_.size(); }
   Filter* stage(size_t index) { return stages_[index].get(); }

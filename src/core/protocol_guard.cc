@@ -1,0 +1,520 @@
+#include "core/protocol_guard.h"
+
+#include <utility>
+
+namespace xflux {
+
+namespace {
+
+Event MakeUpdateEnd(EventKind start_kind, StreamId target, StreamId uid) {
+  switch (start_kind) {
+    case EventKind::kStartMutable: return Event::EndMutable(target, uid);
+    case EventKind::kStartReplace: return Event::EndReplace(target, uid);
+    case EventKind::kStartInsertBefore:
+      return Event::EndInsertBefore(target, uid);
+    default:
+      return Event::EndInsertAfter(target, uid);
+  }
+}
+
+std::string Describe(const Event& e) { return e.ToString(); }
+
+}  // namespace
+
+StatusOr<ProtocolGuard::Policy> ProtocolGuard::ParsePolicy(
+    std::string_view name) {
+  if (name == "failfast" || name == "fail-fast") return Policy::kFailFast;
+  if (name == "drop" || name == "droparea" || name == "drop-region" ||
+      name == "dropregion") {
+    return Policy::kDropRegion;
+  }
+  if (name == "resync") return Policy::kResync;
+  return Status::InvalidArgument("unknown guard policy '" + std::string(name) +
+                                 "' (want failfast|drop|resync)");
+}
+
+void ProtocolGuard::CountDropped(const Event&) {
+  ++dropped_events_;
+  context()->metrics()->CountGuardDroppedEvent();
+}
+
+bool ProtocolGuard::Swallowed(const Event& e) {
+  if (resyncing_) {
+    if (e.kind == EventKind::kStartStream) {
+      // A fresh stream is a balanced bracket point: resume from here.
+      resyncing_ = false;
+      return false;
+    }
+    if (e.kind == EventKind::kEndStream) {
+      // The boundary itself: the synthesized eS already closed the stream
+      // downstream, so the real one is swallowed, but resync is over.
+      resyncing_ = false;
+    }
+    return true;
+  }
+  if (discard_.empty()) return false;
+  if (e.IsUpdateStart()) {
+    auto it = discard_.find(e.uid);
+    if (it != discard_.end()) {
+      // The discarded id reused while its brackets are still outstanding:
+      // one more end bracket to swallow.
+      ++it->second;
+      return true;
+    }
+    if (discard_.count(e.id) > 0) {
+      // A nested update addressed to a discarded region: discard it too.
+      ++discard_[e.uid];
+      return true;
+    }
+    return false;
+  }
+  if (e.IsUpdateEnd()) {
+    auto it = discard_.find(e.uid);
+    if (it == discard_.end()) return false;
+    if (--it->second <= 0) discard_.erase(it);
+    return true;
+  }
+  if (e.kind == EventKind::kStartStream || e.kind == EventKind::kEndStream) {
+    // Stream brackets are never region content, whatever their id.
+    return false;
+  }
+  // Other simple events and freeze/hide/show carry the region in `id`.
+  return discard_.count(e.id) > 0;
+}
+
+Status ProtocolGuard::Check(const Event& e) {
+  offense_ = Offense::kNone;
+  offending_region_ = 0;
+  const ResourceLimits& limits = options_.limits;
+  if (limits.max_buffered_bytes > 0 &&
+      context()->metrics()->ApproxStateBytes() > limits.max_buffered_bytes) {
+    offense_ = Offense::kResource;
+    return Status::ResourceExhausted(
+        "pipeline state " +
+        std::to_string(context()->metrics()->ApproxStateBytes()) +
+        "B exceeds max_buffered_bytes=" +
+        std::to_string(limits.max_buffered_bytes));
+  }
+
+  switch (e.kind) {
+    case EventKind::kStartStream:
+      if (base_.count(e.id) > 0) {
+        offense_ = Offense::kStructural;
+        return Status::ProtocolViolation("sS for already-open stream " +
+                                         std::to_string(e.id));
+      }
+      if (open_.count(e.id) > 0) {
+        // The symmetric collision: a stream claiming an open region's id.
+        offense_ = Offense::kEventOnly;
+        return Status::ProtocolViolation(
+            "stream start collides with open region " + std::to_string(e.id));
+      }
+      base_.emplace(e.id, std::vector<Symbol>{});
+      return Status::OK();
+
+    case EventKind::kEndStream: {
+      auto it = base_.find(e.id);
+      if (it == base_.end()) {
+        offense_ = Offense::kEventOnly;
+        return Status::ProtocolViolation("eS for unknown stream " +
+                                         std::to_string(e.id));
+      }
+      if (!it->second.empty()) {
+        offense_ = Offense::kStructural;
+        return Status::ProtocolViolation(
+            "stream " + std::to_string(e.id) + " ended with " +
+            std::to_string(it->second.size()) + " open element(s)");
+      }
+      base_.erase(it);
+      hot_stack_ = nullptr;
+      if (base_.empty() && !open_.empty()) {
+        // The last base stream is gone with brackets still dangling — the
+        // truncated-update-tail shape.  Attributable to the open regions.
+        offense_ = Offense::kRegion;
+        offending_region_ = open_.begin()->first;
+        return Status::ProtocolViolation(
+            "stream ended with " + std::to_string(open_.size()) +
+            " open update bracket(s)");
+      }
+      return Status::OK();
+    }
+
+    case EventKind::kStartTuple:
+    case EventKind::kEndTuple:
+    case EventKind::kStartElement:
+    case EventKind::kEndElement:
+    case EventKind::kCharacters: {
+      std::vector<Symbol>* stack;
+      bool is_region;
+      if (hot_stack_ != nullptr && e.id == hot_id_) {
+        // Consecutive content almost always shares one home stream; the
+        // cached mapped-value pointer is stable until that entry is
+        // erased (erasures null it out).
+        stack = hot_stack_;
+        is_region = hot_is_region_;
+      } else {
+        stack = nullptr;
+        is_region = false;
+        auto oit = open_.find(e.id);
+        if (oit != open_.end()) {
+          stack = &oit->second.stack;
+          is_region = true;
+        } else {
+          auto bit = base_.find(e.id);
+          if (bit != base_.end()) stack = &bit->second;
+        }
+        if (stack == nullptr) {
+          offense_ = Offense::kEventOnly;
+          return Status::ProtocolViolation(
+              "content for closed or unknown region: " + Describe(e));
+        }
+        hot_id_ = e.id;
+        hot_stack_ = stack;
+        hot_is_region_ = is_region;
+      }
+      // Character data and tuple markers (FLWOR binding scopes) need no
+      // stack bookkeeping — only a live home stream.
+      if (e.kind != EventKind::kStartElement &&
+          e.kind != EventKind::kEndElement) {
+        return Status::OK();
+      }
+      if (e.kind == EventKind::kStartElement) {
+        if (limits.max_depth > 0 && stack->size() >= limits.max_depth) {
+          if (is_region) {
+            offense_ = Offense::kRegion;
+            offending_region_ = e.id;
+          } else {
+            // Depth overflow in a base stream: the stream itself is the
+            // problem, so recovery means abandoning it (structural), not
+            // poisoning the whole pipeline under lenient policies.
+            offense_ = Offense::kStructural;
+          }
+          return Status::ResourceExhausted(
+              "element depth exceeds max_depth=" +
+              std::to_string(limits.max_depth) + " at " + Describe(e));
+        }
+        stack->push_back(e.tag);
+        return Status::OK();
+      }
+      // kEndElement.
+      if (stack->empty() || stack->back() != e.tag) {
+        if (is_region) {
+          offense_ = Offense::kRegion;
+          offending_region_ = e.id;
+        } else {
+          offense_ = Offense::kStructural;
+        }
+        return Status::ProtocolViolation(
+            stack->empty()
+                ? "unmatched end element " + Describe(e)
+                : "mismatched end element " + Describe(e) + ", open <" +
+                      std::string(TagSpelling(stack->back())) + ">");
+      }
+      stack->pop_back();
+      return Status::OK();
+    }
+
+    case EventKind::kStartMutable:
+    case EventKind::kStartReplace:
+    case EventKind::kStartInsertBefore:
+    case EventKind::kStartInsertAfter: {
+      if (base_.count(e.uid) > 0) {
+        // A region with an open base stream's id would, once closed,
+        // retroactively outlaw the rest of that stream's content.  Dropping
+        // the single bracket event is the only recovery that keeps the
+        // base stream alive.
+        offense_ = Offense::kEventOnly;
+        return Status::ProtocolViolation(
+            "update bracket uid collides with open stream: " + Describe(e));
+      }
+      if (open_.count(e.uid) > 0) {
+        offense_ = Offense::kRegion;
+        offending_region_ = e.uid;
+        return Status::ProtocolViolation("region " + std::to_string(e.uid) +
+                                         " opened twice concurrently");
+      }
+      if (limits.max_open_regions > 0 &&
+          open_.size() >= limits.max_open_regions) {
+        offense_ = Offense::kRegion;
+        offending_region_ = e.uid;
+        return Status::ResourceExhausted(
+            "open update regions exceed max_open_regions=" +
+            std::to_string(limits.max_open_regions) + " at " + Describe(e));
+      }
+      open_.emplace(e.uid, RegionInfo{e.kind, e.id, {}});
+      return Status::OK();
+    }
+
+    case EventKind::kEndMutable:
+    case EventKind::kEndReplace:
+    case EventKind::kEndInsertBefore:
+    case EventKind::kEndInsertAfter: {
+      auto it = open_.find(e.uid);
+      if (it == open_.end()) {
+        offense_ = Offense::kEventOnly;
+        return Status::ProtocolViolation(
+            "end bracket without matching start: " + Describe(e));
+      }
+      EventKind want = EventKind::kEndMutable;
+      TryMatchingUpdateEnd(it->second.start_kind, &want);
+      if (want != e.kind || it->second.target != e.id) {
+        offense_ = Offense::kRegion;
+        offending_region_ = e.uid;
+        return Status::ProtocolViolation("mismatched update brackets for region " +
+                                         std::to_string(e.uid) + " at " +
+                                         Describe(e));
+      }
+      if (!it->second.stack.empty()) {
+        offense_ = Offense::kRegion;
+        offending_region_ = e.uid;
+        return Status::ProtocolViolation(
+            "region " + std::to_string(e.uid) + " closed with " +
+            std::to_string(it->second.stack.size()) + " open element(s)");
+      }
+      open_.erase(it);
+      hot_stack_ = nullptr;
+      return Status::OK();
+    }
+
+    case EventKind::kFreeze:
+    case EventKind::kHide:
+    case EventKind::kShow:
+      // Control events addressed to vanished regions are dropped leniently
+      // further down; nothing for the guard to enforce.
+      return Status::OK();
+  }
+  offense_ = Offense::kEventOnly;
+  return Status::ProtocolViolation("unknown event kind");
+}
+
+void ProtocolGuard::DiscardRegion(StreamId uid, int pending_ends) {
+  auto it = open_.find(uid);
+  if (it != open_.end()) {
+    RegionInfo& ri = it->second;
+    // Close the partially-forwarded content well-formedly, then retract it
+    // through the regular machinery: hide removes it from the answer (and
+    // the adjustment wrapper retracts its effect), freeze reclaims it.
+    for (auto rit = ri.stack.rbegin(); rit != ri.stack.rend(); ++rit) {
+      Emit(Event::EndElement(uid, *rit));
+    }
+    Emit(MakeUpdateEnd(ri.start_kind, ri.target, uid));
+    Emit(Event::Hide(uid));
+    Emit(Event::Freeze(uid));
+    open_.erase(it);
+    hot_stack_ = nullptr;
+  }
+  ++dropped_regions_;
+  context()->metrics()->CountGuardDroppedRegion();
+  if (pending_ends > 0) discard_[uid] = pending_ends;
+}
+
+void ProtocolGuard::Finish() {
+  if (base_.empty() && open_.empty()) {
+    resyncing_ = false;
+    discard_.clear();
+    return;
+  }
+  ++violations_;
+  context()->metrics()->CountGuardViolation();
+  last_violation_ = Status::ProtocolViolation(
+      "input truncated with " + std::to_string(open_.size()) +
+      " open update bracket(s) and " + std::to_string(base_.size()) +
+      " open stream(s)");
+  if (options_.policy == Policy::kFailFast) {
+    context()->ReportError(last_violation_);
+    return;
+  }
+  CloseAllOpen();
+  resyncing_ = false;
+}
+
+void ProtocolGuard::EnterResync() {
+  ++resyncs_;
+  context()->metrics()->CountGuardResync();
+  CloseAllOpen();
+  resyncing_ = true;
+}
+
+void ProtocolGuard::CloseAllOpen() {
+  for (auto& [uid, ri] : open_) {
+    for (auto rit = ri.stack.rbegin(); rit != ri.stack.rend(); ++rit) {
+      Emit(Event::EndElement(uid, *rit));
+    }
+    Emit(MakeUpdateEnd(ri.start_kind, ri.target, uid));
+    Emit(Event::Hide(uid));
+    Emit(Event::Freeze(uid));
+    ++dropped_regions_;
+    context()->metrics()->CountGuardDroppedRegion();
+  }
+  open_.clear();
+  discard_.clear();
+  for (auto& [id, stack] : base_) {
+    for (auto rit = stack.rbegin(); rit != stack.rend(); ++rit) {
+      Emit(Event::EndElement(id, *rit));
+    }
+    Emit(Event::EndStream(id));
+  }
+  base_.clear();
+  hot_stack_ = nullptr;
+}
+
+void ProtocolGuard::HandleViolation(const Event& e, Status violation) {
+  ++violations_;
+  context()->metrics()->CountGuardViolation();
+  last_violation_ = violation;
+  switch (options_.policy) {
+    case Policy::kFailFast:
+      context()->ReportError(std::move(violation));
+      return;
+
+    case Policy::kDropRegion:
+      switch (offense_) {
+        case Offense::kRegion:
+          if (e.kind == EventKind::kEndStream) {
+            // Dangling brackets at end of input: retract them all, then
+            // forward the (itself clean) stream close.
+            std::vector<StreamId> uids;
+            uids.reserve(open_.size());
+            for (const auto& [uid, ri] : open_) uids.push_back(uid);
+            for (StreamId uid : uids) DiscardRegion(uid, 1);
+            Emit(e);
+            return;
+          }
+          if (e.IsUpdateStart() && open_.count(e.uid) > 0) {
+            // Double open: retract the live instance, then swallow both
+            // outstanding end brackets.
+            DiscardRegion(e.uid, 2);
+          } else if (e.IsUpdateStart()) {
+            // Rejected before it opened (resource limit): swallow its
+            // whole bracket.
+            DiscardRegion(e.uid, 1);
+          } else if (e.IsUpdateEnd()) {
+            // The corrupt bracket just closed itself; retract it.  No
+            // further end brackets are outstanding.
+            DiscardRegion(e.uid, 0);
+          } else {
+            // Corrupt content inside an open region: retract the region
+            // and swallow the rest of it, up to its real end bracket.
+            DiscardRegion(offending_region_, 1);
+          }
+          CountDropped(e);
+          return;
+        case Offense::kEventOnly:
+          CountDropped(e);
+          return;
+        default:
+          // Base-stream structure or a global resource bound: there is no
+          // region to drop.  Escalate.
+          context()->ReportError(std::move(violation));
+          return;
+      }
+
+    case Policy::kResync: {
+      if (offense_ == Offense::kResource) {
+        // Buffered-bytes overruns are unrecoverable by skipping input:
+        // the memory is already committed downstream.
+        context()->ReportError(std::move(violation));
+        return;
+      }
+      // Whether the offending eS's stream is still tracked decides below
+      // who closes it downstream (EnterResync clears base_ either way).
+      bool stream_still_open =
+          e.kind == EventKind::kEndStream && base_.count(e.id) > 0;
+      EnterResync();
+      if (e.kind == EventKind::kStartStream) {
+        // The offending event is itself a balanced point: restart at it.
+        resyncing_ = false;
+        Status again = Check(e);
+        if (again.ok()) {
+          Emit(e);
+        } else {
+          CountDropped(e);
+        }
+        return;
+      }
+      if (e.kind == EventKind::kEndStream) {
+        resyncing_ = false;
+        if (!stream_still_open) {
+          // Check() already retired the stream (dangling-bracket case), so
+          // EnterResync had no eS to synthesize: forward the real one.
+          Emit(e);
+          return;
+        }
+        // EnterResync already closed the stream downstream.
+      }
+      CountDropped(e);
+      return;
+    }
+  }
+}
+
+void ProtocolGuard::Dispatch(Event e) {
+  if (Swallowed(e)) {
+    CountDropped(e);
+    return;
+  }
+  Status v = Check(e);
+  if (v.ok()) {
+    Emit(std::move(e));
+    return;
+  }
+  HandleViolation(e, std::move(v));
+}
+
+void ProtocolGuard::DispatchBatch(EventBatch batch) {
+  // Fast path: while no discard/resync is active, validate in place; a
+  // batch that is clean end to end is forwarded untouched — no per-event
+  // copy, one EmitBatch.
+  if (!resyncing_ && discard_.empty()) {
+    const size_t n = batch.size();
+    const size_t max_depth = options_.limits.max_depth;
+    const bool check_bytes = options_.limits.max_buffered_bytes > 0;
+    size_t i = 0;
+    Status v;
+    while (i < n) {
+      const Event& e = batch[i];
+      if (hot_stack_ != nullptr && e.id == hot_id_ && !check_bytes) {
+        // Inline mirror of Check()'s content case for the cached home
+        // stream — the overwhelming majority of clean traffic — avoiding
+        // the call and the Status round-trip.  Anything it cannot prove
+        // clean falls through to the full Check.
+        std::vector<Symbol>& stack = *hot_stack_;
+        if (e.kind == EventKind::kCharacters ||
+            e.kind == EventKind::kStartTuple ||
+            e.kind == EventKind::kEndTuple) {
+          ++i;
+          continue;
+        }
+        if (e.kind == EventKind::kStartElement &&
+            (max_depth == 0 || stack.size() < max_depth)) {
+          stack.push_back(e.tag);
+          ++i;
+          continue;
+        }
+        if (e.kind == EventKind::kEndElement && !stack.empty() &&
+            stack.back() == e.tag) {
+          stack.pop_back();
+          ++i;
+          continue;
+        }
+      }
+      v = Check(e);
+      if (!v.ok()) break;
+      ++i;
+    }
+    if (i == n) {
+      EmitBatch(std::move(batch));
+      return;
+    }
+    if (i > 0) {
+      EmitBatch(EventBatch(std::make_move_iterator(batch.begin()),
+                           std::make_move_iterator(batch.begin() + i)));
+    }
+    HandleViolation(batch[i], std::move(v));
+    for (size_t j = i + 1; j < n; ++j) Dispatch(std::move(batch[j]));
+    return;
+  }
+  for (Event& e : batch) Dispatch(std::move(e));
+}
+
+}  // namespace xflux

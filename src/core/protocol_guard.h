@@ -1,0 +1,184 @@
+// Online protocol enforcement for hostile update streams.
+//
+// The correctness story of every downstream operator rests on its input
+// satisfying the WF_i judgment and the update-bracket discipline of paper
+// Sections II-III.  The offline checkers (core/well_formed.h) verify a full
+// EventVec after the fact; the ProtocolGuard is their incremental
+// counterpart: a pipeline Filter, inserted as the *first* stage
+// (Pipeline::InsertFront / QuerySession::Options), that validates each
+// source event as it arrives using O(depth + open-regions) state —
+// per-stream element stacks plus one record per open update bracket.
+//
+// The guard additionally enforces ResourceLimits (element-nesting depth,
+// concurrently-open regions, pipeline buffered bytes via the Metrics
+// gauges fed by the BufferLedger accounting), so an adversarial stream can
+// neither corrupt downstream state nor grow it without bound.
+//
+// On a violation the guard applies a recovery Policy:
+//  - kFailFast: report the violation on the pipeline's error channel; every
+//    stage stops dispatching and the caller reads the Status.
+//  - kDropRegion: discard the offending update region and keep the query
+//    running.  The region's already-forwarded prefix is retracted through
+//    the regular freeze/hide machinery: the guard synthesizes end-element
+//    closures, the matching end bracket, then hide(uid) + freeze(uid) —
+//    the state-adjustment wrapper retracts the partial content's effect and
+//    the display reclaims it (the dynamic analogue of discarding updates a
+//    query cannot be affected by).  Violations not attributable to a region
+//    (base-stream structure) escalate to fail-fast.
+//  - kResync: close every open region (as above) and every open element,
+//    then skip input until the next balanced bracket point — the next
+//    stream boundary (sS/eS), where brackets and elements are trivially
+//    balanced — and resume with fresh guard state.
+//
+// Invariant, relied on by the fault-injection suite: whatever the input,
+// the guard's *output* always satisfies ValidateUpdateStream (under
+// kDropRegion/kResync) or is a clean prefix of the input (kFailFast).
+
+#ifndef XFLUX_CORE_PROTOCOL_GUARD_H_
+#define XFLUX_CORE_PROTOCOL_GUARD_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "util/status.h"
+
+namespace xflux {
+
+/// Hard bounds the guard enforces per event.  0 means unlimited.
+struct ResourceLimits {
+  /// Maximum element-nesting depth of any one substream.
+  size_t max_depth = 0;
+  /// Maximum concurrently-open update brackets.
+  size_t max_open_regions = 0;
+  /// Maximum Metrics::ApproxStateBytes() — per-region state copies plus
+  /// operator buffering (BufferLedger-accounted) plus display registry.
+  /// Always fail-fast: dropping one region cannot un-buffer the past.
+  int64_t max_buffered_bytes = 0;
+};
+
+/// See file comment.
+class ProtocolGuard : public Filter {
+ public:
+  enum class Policy {
+    kFailFast,    ///< poison the pipeline on the first violation
+    kDropRegion,  ///< discard the offending update region, keep running
+    kResync,      ///< skip to the next balanced bracket point
+  };
+
+  struct Options {
+    Policy policy = Policy::kFailFast;
+    ResourceLimits limits;
+    std::string label = "guard";  ///< stage name in stats and dumps
+  };
+
+  explicit ProtocolGuard(PipelineContext* context)
+      : ProtocolGuard(context, Options()) {}
+  ProtocolGuard(PipelineContext* context, Options options)
+      : Filter(context), options_(std::move(options)) {
+    // The guard runs first and forwards clean source events untouched;
+    // the Pipeline entry points already did their registry bookkeeping.
+    set_source_transparent(true);
+  }
+
+  /// Parses "failfast" / "drop" / "resync" (xflux_inspect --guard=).
+  static StatusOr<Policy> ParsePolicy(std::string_view name);
+
+  /// End-of-input signal for truncated streams (a dropped connection never
+  /// sends its closing events).  Anything still open is a violation:
+  /// kFailFast poisons the pipeline; the lenient policies retract every
+  /// open region and synthesize closures for every open element and
+  /// stream, leaving the downstream stream balanced.  Idempotent.
+  void Finish();
+
+  // -- counters (also mirrored into the pipeline Metrics) --
+  uint64_t violations() const { return violations_; }
+  uint64_t dropped_events() const { return dropped_events_; }
+  uint64_t dropped_regions() const { return dropped_regions_; }
+  uint64_t resyncs() const { return resyncs_; }
+
+  /// The most recent violation, or OK if the stream has been clean.
+  const Status& last_violation() const { return last_violation_; }
+
+  /// Open update brackets currently tracked (diagnostics).
+  size_t open_region_count() const { return open_.size(); }
+
+ protected:
+  void Dispatch(Event event) override;
+  void DispatchBatch(EventBatch batch) override;
+  std::string StageName() const override { return options_.label; }
+
+ private:
+  /// One open update bracket: its kind, target, and the element stack of
+  /// the region's own content (the online WF_uid state).
+  struct RegionInfo {
+    EventKind start_kind;
+    StreamId target;
+    std::vector<Symbol> stack;
+  };
+
+  /// How a violation can be recovered, decided while checking.
+  enum class Offense {
+    kNone,         // event is clean
+    kRegion,       // attributable to update region offending_region_
+    kEventOnly,    // the single event is garbage; dropping it suffices
+    kStructural,   // base-stream structure is broken (incl. depth bound)
+    kResource,     // buffered-bytes bound exceeded: fail-fast everywhere
+  };
+
+  /// Validates `e` against the guard state and advances the state on
+  /// success.  On failure, sets offense_ / offending_region_.
+  Status Check(const Event& e);
+
+  /// True when `e` must be swallowed by an active discard / resync.
+  bool Swallowed(const Event& e);
+
+  void HandleViolation(const Event& e, Status violation);
+
+  /// Retracts open region `uid` downstream: synthesized element closures,
+  /// the matching end bracket, hide, freeze.  `pending_ends` real end
+  /// brackets for uid (and everything else carrying it) are then swallowed.
+  void DiscardRegion(StreamId uid, int pending_ends);
+
+  /// Retracts every open region and closes every open element and stream
+  /// downstream, clearing all guard state.
+  void CloseAllOpen();
+
+  /// kResync entry: CloseAllOpen, then skip input until the next stream
+  /// boundary.
+  void EnterResync();
+
+  void CountDropped(const Event& e);
+
+  Options options_;
+  // Base streams currently open (sS seen, eS not yet): their element
+  // stacks.  The online WF_i state for i a source stream.
+  std::unordered_map<StreamId, std::vector<Symbol>> base_;
+  // Open update brackets by uid.
+  std::unordered_map<StreamId, RegionInfo> open_;
+  // Regions being discarded: uid -> end brackets still expected in the
+  // input (every event carrying the uid is swallowed until then).
+  std::unordered_map<StreamId, int> discard_;
+  bool resyncing_ = false;
+  // Hot home-stream cache for content validation: mapped-value pointers
+  // into base_/open_ are stable until that entry is erased (every erase
+  // site nulls this out).  Saves two hash lookups per content event.
+  StreamId hot_id_ = 0;
+  std::vector<Symbol>* hot_stack_ = nullptr;
+  bool hot_is_region_ = false;
+
+  Offense offense_ = Offense::kNone;
+  StreamId offending_region_ = 0;
+
+  uint64_t violations_ = 0;
+  uint64_t dropped_events_ = 0;
+  uint64_t dropped_regions_ = 0;
+  uint64_t resyncs_ = 0;
+  Status last_violation_;
+};
+
+}  // namespace xflux
+
+#endif  // XFLUX_CORE_PROTOCOL_GUARD_H_

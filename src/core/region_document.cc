@@ -1,5 +1,6 @@
 #include "core/region_document.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace xflux {
@@ -37,6 +38,19 @@ RegionDocument::Interval* RegionDocument::OpenInterval(StreamId uid,
   return interval;
 }
 
+void RegionDocument::DropCursorsAt(Iter pos, StreamId uid) {
+  for (auto it = cursors_.begin(); it != cursors_.end();) {
+    auto& stack = it->second;
+    size_t before = stack.size();
+    stack.erase(std::remove(stack.begin(), stack.end(), pos), stack.end());
+    if (it->first == uid && stack.size() != before) {
+      // The bracket was still open; swallow the rest of its input.
+      dropping_.insert(uid);
+    }
+    it = stack.empty() ? cursors_.erase(it) : std::next(it);
+  }
+}
+
 void RegionDocument::EraseRange(Iter from, Iter to) {
   for (Iter i = from; i != to;) {
     if (i->type == Item::Type::kBegin) {
@@ -44,6 +58,12 @@ void RegionDocument::EraseRange(Iter from, Iter to) {
       if (it != active_.end() && it->second == i->interval) {
         Unbind(i->interval->id);
       }
+    } else if (i->type == Item::Type::kEnd) {
+      // A nested interval whose bracket may still be open: every insertion
+      // cursor parked on this sentinel is about to dangle.  Drop those
+      // cursors (the matching target-stream cursor pushed by sM included)
+      // before the erase, or a later insert corrupts the list.
+      DropCursorsAt(i, i->interval->id);
     }
     i = items_.erase(i);
   }
@@ -129,6 +149,9 @@ Status RegionDocument::Feed(const Event& e) {
       if (dropping_.erase(e.uid) > 0) return Status::OK();
       auto it = cursors_.find(e.uid);
       if (it == cursors_.end() || it->second.empty()) {
+        // In lenient mode the bracket may have been reclaimed out from
+        // under us (its enclosing region was replaced or frozen).
+        if (lenient_) return Status::OK();
         return Status::InvalidArgument("end bracket for region " +
                                        std::to_string(e.uid) +
                                        " that is not open");

@@ -101,6 +101,12 @@ class RegionDocument {
   // [from, to), including nested region bindings.
   void EraseRange(Iter from, Iter to);
 
+  // Removes every insertion cursor parked on `pos` (an end sentinel about
+  // to be erased).  If region `uid`'s own bracket was among them it is
+  // still open: the region joins dropping_ so the rest of its input is
+  // swallowed instead of inserted through a dangling iterator.
+  void DropCursorsAt(Iter pos, StreamId uid);
+
   void Bind(StreamId id, Interval* interval);
   void Unbind(StreamId id);
 

@@ -268,7 +268,11 @@ void TransformStage::OnUpdateStart(const Event& e) {
       break;
     }
     default:
-      assert(false);
+      // Unreachable through Dispatch's routing, but a corrupted kind byte
+      // must not null-deref `created` in Release builds.
+      context()->ReportError(Status::Internal(
+          "update-start dispatch on non-start event " + e.ToString()));
+      return;
   }
   created->delta_fold = true;
   created->positional = true;
@@ -313,7 +317,14 @@ void TransformStage::OnUpdateEnd(const Event& e) {
       // (end[uid]) applied, for everything positioned later.
       CloseRegion(e.uid, &rs);
       auto tit = states_.find(e.id);
-      assert(tit != states_.end());
+      if (tit == states_.end()) {
+        // A hostile stream can freeze the replacement's target mid-bracket,
+        // evicting the state this fold needs.  Degrade instead of reading a
+        // dead iterator: forward the closed bracket without the retroactive
+        // adjustment so the pipeline (and any guard recovery) keeps running.
+        context()->metrics()->CountStageRecovery();
+        break;
+      }
       std::unique_ptr<OperatorState> old_end = tit->second.end->Clone();
       Adj(rs.order, e.uid, *old_end, *states_.at(e.uid).end);
       states_.at(e.id).end = states_.at(e.uid).end->Clone();
@@ -326,7 +337,9 @@ void TransformStage::OnUpdateEnd(const Event& e) {
       Adj(rs.order, e.uid, *states_.at(e.uid).start, *states_.at(e.uid).end);
       break;
     default:
-      assert(false);
+      context()->ReportError(Status::Internal(
+          "update-end dispatch on non-end event " + e.ToString()));
+      return;
   }
   Emit(e);
   if (context()->fix()->IsFixed(e.uid)) {

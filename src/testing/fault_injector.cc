@@ -1,0 +1,200 @@
+#include "testing/fault_injector.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+namespace xflux {
+
+namespace {
+
+constexpr int kEventKindCount = 17;  // kStartStream .. kShow
+
+double* FieldFor(FaultSpec* spec, std::string_view key) {
+  if (key == "drop") return &spec->drop;
+  if (key == "dup" || key == "duplicate") return &spec->duplicate;
+  if (key == "swap") return &spec->swap;
+  if (key == "tag") return &spec->corrupt_tag;
+  if (key == "kind") return &spec->corrupt_kind;
+  if (key == "id") return &spec->corrupt_id;
+  if (key == "trunc" || key == "truncate") return &spec->truncate;
+  return nullptr;
+}
+
+}  // namespace
+
+StatusOr<FaultSpec> ParseFaultSpec(std::string_view spec) {
+  FaultSpec out;
+  if (spec == "light") {
+    out.drop = out.duplicate = out.swap = 0.002;
+    out.corrupt_tag = out.corrupt_kind = out.corrupt_id = 0.002;
+    out.truncate = 0.0005;
+    return out;
+  }
+  if (spec == "heavy") {
+    out.drop = out.duplicate = out.swap = 0.02;
+    out.corrupt_tag = out.corrupt_kind = out.corrupt_id = 0.02;
+    out.truncate = 0.002;
+    return out;
+  }
+  size_t start = 0;
+  while (start < spec.size()) {
+    size_t comma = spec.find(',', start);
+    if (comma == std::string_view::npos) comma = spec.size();
+    std::string_view entry = spec.substr(start, comma - start);
+    start = comma + 1;
+    if (entry.empty()) continue;
+    size_t eq = entry.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument("fault spec entry '" +
+                                     std::string(entry) + "' missing '='");
+    }
+    double* field = FieldFor(&out, entry.substr(0, eq));
+    if (field == nullptr) {
+      return Status::InvalidArgument(
+          "unknown fault '" + std::string(entry.substr(0, eq)) +
+          "' (want drop|dup|swap|tag|kind|id|trunc)");
+    }
+    std::string value(entry.substr(eq + 1));
+    char* end = nullptr;
+    double p = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0' || p < 0.0 || p > 1.0) {
+      return Status::InvalidArgument("bad fault probability '" + value + "'");
+    }
+    *field = p;
+  }
+  return out;
+}
+
+Event FaultInjector::Corrupted(Event e) {
+  // Weighted choice among the applicable corruptions; each branch is a
+  // distinct protocol attack the guard must classify.
+  bool taggable =
+      e.kind == EventKind::kStartElement || e.kind == EventKind::kEndElement;
+  double w_tag = taggable ? spec_.corrupt_tag : 0;
+  double total = w_tag + spec_.corrupt_kind + spec_.corrupt_id;
+  if (total == 0) return e;  // tag-only spec on a non-element event
+  double roll = prng_.NextDouble() * total;
+  if (roll < w_tag) {
+    ++counts_.tag_corruptions;
+    e.tag = InternTag("__corrupt" + std::to_string(prng_.Uniform(4)));
+    return e;
+  }
+  roll -= w_tag;
+  if (roll < spec_.corrupt_kind) {
+    ++counts_.kind_corruptions;
+    auto kind = static_cast<uint8_t>(prng_.Uniform(kEventKindCount));
+    if (kind == static_cast<uint8_t>(e.kind)) {
+      kind = static_cast<uint8_t>((kind + 1) % kEventKindCount);
+    }
+    e.kind = static_cast<EventKind>(kind);
+    return e;
+  }
+  ++counts_.id_corruptions;
+  StreamId delta = static_cast<StreamId>(1 + prng_.Uniform(3));
+  if (e.IsUpdateStart() || e.IsUpdateEnd()) {
+    e.uid += delta;
+  } else {
+    e.id += delta;
+  }
+  return e;
+}
+
+void FaultInjector::Forward(Event e) {
+  if (holding_) {
+    // `held_` was selected for a swap: its successor goes first.
+    Event first = std::move(e);
+    Event second = std::move(held_);
+    holding_ = false;
+    sink_->Accept(std::move(first));
+    sink_->Accept(std::move(second));
+    return;
+  }
+  sink_->Accept(std::move(e));
+}
+
+void FaultInjector::Accept(Event event) {
+  if (truncated_) {
+    return;
+  }
+  if (spec_.truncate > 0 && prng_.Chance(spec_.truncate)) {
+    ++counts_.truncations;
+    truncated_ = true;
+    return;
+  }
+  if (spec_.drop > 0 && prng_.Chance(spec_.drop)) {
+    ++counts_.drops;
+    return;
+  }
+  if (spec_.duplicate > 0 && prng_.Chance(spec_.duplicate)) {
+    ++counts_.duplicates;
+    Forward(event);
+    Forward(std::move(event));
+    return;
+  }
+  if (spec_.swap > 0 && !holding_ && prng_.Chance(spec_.swap)) {
+    ++counts_.swaps;
+    held_ = std::move(event);
+    holding_ = true;
+    return;
+  }
+  double corrupt_total =
+      spec_.corrupt_tag + spec_.corrupt_kind + spec_.corrupt_id;
+  if (corrupt_total > 0 && prng_.Chance(corrupt_total)) {
+    Forward(Corrupted(std::move(event)));
+    return;
+  }
+  Forward(std::move(event));
+}
+
+void FaultInjector::AcceptBatch(EventBatch batch) {
+  for (Event& e : batch) Accept(std::move(e));
+}
+
+void FaultInjector::Flush() {
+  if (!holding_) return;
+  holding_ = false;
+  if (!truncated_) sink_->Accept(std::move(held_));
+}
+
+EventVec MutateStream(const EventVec& events, const FaultSpec& spec,
+                      uint64_t seed, FaultCounts* counts) {
+  CollectingSink collected;
+  FaultInjector injector(spec, seed, &collected);
+  for (const Event& e : events) injector.Accept(e);
+  injector.Flush();
+  if (counts != nullptr) *counts = injector.counts();
+  return collected.Take();
+}
+
+std::vector<std::string> SplitIntoRandomChunks(std::string_view document,
+                                               uint64_t seed,
+                                               size_t max_chunk) {
+  Prng prng(seed);
+  if (max_chunk == 0) max_chunk = 1;
+  std::vector<std::string> chunks;
+  size_t pos = 0;
+  while (pos < document.size()) {
+    size_t len = 1 + prng.Uniform(max_chunk);
+    len = std::min(len, document.size() - pos);
+    chunks.emplace_back(document.substr(pos, len));
+    pos += len;
+  }
+  return chunks;
+}
+
+std::string CorruptBytes(std::string_view document, uint64_t seed,
+                         double rate) {
+  static constexpr char kNoise[] = {'<', '>', '&', ']', '"', '\'', '/',
+                                    '=', '\0', ';', '!', '?'};
+  Prng prng(seed);
+  std::string out(document);
+  for (char& c : out) {
+    if (prng.Chance(rate)) {
+      c = kNoise[prng.Uniform(sizeof(kNoise))];
+    }
+  }
+  return out;
+}
+
+}  // namespace xflux

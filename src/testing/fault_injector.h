@@ -1,0 +1,121 @@
+// Deterministic fault injection for hostile-stream testing.
+//
+// The robustness claim of the pipeline ("no input can cause undefined
+// behavior; every input either yields the oracle answer or a clean non-OK
+// Status") is only as strong as the adversary used to test it.  This header
+// provides that adversary in two forms:
+//
+//  - FaultInjector, an EventSink wrapper that mutates an event stream on
+//    its way to the real sink: dropping, duplicating and swapping events,
+//    corrupting tags / bracket kinds / stream ids, and truncating the
+//    stream mid-region.  Mutations are driven by a seeded splitmix64 Prng,
+//    so every run is reproducible from (spec, seed) alone.
+//
+//  - Byte-level helpers for the SAX layer: CorruptBytes flips document
+//    bytes into markup-significant characters and SplitIntoRandomChunks
+//    re-chunks a document so every token boundary is eventually exercised
+//    split across Feed() calls.
+//
+// Everything here is deterministic and allocation-light; the property suite
+// runs thousands of (seed, query) combinations per build.
+
+#ifndef XFLUX_TESTING_FAULT_INJECTOR_H_
+#define XFLUX_TESTING_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/event.h"
+#include "core/event_sink.h"
+#include "util/prng.h"
+#include "util/status.h"
+
+namespace xflux {
+
+/// Per-event mutation probabilities.  All default to 0 (pass-through).
+struct FaultSpec {
+  double drop = 0;          ///< discard the event
+  double duplicate = 0;     ///< deliver the event twice
+  double swap = 0;          ///< swap the event with its successor
+  double corrupt_tag = 0;   ///< sE/eE only: replace the tag symbol
+  double corrupt_kind = 0;  ///< rewrite the kind to a random other kind
+  double corrupt_id = 0;    ///< perturb id (or uid for brackets)
+  double truncate = 0;      ///< stop forwarding anything from here on
+
+  bool empty() const {
+    return drop == 0 && duplicate == 0 && swap == 0 && corrupt_tag == 0 &&
+           corrupt_kind == 0 && corrupt_id == 0 && truncate == 0;
+  }
+};
+
+/// Parses "drop=0.01,dup=0.01,swap=0.01,tag=0.01,kind=0.01,id=0.01,
+/// trunc=0.001" (any subset, any order) or the presets "light" / "heavy".
+StatusOr<FaultSpec> ParseFaultSpec(std::string_view spec);
+
+/// How many mutations of each kind an injector applied.
+struct FaultCounts {
+  uint64_t drops = 0;
+  uint64_t duplicates = 0;
+  uint64_t swaps = 0;
+  uint64_t tag_corruptions = 0;
+  uint64_t kind_corruptions = 0;
+  uint64_t id_corruptions = 0;
+  uint64_t truncations = 0;
+
+  uint64_t total() const {
+    return drops + duplicates + swaps + tag_corruptions + kind_corruptions +
+           id_corruptions + truncations;
+  }
+};
+
+/// See file comment.  Wraps `sink`; every event Accept()ed is forwarded
+/// mutated (or not) according to `spec` and the seeded Prng.  Call Flush()
+/// after the last event — a pending swap holds one event back.
+class FaultInjector : public EventSink {
+ public:
+  FaultInjector(const FaultSpec& spec, uint64_t seed, EventSink* sink)
+      : spec_(spec), prng_(seed), sink_(sink) {}
+
+  void Accept(Event event) override;
+  void AcceptBatch(EventBatch batch) override;
+
+  /// Delivers a held-back swap partner, if any.
+  void Flush();
+
+  const FaultCounts& counts() const { return counts_; }
+  bool truncated() const { return truncated_; }
+
+ private:
+  void Forward(Event e);
+  Event Corrupted(Event e);
+
+  FaultSpec spec_;
+  Prng prng_;
+  EventSink* sink_;
+  FaultCounts counts_;
+  bool holding_ = false;  // one-slot lookahead for swap
+  Event held_;
+  bool truncated_ = false;
+};
+
+/// Offline convenience: runs `events` through a FaultInjector into a
+/// vector.  `counts`, when non-null, receives the applied-mutation tally.
+EventVec MutateStream(const EventVec& events, const FaultSpec& spec,
+                      uint64_t seed, FaultCounts* counts = nullptr);
+
+/// Splits `document` into chunks of 1..max_chunk bytes with seeded random
+/// lengths — SaxParser::Feed fodder for chunk-boundary fuzzing.
+std::vector<std::string> SplitIntoRandomChunks(std::string_view document,
+                                               uint64_t seed,
+                                               size_t max_chunk = 7);
+
+/// Replaces ~rate of `document`'s bytes with markup-significant characters
+/// ('<', '>', '&', ']', '"', NUL, ...), seeded and deterministic.
+std::string CorruptBytes(std::string_view document, uint64_t seed,
+                         double rate);
+
+}  // namespace xflux
+
+#endif  // XFLUX_TESTING_FAULT_INJECTOR_H_

@@ -1,0 +1,38 @@
+// Always-on invariant traps.
+//
+// `assert` compiles out under NDEBUG, which turns "impossible" branches into
+// undefined behavior exactly in the builds that face hostile input.
+// XFLUX_CHECK is the always-on counterpart: on failure it prints the
+// condition and location to stderr and aborts, in every build type.  Use it
+// for invariants whose violation means memory is about to be corrupted
+// (e.g. reading a StatusOr value that is not there); recoverable bad input
+// belongs on the Status / PipelineContext::ReportError path instead.
+
+#ifndef XFLUX_UTIL_CHECK_H_
+#define XFLUX_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace xflux {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* condition, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "XFLUX_CHECK failed: %s at %s:%d\n", condition, file,
+               line);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace xflux
+
+/// Aborts (in every build type) when `condition` is false.
+#define XFLUX_CHECK(condition)                                         \
+  do {                                                                 \
+    if (!(condition)) {                                                \
+      ::xflux::internal::CheckFailed(#condition, __FILE__, __LINE__);  \
+    }                                                                  \
+  } while (false)
+
+#endif  // XFLUX_UTIL_CHECK_H_

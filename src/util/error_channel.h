@@ -1,0 +1,50 @@
+// Sticky first-error channel.
+//
+// The pipeline's error-reporting backbone: any component holding a channel
+// pointer can report a non-OK Status; the first one latches and every later
+// report is ignored (it is almost always a cascade of the first).  Pipeline
+// stages stop dispatching once the shared channel is poisoned, and entry
+// points (SaxParser::Feed/Finish, QuerySession) surface the latched Status
+// to the caller — so a protocol violation deep inside a Release-build
+// pipeline ends as a clean error return, never as undefined behavior.
+
+#ifndef XFLUX_UTIL_ERROR_CHANNEL_H_
+#define XFLUX_UTIL_ERROR_CHANNEL_H_
+
+#include <utility>
+
+#include "util/status.h"
+
+namespace xflux {
+
+/// See file comment.  Not thread-safe (a pipeline runs on one thread).
+class ErrorChannel {
+ public:
+  /// Latches `status` if it is the first non-OK report.
+  void Report(Status status) {
+    if (ok_ && !status.ok()) {
+      error_ = std::move(status);
+      ok_ = false;
+    }
+  }
+
+  /// False once any error was reported.  Hot-path check: one bool load.
+  bool ok() const { return ok_; }
+
+  /// The first reported error, or OK.
+  const Status& status() const { return error_; }
+
+  /// Clears the channel (tests and session reuse).
+  void Reset() {
+    error_ = Status::OK();
+    ok_ = true;
+  }
+
+ private:
+  Status error_;
+  bool ok_ = true;
+};
+
+}  // namespace xflux
+
+#endif  // XFLUX_UTIL_ERROR_CHANNEL_H_

@@ -7,7 +7,7 @@
 namespace xflux {
 
 std::string Metrics::ToString() const {
-  char buf[256];
+  char buf[384];
   std::snprintf(buf, sizeof(buf),
                 "calls=%llu emitted=%llu adjusts=%llu max_states=%lld "
                 "max_buffered_events=%lld max_mem=%lldB",
@@ -17,7 +17,20 @@ std::string Metrics::ToString() const {
                 static_cast<long long>(max_live_states_),
                 static_cast<long long>(max_buffered_events_),
                 static_cast<long long>(MaxApproxStateBytes()));
-  return buf;
+  std::string out = buf;
+  if (guard_violations_ + stage_recoveries_ > 0) {
+    std::snprintf(
+        buf, sizeof(buf),
+        " guard_violations=%llu guard_dropped_events=%llu "
+        "guard_dropped_regions=%llu guard_resyncs=%llu stage_recoveries=%llu",
+        static_cast<unsigned long long>(guard_violations_),
+        static_cast<unsigned long long>(guard_dropped_events_),
+        static_cast<unsigned long long>(guard_dropped_regions_),
+        static_cast<unsigned long long>(guard_resyncs_),
+        static_cast<unsigned long long>(stage_recoveries_));
+    out += buf;
+  }
+  return out;
 }
 
 std::string Metrics::ToJson() const {
@@ -34,6 +47,11 @@ std::string Metrics::ToJson() const {
   w.Field("max_display_regions", max_display_regions_);
   w.Field("approx_state_bytes", ApproxStateBytes());
   w.Field("max_approx_state_bytes", MaxApproxStateBytes());
+  w.Field("guard_violations", guard_violations_);
+  w.Field("guard_dropped_events", guard_dropped_events_);
+  w.Field("guard_dropped_regions", guard_dropped_regions_);
+  w.Field("guard_resyncs", guard_resyncs_);
+  w.Field("stage_recoveries", stage_recoveries_);
   return w.Close();
 }
 

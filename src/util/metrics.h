@@ -21,7 +21,7 @@ class Metrics {
  public:
   /// One state-transformer invocation (the paper's "events" column counts
   /// these in millions).
-  void CountTransformerCall() { ++transformer_calls_; }
+  void CountTransformerCall(uint64_t n = 1) { transformer_calls_ += n; }
 
   /// One event emitted downstream by any stage.
   void CountEventEmitted(uint64_t n = 1) { events_emitted_ += n; }
@@ -56,6 +56,20 @@ class Metrics {
     max_display_regions_ = std::max(max_display_regions_, display_regions_);
   }
 
+  // -- robustness counters (ProtocolGuard and stage self-recovery) --
+
+  /// One protocol / resource-limit violation detected by the guard.
+  void CountGuardViolation() { ++guard_violations_; }
+  /// Input events swallowed by the guard's recovery policy.
+  void CountGuardDroppedEvent(uint64_t n = 1) { guard_dropped_events_ += n; }
+  /// Whole update regions discarded by the kDropRegion policy.
+  void CountGuardDroppedRegion() { ++guard_dropped_regions_; }
+  /// kResync recoveries (skip to the next balanced bracket point).
+  void CountGuardResync() { ++guard_resyncs_; }
+  /// A stage degraded gracefully on inconsistent input instead of
+  /// asserting (e.g. an update close whose target state vanished).
+  void CountStageRecovery() { ++stage_recoveries_; }
+
   uint64_t transformer_calls() const { return transformer_calls_; }
   uint64_t events_emitted() const { return events_emitted_; }
   uint64_t adjust_calls() const { return adjust_calls_; }
@@ -66,6 +80,11 @@ class Metrics {
   int64_t max_buffered_bytes() const { return max_buffered_bytes_; }
   int64_t display_regions() const { return display_regions_; }
   int64_t max_display_regions() const { return max_display_regions_; }
+  uint64_t guard_violations() const { return guard_violations_; }
+  uint64_t guard_dropped_events() const { return guard_dropped_events_; }
+  uint64_t guard_dropped_regions() const { return guard_dropped_regions_; }
+  uint64_t guard_resyncs() const { return guard_resyncs_; }
+  uint64_t stage_recoveries() const { return stage_recoveries_; }
 
   /// Rough resident footprint of pipeline state, in bytes: per-region state
   /// copies plus buffered payload plus display registry entries.  This is
@@ -104,6 +123,11 @@ class Metrics {
   int64_t max_buffered_bytes_ = 0;
   int64_t display_regions_ = 0;
   int64_t max_display_regions_ = 0;
+  uint64_t guard_violations_ = 0;
+  uint64_t guard_dropped_events_ = 0;
+  uint64_t guard_dropped_regions_ = 0;
+  uint64_t guard_resyncs_ = 0;
+  uint64_t stage_recoveries_ = 0;
 };
 
 }  // namespace xflux

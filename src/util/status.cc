@@ -14,6 +14,10 @@ const char* StatusCodeName(StatusCode code) {
       return "NOT_SUPPORTED";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kProtocolViolation:
+      return "PROTOCOL_VIOLATION";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
   }
   return "UNKNOWN";
 }

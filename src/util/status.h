@@ -12,15 +12,19 @@
 #include <string>
 #include <utility>
 
+#include "util/check.h"
+
 namespace xflux {
 
 /// Coarse error taxonomy; mirrors the usual database-library categories.
 enum class StatusCode : int {
   kOk = 0,
-  kInvalidArgument = 1,  // caller passed something malformed
-  kParseError = 2,       // malformed XML or query text
-  kNotSupported = 3,     // feature outside the implemented subset
-  kInternal = 4,         // invariant violation inside the library
+  kInvalidArgument = 1,    // caller passed something malformed
+  kParseError = 2,         // malformed XML or query text
+  kNotSupported = 3,       // feature outside the implemented subset
+  kInternal = 4,           // invariant violation inside the library
+  kProtocolViolation = 5,  // stream breaks WF_i / update-bracket discipline
+  kResourceExhausted = 6,  // a configured ResourceLimits bound was exceeded
 };
 
 /// Returns the canonical human-readable name of a status code.
@@ -51,6 +55,12 @@ class Status {
   }
   static Status Internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status ProtocolViolation(std::string m) {
+    return Status(StatusCode::kProtocolViolation, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -83,16 +93,19 @@ class StatusOr {
   bool ok() const { return status_.ok(); }
   const Status& status() const { return status_; }
 
+  // Reading the value of a non-OK StatusOr would hand out a default-
+  // constructed T and silently drop the error; the guard must survive
+  // Release builds, so it traps instead of assert-ing.
   const T& value() const& {
-    assert(ok());
+    XFLUX_CHECK(ok() && "StatusOr::value() on a non-OK result");
     return value_;
   }
   T& value() & {
-    assert(ok());
+    XFLUX_CHECK(ok() && "StatusOr::value() on a non-OK result");
     return value_;
   }
   T&& value() && {
-    assert(ok());
+    XFLUX_CHECK(ok() && "StatusOr::value() on a non-OK result");
     return std::move(value_);
   }
 

@@ -48,7 +48,18 @@ void SaxParser::FlushBatch() {
   sink_->AcceptBatch(std::move(out));
 }
 
+Status SaxParser::Latch(Status status) {
+  if (status.ok() && options_.errors != nullptr && !options_.errors->ok()) {
+    // The pipeline downstream was poisoned while we were pushing events;
+    // surface its first error as ours.
+    status = options_.errors->status();
+  }
+  if (!status.ok() && error_.ok()) error_ = status;
+  return status;
+}
+
 Status SaxParser::Feed(std::string_view chunk) {
+  if (!error_.ok()) return error_;
   if (finished_) return Status::InvalidArgument("Feed after Finish");
   if (!started_) {
     started_ = true;
@@ -67,10 +78,11 @@ Status SaxParser::Feed(std::string_view chunk) {
   // Completed events must reach the sink before Feed returns, error or not
   // (callers observe the display between chunks).
   FlushBatch();
-  return status;
+  return Latch(std::move(status));
 }
 
 Status SaxParser::Finish() {
+  if (!error_.ok()) return error_;
   if (finished_) return Status::OK();
   finished_ = true;
   Status status = [&]() -> Status {
@@ -95,13 +107,19 @@ Status SaxParser::Finish() {
     return Status::OK();
   }();
   FlushBatch();
-  return status;
+  return Latch(std::move(status));
 }
 
 Status SaxParser::FlushText() {
   if (pending_text_.empty()) return Status::OK();
   std::string raw;
   raw.swap(pending_text_);
+  // "]]>" may not appear literally in character data (XML 1.0 §2.4); it is
+  // usually the tail of a corrupted CDATA section.  pending_text_ spans
+  // chunk boundaries, so a split "]]>" is still caught here.
+  if (raw.find("]]>") != std::string::npos) {
+    return Status::ParseError("']]>' in character data");
+  }
   if (!options_.keep_whitespace && AllWhitespace(raw)) return Status::OK();
   // Entity-free text (the common case) goes straight into a shared buffer.
   std::string_view chars = raw;
@@ -131,6 +149,12 @@ Status SaxParser::Consume() {
         // Text may continue in the next chunk; keep accumulating.
         pending_text_.append(buffer_, pos_, buffer_.size() - pos_);
         pos_ = buffer_.size();
+        if (options_.max_token_bytes > 0 &&
+            pending_text_.size() > options_.max_token_bytes) {
+          return Status::ResourceExhausted(
+              "character data exceeds max_token_bytes=" +
+              std::to_string(options_.max_token_bytes));
+        }
         return Status::OK();
       }
       pending_text_.append(buffer_, pos_, lt - pos_);
@@ -139,7 +163,17 @@ Status SaxParser::Consume() {
     }
     auto consumed = ConsumeMarkup();
     if (!consumed.ok()) return consumed.status();
-    if (!consumed.value()) return Status::OK();  // need more input
+    if (!consumed.value()) {
+      // Need more input.  An unterminated token must not grow the buffer
+      // without bound ("<tag " followed by gigabytes of attribute noise).
+      if (options_.max_token_bytes > 0 &&
+          buffer_.size() - pos_ > options_.max_token_bytes) {
+        return Status::ResourceExhausted(
+            "markup token exceeds max_token_bytes=" +
+            std::to_string(options_.max_token_bytes));
+      }
+      return Status::OK();
+    }
   }
   return Status::OK();
 }

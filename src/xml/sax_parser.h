@@ -20,6 +20,7 @@
 
 #include "core/event.h"
 #include "core/event_sink.h"
+#include "util/error_channel.h"
 #include "util/status.h"
 #include "util/symbol_table.h"
 
@@ -45,6 +46,14 @@ class SaxParser {
     /// disables batching (every event goes through sink->Accept singly);
     /// any pending run is always flushed at the end of Feed()/Finish().
     size_t batch_size = 64;
+    /// Resource bound on hostile input: fail with kResourceExhausted when a
+    /// single unfinished token (open markup or accumulated character data)
+    /// exceeds this many buffered bytes.  0 = unlimited.
+    size_t max_token_bytes = 0;
+    /// When set (usually to the pipeline's context()->errors()), Feed and
+    /// Finish surface the first downstream error as their return Status, so
+    /// drivers see a poisoned pipeline without polling it separately.
+    const ErrorChannel* errors = nullptr;
   };
 
   SaxParser(const Options& options, EventSink* sink);
@@ -52,11 +61,16 @@ class SaxParser {
   SaxParser(const SaxParser&) = delete;
   SaxParser& operator=(const SaxParser&) = delete;
 
-  /// Consumes the next chunk of document text.
+  /// Consumes the next chunk of document text.  Errors latch: after the
+  /// first non-OK return, further Feed/Finish calls return the same error
+  /// without consuming input (a parser mid-broken-token must not resume).
   Status Feed(std::string_view chunk);
 
   /// Flushes trailing text and validates that every element was closed.
   Status Finish();
+
+  /// The latched error, or OK.
+  const Status& error() const { return error_; }
 
   /// Number of events emitted so far (Table 1's "events" column).
   uint64_t events_emitted() const { return events_emitted_; }
@@ -85,6 +99,8 @@ class SaxParser {
   void Emit(Event e);
   // Hands any accumulated batch to the sink.
   void FlushBatch();
+  // Latches the first non-OK status (also consulting Options::errors).
+  Status Latch(Status status);
 
   Options options_;
   EventSink* sink_;
@@ -97,6 +113,7 @@ class SaxParser {
   uint64_t events_emitted_ = 0;
   bool started_ = false;
   bool finished_ = false;
+  Status error_;
 };
 
 }  // namespace xflux

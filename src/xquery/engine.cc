@@ -21,6 +21,12 @@ StatusOr<std::unique_ptr<QuerySession>> QuerySession::Open(
         pipeline->context(),
         TraceSink::Options{options.trace_capacity, "trace"});
   }
+  if (options.guard) {
+    auto guard = std::make_unique<ProtocolGuard>(pipeline->context(),
+                                                 options.guard_options);
+    session->guard_ = guard.get();
+    pipeline->InsertFront(std::move(guard));
+  }
   session->display_ = std::make_unique<ResultDisplay>(
       options.display, pipeline->context()->metrics());
   if (session->trace_ != nullptr) {
@@ -50,10 +56,11 @@ Status QuerySession::PushDocument(std::string_view xml) {
   PipelineSource source(pipeline_.get());
   SaxParser::Options options;
   options.stream_id = source_id_;
+  options.errors = pipeline_->context()->errors();
   SaxParser parser(options, &source);
   XFLUX_RETURN_IF_ERROR(parser.Feed(xml));
   XFLUX_RETURN_IF_ERROR(parser.Finish());
-  return display_->status();
+  return status();
 }
 
 StatusOr<std::string> RunQueryOnXml(std::string_view query,

@@ -9,6 +9,7 @@
 #include <string_view>
 
 #include "core/pipeline.h"
+#include "core/protocol_guard.h"
 #include "core/result_display.h"
 #include "core/trace_sink.h"
 #include "util/status.h"
@@ -48,6 +49,12 @@ class QuerySession {
     /// before the display and its window is dumped to stderr if the display
     /// latches a protocol error.
     size_t trace_capacity = 0;
+    /// When true, a ProtocolGuard is spliced in front of the compiled
+    /// pipeline: source events are validated against WF_i and the
+    /// update-bracket discipline before any operator sees them, and
+    /// `guard_options` decides what happens on a violation.
+    bool guard = false;
+    ProtocolGuard::Options guard_options;
   };
 
   /// Compiles `query` and attaches a display, per `options`.
@@ -83,15 +90,26 @@ class QuerySession {
   /// The trace tap, or nullptr when Options::trace_capacity was 0.
   TraceSink* trace() { return trace_; }
 
+  /// The protocol guard, or nullptr when Options::guard was false.
+  ProtocolGuard* guard() { return guard_; }
+
   /// Errors latched by the display (protocol violations).
   const Status& display_status() const { return display_->status(); }
+
+  /// The session's combined health: the pipeline's sticky first error
+  /// (guard fail-fast, stage-reported corruption) or, failing that, the
+  /// display's latched protocol error.  OK means the answer is live.
+  const Status& status() const {
+    return pipeline_->status().ok() ? display_->status() : pipeline_->status();
+  }
 
  private:
   QuerySession() = default;
 
   std::unique_ptr<Pipeline> pipeline_;
   std::unique_ptr<ResultDisplay> display_;
-  TraceSink* trace_ = nullptr;  // owned by the pipeline
+  TraceSink* trace_ = nullptr;       // owned by the pipeline
+  ProtocolGuard* guard_ = nullptr;   // owned by the pipeline
   StreamId source_id_ = 0;
 };
 

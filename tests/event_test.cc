@@ -49,6 +49,26 @@ TEST(EventTest, MatchingUpdateEnd) {
             EventKind::kEndInsertAfter);
 }
 
+TEST(EventTest, TryMatchingUpdateEndIsTotal) {
+  // The Try variant must classify *every* kind without trapping — it is
+  // the form hostile-input paths (the protocol guard) are built on.
+  for (int k = 0; k <= static_cast<int>(EventKind::kShow); ++k) {
+    auto kind = static_cast<EventKind>(k);
+    EventKind end = EventKind::kStartStream;
+    bool is_start = TryMatchingUpdateEnd(kind, &end);
+    if (is_start) {
+      EXPECT_EQ(end, MatchingUpdateEnd(kind));
+    } else {
+      EXPECT_EQ(end, EventKind::kStartStream);  // untouched on failure
+    }
+  }
+}
+
+TEST(EventTest, MatchingUpdateEndOnNonStartTrapsEvenInRelease) {
+  EXPECT_DEATH({ (void)MatchingUpdateEnd(EventKind::kCharacters); },
+               "XFLUX_CHECK failed");
+}
+
 TEST(EventTest, ToStringMatchesPaperNotation) {
   EXPECT_EQ(Event::StartElement(0, "name").ToString(), "sE(0,\"name\")");
   EXPECT_EQ(Event::Characters(0, "Smith").ToString(), "cD(0,\"Smith\")");

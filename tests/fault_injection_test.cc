@@ -1,0 +1,317 @@
+// The hostile-stream property suite: thousands of seeded mutated streams
+// per query class, driven through guarded pipelines.  The properties are
+// the robustness contract, not answer equality:
+//
+//  1. No input crashes (the suite runs under ASan+UBSan in CI).
+//  2. The guard's output always satisfies ValidateUpdateStream under
+//     kDropRegion / kResync, unless the guard escalated — in which case the
+//     pipeline holds a clean non-OK Status.
+//  3. A session that reports OK can always render its answer.
+//  4. Unmutated streams are bit-identical through the guard (the oracle).
+//
+// Iteration count is tunable: XFLUX_FAULT_ITERS=<seeds> (default 350 seeds
+// x 3 policies = 1050 mutated streams per query class).  When
+// XFLUX_FAULT_JSON names a file, the aggregate drop/reject counters are
+// dumped there for the CI fuzz-smoke artifact.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/protocol_guard.h"
+#include "core/well_formed.h"
+#include "testing/fault_injector.h"
+#include "util/prng.h"
+#include "xml/sax_parser.h"
+#include "xquery/engine.h"
+
+namespace xflux {
+namespace {
+
+int SeedCount() {
+  if (const char* env = std::getenv("XFLUX_FAULT_ITERS")) {
+    int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return 350;
+}
+
+// A compact random bookstore stream with embedded mutable regions and an
+// update tail — the same shape as the golden-equivalence generator, sized
+// for volume.
+EventVec RandomUpdateStream(uint64_t seed) {
+  Prng prng(seed);
+  const std::vector<std::string> authors = {"Smith", "Jones"};
+  EventVec ev;
+  StreamId next_region = 100;
+  std::vector<StreamId> regions;
+  ev.push_back(Event::StartStream(0));
+  ev.push_back(Event::StartElement(0, "biblio", 1));
+  Oid oid = 2;
+  int books = static_cast<int>(prng.Uniform(4)) + 1;
+  for (int b = 0; b < books; ++b) {
+    ev.push_back(Event::StartElement(0, "book", oid++));
+    ev.push_back(Event::StartElement(0, "author", oid++));
+    if (prng.Chance(0.6)) {
+      StreamId region = next_region++;
+      regions.push_back(region);
+      ev.push_back(Event::StartMutable(0, region));
+      ev.push_back(Event::Characters(region, prng.Pick(authors)));
+      ev.push_back(Event::EndMutable(0, region));
+    } else {
+      ev.push_back(Event::Characters(0, prng.Pick(authors)));
+    }
+    ev.push_back(Event::EndElement(0, "author"));
+    ev.push_back(Event::StartElement(0, "price", oid++));
+    ev.push_back(Event::Characters(0, std::to_string(prng.Uniform(90) + 10)));
+    ev.push_back(Event::EndElement(0, "price"));
+    ev.push_back(Event::EndElement(0, "book"));
+  }
+  ev.push_back(Event::EndElement(0, "biblio"));
+  int updates = static_cast<int>(prng.Uniform(4));
+  for (int u = 0; u < updates && !regions.empty(); ++u) {
+    size_t idx = prng.Uniform(regions.size());
+    StreamId fresh = next_region++;
+    ev.push_back(Event::StartReplace(regions[idx], fresh));
+    ev.push_back(Event::Characters(fresh, prng.Pick(authors)));
+    ev.push_back(Event::EndReplace(regions[idx], fresh));
+    regions[idx] = fresh;
+  }
+  ev.push_back(Event::EndStream(0));
+  return ev;
+}
+
+struct FuzzTotals {
+  uint64_t streams = 0;
+  uint64_t mutations = 0;
+  uint64_t poisoned = 0;
+  uint64_t guard_violations = 0;
+  uint64_t guard_dropped_events = 0;
+  uint64_t guard_dropped_regions = 0;
+  uint64_t guard_resyncs = 0;
+};
+
+FuzzTotals& Totals() {
+  static FuzzTotals totals;
+  return totals;
+}
+
+constexpr ProtocolGuard::Policy kPolicies[] = {
+    ProtocolGuard::Policy::kFailFast, ProtocolGuard::Policy::kDropRegion,
+    ProtocolGuard::Policy::kResync};
+
+// Property 2: the guard alone turns any mutated stream into a valid one
+// (or poisons cleanly).
+void CheckGuardInvariant(const EventVec& mutated, ProtocolGuard::Policy policy,
+                         uint64_t seed) {
+  Pipeline pipeline;
+  ProtocolGuard::Options options;
+  options.policy = policy;
+  auto* guard = pipeline.AddStage<ProtocolGuard>(pipeline.context(), options);
+  CollectingSink sink;
+  pipeline.SetSink(&sink);
+  pipeline.PushAll(mutated);
+  guard->Finish();  // the mutated stream may have been truncated mid-region
+
+  FuzzTotals& totals = Totals();
+  totals.guard_violations += guard->violations();
+  totals.guard_dropped_events += guard->dropped_events();
+  totals.guard_dropped_regions += guard->dropped_regions();
+  totals.guard_resyncs += guard->resyncs();
+
+  if (!pipeline.status().ok()) {
+    ++totals.poisoned;
+    EXPECT_NE(pipeline.status().code(), StatusCode::kOk);
+    return;
+  }
+  if (policy == ProtocolGuard::Policy::kFailFast) {
+    // Clean run: output is the input.
+    EXPECT_EQ(sink.events().size(), mutated.size()) << "seed " << seed;
+    return;
+  }
+  Status valid = ValidateUpdateStream(sink.events());
+  EXPECT_TRUE(valid.ok()) << valid << "\nseed " << seed << " policy "
+                          << static_cast<int>(policy) << "\nmutated "
+                          << ToString(mutated) << "\nout "
+                          << ToString(sink.events());
+}
+
+// Properties 1 and 3: a full guarded query session never crashes and can
+// always render while it reports OK.
+void CheckSessionSurvives(const char* query, const EventVec& mutated,
+                          ProtocolGuard::Policy policy, uint64_t seed) {
+  QuerySession::Options options;
+  options.guard = true;
+  options.guard_options.policy = policy;
+  auto session = QuerySession::Open(query, options);
+  ASSERT_TRUE(session.ok()) << session.status();
+  session.value()->PushAll(mutated);
+  session.value()->guard()->Finish();
+  if (session.value()->status().ok()) {
+    auto text = session.value()->CurrentText();
+    EXPECT_TRUE(text.ok()) << text.status() << "\nseed " << seed << " policy "
+                           << static_cast<int>(policy) << "\nmutated "
+                           << ToString(mutated);
+  }
+}
+
+class HostileStreams : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(HostileStreams, MutatedStreamsNeverCrashGuardedSessions) {
+  const char* query = GetParam();
+  const int seeds = SeedCount();
+  FuzzTotals& totals = Totals();
+  for (int seed = 1; seed <= seeds; ++seed) {
+    EventVec clean = RandomUpdateStream(static_cast<uint64_t>(seed));
+    ASSERT_TRUE(ValidateUpdateStream(clean).ok());
+    // Alternate light/heavy mutation loads across seeds.
+    FaultSpec spec =
+        ParseFaultSpec(seed % 2 == 0 ? "heavy" : "light").value();
+    for (ProtocolGuard::Policy policy : kPolicies) {
+      FaultCounts counts;
+      EventVec mutated = MutateStream(
+          clean, spec,
+          static_cast<uint64_t>(seed) * 31 + static_cast<int>(policy),
+          &counts);
+      ++totals.streams;
+      totals.mutations += counts.total();
+      CheckGuardInvariant(mutated, policy, static_cast<uint64_t>(seed));
+      CheckSessionSurvives(query, mutated, policy,
+                           static_cast<uint64_t>(seed));
+      if (HasFatalFailure() || HasNonfatalFailure()) return;  // first repro
+    }
+  }
+}
+
+TEST_P(HostileStreams, UnmutatedStreamsPassGuardUntouched) {
+  const char* query = GetParam();
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    EventVec clean = RandomUpdateStream(seed);
+    QuerySession::Options guarded;
+    guarded.guard = true;
+    auto with = QuerySession::Open(query, guarded);
+    auto without = QuerySession::Open(query);
+    ASSERT_TRUE(with.ok() && without.ok());
+    with.value()->PushAll(clean);
+    without.value()->PushAll(clean);
+    ASSERT_TRUE(with.value()->status().ok()) << with.value()->status();
+    EXPECT_EQ(with.value()->guard()->violations(), 0u);
+    auto a = with.value()->CurrentText();
+    auto b = without.value()->CurrentText();
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(a.value(), b.value()) << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    QueryClasses, HostileStreams,
+    ::testing::Values("X//book[author=\"Smith\"]/title", "count(X//book)",
+                      "for $b in X//book where $b/author = \"Smith\" "
+                      "return <hit>{ $b/price }</hit>"),
+    [](const auto& info) { return "q" + std::to_string(info.index); });
+
+// ---------------------------------------------------------------------------
+// Byte-level fuzzing of the SAX layer.
+
+TEST(SaxFuzz, RandomChunkingIsTransparent) {
+  const std::string doc =
+      "<biblio><book year=\"2008\"><author>Smith &amp; Jones</author>"
+      "<!-- c --><title><![CDATA[a<b]]></title><price>42</price></book>"
+      "</biblio>";
+  auto whole = SaxParser::Tokenize(doc);
+  ASSERT_TRUE(whole.ok()) << whole.status();
+  for (uint64_t seed = 1; seed <= 200; ++seed) {
+    CollectingSink sink;
+    SaxParser parser(SaxParser::Options(), &sink);
+    Status status;
+    for (const std::string& chunk :
+         SplitIntoRandomChunks(doc, seed, 1 + seed % 9)) {
+      status = parser.Feed(chunk);
+      ASSERT_TRUE(status.ok()) << status << " seed " << seed;
+    }
+    ASSERT_TRUE(parser.Finish().ok()) << parser.Finish() << " seed " << seed;
+    EXPECT_EQ(sink.events(), whole.value()) << "seed " << seed;
+  }
+}
+
+TEST(SaxFuzz, CorruptedBytesNeverCrash) {
+  const std::string doc =
+      "<biblio><book><author a=\"x&lt;\">Smith</author><price>10</price>"
+      "</book><book><author>Jones</author></book></biblio>";
+  for (uint64_t seed = 1; seed <= 400; ++seed) {
+    double rate = seed % 2 == 0 ? 0.05 : 0.01;
+    std::string corrupt = CorruptBytes(doc, seed, rate);
+    SaxParser::Options options;
+    options.max_token_bytes = 1 << 16;
+    CollectingSink sink;
+    SaxParser parser(options, &sink);
+    Status status = Status::OK();
+    for (const std::string& chunk :
+         SplitIntoRandomChunks(corrupt, seed ^ 0x9E3779B9, 5)) {
+      status = parser.Feed(chunk);
+      if (!status.ok()) break;
+    }
+    if (status.ok()) status = parser.Finish();
+    if (status.ok()) {
+      // Whatever survived must be a well-formed event stream.
+      EXPECT_TRUE(CheckWellFormed(sink.events(), 0).ok())
+          << "seed " << seed << "\ndoc: " << corrupt;
+    } else {
+      // Errors latch: feeding more input must not revive the parser.
+      EXPECT_EQ(parser.Feed("<more/>").code(), status.code());
+    }
+  }
+}
+
+TEST(SaxFuzz, CorruptedDocumentsThroughGuardedSession) {
+  const std::string doc =
+      "<biblio><book><author>Smith</author><title>T</title></book></biblio>";
+  for (uint64_t seed = 1; seed <= 200; ++seed) {
+    QuerySession::Options options;
+    options.guard = true;
+    options.guard_options.policy = ProtocolGuard::Policy::kDropRegion;
+    auto session = QuerySession::Open("X//author", options);
+    ASSERT_TRUE(session.ok());
+    Status status =
+        session.value()->PushDocument(CorruptBytes(doc, seed, 0.03));
+    if (status.ok()) {
+      EXPECT_TRUE(session.value()->CurrentText().ok());
+    }
+  }
+}
+
+// Dumps the aggregate counters for the CI artifact when XFLUX_FAULT_JSON
+// is set.  A global environment's TearDown is the only hook guaranteed to
+// run after the parameterized sweeps (gtest registers TEST_P
+// instantiations after plain TESTs, so a "last" TEST would run first).
+class FuzzReportEnvironment : public ::testing::Environment {
+ public:
+  void TearDown() override {
+    const char* path = std::getenv("XFLUX_FAULT_JSON");
+    if (path == nullptr) return;
+    const FuzzTotals& totals = Totals();
+    std::FILE* f = std::fopen(path, "w");
+    ASSERT_NE(f, nullptr) << "cannot open " << path;
+    std::fprintf(
+        f,
+        "{\"streams\": %llu, \"mutations\": %llu, \"poisoned\": %llu, "
+        "\"guard_violations\": %llu, \"guard_dropped_events\": %llu, "
+        "\"guard_dropped_regions\": %llu, \"guard_resyncs\": %llu}\n",
+        static_cast<unsigned long long>(totals.streams),
+        static_cast<unsigned long long>(totals.mutations),
+        static_cast<unsigned long long>(totals.poisoned),
+        static_cast<unsigned long long>(totals.guard_violations),
+        static_cast<unsigned long long>(totals.guard_dropped_events),
+        static_cast<unsigned long long>(totals.guard_dropped_regions),
+        static_cast<unsigned long long>(totals.guard_resyncs));
+    std::fclose(f);
+  }
+};
+
+const ::testing::Environment* const kFuzzReportEnv =
+    ::testing::AddGlobalTestEnvironment(new FuzzReportEnvironment());
+
+}  // namespace
+}  // namespace xflux

@@ -1,0 +1,321 @@
+// ProtocolGuard unit tests: clean streams pass untouched; every violation
+// class is detected online; each recovery policy leaves the downstream
+// stream valid (or cleanly poisons the pipeline).
+
+#include <gtest/gtest.h>
+
+#include "core/protocol_guard.h"
+#include "core/region_document.h"
+#include "core/well_formed.h"
+#include "tests/test_util.h"
+#include "xquery/engine.h"
+
+namespace xflux {
+namespace {
+
+struct GuardRun {
+  EventVec out;
+  Status pipeline_status;
+  uint64_t violations = 0;
+  uint64_t dropped_events = 0;
+  uint64_t dropped_regions = 0;
+  uint64_t resyncs = 0;
+  Status last_violation;
+};
+
+GuardRun RunGuard(const EventVec& input, ProtocolGuard::Options options,
+                  bool batched = true) {
+  Pipeline pipeline;
+  auto* guard =
+      pipeline.AddStage<ProtocolGuard>(pipeline.context(), options);
+  CollectingSink sink;
+  pipeline.SetSink(&sink);
+  if (batched) {
+    pipeline.PushAll(input);
+  } else {
+    for (const Event& e : input) pipeline.Push(e);
+  }
+  GuardRun run;
+  run.out = sink.Take();
+  run.pipeline_status = pipeline.status();
+  run.violations = guard->violations();
+  run.dropped_events = guard->dropped_events();
+  run.dropped_regions = guard->dropped_regions();
+  run.resyncs = guard->resyncs();
+  run.last_violation = guard->last_violation();
+  return run;
+}
+
+EventVec CleanStream() {
+  EventVec ev;
+  ev.push_back(Event::StartStream(0));
+  ev.push_back(Event::StartElement(0, "a", 1));
+  ev.push_back(Event::StartMutable(0, 100));
+  ev.push_back(Event::Characters(100, "x"));
+  ev.push_back(Event::EndMutable(0, 100));
+  ev.push_back(Event::EndElement(0, "a"));
+  ev.push_back(Event::StartReplace(100, 101));
+  ev.push_back(Event::Characters(101, "y"));
+  ev.push_back(Event::EndReplace(100, 101));
+  ev.push_back(Event::EndStream(0));
+  return ev;
+}
+
+TEST(ProtocolGuard, CleanStreamPassesUntouched) {
+  EventVec input = CleanStream();
+  for (bool batched : {true, false}) {
+    GuardRun run = RunGuard(input, {}, batched);
+    EXPECT_TRUE(run.pipeline_status.ok()) << run.pipeline_status;
+    EXPECT_EQ(run.violations, 0u);
+    EXPECT_EQ(StripOids(run.out), StripOids(input));
+  }
+}
+
+TEST(ProtocolGuard, ParsePolicy) {
+  EXPECT_EQ(ProtocolGuard::ParsePolicy("failfast").value(),
+            ProtocolGuard::Policy::kFailFast);
+  EXPECT_EQ(ProtocolGuard::ParsePolicy("drop").value(),
+            ProtocolGuard::Policy::kDropRegion);
+  EXPECT_EQ(ProtocolGuard::ParsePolicy("resync").value(),
+            ProtocolGuard::Policy::kResync);
+  EXPECT_FALSE(ProtocolGuard::ParsePolicy("bogus").ok());
+}
+
+TEST(ProtocolGuard, FailFastPoisonsOnMismatchedEndElement) {
+  EventVec ev;
+  ev.push_back(Event::StartStream(0));
+  ev.push_back(Event::StartElement(0, "a", 1));
+  ev.push_back(Event::EndElement(0, "b"));  // mismatched
+  ev.push_back(Event::EndElement(0, "a"));
+  ev.push_back(Event::EndStream(0));
+
+  GuardRun run = RunGuard(ev, {});
+  EXPECT_EQ(run.pipeline_status.code(), StatusCode::kProtocolViolation)
+      << run.pipeline_status;
+  EXPECT_EQ(run.violations, 1u);
+  // The clean prefix reached the sink; nothing after the violation did.
+  EXPECT_EQ(run.out.size(), 2u);
+}
+
+TEST(ProtocolGuard, DropPolicySkipsGarbageEvent) {
+  EventVec ev = CleanStream();
+  // An end bracket no one opened, spliced into the middle.
+  ev.insert(ev.begin() + 2, Event::EndReplace(7, 77));
+
+  ProtocolGuard::Options options;
+  options.policy = ProtocolGuard::Policy::kDropRegion;
+  GuardRun run = RunGuard(ev, options);
+  EXPECT_TRUE(run.pipeline_status.ok()) << run.pipeline_status;
+  EXPECT_EQ(run.violations, 1u);
+  EXPECT_EQ(run.dropped_events, 1u);
+  EXPECT_EQ(run.dropped_regions, 0u);
+  EXPECT_EQ(StripOids(run.out), StripOids(CleanStream()));
+}
+
+TEST(ProtocolGuard, DropPolicyRetractsCorruptRegion) {
+  EventVec ev;
+  ev.push_back(Event::StartStream(0));
+  ev.push_back(Event::StartElement(0, "a", 1));
+  ev.push_back(Event::StartMutable(0, 100));
+  ev.push_back(Event::StartElement(100, "u", 2));
+  ev.push_back(Event::EndElement(100, "wrong"));  // corrupt inside region
+  ev.push_back(Event::Characters(100, "gone"));   // swallowed with region
+  ev.push_back(Event::EndMutable(0, 100));        // swallowed (real end)
+  ev.push_back(Event::EndElement(0, "a"));
+  ev.push_back(Event::EndStream(0));
+
+  ProtocolGuard::Options options;
+  options.policy = ProtocolGuard::Policy::kDropRegion;
+  GuardRun run = RunGuard(ev, options);
+  EXPECT_TRUE(run.pipeline_status.ok()) << run.pipeline_status;
+  EXPECT_EQ(run.dropped_regions, 1u);
+  EXPECT_TRUE(ValidateUpdateStream(run.out).ok())
+      << ValidateUpdateStream(run.out) << "\n" << ToString(run.out);
+  // The partial region was closed, hidden, and frozen downstream.
+  EventVec expect_tail = {Event::EndElement(100, "u"),
+                          Event::EndMutable(0, 100), Event::Hide(100),
+                          Event::Freeze(100)};
+  ASSERT_GE(run.out.size(), 4u + 3u);
+  EventVec tail(run.out.begin() + 4, run.out.begin() + 8);
+  EXPECT_EQ(StripOids(tail), StripOids(expect_tail)) << ToString(run.out);
+  // Materialization drops the hidden region's partial content.
+  auto mat = Materialize(run.out, RenderOptions(), /*lenient=*/true);
+  ASSERT_TRUE(mat.ok()) << mat.status();
+}
+
+TEST(ProtocolGuard, DropPolicyHandlesDoubleOpen) {
+  EventVec ev;
+  ev.push_back(Event::StartStream(0));
+  ev.push_back(Event::StartElement(0, "a", 1));
+  ev.push_back(Event::StartMutable(0, 100));
+  ev.push_back(Event::Characters(100, "x"));
+  ev.push_back(Event::StartMutable(0, 100));  // double open
+  ev.push_back(Event::Characters(100, "y"));  // swallowed
+  ev.push_back(Event::EndMutable(0, 100));    // swallowed (inner end)
+  ev.push_back(Event::EndMutable(0, 100));    // swallowed (outer end)
+  ev.push_back(Event::EndElement(0, "a"));
+  ev.push_back(Event::EndStream(0));
+
+  ProtocolGuard::Options options;
+  options.policy = ProtocolGuard::Policy::kDropRegion;
+  GuardRun run = RunGuard(ev, options);
+  EXPECT_TRUE(run.pipeline_status.ok()) << run.pipeline_status;
+  EXPECT_EQ(run.dropped_regions, 1u);
+  EXPECT_TRUE(ValidateUpdateStream(run.out).ok())
+      << ValidateUpdateStream(run.out) << "\n" << ToString(run.out);
+}
+
+TEST(ProtocolGuard, DropPolicyEscalatesBaseStreamBreakage) {
+  EventVec ev;
+  ev.push_back(Event::StartStream(0));
+  ev.push_back(Event::StartElement(0, "a", 1));
+  ev.push_back(Event::EndStream(0));  // stream ends with <a> open
+
+  ProtocolGuard::Options options;
+  options.policy = ProtocolGuard::Policy::kDropRegion;
+  GuardRun run = RunGuard(ev, options);
+  EXPECT_EQ(run.pipeline_status.code(), StatusCode::kProtocolViolation);
+}
+
+TEST(ProtocolGuard, ResyncSkipsToNextStream) {
+  EventVec ev;
+  ev.push_back(Event::StartStream(0));
+  ev.push_back(Event::StartElement(0, "a", 1));
+  ev.push_back(Event::StartMutable(0, 100));
+  ev.push_back(Event::EndElement(0, "b"));     // base-stream corruption
+  ev.push_back(Event::Characters(0, "junk"));  // swallowed during resync
+  ev.push_back(Event::EndStream(0));           // swallowed; ends resync
+  ev.push_back(Event::StartStream(1));         // fresh stream: processed
+  ev.push_back(Event::StartElement(1, "c", 2));
+  ev.push_back(Event::EndElement(1, "c"));
+  ev.push_back(Event::EndStream(1));
+
+  ProtocolGuard::Options options;
+  options.policy = ProtocolGuard::Policy::kResync;
+  GuardRun run = RunGuard(ev, options);
+  EXPECT_TRUE(run.pipeline_status.ok()) << run.pipeline_status;
+  EXPECT_EQ(run.resyncs, 1u);
+  EXPECT_TRUE(ValidateUpdateStream(run.out).ok())
+      << ValidateUpdateStream(run.out) << "\n" << ToString(run.out);
+  EXPECT_TRUE(CheckWellFormed(run.out, 0).ok()) << ToString(run.out);
+  EXPECT_TRUE(CheckWellFormed(run.out, 1).ok()) << ToString(run.out);
+  // The fresh stream made it through intact.
+  EventVec tail(run.out.end() - 4, run.out.end());
+  EventVec expect = {Event::StartStream(1), Event::StartElement(1, "c"),
+                     Event::EndElement(1, "c"), Event::EndStream(1)};
+  EXPECT_EQ(StripOids(tail), StripOids(expect)) << ToString(run.out);
+}
+
+TEST(ProtocolGuard, ResyncResumesAtStartStreamViolation) {
+  // A second sS for an already-open stream is itself the balanced point:
+  // resync closes stream 0, then the offending sS restarts it.
+  EventVec ev;
+  ev.push_back(Event::StartStream(0));
+  ev.push_back(Event::StartElement(0, "a", 1));
+  ev.push_back(Event::StartStream(0));  // violation and restart point
+  ev.push_back(Event::StartElement(0, "b", 2));
+  ev.push_back(Event::EndElement(0, "b"));
+  ev.push_back(Event::EndStream(0));
+
+  ProtocolGuard::Options options;
+  options.policy = ProtocolGuard::Policy::kResync;
+  GuardRun run = RunGuard(ev, options);
+  EXPECT_TRUE(run.pipeline_status.ok()) << run.pipeline_status;
+  EXPECT_TRUE(CheckWellFormed(run.out, 0).ok()) << ToString(run.out);
+}
+
+TEST(ProtocolGuard, MaxDepthEnforced) {
+  EventVec ev;
+  ev.push_back(Event::StartStream(0));
+  ev.push_back(Event::StartElement(0, "a", 1));
+  ev.push_back(Event::StartElement(0, "a", 2));
+  ev.push_back(Event::StartElement(0, "a", 3));  // depth 3 > limit 2
+
+  ProtocolGuard::Options options;
+  options.limits.max_depth = 2;
+  GuardRun run = RunGuard(ev, options);
+  EXPECT_EQ(run.pipeline_status.code(), StatusCode::kResourceExhausted)
+      << run.pipeline_status;
+  EXPECT_EQ(run.out.size(), 3u);  // the offending sE never got through
+}
+
+TEST(ProtocolGuard, MaxOpenRegionsDroppedUnderDropPolicy) {
+  EventVec ev;
+  ev.push_back(Event::StartStream(0));
+  ev.push_back(Event::StartElement(0, "a", 1));
+  ev.push_back(Event::StartMutable(0, 100));
+  ev.push_back(Event::StartMutable(0, 101));  // second open region: over limit
+  ev.push_back(Event::Characters(101, "x"));  // swallowed
+  ev.push_back(Event::EndMutable(0, 101));    // swallowed
+  ev.push_back(Event::EndMutable(0, 100));
+  ev.push_back(Event::EndElement(0, "a"));
+  ev.push_back(Event::EndStream(0));
+
+  ProtocolGuard::Options options;
+  options.policy = ProtocolGuard::Policy::kDropRegion;
+  options.limits.max_open_regions = 1;
+  GuardRun run = RunGuard(ev, options);
+  EXPECT_TRUE(run.pipeline_status.ok()) << run.pipeline_status;
+  EXPECT_EQ(run.dropped_regions, 1u);
+  EXPECT_EQ(run.last_violation.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(ValidateUpdateStream(run.out).ok())
+      << ValidateUpdateStream(run.out) << "\n" << ToString(run.out);
+}
+
+TEST(ProtocolGuard, CountersMirroredIntoMetrics) {
+  EventVec ev = CleanStream();
+  ev.insert(ev.begin() + 2, Event::EndReplace(7, 77));
+
+  Pipeline pipeline;
+  ProtocolGuard::Options options;
+  options.policy = ProtocolGuard::Policy::kDropRegion;
+  pipeline.AddStage<ProtocolGuard>(pipeline.context(), options);
+  CollectingSink sink;
+  pipeline.SetSink(&sink);
+  pipeline.PushAll(ev);
+  const Metrics& m = *pipeline.context()->metrics();
+  EXPECT_EQ(m.guard_violations(), 1u);
+  EXPECT_EQ(m.guard_dropped_events(), 1u);
+  EXPECT_NE(m.ToString().find("guard_violations=1"), std::string::npos)
+      << m.ToString();
+}
+
+TEST(ProtocolGuard, GuardedSessionSurvivesTruncatedUpdateTail) {
+  // End-to-end: a query session with a drop-policy guard keeps serving an
+  // answer when the update tail is cut mid-bracket by the source vanishing.
+  QuerySession::Options options;
+  options.guard = true;
+  options.guard_options.policy = ProtocolGuard::Policy::kDropRegion;
+  auto session = QuerySession::Open("X//author", options);
+  ASSERT_TRUE(session.ok()) << session.status();
+
+  EventVec ev;
+  ev.push_back(Event::StartStream(0));
+  ev.push_back(Event::StartElement(0, "biblio", 1));
+  ev.push_back(Event::StartElement(0, "author", 2));
+  ev.push_back(Event::StartMutable(0, 100));
+  ev.push_back(Event::Characters(100, "Smith"));
+  ev.push_back(Event::EndMutable(0, 100));
+  ev.push_back(Event::EndElement(0, "author"));
+  ev.push_back(Event::EndElement(0, "biblio"));
+  // Corrupt tail: a replace that never closes, then the stream just ends
+  // with the bracket dangling.
+  ev.push_back(Event::StartReplace(100, 101));
+  ev.push_back(Event::Characters(101, "Jo"));
+  ev.push_back(Event::EndStream(0));
+
+  session.value()->PushAll(ev);
+  ASSERT_TRUE(session.value()->status().ok()) << session.value()->status();
+  EXPECT_EQ(session.value()->guard()->violations(), 1u);
+  auto text = session.value()->CurrentText();
+  ASSERT_TRUE(text.ok()) << text.status();
+  // Bounded damage, not rollback: the guard cannot restore content a
+  // replace already consumed (that would require buffering the original),
+  // but the half-received replacement never leaks into the answer and the
+  // session stays live.
+  EXPECT_EQ(text.value().find("Jo"), std::string::npos) << text.value();
+  EXPECT_NE(text.value().find("author"), std::string::npos) << text.value();
+}
+
+}  // namespace
+}  // namespace xflux

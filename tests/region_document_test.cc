@@ -243,5 +243,53 @@ TEST(RegionDocumentTest, StockTickerScenario) {
   EXPECT_EQ(MustMaterialize(in), expect);
 }
 
+TEST(RegionDocumentTest, ConcurrentReplaceReclaimsOpenNestedInterval) {
+  // Two replaces of the same target with the second starting while the
+  // first bracket is still open.  The second replace erases the first's
+  // interval out from under it; the remaining content and end bracket of
+  // the orphaned region must be dropped, not inserted through a dangling
+  // cursor (regression: list corruption crashed RenderEvents).
+  EventVec in = {Event::StartMutable(0, 100),
+                 Event::Characters(100, "old"),
+                 Event::EndMutable(0, 100),
+                 Event::StartReplace(100, 200),
+                 Event::Characters(200, "first"),
+                 Event::StartReplace(100, 300),  // 200 still open
+                 Event::Characters(200, "orphan"),
+                 Event::EndReplace(100, 200),
+                 Event::Characters(300, "second"),
+                 Event::EndReplace(100, 300)};
+  auto result = Materialize(in, {}, /*lenient=*/true);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EventVec expect = {Event::Characters(0, "second")};
+  EXPECT_EQ(result.value(), expect);
+}
+
+TEST(RegionDocumentTest, FreezeOfHiddenRegionWithOpenNestedBracket) {
+  // hide+freeze reclaims a region whose nested replace bracket is still
+  // open — the retraction sequence the ProtocolGuard synthesizes can race
+  // operator-side brackets like this.  Trailing input for the reclaimed
+  // nested region is swallowed.
+  EventVec in = {Event::StartMutable(0, 100),
+                 Event::Characters(100, "x"),
+                 Event::EndMutable(0, 100),
+                 Event::StartReplace(100, 200),
+                 Event::Characters(200, "y"),
+                 Event::Hide(100),
+                 Event::Freeze(100),
+                 Event::Characters(200, "late"),
+                 Event::EndReplace(100, 200)};
+  auto result = Materialize(in, {}, /*lenient=*/true);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result.value().empty());
+}
+
+TEST(RegionDocumentTest, StrictModeStillRejectsStrayEndBracket) {
+  EventVec in = {Event::Characters(0, "a"), Event::EndMutable(0, 7)};
+  auto result = Materialize(in, {}, /*lenient=*/false);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
 }  // namespace
 }  // namespace xflux

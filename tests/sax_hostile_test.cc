@@ -1,0 +1,142 @@
+// Deterministic hostile-input cases for the SAX layer (the byte-level
+// fuzzers live in fault_injection_test.cc).  Every malformed document must
+// come back as a clean kParseError / kResourceExhausted — never a crash —
+// and the parser must stay latched on its first error.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/event.h"
+#include "util/error_channel.h"
+#include "xml/sax_parser.h"
+
+namespace xflux {
+namespace {
+
+Status ParseAll(const std::vector<std::string>& chunks,
+                SaxParser::Options options = {}) {
+  NullSink sink;
+  SaxParser parser(options, &sink);
+  for (const std::string& chunk : chunks) {
+    Status s = parser.Feed(chunk);
+    if (!s.ok()) return s;
+  }
+  return parser.Finish();
+}
+
+TEST(SaxHostileTest, UnclosedElementAtFinish) {
+  Status s = ParseAll({"<biblio><book>text"});
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_NE(s.message().find("unclosed element"), std::string::npos) << s;
+}
+
+TEST(SaxHostileTest, UnterminatedMarkupAtFinish) {
+  Status s = ParseAll({"<biblio><boo"});
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_NE(s.message().find("unterminated markup"), std::string::npos) << s;
+}
+
+TEST(SaxHostileTest, TagSplitAcrossChunksStillParses) {
+  EXPECT_TRUE(ParseAll({"<bib", "lio><a", ">x</a></bibli", "o>"}).ok());
+}
+
+TEST(SaxHostileTest, AttributeSplitAcrossChunksStillParses) {
+  EXPECT_TRUE(
+      ParseAll({"<book ye", "ar=\"20", "08\"/>"}).ok());
+}
+
+TEST(SaxHostileTest, EntitySplitAcrossChunksStillParses) {
+  EXPECT_TRUE(ParseAll({"<a>Smith &a", "mp; Jones</a>"}).ok());
+}
+
+TEST(SaxHostileTest, MismatchedEndTagSplitAcrossChunks) {
+  Status s = ParseAll({"<a><b>x</", "c></a>"});
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_NE(s.message().find("mismatched end tag"), std::string::npos) << s;
+}
+
+TEST(SaxHostileTest, StrayCdataCloserInCharacterData) {
+  Status s = ParseAll({"<a>x]]>y</a>"});
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_NE(s.message().find("']]>'"), std::string::npos) << s;
+}
+
+TEST(SaxHostileTest, StrayCdataCloserSplitAcrossChunks) {
+  Status s = ParseAll({"<a>x]", "]", ">y</a>"});
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+}
+
+TEST(SaxHostileTest, BareAmpersandIsAParseError) {
+  Status s = ParseAll({"<a>fish & chips</a>"});
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_NE(s.message().find("entity"), std::string::npos) << s;
+}
+
+TEST(SaxHostileTest, UnknownEntityIsAParseError) {
+  EXPECT_EQ(ParseAll({"<a>&bogus;</a>"}).code(), StatusCode::kParseError);
+}
+
+TEST(SaxHostileTest, UnmatchedEndTag) {
+  EXPECT_EQ(ParseAll({"</a>"}).code(), StatusCode::kParseError);
+}
+
+TEST(SaxHostileTest, CharacterDataOutsideDocumentElement) {
+  EXPECT_EQ(ParseAll({"garbage<a/>"}).code(), StatusCode::kParseError);
+}
+
+TEST(SaxHostileTest, MaxTokenBytesBoundsUnterminatedMarkup) {
+  SaxParser::Options options;
+  options.max_token_bytes = 64;
+  // An attacker streams an unbounded "tag" that never closes; the bound
+  // must trip long before memory does.
+  NullSink sink;
+  SaxParser parser(options, &sink);
+  Status s = parser.Feed("<");
+  for (int i = 0; i < 1000 && s.ok(); ++i) {
+    s = parser.Feed("aaaaaaaaaaaaaaaa");
+  }
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(SaxHostileTest, MaxTokenBytesBoundsRunawayText) {
+  SaxParser::Options options;
+  options.max_token_bytes = 64;
+  NullSink sink;
+  SaxParser parser(options, &sink);
+  ASSERT_TRUE(parser.Feed("<a>").ok());
+  Status s = Status::OK();
+  for (int i = 0; i < 1000 && s.ok(); ++i) {
+    s = parser.Feed("xxxxxxxxxxxxxxxx");
+  }
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(SaxHostileTest, ErrorsLatchAcrossFeedAndFinish) {
+  NullSink sink;
+  SaxParser parser(SaxParser::Options(), &sink);
+  Status first = parser.Feed("</nope>");
+  ASSERT_EQ(first.code(), StatusCode::kParseError);
+  // Feeding valid input afterwards must not revive the parser.
+  EXPECT_EQ(parser.Feed("<fine/>").code(), StatusCode::kParseError);
+  EXPECT_EQ(parser.Finish().code(), StatusCode::kParseError);
+  EXPECT_EQ(parser.error().message(), first.message());
+}
+
+TEST(SaxHostileTest, DownstreamPoisoningSurfacesThroughFeed) {
+  // When the parser feeds a pipeline whose error channel is poisoned, Feed
+  // reports that error instead of parsing on into a dead pipeline.
+  ErrorChannel errors;
+  SaxParser::Options options;
+  options.errors = &errors;
+  NullSink sink;
+  SaxParser parser(options, &sink);
+  ASSERT_TRUE(parser.Feed("<a>").ok());
+  errors.Report(Status::Internal("stage blew up"));
+  Status s = parser.Feed("x</a>");
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace xflux

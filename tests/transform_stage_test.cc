@@ -318,5 +318,39 @@ TEST(CountOpTest, PaperSectionThreeCharacterDataCount) {
   EXPECT_EQ(display.CurrentText().value(), "3");
 }
 
+TEST(TransformStageTest, EndReplaceAfterTargetFrozenRecoversGracefully) {
+  // A hostile stream freezes the replace *target* while the replacement
+  // bracket is still open, evicting the state the end-bracket fold needs.
+  // The stage must degrade (counted as a stage recovery) instead of
+  // reading a dead iterator — this path used to be an NDEBUG-stripped
+  // assert, i.e. undefined behavior in Release builds.
+  Pipeline pipeline;
+  pipeline.set_accept_source_updates(true);
+  pipeline.AddStage<TransformStage>(pipeline.context(),
+                                    std::make_unique<ChildStep>(0, "book"));
+  CollectingSink sink;
+  pipeline.SetSink(&sink);
+  EventVec in = {Event::StartStream(0),
+                 Event::StartElement(0, "lib", 1),
+                 Event::StartMutable(0, 100),
+                 Event::StartElement(100, "book", 2),
+                 Event::Characters(100, "a"),
+                 Event::EndElement(100, "book"),
+                 Event::EndMutable(0, 100),
+                 Event::EndElement(0, "lib"),
+                 Event::StartReplace(100, 200),
+                 Event::StartElement(200, "book", 3),
+                 Event::Characters(200, "b"),
+                 Event::EndElement(200, "book"),
+                 Event::Freeze(100),  // target evicted mid-bracket
+                 Event::EndReplace(100, 200),
+                 Event::EndStream(0)};
+  // Per-event Push: batched PushAll pre-scans the fix registry, which
+  // would drop the whole update before the stage sees the freeze race.
+  for (const Event& e : in) pipeline.Push(e);
+  EXPECT_TRUE(pipeline.status().ok()) << pipeline.status();
+  EXPECT_GE(pipeline.context()->metrics()->stage_recoveries(), 1u);
+}
+
 }  // namespace
 }  // namespace xflux

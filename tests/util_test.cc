@@ -3,6 +3,8 @@
 #include "core/fix_registry.h"
 #include "core/stream_registry.h"
 #include "ops/aggregates.h"
+#include "util/check.h"
+#include "util/error_channel.h"
 #include "util/metrics.h"
 #include "util/prng.h"
 #include "util/status.h"
@@ -155,6 +157,40 @@ TEST(FormatNumberTest, IntegersAndDecimals) {
   EXPECT_EQ(FormatNumber(-17.0), "-17");
   EXPECT_EQ(FormatNumber(2.5), "2.5");
   EXPECT_EQ(FormatNumber(0.0), "0");
+}
+
+TEST(ErrorChannelTest, LatchesFirstErrorOnly) {
+  ErrorChannel errors;
+  EXPECT_TRUE(errors.ok());
+  errors.Report(Status::OK());  // OK reports never latch
+  EXPECT_TRUE(errors.ok());
+  errors.Report(Status::ParseError("first"));
+  errors.Report(Status::Internal("cascade"));
+  EXPECT_FALSE(errors.ok());
+  EXPECT_EQ(errors.status().code(), StatusCode::kParseError);
+  EXPECT_EQ(errors.status().message(), "first");
+}
+
+TEST(ErrorChannelTest, ResetClearsTheLatch) {
+  ErrorChannel errors;
+  errors.Report(Status::Internal("boom"));
+  ASSERT_FALSE(errors.ok());
+  errors.Reset();
+  EXPECT_TRUE(errors.ok());
+  EXPECT_TRUE(errors.status().ok());
+}
+
+// The traps below must fire in *every* build type — they replace what used
+// to be NDEBUG-stripped asserts guarding memory-corrupting reads.
+using CheckDeathTest = ::testing::Test;
+
+TEST(CheckDeathTest, StatusOrValueOnErrorTrapsInsteadOfUB) {
+  StatusOr<int> bad = Status::InvalidArgument("nope");
+  EXPECT_DEATH({ (void)bad.value(); }, "XFLUX_CHECK failed");
+}
+
+TEST(CheckDeathTest, XfluxCheckReportsConditionAndLocation) {
+  EXPECT_DEATH({ XFLUX_CHECK(1 + 1 == 3); }, "XFLUX_CHECK failed: 1 \\+ 1 == 3");
 }
 
 }  // namespace
