@@ -1,0 +1,138 @@
+// Thread-scaling of pipeline-parallel execution: the multi-stage Table 2
+// queries, serial vs 1/2/4 worker threads (QuerySession::Options::threads).
+//
+// What to look for (absolute numbers are hardware-dependent):
+//  - threads=1 is the pure queue-handoff overhead: one worker, same work,
+//    plus batch hops through a bounded SPSC ring.  It should stay within a
+//    few percent of serial.
+//  - threads=2/4 split the stage chain into contiguous segments; speedup is
+//    bounded by the heaviest segment (a static near-equal split — see
+//    DESIGN.md section 6), so deep chains with balanced stages scale best.
+//  - Output is deterministically identical to serial in every
+//    configuration; this bench re-checks the answer against the serial run.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "data/generators.h"
+#include "xquery/engine.h"
+
+namespace {
+
+struct QueryRow {
+  int number;        // Table 2 numbering
+  const char* query;
+};
+
+// The multi-stage subset of Table 2 (deep //-chains, chained predicates,
+// backward axes, FLWOR): queries whose pipelines are long enough that a
+// contiguous split has something to balance.
+const QueryRow kQueries[] = {
+    {1, "X//europe//item[location=\"Albania\"]/quantity"},
+    {2, "X//item[location=\"Albania\"][payment=\"Cash\"]/location"},
+    {3, "X//*[location=\"Albania\"]/quantity"},
+    {5, "count(X//item[location=\"Albania\"]/ancestor::europe)"},
+    {7,
+     "<result>{ for $c in X//item where $c/location = \"Albania\" "
+     "return <item>{ $c/quantity, $c/payment }</item> }</result>"},
+};
+
+constexpr int kThreadPoints[] = {1, 2, 4};
+
+struct RunOutcome {
+  double seconds = 0;
+  std::string answer;
+  bool ok = false;
+};
+
+RunOutcome RunOnce(const char* query, const std::string& doc, int threads) {
+  xflux::QuerySession::Options options;
+  options.threads = threads;
+  auto session = xflux::QuerySession::Open(query, options);
+  RunOutcome out;
+  if (!session.ok()) {
+    std::fprintf(stderr, "compile failed: %s\n",
+                 session.status().ToString().c_str());
+    return out;
+  }
+  out.seconds = xflux::bench::Time([&] {
+    auto status = session.value()->PushDocument(doc);
+    if (!status.ok()) {
+      std::fprintf(stderr, "run failed: %s\n", status.ToString().c_str());
+    }
+  });
+  auto text = session.value()->CurrentText();
+  if (!text.ok()) return out;
+  out.answer = std::move(text).value();
+  out.ok = true;
+  return out;
+}
+
+// Best of three: thread spawn/join noise is the thing being amortized, so
+// the minimum is the honest steady-state number.
+RunOutcome Best(const char* query, const std::string& doc, int threads) {
+  RunOutcome best;
+  for (int rep = 0; rep < 3; ++rep) {
+    RunOutcome r = RunOnce(query, doc, threads);
+    if (!r.ok) return r;
+    if (!best.ok || r.seconds < best.seconds) best = r;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  std::string doc = xflux::GenerateXmark(
+      xflux::XmarkOptionsForBytes(xflux::bench::XmarkBytes()));
+  std::printf(
+      "Thread scaling over X (%.1f MB), best of 3, speedup vs serial\n",
+      doc.size() / 1e6);
+  std::printf("%-2s %9s | %9s %6s | %9s %6s | %9s %6s | %s\n", "Q", "serial",
+              "t=1", "x", "t=2", "x", "t=4", "x", "equal");
+
+  xflux::JsonWriter rows = xflux::JsonWriter::Array();
+  bool all_equal = true;
+
+  for (const QueryRow& row : kQueries) {
+    RunOutcome serial = Best(row.query, doc, 0);
+    if (!serial.ok) return 1;
+
+    double seconds[3] = {0, 0, 0};
+    bool equal = true;
+    for (size_t i = 0; i < 3; ++i) {
+      RunOutcome parallel = Best(row.query, doc, kThreadPoints[i]);
+      if (!parallel.ok) return 1;
+      seconds[i] = parallel.seconds;
+      equal = equal && parallel.answer == serial.answer;
+    }
+    all_equal = all_equal && equal;
+
+    std::printf(
+        "%-2d %8.3fs | %8.3fs %5.2fx | %8.3fs %5.2fx | %8.3fs %5.2fx | %s\n",
+        row.number, serial.seconds, seconds[0], serial.seconds / seconds[0],
+        seconds[1], serial.seconds / seconds[1], seconds[2],
+        serial.seconds / seconds[2], equal ? "yes" : "NO");
+
+    xflux::JsonWriter r = xflux::JsonWriter::Object();
+    r.Field("query", row.number);
+    r.Field("text", row.query);
+    r.Field("doc_bytes", static_cast<uint64_t>(doc.size()));
+    r.Field("serial_seconds", serial.seconds);
+    r.Field("threads1_seconds", seconds[0]);
+    r.Field("threads2_seconds", seconds[1]);
+    r.Field("threads4_seconds", seconds[2]);
+    r.Field("speedup_threads2", serial.seconds / seconds[1]);
+    r.Field("speedup_threads4", serial.seconds / seconds[2]);
+    r.Field("answers_identical", equal);
+    rows.RawElement(r.Close());
+  }
+
+  xflux::JsonWriter json = xflux::bench::BenchJsonHeader("parallel");
+  json.Raw("rows", rows.Close());
+  xflux::bench::WriteBenchJson("parallel", json.Close());
+  return all_equal ? 0 : 1;
+}

@@ -14,6 +14,10 @@
 //
 //   $ ./xflux_inspect --guard=drop --inject=heavy --seed=7 'count(X//item)'
 //
+// --threads=N runs the pipeline on N worker threads (stage segments joined
+// by SPSC queues, see DESIGN.md section 6) and reports each queue's
+// high-water mark — how close the run came to backpressure.
+//
 // The generated XMark document defaults to ~1 MiB; set XFLUX_BENCH_MB to
 // scale it like the bench binaries do.
 
@@ -47,6 +51,7 @@ int main(int argc, char** argv) {
   std::string guard_name;
   std::string inject_spec;
   uint64_t seed = 1;
+  int threads = 0;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--guard=", 0) == 0) {
@@ -55,9 +60,12 @@ int main(int argc, char** argv) {
       inject_spec = arg.substr(9);
     } else if (arg.rfind("--seed=", 0) == 0) {
       seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      threads = static_cast<int>(std::strtol(arg.c_str() + 10, nullptr, 10));
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr,
-                   "unknown flag %s (want --guard= --inject= --seed=)\n",
+                   "unknown flag %s (want --guard= --inject= --seed= "
+                   "--threads=)\n",
                    arg.c_str());
       return 1;
     } else {
@@ -81,6 +89,7 @@ int main(int argc, char** argv) {
 
   xflux::QuerySession::Options options;
   options.instrumentation = true;
+  options.threads = threads;
   if (!guard_name.empty()) {
     auto policy = xflux::ProtocolGuard::ParsePolicy(guard_name);
     if (!policy.ok()) {
@@ -124,6 +133,7 @@ int main(int argc, char** argv) {
                                                   seed, &fault_counts);
     seconds = xflux::bench::Time([&] {
       session.value()->PushAll(mutated);
+      session.value()->Finish();  // drain worker threads before the guard
       if (session.value()->guard() != nullptr) {
         session.value()->guard()->Finish();
       }
@@ -138,6 +148,7 @@ int main(int argc, char** argv) {
       if (!status.ok()) {
         std::fprintf(stderr, "run failed: %s\n", status.ToString().c_str());
       }
+      session.value()->Finish();  // no-op in serial mode; drains workers
     });
   }
 
@@ -174,6 +185,14 @@ int main(int argc, char** argv) {
       std::printf("last    : %s\n",
                   guard->last_violation().ToString().c_str());
     }
+  }
+  if (threads > 0) {
+    auto marks = session.value()->pipeline()->QueueHighWaterMarks();
+    std::printf("threads : %d workers, queue hwm [", threads);
+    for (size_t i = 0; i < marks.size(); ++i) {
+      std::printf("%s%zu", i == 0 ? "" : " ", marks[i]);
+    }
+    std::printf("] of %zu\n", options.queue_capacity);
   }
   std::printf("%s", session.value()->stats()->ToTable().c_str());
   std::printf("\npipeline: %s\n",

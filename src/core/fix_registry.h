@@ -78,6 +78,21 @@ class FixRegistry {
 
   size_t size() const { return fix_.size(); }
 
+  /// Folds a per-stage replica back into the root registry (parallel
+  /// executor drain).  Merging follows the same latching discipline as
+  /// OnEvent: for classifications both sides know, `true` (frozen/fixed)
+  /// wins — a freeze observed by any stage is final — and immutability
+  /// declarations union.  After the merge the root answers every query at
+  /// least as "closed" as any replica did, which is what the post-drain
+  /// serial continuation (e.g. ProtocolGuard::Finish retractions) needs.
+  void MergeFrom(const FixRegistry& other) {
+    for (const auto& [id, fixed] : other.fix_) {
+      auto [it, inserted] = fix_.try_emplace(id, fixed);
+      if (!inserted && fixed) it->second = true;
+    }
+    immutable_.insert(other.immutable_.begin(), other.immutable_.end());
+  }
+
  private:
   std::unordered_map<StreamId, bool> fix_;
   std::unordered_set<StreamId> immutable_;

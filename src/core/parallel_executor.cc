@@ -1,0 +1,207 @@
+#include "core/parallel_executor.h"
+
+#include <algorithm>
+
+namespace xflux {
+
+ParallelExecutor::ParallelExecutor(Pipeline* pipeline,
+                                   const ParallelOptions& options)
+    : pipeline_(pipeline), options_(options) {
+  if (options_.batch_events < 1) options_.batch_events = 1;
+  size_t stage_count = pipeline_->stage_count();
+  size_t workers = static_cast<size_t>(std::max(options_.threads, 1));
+  size_t n = std::min(workers, stage_count);
+  PipelineContext* root = pipeline_->context();
+
+  // Near-equal contiguous split: the first (stage_count % n) segments get
+  // one extra stage.  Stage cost is not uniform, but a static split keeps
+  // every queue strictly SPSC; rebalancing is future work (ROADMAP).
+  size_t base = stage_count / n;
+  size_t rem = stage_count % n;
+  size_t begin = 0;
+  for (size_t i = 0; i < n; ++i) {
+    size_t size = base + (i < rem ? 1 : 0);
+    auto seg = std::make_unique<Segment>();
+    seg->first = begin;
+    seg->last = begin + size - 1;
+    seg->in = std::make_unique<SpscQueue<EventBatch>>(options_.queue_capacity);
+    // Replicas start from the root's pre-run knowledge (construction-time
+    // RegisterBase / SetImmutable calls from operator constructors).
+    seg->fix = *root->fix();
+    seg->streams = *root->streams();
+    segments_.push_back(std::move(seg));
+    begin += size;
+  }
+
+  // Wire segment boundaries through queues and rebind stage views.
+  for (size_t i = 0; i < n; ++i) {
+    Segment* seg = segments_[i].get();
+    if (i + 1 < n) {
+      seg->out = std::make_unique<BoundarySink>(segments_[i + 1]->in.get(),
+                                                options_.batch_events);
+      pipeline_->stage(seg->last)->SetNext(seg->out.get());
+    }
+    BindSegmentServices(seg, seg->first, seg->last);
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    segments_[i]->thread = std::thread(&ParallelExecutor::WorkerLoop, this, i);
+  }
+}
+
+ParallelExecutor::~ParallelExecutor() {
+  if (finished_) return;
+  // Abnormal teardown (pipeline destroyed mid-run without Finish): close
+  // the chain and join so no thread outlives the stages, but skip the
+  // merge — the owner is going away.
+  segments_.front()->in->Close();
+  for (auto& seg : segments_) {
+    if (seg->thread.joinable()) seg->thread.join();
+  }
+}
+
+void ParallelExecutor::Accept(Event event) {
+  feeder_pending_.push_back(std::move(event));
+  if (feeder_pending_.size() >= options_.batch_events) FlushFeeder();
+}
+
+void ParallelExecutor::AcceptBatch(EventBatch batch) {
+  FlushFeeder();  // keep order: singles pushed before this run go first
+  segments_.front()->in->Push(std::move(batch));
+}
+
+void ParallelExecutor::FlushFeeder() {
+  if (feeder_pending_.empty()) return;
+  EventBatch out;
+  out.swap(feeder_pending_);
+  segments_.front()->in->Push(std::move(out));
+}
+
+void ParallelExecutor::Broadcast(const RegistryFact& fact) {
+  for (auto& seg : segments_) {
+    std::lock_guard<std::mutex> lock(seg->facts_mu);
+    seg->facts.push_back(fact);
+  }
+}
+
+void ParallelExecutor::DrainFacts(Segment* seg) {
+  std::vector<RegistryFact> facts;
+  {
+    std::lock_guard<std::mutex> lock(seg->facts_mu);
+    if (seg->facts.empty()) return;
+    facts.swap(seg->facts);
+  }
+  for (const RegistryFact& f : facts) {
+    switch (f.kind) {
+      case RegistryFact::kSetImmutable:
+        seg->fix.SetImmutable(f.a);
+        break;
+      case RegistryFact::kAddPartner:
+        seg->streams.AddPartner(f.a, f.b);
+        break;
+      case RegistryFact::kRegisterBase:
+        seg->streams.RegisterBase(f.a);
+        break;
+      case RegistryFact::kSetFixed:
+        seg->fix.SetFixed(f.a, f.b != 0);
+        break;
+      // Feeder source bookkeeping, replayed through the same OnEvent code
+      // path the root took so classification (including the IsFixed
+      // inheritance in kDeriveRegion) resolves identically.
+      case RegistryFact::kOpenRegion: {
+        Event e = Event::StartMutable(f.b, f.a);
+        seg->fix.OnEvent(e);
+        seg->streams.OnEvent(e);
+        break;
+      }
+      case RegistryFact::kDeriveRegion: {
+        Event e = Event::StartReplace(f.b, f.a);
+        seg->fix.OnEvent(e);
+        seg->streams.OnEvent(e);
+        break;
+      }
+      case RegistryFact::kFreezeRegion:
+        seg->fix.OnEvent(Event::Freeze(f.a));
+        break;
+    }
+  }
+}
+
+void ParallelExecutor::WorkerLoop(size_t segment_index) {
+  Segment* seg = segments_[segment_index].get();
+  Filter* entry = pipeline_->stage(seg->first);
+  EventBatch batch;
+  while (seg->in->Pop(&batch)) {
+    // Facts first: anything broadcast before this batch entered the queue
+    // must be visible to the replicas before the batch's events are looked
+    // up against them.
+    DrainFacts(seg);
+    // Per-event dispatch, NOT AcceptBatch: a serial mid-chain stage
+    // receives events one at a time (Emit -> Accept), so its registry
+    // bookkeeping interleaves with its decisions.  AcceptBatch would
+    // pre-apply the whole run's bookkeeping first, letting a stage see an
+    // in-flight freeze *before* dispatching the update-end that precedes
+    // it — and synthesize freezes serial never emits.
+    for (Event& e : batch) entry->Accept(std::move(e));
+    batch = EventBatch();
+    if (seg->out != nullptr) seg->out->Flush();
+  }
+  // Input closed and drained: push the tail downstream, then cascade the
+  // shutdown so the next segment drains in turn.
+  DrainFacts(seg);
+  if (seg->out != nullptr) seg->out->Flush();
+  if (segment_index + 1 < segments_.size()) {
+    segments_[segment_index + 1]->in->Close();
+  }
+}
+
+void ParallelExecutor::BindSegmentServices(Segment* seg, size_t first,
+                                           size_t last) {
+  PipelineContext* root = pipeline_->context();
+  for (size_t j = first; j <= last; ++j) {
+    StageContext* view = pipeline_->stage(j)->context_;
+    if (seg != nullptr) {
+      view->metrics_ = &seg->metrics;
+      view->fix_ = &seg->fix;
+      view->streams_ = &seg->streams;
+      view->errors_ = &seg->errors;
+      view->bus_ = this;
+    } else {
+      view->metrics_ = root->metrics();
+      view->fix_ = root->fix();
+      view->streams_ = root->streams();
+      view->errors_ = root->errors();
+      view->bus_ = nullptr;
+    }
+  }
+}
+
+void ParallelExecutor::Finish() {
+  if (finished_) return;
+  FlushFeeder();
+  segments_.front()->in->Close();
+  for (auto& seg : segments_) {
+    if (seg->thread.joinable()) seg->thread.join();
+  }
+  PipelineContext* root = pipeline_->context();
+  for (auto& seg : segments_) {
+    root->metrics()->MergeFrom(seg->metrics);
+    root->fix()->MergeFrom(seg->fix);
+    root->streams()->MergeFrom(seg->streams);
+    // The segment-head stage's record reports how deep its input queue got.
+    if (StageStats* head_stats = pipeline_->stage(seg->first)->stats_) {
+      head_stats->queue_depth_hwm = seg->in->high_water();
+    }
+    BindSegmentServices(nullptr, seg->first, seg->last);
+  }
+  finished_ = true;
+}
+
+std::vector<size_t> ParallelExecutor::QueueHighWaterMarks() const {
+  std::vector<size_t> marks;
+  marks.reserve(segments_.size());
+  for (const auto& seg : segments_) marks.push_back(seg->in->high_water());
+  return marks;
+}
+
+}  // namespace xflux

@@ -1,0 +1,145 @@
+// Threaded pipeline-stage scheduler (DESIGN.md §6).
+//
+// The executor splits a pipeline's stage chain into contiguous segments,
+// runs each segment on its own worker thread, and connects neighbors with
+// bounded SPSC queues carrying EventBatch runs — the Koch-style
+// "event processors joined by bounded buffers" shape.  Order is preserved
+// end to end (one queue between neighbors, FIFO, one producer, one
+// consumer), per-stage runtime ids come from private blocks (pipeline.h),
+// and registry knowledge is replicated per segment, so a parallel run
+// produces byte-identical output to the serial run of the same stream.
+//
+// Lifecycle: Pipeline::EnableParallel constructs the executor (rebinding
+// every stage's StageContext to its segment's service replicas and
+// repointing segment-boundary stages at queue-writer sinks), the feeder
+// thread pushes batches into segment 0's queue, and Pipeline::Finish
+// closes the queue chain, joins the workers, merges the replicas back
+// into the root services and restores serial wiring.
+
+#ifndef XFLUX_CORE_PARALLEL_EXECUTOR_H_
+#define XFLUX_CORE_PARALLEL_EXECUTOR_H_
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/event.h"
+#include "core/event_sink.h"
+#include "core/fix_registry.h"
+#include "core/pipeline.h"
+#include "core/stream_registry.h"
+#include "util/error_channel.h"
+#include "util/metrics.h"
+#include "util/spsc_queue.h"
+
+namespace xflux {
+
+/// See file comment.  Owned by the Pipeline; public only because engine
+/// and tests configure it via Pipeline::EnableParallel.
+class ParallelExecutor : public EventSink, public FactBroadcaster {
+ public:
+  /// Splits `pipeline`'s chain into min(options.threads, stage_count)
+  /// segments and launches the workers.  The pipeline must be wired
+  /// (SetSink done) and must not have seen events yet.
+  ParallelExecutor(Pipeline* pipeline, const ParallelOptions& options);
+
+  /// Joins the workers if Finish was never called (abnormal teardown);
+  /// never merges in that case.
+  ~ParallelExecutor() override;
+
+  ParallelExecutor(const ParallelExecutor&) = delete;
+  ParallelExecutor& operator=(const ParallelExecutor&) = delete;
+
+  // EventSink: the feeder side.  Accept coalesces events into
+  // options.batch_events-sized runs; AcceptBatch forwards a run as-is.
+  // Called from the thread that owns Pipeline::Push (the session thread).
+  void Accept(Event event) override;
+  void AcceptBatch(EventBatch batch) override;
+
+  /// Flushes the feeder, closes the queue chain, joins all workers, merges
+  /// per-segment Metrics/FixRegistry/StreamRegistry replicas into the root
+  /// services, stamps queue high-water marks into the segment-head
+  /// StageStats records, and rebinds every StageContext back to the root.
+  /// Idempotent.
+  void Finish();
+
+  bool finished() const { return finished_; }
+
+  // FactBroadcaster: append `fact` to every segment's inbox.  Facts are
+  // drained by each worker before it dispatches its next batch, which —
+  // because a fact is enqueued before any event referencing its ids can
+  // enter a queue — guarantees a replica knows a fact before the first
+  // lookup that needs it (DESIGN.md §6 has the full argument).
+  void Broadcast(const RegistryFact& fact) override;
+
+  size_t segment_count() const { return segments_.size(); }
+
+  /// Queue depth high-water marks, feeder queue first.
+  std::vector<size_t> QueueHighWaterMarks() const;
+
+ private:
+  /// Batches events emitted by a segment's last stage into the next
+  /// segment's input queue.  Lives on the producing segment's thread.
+  class BoundarySink : public EventSink {
+   public:
+    BoundarySink(SpscQueue<EventBatch>* queue, size_t batch_events)
+        : queue_(queue), batch_events_(batch_events) {}
+
+    void Accept(Event event) override {
+      pending_.push_back(std::move(event));
+      if (pending_.size() >= batch_events_) Flush();
+    }
+    void AcceptBatch(EventBatch batch) override {
+      Flush();  // keep order: singles queued before this run go first
+      queue_->Push(std::move(batch));
+    }
+    /// Ships whatever is pending (end of an input batch / end of stream).
+    void Flush() {
+      if (pending_.empty()) return;
+      EventBatch out;
+      out.swap(pending_);
+      queue_->Push(std::move(out));
+    }
+
+   private:
+    SpscQueue<EventBatch>* queue_;
+    size_t batch_events_;
+    EventBatch pending_;
+  };
+
+  /// One contiguous run of stages executing on one worker thread, plus the
+  /// replicas of every shared service its stages touch.
+  struct Segment {
+    size_t first = 0;  ///< stage index range, inclusive
+    size_t last = 0;
+    std::unique_ptr<SpscQueue<EventBatch>> in;  ///< this segment's input
+    std::unique_ptr<BoundarySink> out;  ///< null for the last segment
+    Metrics metrics;
+    FixRegistry fix;
+    StreamRegistry streams;
+    ErrorChannel errors;
+    std::mutex facts_mu;
+    std::vector<RegistryFact> facts;
+    std::thread thread;
+  };
+
+  void WorkerLoop(size_t segment_index);
+  void DrainFacts(Segment* seg);
+  void FlushFeeder();
+
+  /// Points every stage's StageContext in [seg.first, seg.last] at the
+  /// segment replicas (or back at the root when `seg` is null).
+  void BindSegmentServices(Segment* seg, size_t first, size_t last);
+
+  Pipeline* pipeline_;
+  ParallelOptions options_;
+  std::vector<std::unique_ptr<Segment>> segments_;
+  EventBatch feeder_pending_;
+  bool finished_ = false;
+};
+
+}  // namespace xflux
+
+#endif  // XFLUX_CORE_PARALLEL_EXECUTOR_H_

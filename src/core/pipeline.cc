@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "core/parallel_executor.h"
+
 namespace xflux {
 
 namespace {
@@ -98,6 +100,7 @@ Filter* Pipeline::InsertFront(std::unique_ptr<Filter> stage) {
   raw->SetNext(stages_.empty() ? static_cast<EventSink*>(sink_)
                                : stages_.front().get());
   stages_.insert(stages_.begin(), std::move(stage));
+  if (wired_) entry_ = raw;
   return raw;
 }
 
@@ -107,12 +110,79 @@ void Pipeline::SetSink(EventSink* sink) {
   if (!stages_.empty()) {
     stages_.back()->SetNext(sink);
   }
+  entry_ = stages_.empty() ? sink : static_cast<EventSink*>(stages_.front().get());
   wired_ = true;
+}
+
+Pipeline::Pipeline() : context_(std::make_unique<PipelineContext>()) {}
+
+Pipeline::Pipeline(StreamId first_dynamic_id)
+    : context_(std::make_unique<PipelineContext>(first_dynamic_id)) {}
+
+Pipeline::~Pipeline() { Finish(); }
+
+void Pipeline::EnableParallel(const ParallelOptions& options) {
+  assert(wired_ && "EnableParallel before SetSink");
+  assert(executor_ == nullptr && "EnableParallel called twice");
+  if (options.threads <= 0 || stages_.empty()) return;
+  executor_ = std::make_unique<ParallelExecutor>(this, options);
+  entry_ = executor_.get();
+}
+
+void Pipeline::Finish() {
+  if (executor_ == nullptr) return;
+  executor_->Finish();
+  retired_executor_ = std::move(executor_);
+  RewireSerial();
+}
+
+void Pipeline::RewireSerial() {
+  for (size_t i = 0; i + 1 < stages_.size(); ++i) {
+    stages_[i]->SetNext(stages_[i + 1].get());
+  }
+  if (!stages_.empty()) stages_.back()->SetNext(sink_);
+  entry_ = stages_.empty() ? sink_ : static_cast<EventSink*>(stages_.front().get());
+}
+
+std::vector<size_t> Pipeline::QueueHighWaterMarks() const {
+  const ParallelExecutor* exec =
+      executor_ != nullptr ? executor_.get() : retired_executor_.get();
+  if (exec == nullptr) return {};
+  return exec->QueueHighWaterMarks();
+}
+
+void Pipeline::BroadcastSourceBookkeeping(const Event& e) {
+  if (e.kind == EventKind::kStartStream) {
+    context_->streams()->RegisterBase(e.id);
+    executor_->Broadcast({RegistryFact::kRegisterBase, e.id, 0});
+  }
+  if (!accept_source_updates_ && e.kind == EventKind::kStartMutable) {
+    context_->fix()->SetFixed(e.uid, true);
+    executor_->Broadcast({RegistryFact::kSetFixed, e.uid, 1});
+  }
+  context_->fix()->OnEvent(e);
+  context_->streams()->OnEvent(e);
+  // Re-broadcast the OnEvent effects so segment replicas reach the same
+  // state the shared root registry holds before dispatch (sR/sB/sA all
+  // take identical OnEvent paths, so one replay kind covers the three).
+  if (e.IsUpdateStart()) {
+    executor_->Broadcast({e.kind == EventKind::kStartMutable
+                              ? RegistryFact::kOpenRegion
+                              : RegistryFact::kDeriveRegion,
+                          e.uid, e.id});
+  } else if (e.kind == EventKind::kFreeze) {
+    executor_->Broadcast({RegistryFact::kFreezeRegion, e.id, 0});
+  }
 }
 
 void Pipeline::Push(Event event) {
   assert(wired_ && "Push before SetSink");
   if (context_->poisoned()) return;
+  if (executor_ != nullptr) {
+    BroadcastSourceBookkeeping(event);
+    entry_->Accept(std::move(event));
+    return;
+  }
   if (event.kind == EventKind::kStartStream) {
     // Source streams are base streams; an id-reusing bracket downstream
     // must never re-root them.
@@ -125,13 +195,18 @@ void Pipeline::Push(Event event) {
   }
   context_->fix()->OnEvent(event);
   context_->streams()->OnEvent(event);
-  EventSink* first = stages_.empty() ? sink_ : stages_.front().get();
-  first->Accept(std::move(event));
+  entry_->Accept(std::move(event));
 }
 
 void Pipeline::PushBatch(EventBatch batch) {
   assert(wired_ && "Push before SetSink");
   if (context_->poisoned()) return;
+  if (executor_ != nullptr) {
+    // One batch-level branch keeps the serial loop below untouched.
+    for (const Event& e : batch) BroadcastSourceBookkeeping(e);
+    entry_->AcceptBatch(std::move(batch));
+    return;
+  }
   for (const Event& e : batch) {
     if (e.kind == EventKind::kStartStream) {
       context_->streams()->RegisterBase(e.id);
@@ -142,8 +217,7 @@ void Pipeline::PushBatch(EventBatch batch) {
     context_->fix()->OnEvent(e);
     context_->streams()->OnEvent(e);
   }
-  EventSink* first = stages_.empty() ? sink_ : stages_.front().get();
-  first->AcceptBatch(std::move(batch));
+  entry_->AcceptBatch(std::move(batch));
 }
 
 void Pipeline::PushAll(const EventVec& events) {

@@ -5,11 +5,20 @@
 // stats).  Events are pushed through the chain by direct dispatch — the
 // paper's "event handling" processing method — and end at an arbitrary
 // EventSink, usually the result display.
+//
+// Each Filter sees the context through its own StageContext view.  In
+// serial execution (the default) every view aliases the root services, so
+// the stage-facing API costs one extra pointer indirection and nothing
+// else.  Under the ParallelExecutor the views are rebound to per-segment
+// replicas/shards, which is what lets stages run on worker threads without
+// sharing mutable registries — see DESIGN.md §6 for the full threading
+// model.
 
 #ifndef XFLUX_CORE_PIPELINE_H_
 #define XFLUX_CORE_PIPELINE_H_
 
 #include <cassert>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <utility>
@@ -19,27 +28,98 @@
 #include "core/event_sink.h"
 #include "core/fix_registry.h"
 #include "core/stream_registry.h"
+#include "util/check.h"
 #include "util/error_channel.h"
 #include "util/metrics.h"
 #include "util/stage_stats.h"
 
 namespace xflux {
 
+class ParallelExecutor;
+class StageContext;
+
 /// First stream id the pipeline context allocates dynamically; everything
 /// below is left to the source.
 inline constexpr StreamId kDefaultFirstDynamicId = 1 << 20;
 
-/// Shared services for all stages of one pipeline.
+/// Ids in [first_dynamic_id, first_dynamic_id + kConstructionIdSpan) are
+/// handed out by PipelineContext::NewStreamId — pipeline-construction-time
+/// allocations (operator anchors, compiler-assigned stream numbers).
+inline constexpr StreamId kConstructionIdSpan = 1 << 20;
+
+/// Every stage additionally owns a private block of kStageIdBlock ids for
+/// its *runtime* allocations (region ids minted while events flow), carved
+/// out above the construction span in stage-construction order.  Because a
+/// stage draws from its own block, the ids a run produces depend only on
+/// the per-stage allocation order — not on how stages interleave across
+/// threads — which is what keeps parallel execution byte-identical to
+/// serial.  Serial runs use the same blocks, so enabling threads never
+/// changes a query's output.
+inline constexpr StreamId kStageIdBlock = 1 << 22;
+
+/// One registry fact a stage broadcasts to every other stage's replica
+/// under parallel execution.  Most FixRegistry/StreamRegistry knowledge
+/// replicates implicitly (each replica observes the events its segment
+/// sees), with two exceptions that travel on the fact bus:
+///
+///  - declarations about ids other stages may never see an event for
+///    (SetImmutable / AddPartner / RegisterBase / SetFixed), and
+///  - the feeder's source-event bookkeeping (kOpenRegion / kDeriveRegion /
+///    kFreezeRegion).  A serial pipeline applies a whole pushed batch to
+///    the shared registries *before* the first stage dispatches (the root
+///    loop in Pipeline::PushBatch), so every stage enjoys source-fact
+///    lookahead over the full push.  Replicas reproduce that visibility by
+///    replaying the same OnEvent effects from facts, which the executor
+///    guarantees are drained before any event of the push is dispatched.
+struct RegistryFact {
+  enum Kind : uint8_t {
+    kSetImmutable,   ///< FixRegistry::SetImmutable(a)
+    kAddPartner,     ///< StreamRegistry::AddPartner(a, b)
+    kRegisterBase,   ///< StreamRegistry::RegisterBase(a)
+    kSetFixed,       ///< FixRegistry::SetFixed(a, b != 0)
+    kOpenRegion,     ///< replay source sM(b, a) on fix + streams
+    kDeriveRegion,   ///< replay source sR/sB/sA(b, a) on fix + streams
+    kFreezeRegion,   ///< replay source freeze(a) on fix
+  };
+  Kind kind;
+  StreamId a = 0;
+  StreamId b = 0;
+};
+
+/// Sink for RegistryFacts; implemented by the ParallelExecutor (which fans
+/// facts out to per-segment inboxes).  Serial pipelines have no bus.
+class FactBroadcaster {
+ public:
+  virtual ~FactBroadcaster() = default;
+  virtual void Broadcast(const RegistryFact& fact) = 0;
+};
+
+/// Shared services for all stages of one pipeline.  Stages do not touch
+/// this class directly on the event path — they go through their
+/// StageContext view (below); the root owns the canonical service
+/// instances and the id-block allocator.
 class PipelineContext {
  public:
   /// `first_dynamic_id` must be above every stream/region id the source
   /// uses; the default leaves the whole low range to sources.
   explicit PipelineContext(StreamId first_dynamic_id = kDefaultFirstDynamicId)
-      : next_id_(first_dynamic_id) {}
+      : next_id_(first_dynamic_id),
+        construction_end_(first_dynamic_id + kConstructionIdSpan),
+        next_stage_block_(construction_end_) {}
 
   /// Allocates a fresh region / substream id ("a new id that has not been
-  /// used before").
-  StreamId NewStreamId() { return next_id_++; }
+  /// used before") from the construction span.  Runtime allocations inside
+  /// operators go through StageContext::NewStreamId instead.
+  StreamId NewStreamId() {
+    XFLUX_CHECK(next_id_ != construction_end_ &&
+                "pipeline construction id span exhausted");
+    return next_id_++;
+  }
+
+  /// Creates the per-stage service view for the next Filter, assigning its
+  /// private runtime id block in construction order.  Called by the Filter
+  /// base constructor; the context owns the view.
+  StageContext* CreateStageContext();
 
   Metrics* metrics() { return &metrics_; }
   FixRegistry* fix() { return &fix_; }
@@ -61,24 +141,135 @@ class PipelineContext {
   /// Runtime switch for per-stage instrumentation.  Off (the default), the
   /// hot path pays one predicted branch per event and every StageStats
   /// record stays untouched; on, stages record counts and steady_clock
-  /// timings in Accept/Emit.  May be flipped at any point between events.
+  /// timings in Accept/Emit.  May be flipped at any point between events
+  /// (but not while a parallel run is in flight).
   void set_instrumentation(bool enabled) { instrumentation_ = enabled; }
   bool instrumentation_enabled() const { return instrumentation_; }
 
  private:
   StreamId next_id_;
+  StreamId construction_end_;
+  StreamId next_stage_block_;
   Metrics metrics_;
   FixRegistry fix_;
   StreamRegistry streams_;
   StatsRegistry stats_;
   ErrorChannel errors_;
   bool instrumentation_ = false;
+  std::vector<std::unique_ptr<StageContext>> stage_contexts_;
 };
+
+/// One stage's view of the pipeline services.  The accessors mirror
+/// PipelineContext's, so stage code is written once against this interface;
+/// what the pointers alias is an execution-mode decision:
+///
+///  - serial (default): every pointer aliases the root service — the view
+///    is a plain indirection, no branches, no locks;
+///  - parallel: the ParallelExecutor rebinds the pointers to its
+///    per-segment Metrics shard, FixRegistry/StreamRegistry replicas and
+///    segment-local ErrorChannel for the duration of the run, and back to
+///    the root when the run drains.
+///
+/// The runtime id allocator is genuinely per-stage in *both* modes (see
+/// kStageIdBlock), which is the cornerstone of serial/parallel output
+/// equivalence.
+class StageContext {
+ public:
+  /// Allocates a fresh region / substream id from this stage's private
+  /// block.  Deterministic per stage regardless of thread interleaving.
+  StreamId NewStreamId() {
+    XFLUX_CHECK(next_id_ != block_end_ && "stage runtime id block exhausted");
+    return next_id_++;
+  }
+
+  Metrics* metrics() { return metrics_; }
+  FixRegistry* fix() { return fix_; }
+  StreamRegistry* streams() { return streams_; }
+  ErrorChannel* errors() { return errors_; }
+  const ErrorChannel* errors() const { return errors_; }
+
+  /// Reports an error on the stage's channel *and* the pipeline's root
+  /// channel.  In serial mode the two are the same object (one report); in
+  /// parallel mode the local report stops this segment's stages while the
+  /// root report latches the status the session will surface and stops the
+  /// feeder — other segments keep draining their in-flight events, exactly
+  /// the set a serial run would have processed before the error.
+  void ReportError(Status status) {
+    ErrorChannel* root = root_->errors();
+    if (errors_ != root) errors_->Report(status);
+    root->Report(std::move(status));
+  }
+
+  bool instrumentation_enabled() const {
+    return root_->instrumentation_enabled();
+  }
+
+  /// Declares `id` immutable (FixRegistry::SetImmutable) and, under
+  /// parallel execution, broadcasts the declaration to every segment's
+  /// replica — immutability is asserted by the *producing* stage about ids
+  /// whose events other stages may consume later.
+  void SetImmutable(StreamId id) {
+    fix_->SetImmutable(id);
+    if (bus_ != nullptr) {
+      bus_->Broadcast({RegistryFact::kSetImmutable, id, 0});
+    }
+  }
+
+  /// Declares a clone-parallel pair (StreamRegistry::AddPartner), with the
+  /// same broadcast rule as SetImmutable.
+  void AddPartner(StreamId clone_id, StreamId original_id) {
+    streams_->AddPartner(clone_id, original_id);
+    if (bus_ != nullptr) {
+      bus_->Broadcast({RegistryFact::kAddPartner, clone_id, original_id});
+    }
+  }
+
+  /// The owning pipeline context (construction-time services; not for use
+  /// on the event path).
+  PipelineContext* root() { return root_; }
+
+ private:
+  friend class PipelineContext;
+  friend class ParallelExecutor;
+
+  StageContext(PipelineContext* root, StreamId block_begin,
+               StreamId block_end)
+      : root_(root),
+        metrics_(root->metrics()),
+        fix_(root->fix()),
+        streams_(root->streams()),
+        errors_(root->errors()),
+        next_id_(block_begin),
+        block_end_(block_end) {}
+
+  PipelineContext* root_;
+  Metrics* metrics_;
+  FixRegistry* fix_;
+  StreamRegistry* streams_;
+  ErrorChannel* errors_;
+  FactBroadcaster* bus_ = nullptr;
+  StreamId next_id_;
+  StreamId block_end_;
+};
+
+inline StageContext* PipelineContext::CreateStageContext() {
+  StreamId begin = next_stage_block_;
+  XFLUX_CHECK(static_cast<uint64_t>(begin) + kStageIdBlock <= (1ull << 32) &&
+              "stage runtime id blocks exhausted");
+  next_stage_block_ = begin + kStageIdBlock;
+  stage_contexts_.push_back(std::unique_ptr<StageContext>(
+      new StageContext(this, begin, begin + kStageIdBlock)));
+  return stage_contexts_.back().get();
+}
 
 /// A pipeline stage: consumes events via Accept, produces via Emit.
 class Filter : public EventSink {
  public:
-  explicit Filter(PipelineContext* context) : context_(context) {}
+  /// Creates the stage's service view (and its runtime id block) on the
+  /// given context.  Stage views are assigned in construction order, so a
+  /// pipeline assembled in a fixed order allocates ids deterministically.
+  explicit Filter(PipelineContext* context)
+      : context_(context->CreateStageContext()) {}
 
   /// Wires the downstream consumer; must be set before the first event.
   void SetNext(EventSink* next) { next_ = next; }
@@ -98,8 +289,8 @@ class Filter : public EventSink {
     // error may hold inconsistent state, and everything after the first
     // error is cascade anyway.
     if (!context_->errors()->ok()) return;
-    // Idempotent global bookkeeping: every stage learns region lineage and
-    // mutability as the event passes.
+    // Idempotent bookkeeping: every stage learns region lineage and
+    // mutability from the events it sees.
     if (!source_transparent_) {
       context_->fix()->OnEvent(event);
       context_->streams()->OnEvent(event);
@@ -114,15 +305,13 @@ class Filter : public EventSink {
 
   void AcceptBatch(EventBatch batch) final {
     if (!context_->errors()->ok()) return;
-    if (source_transparent_) {
-      context_->metrics()->CountTransformerCall(batch.size());
-    } else {
+    if (!source_transparent_) {
       for (const Event& e : batch) {
         context_->fix()->OnEvent(e);
         context_->streams()->OnEvent(e);
-        context_->metrics()->CountTransformerCall();
       }
     }
+    context_->metrics()->CountTransformerCall(batch.size());
     if (instrumented()) {
       AcceptBatchInstrumented(std::move(batch));
       return;
@@ -150,8 +339,8 @@ class Filter : public EventSink {
     assert(next_ != nullptr && "pipeline stage has no downstream sink");
     if (!context_->errors()->ok()) return;
     context_->metrics()->CountEventEmitted();
-    // Generated events must be visible to the shared registries even before
-    // the next stage runs (the next stage may be the display).
+    // Generated events must be visible to the registries even before the
+    // next stage runs (the next stage may be the display).
     context_->fix()->OnEvent(event);
     context_->streams()->OnEvent(event);
     if (instrumented()) {
@@ -165,17 +354,15 @@ class Filter : public EventSink {
   void EmitBatch(EventBatch batch) {
     assert(next_ != nullptr && "pipeline stage has no downstream sink");
     if (!context_->errors()->ok()) return;
-    if (source_transparent_) {
-      // Pass-through forwarding of source events the Pipeline entry
-      // points already registered; only the count is new information.
-      context_->metrics()->CountEventEmitted(batch.size());
-    } else {
+    if (!source_transparent_) {
       for (const Event& e : batch) {
-        context_->metrics()->CountEventEmitted();
         context_->fix()->OnEvent(e);
         context_->streams()->OnEvent(e);
       }
     }
+    // Pass-through forwarding re-registers nothing when the stage is
+    // source-transparent; either way the count is one bulk add.
+    context_->metrics()->CountEventEmitted(batch.size());
     if (instrumented()) {
       EmitBatchInstrumented(std::move(batch));
       return;
@@ -183,7 +370,7 @@ class Filter : public EventSink {
     next_->AcceptBatch(std::move(batch));
   }
 
-  PipelineContext* context() { return context_; }
+  StageContext* context() { return context_; }
 
   /// Opt-out of the idempotent per-event registry bookkeeping, for
   /// *first-stage* filters that forward source events unchanged (the
@@ -200,6 +387,8 @@ class Filter : public EventSink {
   StageStats* stats() { return instrumented() ? stats_ : nullptr; }
 
  private:
+  friend class ParallelExecutor;  // rebinds context_ services, reads stats_
+
   bool instrumented() const {
     return context_->instrumentation_enabled() && stats_ != nullptr;
   }
@@ -210,18 +399,36 @@ class Filter : public EventSink {
   void AcceptBatchInstrumented(EventBatch batch);
   void EmitBatchInstrumented(EventBatch batch);
 
-  PipelineContext* context_;
+  StageContext* context_;
   EventSink* next_ = nullptr;
   StageStats* stats_ = nullptr;
   bool source_transparent_ = false;
 };
 
+/// Tuning for parallel pipeline execution (Pipeline::EnableParallel /
+/// QuerySession::Options::threads).
+struct ParallelOptions {
+  /// Worker threads to run stages on; <= 0 keeps serial execution.  More
+  /// threads than stages is clamped to one stage per thread.
+  int threads = 0;
+  /// Capacity, in EventBatch runs, of each inter-segment SPSC queue — the
+  /// backpressure bound (a fast producer stalls once the consumer is this
+  /// many batches behind).
+  size_t queue_capacity = 64;
+  /// Events the feeder and segment boundaries coalesce per queued batch.
+  size_t batch_events = 64;
+};
+
 /// Owns a chain of filters plus the context, and feeds source events in.
 class Pipeline {
  public:
-  Pipeline() : context_(std::make_unique<PipelineContext>()) {}
-  explicit Pipeline(StreamId first_dynamic_id)
-      : context_(std::make_unique<PipelineContext>(first_dynamic_id)) {}
+  // Defined in pipeline.cc: ParallelExecutor is incomplete here, so every
+  // special member that could destroy executor_ must be out of line.
+  Pipeline();
+  explicit Pipeline(StreamId first_dynamic_id);
+
+  /// Finishes any parallel run still in flight (see Finish).
+  ~Pipeline();
 
   PipelineContext* context() { return context_.get(); }
   const PipelineContext* context() const { return context_.get(); }
@@ -269,6 +476,33 @@ class Pipeline {
     accept_source_updates_ = accept;
   }
 
+  /// Switches event dispatch to the threaded executor: the stage chain is
+  /// split into contiguous segments, one worker thread each, connected by
+  /// bounded SPSC queues of EventBatch runs.  Output is deterministically
+  /// identical to serial execution.  Call after SetSink and before the
+  /// first Push; no-op when options.threads <= 0 or the chain is empty.
+  /// The serial hot path is untouched — mode selection happens once, here,
+  /// by repointing the pipeline's entry sink.
+  void EnableParallel(const ParallelOptions& options);
+
+  /// Drains and joins a parallel run: flushes pending feeder batches,
+  /// closes the queue chain, joins the workers, folds the per-segment
+  /// metrics shards and registry replicas back into the root services, and
+  /// rewires the chain for serial dispatch (so post-drain pushes — e.g. a
+  /// guard's synthesized end-of-input closures — run inline).  Idempotent;
+  /// a no-op for serial pipelines.
+  void Finish();
+
+  /// True while the threaded executor is active (between EnableParallel
+  /// and Finish).
+  bool parallel() const { return executor_ != nullptr; }
+
+  /// Per-queue depth high-water marks of the most recent parallel run, in
+  /// upstream-to-downstream order (entry [0] is the feeder queue); empty if
+  /// the pipeline never ran parallel.  Also folded into the segment-head
+  /// stages' StageStats::queue_depth_hwm at Finish.
+  std::vector<size_t> QueueHighWaterMarks() const;
+
   /// Injects one source event into the first stage.
   void Push(Event event);
   /// Injects a run of source events with one virtual call per stage that
@@ -277,11 +511,29 @@ class Pipeline {
   void PushAll(const EventVec& events);
 
  private:
+  friend class ParallelExecutor;  // boundary rewiring during a run
+
+  /// Restores direct stage→stage→sink dispatch and the serial entry point.
+  void RewireSerial();
+
+  /// Parallel-mode source bookkeeping for one event: mirrors the serial
+  /// root updates and broadcasts their effects so every segment replica
+  /// sees them before the event (or anything after it) is dispatched.
+  void BroadcastSourceBookkeeping(const Event& e);
+
   std::unique_ptr<PipelineContext> context_;
   std::vector<std::unique_ptr<Filter>> stages_;
   EventSink* sink_ = nullptr;
+  /// Where Push/PushBatch hand events: the first stage (serial) or the
+  /// executor's feeder (parallel).  Precomputed so the hot path has no
+  /// mode branch.
+  EventSink* entry_ = nullptr;
   bool wired_ = false;
   bool accept_source_updates_ = true;
+  std::unique_ptr<ParallelExecutor> executor_;
+  /// Kept after Finish for QueueHighWaterMarks (and so the executor's
+  /// queues outlive any late introspection).
+  std::unique_ptr<ParallelExecutor> retired_executor_;
 };
 
 }  // namespace xflux

@@ -19,6 +19,7 @@
 namespace xflux {
 
 class PipelineContext;
+class StageContext;
 
 /// Operator-specific state (the S in the paper's (S, s, z, i:f) tuple).
 /// States must be cloneable: the wrapper snapshots them at region
@@ -99,6 +100,21 @@ class StateTransformer {
   /// True if Adjust is the identity (most XPath steps).  Inert operators
   /// skip the adjustment loop entirely.
   virtual bool IsInert() const { return true; }
+
+  /// Called by TransformStage when the transformer joins a pipeline stage.
+  /// Everything the operator does at *event time* (minting region ids,
+  /// fix-registry lookups, metrics) must go through stage() so it lands in
+  /// the stage's service view — construction-time work keeps using the
+  /// PipelineContext passed to the operator's constructor.
+  void BindStage(StageContext* stage) { stage_ = stage; }
+
+ protected:
+  /// The owning stage's service view; null until the operator is wrapped
+  /// in a TransformStage.
+  StageContext* stage() const { return stage_; }
+
+ private:
+  StageContext* stage_ = nullptr;
 };
 
 }  // namespace xflux

@@ -60,6 +60,19 @@ class StreamRegistry {
     return it == partner_.end() ? 0 : it->second;
   }
 
+  /// Folds a per-stage replica back into the root registry (parallel
+  /// executor drain).  Lineage facts are write-once per id — an id roots
+  /// once and partners once, with the same value wherever it was observed —
+  /// so try_emplace/set-union reconstruct exactly the map a serial run
+  /// would have built.
+  void MergeFrom(const StreamRegistry& other) {
+    for (const auto& [id, root] : other.root_) root_.try_emplace(id, root);
+    for (const auto& [id, partner] : other.partner_) {
+      partner_.try_emplace(id, partner);
+    }
+    bases_.insert(other.bases_.begin(), other.bases_.end());
+  }
+
  private:
   std::unordered_map<StreamId, StreamId> root_;
   std::unordered_map<StreamId, StreamId> partner_;

@@ -21,6 +21,7 @@ void RemoveFrom(std::map<OrderKey, std::vector<StreamId>>* index,
 TransformStage::TransformStage(PipelineContext* context,
                                std::unique_ptr<StateTransformer> transformer)
     : Filter(context), transformer_(std::move(transformer)) {
+  transformer_->BindStage(this->context());
   main_end_ = transformer_->InitialState();
 }
 

@@ -50,7 +50,7 @@ std::unique_ptr<OperatorState> NaivePredicate::InitialState() const {
 void NaivePredicate::Process(const Event& e, StreamId root,
                              OperatorState* state, EventVec* out) {
   auto* s = static_cast<NaivePredicateState*>(state);
-  Metrics* metrics = context_->metrics();
+  Metrics* metrics = stage()->metrics();
   if (root == condition_input_) {
     switch (e.kind) {
       case EventKind::kStartElement:
@@ -118,7 +118,7 @@ std::unique_ptr<OperatorState> NaiveSorter::InitialState() const {
 void NaiveSorter::Process(const Event& e, StreamId root, OperatorState* state,
                           EventVec* out) {
   auto* s = static_cast<NaiveSorterState*>(state);
-  Metrics* metrics = context_->metrics();
+  Metrics* metrics = stage()->metrics();
   if (root == key_input_) {
     switch (e.kind) {
       case EventKind::kStartElement:
@@ -229,7 +229,7 @@ bool NaiveDescendant::Matches(Symbol tag) const {
 void NaiveDescendant::Process(const Event& e, StreamId /*root*/,
                               OperatorState* state, EventVec* out) {
   auto* s = static_cast<NaiveDescendantState*>(state);
-  Metrics* metrics = context_->metrics();
+  Metrics* metrics = stage()->metrics();
   switch (e.kind) {
     case EventKind::kStartStream:
     case EventKind::kEndStream:

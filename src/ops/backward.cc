@@ -49,7 +49,7 @@ void BackwardAxisOp::Process(const Event& e, StreamId root,
       return;
     case EventKind::kStartElement:
       if (s->depth == 0) {
-        s->nid = context_->NewStreamId();
+        s->nid = stage()->NewStreamId();
         s->outcome = 0;
         out->push_back(Event::StartMutable(e.id, s->nid));
         out->push_back(e);

@@ -20,11 +20,11 @@ void CloneFilter::Dispatch(Event event) {
     copy.id = MapId(event.id);
     copy.uid = mapped_uid;
     map_[event.uid] = mapped_uid;
-    context()->streams()->AddPartner(mapped_uid, event.uid);
+    context()->AddPartner(mapped_uid, event.uid);
     if (context()->fix()->IsEffectivelyImmutable(event.uid)) {
       // The parallel of immutable operator structure (a descendant step's
       // copies) is itself immutable content.
-      context()->fix()->SetImmutable(mapped_uid);
+      context()->SetImmutable(mapped_uid);
     }
   } else if (event.IsUpdateEnd()) {
     copy.id = MapId(event.id);

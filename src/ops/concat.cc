@@ -26,7 +26,7 @@ void ConcatOp::Process(const Event& e, StreamId root, OperatorState* state,
     // insert-before against its successor, so branch 0's content ends up
     // first.  The output tuple keeps the incoming marker id so the whole
     // structure stays nested in whatever encloses it.
-    s->anchor = context_->NewStreamId();
+    s->anchor = stage()->NewStreamId();
     out->push_back(e);
     out->push_back(Event::StartMutable(e.id, s->anchor));
     StreamId successor = s->anchor;

@@ -47,11 +47,11 @@ void DescendantStep::Process(const Event& e, StreamId /*root*/,
         if (!in_copy) {
           // Outermost match: the base copy, wrapped so deeper copies can be
           // inserted before it.
-          StreamId base_copy = context_->NewStreamId();
+          StreamId base_copy = stage()->NewStreamId();
           // The copy's content is re-tagged: nothing can address it, so its
           // content is immutable from birth (predicates over it may take
           // the irrevocable cheap path).
-          context_->fix()->SetImmutable(base_copy);
+          stage()->SetImmutable(base_copy);
           out->push_back(Event::StartMutable(e.id, base_copy));
           out->push_back(e);
           s->copies.push_back(base_copy);
@@ -64,8 +64,8 @@ void DescendantStep::Process(const Event& e, StreamId /*root*/,
           }
           // ...then open this element's own copy, in front of the copy of
           // its nearest enclosing match (postorder placement).
-          StreamId nid = context_->NewStreamId();
-          context_->fix()->SetImmutable(nid);
+          StreamId nid = stage()->NewStreamId();
+          stage()->SetImmutable(nid);
           out->push_back(Event::StartInsertBefore(s->copies.back(), nid));
           out->push_back(Event::StartElement(nid, e.tag, e.oid));
           s->copies.push_back(nid);

@@ -35,7 +35,7 @@ std::unique_ptr<OperatorState> PredicateOp::InitialState() const {
 void PredicateOp::OnItemStart(const Event& e, OperatorState* state,
                               EventVec* out) {
   auto* s = static_cast<PredicateState*>(state);
-  s->nid = context_->NewStreamId();
+  s->nid = stage()->NewStreamId();
   s->item_base = s->outcome_total;
   s->item_start_seq = s->seq;
   s->fixed_true = false;
@@ -96,7 +96,7 @@ void PredicateOp::Process(const Event& e, StreamId root, OperatorState* state,
         break;
       case EventKind::kCharacters:
         if (s->cdepth == 0) {
-          bool fixed = context_->fix()->IsEffectivelyImmutable(e.id);
+          bool fixed = stage()->fix()->IsEffectivelyImmutable(e.id);
           s->fixed_false = s->fixed_false && e.text.empty() && fixed;
           if (!e.text.empty()) {
             if (fixed) {

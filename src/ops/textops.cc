@@ -50,7 +50,7 @@ void TextCompare::EmitVerdict(const Event& e, OperatorState* state,
     return;
   }
   // Mutable input: the verdict itself must be open for updates.
-  s->verdict_region = context_->NewStreamId();
+  s->verdict_region = stage()->NewStreamId();
   out->push_back(Event::StartMutable(e.id, s->verdict_region));
   out->push_back(Event::Characters(s->verdict_region, std::move(verdict)));
   out->push_back(Event::EndMutable(e.id, s->verdict_region));
@@ -84,11 +84,11 @@ void TextCompare::Process(const Event& e, StreamId /*root*/,
       if (s->depth == 0) {
         // A bare text item is compared directly.
         s->value = std::string(e.chars());
-        s->mutable_contrib = !context_->fix()->IsEffectivelyImmutable(e.id);
+        s->mutable_contrib = !stage()->fix()->IsEffectivelyImmutable(e.id);
         EmitVerdict(e, state, out);
       } else {
         s->value += e.chars();
-        if (!context_->fix()->IsEffectivelyImmutable(e.id)) {
+        if (!stage()->fix()->IsEffectivelyImmutable(e.id)) {
           s->mutable_contrib = true;
         }
       }
@@ -116,7 +116,7 @@ void TextCompare::Adjust(OperatorState* state, const OperatorState& s1,
       s->at_item_end && s->verdict_region != 0 && before != after) {
     // Replacements keep targeting the original verdict region: it stays
     // addressable across cascaded corrections.
-    StreamId rid = context_->NewStreamId();
+    StreamId rid = stage()->NewStreamId();
     out->push_back(Event::StartReplace(s->verdict_region, rid));
     out->push_back(Event::Characters(rid, after ? "1" : ""));
     out->push_back(Event::EndReplace(s->verdict_region, rid));

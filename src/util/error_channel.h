@@ -11,38 +11,53 @@
 #ifndef XFLUX_UTIL_ERROR_CHANNEL_H_
 #define XFLUX_UTIL_ERROR_CHANNEL_H_
 
+#include <atomic>
+#include <mutex>
 #include <utility>
 
 #include "util/status.h"
 
 namespace xflux {
 
-/// See file comment.  Not thread-safe (a pipeline runs on one thread).
+/// See file comment.  Thread-safe: under the parallel executor one channel
+/// is shared by stages on different worker threads, so Report serializes
+/// writers behind a mutex (violations are rare — this is never hot) while
+/// ok() stays a single atomic load, which on the serial path costs exactly
+/// what the old plain bool did.  The latched Status is published with
+/// release ordering and only read by threads that observed ok() == false
+/// with acquire ordering, so status() needs no lock.
 class ErrorChannel {
  public:
   /// Latches `status` if it is the first non-OK report.
   void Report(Status status) {
-    if (ok_ && !status.ok()) {
-      error_ = std::move(status);
-      ok_ = false;
-    }
+    if (status.ok()) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!ok_.load(std::memory_order_relaxed)) return;
+    error_ = std::move(status);
+    ok_.store(false, std::memory_order_release);
   }
 
-  /// False once any error was reported.  Hot-path check: one bool load.
-  bool ok() const { return ok_; }
+  /// False once any error was reported.  Hot-path check: one atomic load.
+  bool ok() const { return ok_.load(std::memory_order_acquire); }
 
   /// The first reported error, or OK.
-  const Status& status() const { return error_; }
+  const Status& status() const {
+    if (ok_.load(std::memory_order_acquire)) return ok_status_;
+    return error_;
+  }
 
-  /// Clears the channel (tests and session reuse).
+  /// Clears the channel (tests and session reuse).  Not thread-safe: call
+  /// only while no pipeline is running.
   void Reset() {
     error_ = Status::OK();
-    ok_ = true;
+    ok_.store(true, std::memory_order_release);
   }
 
  private:
+  mutable std::mutex mu_;
   Status error_;
-  bool ok_ = true;
+  const Status ok_status_;
+  std::atomic<bool> ok_{true};
 };
 
 }  // namespace xflux

@@ -104,6 +104,33 @@ class Metrics {
 
   void Reset() { *this = Metrics(); }
 
+  /// Folds another shard into this one — how the parallel executor
+  /// aggregates per-segment Metrics shards back into the pipeline's root
+  /// instance after the worker threads join.  Monotone counters add.  The
+  /// current-level gauges (live_states, buffered_*, display_regions) also
+  /// add: each shard tracks disjoint state, so the sums are exact.  The
+  /// high-water gauges add too, which makes the merged maxima an *upper
+  /// bound* (per-shard peaks need not coincide in time) — documented in
+  /// DESIGN.md §6; serial runs have a single shard and stay exact.
+  void MergeFrom(const Metrics& other) {
+    transformer_calls_ += other.transformer_calls_;
+    events_emitted_ += other.events_emitted_;
+    adjust_calls_ += other.adjust_calls_;
+    live_states_ += other.live_states_;
+    max_live_states_ += other.max_live_states_;
+    buffered_events_ += other.buffered_events_;
+    buffered_bytes_ += other.buffered_bytes_;
+    max_buffered_events_ += other.max_buffered_events_;
+    max_buffered_bytes_ += other.max_buffered_bytes_;
+    display_regions_ += other.display_regions_;
+    max_display_regions_ += other.max_display_regions_;
+    guard_violations_ += other.guard_violations_;
+    guard_dropped_events_ += other.guard_dropped_events_;
+    guard_dropped_regions_ += other.guard_dropped_regions_;
+    guard_resyncs_ += other.guard_resyncs_;
+    stage_recoveries_ += other.stage_recoveries_;
+  }
+
   /// One-line human-readable dump for benches and examples.
   std::string ToString() const;
 

@@ -1,0 +1,97 @@
+// Bounded single-producer / single-consumer work queue.
+//
+// The unit of transfer in the parallel pipeline executor is a whole
+// EventBatch (a parser-sized run of ~64 events), so the queue optimizes for
+// clarity over lock-freedom: one mutex round-trip per *batch* amortizes to a
+// fraction of a nanosecond per event, and the condition variables give exact
+// blocking semantics for backpressure (producer stalls while the ring is
+// full) and shutdown (consumer drains whatever is left after Close and then
+// sees end-of-stream).  The ring never reallocates after construction, so a
+// full queue is the only thing that can slow a producer down — that bound is
+// the "bounded buffers" half of the Koch-style pipeline scheduling argument.
+
+#ifndef XFLUX_UTIL_SPSC_QUEUE_H_
+#define XFLUX_UTIL_SPSC_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace xflux {
+
+/// See file comment.  Exactly one producer thread calls Push and exactly one
+/// consumer thread calls Pop; Close may be called from the producer (normal
+/// end-of-stream) or a coordinator.
+template <typename T>
+class SpscQueue {
+ public:
+  explicit SpscQueue(size_t capacity) : ring_(capacity < 1 ? 1 : capacity) {}
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  /// Enqueues `value`, blocking while the ring is full (backpressure).
+  /// Returns false — discarding `value` — if the queue was closed.
+  bool Push(T value) {
+    std::unique_lock<std::mutex> lock(mu_);
+    can_push_.wait(lock, [&] { return size_ < ring_.size() || closed_; });
+    if (closed_) return false;
+    ring_[tail_] = std::move(value);
+    tail_ = (tail_ + 1) % ring_.size();
+    ++size_;
+    if (size_ > high_water_) high_water_ = size_;
+    can_pop_.notify_one();
+    return true;
+  }
+
+  /// Dequeues into `*out`, blocking while the ring is empty.  Returns false
+  /// only once the queue is closed *and* fully drained — the consumer's
+  /// end-of-stream signal.
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    can_pop_.wait(lock, [&] { return size_ > 0 || closed_; });
+    if (size_ == 0) return false;
+    *out = std::move(ring_[head_]);
+    head_ = (head_ + 1) % ring_.size();
+    --size_;
+    can_push_.notify_one();
+    return true;
+  }
+
+  /// Marks end-of-stream: blocked producers give up, the consumer drains
+  /// what is buffered and then Pop returns false.  Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    can_push_.notify_all();
+    can_pop_.notify_all();
+  }
+
+  size_t capacity() const { return ring_.size(); }
+
+  /// Highest occupancy ever observed — the per-queue "depth high-water mark"
+  /// reported by xflux_inspect, showing where the pipeline actually queues.
+  size_t high_water() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return high_water_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable can_push_;
+  std::condition_variable can_pop_;
+  std::vector<T> ring_;
+  size_t head_ = 0;
+  size_t tail_ = 0;
+  size_t size_ = 0;
+  size_t high_water_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace xflux
+
+#endif  // XFLUX_UTIL_SPSC_QUEUE_H_

@@ -28,6 +28,7 @@ std::string StageStats::ToJson() const {
   w.Field("max_buffered_bytes", max_buffered_bytes);
   w.Field("wall_ns", wall_ns);
   w.Field("self_ns", self_ns());
+  w.Field("queue_depth_hwm", queue_depth_hwm);
   w.Field("approx_bytes", ApproxStateBytes());
   return w.Close();
 }
@@ -53,12 +54,12 @@ std::string StatsRegistry::ToJson() const {
 std::string StatsRegistry::ToTable() const {
   std::string out =
       "  # stage                               in(s/u)          out(s/u)"
-      "   adjusts   states       us    ~bytes\n";
-  char line[192];
+      "   adjusts   states       us    ~bytes  qhwm\n";
+  char line[208];
   for (const auto& s : stages_) {
     std::snprintf(
         line, sizeof(line),
-        "%3d %-28s %9llu/%-7llu %9llu/%-7llu %9llu %8lld %8.0f %9lld\n",
+        "%3d %-28s %9llu/%-7llu %9llu/%-7llu %9llu %8lld %8.0f %9lld %5llu\n",
         s->index, s->name.c_str(),
         static_cast<unsigned long long>(s->in_simple),
         static_cast<unsigned long long>(s->in_update),
@@ -67,7 +68,8 @@ std::string StatsRegistry::ToTable() const {
         static_cast<unsigned long long>(s->adjust_calls),
         static_cast<long long>(s->max_live_states),
         static_cast<double>(s->self_ns()) / 1e3,
-        static_cast<long long>(s->ApproxStateBytes()));
+        static_cast<long long>(s->ApproxStateBytes()),
+        static_cast<unsigned long long>(s->queue_depth_hwm));
     out += line;
   }
   return out;

@@ -46,6 +46,12 @@ struct StageStats {
   // of it spent inside downstream Accept calls, via steady_clock.
   uint64_t wall_ns = 0;
   uint64_t downstream_ns = 0;
+  // Parallel execution only: high-water occupancy of the SPSC queue feeding
+  // this stage, recorded by the executor at drain time for segment-head
+  // stages (0 for stages fed by direct dispatch, and always 0 in serial
+  // runs).  Unlike the other fields this is filled in even when
+  // instrumentation is off — it costs nothing on the event path.
+  uint64_t queue_depth_hwm = 0;
 
   uint64_t events_in() const { return in_simple + in_update; }
   uint64_t events_out() const { return out_simple + out_update; }

@@ -37,6 +37,13 @@ StatusOr<std::unique_ptr<QuerySession>> QuerySession::Open(
     });
   }
   pipeline->SetSink(session->display_.get());
+  if (options.threads > 0) {
+    ParallelOptions parallel;
+    parallel.threads = options.threads;
+    parallel.queue_capacity = options.queue_capacity;
+    parallel.batch_events = options.batch_events;
+    pipeline->EnableParallel(parallel);
+  }
   return session;
 }
 
@@ -58,8 +65,12 @@ Status QuerySession::PushDocument(std::string_view xml) {
   options.stream_id = source_id_;
   options.errors = pipeline_->context()->errors();
   SaxParser parser(options, &source);
-  XFLUX_RETURN_IF_ERROR(parser.Feed(xml));
-  XFLUX_RETURN_IF_ERROR(parser.Finish());
+  Status parse = parser.Feed(xml);
+  if (parse.ok()) parse = parser.Finish();
+  // A threaded run must always drain — even when parsing failed — so no
+  // worker outlives this call's stream and the answer below is settled.
+  pipeline_->Finish();
+  XFLUX_RETURN_IF_ERROR(parse);
   return status();
 }
 

@@ -55,6 +55,16 @@ class QuerySession {
     /// `guard_options` decides what happens on a violation.
     bool guard = false;
     ProtocolGuard::Options guard_options;
+    /// Worker threads for pipeline-parallel execution (0 = serial, the
+    /// default).  Parallel output is deterministically identical to
+    /// serial; with threads > 0 the live answer (CurrentText /
+    /// CurrentEvents / metrics) is only defined once Finish() has drained
+    /// the run — PushDocument drains internally, so whole-document callers
+    /// never notice.
+    int threads = 0;
+    /// Queue sizing for threads > 0 (bounded SPSC batch queues).
+    size_t queue_capacity = 64;
+    size_t batch_events = 64;
   };
 
   /// Compiles `query` and attaches a display, per `options`.
@@ -73,6 +83,16 @@ class QuerySession {
 
   /// Tokenizes and pushes a whole XML document (emits sS/eS brackets).
   Status PushDocument(std::string_view xml);
+
+  /// Drains a threaded run — flushes in-flight batches, joins the workers
+  /// and folds their metrics/registry shards into the session-visible
+  /// services — then returns status().  No-op (beyond the status read) in
+  /// serial mode; idempotent.  After Finish the session dispatches any
+  /// further events serially.
+  Status Finish() {
+    pipeline_->Finish();
+    return status();
+  }
 
   /// The current answer text.
   StatusOr<std::string> CurrentText() const { return display_->CurrentText(); }

@@ -22,6 +22,7 @@
 
 #include "core/protocol_guard.h"
 #include "core/well_formed.h"
+#include "test_util.h"
 #include "testing/fault_injector.h"
 #include "util/prng.h"
 #include "xml/sax_parser.h"
@@ -38,50 +39,8 @@ int SeedCount() {
   return 350;
 }
 
-// A compact random bookstore stream with embedded mutable regions and an
-// update tail — the same shape as the golden-equivalence generator, sized
-// for volume.
-EventVec RandomUpdateStream(uint64_t seed) {
-  Prng prng(seed);
-  const std::vector<std::string> authors = {"Smith", "Jones"};
-  EventVec ev;
-  StreamId next_region = 100;
-  std::vector<StreamId> regions;
-  ev.push_back(Event::StartStream(0));
-  ev.push_back(Event::StartElement(0, "biblio", 1));
-  Oid oid = 2;
-  int books = static_cast<int>(prng.Uniform(4)) + 1;
-  for (int b = 0; b < books; ++b) {
-    ev.push_back(Event::StartElement(0, "book", oid++));
-    ev.push_back(Event::StartElement(0, "author", oid++));
-    if (prng.Chance(0.6)) {
-      StreamId region = next_region++;
-      regions.push_back(region);
-      ev.push_back(Event::StartMutable(0, region));
-      ev.push_back(Event::Characters(region, prng.Pick(authors)));
-      ev.push_back(Event::EndMutable(0, region));
-    } else {
-      ev.push_back(Event::Characters(0, prng.Pick(authors)));
-    }
-    ev.push_back(Event::EndElement(0, "author"));
-    ev.push_back(Event::StartElement(0, "price", oid++));
-    ev.push_back(Event::Characters(0, std::to_string(prng.Uniform(90) + 10)));
-    ev.push_back(Event::EndElement(0, "price"));
-    ev.push_back(Event::EndElement(0, "book"));
-  }
-  ev.push_back(Event::EndElement(0, "biblio"));
-  int updates = static_cast<int>(prng.Uniform(4));
-  for (int u = 0; u < updates && !regions.empty(); ++u) {
-    size_t idx = prng.Uniform(regions.size());
-    StreamId fresh = next_region++;
-    ev.push_back(Event::StartReplace(regions[idx], fresh));
-    ev.push_back(Event::Characters(fresh, prng.Pick(authors)));
-    ev.push_back(Event::EndReplace(regions[idx], fresh));
-    regions[idx] = fresh;
-  }
-  ev.push_back(Event::EndStream(0));
-  return ev;
-}
+// The compact volume generator (RandomUpdateStream) lives in test_util.h —
+// the serial/parallel equivalence suite replays the same fault corpus.
 
 struct FuzzTotals {
   uint64_t streams = 0;

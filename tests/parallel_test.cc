@@ -1,0 +1,330 @@
+// Pipeline-parallel execution tests:
+//
+//  1. SpscQueue unit behavior — FIFO order, bounded-buffer backpressure
+//     (a full ring stalls the producer), and the Close/drain shutdown
+//     protocol.
+//  2. The determinism contract: a threaded run produces byte-identical
+//     output (answer events, answer text, final Status) to the serial run,
+//     for every query class the property sweeps cover, over the same random
+//     corpus — including hostile mutated streams through guarded sessions
+//     (the fault corpus; XFLUX_FAULT_ITERS-gated, CI runs 500 seeds).
+//  3. Observability: per-segment queue-depth high-water marks surface
+//     through Pipeline::QueueHighWaterMarks and the qhwm StageStats column.
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/protocol_guard.h"
+#include "test_util.h"
+#include "testing/fault_injector.h"
+#include "util/spsc_queue.h"
+#include "xquery/engine.h"
+
+namespace xflux {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SpscQueue.
+
+TEST(SpscQueue, OrderedDelivery) {
+  SpscQueue<int> q(4);
+  std::thread producer([&] {
+    for (int i = 0; i < 100; ++i) ASSERT_TRUE(q.Push(i));
+    q.Close();
+  });
+  int expected = 0;
+  int value = -1;
+  while (q.Pop(&value)) {
+    EXPECT_EQ(value, expected);
+    ++expected;
+  }
+  EXPECT_EQ(expected, 100);
+  producer.join();
+  EXPECT_LE(q.high_water(), q.capacity());
+}
+
+TEST(SpscQueue, BackpressureWithTinyCapacity) {
+  SpscQueue<int> q(1);
+  std::atomic<int> produced{0};
+  std::thread producer([&] {
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(q.Push(i));
+      produced.fetch_add(1, std::memory_order_relaxed);
+    }
+    q.Close();
+  });
+  // With capacity 1 the producer lands at most one element and then stalls
+  // inside the second Push until the consumer drains — bounded memory no
+  // matter how fast the producer is.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_LE(produced.load(std::memory_order_relaxed), 2);
+
+  int expected = 0;
+  int value = -1;
+  while (q.Pop(&value)) {
+    EXPECT_EQ(value, expected);
+    ++expected;
+  }
+  EXPECT_EQ(expected, 100);
+  producer.join();
+  EXPECT_EQ(q.high_water(), 1u);
+}
+
+TEST(SpscQueue, CloseReleasesConsumerAfterDrain) {
+  SpscQueue<int> q(8);
+  ASSERT_TRUE(q.Push(1));
+  ASSERT_TRUE(q.Push(2));
+  ASSERT_TRUE(q.Push(3));
+  q.Close();
+  EXPECT_FALSE(q.Push(4));  // closed: producer gives up
+  int value = 0;
+  EXPECT_TRUE(q.Pop(&value));
+  EXPECT_EQ(value, 1);
+  EXPECT_TRUE(q.Pop(&value));
+  EXPECT_TRUE(q.Pop(&value));
+  EXPECT_EQ(value, 3);
+  EXPECT_FALSE(q.Pop(&value));  // closed + drained: end of stream
+}
+
+// ---------------------------------------------------------------------------
+// Serial/parallel equivalence.
+
+/// Everything observable about one finished session run.
+struct SessionOutput {
+  EventVec events;      // CurrentEvents (oids included)
+  bool text_ok = false;
+  std::string text;     // CurrentText when text_ok
+  StatusCode code = StatusCode::kOk;
+  std::string status_text;
+};
+
+struct SessionConfig {
+  int threads = 0;
+  size_t queue_capacity = 64;
+  size_t batch_events = 64;
+  bool accept_source_updates = true;
+  bool guard = false;
+  ProtocolGuard::Policy policy = ProtocolGuard::Policy::kFailFast;
+  bool instrumentation = false;
+};
+
+SessionOutput RunSession(const char* query, const EventVec& input,
+                         const SessionConfig& config) {
+  QuerySession::Options options;
+  options.threads = config.threads;
+  options.queue_capacity = config.queue_capacity;
+  options.batch_events = config.batch_events;
+  options.accept_source_updates = config.accept_source_updates;
+  options.guard = config.guard;
+  options.guard_options.policy = config.policy;
+  options.instrumentation = config.instrumentation;
+  auto session = QuerySession::Open(query, options);
+  SessionOutput out;
+  if (!session.ok()) {
+    ADD_FAILURE() << session.status();
+    return out;
+  }
+  session.value()->PushAll(input);
+  // Finish drains the threaded run (no-op in serial), so both arms follow
+  // the same call sequence; the guard flush then dispatches serially.
+  session.value()->Finish();
+  if (config.guard) session.value()->guard()->Finish();
+  out.events = session.value()->CurrentEvents();
+  auto text = session.value()->CurrentText();
+  out.text_ok = text.ok();
+  if (text.ok()) out.text = text.value();
+  const Status& status = session.value()->status();
+  out.code = status.code();
+  std::ostringstream status_text;
+  status_text << status;
+  out.status_text = status_text.str();
+  return out;
+}
+
+void ExpectIdentical(const SessionOutput& serial, const SessionOutput& parallel,
+                     const char* query, uint64_t seed, int threads) {
+  EXPECT_EQ(parallel.code, serial.code)
+      << query << " seed " << seed << " threads " << threads;
+  EXPECT_EQ(parallel.status_text, serial.status_text)
+      << query << " seed " << seed << " threads " << threads;
+  EXPECT_EQ(parallel.text_ok, serial.text_ok)
+      << query << " seed " << seed << " threads " << threads;
+  EXPECT_EQ(parallel.text, serial.text)
+      << query << " seed " << seed << " threads " << threads;
+  EXPECT_EQ(parallel.events, serial.events)
+      << query << " seed " << seed << " threads " << threads
+      << "\nserial: " << ToString(serial.events)
+      << "\nparallel: " << ToString(parallel.events);
+}
+
+// Every query class from the property sweeps (GoldenEquivalence +
+// StreamInvariants), so the determinism claim covers paths, predicates,
+// aggregates, FLWOR, order-by and constructors.
+constexpr const char* kEquivalenceQueries[] = {
+    "X//book[author=\"Smith\"]/title",
+    "count(X//book[author=\"Smith\"])",
+    "X//book[publisher=\"Wiley\"][author=\"Smith\"]/price",
+    "X//author",
+    "X//book/price",
+    "count(X//book)",
+    "sum(X//price)",
+    "for $b in X//book where $b/author = \"Smith\" "
+    "return <hit>{ $b/price }</hit>",
+    "for $b in X//book order by $b/price return $b/author",
+    "<all>{ for $b in X//book return <b>{ $b/author, $b/price }</b> }</all>",
+};
+
+class SerialParallelEquivalence
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SerialParallelEquivalence, ThreadedRunsMatchSerialByteForByte) {
+  const char* query = GetParam();
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    RandomStream stream = MakeRandomBookStream(seed);
+    SessionOutput serial = RunSession(query, stream.events, SessionConfig{});
+    for (int threads : {1, 2, 4}) {
+      SessionConfig config;
+      config.threads = threads;
+      SessionOutput parallel = RunSession(query, stream.events, config);
+      ExpectIdentical(serial, parallel, query, seed, threads);
+    }
+  }
+}
+
+TEST_P(SerialParallelEquivalence, FixedSourceRegionsMatchSerial) {
+  // accept_source_updates = false classifies every source region fixed at
+  // injection; the feeder broadcasts that fact to every segment, so the
+  // parallel eviction decisions must land identically.
+  const char* query = GetParam();
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    RandomStream stream = MakeRandomBookStream(seed);
+    SessionConfig serial_config;
+    serial_config.accept_source_updates = false;
+    SessionOutput serial = RunSession(query, stream.events, serial_config);
+    SessionConfig config = serial_config;
+    config.threads = 4;
+    SessionOutput parallel = RunSession(query, stream.events, config);
+    ExpectIdentical(serial, parallel, query, seed, 4);
+  }
+}
+
+TEST_P(SerialParallelEquivalence, TinyQueuesForceBackpressureNotDivergence) {
+  // capacity-1 queues with 2-event batches maximize producer stalls and
+  // boundary flushes — the scheduling extreme must not change the answer.
+  const char* query = GetParam();
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    RandomStream stream = MakeRandomBookStream(seed);
+    SessionOutput serial = RunSession(query, stream.events, SessionConfig{});
+    SessionConfig config;
+    config.threads = 4;
+    config.queue_capacity = 1;
+    config.batch_events = 2;
+    SessionOutput parallel = RunSession(query, stream.events, config);
+    ExpectIdentical(serial, parallel, query, seed, 4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(QueryClasses, SerialParallelEquivalence,
+                         ::testing::ValuesIn(kEquivalenceQueries),
+                         [](const auto& info) {
+                           return "q" + std::to_string(info.index);
+                         });
+
+// ---------------------------------------------------------------------------
+// Fault-corpus equivalence: hostile mutated streams through guarded
+// sessions, serial vs threads=4.  Poisoning must drain identically — the
+// paper-facing contract is that parallelism changes throughput, never the
+// error behavior.
+
+int FaultSeedCount() {
+  if (const char* env = std::getenv("XFLUX_FAULT_ITERS")) {
+    int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return 100;  // CI fuzz-smoke raises this to 500
+}
+
+class ParallelFaultEquivalence
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ParallelFaultEquivalence, MutatedStreamsDrainIdentically) {
+  const char* query = GetParam();
+  constexpr ProtocolGuard::Policy kPolicies[] = {
+      ProtocolGuard::Policy::kFailFast, ProtocolGuard::Policy::kDropRegion,
+      ProtocolGuard::Policy::kResync};
+  const int seeds = FaultSeedCount();
+  for (int seed = 1; seed <= seeds; ++seed) {
+    EventVec clean = RandomUpdateStream(static_cast<uint64_t>(seed));
+    FaultSpec spec = ParseFaultSpec(seed % 2 == 0 ? "heavy" : "light").value();
+    for (ProtocolGuard::Policy policy : kPolicies) {
+      EventVec mutated = MutateStream(
+          clean, spec,
+          static_cast<uint64_t>(seed) * 31 + static_cast<int>(policy),
+          nullptr);
+      SessionConfig serial_config;
+      serial_config.guard = true;
+      serial_config.policy = policy;
+      SessionOutput serial = RunSession(query, mutated, serial_config);
+      SessionConfig config = serial_config;
+      config.threads = 4;
+      SessionOutput parallel = RunSession(query, mutated, config);
+      ExpectIdentical(serial, parallel, query, static_cast<uint64_t>(seed),
+                      4);
+      if (HasFatalFailure() || HasNonfatalFailure()) return;  // first repro
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    HostileQueries, ParallelFaultEquivalence,
+    ::testing::Values("X//book[author=\"Smith\"]/title", "count(X//book)",
+                      "for $b in X//book where $b/author = \"Smith\" "
+                      "return <hit>{ $b/price }</hit>"),
+    [](const auto& info) { return "q" + std::to_string(info.index); });
+
+// ---------------------------------------------------------------------------
+// Observability of the queues.
+
+TEST(ParallelObservability, QueueHighWaterMarksSurface) {
+  SessionConfig config;
+  config.threads = 2;
+  config.instrumentation = true;
+  QuerySession::Options options;
+  options.threads = config.threads;
+  options.instrumentation = true;
+  auto session = QuerySession::Open("X//book/price", options);
+  ASSERT_TRUE(session.ok()) << session.status();
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    session.value()->PushAll(MakeRandomBookStream(seed).events);
+  }
+  session.value()->Finish();
+
+  std::vector<size_t> marks = session.value()->pipeline()->QueueHighWaterMarks();
+  ASSERT_FALSE(marks.empty());
+  // Something actually flowed through the first segment's queue.
+  EXPECT_GE(marks.front(), 1u);
+
+  // The per-stage table and JSON carry the qhwm column.
+  EXPECT_NE(session.value()->stats()->ToTable().find("qhwm"),
+            std::string::npos);
+  EXPECT_NE(session.value()->stats()->ToJson().find("queue_depth_hwm"),
+            std::string::npos);
+}
+
+TEST(ParallelObservability, SerialRunsReportNoQueues) {
+  auto session = QuerySession::Open("X//author");
+  ASSERT_TRUE(session.ok());
+  session.value()->PushAll(MakeRandomBookStream(1).events);
+  EXPECT_TRUE(session.value()->pipeline()->QueueHighWaterMarks().empty());
+  EXPECT_FALSE(session.value()->pipeline()->parallel());
+}
+
+}  // namespace
+}  // namespace xflux

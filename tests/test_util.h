@@ -17,7 +17,9 @@
 #include "core/state_transformer.h"
 #include "core/transform_stage.h"
 #include "core/well_formed.h"
+#include "util/prng.h"
 #include "xml/sax_parser.h"
+#include "xml/serializer.h"
 
 namespace xflux {
 
@@ -63,6 +65,134 @@ inline EventVec Tok(std::string_view xml) {
 inline EventVec StripOids(EventVec v) {
   for (Event& e : v) e.oid = 0;
   return v;
+}
+
+/// A random bookstore stream: books with mutable author/price regions,
+/// followed by a tail of updates that flip some of them.  Shared by the
+/// property sweeps and the serial/parallel equivalence suite.
+struct RandomStream {
+  EventVec events;        // with sS/eS and embedded updates
+  std::string plain_xml;  // the eagerly-updated equivalent document
+};
+
+inline RandomStream MakeRandomBookStream(uint64_t seed) {
+  Prng prng(seed);
+  const std::vector<std::string> authors = {"Smith", "Jones", "Doe"};
+  const std::vector<std::string> publishers = {"Wiley", "Other"};
+  EventVec ev;
+  StreamId next_region = 100;
+  std::vector<StreamId> author_regions;
+  std::vector<StreamId> price_regions;
+
+  ev.push_back(Event::StartStream(0));
+  ev.push_back(Event::StartElement(0, "biblio", 1));
+  Oid oid = 2;
+  int books = static_cast<int>(prng.Uniform(6)) + 2;
+  for (int b = 0; b < books; ++b) {
+    ev.push_back(Event::StartElement(0, "book", oid++));
+    ev.push_back(Event::StartElement(0, "publisher", oid++));
+    ev.push_back(Event::Characters(0, prng.Pick(publishers)));
+    ev.push_back(Event::EndElement(0, "publisher"));
+    ev.push_back(Event::StartElement(0, "author", oid++));
+    bool mutable_author = prng.Chance(0.7);
+    if (mutable_author) {
+      StreamId region = next_region++;
+      author_regions.push_back(region);
+      ev.push_back(Event::StartMutable(0, region));
+      ev.push_back(Event::Characters(region, prng.Pick(authors)));
+      ev.push_back(Event::EndMutable(0, region));
+    } else {
+      ev.push_back(Event::Characters(0, prng.Pick(authors)));
+    }
+    ev.push_back(Event::EndElement(0, "author"));
+    ev.push_back(Event::StartElement(0, "price", oid++));
+    if (prng.Chance(0.5)) {
+      StreamId region = next_region++;
+      price_regions.push_back(region);
+      ev.push_back(Event::StartMutable(0, region));
+      ev.push_back(Event::Characters(
+          region, std::to_string(prng.Uniform(90) + 10)));
+      ev.push_back(Event::EndMutable(0, region));
+    } else {
+      ev.push_back(Event::Characters(
+          0, std::to_string(prng.Uniform(90) + 10)));
+    }
+    ev.push_back(Event::EndElement(0, "price"));
+    ev.push_back(Event::EndElement(0, "book"));
+  }
+  ev.push_back(Event::EndElement(0, "biblio"));
+
+  // The update tail: author flips and price replacements, with chains.
+  int updates = static_cast<int>(prng.Uniform(8));
+  for (int u = 0; u < updates; ++u) {
+    bool do_author = !author_regions.empty() &&
+                     (price_regions.empty() || prng.Chance(0.6));
+    std::vector<StreamId>& pool = do_author ? author_regions : price_regions;
+    if (pool.empty()) break;
+    size_t idx = prng.Uniform(pool.size());
+    StreamId fresh = next_region++;
+    ev.push_back(Event::StartReplace(pool[idx], fresh));
+    ev.push_back(Event::Characters(
+        fresh, do_author ? prng.Pick(authors)
+                         : std::to_string(prng.Uniform(90) + 10)));
+    ev.push_back(Event::EndReplace(pool[idx], fresh));
+    pool[idx] = fresh;  // later updates address the newest id
+  }
+  ev.push_back(Event::EndStream(0));
+
+  RandomStream result;
+  auto plain = Materialize(ev);
+  EXPECT_TRUE(plain.ok()) << plain.status();
+  auto xml = XmlSerializer::ToXml(plain.value());
+  EXPECT_TRUE(xml.ok()) << xml.status();
+  result.events = std::move(ev);
+  result.plain_xml = xml.ok() ? xml.value() : "";
+  return result;
+}
+
+/// A compact random bookstore stream with embedded mutable regions and an
+/// update tail — the same shape as MakeRandomBookStream, sized for volume.
+/// Shared by the fault-injection and serial/parallel equivalence suites.
+inline EventVec RandomUpdateStream(uint64_t seed) {
+  Prng prng(seed);
+  const std::vector<std::string> authors = {"Smith", "Jones"};
+  EventVec ev;
+  StreamId next_region = 100;
+  std::vector<StreamId> regions;
+  ev.push_back(Event::StartStream(0));
+  ev.push_back(Event::StartElement(0, "biblio", 1));
+  Oid oid = 2;
+  int books = static_cast<int>(prng.Uniform(4)) + 1;
+  for (int b = 0; b < books; ++b) {
+    ev.push_back(Event::StartElement(0, "book", oid++));
+    ev.push_back(Event::StartElement(0, "author", oid++));
+    if (prng.Chance(0.6)) {
+      StreamId region = next_region++;
+      regions.push_back(region);
+      ev.push_back(Event::StartMutable(0, region));
+      ev.push_back(Event::Characters(region, prng.Pick(authors)));
+      ev.push_back(Event::EndMutable(0, region));
+    } else {
+      ev.push_back(Event::Characters(0, prng.Pick(authors)));
+    }
+    ev.push_back(Event::EndElement(0, "author"));
+    ev.push_back(Event::StartElement(0, "price", oid++));
+    ev.push_back(Event::Characters(0, std::to_string(prng.Uniform(90) + 10)));
+    ev.push_back(Event::EndElement(0, "price"));
+    ev.push_back(Event::EndElement(0, "book"));
+  }
+  ev.push_back(Event::EndElement(0, "biblio"));
+  int updates = static_cast<int>(prng.Uniform(4));
+  for (int u = 0; u < updates && !regions.empty(); ++u) {
+    size_t idx = prng.Uniform(regions.size());
+    StreamId fresh = next_region++;
+    ev.push_back(Event::StartReplace(regions[idx], fresh));
+    ev.push_back(Event::Characters(fresh, prng.Pick(authors)));
+    ev.push_back(Event::EndReplace(regions[idx], fresh));
+    regions[idx] = fresh;
+  }
+  ev.push_back(Event::EndStream(0));
+  return ev;
 }
 
 }  // namespace xflux
