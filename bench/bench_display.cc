@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <string_view>
@@ -11,6 +13,7 @@
 
 #include "bench/bench_util.h"
 #include "core/region_document.h"
+#include "core/result_display.h"
 #include "util/order_key.h"
 #include "util/prng.h"
 
@@ -104,6 +107,104 @@ void BM_DisplayRender(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DisplayRender)->Arg(1000);
+
+// The live-display workload: a viewer re-reads the current answer after
+// every event of an append-only stream.  The incremental renderer pays the
+// volatile tail only; per-refresh cost is reported as p50/p99 latency.
+void BM_LiveRenderAppendOnly(benchmark::State& state) {
+  const int elements = static_cast<int>(state.range(0));
+  std::vector<double> samples_ns;
+  samples_ns.reserve(static_cast<size_t>(elements));
+  for (auto _ : state) {
+    samples_ns.clear();
+    ResultDisplay display;
+    display.Accept(Event::StartStream(0));
+    display.Accept(Event::StartElement(0, "all"));
+    for (int i = 0; i < elements; ++i) {
+      display.Accept(Event::StartElement(0, "e"));
+      display.Accept(Event::Characters(0, "x"));
+      display.Accept(Event::EndElement(0, "e"));
+      auto t0 = std::chrono::steady_clock::now();
+      benchmark::DoNotOptimize(display.LiveText().size());
+      auto t1 = std::chrono::steady_clock::now();
+      samples_ns.push_back(
+          std::chrono::duration<double, std::nano>(t1 - t0).count());
+    }
+    benchmark::DoNotOptimize(display.full_rescans());
+  }
+  std::sort(samples_ns.begin(), samples_ns.end());
+  if (!samples_ns.empty()) {
+    state.counters["refresh_p50_ns"] = samples_ns[samples_ns.size() / 2];
+    state.counters["refresh_p99_ns"] = samples_ns[samples_ns.size() * 99 / 100];
+  }
+  state.SetItemsProcessed(state.iterations() * elements);
+}
+BENCHMARK(BM_LiveRenderAppendOnly)->Arg(1000)->Arg(10000);
+
+// The same workload through the full-re-render fallback — the seed's only
+// path.  items/s against BM_LiveRenderAppendOnly is the headline speedup.
+void BM_FullRenderAppendOnly(benchmark::State& state) {
+  const int elements = static_cast<int>(state.range(0));
+  std::vector<double> samples_ns;
+  samples_ns.reserve(static_cast<size_t>(elements));
+  for (auto _ : state) {
+    samples_ns.clear();
+    ResultDisplay display;
+    display.Accept(Event::StartStream(0));
+    display.Accept(Event::StartElement(0, "all"));
+    for (int i = 0; i < elements; ++i) {
+      display.Accept(Event::StartElement(0, "e"));
+      display.Accept(Event::Characters(0, "x"));
+      display.Accept(Event::EndElement(0, "e"));
+      auto t0 = std::chrono::steady_clock::now();
+      auto text = display.FullRenderText();
+      benchmark::DoNotOptimize(text.ok() ? text.value().size() : 0);
+      auto t1 = std::chrono::steady_clock::now();
+      samples_ns.push_back(
+          std::chrono::duration<double, std::nano>(t1 - t0).count());
+    }
+  }
+  std::sort(samples_ns.begin(), samples_ns.end());
+  if (!samples_ns.empty()) {
+    state.counters["refresh_p50_ns"] = samples_ns[samples_ns.size() / 2];
+    state.counters["refresh_p99_ns"] = samples_ns[samples_ns.size() * 99 / 100];
+  }
+  state.SetItemsProcessed(state.iterations() * elements);
+}
+BENCHMARK(BM_FullRenderAppendOnly)->Arg(1000)->Arg(10000);
+
+// Live refreshes with a retroactive update mixed in every k events: each
+// update dirties at most the volatile tail (replace targets the newest
+// region), so the incremental path should degrade gracefully, not cliff.
+void BM_LiveRenderWithUpdates(benchmark::State& state) {
+  const int elements = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    ResultDisplay display;
+    display.Accept(Event::StartStream(0));
+    display.Accept(Event::StartElement(0, "all"));
+    StreamId next = 100;
+    StreamId last_region = 0;
+    for (int i = 0; i < elements; ++i) {
+      StreamId r = next++;
+      display.Accept(Event::StartElement(0, "e"));
+      display.Accept(Event::StartMutable(0, r));
+      display.Accept(Event::Characters(r, "x"));
+      display.Accept(Event::EndMutable(0, r));
+      display.Accept(Event::EndElement(0, "e"));
+      last_region = r;
+      if (i % 16 == 15) {
+        StreamId fresh = next++;
+        display.Accept(Event::StartReplace(last_region, fresh));
+        display.Accept(Event::Characters(fresh, "y"));
+        display.Accept(Event::EndReplace(last_region, fresh));
+      }
+      benchmark::DoNotOptimize(display.LiveText().size());
+    }
+    benchmark::DoNotOptimize(display.full_rescans());
+  }
+  state.SetItemsProcessed(state.iterations() * elements);
+}
+BENCHMARK(BM_LiveRenderWithUpdates)->Arg(1000)->Arg(10000);
 
 void BM_OrderKeyBisection(benchmark::State& state) {
   for (auto _ : state) {

@@ -194,6 +194,13 @@ int main(int argc, char** argv) {
     }
     std::printf("] of %zu\n", options.queue_capacity);
   }
+  const xflux::RegionDocument& doc = session.value()->display()->document();
+  std::printf("display : %zu items in %zu live regions (%zu intervals), "
+              "slab %.1f KiB at %.0f%% occupancy, %llu full rescans\n",
+              doc.item_count(), doc.live_region_count(),
+              doc.live_interval_count(), doc.arena_bytes() / 1024.0,
+              doc.arena_occupancy() * 100.0,
+              (unsigned long long)doc.full_rescans());
   std::printf("%s", session.value()->stats()->ToTable().c_str());
   std::printf("\npipeline: %s\n",
               session.value()->metrics()->ToString().c_str());

@@ -1,14 +1,51 @@
 #include "core/region_document.h"
 
 #include <algorithm>
-#include <cassert>
 
 namespace xflux {
+
+RegionDocument::~RegionDocument() {
+  // Arena slabs are reclaimed without running destructors; items hold
+  // refcounted event payloads, so destroy them explicitly.
+  for (Item* i = end_.next; i != &end_;) {
+    Item* next = i->next;
+    if (i->type == Item::Type::kEnd) interval_arena_.Destroy(i->interval);
+    item_arena_.Destroy(i);
+    i = next;
+  }
+}
 
 RegionDocument::Iter RegionDocument::InsertPos(StreamId id) {
   auto it = cursors_.find(id);
   if (it != cursors_.end() && !it->second.empty()) return it->second.back();
-  return items_.end();
+  return &end_;
+}
+
+RegionDocument::Iter RegionDocument::InsertBefore(Iter pos, Item::Type type,
+                                                  const Event& e,
+                                                  Interval* interval) {
+  Item* node = item_arena_.Create(type, e, interval);
+  node->prev = pos->prev;
+  node->next = pos;
+  pos->prev->next = node;
+  pos->prev = node;
+  ++epoch_;
+  // An insert before an already-rendered position lands inside the stable
+  // prefix; before anything else (the tail sentinel included) it is part
+  // of the volatile tail and costs nothing.
+  if (pos->rendered) MarkStructural();
+  return node;
+}
+
+RegionDocument::Iter RegionDocument::RemoveItem(Iter i) {
+  Item* next = i->next;
+  i->prev->next = next;
+  next->prev = i->prev;
+  ++epoch_;
+  if (i->rendered) MarkStructural();
+  if (i->type == Item::Type::kEnd) interval_arena_.Destroy(i->interval);
+  item_arena_.Destroy(i);
+  return next;
 }
 
 void RegionDocument::Bind(StreamId id, Interval* interval) {
@@ -26,15 +63,27 @@ void RegionDocument::Unbind(StreamId id) {
   }
 }
 
+void RegionDocument::PushCursor(StreamId id, Iter pos) {
+  cursors_[id].push_back(pos);
+  ++pos->interval->pending_inserts;
+}
+
+void RegionDocument::PopCursor(StreamId id) {
+  auto it = cursors_.find(id);
+  if (it == cursors_.end() || it->second.empty()) return;
+  --it->second.back()->interval->pending_inserts;
+  it->second.pop_back();
+  if (it->second.empty()) cursors_.erase(it);
+}
+
 RegionDocument::Interval* RegionDocument::OpenInterval(StreamId uid,
                                                        Iter pos) {
-  intervals_.push_back(std::make_unique<Interval>());
-  Interval* interval = intervals_.back().get();
+  Interval* interval = interval_arena_.Create();
   interval->id = uid;
-  interval->begin = items_.insert(pos, {Item::Type::kBegin, {}, interval});
-  interval->end = items_.insert(pos, {Item::Type::kEnd, {}, interval});
+  interval->begin = InsertBefore(pos, Item::Type::kBegin, Event(), interval);
+  interval->end = InsertBefore(pos, Item::Type::kEnd, Event(), interval);
   Bind(uid, interval);
-  cursors_[uid].push_back(interval->end);
+  PushCursor(uid, interval->end);
   return interval;
 }
 
@@ -43,7 +92,10 @@ void RegionDocument::DropCursorsAt(Iter pos, StreamId uid) {
     auto& stack = it->second;
     size_t before = stack.size();
     stack.erase(std::remove(stack.begin(), stack.end(), pos), stack.end());
-    if (it->first == uid && stack.size() != before) {
+    size_t removed = before - stack.size();
+    // Keep the pending count exact until the sentinel is destroyed.
+    pos->interval->pending_inserts -= static_cast<int>(removed);
+    if (it->first == uid && removed > 0) {
       // The bracket was still open; swallow the rest of its input.
       dropping_.insert(uid);
     }
@@ -65,7 +117,7 @@ void RegionDocument::EraseRange(Iter from, Iter to) {
       // before the erase, or a later insert corrupts the list.
       DropCursorsAt(i, i->interval->id);
     }
-    i = items_.erase(i);
+    i = RemoveItem(i);
   }
 }
 
@@ -81,7 +133,7 @@ Status RegionDocument::Feed(const Event& e) {
     case EventKind::kEndElement:
     case EventKind::kCharacters:
       if (dropping_.count(e.id) > 0) return Status::OK();
-      items_.insert(InsertPos(e.id), {Item::Type::kEvent, e, nullptr});
+      InsertBefore(InsertPos(e.id), Item::Type::kEvent, e, nullptr);
       return Status::OK();
 
     case EventKind::kStartMutable: {
@@ -94,7 +146,7 @@ Status RegionDocument::Feed(const Event& e) {
       // arriving while the bracket is open are part of the region (this is
       // how operators wrap pass-through content, e.g. the predicate's
       // per-element regions and the descendant step's base copies).
-      cursors_[e.id].push_back(interval->end);
+      PushCursor(e.id, interval->end);
       return Status::OK();
     }
 
@@ -109,7 +161,7 @@ Status RegionDocument::Feed(const Event& e) {
                                        std::to_string(e.id));
       }
       Interval* target = it->second;
-      EraseRange(std::next(target->begin), target->end);
+      EraseRange(target->begin->next, target->end);
       OpenInterval(e.uid, target->end);
       return Status::OK();
     }
@@ -138,7 +190,7 @@ Status RegionDocument::Feed(const Event& e) {
         return Status::InvalidArgument("insert-after targets unknown region " +
                                        std::to_string(e.id));
       }
-      OpenInterval(e.uid, std::next(it->second->end));
+      OpenInterval(e.uid, it->second->end->next);
       return Status::OK();
     }
 
@@ -156,15 +208,10 @@ Status RegionDocument::Feed(const Event& e) {
                                        std::to_string(e.uid) +
                                        " that is not open");
       }
-      it->second.pop_back();
-      if (it->second.empty()) cursors_.erase(it);
+      PopCursor(e.uid);
       if (e.kind == EventKind::kEndMutable) {
         // Pop the target-stream cursor pushed by the matching sM.
-        auto tit = cursors_.find(e.id);
-        if (tit != cursors_.end() && !tit->second.empty()) {
-          tit->second.pop_back();
-          if (tit->second.empty()) cursors_.erase(tit);
-        }
+        PopCursor(e.id);
       }
       return Status::OK();
     }
@@ -176,7 +223,14 @@ Status RegionDocument::Feed(const Event& e) {
         return Status::InvalidArgument("hide targets unknown region " +
                                        std::to_string(e.id));
       }
-      it->second->hidden = true;
+      Interval* target = it->second;
+      if (!target->hidden) {
+        target->hidden = true;
+        ++epoch_;
+        // Re-veiling content the renderer already consumed invalidates
+        // the stable prefix; a still-volatile region costs nothing.
+        if (target->begin->rendered) MarkStructural();
+      }
       return Status::OK();
     }
 
@@ -187,11 +241,17 @@ Status RegionDocument::Feed(const Event& e) {
         return Status::InvalidArgument("show targets unknown region " +
                                        std::to_string(e.id));
       }
-      it->second->hidden = false;
+      Interval* target = it->second;
+      if (target->hidden) {
+        target->hidden = false;
+        ++epoch_;
+        if (target->begin->rendered) MarkStructural();
+      }
       return Status::OK();
     }
 
     case EventKind::kFreeze: {
+      dropping_.erase(e.id);  // a dropped region can never be re-addressed
       auto it = active_.find(e.id);
       if (it == active_.end()) {
         // Freezing an already-frozen or unknown region is a no-op: the
@@ -201,9 +261,7 @@ Status RegionDocument::Feed(const Event& e) {
       Interval* target = it->second;
       if (target->hidden) {
         // Irrevocably removed: reclaim the content immediately (Section V).
-        Iter from = target->begin;
-        Iter to = std::next(target->end);
-        EraseRange(from, to);
+        EraseRange(target->begin, target->end->next);
       } else {
         Unbind(e.id);
       }
@@ -223,24 +281,10 @@ Status RegionDocument::FeedAll(const EventVec& events) {
 EventVec RegionDocument::RenderEvents(const RenderOptions& options) const {
   EventVec out;
   int skip_depth = 0;
-  for (const Item& item : items_) {
-    if (item.type == Item::Type::kBegin) {
-      if (skip_depth > 0 || item.interval->hidden) ++skip_depth;
-      continue;
-    }
-    if (item.type == Item::Type::kEnd) {
-      if (skip_depth > 0) --skip_depth;
-      continue;
-    }
-    if (skip_depth > 0) continue;
-    const Event& e = item.event;
-    if (!options.keep_tuples && (e.kind == EventKind::kStartTuple ||
-                                 e.kind == EventKind::kEndTuple)) {
-      continue;
-    }
-    Event copy = e;
-    copy.id = options.out_id;
-    out.push_back(std::move(copy));
+  const Item* end = &end_;
+  for (Item* i = end_.next; i != end; i = i->next) {
+    EmitVisible(*i, options, &skip_depth,
+                [&out](const Event& e) { out.push_back(e); });
   }
   return out;
 }

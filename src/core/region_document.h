@@ -8,24 +8,37 @@
 // reference semantics in tests ("after the updates are applied, the result
 // is equivalent to ...", Section III).
 //
-// Representation: a doubly-linked list of items.  Each update region is an
-// *interval* delimited by two sentinel items.  Replacement splices the new
-// region between the target's sentinels (after discarding the old content);
-// insert-before/-after splice immediately outside them; hide/show toggle a
-// visibility flag; freeze makes a region unaddressable (and physically
-// deletes it when it is hidden, the irrevocable cheap path of Section V).
+// Representation: an intrusive doubly-linked list of items carved out of a
+// slab arena (util/slab_arena.h) — no per-item malloc, and slots freed by
+// EraseRange are immediately reused by the replacement content.  Each
+// update region is an *interval* delimited by two sentinel items.
+// Replacement splices the new region between the target's sentinels (after
+// discarding the old content); insert-before/-after splice immediately
+// outside them; hide/show toggle a visibility flag; freeze makes a region
+// unaddressable (and physically deletes it when it is hidden, the
+// irrevocable cheap path of Section V).
+//
+// Incremental rendering: the document splits into a *stable prefix* —
+// items no in-flight bracket or future update can still get in front of —
+// and a *volatile tail*.  A renderer (core/result_display.h) consumes the
+// stable prefix exactly once through SyncRender and recomputes only the
+// tail per refresh, so append-only streams pay O(1) amortized per event.
+// Restructuring that touches already-consumed items (an insert before a
+// rendered position, erasing or re-veiling rendered content) invalidates
+// the prefix; SyncRender then signals a restart and replays from the top.
+// RenderEvents stays the full-walk oracle the incremental path is checked
+// against.
 
 #ifndef XFLUX_CORE_REGION_DOCUMENT_H_
 #define XFLUX_CORE_REGION_DOCUMENT_H_
 
-#include <list>
-#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "core/event.h"
 #include "util/metrics.h"
+#include "util/slab_arena.h"
 #include "util/status.h"
 
 namespace xflux {
@@ -45,7 +58,12 @@ class RegionDocument {
   /// when irrevocably removed content (hidden + frozen) is reclaimed, and
   /// in-flight source updates to it are then simply irrelevant.
   explicit RegionDocument(Metrics* metrics = nullptr, bool lenient = false)
-      : metrics_(metrics), lenient_(lenient) {}
+      : metrics_(metrics), lenient_(lenient) {
+    end_.prev = &end_;
+    end_.next = &end_;
+  }
+
+  ~RegionDocument();
 
   RegionDocument(const RegionDocument&) = delete;
   RegionDocument& operator=(const RegionDocument&) = delete;
@@ -65,62 +83,209 @@ class RegionDocument {
   size_t live_region_count() const { return active_.size(); }
 
   /// Total items held (content + sentinels): the document's buffering cost.
-  size_t item_count() const { return items_.size(); }
+  size_t item_count() const { return item_arena_.live_nodes(); }
+
+  /// Regions whose updates are currently being swallowed (lenient mode).
+  size_t dropping_count() const { return dropping_.size(); }
+
+  // -- slab occupancy (xflux_inspect, EXPERIMENTS.md) --
+
+  /// Intervals alive (addressable or not — an unaddressable interval still
+  /// holds its sentinels until its content is reclaimed).
+  size_t live_interval_count() const { return interval_arena_.live_nodes(); }
+  /// Item slots carved out of the slabs so far (high-water capacity).
+  size_t arena_capacity_items() const { return item_arena_.capacity_nodes(); }
+  /// Bytes resident in the item + interval slabs.
+  size_t arena_bytes() const {
+    return item_arena_.arena_bytes() + interval_arena_.arena_bytes();
+  }
+  /// Live fraction of the item slabs, in [0, 1].
+  double arena_occupancy() const { return item_arena_.occupancy(); }
+
+  // -- incremental rendering (single consumer; see file comment) --
+
+  /// Bumped on every Feed that may have changed the rendered answer.  A
+  /// renderer holding output for epoch() can skip its refresh entirely.
+  uint64_t epoch() const { return epoch_; }
+
+  /// Times SyncRender had to throw away the stable prefix and replay.
+  uint64_t full_rescans() const { return full_rescans_; }
+
+  /// Advances the stable prefix: emits every newly-stable visible event
+  /// (same filtering as RenderEvents) through `emit`.  If restructuring
+  /// invalidated the prefix, calls `on_restart()` first — the consumer
+  /// drops its accumulated output — and replays from the document start.
+  /// Logically const: only the renderer-side scan state mutates.
+  template <typename OnRestart, typename Emit>
+  void SyncRender(const RenderOptions& options, OnRestart&& on_restart,
+                  Emit&& emit) const {
+    const Item* end = &end_;
+    bool restarted = false;
+    if (structural_) {
+      on_restart();
+      ++full_rescans_;
+      structural_ = false;
+      last_rendered_ = nullptr;
+      stable_skip_ = 0;
+      restarted = true;
+    }
+    Item* cur = last_rendered_ != nullptr ? last_rendered_->next : end_.next;
+    while (cur != end) {
+      if (cur->type == Item::Type::kEnd &&
+          cur->interval->pending_inserts > 0) {
+        break;  // an open bracket can still insert here: tail starts
+      }
+      cur->rendered = true;
+      EmitVisible(*cur, options, &stable_skip_, emit);
+      last_rendered_ = cur;
+      cur = cur->next;
+    }
+    if (restarted) {
+      // The suffix may carry flags from before the restart; the exactness
+      // of the rendered <=> in-stable-prefix invariant depends on clearing
+      // them (it is what makes the cleanliness checks in Feed precise).
+      for (Item* i = cur; i != end; i = i->next) i->rendered = false;
+    }
+  }
+
+  /// True when items exist past the stable prefix (call after SyncRender).
+  bool HasVolatileTail() const {
+    Item* cur = last_rendered_ != nullptr ? last_rendered_->next : end_.next;
+    return cur != &end_;
+  }
+
+  /// Renders the volatile tail (everything past the stable prefix) without
+  /// consuming it; recomputed by the renderer on every refresh.
+  template <typename Emit>
+  void RenderVolatileTail(const RenderOptions& options, Emit&& emit) const {
+    const Item* end = &end_;
+    int skip = stable_skip_;
+    Item* cur = last_rendered_ != nullptr ? last_rendered_->next : end_.next;
+    for (; cur != end; cur = cur->next) {
+      EmitVisible(*cur, options, &skip, emit);
+    }
+  }
 
  private:
   struct Interval;
 
   struct Item {
     enum class Type : uint8_t { kEvent, kBegin, kEnd };
-    Type type;
-    Event event;         // valid when type == kEvent
-    Interval* interval;  // valid when type == kBegin / kEnd
+
+    Item() = default;
+    Item(Type t, Event e, Interval* iv)
+        : interval(iv), event(std::move(e)), type(t) {}
+
+    Item* prev = nullptr;
+    Item* next = nullptr;
+    Interval* interval = nullptr;  // valid when type == kBegin / kEnd
+    Event event;                   // valid when type == kEvent
+    Type type = Type::kEvent;
+    // True iff the item was consumed into the stable rendered prefix
+    // (maintained exactly; see SyncRender).  Mutable because the scan is
+    // logically const.
+    mutable bool rendered = false;
   };
-  using ItemList = std::list<Item>;
-  using Iter = ItemList::iterator;
+  using Iter = Item*;
 
   // One bracketed region instance.  Re-using an update id creates a fresh
   // interval and rebinds the id; the old interval stays in the document but
   // is no longer addressable (paper: "only the latest one is active").
   struct Interval {
     StreamId id = 0;
-    Iter begin;  // sentinel; content lies strictly between begin and end
-    Iter end;
+    Iter begin = nullptr;  // sentinel; content lies strictly between
+    Iter end = nullptr;
     bool hidden = false;
+    // Insertion cursors currently parked on `end`: while nonzero, content
+    // can still appear before the sentinel, so the stable scan must not
+    // pass it.
+    int pending_inserts = 0;
   };
+
+  // Shared visibility/filter step for all three render walks: advances the
+  // hidden-nesting depth and forwards visible simple events to `emit`.
+  template <typename Emit>
+  static void EmitVisible(const Item& item, const RenderOptions& options,
+                          int* skip_depth, Emit&& emit) {
+    if (item.type == Item::Type::kBegin) {
+      if (*skip_depth > 0 || item.interval->hidden) ++*skip_depth;
+      return;
+    }
+    if (item.type == Item::Type::kEnd) {
+      if (*skip_depth > 0) --*skip_depth;
+      return;
+    }
+    if (*skip_depth > 0) return;
+    const Event& e = item.event;
+    if (!options.keep_tuples && (e.kind == EventKind::kStartTuple ||
+                                 e.kind == EventKind::kEndTuple)) {
+      return;
+    }
+    Event copy = e;
+    copy.id = options.out_id;
+    emit(copy);
+  }
 
   // Where the next event of region `id` goes (insert before the returned
   // position).  Falls back to the document tail for base streams.
   Iter InsertPos(StreamId id);
 
+  // Splices a new item before `pos`; flags the stable prefix dirty when
+  // `pos` was already consumed by the renderer.
+  Iter InsertBefore(Iter pos, Item::Type type, const Event& e,
+                    Interval* interval);
+
+  // Unlinks and destroys one item (recycling its slot); destroying an end
+  // sentinel also reclaims its interval.  Returns the next item.
+  Iter RemoveItem(Iter i);
+
   // Creates a new interval for region `uid` with its sentinels inserted
   // before `pos`, binds it, and pushes its content cursor.
   Interval* OpenInterval(StreamId uid, Iter pos);
 
-  // Unbinds (and if `erase_items`, physically removes) everything in
-  // [from, to), including nested region bindings.
+  // Unbinds (and physically removes) everything in [from, to), including
+  // nested region bindings.
   void EraseRange(Iter from, Iter to);
 
   // Removes every insertion cursor parked on `pos` (an end sentinel about
   // to be erased).  If region `uid`'s own bracket was among them it is
   // still open: the region joins dropping_ so the rest of its input is
-  // swallowed instead of inserted through a dangling iterator.
+  // swallowed instead of inserted through a dangling pointer.
   void DropCursorsAt(Iter pos, StreamId uid);
 
   void Bind(StreamId id, Interval* interval);
   void Unbind(StreamId id);
 
-  ItemList items_;
+  void PushCursor(StreamId id, Iter pos);
+  void PopCursor(StreamId id);
+
+  // The stable prefix no longer matches what the renderer consumed; the
+  // next SyncRender replays from the top.
+  void MarkStructural() {
+    structural_ = true;
+    last_rendered_ = nullptr;
+  }
+
+  // Circular-list sentinel: end_.next is the first item, end_.prev the
+  // last; &end_ never holds content and is never rendered.
+  Item end_;
+  SlabArena<Item> item_arena_;
+  SlabArena<Interval> interval_arena_;
   // Region id -> active interval.
   std::unordered_map<StreamId, Interval*> active_;
   // Insertion cursors for currently-open brackets, stacked per region id.
   std::unordered_map<StreamId, std::vector<Iter>> cursors_;
-  // Owns every interval ever created (items reference them by pointer).
-  std::vector<std::unique_ptr<Interval>> intervals_;
   // Lenient mode: regions whose updates are being dropped.
   std::unordered_set<StreamId> dropping_;
   Metrics* metrics_;
   bool lenient_;
+
+  uint64_t epoch_ = 0;
+  // Renderer-side scan state (logically const; see SyncRender).
+  mutable Iter last_rendered_ = nullptr;  // null = scan at document start
+  mutable int stable_skip_ = 0;  // hidden-nesting depth at the scan point
+  mutable bool structural_ = false;
+  mutable uint64_t full_rescans_ = 0;
 };
 
 /// Eagerly applies all updates in `stream` and returns the equivalent plain

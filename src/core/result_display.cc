@@ -1,7 +1,5 @@
 #include "core/result_display.h"
 
-#include "xml/serializer.h"
-
 namespace xflux {
 
 void ResultDisplay::Accept(Event event) {
@@ -14,16 +12,70 @@ void ResultDisplay::Accept(Event event) {
   if (on_change_) on_change_(*this);
 }
 
-EventVec ResultDisplay::CurrentEvents() const {
+void ResultDisplay::SyncLive() const {
+  if (synced_once_ && synced_epoch_ == document_.epoch()) return;
+  // Drop the previous volatile suffix; the stable prefix stays rendered.
+  live_text_.resize(stable_text_len_);
+  live_events_.resize(stable_event_count_);
+  RenderOptions opts;
+  opts.keep_tuples = options_.keep_tuples;
+  document_.SyncRender(
+      opts,
+      [this] {
+        // Structural change: the consumed prefix no longer matches the
+        // document.  Replay from the top.
+        live_events_.clear();
+        stable_writer_.Reset();  // clears live_text_ too
+      },
+      [this](const Event& e) {
+        live_events_.push_back(e);
+        stable_writer_.Accept(e);
+      });
+  stable_text_len_ = live_text_.size();
+  stable_event_count_ = live_events_.size();
+  render_status_ = stable_writer_.status();
+  if (document_.HasVolatileTail()) {
+    // Fork the writer: the copy continues mid-document, appending the
+    // tail's rendering to live_text_; its state dies with the refresh.
+    XmlSerializer tail_writer(stable_writer_);
+    document_.RenderVolatileTail(opts, [this, &tail_writer](const Event& e) {
+      live_events_.push_back(e);
+      tail_writer.Accept(e);
+    });
+    if (render_status_.ok()) render_status_ = tail_writer.status();
+  }
+  synced_epoch_ = document_.epoch();
+  synced_once_ = true;
+}
+
+const EventVec& ResultDisplay::LiveEvents() const {
+  SyncLive();
+  return live_events_;
+}
+
+const std::string& ResultDisplay::LiveText() const {
+  SyncLive();
+  return live_text_;
+}
+
+EventVec ResultDisplay::CurrentEvents() const { return LiveEvents(); }
+
+StatusOr<std::string> ResultDisplay::CurrentText() const {
+  const std::string& text = LiveText();
+  if (!render_status_.ok()) return render_status_;
+  return text;
+}
+
+EventVec ResultDisplay::FullRenderEvents() const {
   RenderOptions opts;
   opts.keep_tuples = options_.keep_tuples;
   return document_.RenderEvents(opts);
 }
 
-StatusOr<std::string> ResultDisplay::CurrentText() const {
+StatusOr<std::string> ResultDisplay::FullRenderText() const {
   XmlSerializer::Options opts;
   opts.pretty = options_.pretty;
-  return XmlSerializer::ToXml(CurrentEvents(), opts);
+  return XmlSerializer::ToXml(FullRenderEvents(), opts);
 }
 
 }  // namespace xflux

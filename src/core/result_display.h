@@ -6,6 +6,14 @@
 // the one component the paper implements with explicit update handling
 // rather than a state transformer; here it delegates to RegionDocument and
 // renders through the XML serializer.
+//
+// Rendering is incremental: the display keeps the document's stable prefix
+// serialized once (a persistent writer bound to the live text buffer) and
+// re-renders only the volatile tail per refresh — append-only streams pay
+// O(1) amortized per CurrentText call.  When the document restructures
+// already-rendered content it signals a restart and the display replays
+// from the top; FullRender{Events,Text} bypass the incremental state
+// entirely and are the oracle the fast path is cross-checked against.
 
 #ifndef XFLUX_CORE_RESULT_DISPLAY_H_
 #define XFLUX_CORE_RESULT_DISPLAY_H_
@@ -17,6 +25,7 @@
 #include "core/region_document.h"
 #include "util/metrics.h"
 #include "util/status.h"
+#include "xml/serializer.h"
 
 namespace xflux {
 
@@ -31,18 +40,33 @@ class ResultDisplay : public EventSink {
   explicit ResultDisplay(Metrics* metrics = nullptr)
       : ResultDisplay(Options(), metrics) {}
   explicit ResultDisplay(const Options& options, Metrics* metrics = nullptr)
-      : options_(options), document_(metrics, /*lenient=*/true) {}
+      : options_(options),
+        document_(metrics, /*lenient=*/true),
+        stable_writer_(XmlSerializer::Options{options.pretty}, &live_text_) {}
 
   void Accept(Event event) override;
 
   /// First protocol error, if any.
   const Status& status() const { return status_; }
 
-  /// The current answer as an event sequence.
+  /// The current answer as an event sequence (incremental render).
   EventVec CurrentEvents() const;
 
-  /// The current answer rendered as XML text.
+  /// The current answer rendered as XML text (incremental render).
   StatusOr<std::string> CurrentText() const;
+
+  /// Copy-free variants of the above: references stay valid until the next
+  /// event is accepted.  What a per-event live display should call.
+  /// Serialization errors (none on well-formed content) are reported via
+  /// render_status(); the text is partial while it is not OK.
+  const EventVec& LiveEvents() const;
+  const std::string& LiveText() const;
+  const Status& render_status() const { return render_status_; }
+
+  /// Full re-render from the document, ignoring all incremental state —
+  /// the fallback path and the oracle the live path is checked against.
+  EventVec FullRenderEvents() const;
+  StatusOr<std::string> FullRenderText() const;
 
   /// Invoked after every event that may have changed the answer — live
   /// displays re-render from here.
@@ -60,12 +84,33 @@ class ResultDisplay : public EventSink {
   size_t live_region_count() const { return document_.live_region_count(); }
   size_t item_count() const { return document_.item_count(); }
 
+  /// Times the incremental renderer had to fall back to a full replay.
+  uint64_t full_rescans() const { return document_.full_rescans(); }
+
+  /// The backing document (slab occupancy diagnostics).
+  const RegionDocument& document() const { return document_; }
+
  private:
+  // Brings live_text_/live_events_ up to date with the document: advances
+  // the stable prefix, then recomputes the volatile tail.  O(tail) unless
+  // the document restructured.
+  void SyncLive() const;
+
   Options options_;
   RegionDocument document_;
   Status status_;
   std::function<void(const ResultDisplay&)> on_change_;
   std::function<void(const Status&)> on_error_;
+
+  // Incremental render state (logically const: caches of document state).
+  mutable std::string live_text_;
+  mutable EventVec live_events_;
+  mutable XmlSerializer stable_writer_;  // bound to live_text_
+  mutable size_t stable_text_len_ = 0;
+  mutable size_t stable_event_count_ = 0;
+  mutable Status render_status_;  // stable-prefix or volatile-tail error
+  mutable uint64_t synced_epoch_ = 0;
+  mutable bool synced_once_ = false;
 };
 
 }  // namespace xflux

@@ -23,7 +23,12 @@ class StageContext;
 
 /// Operator-specific state (the S in the paper's (S, s, z, i:f) tuple).
 /// States must be cloneable: the wrapper snapshots them at region
-/// boundaries.
+/// boundaries.  Snapshots are taken copy-on-write (util/cow.h), so Clone
+/// runs only when a shared copy is first written — which also means Clone
+/// must produce a fully independent value: no mutable state reachable from
+/// both the original and the clone (StateBase's memberwise copy satisfies
+/// this for value-type members; immutable shared payloads like TextRef
+/// are fine).
 class OperatorState {
  public:
   virtual ~OperatorState() = default;

@@ -22,34 +22,42 @@ TransformStage::TransformStage(PipelineContext* context,
                                std::unique_ptr<StateTransformer> transformer)
     : Filter(context), transformer_(std::move(transformer)) {
   transformer_->BindStage(this->context());
-  main_end_ = transformer_->InitialState();
+  main_end_ = CowState::Adopt(transformer_->InitialState());
 }
 
 bool TransformStage::Relevant(StreamId id) {
   return transformer_->Consumes(context()->streams()->RootOf(id));
 }
 
-OperatorState* TransformStage::CurState(StreamId id) {
+TransformStage::CowState& TransformStage::CurHandle(StreamId id) {
   auto ait = region_alias_.find(id);
   if (ait != region_alias_.end()) id = ait->second;
   // Region content only arrives while its bracket is open; the same id
   // outside any bracket is base-stream data (stream ids double as region
   // ids in the concatenation protocol).
   auto it = states_.find(id);
-  if (it != states_.end() && !it->second.closed) return it->second.end.get();
-  return main_end_.get();
+  if (it != states_.end() && !it->second.closed) return it->second.end;
+  return main_end_;
 }
 
-void TransformStage::SetCurState(StreamId id,
-                                 std::unique_ptr<OperatorState> state) {
-  auto ait = region_alias_.find(id);
-  if (ait != region_alias_.end()) id = ait->second;
-  auto it = states_.find(id);
-  if (it != states_.end() && !it->second.closed) {
-    it->second.end = std::move(state);
-  } else {
-    main_end_ = std::move(state);
+void TransformStage::SetCurState(StreamId id, CowState state) {
+  CurHandle(id) = std::move(state);
+}
+
+OperatorState* TransformStage::Mut(CowState& handle) {
+  bool cloned = false;
+  OperatorState* state = handle.Mutable(&cloned);
+  if (cloned) {
+    context()->metrics()->OnStateClone();
+    if (StageStats* s = stats()) ++s->state_clones;
   }
+  return state;
+}
+
+TransformStage::CowState TransformStage::Share(const CowState& handle) {
+  context()->metrics()->OnStateShare();
+  if (StageStats* s = stats()) ++s->state_shares;
+  return handle.Snapshot();
 }
 
 OrderKey TransformStage::NextGlobalKey() {
@@ -88,8 +96,7 @@ OrderKey TransformStage::PrevKeyBefore(const OrderKey& key) const {
 }
 
 TransformStage::RegionState* TransformStage::CreateRegion(
-    StreamId uid, std::unique_ptr<OperatorState> start,
-    std::unique_ptr<OperatorState> end, OrderKey order, bool output) {
+    StreamId uid, CowState start, CowState end, OrderKey order, bool output) {
   Evict(uid);  // id reuse rebinds to the newest instance
   RegionState rs;
   rs.start = std::move(start);
@@ -132,6 +139,12 @@ void TransformStage::Evict(StreamId id) {
   // all_keys_ entries may be shared between regions; stale keys only make
   // Between intervals tighter, so they are left in place.
   states_.erase(it);
+  // Aliases resolve to the evicted region; without the target they would
+  // dangle forever (lookups fall back to the live tail either way, which
+  // is exactly what a missing alias entry does).
+  for (auto ait = region_alias_.begin(); ait != region_alias_.end();) {
+    ait = ait->second == id ? region_alias_.erase(ait) : std::next(ait);
+  }
   context()->metrics()->OnStateDropped();
   if (StageStats* s = stats()) s->OnStateDropped();
 }
@@ -165,7 +178,7 @@ void TransformStage::Adj(const OrderKey& pivot, StreamId uid,
     for (StreamId r : it->second) {
       if (r == uid) continue;
       RegionState& rs = states_.at(r);
-      transformer_->Adjust(rs.start.get(), s1, s2,
+      transformer_->Adjust(Mut(rs.start), s1, s2,
                            Target::kStartSnapshot, r, &emitted);
     }
   }
@@ -175,10 +188,10 @@ void TransformStage::Adj(const OrderKey& pivot, StreamId uid,
     for (StreamId r : it->second) {
       if (r == uid) continue;
       RegionState& rs = states_.at(r);
-      transformer_->Adjust(rs.end.get(), s1, s2, Target::kEndSnapshot, r,
+      transformer_->Adjust(Mut(rs.end), s1, s2, Target::kEndSnapshot, r,
                            &emitted);
-      if (rs.shadow != nullptr) {
-        transformer_->Adjust(rs.shadow.get(), s1, s2,
+      if (rs.shadow) {
+        transformer_->Adjust(Mut(rs.shadow), s1, s2,
                              Target::kStartSnapshot, r, &emitted);
       }
     }
@@ -190,12 +203,14 @@ void TransformStage::Adj(const OrderKey& pivot, StreamId uid,
     if (r == uid) continue;
     RegionState& rs = states_.at(r);
     if (pivot < rs.span_end && rs.span_end <= bound) {
-      transformer_->Adjust(rs.end.get(), s1, s2, Target::kEndSnapshot, r,
+      transformer_->Adjust(Mut(rs.end), s1, s2, Target::kEndSnapshot, r,
                            &emitted);
     }
   }
   if (!inside_pending_fold) {
-    transformer_->Adjust(main_end_.get(), s1, s2, Target::kLiveTail, 0,
+    // If the tail still shares its object with one of the pivot handles
+    // (s1/s2), Mut clones first, so the pivot stays valid for the write.
+    transformer_->Adjust(Mut(main_end_), s1, s2, Target::kLiveTail, 0,
                          &emitted);
   }
   for (Event& e : emitted) EmitFromOperator(std::move(e));
@@ -220,13 +235,15 @@ void TransformStage::OnUpdateStart(const Event& e) {
   }
   if (e.kind == EventKind::kStartMutable) {
     // sM: start[uid] <- end[id], end[uid] <- end[id], positioned at the
-    // target stream's current position.
-    OperatorState* cur = CurState(e.id);
+    // target stream's current position.  Both snapshots share the target's
+    // physical state until one of the three diverges.
+    CowState cur = Share(CurHandle(e.id));
+    CowState cur2 = Share(cur);  // before the call: argument order is unspecified
     bool positional = false;
     OrderKey span_end = OrderKey::Max();
     OrderKey order = OrderForMutable(e.id, &positional, &span_end);
     RegionState* created =
-        CreateRegion(e.uid, cur->Clone(), cur->Clone(), order,
+        CreateRegion(e.uid, std::move(cur2), std::move(cur), order,
                      /*output=*/false);
     created->positional = positional;
     created->span_end = span_end;
@@ -245,15 +262,15 @@ void TransformStage::OnUpdateStart(const Event& e) {
   switch (e.kind) {
     case EventKind::kStartReplace: {
       // start[uid] <- start[id]; same position as the replaced content.
-      created = CreateRegion(e.uid, target.start->Clone(),
-                             target.start->Clone(), target.order,
+      created = CreateRegion(e.uid, Share(target.start), Share(target.start),
+                             target.order,
                              /*output=*/false);
       created->span_end = NextKeyAfter(created->order);
       break;
     }
     case EventKind::kStartInsertBefore: {
       created = CreateRegion(
-          e.uid, target.start->Clone(), target.start->Clone(),
+          e.uid, Share(target.start), Share(target.start),
           OrderKey::Between(PrevKeyBefore(target.order), target.order),
           /*output=*/false);
       created->span_end = target.order;
@@ -262,7 +279,7 @@ void TransformStage::OnUpdateStart(const Event& e) {
     case EventKind::kStartInsertAfter: {
       // start[uid] <- end[id]; positioned just after the target.
       OrderKey hi = NextKeyAfter(target.order);
-      created = CreateRegion(e.uid, target.end->Clone(), target.end->Clone(),
+      created = CreateRegion(e.uid, Share(target.end), Share(target.end),
                              OrderKey::Between(target.order, hi),
                              /*output=*/false);
       created->span_end = hi;
@@ -304,13 +321,13 @@ void TransformStage::OnUpdateEnd(const Event& e) {
       if (rs.saw_uid_content) {
         // Content arrived under the region's own id and advanced end[uid];
         // fold it back into the enclosing stream.
-        SetCurState(e.id, rs.end->Clone());
+        SetCurState(e.id, Share(rs.end));
       } else {
         // Pass-through style: the content carried the *target* id and
         // advanced the enclosing state directly; snapshot it as this
         // region's end so later hide/replace adjustments see the content's
         // effect.
-        rs.end = CurState(e.id)->Clone();
+        rs.end = Share(CurHandle(e.id));
       }
       break;
     case EventKind::kEndReplace: {
@@ -326,9 +343,11 @@ void TransformStage::OnUpdateEnd(const Event& e) {
         context()->metrics()->CountStageRecovery();
         break;
       }
-      std::unique_ptr<OperatorState> old_end = tit->second.end->Clone();
+      // The snapshot keeps the pre-replace target state alive through the
+      // walk even though the target handle is reassigned right after.
+      CowState old_end = Share(tit->second.end);
       Adj(rs.order, e.uid, *old_end, *states_.at(e.uid).end);
-      states_.at(e.id).end = states_.at(e.uid).end->Clone();
+      states_.at(e.id).end = Share(states_.at(e.uid).end);
       break;
     }
     case EventKind::kEndInsertBefore:
@@ -369,7 +388,7 @@ void TransformStage::OnHide(const Event& e) {
   RegionState& rs = it->second;
   Adj(rs.order, e.id, *rs.end, *rs.start);
   rs.shadow = std::move(rs.end);
-  rs.end = rs.start->Clone();
+  rs.end = Share(rs.start);
   Emit(e);
 }
 
@@ -389,13 +408,13 @@ void TransformStage::OnShow(const Event& e) {
     return;
   }
   RegionState& rs = it->second;
-  if (rs.shadow == nullptr) {
+  if (!rs.shadow) {
     Emit(e);  // show without a preceding hide: nothing to restore
     return;
   }
   Adj(rs.order, e.id, *rs.end, *rs.shadow);
   rs.end = std::move(rs.shadow);
-  rs.shadow = rs.end->Clone();
+  rs.shadow = Share(rs.end);
   Emit(e);
 }
 
@@ -417,12 +436,13 @@ void TransformStage::EmitFromOperator(Event e) {
     switch (e.kind) {
       case EventKind::kStartMutable:
         if (states_.count(e.uid) == 0) {
-          OperatorState* cur = CurState(e.id);
+          CowState cur = Share(CurHandle(e.id));
+          CowState cur2 = Share(cur);
           bool positional = false;
           OrderKey span_end = OrderKey::Max();
           OrderKey order = OrderForMutable(e.id, &positional, &span_end);
-          RegionState* created = CreateRegion(e.uid, cur->Clone(),
-                                              cur->Clone(), order,
+          RegionState* created = CreateRegion(e.uid, std::move(cur2),
+                                              std::move(cur), order,
                                               /*output=*/true);
           created->positional = positional;
           created->span_end = span_end;
@@ -431,7 +451,7 @@ void TransformStage::EmitFromOperator(Event e) {
       case EventKind::kEndMutable: {
         auto it = states_.find(e.uid);
         if (it != states_.end() && it->second.output && !it->second.closed) {
-          it->second.end = CurState(e.id)->Clone();
+          it->second.end = Share(CurHandle(e.id));
           CloseRegion(e.uid, &it->second);
         }
         break;
@@ -482,7 +502,7 @@ void TransformStage::Dispatch(Event e) {
   auto rit = states_.find(e.id);
   if (rit != states_.end()) rit->second.saw_uid_content = true;
   EventVec out;
-  transformer_->Process(e, root, CurState(e.id), &out);
+  transformer_->Process(e, root, Mut(CurHandle(e.id)), &out);
   for (Event& produced : out) EmitFromOperator(std::move(produced));
 }
 

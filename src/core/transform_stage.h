@@ -4,7 +4,9 @@
 // that handles arbitrary incoming updates:
 //
 //  - one set of state copies is kept per mutable region (the paper's
-//    start / end / shadow maps),
+//    start / end / shadow maps).  The copies are copy-on-write snapshots
+//    (util/cow.h): logically independent as the paper requires, physically
+//    shared until an adjust or process call actually writes one,
 //  - each region carries order timestamps reflecting its position in the
 //    stream had updates been applied eagerly.  We refine the paper's single
 //    order[id] into a start key (assigned at bracket open) and an end key
@@ -39,6 +41,7 @@
 
 #include "core/pipeline.h"
 #include "core/state_transformer.h"
+#include "util/cow.h"
 #include "util/order_key.h"
 
 namespace xflux {
@@ -65,16 +68,29 @@ class TransformStage : public Filter {
     return ids;
   }
 
+  /// Clone-parallel alias entries currently held (boundedness gauge:
+  /// entries die with the region they point at).
+  size_t alias_count() const { return region_alias_.size(); }
+
+  /// Update regions currently being swallowed (open dropped brackets).
+  size_t dropping_count() const { return dropping_.size(); }
+
  protected:
   void Dispatch(Event event) override;
 
   std::string StageName() const override { return transformer_->Name(); }
 
  private:
+  // The per-region snapshots are copy-on-write handles (util/cow.h): a
+  // snapshot is a refcount bump, and the deep OperatorState clone happens
+  // only when Mut() is about to write a shared object.  Regions the stream
+  // never revisits therefore share one physical state with the live tail.
+  using CowState = Cow<OperatorState>;
+
   struct RegionState {
-    std::unique_ptr<OperatorState> start;   // state at the region's start
-    std::unique_ptr<OperatorState> end;     // state after its current content
-    std::unique_ptr<OperatorState> shadow;  // saved end while hidden
+    CowState start;   // state at the region's start
+    CowState end;     // state after its current content
+    CowState shadow;  // saved end while hidden
     OrderKey order;      // position of the region's start
     OrderKey end_order;  // position of the region's close (once closed)
     // Last position key handed out inside this region; nested regions are
@@ -99,10 +115,14 @@ class TransformStage : public Filter {
   };
 
   bool Relevant(StreamId id);
-  // The state at the current position of stream `id`: a tracked region's
+  // The handle for the current position of stream `id`: a tracked region's
   // end state, or the live tail state for base streams.
-  OperatorState* CurState(StreamId id);
-  void SetCurState(StreamId id, std::unique_ptr<OperatorState> state);
+  CowState& CurHandle(StreamId id);
+  void SetCurState(StreamId id, CowState state);
+  // Write access through `handle`, counting the deep clone if one was
+  // needed; Share is the O(1) logical copy, also counted.
+  OperatorState* Mut(CowState& handle);
+  CowState Share(const CowState& handle);
   // Next fresh key after the last position handed out (stream order).
   OrderKey NextGlobalKey();
   // Position key for a new mutable region targeting `target`: inside the
@@ -114,9 +134,8 @@ class TransformStage : public Filter {
   // Smallest existing key strictly greater / largest strictly smaller.
   OrderKey NextKeyAfter(const OrderKey& key) const;
   OrderKey PrevKeyBefore(const OrderKey& key) const;
-  RegionState* CreateRegion(StreamId uid, std::unique_ptr<OperatorState> start,
-                            std::unique_ptr<OperatorState> end, OrderKey order,
-                            bool output);
+  RegionState* CreateRegion(StreamId uid, CowState start, CowState end,
+                            OrderKey order, bool output);
   void CloseRegion(StreamId uid, RegionState* rs);
   void Evict(StreamId id);
   // The paper's adj(uid, s1, s2): adjusts every snapshot positioned after
@@ -134,7 +153,7 @@ class TransformStage : public Filter {
   void EmitFromOperator(Event e);
 
   std::unique_ptr<StateTransformer> transformer_;
-  std::unique_ptr<OperatorState> main_end_;  // live tail state
+  CowState main_end_;  // live tail state
   OrderKey global_cursor_;  // last position key handed out in stream order
   std::unordered_map<StreamId, RegionState> states_;
   std::map<OrderKey, std::vector<StreamId>> starts_by_key_;

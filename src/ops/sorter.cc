@@ -1,5 +1,6 @@
 #include "ops/sorter.h"
 
+#include <algorithm>
 #include <bit>
 #include <cstdint>
 #include <cstdlib>
@@ -46,7 +47,12 @@ Event SortFilter::Rename(Event e, bool inside_tuple) {
   if (e.IsUpdateStart()) {
     StreamId fresh = context()->NewStreamId();
     e.id = MapId(e.id, inside_tuple);
-    rename_[e.uid] = fresh;
+    auto [it, inserted] = rename_.insert_or_assign(e.uid, fresh);
+    (void)it;
+    if (inserted) {
+      rename_hwm_ = std::max(rename_hwm_, rename_.size());
+      if (StageStats* s = stats()) s->OnAuxEntries(+1);
+    }
     e.uid = fresh;
     return e;
   }
@@ -55,7 +61,18 @@ Event SortFilter::Rename(Event e, bool inside_tuple) {
     e.uid = MapId(e.uid, inside_tuple);
     return e;
   }
-  e.id = MapId(e.id, inside_tuple);  // simple events and freeze/hide/show
+  if (e.kind == EventKind::kFreeze) {
+    // A frozen region can never be re-addressed again, so its rename entry
+    // is dead: evict it to keep the map bounded by the live-region count.
+    auto it = rename_.find(e.id);
+    if (it != rename_.end()) {
+      e.id = it->second;
+      rename_.erase(it);
+      if (StageStats* s = stats()) s->OnAuxEntries(-1);
+      return e;
+    }
+  }
+  e.id = MapId(e.id, inside_tuple);  // simple events and hide/show
   return e;
 }
 

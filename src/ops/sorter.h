@@ -45,6 +45,13 @@ class SortFilter : public Filter {
           return descending ? b < a : a < b;
         }) {}
 
+  /// Update-region ids currently renamed into sorted regions.  Entries are
+  /// evicted when their region freezes (it can never be re-addressed), so
+  /// the map tracks only still-live regions instead of growing with the
+  /// stream.
+  size_t rename_map_size() const { return rename_.size(); }
+  size_t rename_map_hwm() const { return rename_hwm_; }
+
  protected:
   void Dispatch(Event event) override;
 
@@ -74,9 +81,11 @@ class SortFilter : public Filter {
   StreamId region_ = 0;  // current tuple's insert-after region
   StreamId mid_ = 0;     // its target
   int kdepth_ = 0;       // key-stream element depth
-  // Update-region ids renamed into sorted regions (grows with the stream,
-  // like the paper's keys table).
+  // Update-region ids renamed into sorted regions.  Bounded: an entry dies
+  // with its region's freeze (only the keys_ table is truly unbounded, the
+  // caveat the paper acknowledges).
   std::unordered_map<StreamId, StreamId> rename_;
+  size_t rename_hwm_ = 0;  // high-water mark of rename_.size()
 };
 
 /// Encodes a sort key so that lexicographic byte order matches numeric

@@ -1,0 +1,98 @@
+// Copy-on-write handle for operator state snapshots (paper Section IV).
+//
+// The wrapper W keeps up to three OperatorState copies per mutable region
+// (start / end / shadow) plus the live tail state.  Most of those copies
+// are never written again: a region's start snapshot is only *read* as the
+// s1/s2 pivot of adj(), and end snapshots of regions the stream never
+// revisits stay untouched forever.  Deep-cloning them eagerly makes state
+// cost O(regions x state size) even when nothing changes — the classic
+// buffered-state blowup (Koch et al., buffer minimization).
+//
+// Cow<T> makes the copy lazy: Snapshot() is a refcount bump, and the deep
+// T::Clone() happens only on the first Mutable() call while the physical
+// object is shared.  Because every mutation path goes through Mutable(),
+// two handles can never observe each other's writes — value semantics are
+// preserved exactly, only the copy is deferred.
+//
+// Aliasing note for adj(): Adjust(state, s1, s2) receives s1/s2 as const
+// references obtained from live handles.  If `state` shares its physical
+// object with s1 or s2 the use count is >= 2, so Mutable() clones before
+// the write and the pivot stays valid for the remaining walk.
+//
+// Not thread-safe beyond what shared_ptr gives: concurrent Mutable() on
+// handles sharing one object is a race.  The pipeline only touches a
+// stage's states from that stage's worker thread, which is all we need.
+
+#ifndef XFLUX_UTIL_COW_H_
+#define XFLUX_UTIL_COW_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "util/check.h"
+
+namespace xflux {
+
+/// Copy-on-write handle.  T must expose Clone() returning a unique_ptr
+/// convertible to unique_ptr<T> (OperatorState's virtual Clone qualifies).
+template <typename T>
+class Cow {
+ public:
+  Cow() = default;
+
+  /// Takes ownership of a freshly built object (generation 0).  This is
+  /// the only way to introduce new physical state; everything else flows
+  /// from Snapshot() + Mutable().
+  static Cow Adopt(std::unique_ptr<T> obj) {
+    Cow handle;
+    handle.ptr_ = std::shared_ptr<T>(std::move(obj));
+    return handle;
+  }
+
+  /// O(1) logical copy: shares the physical object.
+  Cow Snapshot() const { return *this; }
+
+  explicit operator bool() const { return ptr_ != nullptr; }
+
+  const T* get() const { return ptr_.get(); }
+  const T& operator*() const { return *ptr_; }
+  const T* operator->() const { return ptr_.get(); }
+
+  /// True when this handle is the sole owner (Mutable() would not clone).
+  bool unique() const { return ptr_ != nullptr && ptr_.use_count() == 1; }
+
+  /// How many handles share the physical object (0 when empty).
+  long use_count() const { return ptr_.use_count(); }
+
+  /// Physical generation of this handle's object: bumped each time a
+  /// Mutable() call had to clone.  Two handles with different versions
+  /// are guaranteed to own different physical objects.
+  uint64_t version() const { return version_; }
+
+  /// Write access.  Clones first iff the object is shared; reports the
+  /// clone through `cloned` (left untouched otherwise) so callers can
+  /// feed the clone/share counters.
+  T* Mutable(bool* cloned = nullptr) {
+    XFLUX_CHECK(ptr_ != nullptr);
+    if (ptr_.use_count() > 1) {
+      ptr_ = std::shared_ptr<T>(ptr_->Clone());
+      ++version_;
+      if (cloned != nullptr) *cloned = true;
+    }
+    return ptr_.get();
+  }
+
+  void Reset() {
+    ptr_.reset();
+    version_ = 0;
+  }
+
+ private:
+  std::shared_ptr<T> ptr_;
+  uint64_t version_ = 0;
+};
+
+}  // namespace xflux
+
+#endif  // XFLUX_UTIL_COW_H_

@@ -10,11 +10,14 @@ std::string Metrics::ToString() const {
   char buf[384];
   std::snprintf(buf, sizeof(buf),
                 "calls=%llu emitted=%llu adjusts=%llu max_states=%lld "
+                "state_clones=%llu state_shares=%llu "
                 "max_buffered_events=%lld max_mem=%lldB",
                 static_cast<unsigned long long>(transformer_calls_),
                 static_cast<unsigned long long>(events_emitted_),
                 static_cast<unsigned long long>(adjust_calls_),
                 static_cast<long long>(max_live_states_),
+                static_cast<unsigned long long>(state_clones_),
+                static_cast<unsigned long long>(state_shares_),
                 static_cast<long long>(max_buffered_events_),
                 static_cast<long long>(MaxApproxStateBytes()));
   std::string out = buf;
@@ -40,6 +43,8 @@ std::string Metrics::ToJson() const {
   w.Field("adjust_calls", adjust_calls_);
   w.Field("live_states", live_states_);
   w.Field("max_live_states", max_live_states_);
+  w.Field("state_shares", state_shares_);
+  w.Field("state_clones", state_clones_);
   w.Field("buffered_events", buffered_events_);
   w.Field("max_buffered_events", max_buffered_events_);
   w.Field("max_buffered_bytes", max_buffered_bytes_);

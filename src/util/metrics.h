@@ -37,6 +37,13 @@ class Metrics {
   }
   void OnStateDropped() { --live_states_; }
 
+  /// Copy-on-write snapshot accounting (src/util/cow.h): a share is an O(1)
+  /// logical copy, a clone is the deep OperatorState copy a Mutable() call
+  /// had to make because the object was shared.  Before COW every share
+  /// below was a clone; the ratio is the state plane's saving.
+  void OnStateShare() { ++state_shares_; }
+  void OnStateClone() { ++state_clones_; }
+
   /// Tracks operator-internal buffering (suspension queues, naive
   /// baselines' element caches).  `bytes` approximates event payloads.
   void OnBuffered(int64_t events, int64_t bytes) {
@@ -74,6 +81,8 @@ class Metrics {
   uint64_t events_emitted() const { return events_emitted_; }
   uint64_t adjust_calls() const { return adjust_calls_; }
   int64_t live_states() const { return live_states_; }
+  uint64_t state_shares() const { return state_shares_; }
+  uint64_t state_clones() const { return state_clones_; }
   int64_t max_live_states() const { return max_live_states_; }
   int64_t buffered_events() const { return buffered_events_; }
   int64_t max_buffered_events() const { return max_buffered_events_; }
@@ -117,6 +126,8 @@ class Metrics {
     events_emitted_ += other.events_emitted_;
     adjust_calls_ += other.adjust_calls_;
     live_states_ += other.live_states_;
+    state_shares_ += other.state_shares_;
+    state_clones_ += other.state_clones_;
     max_live_states_ += other.max_live_states_;
     buffered_events_ += other.buffered_events_;
     buffered_bytes_ += other.buffered_bytes_;
@@ -144,6 +155,8 @@ class Metrics {
   uint64_t adjust_calls_ = 0;
   int64_t live_states_ = 0;
   int64_t max_live_states_ = 0;
+  uint64_t state_shares_ = 0;
+  uint64_t state_clones_ = 0;
   int64_t buffered_events_ = 0;
   int64_t buffered_bytes_ = 0;
   int64_t max_buffered_events_ = 0;

@@ -1,0 +1,99 @@
+// Pooled slab allocator for small fixed-size nodes.
+//
+// The region document holds one heap node per buffered item; on update-heavy
+// streams that is one malloc/free per event plus pointer-chasing across the
+// whole heap.  SlabArena carves nodes out of large contiguous slabs instead:
+// allocation is a free-list pop (or a bump into the newest slab), and
+// Destroy() pushes the slot back onto the free list for reuse — EraseRange
+// on a replaced region immediately recycles its slots for the replacement
+// content.  Slabs are never returned to the OS while the arena lives; the
+// arena's footprint is the high-water mark of live nodes, which is exactly
+// the document's buffering bound.
+//
+// Lifetime contract: Destroy() runs the node's destructor.  Slots still
+// live when the arena itself is destroyed are reclaimed as raw memory
+// *without* running destructors — fine for trivially-destructible types,
+// otherwise the owner must Destroy() every live node first (RegionDocument
+// walks its item list in its destructor for exactly this reason).
+
+#ifndef XFLUX_UTIL_SLAB_ARENA_H_
+#define XFLUX_UTIL_SLAB_ARENA_H_
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace xflux {
+
+/// Fixed-size-node pool.  Not thread-safe; one arena per document.
+template <typename T>
+class SlabArena {
+ public:
+  /// Slabs default to ~64 KiB worth of slots: large enough to amortize the
+  /// malloc, small enough that a near-empty document stays cheap.
+  static constexpr size_t kDefaultSlabBytes = 64 * 1024;
+
+  explicit SlabArena(size_t nodes_per_slab = kDefaultSlabBytes / sizeof(T))
+      : nodes_per_slab_(nodes_per_slab < 8 ? 8 : nodes_per_slab) {}
+
+  SlabArena(const SlabArena&) = delete;
+  SlabArena& operator=(const SlabArena&) = delete;
+
+  template <typename... Args>
+  T* Create(Args&&... args) {
+    if (free_ == nullptr) AddSlab();
+    Slot* slot = free_;
+    free_ = slot->next_free;
+    ++live_;
+    return new (slot->storage) T(std::forward<Args>(args)...);
+  }
+
+  void Destroy(T* node) {
+    node->~T();
+    Slot* slot = reinterpret_cast<Slot*>(node);
+    slot->next_free = free_;
+    free_ = slot;
+    --live_;
+  }
+
+  /// Nodes currently alive.
+  size_t live_nodes() const { return live_; }
+  /// Total slots carved out so far (the arena's high-water capacity).
+  size_t capacity_nodes() const { return slabs_.size() * nodes_per_slab_; }
+  size_t slab_count() const { return slabs_.size(); }
+  /// Bytes held by the slabs (footprint, independent of live_nodes).
+  size_t arena_bytes() const { return capacity_nodes() * sizeof(Slot); }
+  /// Live fraction of the carved capacity, in [0, 1]; 0 when empty.
+  double occupancy() const {
+    size_t cap = capacity_nodes();
+    return cap == 0 ? 0.0 : static_cast<double>(live_) / cap;
+  }
+
+ private:
+  union Slot {
+    Slot* next_free;
+    alignas(T) unsigned char storage[sizeof(T)];
+  };
+
+  void AddSlab() {
+    slabs_.push_back(std::make_unique<Slot[]>(nodes_per_slab_));
+    Slot* slab = slabs_.back().get();
+    // Thread the new slots onto the free list back-to-front so the first
+    // allocations walk the slab in address order.
+    for (size_t i = nodes_per_slab_; i > 0; --i) {
+      slab[i - 1].next_free = free_;
+      free_ = &slab[i - 1];
+    }
+  }
+
+  size_t nodes_per_slab_;
+  std::vector<std::unique_ptr<Slot[]>> slabs_;
+  Slot* free_ = nullptr;
+  size_t live_ = 0;
+};
+
+}  // namespace xflux
+
+#endif  // XFLUX_UTIL_SLAB_ARENA_H_

@@ -24,6 +24,9 @@ std::string StageStats::ToJson() const {
   w.Field("out_update", out_update);
   w.Field("adjust_calls", adjust_calls);
   w.Field("max_live_states", max_live_states);
+  w.Field("state_shares", state_shares);
+  w.Field("state_clones", state_clones);
+  w.Field("max_aux_entries", max_aux_entries);
   w.Field("max_buffered_events", max_buffered_events);
   w.Field("max_buffered_bytes", max_buffered_bytes);
   w.Field("wall_ns", wall_ns);
@@ -54,12 +57,19 @@ std::string StatsRegistry::ToJson() const {
 std::string StatsRegistry::ToTable() const {
   std::string out =
       "  # stage                               in(s/u)          out(s/u)"
-      "   adjusts   states       us    ~bytes  qhwm\n";
-  char line[208];
+      "   adjusts   states       us    ~bytes  qhwm  shr%   aux\n";
+  char line[224];
   for (const auto& s : stages_) {
+    char share[8];
+    if (s->state_shares + s->state_clones == 0) {
+      std::snprintf(share, sizeof(share), "-");
+    } else {
+      std::snprintf(share, sizeof(share), "%.0f", s->ShareRatio() * 100.0);
+    }
     std::snprintf(
         line, sizeof(line),
-        "%3d %-28s %9llu/%-7llu %9llu/%-7llu %9llu %8lld %8.0f %9lld %5llu\n",
+        "%3d %-28s %9llu/%-7llu %9llu/%-7llu %9llu %8lld %8.0f %9lld %5llu "
+        "%5s %5lld\n",
         s->index, s->name.c_str(),
         static_cast<unsigned long long>(s->in_simple),
         static_cast<unsigned long long>(s->in_update),
@@ -69,7 +79,8 @@ std::string StatsRegistry::ToTable() const {
         static_cast<long long>(s->max_live_states),
         static_cast<double>(s->self_ns()) / 1e3,
         static_cast<long long>(s->ApproxStateBytes()),
-        static_cast<unsigned long long>(s->queue_depth_hwm));
+        static_cast<unsigned long long>(s->queue_depth_hwm), share,
+        static_cast<long long>(s->max_aux_entries));
     out += line;
   }
   return out;

@@ -37,6 +37,15 @@ struct StageStats {
   // Live per-region state copies kept by this stage's adjustment wrapper.
   int64_t live_states = 0;
   int64_t max_live_states = 0;
+  // Copy-on-write snapshot accounting (util/cow.h): shares are O(1)
+  // logical copies, clones are the deep copies Mutable() actually made.
+  uint64_t state_shares = 0;
+  uint64_t state_clones = 0;
+  // Auxiliary bookkeeping entries held by the stage outside the state
+  // plane (e.g. the sorter's update-region rename map), with the map's
+  // high-water mark — the boundedness gauge for long streams.
+  int64_t aux_entries = 0;
+  int64_t max_aux_entries = 0;
   // Operator-internal buffering (suspension queues), event payload bytes.
   int64_t buffered_events = 0;
   int64_t buffered_bytes = 0;
@@ -67,6 +76,16 @@ struct StageStats {
     max_live_states = std::max(max_live_states, live_states);
   }
   void OnStateDropped() { --live_states; }
+  void OnAuxEntries(int64_t delta) {
+    aux_entries += delta;
+    max_aux_entries = std::max(max_aux_entries, aux_entries);
+  }
+  /// Fraction of logical state copies served without a deep clone, in
+  /// [0, 1]; 0 when the stage never snapshotted at all.
+  double ShareRatio() const {
+    uint64_t total = state_shares + state_clones;
+    return total == 0 ? 0.0 : static_cast<double>(state_shares) / total;
+  }
   void OnBuffered(int64_t events, int64_t bytes) {
     buffered_events += events;
     buffered_bytes += bytes;

@@ -6,15 +6,15 @@ namespace xflux {
 
 void XmlSerializer::CloseOpenTag() {
   if (tag_open_) {
-    out_ += '>';
+    *out_ += '>';
     tag_open_ = false;
   }
 }
 
 void XmlSerializer::Indent() {
   if (!options_.pretty) return;
-  if (!out_.empty()) out_ += '\n';
-  out_.append(static_cast<size_t>(depth_) * 2, ' ');
+  if (!out_->empty()) *out_ += '\n';
+  out_->append(static_cast<size_t>(depth_) * 2, ' ');
 }
 
 void XmlSerializer::Accept(Event event) {
@@ -42,8 +42,8 @@ void XmlSerializer::Accept(Event event) {
       }
       CloseOpenTag();
       Indent();
-      out_ += '<';
-      out_ += event.tag_name();
+      *out_ += '<';
+      *out_ += event.tag_name();
       tag_open_ = true;
       if (!had_child_elements_.empty()) had_child_elements_.back() = true;
       had_child_elements_.push_back(false);
@@ -53,13 +53,13 @@ void XmlSerializer::Accept(Event event) {
     case EventKind::kEndElement:
       if (in_attribute_) {
         if (detached_attribute_) {
-          out_ += EscapeText(attribute_value_);
+          *out_ += EscapeText(attribute_value_);
         } else {
-          out_ += ' ';
-          out_ += attribute_name_;
-          out_ += "=\"";
-          out_ += EscapeAttribute(attribute_value_);
-          out_ += '"';
+          *out_ += ' ';
+          *out_ += attribute_name_;
+          *out_ += "=\"";
+          *out_ += EscapeAttribute(attribute_value_);
+          *out_ += '"';
         }
         in_attribute_ = false;
         detached_attribute_ = false;
@@ -67,15 +67,15 @@ void XmlSerializer::Accept(Event event) {
       }
       --depth_;
       if (tag_open_) {
-        out_ += "/>";
+        *out_ += "/>";
         tag_open_ = false;
       } else {
         if (!had_child_elements_.empty() && had_child_elements_.back()) {
           Indent();
         }
-        out_ += "</";
-        out_ += event.tag_name();
-        out_ += '>';
+        *out_ += "</";
+        *out_ += event.tag_name();
+        *out_ += '>';
       }
       if (!had_child_elements_.empty()) had_child_elements_.pop_back();
       return;
@@ -86,7 +86,7 @@ void XmlSerializer::Accept(Event event) {
         return;
       }
       CloseOpenTag();
-      out_ += EscapeText(event.chars());
+      *out_ += EscapeText(event.chars());
       return;
 
     default:
@@ -98,9 +98,21 @@ void XmlSerializer::Accept(Event event) {
 }
 
 std::string XmlSerializer::Take() {
-  std::string result = std::move(out_);
-  *this = XmlSerializer(options_);
+  std::string result = std::move(*out_);
+  Reset();
   return result;
+}
+
+void XmlSerializer::Reset() {
+  out_->clear();
+  status_ = Status::OK();
+  tag_open_ = false;
+  in_attribute_ = false;
+  detached_attribute_ = false;
+  attribute_name_.clear();
+  attribute_value_.clear();
+  depth_ = 0;
+  had_child_elements_.clear();
 }
 
 StatusOr<std::string> XmlSerializer::ToXml(const EventVec& events,

@@ -18,6 +18,13 @@
 namespace xflux {
 
 /// Streaming XML writer.
+///
+/// By default the writer owns its output buffer; passing `sink` binds it
+/// to an external std::string instead (appended in place, no copy on
+/// read) — the result display renders its live answer this way.  Copying
+/// a writer forks the serialization state: the copy continues mid-document
+/// from the same position, sharing an external sink (the incremental
+/// renderer's volatile-tail pass) or owning a copy of an internal one.
 class XmlSerializer : public EventSink {
  public:
   struct Options {
@@ -26,7 +33,22 @@ class XmlSerializer : public EventSink {
   };
 
   XmlSerializer() : XmlSerializer(Options()) {}
-  explicit XmlSerializer(const Options& options) : options_(options) {}
+  explicit XmlSerializer(const Options& options, std::string* sink = nullptr)
+      : options_(options), out_(sink != nullptr ? sink : &owned_) {}
+
+  XmlSerializer(const XmlSerializer& other)
+      : options_(other.options_),
+        owned_(other.owned_),
+        status_(other.status_),
+        tag_open_(other.tag_open_),
+        in_attribute_(other.in_attribute_),
+        detached_attribute_(other.detached_attribute_),
+        attribute_name_(other.attribute_name_),
+        attribute_value_(other.attribute_value_),
+        depth_(other.depth_),
+        had_child_elements_(other.had_child_elements_),
+        out_(other.out_ == &other.owned_ ? &owned_ : other.out_) {}
+  XmlSerializer& operator=(const XmlSerializer&) = delete;
 
   /// Appends the rendering of one event.  Errors latch into status().
   void Accept(Event event) override;
@@ -35,10 +57,14 @@ class XmlSerializer : public EventSink {
   const Status& status() const { return status_; }
 
   /// The text produced so far.
-  const std::string& text() const { return out_; }
+  const std::string& text() const { return *out_; }
 
   /// Moves the text out and resets the writer.
   std::string Take();
+
+  /// Back to the start-of-document state; clears the output buffer
+  /// (external sinks included) but keeps the binding and options.
+  void Reset();
 
   /// One-shot convenience: renders a whole simple-event sequence.
   static StatusOr<std::string> ToXml(const EventVec& events,
@@ -52,7 +78,7 @@ class XmlSerializer : public EventSink {
   void Indent();
 
   Options options_;
-  std::string out_;
+  std::string owned_;
   Status status_;
   bool tag_open_ = false;        // "<name" emitted, ">" pending
   bool in_attribute_ = false;       // inside an '@' child
@@ -61,6 +87,7 @@ class XmlSerializer : public EventSink {
   std::string attribute_value_;
   int depth_ = 0;
   std::vector<bool> had_child_elements_;
+  std::string* out_;  // == &owned_ unless bound to an external sink
 };
 
 }  // namespace xflux

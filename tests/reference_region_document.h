@@ -1,0 +1,289 @@
+// Reference implementation of the region document, kept as the oracle for
+// the slab-backed production version (core/region_document.h).
+//
+// This is the original std::list-based implementation, frozen verbatim:
+// one heap node per item, iterators as cursors, intervals owned by a
+// unique_ptr vector.  It has no arena, no incremental rendering and no
+// performance ambitions — which is exactly what makes it a trustworthy
+// oracle.  The memory-plane property suite drives both documents with the
+// same (fault-injected) streams and requires byte-identical statuses and
+// rendered output.
+//
+// The only deliberate edit: Feed(kFreeze) starts with dropping_.erase(id),
+// mirroring the production document's lenient-mode bound on the dropping
+// set, so the two stay comparable on hostile streams that freeze a region
+// whose bracket is still being swallowed.
+
+#ifndef XFLUX_TESTS_REFERENCE_REGION_DOCUMENT_H_
+#define XFLUX_TESTS_REFERENCE_REGION_DOCUMENT_H_
+
+#include <algorithm>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/event.h"
+#include "core/region_document.h"
+#include "util/status.h"
+
+namespace xflux {
+
+/// See file comment.
+class ReferenceRegionDocument {
+ public:
+  explicit ReferenceRegionDocument(bool lenient = false)
+      : lenient_(lenient) {}
+
+  ReferenceRegionDocument(const ReferenceRegionDocument&) = delete;
+  ReferenceRegionDocument& operator=(const ReferenceRegionDocument&) = delete;
+
+  Status Feed(const Event& e) {
+    switch (e.kind) {
+      case EventKind::kStartStream:
+      case EventKind::kEndStream:
+        return Status::OK();
+
+      case EventKind::kStartTuple:
+      case EventKind::kEndTuple:
+      case EventKind::kStartElement:
+      case EventKind::kEndElement:
+      case EventKind::kCharacters:
+        if (dropping_.count(e.id) > 0) return Status::OK();
+        items_.insert(InsertPos(e.id), {Item::Type::kEvent, e, nullptr});
+        return Status::OK();
+
+      case EventKind::kStartMutable: {
+        if (dropping_.count(e.id) > 0) {
+          dropping_.insert(e.uid);
+          return Status::OK();
+        }
+        Interval* interval = OpenInterval(e.uid, InsertPos(e.id));
+        cursors_[e.id].push_back(interval->end);
+        return Status::OK();
+      }
+
+      case EventKind::kStartReplace: {
+        auto it = active_.find(e.id);
+        if (it == active_.end() || dropping_.count(e.id) > 0) {
+          if (lenient_ || dropping_.count(e.id) > 0) {
+            dropping_.insert(e.uid);
+            return Status::OK();
+          }
+          return Status::InvalidArgument("replace targets unknown region " +
+                                         std::to_string(e.id));
+        }
+        Interval* target = it->second;
+        EraseRange(std::next(target->begin), target->end);
+        OpenInterval(e.uid, target->end);
+        return Status::OK();
+      }
+
+      case EventKind::kStartInsertBefore: {
+        auto it = active_.find(e.id);
+        if (it == active_.end() || dropping_.count(e.id) > 0) {
+          if (lenient_ || dropping_.count(e.id) > 0) {
+            dropping_.insert(e.uid);
+            return Status::OK();
+          }
+          return Status::InvalidArgument(
+              "insert-before targets unknown region " + std::to_string(e.id));
+        }
+        OpenInterval(e.uid, it->second->begin);
+        return Status::OK();
+      }
+
+      case EventKind::kStartInsertAfter: {
+        auto it = active_.find(e.id);
+        if (it == active_.end() || dropping_.count(e.id) > 0) {
+          if (lenient_ || dropping_.count(e.id) > 0) {
+            dropping_.insert(e.uid);
+            return Status::OK();
+          }
+          return Status::InvalidArgument(
+              "insert-after targets unknown region " + std::to_string(e.id));
+        }
+        OpenInterval(e.uid, std::next(it->second->end));
+        return Status::OK();
+      }
+
+      case EventKind::kEndMutable:
+      case EventKind::kEndReplace:
+      case EventKind::kEndInsertBefore:
+      case EventKind::kEndInsertAfter: {
+        if (dropping_.erase(e.uid) > 0) return Status::OK();
+        auto it = cursors_.find(e.uid);
+        if (it == cursors_.end() || it->second.empty()) {
+          if (lenient_) return Status::OK();
+          return Status::InvalidArgument("end bracket for region " +
+                                         std::to_string(e.uid) +
+                                         " that is not open");
+        }
+        it->second.pop_back();
+        if (it->second.empty()) cursors_.erase(it);
+        if (e.kind == EventKind::kEndMutable) {
+          auto tit = cursors_.find(e.id);
+          if (tit != cursors_.end() && !tit->second.empty()) {
+            tit->second.pop_back();
+            if (tit->second.empty()) cursors_.erase(tit);
+          }
+        }
+        return Status::OK();
+      }
+
+      case EventKind::kHide: {
+        auto it = active_.find(e.id);
+        if (it == active_.end()) {
+          if (lenient_) return Status::OK();
+          return Status::InvalidArgument("hide targets unknown region " +
+                                         std::to_string(e.id));
+        }
+        it->second->hidden = true;
+        return Status::OK();
+      }
+
+      case EventKind::kShow: {
+        auto it = active_.find(e.id);
+        if (it == active_.end()) {
+          if (lenient_) return Status::OK();
+          return Status::InvalidArgument("show targets unknown region " +
+                                         std::to_string(e.id));
+        }
+        it->second->hidden = false;
+        return Status::OK();
+      }
+
+      case EventKind::kFreeze: {
+        dropping_.erase(e.id);
+        auto it = active_.find(e.id);
+        if (it == active_.end()) return Status::OK();
+        Interval* target = it->second;
+        if (target->hidden) {
+          EraseRange(target->begin, std::next(target->end));
+        } else {
+          Unbind(e.id);
+        }
+        return Status::OK();
+      }
+    }
+    return Status::Internal("unhandled event kind");
+  }
+
+  Status FeedAll(const EventVec& events) {
+    for (const Event& e : events) {
+      XFLUX_RETURN_IF_ERROR(Feed(e));
+    }
+    return Status::OK();
+  }
+
+  EventVec RenderEvents(const RenderOptions& options = {}) const {
+    EventVec out;
+    int skip_depth = 0;
+    for (const Item& item : items_) {
+      if (item.type == Item::Type::kBegin) {
+        if (skip_depth > 0 || item.interval->hidden) ++skip_depth;
+        continue;
+      }
+      if (item.type == Item::Type::kEnd) {
+        if (skip_depth > 0) --skip_depth;
+        continue;
+      }
+      if (skip_depth > 0) continue;
+      const Event& e = item.event;
+      if (!options.keep_tuples && (e.kind == EventKind::kStartTuple ||
+                                   e.kind == EventKind::kEndTuple)) {
+        continue;
+      }
+      Event copy = e;
+      copy.id = options.out_id;
+      out.push_back(std::move(copy));
+    }
+    return out;
+  }
+
+  size_t live_region_count() const { return active_.size(); }
+  size_t item_count() const { return items_.size(); }
+  size_t dropping_count() const { return dropping_.size(); }
+
+ private:
+  struct Interval;
+
+  struct Item {
+    enum class Type : uint8_t { kEvent, kBegin, kEnd };
+    Type type;
+    Event event;
+    Interval* interval;
+  };
+  using ItemList = std::list<Item>;
+  using Iter = ItemList::iterator;
+
+  struct Interval {
+    StreamId id = 0;
+    Iter begin;
+    Iter end;
+    bool hidden = false;
+  };
+
+  Iter InsertPos(StreamId id) {
+    auto it = cursors_.find(id);
+    if (it != cursors_.end() && !it->second.empty()) return it->second.back();
+    return items_.end();
+  }
+
+  void Bind(StreamId id, Interval* interval) {
+    auto [it, inserted] = active_.try_emplace(id, interval);
+    if (!inserted) it->second = interval;
+  }
+
+  void Unbind(StreamId id) { active_.erase(id); }
+
+  Interval* OpenInterval(StreamId uid, Iter pos) {
+    intervals_.push_back(std::make_unique<Interval>());
+    Interval* interval = intervals_.back().get();
+    interval->id = uid;
+    interval->begin = items_.insert(pos, {Item::Type::kBegin, {}, interval});
+    interval->end = items_.insert(pos, {Item::Type::kEnd, {}, interval});
+    Bind(uid, interval);
+    cursors_[uid].push_back(interval->end);
+    return interval;
+  }
+
+  void DropCursorsAt(Iter pos, StreamId uid) {
+    for (auto it = cursors_.begin(); it != cursors_.end();) {
+      auto& stack = it->second;
+      size_t before = stack.size();
+      stack.erase(std::remove(stack.begin(), stack.end(), pos), stack.end());
+      if (it->first == uid && stack.size() != before) {
+        dropping_.insert(uid);
+      }
+      it = stack.empty() ? cursors_.erase(it) : std::next(it);
+    }
+  }
+
+  void EraseRange(Iter from, Iter to) {
+    for (Iter i = from; i != to;) {
+      if (i->type == Item::Type::kBegin) {
+        auto it = active_.find(i->interval->id);
+        if (it != active_.end() && it->second == i->interval) {
+          Unbind(i->interval->id);
+        }
+      } else if (i->type == Item::Type::kEnd) {
+        DropCursorsAt(i, i->interval->id);
+      }
+      i = items_.erase(i);
+    }
+  }
+
+  ItemList items_;
+  std::unordered_map<StreamId, Interval*> active_;
+  std::unordered_map<StreamId, std::vector<Iter>> cursors_;
+  std::vector<std::unique_ptr<Interval>> intervals_;
+  std::unordered_set<StreamId> dropping_;
+  bool lenient_;
+};
+
+}  // namespace xflux
+
+#endif  // XFLUX_TESTS_REFERENCE_REGION_DOCUMENT_H_
