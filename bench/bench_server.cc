@@ -1,0 +1,181 @@
+// Aggregate-throughput benchmark for the QueryServer (DESIGN.md §9): N
+// Table-2-style standing queries over one XMark stream, shared-prefix
+// execution vs N independent QuerySessions.
+//
+// The query family is the paper's Q1 shape swept over its vocabulary:
+//
+//   X//<region>//item[location="<loc>"]/<field>
+//
+// (6 regions x 10 locations x 5 fields = 300 distinct queries, cycled when
+// N exceeds the family).  Their spines overlap heavily — every query
+// shares desc(region) with 1/6 of the fleet and desc(item)+predicate with
+// its location group — which is exactly the workload the prefix DAG is
+// for.  For each N in {1, 10, 100, 1000} the bench reports:
+//
+//   - aggregate throughput, N * doc_bytes / wall_seconds, for both arms
+//     (the sessions arm is measured on min(N, sample cap) sessions and
+//     extrapolated linearly — sessions are independent, so the scaling is
+//     exact up to cache effects; the JSON records the sample size);
+//   - the server's shared-prefix hit ratio and DAG node count;
+//   - p50 answer staleness: the answers update synchronously within each
+//     PushBatch, so the p50 batch dispatch time is the median time any
+//     query's answer lags behind the newest input event.
+//
+// Writes BENCH_server.json (schema in EXPERIMENTS.md).
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "data/generators.h"
+#include "xml/sax_parser.h"
+#include "xquery/engine.h"
+#include "xquery/query_server.h"
+
+namespace {
+
+constexpr size_t kBatchEvents = 256;
+constexpr size_t kSessionSampleCap = 50;
+
+std::vector<std::string> QueryFamily() {
+  const char* regions[] = {"africa",   "asia",     "australia",
+                           "europe",   "namerica", "samerica"};
+  const char* locations[] = {"United States", "Germany", "France", "Japan",
+                             "Brazil",        "Kenya",   "India",  "Albania",
+                             "Iceland",       "Peru"};
+  const char* fields[] = {"location", "quantity", "name", "payment",
+                          "shipping"};
+  std::vector<std::string> family;
+  for (const char* region : regions) {
+    for (const char* loc : locations) {
+      for (const char* field : fields) {
+        family.push_back(std::string("X//") + region + "//item[location=\"" +
+                         loc + "\"]/" + field);
+      }
+    }
+  }
+  return family;
+}
+
+}  // namespace
+
+int main() {
+  using xflux::bench::Time;
+
+  std::string doc = xflux::GenerateXmark(
+      xflux::XmarkOptionsForBytes(xflux::bench::XmarkBytes()));
+  auto tokens = xflux::SaxParser::Tokenize(doc);
+  if (!tokens.ok()) {
+    std::fprintf(stderr, "tokenize failed: %s\n",
+                 tokens.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<xflux::EventBatch> batches;
+  for (size_t i = 0; i < tokens.value().size(); i += kBatchEvents) {
+    size_t end = std::min(i + kBatchEvents, tokens.value().size());
+    batches.emplace_back(tokens.value().begin() + static_cast<long>(i),
+                         tokens.value().begin() + static_cast<long>(end));
+  }
+
+  std::vector<std::string> family = QueryFamily();
+  std::printf("QueryServer vs N sessions, %.1f MB XMark, %zu-query family\n",
+              doc.size() / 1e6, family.size());
+  std::printf("%5s %12s %12s %8s %9s %7s %12s\n", "N", "server MB/s",
+              "sessions MB/s", "speedup", "hit ratio", "nodes",
+              "p50 stale ms");
+
+  xflux::JsonWriter rows = xflux::JsonWriter::Array();
+  bool checked_answers = false;
+
+  for (size_t n : {size_t{1}, size_t{10}, size_t{100}, size_t{1000}}) {
+    // --- Server arm: one pass, N registered queries. ---
+    xflux::QueryServer server;
+    for (size_t i = 0; i < n; ++i) {
+      auto handle = server.Register(family[i % family.size()]);
+      if (!handle.ok()) {
+        std::fprintf(stderr, "register failed: %s\n",
+                     handle.status().ToString().c_str());
+        return 1;
+      }
+    }
+    std::vector<double> batch_seconds;
+    batch_seconds.reserve(batches.size());
+    double server_s = 0;
+    for (const xflux::EventBatch& batch : batches) {
+      double t = Time([&] { server.PushBatch(xflux::EventBatch(batch)); });
+      batch_seconds.push_back(t);
+      server_s += t;
+    }
+    server_s += Time([&] { (void)server.Finish(); });
+    std::sort(batch_seconds.begin(), batch_seconds.end());
+    double stale_p50_ms =
+        batch_seconds.empty() ? 0
+                              : batch_seconds[batch_seconds.size() / 2] * 1e3;
+    xflux::QueryServer::SharingStats sharing = server.sharing();
+
+    // --- Sessions arm: min(N, cap) independent sessions, extrapolated. ---
+    size_t sampled = std::min(n, kSessionSampleCap);
+    double sampled_s = 0;
+    for (size_t i = 0; i < sampled; ++i) {
+      auto session = xflux::QuerySession::Open(family[i % family.size()]);
+      if (!session.ok()) {
+        std::fprintf(stderr, "session open failed: %s\n",
+                     session.status().ToString().c_str());
+        return 1;
+      }
+      sampled_s += Time([&] {
+        for (const xflux::EventBatch& batch : batches) {
+          session.value()->pipeline()->PushBatch(xflux::EventBatch(batch));
+        }
+      });
+      if (!checked_answers) {
+        // One correctness spot check per run: the server's answer for this
+        // query must match the session's, byte for byte.
+        auto server_text = server.handle(i)->CurrentText();
+        auto session_text = session.value()->CurrentText();
+        if (!server_text.ok() || !session_text.ok() ||
+            server_text.value() != session_text.value()) {
+          std::fprintf(stderr, "answer mismatch for %s\n",
+                       family[i % family.size()].c_str());
+          return 1;
+        }
+      }
+    }
+    checked_answers = true;
+    double sessions_s = sampled_s / static_cast<double>(sampled) *
+                        static_cast<double>(n);
+
+    double work_bytes = static_cast<double>(doc.size()) *
+                        static_cast<double>(n);
+    double server_mbs = work_bytes / server_s / 1e6;
+    double sessions_mbs = work_bytes / sessions_s / 1e6;
+    std::printf("%5zu %12.1f %12.1f %7.1fx %9.3f %7zu %12.3f\n", n,
+                server_mbs, sessions_mbs, sessions_s / server_s,
+                sharing.HitRatio(), sharing.prefix_nodes, stale_p50_ms);
+
+    xflux::JsonWriter r = xflux::JsonWriter::Object();
+    r.Field("queries", static_cast<uint64_t>(n));
+    r.Field("distinct_queries",
+            static_cast<uint64_t>(std::min(n, family.size())));
+    r.Field("doc_bytes", static_cast<uint64_t>(doc.size()));
+    r.Field("server_seconds", server_s);
+    r.Field("sessions_seconds", sessions_s);
+    r.Field("sessions_sampled", static_cast<uint64_t>(sampled));
+    r.Field("server_aggregate_mb_per_s", server_mbs);
+    r.Field("sessions_aggregate_mb_per_s", sessions_mbs);
+    r.Field("speedup", sessions_s / server_s);
+    r.Field("shared_prefix_hit_ratio", sharing.HitRatio());
+    r.Field("prefix_nodes", static_cast<uint64_t>(sharing.prefix_nodes));
+    r.Field("prefix_stages", static_cast<uint64_t>(sharing.prefix_stages));
+    r.Field("suffix_stages", static_cast<uint64_t>(sharing.suffix_stages));
+    r.Field("p50_answer_staleness_ms", stale_p50_ms);
+    rows.RawElement(r.Close());
+  }
+
+  xflux::JsonWriter json = xflux::bench::BenchJsonHeader("server");
+  json.Raw("rows", rows.Close());
+  xflux::bench::WriteBenchJson("server", json.Close());
+  return 0;
+}

@@ -18,6 +18,17 @@
 // by SPSC queues, see DESIGN.md section 6) and reports each queue's
 // high-water mark — how close the run came to backpressure.
 //
+// --server switches to QueryServer mode (DESIGN.md section 9): every
+// query in --queries=<file> (newline-separated; a built-in Q1-style
+// family when omitted) is registered against one shared stream, the
+// document is pushed once, and the report shows per-query answers plus
+// the server's sharing rollup — how much of the fleet's work the prefix
+// DAG deduplicated.  In server mode the positional argument is the
+// document; --guard/--inject/--seed apply, --threads does not (server
+// dispatch is serial by design).
+//
+//   $ ./xflux_inspect --server --queries=queries.txt doc.xml
+//
 // The generated XMark document defaults to ~1 MiB; set XFLUX_BENCH_MB to
 // scale it like the bench binaries do.
 
@@ -31,6 +42,7 @@
 #include "testing/fault_injector.h"
 #include "xml/sax_parser.h"
 #include "xquery/engine.h"
+#include "xquery/query_server.h"
 
 namespace {
 
@@ -44,12 +56,43 @@ bool ReadFile(const char* path, std::string* out) {
   return true;
 }
 
+/// The --queries file: one query per line, blank lines and #-comments
+/// skipped.  With no file, a Q1-style family that exercises the prefix
+/// DAG (shared desc(region)//item spines, distinct predicates/fields).
+std::vector<std::string> LoadQueries(const std::string& path) {
+  if (path.empty()) {
+    std::vector<std::string> family;
+    for (const char* region : {"europe", "africa", "asia"}) {
+      for (const char* field : {"quantity", "location"}) {
+        family.push_back(std::string("X//") + region +
+                         "//item[location=\"Albania\"]/" + field);
+      }
+    }
+    return family;
+  }
+  std::string text;
+  if (!ReadFile(path.c_str(), &text)) return {};
+  std::vector<std::string> queries;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    std::string line = text.substr(start, end - start);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (!line.empty() && line[0] != '#') queries.push_back(line);
+    start = end + 1;
+  }
+  return queries;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<const char*> positional;
   std::string guard_name;
   std::string inject_spec;
+  std::string queries_path;
+  bool server_mode = false;
   uint64_t seed = 1;
   int threads = 0;
   for (int i = 1; i < argc; ++i) {
@@ -62,16 +105,112 @@ int main(int argc, char** argv) {
       seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
     } else if (arg.rfind("--threads=", 0) == 0) {
       threads = static_cast<int>(std::strtol(arg.c_str() + 10, nullptr, 10));
+    } else if (arg == "--server") {
+      server_mode = true;
+    } else if (arg.rfind("--queries=", 0) == 0) {
+      queries_path = arg.substr(10);
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr,
                    "unknown flag %s (want --guard= --inject= --seed= "
-                   "--threads=)\n",
+                   "--threads= --server --queries=)\n",
                    arg.c_str());
       return 1;
     } else {
       positional.push_back(argv[i]);
     }
   }
+  if (server_mode) {
+    std::vector<std::string> queries = LoadQueries(queries_path);
+    if (queries.empty()) {
+      std::fprintf(stderr, "no queries (cannot read %s?)\n",
+                   queries_path.c_str());
+      return 1;
+    }
+    std::string document;
+    if (!positional.empty()) {
+      if (!ReadFile(positional[0], &document)) {
+        std::fprintf(stderr, "cannot read %s\n", positional[0]);
+        return 1;
+      }
+    } else {
+      document = xflux::GenerateXmark(
+          xflux::XmarkOptionsForBytes(xflux::bench::XmarkBytes() / 2));
+    }
+
+    xflux::QueryOptions options;
+    options.instrumentation = true;
+    if (!guard_name.empty()) {
+      auto policy = xflux::ProtocolGuard::ParsePolicy(guard_name);
+      if (!policy.ok()) {
+        std::fprintf(stderr, "bad --guard: %s\n",
+                     policy.status().ToString().c_str());
+        return 1;
+      }
+      options.guard = true;
+      options.guard_options.policy = policy.value();
+    }
+
+    xflux::QueryServer server;
+    for (const std::string& q : queries) {
+      auto handle = server.Register(q, options);
+      if (!handle.ok()) {
+        std::fprintf(stderr, "register failed for '%s': %s\n", q.c_str(),
+                     handle.status().ToString().c_str());
+        return 1;
+      }
+    }
+
+    double seconds;
+    if (!inject_spec.empty()) {
+      auto parsed = xflux::ParseFaultSpec(inject_spec);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "bad --inject: %s\n",
+                     parsed.status().ToString().c_str());
+        return 1;
+      }
+      auto tokens = xflux::SaxParser::Tokenize(document);
+      if (!tokens.ok()) {
+        std::fprintf(stderr, "tokenize failed: %s\n",
+                     tokens.status().ToString().c_str());
+        return 1;
+      }
+      xflux::EventVec mutated =
+          xflux::MutateStream(tokens.value(), parsed.value(), seed, nullptr);
+      seconds = xflux::bench::Time([&] {
+        server.PushAll(mutated);
+        server.Finish();
+      });
+    } else {
+      seconds = xflux::bench::Time([&] {
+        auto status = server.PushDocument(document);
+        if (!status.ok()) {
+          std::fprintf(stderr, "run failed: %s\n", status.ToString().c_str());
+        }
+        server.Finish();
+      });
+    }
+
+    std::printf("server  : %zu queries, one %.1f KiB stream\n",
+                server.query_count(), document.size() / 1024.0);
+    std::printf("time    : %.1f ms (%.1f MB/s aggregate, instrumented)\n\n",
+                seconds * 1e3,
+                document.size() * static_cast<double>(server.query_count()) /
+                    seconds / 1e6);
+    for (size_t i = 0; i < server.query_count(); ++i) {
+      xflux::QueryHandle* h = server.handle(i);
+      auto answer = h->CurrentText();
+      std::string text = answer.ok() ? answer.value()
+                                     : h->status().ToString();
+      if (text.size() > 96) text = text.substr(0, 93) + "...";
+      std::printf("  [%zu] %s\n      -> %s\n", i, h->query().c_str(),
+                  text.c_str());
+    }
+    std::printf("\n%s", server.StatsTable().c_str());
+    std::printf("\npipeline: %s\n",
+                server.AggregateMetrics().ToString().c_str());
+    return 0;
+  }
+
   const char* query = !positional.empty()
                           ? positional[0]
                           : "X//europe//item[location=\"Albania\"]/quantity";

@@ -1,0 +1,60 @@
+// A branching EventSink: copies every event (or batch) to N downstream
+// sinks, in registration order.
+//
+// This is the fan-out point of the QueryServer's shared prefix DAG: one
+// prefix segment computes a sub-result once, and the fanout hands an
+// identical copy to every consumer that registered for it — child prefix
+// nodes deeper in the DAG and per-query suffix pipelines alike.
+//
+// Determinism: targets are visited strictly in AddTarget order for every
+// event, so each target observes exactly the event sequence the producer
+// emitted, and relative delivery order between targets is fixed at wiring
+// time.  Since targets never feed back into the producer, fan-out
+// introduces no ordering freedom at all — each downstream pipeline sees
+// the same stream it would have seen wired alone behind the producer.
+
+#ifndef XFLUX_CORE_FANOUT_SINK_H_
+#define XFLUX_CORE_FANOUT_SINK_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "core/event.h"
+#include "core/event_sink.h"
+
+namespace xflux {
+
+/// Copies every accepted event to all registered targets (the last target
+/// receives the original by move).  With no targets it discards.
+class FanoutSink : public EventSink {
+ public:
+  /// Appends a consumer.  Wiring-time only: must not be called once events
+  /// are flowing (the QueryServer freezes registration at the first push).
+  void AddTarget(EventSink* target) { targets_.push_back(target); }
+
+  size_t target_count() const { return targets_.size(); }
+
+  void Accept(Event event) override {
+    if (targets_.empty()) return;
+    for (size_t i = 0; i + 1 < targets_.size(); ++i) {
+      targets_[i]->Accept(event);
+    }
+    targets_.back()->Accept(std::move(event));
+  }
+
+  void AcceptBatch(EventBatch batch) override {
+    if (targets_.empty()) return;
+    for (size_t i = 0; i + 1 < targets_.size(); ++i) {
+      targets_[i]->AcceptBatch(batch);
+    }
+    targets_.back()->AcceptBatch(std::move(batch));
+  }
+
+ private:
+  std::vector<EventSink*> targets_;
+};
+
+}  // namespace xflux
+
+#endif  // XFLUX_CORE_FANOUT_SINK_H_

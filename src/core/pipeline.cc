@@ -220,6 +220,18 @@ void Pipeline::PushBatch(EventBatch batch) {
   entry_->AcceptBatch(std::move(batch));
 }
 
+void Pipeline::PushSegment(EventBatch batch) {
+  assert(wired_ && "Push before SetSink");
+  assert(executor_ == nullptr && "PushSegment on a parallel pipeline");
+  if (context_->poisoned()) return;
+  for (Event& e : batch) {
+    if (e.kind == EventKind::kStartStream) {
+      context_->streams()->RegisterBase(e.id);
+    }
+    entry_->Accept(std::move(e));
+  }
+}
+
 void Pipeline::PushAll(const EventVec& events) {
   // Events copy cheaply (interned tags, refcounted text), so feeding a
   // whole in-memory sequence goes through the batched path.

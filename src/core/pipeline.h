@@ -146,6 +146,15 @@ class PipelineContext {
   void set_instrumentation(bool enabled) { instrumentation_ = enabled; }
   bool instrumentation_enabled() const { return instrumentation_; }
 
+  /// Installs a fact bus on every stage view — existing and future — so
+  /// stage-asserted registry facts (SetImmutable / AddPartner) also reach
+  /// listeners outside this pipeline.  The QueryServer uses this to forward
+  /// facts from a shared prefix segment to the downstream pipelines that
+  /// consume its output; a plain serial session leaves it unset.  Mutually
+  /// exclusive with Pipeline::EnableParallel, which rebinds the same slot
+  /// for the duration of a run.
+  void SetFactBus(FactBroadcaster* bus);
+
  private:
   StreamId next_id_;
   StreamId construction_end_;
@@ -156,6 +165,7 @@ class PipelineContext {
   StatsRegistry stats_;
   ErrorChannel errors_;
   bool instrumentation_ = false;
+  FactBroadcaster* fact_bus_ = nullptr;
   std::vector<std::unique_ptr<StageContext>> stage_contexts_;
 };
 
@@ -259,7 +269,13 @@ inline StageContext* PipelineContext::CreateStageContext() {
   next_stage_block_ = begin + kStageIdBlock;
   stage_contexts_.push_back(std::unique_ptr<StageContext>(
       new StageContext(this, begin, begin + kStageIdBlock)));
+  stage_contexts_.back()->bus_ = fact_bus_;
   return stage_contexts_.back().get();
+}
+
+inline void PipelineContext::SetFactBus(FactBroadcaster* bus) {
+  fact_bus_ = bus;
+  for (auto& view : stage_contexts_) view->bus_ = bus;
 }
 
 /// A pipeline stage: consumes events via Accept, produces via Emit.
@@ -509,6 +525,16 @@ class Pipeline {
   /// supports batching (identical semantics to Push-ing each in order).
   void PushBatch(EventBatch batch);
   void PushAll(const EventVec& events);
+  /// Injects a run of events minted by an upstream pipeline *segment*
+  /// (QueryServer fan-out edges).  Unlike PushBatch, delivery is strictly
+  /// per event: a segment-internal stream may open and freeze a region
+  /// within one run, and batch-level registry lookahead would classify it
+  /// fixed before its open event reaches the stages.  The root
+  /// bookkeeping loop is skipped — every non-transparent stage applies
+  /// the same idempotent fix/streams OnEvent itself — except base-stream
+  /// registration, which must land before the first event.  Serial only
+  /// (segments never run a threaded executor).
+  void PushSegment(EventBatch batch);
 
  private:
   friend class ParallelExecutor;  // boundary rewiring during a run

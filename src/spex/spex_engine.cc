@@ -13,8 +13,8 @@ bool IsNameChar(char c) {
 
 }  // namespace
 
-StatusOr<std::unique_ptr<SpexEngine>> SpexEngine::Compile(
-    std::string_view xpath, EventSink* out) {
+StatusOr<std::vector<SpexEngine::Step>> SpexEngine::ParseSteps(
+    std::string_view xpath) {
   std::vector<Step> steps;
   size_t i = 0;
   // An optional leading source name (the benchmark queries write X//...).
@@ -78,7 +78,72 @@ StatusOr<std::unique_ptr<SpexEngine>> SpexEngine::Compile(
     steps.push_back(std::move(step));
   }
   if (steps.empty()) return Status::ParseError("empty XPath");
-  return std::unique_ptr<SpexEngine>(new SpexEngine(std::move(steps), out));
+  return steps;
+}
+
+StatusOr<std::unique_ptr<SpexEngine>> SpexEngine::Compile(
+    std::string_view xpath, EventSink* out) {
+  auto steps = ParseSteps(xpath);
+  if (!steps.ok()) return steps.status();
+  return std::unique_ptr<SpexEngine>(
+      new SpexEngine(std::move(steps).value(), out));
+}
+
+std::string SpexStepSig::Key() const {
+  std::string key = descendant ? "desc(" : "child(";
+  key.append(name).append(")").append(predicates);
+  return key;
+}
+
+StatusOr<std::vector<SpexStepSig>> SpexEngine::ParseSignatures(
+    std::string_view xpath) {
+  auto steps = ParseSteps(xpath);
+  if (!steps.ok()) return steps.status();
+  std::vector<SpexStepSig> sigs;
+  sigs.reserve(steps.value().size());
+  for (const Step& step : steps.value()) {
+    SpexStepSig sig;
+    sig.descendant = step.descendant;
+    sig.name = step.name;
+    if (!step.wildcard) sig.symbol = step.name_sym;
+    for (const Predicate& pred : step.predicates) {
+      sig.predicates.append("[").append(pred.child);
+      if (pred.has_literal) {
+        sig.predicates.append("=\"").append(pred.literal).append("\"");
+      }
+      sig.predicates.append("]");
+    }
+    sigs.push_back(std::move(sig));
+  }
+  return sigs;
+}
+
+SpexPrefixDag::AddResult SpexPrefixDag::AddPath(
+    const std::vector<std::string>& keys) {
+  AddResult result;
+  result.nodes.reserve(keys.size());
+  size_t at = 0;  // the root
+  for (const std::string& key : keys) {
+    ++steps_seen_;
+    auto it = nodes_[at].children.find(key);
+    if (it != nodes_[at].children.end()) {
+      at = it->second;
+      ++result.reused;
+      ++steps_reused_;
+    } else {
+      Node node;
+      node.key = key;
+      node.parent = at;
+      size_t id = nodes_.size();
+      nodes_[at].children.emplace(key, id);
+      nodes_.push_back(std::move(node));
+      at = id;
+      ++result.added;
+    }
+    ++nodes_[at].hits;
+    result.nodes.push_back(at);
+  }
+  return result;
 }
 
 bool SpexEngine::NameMatches(const Step& step, Symbol tag) const {

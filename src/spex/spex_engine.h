@@ -17,6 +17,8 @@
 #ifndef XFLUX_SPEX_SPEX_ENGINE_H_
 #define XFLUX_SPEX_SPEX_ENGINE_H_
 
+#include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -29,6 +31,20 @@
 
 namespace xflux {
 
+/// One step of the SPEX XPath subset rendered canonically — the
+/// `(op, Symbol)` unit the shared prefix DAG merges on.  Two steps with
+/// equal Key() compile to interchangeable automaton states: same axis,
+/// same interned name test, same predicate set.
+struct SpexStepSig {
+  bool descendant = false;
+  std::string name;        // "*" for the wildcard test
+  Symbol symbol;           // interned name (unset for "*")
+  std::string predicates;  // canonical `[child="lit"]...` rendering, or ""
+
+  /// The dedup key, e.g. `desc(item)[location="Albania"]`.
+  std::string Key() const;
+};
+
 /// See file comment.  Consumes a plain tokenized XML stream and pushes the
 /// matching elements' events to `out`.
 class SpexEngine : public EventSink {
@@ -37,6 +53,11 @@ class SpexEngine : public EventSink {
   /// ("[" name ("=" "\"lit\"")? "]")* ...
   static StatusOr<std::unique_ptr<SpexEngine>> Compile(std::string_view xpath,
                                                        EventSink* out);
+
+  /// Parses the same subset into canonical step signatures without
+  /// building an automaton — the mergeable-prefix view of a query.
+  static StatusOr<std::vector<SpexStepSig>> ParseSignatures(
+      std::string_view xpath);
 
   void Accept(Event event) override;
 
@@ -59,6 +80,9 @@ class SpexEngine : public EventSink {
     Symbol name_sym;    // interned at compile time (unset for "*")
     std::vector<Predicate> predicates;
   };
+
+  /// Shared front end for Compile and ParseSignatures.
+  static StatusOr<std::vector<Step>> ParseSteps(std::string_view xpath);
 
   // A predicated element whose output subtrees wait for its predicates.
   struct Candidate {
@@ -99,6 +123,55 @@ class SpexEngine : public EventSink {
   uint64_t transitions_ = 0;
   size_t buffered_ = 0;
   size_t max_buffered_ = 0;
+};
+
+/// A mergeable prefix trie over step-signature sequences: the shared-DAG
+/// index of N registered queries.  AddPath walks one query's leading
+/// signatures from the root, reusing an existing node when the key
+/// matches and appending a fresh one otherwise; the returned node ids
+/// identify the merged automaton states.  The reuse counters quantify
+/// work sharing: `steps_reused() / steps_seen()` is the shared-prefix hit
+/// ratio the QueryServer reports.
+class SpexPrefixDag {
+ public:
+  struct AddResult {
+    std::vector<size_t> nodes;  // one id per key, in path order
+    size_t reused = 0;          // keys that landed on existing nodes
+    size_t added = 0;           // keys that created new nodes
+  };
+
+  /// Merges one key sequence into the DAG.  Deterministic: equal key
+  /// sequences map to equal node-id sequences regardless of add order.
+  AddResult AddPath(const std::vector<std::string>& keys);
+
+  /// Distinct automaton states (excluding the implicit root).
+  size_t node_count() const { return nodes_.size() - 1; }
+  /// Total keys ever offered / keys resolved to an existing node.
+  uint64_t steps_seen() const { return steps_seen_; }
+  uint64_t steps_reused() const { return steps_reused_; }
+  /// steps_reused / steps_seen, 0 while empty.
+  double SharedRatio() const {
+    return steps_seen_ == 0
+               ? 0.0
+               : static_cast<double>(steps_reused_) /
+                     static_cast<double>(steps_seen_);
+  }
+
+  const std::string& key(size_t node) const { return nodes_[node].key; }
+  size_t parent(size_t node) const { return nodes_[node].parent; }
+  /// Number of registered paths that traverse `node`.
+  size_t hits(size_t node) const { return nodes_[node].hits; }
+
+ private:
+  struct Node {
+    std::string key;
+    size_t parent = 0;
+    size_t hits = 0;
+    std::map<std::string, size_t> children;
+  };
+  std::vector<Node> nodes_ = std::vector<Node>(1);  // [0] is the root
+  uint64_t steps_seen_ = 0;
+  uint64_t steps_reused_ = 0;
 };
 
 }  // namespace xflux

@@ -14,6 +14,28 @@ void StageStats::Reset() {
   index = saved_index;
 }
 
+void StageStats::MergeFrom(const StageStats& other) {
+  in_simple += other.in_simple;
+  in_update += other.in_update;
+  out_simple += other.out_simple;
+  out_update += other.out_update;
+  adjust_calls += other.adjust_calls;
+  live_states += other.live_states;
+  max_live_states = std::max(max_live_states, other.max_live_states);
+  state_shares += other.state_shares;
+  state_clones += other.state_clones;
+  aux_entries += other.aux_entries;
+  max_aux_entries = std::max(max_aux_entries, other.max_aux_entries);
+  buffered_events += other.buffered_events;
+  buffered_bytes += other.buffered_bytes;
+  max_buffered_events =
+      std::max(max_buffered_events, other.max_buffered_events);
+  max_buffered_bytes = std::max(max_buffered_bytes, other.max_buffered_bytes);
+  wall_ns += other.wall_ns;
+  downstream_ns += other.downstream_ns;
+  queue_depth_hwm = std::max(queue_depth_hwm, other.queue_depth_hwm);
+}
+
 std::string StageStats::ToJson() const {
   JsonWriter w = JsonWriter::Object();
   w.Field("index", index);
@@ -52,6 +74,26 @@ std::string StatsRegistry::ToJson() const {
   JsonWriter w = JsonWriter::Array();
   for (const auto& s : stages_) w.RawElement(s->ToJson());
   return w.Close();
+}
+
+void StatsRegistry::Absorb(const StatsRegistry& other,
+                           const std::string& prefix, bool merge_same_name) {
+  for (const auto& s : other.stages_) {
+    std::string name = prefix + s->name;
+    StageStats* target = nullptr;
+    if (merge_same_name) {
+      for (auto& mine : stages_) {
+        if (mine->name == name) {
+          target = mine.get();
+          break;
+        }
+      }
+    }
+    if (target == nullptr) {
+      target = Register(std::move(name));
+    }
+    target->MergeFrom(*s);
+  }
 }
 
 std::string StatsRegistry::ToTable() const {

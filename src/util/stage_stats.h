@@ -107,6 +107,12 @@ struct StageStats {
   /// Zeroes every counter; name and index survive.
   void Reset();
 
+  /// Folds another record into this one: counters add, gauges keep the
+  /// current sum and the max of the high-water marks.  The unit of the
+  /// QueryServer's two-level rollup (N same-named suffix stages → one
+  /// aggregate row).  Name and index are untouched.
+  void MergeFrom(const StageStats& other);
+
   /// One JSON object (see EXPERIMENTS.md for the schema).
   std::string ToJson() const;
 };
@@ -133,6 +139,14 @@ class StatsRegistry {
   /// Human-readable aligned table (name, in/out events, adjust calls, µs,
   /// approx bytes) — what `xflux_inspect` prints.
   std::string ToTable() const;
+
+  /// Copies every record of `other` into this registry under
+  /// `prefix + name`.  With `merge_same_name`, records whose prefixed name
+  /// already exists here are folded in via StageStats::MergeFrom instead
+  /// of added — how the QueryServer aggregates N structurally identical
+  /// suffix pipelines into one row set.
+  void Absorb(const StatsRegistry& other, const std::string& prefix,
+              bool merge_same_name = false);
 
  private:
   std::vector<std::unique_ptr<StageStats>> stages_;

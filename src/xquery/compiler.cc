@@ -339,7 +339,273 @@ class Compiler {
   std::deque<StreamId> source_clones_;
 };
 
+// ---------------------------------------------------------------------------
+// Shared-prefix extraction (QueryServer).
+
+// Bounds chosen so one extracted op always compiles into a stage group
+// small enough for the server's per-depth id band: a predicate group is
+// 1 clone + |condition path| steps + 1 compare + 1 join.
+constexpr size_t kMaxPrefixOps = 24;
+constexpr size_t kMaxConditionSteps = 4;
+
+int CountStreamLeaves(const AstNode& n) {
+  int count = n.kind == AstKind::kStream ? 1 : 0;
+  for (const auto& c : n.children) count += CountStreamLeaves(*c);
+  return count;
+}
+
+// A condition path is sharable when it is a chain of forward steps over
+// the context item — exactly what CompileCondition turns into clone-local
+// stages with no reference to anything outside the predicate group.
+bool IsSharableConditionPath(const AstNode& n, size_t steps) {
+  if (steps > kMaxConditionSteps) return false;
+  switch (n.kind) {
+    case AstKind::kVarRef:
+      return n.name.empty();  // the context item, not a FLWOR variable
+    case AstKind::kStep:
+      switch (n.axis) {
+        case AstAxis::kChild:
+        case AstAxis::kDescendant:
+        case AstAxis::kAttribute:
+        case AstAxis::kText:
+          return IsSharableConditionPath(*n.children[0], steps + 1);
+        default:
+          return false;
+      }
+    default:
+      return false;
+  }
+}
+
+bool IsSharableCondition(const AstNode& cmp) {
+  return cmp.kind == AstKind::kCompare && cmp.children.size() == 1 &&
+         IsSharableConditionPath(*cmp.children[0], 1);
+}
+
+void AppendConditionPathSignature(const AstNode& n, std::string* out) {
+  switch (n.kind) {
+    case AstKind::kVarRef:
+      out->append(".");
+      return;
+    case AstKind::kStep:
+      AppendConditionPathSignature(*n.children[0], out);
+      switch (n.axis) {
+        case AstAxis::kChild:
+          out->append("/child(").append(n.name).append(")");
+          return;
+        case AstAxis::kDescendant:
+          out->append("/desc(").append(n.name).append(")");
+          return;
+        case AstAxis::kAttribute:
+          out->append("/child(@").append(n.name).append(")");
+          return;
+        case AstAxis::kText:
+          out->append("/text()");
+          return;
+        default:
+          out->append("/?");
+          return;
+      }
+    default:
+      out->append("?");
+      return;
+  }
+}
+
+std::string ConditionSignature(const AstNode& cmp) {
+  std::string sig = "pred(";
+  AppendConditionPathSignature(*cmp.children[0], &sig);
+  switch (cmp.match) {
+    case AstMatch::kEquals:
+      sig.append("=\"").append(cmp.name).append("\"");
+      break;
+    case AstMatch::kContains:
+      sig.append("~\"").append(cmp.name).append("\"");
+      break;
+    case AstMatch::kExists:
+      sig.append("?");
+      break;
+  }
+  sig.append(")");
+  return sig;
+}
+
+PrefixStep MakeStepOp(const AstNode& n) {
+  PrefixStep op;
+  op.name = n.name;
+  switch (n.axis) {
+    case AstAxis::kChild:
+      op.kind = PrefixStep::Kind::kChild;
+      op.symbol = InternTag(n.name);
+      op.signature = "child(" + n.name + ")";
+      break;
+    case AstAxis::kDescendant:
+      op.kind = PrefixStep::Kind::kDescendant;
+      op.symbol = InternTag(n.name);
+      op.signature = "desc(" + n.name + ")";
+      break;
+    case AstAxis::kAttribute:
+      op.kind = PrefixStep::Kind::kAttribute;
+      op.symbol = InternTag("@" + n.name);
+      op.signature = "child(@" + n.name + ")";
+      break;
+    case AstAxis::kText:
+      op.kind = PrefixStep::Kind::kText;
+      op.signature = "text()";
+      break;
+    default:
+      break;  // unreachable: backward axes disable extraction entirely
+  }
+  return op;
+}
+
 }  // namespace
+
+PrefixSplit SplitForSharedPrefix(AstPtr ast) {
+  PrefixSplit out;
+  if (ast == nullptr) return out;
+  // Backward axes make the compiled pipeline clone the *raw* source before
+  // any other stage; a prefix transformation ahead of those clones would
+  // feed them something else.  Multiple stream leaves (or none) mean there
+  // is no single spine to lift.
+  if (CountBackwardSteps(*ast) != 0 || CountStreamLeaves(*ast) != 1) {
+    out.residual = std::move(ast);
+    return out;
+  }
+
+  // Descend from the root to the unique kStream leaf, recording the owning
+  // slot at every level.  `peeled[i]` marks filters the FLWOR compiler
+  // peels to tuple scope (consecutive filters directly under an `in`
+  // clause) — those must stay in the residual.
+  std::vector<AstPtr*> slots;
+  std::vector<bool> peeled;
+  AstPtr* slot = &ast;
+  bool under_flwor_in = false;
+  while (true) {
+    AstNode* n = slot->get();
+    slots.push_back(slot);
+    peeled.push_back(under_flwor_in && n->kind == AstKind::kFilter);
+    if (n->kind == AstKind::kStream) break;
+    AstPtr* next = nullptr;
+    switch (n->kind) {
+      case AstKind::kElementCtor:
+      case AstKind::kCount:
+      case AstKind::kSum:
+      case AstKind::kAvg:
+        next = &n->children[0];
+        under_flwor_in = false;
+        break;
+      case AstKind::kFlwor:
+        next = &n->children[static_cast<size_t>(n->in_child)];
+        under_flwor_in = true;
+        break;
+      case AstKind::kStep:
+        next = &n->children[0];
+        under_flwor_in = false;
+        break;
+      case AstKind::kFilter:
+        next = &n->children[0];
+        // Peeling continues through consecutive filters.
+        break;
+      default:
+        next = nullptr;
+        break;
+    }
+    if (next == nullptr || CountStreamLeaves(**next) != 1) {
+      // The leaf hides somewhere this walk cannot follow (a sequence
+      // branch, a condition); leave the query whole.
+      out.residual = std::move(ast);
+      return out;
+    }
+    slot = next;
+  }
+
+  // The maximal extractable run ends at the leaf's parent and extends
+  // upward while every node stays eligible.
+  const size_t leaf = slots.size() - 1;
+  size_t first = leaf;  // index of the topmost extracted node
+  while (first > 0) {
+    const AstNode& n = *slots[first - 1]->get();
+    bool eligible = false;
+    if (n.kind == AstKind::kStep) {
+      eligible = n.axis == AstAxis::kChild || n.axis == AstAxis::kDescendant ||
+                 n.axis == AstAxis::kAttribute || n.axis == AstAxis::kText;
+    } else if (n.kind == AstKind::kFilter) {
+      eligible = !peeled[first - 1] && IsSharableCondition(*n.children[1]);
+    }
+    if (!eligible || leaf - (first - 1) > kMaxPrefixOps) break;
+    --first;
+  }
+  if (first == leaf) {  // nothing extractable above the leaf
+    out.residual = std::move(ast);
+    return out;
+  }
+
+  // Detach: leaf out of the chain, chain out of the tree, leaf back into
+  // the chain's old slot.  Interior slot pointers stay valid — moving a
+  // unique_ptr moves the pointer, never the pointee.
+  AstPtr stream_leaf = std::move(*slots[leaf]);
+  AstPtr chain = std::move(*slots[first]);
+  *slots[first] = std::move(stream_leaf);
+  out.residual = std::move(ast);
+
+  // Emit ops leaf-first: the node nearest the source compiles (and runs)
+  // first, so this is execution order.
+  for (size_t i = leaf; i-- > first;) {
+    AstNode* n = i == first ? chain.get() : slots[i]->get();
+    if (n->kind == AstKind::kStep) {
+      out.prefix.push_back(MakeStepOp(*n));
+    } else {
+      PrefixStep op;
+      op.kind = PrefixStep::Kind::kPredicate;
+      op.signature = ConditionSignature(*n->children[1]);
+      op.condition = std::move(n->children[1]);
+      out.prefix.push_back(std::move(op));
+    }
+  }
+  return out;
+}
+
+StatusOr<CompiledQuery> CompilePrefixStep(PrefixStep op,
+                                          StreamId first_dynamic_id) {
+  auto stream = std::make_unique<AstNode>(AstKind::kStream);
+  AstPtr node;
+  switch (op.kind) {
+    case PrefixStep::Kind::kChild:
+    case PrefixStep::Kind::kDescendant:
+    case PrefixStep::Kind::kAttribute:
+    case PrefixStep::Kind::kText: {
+      node = std::make_unique<AstNode>(AstKind::kStep);
+      switch (op.kind) {
+        case PrefixStep::Kind::kChild:
+          node->axis = AstAxis::kChild;
+          break;
+        case PrefixStep::Kind::kDescendant:
+          node->axis = AstAxis::kDescendant;
+          break;
+        case PrefixStep::Kind::kAttribute:
+          node->axis = AstAxis::kAttribute;
+          break;
+        default:
+          node->axis = AstAxis::kText;
+          break;
+      }
+      node->name = op.name;
+      node->children.push_back(std::move(stream));
+      break;
+    }
+    case PrefixStep::Kind::kPredicate: {
+      if (op.condition == nullptr) {
+        return Status::InvalidArgument("prefix predicate without a condition");
+      }
+      node = std::make_unique<AstNode>(AstKind::kFilter);
+      node->children.push_back(std::move(stream));
+      node->children.push_back(std::move(op.condition));
+      break;
+    }
+  }
+  return CompileAst(*node, first_dynamic_id);
+}
 
 StatusOr<CompiledQuery> CompileAst(const AstNode& ast,
                                    StreamId first_dynamic_id) {

@@ -7,10 +7,13 @@
 #define XFLUX_XQUERY_COMPILER_H_
 
 #include <memory>
+#include <string>
 #include <string_view>
+#include <vector>
 
 #include "core/pipeline.h"
 #include "util/status.h"
+#include "util/symbol_table.h"
 #include "xquery/ast.h"
 
 namespace xflux {
@@ -32,6 +35,60 @@ StatusOr<CompiledQuery> CompileAst(
 StatusOr<CompiledQuery> CompileQuery(
     std::string_view query,
     StreamId first_dynamic_id = kDefaultFirstDynamicId);
+
+/// One operation lifted off the leading spine of a query for shared
+/// execution: a forward step or an eligible predicate group, identified by
+/// a canonical `(op, Symbol)` signature.  Two queries whose spines yield
+/// equal signature sequences compute identical intermediate streams, which
+/// is what lets the QueryServer's prefix DAG evaluate the shared spine
+/// once (see DESIGN.md §9).
+struct PrefixStep {
+  enum class Kind {
+    kChild,       // /name, /*
+    kDescendant,  // //name, //*
+    kAttribute,   // /@name
+    kText,        // /text()
+    kPredicate,   // [path op "lit"] — the full clone/compare/join group
+  };
+  Kind kind = Kind::kChild;
+  std::string name;        // step name test; empty for kPredicate / kText
+  Symbol symbol;           // interned name ("@name" for attributes)
+  AstPtr condition;        // kPredicate only: the kCompare subtree (owned)
+  std::string signature;   // canonical dedup key, e.g. `desc(item)`,
+                           // `pred(./child(location)="Albania")`
+};
+
+/// Result of SplitForSharedPrefix: the extracted spine (in execution
+/// order, i.e. the step nearest the source first) plus the residual query
+/// with the spine replaced by the bare stream leaf.  When nothing is
+/// extractable, `prefix` is empty and `residual` is the original AST.
+struct PrefixSplit {
+  std::vector<PrefixStep> prefix;
+  AstPtr residual;
+};
+
+/// Splits `ast` (consumed) into a maximal shareable leading chain and the
+/// residual query.  Extraction covers forward child / descendant /
+/// attribute / text steps and predicates whose condition is a kCompare
+/// over a short relative forward path; it refuses
+///  - queries containing any backward axis (their compiled form clones the
+///    raw source first, so no prefix transformation may precede them),
+///  - filter chains sitting directly under a FLWOR `in` clause (the
+///    compiler peels those to tuple scope, where they run *after* the
+///    return transform — extracting them at element scope would change
+///    semantics), and
+///  - anything it cannot prove compiles to the same stage group in both
+///    the standalone and the shared pipeline.
+PrefixSplit SplitForSharedPrefix(AstPtr ast);
+
+/// Compiles one extracted prefix op into a standalone pipeline segment:
+/// the exact stage group the full compiler would have emitted for it, with
+/// both input and output rooted at stream 0.  Chaining such segments in
+/// spine order therefore reproduces the standalone pipeline's intermediate
+/// stream byte for byte.  Consumes `op` (the predicate condition moves
+/// into the compiled stages).
+StatusOr<CompiledQuery> CompilePrefixStep(PrefixStep op,
+                                          StreamId first_dynamic_id);
 
 }  // namespace xflux
 

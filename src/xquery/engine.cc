@@ -1,7 +1,5 @@
 #include "xquery/engine.h"
 
-#include <cstdio>
-
 #include "xml/sax_parser.h"
 
 namespace xflux {
@@ -13,50 +11,16 @@ StatusOr<std::unique_ptr<QuerySession>> QuerySession::Open(
   auto session = std::unique_ptr<QuerySession>(new QuerySession());
   session->pipeline_ = std::move(compiled.value().pipeline);
   session->source_id_ = compiled.value().source_id;
-  Pipeline* pipeline = session->pipeline_.get();
-  pipeline->set_accept_source_updates(options.accept_source_updates);
-  pipeline->context()->set_instrumentation(options.instrumentation);
-  if (options.trace_capacity > 0) {
-    session->trace_ = pipeline->AddStage<TraceSink>(
-        pipeline->context(),
-        TraceSink::Options{options.trace_capacity, "trace"});
-  }
-  if (options.guard) {
-    auto guard = std::make_unique<ProtocolGuard>(pipeline->context(),
-                                                 options.guard_options);
-    session->guard_ = guard.get();
-    pipeline->InsertFront(std::move(guard));
-  }
-  session->display_ = std::make_unique<ResultDisplay>(
-      options.display, pipeline->context()->metrics());
-  if (session->trace_ != nullptr) {
-    TraceSink* trace = session->trace_;
-    session->display_->SetOnError([trace](const Status& status) {
-      std::fprintf(stderr, "display protocol error: %s\n%s",
-                   status.ToString().c_str(), trace->Dump().c_str());
-    });
-  }
-  pipeline->SetSink(session->display_.get());
-  if (options.threads > 0) {
-    ParallelOptions parallel;
-    parallel.threads = options.threads;
-    parallel.queue_capacity = options.queue_capacity;
-    parallel.batch_events = options.batch_events;
-    pipeline->EnableParallel(parallel);
-  }
+  SessionWiring wiring = WireSessionPipeline(session->pipeline_.get(), options);
+  session->display_ = std::move(wiring.display);
+  session->trace_ = wiring.trace;
+  session->guard_ = wiring.guard;
   return session;
 }
 
 StatusOr<std::unique_ptr<QuerySession>> QuerySession::Open(
     std::string_view query) {
   return Open(query, Options());
-}
-
-StatusOr<std::unique_ptr<QuerySession>> QuerySession::Open(
-    std::string_view query, const ResultDisplay::Options& display_options) {
-  Options options;
-  options.display = display_options;
-  return Open(query, options);
 }
 
 Status QuerySession::PushDocument(std::string_view xml) {

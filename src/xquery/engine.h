@@ -14,68 +14,23 @@
 #include "core/trace_sink.h"
 #include "util/status.h"
 #include "xquery/compiler.h"
+#include "xquery/session_builder.h"
 
 namespace xflux {
-
-/// Bridges an event producer (e.g. the SAX tokenizer) to a pipeline.
-class PipelineSource : public EventSink {
- public:
-  explicit PipelineSource(Pipeline* pipeline) : pipeline_(pipeline) {}
-  void Accept(Event event) override { pipeline_->Push(std::move(event)); }
-  void AcceptBatch(EventBatch batch) override {
-    pipeline_->PushBatch(std::move(batch));
-  }
-
- private:
-  Pipeline* pipeline_;
-};
 
 /// A compiled query wired to a live result display.  Feed events (or whole
 /// documents) and read the continuously-maintained answer.
 class QuerySession {
  public:
-  /// Everything configurable about a session, in one place.
-  struct Options {
-    ResultDisplay::Options display;  ///< rendering of the live answer
-    /// When false, mutable regions from the source are classified fixed at
-    /// injection — source updates are ignored (Section V).
-    bool accept_source_updates = true;
-    /// First stream id the pipeline allocates; must be above every id the
-    /// source uses.
-    StreamId first_dynamic_id = kDefaultFirstDynamicId;
-    /// Per-stage StageStats counting/timing (see util/stage_stats.h).
-    bool instrumentation = false;
-    /// When > 0, a TraceSink tap with this ring capacity is inserted just
-    /// before the display and its window is dumped to stderr if the display
-    /// latches a protocol error.
-    size_t trace_capacity = 0;
-    /// When true, a ProtocolGuard is spliced in front of the compiled
-    /// pipeline: source events are validated against WF_i and the
-    /// update-bracket discipline before any operator sees them, and
-    /// `guard_options` decides what happens on a violation.
-    bool guard = false;
-    ProtocolGuard::Options guard_options;
-    /// Worker threads for pipeline-parallel execution (0 = serial, the
-    /// default).  Parallel output is deterministically identical to
-    /// serial; with threads > 0 the live answer (CurrentText /
-    /// CurrentEvents / metrics) is only defined once Finish() has drained
-    /// the run — PushDocument drains internally, so whole-document callers
-    /// never notice.
-    int threads = 0;
-    /// Queue sizing for threads > 0 (bounded SPSC batch queues).
-    size_t queue_capacity = 64;
-    size_t batch_events = 64;
-  };
+  /// Everything configurable about a session, in one place — the same
+  /// struct QueryServer::Register takes (see session_builder.h for the
+  /// field docs and for which knobs a server scopes differently).
+  using Options = QueryOptions;
 
   /// Compiles `query` and attaches a display, per `options`.
   static StatusOr<std::unique_ptr<QuerySession>> Open(
       std::string_view query, const Options& options);
   static StatusOr<std::unique_ptr<QuerySession>> Open(std::string_view query);
-
-  /// Deprecated shim for the old two-overload API; display-only options.
-  [[deprecated("use Open(query, QuerySession::Options)")]]
-  static StatusOr<std::unique_ptr<QuerySession>> Open(
-      std::string_view query, const ResultDisplay::Options& display_options);
 
   /// Pushes one source event.
   void Push(Event event) { pipeline_->Push(std::move(event)); }

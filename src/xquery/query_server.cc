@@ -1,0 +1,474 @@
+#include "xquery/query_server.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "util/json.h"
+#include "xml/sax_parser.h"
+#include "xquery/parser.h"
+
+namespace xflux {
+namespace {
+
+/// Queries may only share a stream when they agree on everything that
+/// shapes what the stream *is* before the first operator: guarding, the
+/// guard's recovery policy and limits, and the accept-source-updates
+/// classification.  Serializing the tuple gives the class lookup key.
+std::string StreamClassKey(const QueryOptions& options) {
+  std::string key = options.accept_source_updates ? "accept;" : "reject;";
+  if (!options.guard) return key + "unguarded";
+  const ProtocolGuard::Options& g = options.guard_options;
+  key += "guard:policy=" + std::to_string(static_cast<int>(g.policy));
+  key += ",depth=" + std::to_string(g.limits.max_depth);
+  key += ",regions=" + std::to_string(g.limits.max_open_regions);
+  key += ",bytes=" + std::to_string(g.limits.max_buffered_bytes);
+  key += ",label=" + g.label;
+  return key;
+}
+
+/// Two registrations may share one suffix runtime only when everything
+/// the suffix's behavior or surface depends on matches: the query text
+/// (same residual, same path through the class DAG) and every per-query
+/// knob the server honors (display shape, instrumentation, tracing).
+std::string SuffixKey(std::string_view query, const QueryOptions& options) {
+  std::string key(query);
+  key += "\x1f";
+  key += options.display.pretty ? "p" : "-";
+  key += options.display.keep_tuples ? "t" : "-";
+  key += options.instrumentation ? "i" : "-";
+  key += ";trace=" + std::to_string(options.trace_capacity);
+  return key;
+}
+
+}  // namespace
+
+void QueryServer::SubtreeBus::Broadcast(const RegistryFact& fact) {
+  // Direct registry application on each member — facts never re-enter a
+  // bus, so a member that itself owns a bus cannot echo.
+  for (PipelineContext* ctx : members_) {
+    switch (fact.kind) {
+      case RegistryFact::kSetImmutable:
+        ctx->fix()->SetImmutable(fact.a);
+        break;
+      case RegistryFact::kAddPartner:
+        ctx->streams()->AddPartner(fact.a, fact.b);
+        break;
+      case RegistryFact::kRegisterBase:
+        ctx->streams()->RegisterBase(fact.a);
+        break;
+      case RegistryFact::kSetFixed:
+        ctx->fix()->SetFixed(fact.a, fact.b != 0);
+        break;
+      default:
+        // kOpenRegion/kDeriveRegion/kFreezeRegion are parallel-executor
+        // replay forms of source bookkeeping; the server replays raw
+        // source events itself (ApplySourceBookkeeping), and events
+        // traveling the fan-out re-register downstream via Accept.
+        break;
+    }
+  }
+}
+
+QueryServer::QueryServer() = default;
+QueryServer::~QueryServer() = default;
+
+QueryServer::StreamClass* QueryServer::ClassFor(const QueryOptions& options) {
+  std::string key = StreamClassKey(options);
+  for (auto& cls : classes_) {
+    if (cls->key == key) return cls.get();
+  }
+  auto cls = std::make_unique<StreamClass>();
+  cls->key = std::move(key);
+  cls->accept_source_updates = options.accept_source_updates;
+  cls->root_fanout = std::make_unique<FanoutSink>();
+  cls->nodes.emplace_back();  // [0]: the DAG root (the raw class stream)
+  if (options.guard) {
+    cls->guard_pipe = std::make_unique<Pipeline>();
+    cls->guard = cls->guard_pipe->AddStage<ProtocolGuard>(
+        cls->guard_pipe->context(), options.guard_options);
+    cls->guard_pipe->set_accept_source_updates(options.accept_source_updates);
+    cls->guard_pipe->context()->set_instrumentation(any_instrumentation_);
+    cls->guard_pipe->SetSink(cls->root_fanout.get());
+    cls->members.push_back(cls->guard_pipe->context());
+  }
+  classes_.push_back(std::move(cls));
+  return classes_.back().get();
+}
+
+StatusOr<QueryHandle*> QueryServer::Register(std::string_view query,
+                                             const QueryOptions& options) {
+  if (started_) {
+    return Status::InvalidArgument(
+        "QueryServer::Register after streaming started: the fan-out wiring "
+        "is frozen at the first push");
+  }
+  auto ast = ParseQuery(query);
+  if (!ast.ok()) return ast.status();
+  PrefixSplit split = SplitForSharedPrefix(std::move(ast.value()));
+
+  // An identical earlier registration (same class, same suffix key) means
+  // the whole runtime already exists — the new handle just joins it.
+  std::string class_key = StreamClassKey(options);
+  std::string suffix_key = SuffixKey(query, options);
+  SuffixRuntime* suffix = nullptr;
+  for (auto& existing : classes_) {
+    if (existing->key != class_key) continue;
+    for (auto& s : existing->suffixes) {
+      if (s->key == suffix_key) {
+        suffix = s.get();
+        break;
+      }
+    }
+    break;
+  }
+
+  // Compile the private residual first: a query that cannot compile must
+  // not leave nodes behind in any class's DAG.  A dedup hit skips the
+  // compile — the runtime it joins already proved the query.
+  std::unique_ptr<Pipeline> residual_pipe;
+  if (suffix == nullptr) {
+    auto residual = CompileAst(*split.residual, kSuffixFirstDynamicId);
+    if (!residual.ok()) return residual.status();
+    residual_pipe = std::move(residual.value().pipeline);
+  }
+
+  if (options.instrumentation && !any_instrumentation_) {
+    // Shared segments serve every query, so one instrumented registrant
+    // turns their counters on — retroactively for segments already built.
+    any_instrumentation_ = true;
+    for (auto& cls : classes_) {
+      if (cls->guard_pipe != nullptr) {
+        cls->guard_pipe->context()->set_instrumentation(true);
+      }
+      for (auto& node : cls->nodes) {
+        if (node != nullptr) node->pipe->context()->set_instrumentation(true);
+      }
+    }
+  }
+
+  StreamClass* cls = ClassFor(options);
+  size_t class_index = 0;
+  while (classes_[class_index].get() != cls) ++class_index;
+
+  std::vector<std::string> keys;
+  keys.reserve(split.prefix.size());
+  for (const PrefixStep& op : split.prefix) keys.push_back(op.signature);
+  SpexPrefixDag::AddResult merged = cls->dag.AddPath(keys);
+  if (cls->nodes.size() < cls->dag.node_count() + 1) {
+    cls->nodes.resize(cls->dag.node_count() + 1);
+  }
+
+  // Materialize a runtime for every node on the path that lacks one (new
+  // nodes, or leftovers of a previously failed Register).
+  for (size_t depth = 0; depth < merged.nodes.size(); ++depth) {
+    size_t id = merged.nodes[depth];
+    if (cls->nodes[id] != nullptr) continue;
+    StreamId band =
+        kNodeBandBase + static_cast<StreamId>(depth) * kNodeBandSpan;
+    auto compiled = CompilePrefixStep(std::move(split.prefix[depth]), band);
+    if (!compiled.ok()) return compiled.status();
+    auto node = std::make_unique<NodeRuntime>();
+    node->pipe = std::move(compiled.value().pipeline);
+    if (kConstructionIdSpan + node->pipe->stage_count() * kStageIdBlock >
+        kNodeBandSpan) {
+      return Status::Internal("prefix op '" + keys[depth] +
+                              "' overflows its node id band");
+    }
+    // Prefix stages mint their own update brackets mid-chain; those must
+    // never be classified born-fixed downstream, so every shared node runs
+    // with accept on — raw-source classification for reject classes is
+    // replayed by ApplySourceBookkeeping instead.
+    node->pipe->set_accept_source_updates(true);
+    node->pipe->context()->set_instrumentation(any_instrumentation_);
+    node->out = std::make_unique<CollectorSink>();
+    node->fanout = std::make_unique<FanoutSink>();
+    node->pipe->SetSink(node->out.get());
+    node->bus = std::make_unique<SubtreeBus>();
+    node->pipe->context()->SetFactBus(node->bus.get());
+    node->tap = std::make_unique<BatchTap>(node->pipe.get());
+    node->depth = depth;
+    FanoutSink* parent = depth == 0
+                             ? cls->root_fanout.get()
+                             : cls->nodes[merged.nodes[depth - 1]]->fanout.get();
+    parent->AddTarget(node->tap.get());
+    cls->members.push_back(node->pipe->context());
+    // Facts asserted by the ancestors must reach this new consumer too.
+    for (size_t d = 0; d < depth; ++d) {
+      cls->nodes[merged.nodes[d]]->bus->AddMember(node->pipe->context());
+    }
+    cls->nodes[id] = std::move(node);
+  }
+
+  // The private suffix: the residual query wired exactly like a session,
+  // minus the server-scoped knobs (one guard per class, serial dispatch,
+  // server-assigned id bands — see session_builder.h).  Built once per
+  // distinct (class, suffix key); identical registrations join it.
+  if (suffix == nullptr) {
+    auto rt = std::make_unique<SuffixRuntime>();
+    rt->key = std::move(suffix_key);
+    rt->pipe = std::move(residual_pipe);
+    QueryOptions suffix_options = options;
+    suffix_options.guard = false;
+    suffix_options.threads = 0;
+    suffix_options.accept_source_updates = true;
+    SessionWiring wiring = WireSessionPipeline(rt->pipe.get(), suffix_options);
+    rt->display = std::move(wiring.display);
+    rt->trace = wiring.trace;
+    rt->tap = std::make_unique<BatchTap>(rt->pipe.get());
+    FanoutSink* parent = merged.nodes.empty()
+                             ? cls->root_fanout.get()
+                             : cls->nodes[merged.nodes.back()]->fanout.get();
+    parent->AddTarget(rt->tap.get());
+    cls->members.push_back(rt->pipe->context());
+    for (size_t id : merged.nodes) {
+      cls->nodes[id]->bus->AddMember(rt->pipe->context());
+    }
+    cls->suffixes.push_back(std::move(rt));
+    suffix = cls->suffixes.back().get();
+  }
+  suffix->handle_count++;
+
+  auto handle = std::unique_ptr<QueryHandle>(new QueryHandle());
+  handle->server_ = this;
+  handle->class_index_ = class_index;
+  handle->path_ = merged.nodes;
+  handle->suffix_ = suffix;
+  handle->query_ = std::string(query);
+  handle->prefix_signature_ = std::move(keys);
+  for (size_t id : merged.nodes) {
+    handle->shared_stage_count_ += cls->nodes[id]->pipe->stage_count();
+  }
+  handles_.push_back(std::move(handle));
+  return handles_.back().get();
+}
+
+void QueryServer::FlushTaps(StreamClass& cls) {
+  // Ascending node id is topological for the trie, so every node's
+  // buffered input is complete (all ancestors drained) when it flushes;
+  // suffixes only consume node (or root) output, so they go last.
+  for (auto& node : cls.nodes) {
+    if (node == nullptr) continue;
+    node->tap->Flush();
+    node->out->DrainInto(node->fanout.get());
+  }
+  for (auto& suffix : cls.suffixes) suffix->tap->Flush();
+}
+
+void QueryServer::ApplySourceBookkeeping(StreamClass& cls, const Event& e) {
+  // The cross-pipeline mirror of the serial root loop in Pipeline::Push:
+  // every member context must know raw-source lineage and mutability
+  // before the event (or anything after it) is dispatched — including for
+  // events a guard or a prefix step later withholds from that member.
+  // Only these three shapes touch the registries at all, so plain
+  // element/text traffic skips the member fan-out entirely.
+  if (e.kind == EventKind::kStartStream) {
+    for (PipelineContext* ctx : cls.members) {
+      ctx->streams()->RegisterBase(e.id);
+    }
+    return;
+  }
+  if (e.IsUpdateStart()) {
+    bool born_fixed =
+        !cls.accept_source_updates && e.kind == EventKind::kStartMutable;
+    for (PipelineContext* ctx : cls.members) {
+      if (born_fixed) ctx->fix()->SetFixed(e.uid, true);
+      ctx->fix()->OnEvent(e);
+      ctx->streams()->OnEvent(e);
+    }
+    return;
+  }
+  if (e.kind == EventKind::kFreeze) {
+    for (PipelineContext* ctx : cls.members) ctx->fix()->OnEvent(e);
+  }
+}
+
+void QueryServer::Push(Event event) {
+  PushBatch(EventBatch{std::move(event)});
+}
+
+void QueryServer::PushBatch(EventBatch batch) {
+  started_ = true;
+  if (!errors_.ok()) return;
+  for (size_t c = 0; c < classes_.size(); ++c) {
+    StreamClass& cls = *classes_[c];
+    for (const Event& e : batch) ApplySourceBookkeeping(cls, e);
+    // Copy per class, move into the last — the common one-class server
+    // pays nothing extra.
+    EventBatch run = c + 1 == classes_.size() ? std::move(batch)
+                                              : EventBatch(batch);
+    if (cls.guard_pipe != nullptr) {
+      cls.guard_pipe->PushBatch(std::move(run));
+    } else {
+      cls.root_fanout->AcceptBatch(std::move(run));
+    }
+    // The dispatch above only filled the fan-out edge buffers; one flush
+    // pass walks the batch through the DAG and into every answer.
+    FlushTaps(cls);
+  }
+}
+
+void QueryServer::PushAll(const EventVec& events) {
+  PushBatch(EventBatch(events.begin(), events.end()));
+}
+
+Status QueryServer::PushDocument(std::string_view xml) {
+  // Same adapter role PipelineSource plays for a session, but fanned out
+  // through the server's dispatch (and its per-class bookkeeping replay).
+  class ServerSink : public EventSink {
+   public:
+    explicit ServerSink(QueryServer* server) : server_(server) {}
+    void Accept(Event event) override { server_->Push(std::move(event)); }
+    void AcceptBatch(EventBatch batch) override {
+      server_->PushBatch(std::move(batch));
+    }
+
+   private:
+    QueryServer* server_;
+  } sink(this);
+  SaxParser::Options options;
+  options.stream_id = source_id();
+  options.errors = &errors_;
+  SaxParser parser(options, &sink);
+  Status parse = parser.Feed(xml);
+  if (parse.ok()) parse = parser.Finish();
+  XFLUX_RETURN_IF_ERROR(parse);
+  return status();
+}
+
+Status QueryServer::Finish() {
+  started_ = true;
+  for (auto& cls : classes_) {
+    if (cls->guard != nullptr) cls->guard->Finish();
+    // A closing guard may emit repair events (truncated-region closes);
+    // walk them through the DAG like any batch.
+    FlushTaps(*cls);
+  }
+  return status();
+}
+
+const Status& QueryHandle::status() const {
+  // Worst-first, upstream-first: an error anywhere on this query's event
+  // path invalidates the answer, and the most upstream one is the cause.
+  const Status& server = server_->errors_.status();
+  if (!server.ok()) return server;
+  const QueryServer::StreamClass& cls = *server_->classes_[class_index_];
+  if (cls.guard_pipe != nullptr && !cls.guard_pipe->status().ok()) {
+    return cls.guard_pipe->status();
+  }
+  for (size_t id : path_) {
+    const Status& s = cls.nodes[id]->pipe->status();
+    if (!s.ok()) return s;
+  }
+  if (!suffix_->pipe->status().ok()) return suffix_->pipe->status();
+  return suffix_->display->status();
+}
+
+ProtocolGuard* QueryHandle::guard() {
+  return server_->classes_[class_index_]->guard;
+}
+
+QueryServer::SharingStats QueryServer::sharing() const {
+  SharingStats s;
+  s.queries = handles_.size();
+  s.classes = classes_.size();
+  for (const auto& cls : classes_) {
+    s.prefix_nodes += cls->dag.node_count();
+    s.prefix_ops_seen += cls->dag.steps_seen();
+    s.prefix_ops_reused += cls->dag.steps_reused();
+    for (const auto& node : cls->nodes) {
+      if (node != nullptr) s.prefix_stages += node->pipe->stage_count();
+    }
+    for (const auto& suffix : cls->suffixes) {
+      s.distinct_suffixes++;
+      s.suffix_stages += suffix->pipe->stage_count();
+    }
+  }
+  return s;
+}
+
+Metrics QueryServer::AggregateMetrics() const {
+  Metrics total;
+  for (const auto& cls : classes_) {
+    if (cls->guard_pipe != nullptr) {
+      total.MergeFrom(*cls->guard_pipe->context()->metrics());
+    }
+    for (const auto& node : cls->nodes) {
+      if (node != nullptr) total.MergeFrom(*node->pipe->context()->metrics());
+    }
+    for (const auto& suffix : cls->suffixes) {
+      total.MergeFrom(*suffix->pipe->context()->metrics());
+    }
+  }
+  return total;
+}
+
+StatsRegistry QueryServer::BuildStats() const {
+  StatsRegistry out;
+  for (size_t c = 0; c < classes_.size(); ++c) {
+    const StreamClass& cls = *classes_[c];
+    if (cls.guard_pipe != nullptr) {
+      out.Absorb(*cls.guard_pipe->context()->stats(),
+                 "class" + std::to_string(c) + "/");
+    }
+    for (size_t id = 1; id < cls.nodes.size(); ++id) {
+      if (cls.nodes[id] == nullptr) continue;
+      out.Absorb(*cls.nodes[id]->pipe->context()->stats(),
+                 "shared/" + cls.dag.key(id) + "/");
+    }
+    // Structurally identical suffixes fold into one row per stage name.
+    for (const auto& suffix : cls.suffixes) {
+      out.Absorb(*suffix->pipe->context()->stats(), "suffix/",
+                 /*merge_same_name=*/true);
+    }
+  }
+  return out;
+}
+
+std::string QueryServer::StatsTable() const {
+  SharingStats s = sharing();
+  char head[256];
+  std::snprintf(head, sizeof(head),
+                "queries: %zu  stream classes: %zu\n"
+                "shared prefix: %zu nodes, %zu stages "
+                "(hit ratio %.3f: %llu/%llu ops reused)\n"
+                "private suffixes: %zu distinct (%zu stages)\n",
+                s.queries, s.classes, s.prefix_nodes, s.prefix_stages,
+                s.HitRatio(),
+                static_cast<unsigned long long>(s.prefix_ops_reused),
+                static_cast<unsigned long long>(s.prefix_ops_seen),
+                s.distinct_suffixes, s.suffix_stages);
+  return std::string(head) + BuildStats().ToTable();
+}
+
+std::string QueryServer::ToJson() const {
+  SharingStats s = sharing();
+  JsonWriter w = JsonWriter::Object();
+  w.Field("queries", static_cast<uint64_t>(s.queries));
+  w.Field("stream_classes", static_cast<uint64_t>(s.classes));
+  JsonWriter prefix = JsonWriter::Object();
+  prefix.Field("nodes", static_cast<uint64_t>(s.prefix_nodes));
+  prefix.Field("stages", static_cast<uint64_t>(s.prefix_stages));
+  prefix.Field("ops_seen", s.prefix_ops_seen);
+  prefix.Field("ops_reused", s.prefix_ops_reused);
+  prefix.Field("hit_ratio", s.HitRatio());
+  w.Raw("prefix", prefix.Close());
+  w.Field("distinct_suffixes", static_cast<uint64_t>(s.distinct_suffixes));
+  w.Field("suffix_stages", static_cast<uint64_t>(s.suffix_stages));
+  w.Raw("metrics", AggregateMetrics().ToJson());
+  JsonWriter queries = JsonWriter::Array();
+  for (const auto& h : handles_) {
+    JsonWriter q = JsonWriter::Object();
+    q.Field("query", h->query());
+    JsonWriter sig = JsonWriter::Array();
+    for (const std::string& op : h->prefix_signature_) sig.Element(op);
+    q.Raw("prefix_signature", sig.Close());
+    q.Field("shared_stages", static_cast<uint64_t>(h->shared_stage_count()));
+    q.Field("suffix_stages", static_cast<uint64_t>(h->suffix_stage_count()));
+    q.Field("status", h->status().ToString());
+    queries.RawElement(q.Close());
+  }
+  w.Raw("per_query", queries.Close());
+  return w.Close();
+}
+
+}  // namespace xflux

@@ -1,0 +1,376 @@
+// Shared multi-query execution over one update stream (ROADMAP item 1;
+// DESIGN.md §9).
+//
+// N standing queries over the same stream mostly differ in their tails:
+// the leading descendant/child spine — the part the paper's SPEX
+// comparator evaluates as an automaton prefix — is shared vocabulary
+// (`X//europe//item[location="Albania"]/…`).  A QueryServer exploits
+// that: each registered query is split into a shareable leading spine and
+// a private residual (SplitForSharedPrefix), the spines are merged into a
+// prefix DAG keyed by canonical `(op, Symbol)` signatures (SpexPrefixDag),
+// and every input batch is dispatched exactly once per DAG node.  Each DAG
+// node runs the exact stage group the standalone compiler would have
+// emitted (CompilePrefixStep), rooted at stream 0 on both sides, so
+// chaining nodes and then a query's suffix pipeline reproduces the
+// standalone session's event stream — and therefore its answer — byte for
+// byte.  A FanoutSink at each node hands the node's output to every
+// consumer in deterministic registration order; each fan-out edge buffers
+// (BatchTap) and is flushed once per source batch, so cross-pipeline
+// hand-off cost is paid per batch, not per event.  Registrations that are
+// identical end to end share their suffix runtime outright (SuffixRuntime)
+// — result sharing on top of prefix sharing.
+//
+// Queries whose guard/accept configuration differs cannot share a stream
+// (a kDropRegion guard rewrites what its queries see), so the server
+// groups registrations into *stream classes*: one optional ProtocolGuard
+// plus one prefix DAG per distinct (guard, guard options,
+// accept_source_updates) tuple.  A guard failure poisons its class only;
+// sibling queries in other classes — and other queries' suffixes in the
+// same class — keep running (suffix errors stay per-suffix).
+//
+// Id management: every pipeline segment mints region ids from a disjoint
+// band — prefix nodes at depth d from
+// [kNodeBandBase + d·kNodeBandSpan, …), suffixes from kSuffixFirstDynamicId
+// up — so an id observed downstream means the same thing it meant in the
+// segment that minted it.  Segment-crossing registry knowledge that does
+// not travel with events (SetImmutable/AddPartner declarations, raw
+// source-event bookkeeping) is forwarded explicitly: per-node fact buses
+// deliver stage-asserted facts to the node's transitive consumers, and the
+// server replays source update-bracket/freeze bookkeeping into every
+// member context of a class before dispatching the batch — the same
+// full-push lookahead a serial session's root loop provides.
+
+#ifndef XFLUX_XQUERY_QUERY_SERVER_H_
+#define XFLUX_XQUERY_QUERY_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/fanout_sink.h"
+#include "core/pipeline.h"
+#include "core/protocol_guard.h"
+#include "core/result_display.h"
+#include "core/trace_sink.h"
+#include "spex/spex_engine.h"
+#include "util/error_channel.h"
+#include "util/metrics.h"
+#include "util/stage_stats.h"
+#include "util/status.h"
+#include "xquery/compiler.h"
+#include "xquery/session_builder.h"
+
+namespace xflux {
+
+class QueryServer;
+
+/// A buffering edge between a fan-out point and a consumer pipeline.
+/// Events accumulate as the producer emits; the server delivers the
+/// buffer with one PushSegment per source batch (Flush).  Each consumer
+/// still observes exactly the sequence the producer emitted, event by
+/// event — buffering only amortizes the per-event cross-pipeline entry
+/// cost, it never introduces registry lookahead (see PushSegment).
+class BatchTap : public EventSink {
+ public:
+  explicit BatchTap(Pipeline* pipeline) : pipeline_(pipeline) {}
+
+  void Accept(Event event) override { buffer_.push_back(std::move(event)); }
+  void AcceptBatch(EventBatch batch) override {
+    if (buffer_.empty()) {
+      buffer_ = std::move(batch);
+    } else {
+      buffer_.insert(buffer_.end(), std::make_move_iterator(batch.begin()),
+                     std::make_move_iterator(batch.end()));
+    }
+  }
+
+  /// Delivers everything buffered since the last flush; no-op when empty.
+  void Flush() {
+    if (buffer_.empty()) return;
+    EventBatch out = std::move(buffer_);
+    buffer_.clear();
+    pipeline_->PushSegment(std::move(out));
+  }
+
+ private:
+  Pipeline* pipeline_;
+  EventBatch buffer_;
+};
+
+/// Accumulates a pipeline segment's output between flushes, so a fan-out
+/// point receives one AcceptBatch per source batch instead of one
+/// virtual Accept per event per consumer.
+class CollectorSink : public EventSink {
+ public:
+  void Accept(Event event) override { buffer_.push_back(std::move(event)); }
+  void AcceptBatch(EventBatch batch) override {
+    if (buffer_.empty()) {
+      buffer_ = std::move(batch);
+    } else {
+      buffer_.insert(buffer_.end(), std::make_move_iterator(batch.begin()),
+                     std::make_move_iterator(batch.end()));
+    }
+  }
+
+  /// Hands everything collected to `sink` as one batch; no-op when empty.
+  void DrainInto(EventSink* sink) {
+    if (buffer_.empty()) return;
+    EventBatch out = std::move(buffer_);
+    buffer_.clear();
+    sink->AcceptBatch(std::move(out));
+  }
+
+ private:
+  EventBatch buffer_;
+};
+
+/// One materialized residual pipeline with its display — the private part
+/// of a registered query.  Registrations that are byte-identical in
+/// suffix-relevant configuration (query text, display options,
+/// instrumentation, trace capacity) within one stream class share a
+/// single runtime: their handles expose the same pipeline/display (and
+/// therefore the same answer object), and the suffix work is paid once.
+struct SuffixRuntime {
+  std::string key;  ///< query text + suffix-relevant options tuple
+  std::unique_ptr<Pipeline> pipe;
+  std::unique_ptr<BatchTap> tap;  ///< parent fanout → suffix bridge
+  std::unique_ptr<ResultDisplay> display;
+  TraceSink* trace = nullptr;  ///< owned by the pipeline; may be null
+  size_t handle_count = 0;     ///< handles sharing this runtime
+};
+
+/// Lowest id a shared prefix node at depth 0 allocates from; depth d nodes
+/// use kNodeBandBase + d * kNodeBandSpan.  Must clear the source id range
+/// and the construction span of any default-banded pipeline.
+inline constexpr StreamId kNodeBandBase = 1u << 26;
+inline constexpr StreamId kNodeBandSpan = 1u << 25;
+/// Id band shared by every per-query suffix pipeline, above all node
+/// bands.  Suffixes of different queries never exchange events, so one
+/// band serves them all.
+inline constexpr StreamId kSuffixFirstDynamicId = 1u << 31;
+
+/// One registered query's view of the server: the same answer / status /
+/// metrics surface a QuerySession exposes, plus what the query shares.
+/// Owned by the server; valid until the server is destroyed.
+class QueryHandle {
+ public:
+  const std::string& query() const { return query_; }
+
+  /// The current answer text / events.  Handles of identical
+  /// registrations read from one shared display (see SuffixRuntime).
+  StatusOr<std::string> CurrentText() const {
+    return suffix_->display->CurrentText();
+  }
+  EventVec CurrentEvents() const { return suffix_->display->CurrentEvents(); }
+
+  /// This query's combined health, worst-first: a server-level error, the
+  /// stream class's guard error, an error in a shared prefix node on this
+  /// query's path, the suffix pipeline's first error, or the display's
+  /// latched protocol error.  OK means the answer is live.
+  const Status& status() const;
+
+  /// The query's suffix pipeline (its metrics/stats cover the suffix
+  /// stages only; shared-prefix work is accounted at the server).  Shared
+  /// with any handle registered identically — see shares_suffix().
+  Pipeline* pipeline() { return suffix_->pipe.get(); }
+  ResultDisplay* display() { return suffix_->display.get(); }
+  Metrics* metrics() { return suffix_->pipe->context()->metrics(); }
+  StatsRegistry* stats() { return suffix_->pipe->context()->stats(); }
+
+  /// True when another identical registration shares this query's suffix
+  /// runtime (pipeline, display, metrics).
+  bool shares_suffix() const { return suffix_->handle_count > 1; }
+
+  /// The trace tap, or nullptr when Options::trace_capacity was 0.
+  TraceSink* trace() { return suffix_->trace; }
+
+  /// The *shared* protocol guard of this query's stream class, or nullptr
+  /// when the query registered unguarded.
+  ProtocolGuard* guard();
+
+  /// Errors latched by the display (protocol violations).
+  const Status& display_status() const { return suffix_->display->status(); }
+
+  /// The canonical signatures of the prefix ops this query shares, in
+  /// execution order; empty when nothing was extractable.
+  const std::vector<std::string>& prefix_signature() const {
+    return prefix_signature_;
+  }
+  /// Stages the shared DAG runs on this query's behalf (its path through
+  /// the prefix), vs the stages in its private suffix.
+  size_t shared_stage_count() const { return shared_stage_count_; }
+  size_t suffix_stage_count() const { return suffix_->pipe->stage_count(); }
+
+ private:
+  friend class QueryServer;
+  QueryHandle() = default;
+
+  QueryServer* server_ = nullptr;
+  size_t class_index_ = 0;
+  std::vector<size_t> path_;       // DAG node ids, execution order
+  SuffixRuntime* suffix_ = nullptr;  // owned by the stream class
+  std::string query_;
+  std::vector<std::string> prefix_signature_;
+  size_t shared_stage_count_ = 0;
+};
+
+/// Executes N registered queries over one input stream, evaluating shared
+/// leading work once.  Usage:
+///
+///   QueryServer server;
+///   auto* q1 = server.Register("X//item[location=\"Albania\"]/quantity");
+///   auto* q2 = server.Register("X//item[location=\"Albania\"]/name");
+///   server.PushDocument(xml);           // one pass, both answers
+///   q1.value()->CurrentText();
+///
+/// Registration must complete before the first event (the fan-out wiring
+/// freezes at streaming start).  Dispatch is serial: sharing, not thread
+/// parallelism, is where the aggregate speedup comes from — see
+/// session_builder.h for which QueryOptions knobs the server overrides.
+class QueryServer {
+ public:
+  QueryServer();
+  ~QueryServer();
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  /// Compiles and wires one query; the handle stays valid for the
+  /// server's lifetime.  Fails after streaming has started.
+  StatusOr<QueryHandle*> Register(std::string_view query,
+                                  const QueryOptions& options = {});
+
+  size_t query_count() const { return handles_.size(); }
+  QueryHandle* handle(size_t i) { return handles_[i].get(); }
+
+  /// Injects source events; each batch traverses every shared prefix node
+  /// exactly once.  All registered queries consume the same stream.
+  void Push(Event event);
+  void PushBatch(EventBatch batch);
+  void PushAll(const EventVec& events);
+
+  /// Tokenizes and pushes a whole XML document (stream 0, sS/eS
+  /// brackets).  Returns the first parse or server error.
+  Status PushDocument(std::string_view xml);
+
+  /// End-of-input: lets every stream class's guard close truncated
+  /// regions, then returns status().
+  Status Finish();
+
+  /// Server-level health (registration/parse failures).  Per-query health
+  /// lives on the handles — one query's guard escalation does not poison
+  /// the server.
+  const Status& status() const { return errors_.status(); }
+
+  StreamId source_id() const { return 0; }
+
+  /// Work-sharing rollup across all stream classes.
+  struct SharingStats {
+    size_t queries = 0;
+    size_t classes = 0;
+    size_t prefix_nodes = 0;       ///< distinct shared DAG nodes
+    size_t prefix_stages = 0;      ///< dedup'd stages those nodes run
+    size_t distinct_suffixes = 0;  ///< suffix runtimes after dedup
+    size_t suffix_stages = 0;      ///< stages across distinct suffixes
+    uint64_t prefix_ops_seen = 0;  ///< spine ops offered at Register time
+    uint64_t prefix_ops_reused = 0;  ///< … that landed on existing nodes
+    /// Shared-prefix hit ratio: reused / seen, 0 while empty.
+    double HitRatio() const {
+      return prefix_ops_seen == 0 ? 0.0
+                                  : static_cast<double>(prefix_ops_reused) /
+                                        static_cast<double>(prefix_ops_seen);
+    }
+  };
+  SharingStats sharing() const;
+
+  /// Counters summed over every segment the server runs: class guards,
+  /// shared prefix nodes, and all per-query suffixes (incl. displays).
+  Metrics AggregateMetrics() const;
+
+  /// Two-level stats rollup: one row per shared node stage (prefixed with
+  /// its DAG signature), plus per-stage rows aggregated across all
+  /// suffixes by stage name ("suffix/<name>", StageStats::MergeFrom).
+  /// Counters only advance for queries registered with instrumentation.
+  StatsRegistry BuildStats() const;
+
+  /// The server-level stats table `xflux_inspect --server` prints:
+  /// sharing summary plus the BuildStats rows.
+  std::string StatsTable() const;
+
+  /// Server rollup as one JSON object: sharing counters, aggregate
+  /// metrics, and a per-query array (query, prefix signature, stage
+  /// split, status).
+  std::string ToJson() const;
+
+ private:
+  friend class QueryHandle;
+
+  /// Delivers one prefix node's stage-asserted registry facts
+  /// (SetImmutable / AddPartner) to the contexts consuming that node's
+  /// output: its transitive descendant nodes and their suffixes.  Members
+  /// only receive — suffixes have no bus installed, so nothing loops.
+  class SubtreeBus : public FactBroadcaster {
+   public:
+    void AddMember(PipelineContext* ctx) { members_.push_back(ctx); }
+    void Broadcast(const RegistryFact& fact) override;
+
+   private:
+    std::vector<PipelineContext*> members_;
+  };
+
+  /// One node of a class's prefix DAG (parallel to SpexPrefixDag ids).
+  struct NodeRuntime {
+    std::unique_ptr<Pipeline> pipe;
+    std::unique_ptr<CollectorSink> out;  // the pipe's sink
+    std::unique_ptr<FanoutSink> fanout;  // consumers; fed from `out`
+    std::unique_ptr<BatchTap> tap;       // parent fanout → pipe bridge
+    std::unique_ptr<SubtreeBus> bus;
+    size_t depth = 0;
+  };
+
+  /// Queries sharing one input configuration: one optional guard, one
+  /// prefix DAG, one fan-out root.
+  struct StreamClass {
+    std::string key;  // serialized (guard, guard options, accept) tuple
+    bool accept_source_updates = true;
+    std::unique_ptr<Pipeline> guard_pipe;  // nullptr when unguarded
+    ProtocolGuard* guard = nullptr;        // owned by guard_pipe
+    std::unique_ptr<FanoutSink> root_fanout;
+    SpexPrefixDag dag;
+    /// nodes[id] for DAG node id; [0] (the root) stays null.  Trie
+    /// children always carry a larger id than their parent, so ascending
+    /// id order is a topological order — FlushTaps relies on that.
+    std::vector<std::unique_ptr<NodeRuntime>> nodes;
+    /// Distinct suffix runtimes, in first-registration order (dedup key
+    /// in SuffixRuntime::key).
+    std::vector<std::unique_ptr<SuffixRuntime>> suffixes;
+    /// Every context fed from this class (guard, nodes, suffixes): the
+    /// targets of the per-push raw source-event bookkeeping replay.
+    std::vector<PipelineContext*> members;
+  };
+
+  StreamClass* ClassFor(const QueryOptions& options);
+
+  /// Drains every buffered fan-out edge of `cls`, parents before
+  /// children (ascending node id), suffixes last — one call delivers a
+  /// whole source batch through the entire DAG.
+  static void FlushTaps(StreamClass& cls);
+
+  /// Replays one raw source event's registry effects into every member
+  /// context of `cls` — the cross-pipeline equivalent of the serial root
+  /// loop in Pipeline::PushBatch, including the born-fixed rule when the
+  /// class rejects source updates.  Only sS / update-start / freeze events
+  /// touch registries, so plain element/text traffic pays nothing here.
+  static void ApplySourceBookkeeping(StreamClass& cls, const Event& e);
+
+  std::vector<std::unique_ptr<StreamClass>> classes_;
+  std::vector<std::unique_ptr<QueryHandle>> handles_;
+  ErrorChannel errors_;
+  bool started_ = false;
+  bool any_instrumentation_ = false;
+};
+
+}  // namespace xflux
+
+#endif  // XFLUX_XQUERY_QUERY_SERVER_H_

@@ -1,0 +1,44 @@
+#include "xquery/session_builder.h"
+
+#include <cstdio>
+#include <utility>
+
+namespace xflux {
+
+SessionWiring WireSessionPipeline(Pipeline* pipeline,
+                                  const QueryOptions& options) {
+  SessionWiring wiring;
+  pipeline->set_accept_source_updates(options.accept_source_updates);
+  pipeline->context()->set_instrumentation(options.instrumentation);
+  if (options.trace_capacity > 0) {
+    wiring.trace = pipeline->AddStage<TraceSink>(
+        pipeline->context(),
+        TraceSink::Options{options.trace_capacity, "trace"});
+  }
+  if (options.guard) {
+    auto guard = std::make_unique<ProtocolGuard>(pipeline->context(),
+                                                 options.guard_options);
+    wiring.guard = guard.get();
+    pipeline->InsertFront(std::move(guard));
+  }
+  wiring.display = std::make_unique<ResultDisplay>(
+      options.display, pipeline->context()->metrics());
+  if (wiring.trace != nullptr) {
+    TraceSink* trace = wiring.trace;
+    wiring.display->SetOnError([trace](const Status& status) {
+      std::fprintf(stderr, "display protocol error: %s\n%s",
+                   status.ToString().c_str(), trace->Dump().c_str());
+    });
+  }
+  pipeline->SetSink(wiring.display.get());
+  if (options.threads > 0) {
+    ParallelOptions parallel;
+    parallel.threads = options.threads;
+    parallel.queue_capacity = options.queue_capacity;
+    parallel.batch_events = options.batch_events;
+    pipeline->EnableParallel(parallel);
+  }
+  return wiring;
+}
+
+}  // namespace xflux

@@ -1,0 +1,103 @@
+// The one place a query pipeline gets wired into a runnable session: the
+// shared options struct, the guard → trace → display splice, and the
+// producer→pipeline bridge.  Both QuerySession::Open and
+// QueryServer::Register build on this, so the two entry points cannot
+// drift apart in how they assemble a query.
+
+#ifndef XFLUX_XQUERY_SESSION_BUILDER_H_
+#define XFLUX_XQUERY_SESSION_BUILDER_H_
+
+#include <cstddef>
+#include <memory>
+
+#include "core/pipeline.h"
+#include "core/protocol_guard.h"
+#include "core/result_display.h"
+#include "core/trace_sink.h"
+
+namespace xflux {
+
+/// Everything configurable about one query, in one place.  Used verbatim
+/// by QuerySession::Open (as `QuerySession::Options`) and by
+/// QueryServer::Register.
+///
+/// Under a server, per-query knobs (display, instrumentation,
+/// trace_capacity) are honored for the query's private suffix pipeline,
+/// while execution-level knobs are server-scoped and override the
+/// per-query values:
+///  - `threads` / `queue_capacity` / `batch_events`: the server dispatches
+///    the shared prefix serially (work sharing, not thread parallelism),
+///    so these are ignored per query;
+///  - `first_dynamic_id`: the server assigns each pipeline segment its own
+///    id band, so this is ignored per query;
+///  - `guard` / `guard_options` / `accept_source_updates`: honored, but
+///    shared — queries with equal values share one guarded stream class
+///    (and one ProtocolGuard instance; its ResourceLimits meter that
+///    class, not a single query).
+struct QueryOptions {
+  ResultDisplay::Options display;  ///< rendering of the live answer
+  /// When false, mutable regions from the source are classified fixed at
+  /// injection — source updates are ignored (Section V).
+  bool accept_source_updates = true;
+  /// First stream id the pipeline allocates; must be above every id the
+  /// source uses.
+  StreamId first_dynamic_id = kDefaultFirstDynamicId;
+  /// Per-stage StageStats counting/timing (see util/stage_stats.h).
+  bool instrumentation = false;
+  /// When > 0, a TraceSink tap with this ring capacity is inserted just
+  /// before the display and its window is dumped to stderr if the display
+  /// latches a protocol error.
+  size_t trace_capacity = 0;
+  /// When true, a ProtocolGuard is spliced in front of the compiled
+  /// pipeline: source events are validated against WF_i and the
+  /// update-bracket discipline before any operator sees them, and
+  /// `guard_options` decides what happens on a violation.
+  bool guard = false;
+  ProtocolGuard::Options guard_options;
+  /// Worker threads for pipeline-parallel execution (0 = serial, the
+  /// default).  Parallel output is deterministically identical to
+  /// serial; with threads > 0 the live answer (CurrentText /
+  /// CurrentEvents / metrics) is only defined once Finish() has drained
+  /// the run — PushDocument drains internally, so whole-document callers
+  /// never notice.
+  int threads = 0;
+  /// Queue sizing for threads > 0 (bounded SPSC batch queues).
+  size_t queue_capacity = 64;
+  size_t batch_events = 64;
+};
+
+/// Bridges an event producer (e.g. the SAX tokenizer) to a pipeline.
+/// Engine plumbing, not public API — sessions and the server expose
+/// Push/PushDocument instead.
+class PipelineSource : public EventSink {
+ public:
+  explicit PipelineSource(Pipeline* pipeline) : pipeline_(pipeline) {}
+  void Accept(Event event) override { pipeline_->Push(std::move(event)); }
+  void AcceptBatch(EventBatch batch) override {
+    pipeline_->PushBatch(std::move(batch));
+  }
+
+ private:
+  Pipeline* pipeline_;
+};
+
+/// The stages WireSessionPipeline spliced in, for the caller to surface.
+/// The display is owned by the caller (it is the pipeline's sink, not a
+/// stage); trace and guard are owned by the pipeline.
+struct SessionWiring {
+  std::unique_ptr<ResultDisplay> display;
+  TraceSink* trace = nullptr;
+  ProtocolGuard* guard = nullptr;
+};
+
+/// Applies `options` to a compiled pipeline: accept/instrumentation
+/// flags, the optional trace tap, the optional protocol guard in front,
+/// the result display as sink (with the trace-dump error hook), and —
+/// when options.threads > 0 — the threaded executor.  The pipeline is
+/// ready for events on return.
+SessionWiring WireSessionPipeline(Pipeline* pipeline,
+                                  const QueryOptions& options);
+
+}  // namespace xflux
+
+#endif  // XFLUX_XQUERY_SESSION_BUILDER_H_

@@ -16,6 +16,7 @@
 #include "util/text_ref.h"
 #include "xml/sax_parser.h"
 #include "xquery/engine.h"
+#include "xquery/session_builder.h"
 
 namespace xflux {
 namespace {

@@ -1,0 +1,524 @@
+// QueryServer tests:
+//
+//  1. Prefix extraction — SplitForSharedPrefix lifts exactly the shareable
+//     leading spine (and refuses what it must), with canonical
+//     (op, Symbol) signatures; SpexPrefixDag merges signature paths and
+//     counts reuse; SpexEngine::ParseSignatures exposes the same keys for
+//     SPEX patterns.
+//  2. The server contract: per-query answers byte-identical to N
+//     independent QuerySessions over the same stream — across every query
+//     class of the property sweeps, the accept/reject configurations, and
+//     the hostile fault corpus under all three guard policies.
+//  3. Isolation and lifecycle: a poisoned stream class leaves sibling
+//     classes' answers (and the server itself) healthy; registration is
+//     frozen at the first push; per-query knobs keep working under the
+//     server.
+
+#include <cstdlib>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/protocol_guard.h"
+#include "spex/spex_engine.h"
+#include "test_util.h"
+#include "testing/fault_injector.h"
+#include "xquery/compiler.h"
+#include "xquery/engine.h"
+#include "xquery/parser.h"
+#include "xquery/query_server.h"
+
+namespace xflux {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SplitForSharedPrefix.
+
+std::vector<std::string> SplitSignatures(const char* query) {
+  auto ast = ParseQuery(query);
+  EXPECT_TRUE(ast.ok()) << query << ": " << ast.status();
+  if (!ast.ok()) return {};
+  PrefixSplit split = SplitForSharedPrefix(std::move(ast.value()));
+  EXPECT_NE(split.residual, nullptr) << query;
+  std::vector<std::string> keys;
+  for (const PrefixStep& op : split.prefix) keys.push_back(op.signature);
+  return keys;
+}
+
+TEST(PrefixSplit, LiftsWholeSpineWithCanonicalSignatures) {
+  EXPECT_EQ(SplitSignatures("X//book[author=\"Smith\"]/title"),
+            (std::vector<std::string>{"desc(book)",
+                                      "pred(./child(author)=\"Smith\")",
+                                      "child(title)"}));
+  EXPECT_EQ(SplitSignatures("X//book/price"),
+            (std::vector<std::string>{"desc(book)", "child(price)"}));
+}
+
+TEST(PrefixSplit, SpineUnderAggregatesAndFlworIsExtractable) {
+  // The aggregate / FLWOR head stays in the residual; its input spine
+  // lifts.
+  EXPECT_EQ(SplitSignatures("count(X//book)"),
+            (std::vector<std::string>{"desc(book)"}));
+  EXPECT_EQ(SplitSignatures("for $b in X//book where $b/author = \"Smith\" "
+                            "return <hit>{ $b/price }</hit>"),
+            (std::vector<std::string>{"desc(book)"}));
+}
+
+TEST(PrefixSplit, PeeledFlworFiltersStayInResidual) {
+  // Filters directly under a FLWOR `in` clause are peeled to tuple scope
+  // by the compiler (they run after the return transform); extracting them
+  // would change semantics, so the spine stops below them.
+  EXPECT_EQ(SplitSignatures("for $b in X//book[author=\"Smith\"] "
+                            "return $b/title"),
+            (std::vector<std::string>{"desc(book)"}));
+}
+
+TEST(PrefixSplit, RefusesBackwardAxesAndBranchingQueries) {
+  // A sequence constructor has two stream leaves: no single spine.
+  EXPECT_TRUE(SplitSignatures("<r>{ X//a, X//b }</r>").empty());
+}
+
+TEST(PrefixSplit, EqualSpinesYieldEqualSignatures) {
+  auto a = SplitSignatures("X//book[author=\"Smith\"]/title");
+  auto b = SplitSignatures("X//book[author=\"Smith\"]/price");
+  ASSERT_EQ(a.size(), 3u);
+  ASSERT_EQ(b.size(), 3u);
+  EXPECT_EQ(a[0], b[0]);
+  EXPECT_EQ(a[1], b[1]);
+  EXPECT_NE(a[2], b[2]);
+}
+
+TEST(PrefixSplit, ResidualCompilesAndAnswers) {
+  // Splitting must never break the residual: compile it standalone and
+  // make sure a full-extraction residual (bare stream) still wires up.
+  auto ast = ParseQuery("X//book/price");
+  ASSERT_TRUE(ast.ok());
+  PrefixSplit split = SplitForSharedPrefix(std::move(ast.value()));
+  EXPECT_EQ(split.prefix.size(), 2u);
+  auto compiled = CompileAst(*split.residual);
+  ASSERT_TRUE(compiled.ok()) << compiled.status();
+}
+
+// ---------------------------------------------------------------------------
+// SpexPrefixDag.
+
+TEST(SpexPrefixDag, MergesCommonPrefixesAndCountsReuse) {
+  SpexPrefixDag dag;
+  auto first = dag.AddPath({"desc(a)", "child(b)", "child(c)"});
+  EXPECT_EQ(first.reused, 0u);
+  EXPECT_EQ(first.added, 3u);
+  auto second = dag.AddPath({"desc(a)", "child(b)", "child(d)"});
+  EXPECT_EQ(second.reused, 2u);
+  EXPECT_EQ(second.added, 1u);
+  EXPECT_EQ(dag.node_count(), 4u);
+  EXPECT_EQ(dag.steps_seen(), 6u);
+  EXPECT_EQ(dag.steps_reused(), 2u);
+  EXPECT_DOUBLE_EQ(dag.SharedRatio(), 2.0 / 6.0);
+  // Shared interior nodes are literally the same node ids.
+  EXPECT_EQ(first.nodes[0], second.nodes[0]);
+  EXPECT_EQ(first.nodes[1], second.nodes[1]);
+  EXPECT_NE(first.nodes[2], second.nodes[2]);
+  EXPECT_EQ(dag.key(first.nodes[1]), "child(b)");
+  EXPECT_EQ(dag.parent(second.nodes[2]), second.nodes[1]);
+  EXPECT_EQ(dag.hits(first.nodes[0]), 2u);
+}
+
+TEST(SpexPrefixDag, IdenticalPathsShareEverything) {
+  SpexPrefixDag dag;
+  dag.AddPath({"desc(a)", "child(b)"});
+  auto again = dag.AddPath({"desc(a)", "child(b)"});
+  EXPECT_EQ(again.reused, 2u);
+  EXPECT_EQ(again.added, 0u);
+  EXPECT_EQ(dag.node_count(), 2u);
+}
+
+TEST(SpexSignatures, PatternStepsExposeDagKeys) {
+  auto sigs =
+      SpexEngine::ParseSignatures("X//item[location=\"Albania\"]/quantity");
+  ASSERT_TRUE(sigs.ok()) << sigs.status();
+  ASSERT_EQ(sigs.value().size(), 2u);
+  EXPECT_EQ(sigs.value()[0].Key(),
+            "desc(item)[location=\"Albania\"]");
+  EXPECT_EQ(sigs.value()[1].Key(), "child(quantity)");
+  EXPECT_FALSE(sigs.value()[0].symbol.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Server vs N sessions: byte-identical answers.
+
+struct QueryOutput {
+  bool text_ok = false;
+  std::string text;
+  StatusCode code = StatusCode::kOk;
+};
+
+struct RunConfig {
+  bool accept_source_updates = true;
+  bool guard = false;
+  ProtocolGuard::Policy policy = ProtocolGuard::Policy::kFailFast;
+  bool instrumentation = false;
+};
+
+QueryOptions MakeOptions(const RunConfig& config) {
+  QueryOptions options;
+  options.accept_source_updates = config.accept_source_updates;
+  options.guard = config.guard;
+  options.guard_options.policy = config.policy;
+  options.instrumentation = config.instrumentation;
+  return options;
+}
+
+QueryOutput Capture(const StatusOr<std::string>& text, const Status& status) {
+  QueryOutput out;
+  out.text_ok = text.ok();
+  if (text.ok()) out.text = text.value();
+  out.code = status.code();
+  return out;
+}
+
+std::vector<QueryOutput> RunSessions(const std::vector<const char*>& queries,
+                                     const EventVec& input,
+                                     const RunConfig& config) {
+  std::vector<QueryOutput> outputs;
+  for (const char* query : queries) {
+    auto session = QuerySession::Open(query, MakeOptions(config));
+    if (!session.ok()) {
+      ADD_FAILURE() << query << ": " << session.status();
+      outputs.emplace_back();
+      continue;
+    }
+    session.value()->PushAll(input);
+    session.value()->Finish();
+    if (config.guard) session.value()->guard()->Finish();
+    outputs.push_back(Capture(session.value()->CurrentText(),
+                              session.value()->status()));
+  }
+  return outputs;
+}
+
+std::vector<QueryOutput> RunServer(const std::vector<const char*>& queries,
+                                   const EventVec& input,
+                                   const RunConfig& config) {
+  QueryServer server;
+  std::vector<QueryHandle*> handles;
+  for (const char* query : queries) {
+    auto handle = server.Register(query, MakeOptions(config));
+    if (!handle.ok()) {
+      ADD_FAILURE() << query << ": " << handle.status();
+      return {};
+    }
+    handles.push_back(handle.value());
+  }
+  server.PushAll(input);
+  server.Finish();
+  std::vector<QueryOutput> outputs;
+  for (QueryHandle* h : handles) {
+    outputs.push_back(Capture(h->CurrentText(), h->status()));
+  }
+  return outputs;
+}
+
+void ExpectSameAnswers(const std::vector<const char*>& queries,
+                       const EventVec& input, const RunConfig& config,
+                       uint64_t seed) {
+  std::vector<QueryOutput> sessions = RunSessions(queries, input, config);
+  std::vector<QueryOutput> server = RunServer(queries, input, config);
+  ASSERT_EQ(server.size(), sessions.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(server[i].text_ok, sessions[i].text_ok)
+        << queries[i] << " seed " << seed;
+    EXPECT_EQ(server[i].text, sessions[i].text) << queries[i] << " seed "
+                                                << seed;
+    EXPECT_EQ(server[i].code, sessions[i].code) << queries[i] << " seed "
+                                                << seed;
+  }
+}
+
+// Every query class from the property sweeps (see parallel_test.cc) — the
+// sharing transformation must be invisible at the answer level for all of
+// them, registered together on one server.
+const std::vector<const char*>& AllQueryClasses() {
+  static const std::vector<const char*> kQueries = {
+      "X//book[author=\"Smith\"]/title",
+      "count(X//book[author=\"Smith\"])",
+      "X//book[publisher=\"Wiley\"][author=\"Smith\"]/price",
+      "X//author",
+      "X//book/price",
+      "count(X//book)",
+      "sum(X//price)",
+      "for $b in X//book where $b/author = \"Smith\" "
+      "return <hit>{ $b/price }</hit>",
+      "for $b in X//book order by $b/price return $b/author",
+      "<all>{ for $b in X//book return <b>{ $b/author, $b/price }</b> }</all>",
+  };
+  return kQueries;
+}
+
+TEST(QueryServerEquivalence, AllQueryClassesMatchSessionsByteForByte) {
+  for (uint64_t seed = 1; seed <= 15; ++seed) {
+    RandomStream stream = MakeRandomBookStream(seed);
+    ExpectSameAnswers(AllQueryClasses(), stream.events, RunConfig{}, seed);
+    if (HasNonfatalFailure()) return;  // first repro is enough
+  }
+}
+
+TEST(QueryServerEquivalence, RejectedSourceUpdatesMatchSessions) {
+  RunConfig config;
+  config.accept_source_updates = false;
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    RandomStream stream = MakeRandomBookStream(seed);
+    ExpectSameAnswers(AllQueryClasses(), stream.events, config, seed);
+    if (HasNonfatalFailure()) return;
+  }
+}
+
+TEST(QueryServerEquivalence, InstrumentedRunsMatchAndCount) {
+  RunConfig config;
+  config.instrumentation = true;
+  RandomStream stream = MakeRandomBookStream(7);
+  ExpectSameAnswers(AllQueryClasses(), stream.events, config, 7);
+
+  QueryServer server;
+  auto handle = server.Register("X//book/price", MakeOptions(config));
+  ASSERT_TRUE(handle.ok());
+  server.PushAll(stream.events);
+  StatsRegistry stats = server.BuildStats();
+  ASSERT_GT(stats.size(), 0u);
+  uint64_t total_in = 0;
+  for (size_t i = 0; i < stats.size(); ++i) total_in += stats.stage(i).events_in();
+  EXPECT_GT(total_in, 0u);
+  EXPECT_NE(server.StatsTable().find("shared/"), std::string::npos);
+}
+
+TEST(QueryServerEquivalence, UpdateStreamsMatchSessions) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    EventVec input = RandomUpdateStream(seed);
+    ExpectSameAnswers(AllQueryClasses(), input, RunConfig{}, seed);
+    if (HasNonfatalFailure()) return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fault corpus: hostile mutated streams, all three guard policies.
+
+int FaultSeedCount() {
+  if (const char* env = std::getenv("XFLUX_FAULT_ITERS")) {
+    int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return 100;  // CI fuzz-smoke raises this to 500
+}
+
+class ServerFaultEquivalence : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ServerFaultEquivalence, MutatedStreamsAnswerIdentically) {
+  const char* query = GetParam();
+  constexpr ProtocolGuard::Policy kPolicies[] = {
+      ProtocolGuard::Policy::kFailFast, ProtocolGuard::Policy::kDropRegion,
+      ProtocolGuard::Policy::kResync};
+  const int seeds = FaultSeedCount();
+  const std::vector<const char*> queries = {query};
+  for (int seed = 1; seed <= seeds; ++seed) {
+    EventVec clean = RandomUpdateStream(static_cast<uint64_t>(seed));
+    FaultSpec spec = ParseFaultSpec(seed % 2 == 0 ? "heavy" : "light").value();
+    for (ProtocolGuard::Policy policy : kPolicies) {
+      EventVec mutated = MutateStream(
+          clean, spec,
+          static_cast<uint64_t>(seed) * 31 + static_cast<int>(policy),
+          nullptr);
+      RunConfig config;
+      config.guard = true;
+      config.policy = policy;
+      ExpectSameAnswers(queries, mutated, config,
+                        static_cast<uint64_t>(seed));
+      if (HasFatalFailure() || HasNonfatalFailure()) return;  // first repro
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    HostileQueries, ServerFaultEquivalence,
+    ::testing::Values("X//book[author=\"Smith\"]/title", "count(X//book)",
+                      "for $b in X//book where $b/author = \"Smith\" "
+                      "return <hit>{ $b/price }</hit>"),
+    [](const auto& info) { return "q" + std::to_string(info.index); });
+
+// ---------------------------------------------------------------------------
+// Sharing introspection.
+
+TEST(QueryServerSharing, CommonSpinesDeduplicate) {
+  QueryServer server;
+  auto a = server.Register("X//book[author=\"Smith\"]/title");
+  auto b = server.Register("X//book[author=\"Smith\"]/price");
+  auto c = server.Register("X//book/price");
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+
+  QueryServer::SharingStats s = server.sharing();
+  EXPECT_EQ(s.queries, 3u);
+  EXPECT_EQ(s.classes, 1u);
+  // Paths: desc(book)/pred/title, desc(book)/pred/price, desc(book)/price
+  // → 5 distinct nodes out of 8 offered ops, 3 reused.
+  EXPECT_EQ(s.prefix_nodes, 5u);
+  EXPECT_EQ(s.prefix_ops_seen, 8u);
+  EXPECT_EQ(s.prefix_ops_reused, 3u);
+  EXPECT_GT(s.prefix_stages, 0u);
+  EXPECT_NEAR(s.HitRatio(), 3.0 / 8.0, 1e-9);
+
+  // The two pred-sharing queries walk the same first two signatures.
+  ASSERT_EQ(a.value()->prefix_signature().size(), 3u);
+  EXPECT_EQ(a.value()->prefix_signature()[0],
+            b.value()->prefix_signature()[0]);
+  EXPECT_EQ(a.value()->prefix_signature()[1],
+            b.value()->prefix_signature()[1]);
+  EXPECT_GT(a.value()->shared_stage_count(), 0u);
+
+  // The rollup surfaces in JSON too.
+  std::string json = server.ToJson();
+  EXPECT_NE(json.find("\"prefix\""), std::string::npos);
+  EXPECT_NE(json.find("\"hit_ratio\""), std::string::npos);
+  EXPECT_NE(json.find("\"per_query\""), std::string::npos);
+}
+
+TEST(QueryServerSharing, IdenticalRegistrationsShareOneSuffixRuntime) {
+  // Byte-identical registrations (same query, same options) collapse to
+  // one suffix pipeline + display: both handles read the same answer
+  // object, and the rollup counts the runtime once.
+  QueryServer server;
+  auto a = server.Register("X//book[author=\"Smith\"]/title");
+  auto b = server.Register("X//book[author=\"Smith\"]/title");
+  auto c = server.Register("X//book[author=\"Smith\"]/price");
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+
+  EXPECT_TRUE(a.value()->shares_suffix());
+  EXPECT_TRUE(b.value()->shares_suffix());
+  EXPECT_FALSE(c.value()->shares_suffix());
+  EXPECT_EQ(a.value()->display(), b.value()->display());
+  EXPECT_NE(a.value()->display(), c.value()->display());
+
+  QueryServer::SharingStats s = server.sharing();
+  EXPECT_EQ(s.queries, 3u);
+  EXPECT_EQ(s.distinct_suffixes, 2u);
+
+  RandomStream stream = MakeRandomBookStream(5);
+  server.PushAll(stream.events);
+  auto ta = a.value()->CurrentText();
+  auto tb = b.value()->CurrentText();
+  ASSERT_TRUE(ta.ok() && tb.ok());
+  EXPECT_EQ(ta.value(), tb.value());
+
+  // A knob that changes the suffix surface (tracing) blocks the dedup.
+  QueryServer server2;
+  QueryOptions traced;
+  traced.trace_capacity = 8;
+  auto plain = server2.Register("X//book/price");
+  auto with_trace = server2.Register("X//book/price", traced);
+  ASSERT_TRUE(plain.ok() && with_trace.ok());
+  EXPECT_FALSE(plain.value()->shares_suffix());
+  EXPECT_FALSE(with_trace.value()->shares_suffix());
+  EXPECT_EQ(plain.value()->trace(), nullptr);
+  EXPECT_NE(with_trace.value()->trace(), nullptr);
+}
+
+TEST(QueryServerSharing, AggregateMetricsCoverAllSegments) {
+  QueryServer server;
+  ASSERT_TRUE(server.Register("X//book/price").ok());
+  ASSERT_TRUE(server.Register("X//book/title").ok());
+  RandomStream stream = MakeRandomBookStream(3);
+  server.PushAll(stream.events);
+  Metrics total = server.AggregateMetrics();
+  EXPECT_GT(total.transformer_calls(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Isolation and lifecycle.
+
+TEST(QueryServerIsolation, PoisonedClassLeavesSiblingsAnswering) {
+  // One guarded fail-fast query and one unguarded query share a server; a
+  // hostile stream poisons the guarded class only.
+  EventVec clean = RandomUpdateStream(11);
+  FaultSpec spec = ParseFaultSpec("heavy").value();
+  EventVec mutated = MutateStream(clean, spec, 1234, nullptr);
+
+  RunConfig guarded;
+  guarded.guard = true;
+  guarded.policy = ProtocolGuard::Policy::kFailFast;
+
+  QueryServer server;
+  auto bad = server.Register("X//book/price", MakeOptions(guarded));
+  auto good = server.Register("count(X//book)");
+  ASSERT_TRUE(bad.ok() && good.ok());
+  server.PushAll(mutated);
+  server.Finish();
+
+  // The unguarded sibling matches its standalone run exactly.
+  auto session = QuerySession::Open("count(X//book)");
+  ASSERT_TRUE(session.ok());
+  session.value()->PushAll(mutated);
+  session.value()->Finish();
+  EXPECT_EQ(good.value()->CurrentText().value(),
+            session.value()->CurrentText().value());
+  EXPECT_TRUE(good.value()->status().ok());
+
+  // The guarded query reports its own failure; the server stays healthy.
+  auto guarded_session =
+      QuerySession::Open("X//book/price", MakeOptions(guarded));
+  ASSERT_TRUE(guarded_session.ok());
+  guarded_session.value()->PushAll(mutated);
+  guarded_session.value()->Finish();
+  guarded_session.value()->guard()->Finish();
+  EXPECT_EQ(bad.value()->status().code(),
+            guarded_session.value()->status().code());
+  EXPECT_TRUE(server.status().ok());
+}
+
+TEST(QueryServerLifecycle, RegistrationFreezesAtFirstPush) {
+  QueryServer server;
+  ASSERT_TRUE(server.Register("X//book/price").ok());
+  server.Push(Event::StartStream(0));
+  auto late = server.Register("X//book/title");
+  EXPECT_FALSE(late.ok());
+  EXPECT_EQ(late.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QueryServerLifecycle, PushDocumentAnswersLikeASession) {
+  const char* xml =
+      "<bib><book><author>Smith</author><title>XML</title>"
+      "<price>42</price></book><book><author>Jones</author>"
+      "<title>Streams</title><price>7</price></book></bib>";
+  QueryServer server;
+  auto title = server.Register("X//book[author=\"Smith\"]/title");
+  auto count = server.Register("count(X//book)");
+  ASSERT_TRUE(title.ok() && count.ok());
+  ASSERT_TRUE(server.PushDocument(xml).ok());
+
+  auto expect_title = RunQueryOnXml("X//book[author=\"Smith\"]/title", xml);
+  auto expect_count = RunQueryOnXml("count(X//book)", xml);
+  ASSERT_TRUE(expect_title.ok() && expect_count.ok());
+  EXPECT_EQ(title.value()->CurrentText().value(), expect_title.value());
+  EXPECT_EQ(count.value()->CurrentText().value(), expect_count.value());
+}
+
+TEST(QueryServerLifecycle, PerQueryKnobsHonored) {
+  QueryServer server;
+  QueryOptions traced;
+  traced.trace_capacity = 16;
+  auto a = server.Register("X//book/price", traced);
+  auto b = server.Register("X//book/title");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(a.value()->trace(), nullptr);
+  EXPECT_EQ(b.value()->trace(), nullptr);
+  EXPECT_EQ(a.value()->guard(), nullptr);
+
+  QueryOptions guarded;
+  guarded.guard = true;
+  auto c = server.Register("count(X//book)", guarded);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(c.value()->guard(), nullptr);
+  EXPECT_EQ(server.sharing().classes, 2u);
+}
+
+}  // namespace
+}  // namespace xflux
