@@ -94,7 +94,7 @@ std::string RunStatsJson(const RunStats& s) {
 
 void Report(const char* name, const RunStats& unblocked,
             const RunStats& naive, size_t total_events,
-            JsonWriter* json_rows) {
+            bench::BenchReport* report) {
   std::printf("%-22s unblocked: %7.3fs first@%-8llu buf%-8lld | "
               "naive: %7.3fs first@%-8llu buf%-8lld (of %zu events)\n",
               name, unblocked.seconds,
@@ -107,7 +107,7 @@ void Report(const char* name, const RunStats& unblocked,
   r.Field("total_events", static_cast<uint64_t>(total_events));
   r.Raw("unblocked", RunStatsJson(unblocked));
   r.Raw("naive", RunStatsJson(naive));
-  json_rows->RawElement(r.Close());
+  report->AddRow(std::move(r));
 }
 
 }  // namespace
@@ -122,7 +122,7 @@ int main() {
   std::printf("A1: blocking/buffering ablation over %.1f MB XMark "
               "(%zu events)\n",
               doc.size() / 1e6, input.size());
-  JsonWriter json_rows = JsonWriter::Array();
+  bench::BenchReport report("ablation_blocking");
 
   // --- predicate: //item[location="Albania"] ---
   auto run_predicate = [&](bool naive) {
@@ -160,7 +160,7 @@ int main() {
     return stats;
   };
   Report("predicate //item[loc]", run_predicate(false), run_predicate(true),
-         input.size(), &json_rows);
+         input.size(), &report);
 
   // --- count(//item) ---
   auto run_count = [&](bool naive) {
@@ -178,7 +178,7 @@ int main() {
     });
   };
   Report("count(//item)", run_count(false), run_count(true), input.size(),
-         &json_rows);
+         &report);
 
   // --- descendant //* ---
   auto run_descendant = [&](bool naive) {
@@ -193,7 +193,7 @@ int main() {
     });
   };
   Report("descendant //*", run_descendant(false), run_descendant(true),
-         input.size(), &json_rows);
+         input.size(), &report);
 
   // --- order by quantity ---
   auto run_sort = [&](bool naive) {
@@ -230,10 +230,8 @@ int main() {
     return stats;
   };
   Report("order by quantity", run_sort(false), run_sort(true), input.size(),
-         &json_rows);
+         &report);
 
-  JsonWriter json = bench::BenchJsonHeader("ablation_blocking");
-  json.Raw("rows", json_rows.Close());
-  bench::WriteBenchJson("ablation_blocking", json.Close());
+  report.Write();
   return 0;
 }

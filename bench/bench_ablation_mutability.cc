@@ -7,12 +7,24 @@
 // without it, state grows linearly with the number of stream elements —
 // "if we are not careful, any predicate would always require unbounded
 // state".
+//
+// A second section ablates the compile-time optimizer (DESIGN.md §10) on
+// the Table 2 Q2 query over XMark: passes off, update independence only,
+// and independence + predicate reorder.  Written as BENCH_optimizer.json
+// so CI can track the speedup row separately.  Expected shape: all three
+// configurations produce byte-identical answers, and the optimized runs
+// beat passes-off by >= 2x (the eager predicate stops forwarding items
+// that fail [location="Albania"], so the second predicate group and the
+// output stages see a fraction of the traffic).
 
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_util.h"
 #include "data/generators.h"
 #include "xquery/engine.h"
+#include "xquery/passes/cost_profile.h"
+#include "xquery/schema.h"
 
 int main() {
   std::printf("A2: mutability analysis (fix/freeze) on the stock ticker, "
@@ -20,7 +32,7 @@ int main() {
   std::printf("%-10s %-10s | %-9s %12s %14s %10s\n", "symbols", "updates",
               "analysis", "max_states", "display_regs", "time");
 
-  xflux::JsonWriter json_rows = xflux::JsonWriter::Array();
+  xflux::bench::BenchReport report("ablation_mutability");
   for (int scale : {50, 200, 800}) {
     for (bool disabled : {false, true}) {
       xflux::StockTickerOptions options;
@@ -53,12 +65,87 @@ int main() {
       r.Field("stream_events", static_cast<uint64_t>(stream.size()));
       r.Field("seconds", seconds);
       r.Raw("metrics", metrics->ToJson());
-      json_rows.RawElement(r.Close());
+      report.AddRow(std::move(r));
     }
   }
-  xflux::JsonWriter json =
-      xflux::bench::BenchJsonHeader("ablation_mutability");
-  json.Raw("rows", json_rows.Close());
-  xflux::bench::WriteBenchJson("ablation_mutability", json.Close());
+  report.Write();
+
+  // --- optimizer ablation: Q2 over XMark, passes off / independence only /
+  // independence + reorder (see file comment) ---
+  std::string doc = xflux::GenerateXmark(
+      xflux::XmarkOptionsForBytes(xflux::bench::XmarkBytes() / 2));
+  const char* q2 = "X//item[location=\"Albania\"][payment=\"Cash\"]/location";
+  std::printf("\noptimizer ablation: %s over %.1f MB XMark\n", q2,
+              doc.size() / 1e6);
+  std::printf("%-22s %10s %8s %8s %6s\n", "passes", "time", "MB/s",
+              "speedup", "match");
+
+  xflux::Schema schema = xflux::XMarkSchema();
+  // When a prior run's stage stats are available, feed the measured
+  // selectivities to the reorder pass; heuristics otherwise.
+  xflux::CostProfile profile;
+  if (const char* prior = std::getenv("XFLUX_COST_PROFILE")) {
+    auto loaded = xflux::CostProfile::LoadFromFile(prior);
+    if (loaded.ok()) profile = std::move(loaded.value());
+  }
+
+  struct Config {
+    const char* name;
+    bool optimize;
+    bool independence;
+    bool reorder;
+  };
+  const Config configs[] = {
+      {"off", false, false, false},
+      {"independence", true, true, false},
+      {"independence+reorder", true, true, true},
+  };
+
+  xflux::bench::BenchReport opt_report("optimizer");
+  std::string baseline_answer;
+  double baseline_seconds = 0;
+  for (const Config& config : configs) {
+    xflux::QuerySession::Options options;
+    options.optimize = config.optimize;
+    options.optimize_independence = config.independence;
+    options.optimize_reorder = config.reorder;
+    options.schema = &schema;
+    options.cost_profile = profile.size() > 0 ? &profile : nullptr;
+    auto session = xflux::QuerySession::Open(q2, options);
+    if (!session.ok()) {
+      std::fprintf(stderr, "Q2 compile failed: %s\n",
+                   session.status().ToString().c_str());
+      return 1;
+    }
+    double seconds = xflux::bench::Time(
+        [&] { (void)session.value()->PushDocument(doc); });
+    auto answer = session.value()->CurrentText();
+    if (!answer.ok()) {
+      std::fprintf(stderr, "Q2 (%s) failed: %s\n", config.name,
+                   answer.status().ToString().c_str());
+      return 1;
+    }
+    if (baseline_answer.empty()) {
+      baseline_answer = answer.value();
+      baseline_seconds = seconds;
+    }
+    bool identical = answer.value() == baseline_answer;
+    double speedup = seconds > 0 ? baseline_seconds / seconds : 0;
+    std::printf("%-22s %9.3fs %8.1f %7.2fx %6s\n", config.name, seconds,
+                doc.size() / seconds / 1e6, speedup,
+                identical ? "yes" : "NO");
+    xflux::JsonWriter r = xflux::JsonWriter::Object();
+    r.Field("config", config.name);
+    r.Field("query", q2);
+    r.Field("seconds", seconds);
+    r.Field("mb_per_s", doc.size() / seconds / 1e6);
+    r.Field("speedup_vs_off", speedup);
+    r.Field("answers_identical", identical);
+    r.Raw("metrics",
+          session.value()->pipeline()->context()->metrics()->ToJson());
+    opt_report.AddRow(std::move(r));
+    if (!identical) return 1;
+  }
+  opt_report.Write();
   return 0;
 }

@@ -85,7 +85,7 @@ int main() {
   std::printf("%-10s %12s %10s %12s %12s\n", "mutable", "events", "time",
               "MB/s", "max_states");
 
-  JsonWriter json_rows = JsonWriter::Array();
+  bench::BenchReport report("ablation_updates");
   for (double fraction : {0.0, 0.01, 0.1, 0.5, 1.0}) {
     EventVec stream = InjectUpdates(tokens.value(), fraction, 11);
     auto session = xflux::QuerySession::Open(
@@ -104,10 +104,8 @@ int main() {
     r.Field("seconds", seconds);
     r.Field("mb_per_s", doc.size() / seconds / 1e6);
     r.Raw("metrics", metrics->ToJson());
-    json_rows.RawElement(r.Close());
+    report.AddRow(std::move(r));
   }
-  JsonWriter json = bench::BenchJsonHeader("ablation_updates");
-  json.Raw("rows", json_rows.Close());
-  bench::WriteBenchJson("ablation_updates", json.Close());
+  report.Write();
   return 0;
 }

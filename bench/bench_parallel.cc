@@ -94,7 +94,7 @@ int main() {
   std::printf("%-2s %9s | %9s %6s | %9s %6s | %9s %6s | %s\n", "Q", "serial",
               "t=1", "x", "t=2", "x", "t=4", "x", "equal");
 
-  xflux::JsonWriter rows = xflux::JsonWriter::Array();
+  xflux::bench::BenchReport report("parallel");
   bool all_equal = true;
 
   for (const QueryRow& row : kQueries) {
@@ -128,11 +128,9 @@ int main() {
     r.Field("speedup_threads2", serial.seconds / seconds[1]);
     r.Field("speedup_threads4", serial.seconds / seconds[2]);
     r.Field("answers_identical", equal);
-    rows.RawElement(r.Close());
+    report.AddRow(std::move(r));
   }
 
-  xflux::JsonWriter json = xflux::bench::BenchJsonHeader("parallel");
-  json.Raw("rows", rows.Close());
-  xflux::bench::WriteBenchJson("parallel", json.Close());
+  report.Write();
   return all_equal ? 0 : 1;
 }

@@ -86,7 +86,7 @@ int main() {
               "sessions MB/s", "speedup", "hit ratio", "nodes",
               "p50 stale ms");
 
-  xflux::JsonWriter rows = xflux::JsonWriter::Array();
+  xflux::bench::BenchReport report("server");
   bool checked_answers = false;
 
   for (size_t n : {size_t{1}, size_t{10}, size_t{100}, size_t{1000}}) {
@@ -171,11 +171,9 @@ int main() {
     r.Field("prefix_stages", static_cast<uint64_t>(sharing.prefix_stages));
     r.Field("suffix_stages", static_cast<uint64_t>(sharing.suffix_stages));
     r.Field("p50_answer_staleness_ms", stale_p50_ms);
-    rows.RawElement(r.Close());
+    report.AddRow(std::move(r));
   }
 
-  xflux::JsonWriter json = xflux::bench::BenchJsonHeader("server");
-  json.Raw("rows", rows.Close());
-  xflux::bench::WriteBenchJson("server", json.Close());
+  report.Write();
   return 0;
 }

@@ -39,7 +39,7 @@ int main() {
               "D=318MB/31.3M events/18.6s)\n");
   std::printf("%-10s %-8s %10s %12s %10s %12s\n", "Benchmark", "document",
               "size", "events", "time", "MB/s");
-  xflux::JsonWriter json_rows = xflux::JsonWriter::Array();
+  xflux::bench::BenchReport report("table1_datasets");
   for (Row& row : rows) {
     xflux::NullSink sink;
     uint64_t events = 0;
@@ -59,10 +59,8 @@ int main() {
     r.Field("events", events);
     r.Field("seconds", seconds);
     r.Field("mb_per_s", row.document.size() / seconds / 1e6);
-    json_rows.RawElement(r.Close());
+    report.AddRow(std::move(r));
   }
-  xflux::JsonWriter json = xflux::bench::BenchJsonHeader("table1_datasets");
-  json.Raw("rows", json_rows.Close());
-  xflux::bench::WriteBenchJson("table1_datasets", json.Close());
+  report.Write();
   return 0;
 }

@@ -87,7 +87,7 @@ int main() {
               "XFlux", "MB/s", "SPEX", "events", "mem", "XFlux", "MB/s",
               "SPEX");
 
-  xflux::JsonWriter rows = xflux::JsonWriter::Array();
+  xflux::bench::BenchReport report("table2_queries");
 
   for (const QueryRow& row : kQueries) {
     const std::string& doc = row.on_dblp ? d_doc : x_doc;
@@ -164,11 +164,9 @@ int main() {
     r.Field("paper_mb_per_s", row.paper_mbs);
     r.Raw("metrics", metrics->ToJson());
     r.Raw("stages", probe.value()->stats()->ToJson());
-    rows.RawElement(r.Close());
+    report.AddRow(std::move(r));
   }
 
-  xflux::JsonWriter json = xflux::bench::BenchJsonHeader("table2_queries");
-  json.Raw("rows", rows.Close());
-  xflux::bench::WriteBenchJson("table2_queries", json.Close());
+  report.Write();
   return 0;
 }

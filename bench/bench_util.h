@@ -76,6 +76,39 @@ inline JsonWriter BenchJsonHeader(const std::string& bench_name) {
   return w;
 }
 
+/// The report shape every table-writing bench emits — the shared header
+/// plus a "rows" array with one object per printed table row — and the
+/// write choreography around it:
+///
+///   bench::BenchReport report("table2_queries");
+///   ...
+///   report.AddRow(std::move(row));      // once per table row
+///   ...
+///   report.Write();                     // -> BENCH_table2_queries.json
+///
+/// Keeping the schema in one place is what lets downstream consumers
+/// (CI's bench-smoke artifacts, CostProfile::MergeBenchJson) read any
+/// bench's file the same way.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string bench_name)
+      : name_(std::move(bench_name)) {}
+
+  /// Appends one finished row object (the row writer is consumed).
+  void AddRow(JsonWriter row) { rows_.RawElement(row.Close()); }
+
+  /// Writes BENCH_<name>.json.  The report is spent afterwards.
+  bool Write() {
+    JsonWriter w = BenchJsonHeader(name_);
+    w.Raw("rows", rows_.Close());
+    return WriteBenchJson(name_, w.Close());
+  }
+
+ private:
+  std::string name_;
+  JsonWriter rows_ = JsonWriter::Array();
+};
+
 }  // namespace xflux::bench
 
 #endif  // XFLUX_BENCH_BENCH_UTIL_H_

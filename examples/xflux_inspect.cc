@@ -18,6 +18,14 @@
 // by SPSC queues, see DESIGN.md section 6) and reports each queue's
 // high-water mark — how close the run came to backpressure.
 //
+// --explain compiles the query through the optimizer (DESIGN.md
+// section 10, XMark schema) and prints the annotated plan — which nodes
+// the update-independence pass proved immune, the selectivities the
+// reorder pass used, and which pipeline stages each node lowered to —
+// before running the document as usual.
+//
+//   $ ./xflux_inspect --explain 'X//item[location="Albania"]/quantity'
+//
 // --server switches to QueryServer mode (DESIGN.md section 9): every
 // query in --queries=<file> (newline-separated; a built-in Q1-style
 // family when omitted) is registered against one shared stream, the
@@ -42,7 +50,9 @@
 #include "testing/fault_injector.h"
 #include "xml/sax_parser.h"
 #include "xquery/engine.h"
+#include "xquery/plan.h"
 #include "xquery/query_server.h"
+#include "xquery/schema.h"
 
 namespace {
 
@@ -93,6 +103,7 @@ int main(int argc, char** argv) {
   std::string inject_spec;
   std::string queries_path;
   bool server_mode = false;
+  bool explain = false;
   uint64_t seed = 1;
   int threads = 0;
   for (int i = 1; i < argc; ++i) {
@@ -107,12 +118,14 @@ int main(int argc, char** argv) {
       threads = static_cast<int>(std::strtol(arg.c_str() + 10, nullptr, 10));
     } else if (arg == "--server") {
       server_mode = true;
+    } else if (arg == "--explain") {
+      explain = true;
     } else if (arg.rfind("--queries=", 0) == 0) {
       queries_path = arg.substr(10);
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr,
                    "unknown flag %s (want --guard= --inject= --seed= "
-                   "--threads= --server --queries=)\n",
+                   "--threads= --server --queries= --explain)\n",
                    arg.c_str());
       return 1;
     } else {
@@ -229,6 +242,11 @@ int main(int argc, char** argv) {
   xflux::QuerySession::Options options;
   options.instrumentation = true;
   options.threads = threads;
+  xflux::Schema schema = xflux::XMarkSchema();
+  if (explain) {
+    options.optimize = true;
+    options.schema = &schema;
+  }
   if (!guard_name.empty()) {
     auto policy = xflux::ProtocolGuard::ParsePolicy(guard_name);
     if (!policy.ok()) {
@@ -244,6 +262,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "compile failed: %s\n",
                  session.status().ToString().c_str());
     return 1;
+  }
+  if (explain && session.value()->plan() != nullptr) {
+    std::printf("plan (optimized, XMark schema):\n%s\n",
+                xflux::PlanToString(*session.value()->plan(),
+                                    /*annotations=*/true)
+                    .c_str());
   }
 
   xflux::FaultSpec fault_spec;

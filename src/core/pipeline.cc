@@ -125,6 +125,10 @@ void Pipeline::EnableParallel(const ParallelOptions& options) {
   assert(wired_ && "EnableParallel before SetSink");
   assert(executor_ == nullptr && "EnableParallel called twice");
   if (options.threads <= 0 || stages_.empty()) return;
+  // Registry passivity assumes a shared registry kept current by the
+  // emitters; per-segment replicas learn only from their own stages'
+  // OnEvent calls, so every stage must bookkeep for itself again.
+  for (auto& stage : stages_) stage->set_registry_passive(false);
   executor_ = std::make_unique<ParallelExecutor>(this, options);
   entry_ = executor_.get();
 }
@@ -224,9 +228,20 @@ void Pipeline::PushSegment(EventBatch batch) {
   assert(wired_ && "Push before SetSink");
   assert(executor_ == nullptr && "PushSegment on a parallel pipeline");
   if (context_->poisoned()) return;
+  // Segment feeds skip the root bookkeeping loop because the first
+  // stage's Accept performs the same idempotent per-event registration —
+  // unless that stage is registry-passive, in which case the feeder does
+  // it here, still strictly per event (no batch lookahead).
+  bool passive_entry =
+      !stages_.empty() && entry_ == stages_.front().get() &&
+      stages_.front()->registry_passive();
   for (Event& e : batch) {
     if (e.kind == EventKind::kStartStream) {
       context_->streams()->RegisterBase(e.id);
+    }
+    if (passive_entry) {
+      context_->fix()->OnEvent(e);
+      context_->streams()->OnEvent(e);
     }
     entry_->Accept(std::move(e));
   }

@@ -300,6 +300,23 @@ class Filter : public EventSink {
   /// This stage's record, or nullptr before the stage joins a pipeline.
   const StageStats* stage_stats() const { return stats_; }
 
+  /// Registry passivity — the "immune" configuration of compile-time
+  /// update-independence (DESIGN.md §10).  A passive stage skips the
+  /// per-event fix/streams OnEvent in Accept/AcceptBatch: everything it
+  /// receives was already registered by whoever emitted it (the feeder's
+  /// root bookkeeping loop for source events, the producing stage's Emit
+  /// for everything else), so in shared-registry serial execution the
+  /// calls are pure overhead.  Two execution paths must compensate:
+  /// Pipeline::PushSegment performs the root bookkeeping itself when the
+  /// entry stage is passive (segment feeds skip the root loop), and
+  /// Pipeline::EnableParallel clears passivity outright — per-segment
+  /// registry replicas learn only from their own stages' OnEvent calls.
+  void set_registry_passive(bool value) { registry_passive_ = value; }
+  bool registry_passive() const { return registry_passive_; }
+
+  /// Display name for diagnostics and StageStats ("child::a", "clone", …).
+  virtual std::string StageName() const { return "stage"; }
+
   void Accept(Event event) final {
     // A poisoned pipeline stops dispatching: the stage that reported the
     // error may hold inconsistent state, and everything after the first
@@ -307,7 +324,7 @@ class Filter : public EventSink {
     if (!context_->errors()->ok()) return;
     // Idempotent bookkeeping: every stage learns region lineage and
     // mutability from the events it sees.
-    if (!source_transparent_) {
+    if (!source_transparent_ && !registry_passive_) {
       context_->fix()->OnEvent(event);
       context_->streams()->OnEvent(event);
     }
@@ -321,7 +338,7 @@ class Filter : public EventSink {
 
   void AcceptBatch(EventBatch batch) final {
     if (!context_->errors()->ok()) return;
-    if (!source_transparent_) {
+    if (!source_transparent_ && !registry_passive_) {
       for (const Event& e : batch) {
         context_->fix()->OnEvent(e);
         context_->streams()->OnEvent(e);
@@ -345,9 +362,6 @@ class Filter : public EventSink {
   virtual void DispatchBatch(EventBatch batch) {
     for (Event& e : batch) Dispatch(std::move(e));
   }
-
-  /// Display name for diagnostics and StageStats ("child::a", "clone", …).
-  virtual std::string StageName() const { return "stage"; }
 
   /// Pushes one event downstream.  Dropped once the pipeline is poisoned
   /// (a stage may report an error mid-Dispatch and keep emitting).
@@ -419,6 +433,7 @@ class Filter : public EventSink {
   EventSink* next_ = nullptr;
   StageStats* stats_ = nullptr;
   bool source_transparent_ = false;
+  bool registry_passive_ = false;
 };
 
 /// Tuning for parallel pipeline execution (Pipeline::EnableParallel /

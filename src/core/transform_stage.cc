@@ -19,10 +19,14 @@ void RemoveFrom(std::map<OrderKey, std::vector<StreamId>>* index,
 }  // namespace
 
 TransformStage::TransformStage(PipelineContext* context,
-                               std::unique_ptr<StateTransformer> transformer)
-    : Filter(context), transformer_(std::move(transformer)) {
+                               std::unique_ptr<StateTransformer> transformer,
+                               bool immune)
+    : Filter(context), transformer_(std::move(transformer)), immune_(immune) {
   transformer_->BindStage(this->context());
   main_end_ = CowState::Adopt(transformer_->InitialState());
+  // An immune stage neither reads region mutability nor tracks lineage of
+  // its own; the shared registries stay current through the emitters.
+  if (immune_) set_registry_passive(true);
 }
 
 bool TransformStage::Relevant(StreamId id) {
@@ -467,6 +471,35 @@ void TransformStage::EmitFromOperator(Event e) {
 }
 
 void TransformStage::Dispatch(Event e) {
+  if (immune_) {
+    switch (e.kind) {
+      case EventKind::kStartMutable:
+      case EventKind::kStartReplace:
+      case EventKind::kStartInsertBefore:
+      case EventKind::kStartInsertAfter:
+      case EventKind::kEndMutable:
+      case EventKind::kEndReplace:
+      case EventKind::kEndInsertBefore:
+      case EventKind::kEndInsertAfter:
+      case EventKind::kHide:
+      case EventKind::kShow:
+      case EventKind::kFreeze:
+        // Update-independent: region machinery passes through untouched.
+        Emit(std::move(e));
+        return;
+      default:
+        break;
+    }
+    StreamId root = context()->streams()->RootOf(e.id);
+    if (!transformer_->Consumes(root)) {
+      Emit(std::move(e));
+      return;
+    }
+    EventVec out;
+    transformer_->Process(e, root, Mut(main_end_), &out);
+    for (Event& produced : out) Emit(std::move(produced));
+    return;
+  }
   switch (e.kind) {
     case EventKind::kStartMutable:
     case EventKind::kStartReplace:

@@ -47,12 +47,28 @@
 namespace xflux {
 
 /// See file comment.
+///
+/// The `immune` configuration is the compile-time fix/freeze of DESIGN.md
+/// §10: when the update-independence pass proves the wrapped operator can
+/// never observe an update-dependent value, the whole S5 apparatus above
+/// is skipped — update brackets and hide/show/freeze events are forwarded
+/// unchanged, simple events are processed against the single live state,
+/// no per-region snapshots are taken, and the stage runs registry-passive
+/// (see Filter::set_registry_passive).  Sound because, under the pass's
+/// guarantee, any update content reaching this stage is balanced markup
+/// with no stage-matched tags: processing it is state-neutral, every
+/// snapshot the wrapper would have taken is value-equal to the live
+/// state, and every adjust/fold is the identity.
 class TransformStage : public Filter {
  public:
   TransformStage(PipelineContext* context,
-                 std::unique_ptr<StateTransformer> transformer);
+                 std::unique_ptr<StateTransformer> transformer,
+                 bool immune = false);
 
   StateTransformer* transformer() { return transformer_.get(); }
+
+  /// True when this stage runs the update-independent fast path.
+  bool immune() const { return immune_; }
 
   /// Number of regions this stage currently keeps state copies for.
   size_t tracked_region_count() const { return states_.size(); }
@@ -153,6 +169,7 @@ class TransformStage : public Filter {
   void EmitFromOperator(Event e);
 
   std::unique_ptr<StateTransformer> transformer_;
+  bool immune_ = false;
   CowState main_end_;  // live tail state
   OrderKey global_cursor_;  // last position key handed out in stream order
   std::unordered_map<StreamId, RegionState> states_;

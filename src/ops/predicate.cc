@@ -10,6 +10,19 @@ namespace {
 // lands inside the current item (flips its truth) or before it entirely
 // (shifts both counters, truth unchanged).  `seq` is a monotone per-event
 // counter used to order update positions against item starts.
+// The eager variant's state: one buffered item plus the condition counts.
+// The buffer is bounded by the item's own size — the unbounded-caching
+// objection the optimistic protocol answers does not apply here, because
+// immunity guarantees the outcome is final at item end.
+struct EagerPredicateState : StateBase<EagerPredicateState> {
+  int depth = 0;   // data-stream element depth
+  int cdepth = 0;  // condition-stream element depth
+  bool in_item = false;
+  int64_t outcome_total = 0;  // cumulative count of true condition firings
+  int64_t item_base = 0;      // outcome_total at the current item's start
+  EventVec buffer;
+};
+
 struct PredicateState : StateBase<PredicateState> {
   int depth = 0;        // data-stream element depth inside the current item
   int cdepth = 0;       // condition-stream element depth
@@ -151,6 +164,107 @@ void PredicateOp::Process(const Event& e, StreamId root, OperatorState* state,
       return;
     case EventKind::kCharacters:
       if (s->in_item) out->push_back(e);
+      return;
+    default:
+      return;
+  }
+}
+
+std::unique_ptr<OperatorState> EagerPredicateOp::InitialState() const {
+  return std::make_unique<EagerPredicateState>();
+}
+
+void EagerPredicateOp::Process(const Event& e, StreamId root,
+                               OperatorState* state, EventVec* out) {
+  auto* s = static_cast<EagerPredicateState*>(state);
+  if (root == condition_input_) {
+    // Same counting as the optimistic predicate's F2, minus the fixedness
+    // bookkeeping: immunity already proved every verdict final.
+    switch (e.kind) {
+      case EventKind::kStartElement:
+        ++s->cdepth;
+        break;
+      case EventKind::kEndElement:
+        --s->cdepth;
+        break;
+      case EventKind::kCharacters:
+        if (s->cdepth == 0 && !e.text.empty()) ++s->outcome_total;
+        break;
+      default:
+        break;
+    }
+    return;
+  }
+  auto begin_item = [&](const Event& ev) {
+    s->in_item = true;
+    s->item_base = s->outcome_total;
+    s->buffer.clear();
+    s->buffer.push_back(ev);
+  };
+  auto end_item = [&](const Event& ev) {
+    s->in_item = false;
+    s->buffer.push_back(ev);
+    // The condition path runs upstream of this stage and its content lies
+    // inside the item, so every firing for this item has arrived by now.
+    if (s->outcome_total - s->item_base > 0) {
+      for (Event& buffered : s->buffer) out->push_back(std::move(buffered));
+    }
+    s->buffer.clear();
+  };
+  switch (e.kind) {
+    case EventKind::kStartStream:
+    case EventKind::kEndStream:
+      out->push_back(e);
+      return;
+    case EventKind::kStartTuple:
+      if (scope_ == PredicateScope::kTuple) {
+        // Tuple markers pass through (the optimistic variant keeps them
+        // outside the region for the same reason); only content is
+        // buffered and possibly dropped.
+        out->push_back(e);
+        begin_item(e);
+        s->buffer.clear();
+      } else if (s->in_item) {
+        s->buffer.push_back(e);
+      } else {
+        out->push_back(e);
+      }
+      return;
+    case EventKind::kEndTuple:
+      if (scope_ == PredicateScope::kTuple) {
+        s->in_item = false;
+        if (s->outcome_total - s->item_base > 0) {
+          for (Event& buffered : s->buffer) {
+            out->push_back(std::move(buffered));
+          }
+        }
+        s->buffer.clear();
+        out->push_back(e);
+      } else if (s->in_item) {
+        s->buffer.push_back(e);
+      } else {
+        out->push_back(e);
+      }
+      return;
+    case EventKind::kStartElement:
+      if (scope_ == PredicateScope::kElement && s->depth == 0) {
+        ++s->depth;
+        begin_item(e);
+        return;
+      }
+      ++s->depth;
+      if (s->in_item) s->buffer.push_back(e);
+      return;
+    case EventKind::kEndElement:
+      --s->depth;
+      if (scope_ == PredicateScope::kElement && s->depth == 0) {
+        end_item(e);
+        return;
+      }
+      if (s->in_item) s->buffer.push_back(e);
+      return;
+    case EventKind::kCharacters:
+      if (s->in_item) s->buffer.push_back(e);
       return;
     default:
       return;

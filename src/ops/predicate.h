@@ -81,6 +81,42 @@ class PredicateOp : public StateTransformer {
   PredicateScope scope_;
 };
 
+/// The update-independent fast-path predicate (DESIGN.md §10).  Valid only
+/// when the update-independence pass proved the condition's outcome is
+/// fixed by the time the item closes and that no update or hide/show can
+/// ever revisit the decision.  Instead of the optimistic
+/// emit-now-revoke-later protocol, it buffers one item (bounded by item
+/// size) until its end event, then either emits the whole item or drops
+/// it — no mutable region is minted, no hide/freeze traffic is produced,
+/// and downstream stages see only the surviving fraction of the input.
+/// Single data stream only (the compiler falls back to PredicateOp for
+/// multi-branch sequence returns).
+class EagerPredicateOp : public StateTransformer {
+ public:
+  EagerPredicateOp(StreamId data_input, StreamId condition_input,
+                   PredicateScope scope)
+      : data_input_(data_input),
+        condition_input_(condition_input),
+        scope_(scope) {}
+
+  std::string Name() const override {
+    return scope_ == PredicateScope::kElement ? "predicate(eager)"
+                                              : "where(eager)";
+  }
+  bool Consumes(StreamId base_id) const override {
+    return base_id == condition_input_ || base_id == data_input_;
+  }
+  std::unique_ptr<OperatorState> InitialState() const override;
+  void Process(const Event& e, StreamId root, OperatorState* state,
+               EventVec* out) override;
+  // Inert: no output regions, no revisable decisions, nothing to adjust.
+
+ private:
+  StreamId data_input_;
+  StreamId condition_input_;
+  PredicateScope scope_;
+};
+
 }  // namespace xflux
 
 #endif  // XFLUX_OPS_PREDICATE_H_

@@ -1,5 +1,6 @@
 #include "xquery/compiler.h"
 
+#include <algorithm>
 #include <deque>
 #include <unordered_map>
 #include <vector>
@@ -16,6 +17,7 @@
 #include "ops/textops.h"
 #include "ops/tuples.h"
 #include "xquery/parser.h"
+#include "xquery/passes/pass.h"
 
 namespace xflux {
 
@@ -24,7 +26,7 @@ namespace {
 // Counts backward steps so the source can be cloned before anything else
 // consumes it ("cloning the stream source immediately after it is
 // generated", Section VI-E).
-int CountBackwardSteps(const AstNode& n) {
+int CountBackwardSteps(const PlanNode& n) {
   int count = 0;
   if (n.kind == AstKind::kStep &&
       (n.axis == AstAxis::kParent || n.axis == AstAxis::kAncestor)) {
@@ -39,16 +41,16 @@ class Compiler {
   explicit Compiler(StreamId first_dynamic_id)
       : pipeline_(std::make_unique<Pipeline>(first_dynamic_id)) {}
 
-  StatusOr<CompiledQuery> Run(const AstNode& ast) {
+  StatusOr<CompiledQuery> Run(PlanNode& plan) {
     PipelineContext* ctx = pipeline_->context();
     ctx->streams()->RegisterBase(kSource);
-    int backward = CountBackwardSteps(ast);
+    int backward = CountBackwardSteps(plan);
     for (int i = 0; i < backward; ++i) {
       StreamId clone = NewBase();
       pipeline_->AddStage<CloneFilter>(ctx, kSource, clone);
       source_clones_.push_back(clone);
     }
-    auto out = CompileTop(ast);
+    auto out = CompileTop(plan);
     if (!out.ok()) return out.status();
     CompiledQuery result;
     result.pipeline = std::move(pipeline_);
@@ -68,19 +70,59 @@ class Compiler {
     return id;
   }
 
-  void AddStage(std::unique_ptr<StateTransformer> op) {
-    pipeline_->AddStage<TransformStage>(ctx(), std::move(op));
+  // Appends a stage lowering `n`: the update-independence verdict picks the
+  // stage variant, and the stage index is recorded for --explain.
+  void AddStage(std::unique_ptr<StateTransformer> op, PlanNode* n) {
+    pipeline_->AddStage<TransformStage>(ctx(), std::move(op),
+                                        n != nullptr && n->immune);
+    RecordStage(n);
+  }
+
+  void RecordStage(PlanNode* n) {
+    if (n != nullptr) n->stage_ids.push_back(pipeline_->stage_count() - 1);
+  }
+
+  // The deterministic-id contract for reordered predicate chains (see the
+  // file comment in compiler.h): when the reorder pass permuted a chain,
+  // every condition base id is allocated here — consecutively, in source-
+  // ordinal order — before any of the chain's condition groups compile.
+  // The allocation point and the ordinal order are both invariant under
+  // the permutation, so a profile change that re-sorts the chain moves
+  // stages around but every condition keeps its base stream id.  Chains
+  // the pass left alone take the historical lazy allocations and stay
+  // byte-identical to the passes-off compile.
+  void PreallocateConditions(std::vector<PlanNode*> conds) {
+    std::sort(conds.begin(), conds.end(),
+              [](const PlanNode* a, const PlanNode* b) {
+                return a->ordinal < b->ordinal;
+              });
+    for (PlanNode* c : conds) preallocated_cond_[c] = NewBase();
+  }
+
+  void MaybePreallocateChain(PlanNode& head) {
+    if (preallocated_cond_.count(head.children[1].get()) != 0) {
+      return;  // interior of a chain the head already handled
+    }
+    std::vector<PlanNode*> conds;
+    bool reordered = false;
+    for (PlanNode* f = &head; f->kind == AstKind::kFilter;
+         f = f->children[0].get()) {
+      conds.push_back(f->children[1].get());
+      reordered = reordered || f->reordered;
+    }
+    if (reordered) PreallocateConditions(std::move(conds));
   }
 
   // Top-level expressions (whole-stream scope).  The result is the set of
   // base streams the output events root at.
-  StatusOr<Roots> CompileTop(const AstNode& n) {
+  StatusOr<Roots> CompileTop(PlanNode& n) {
     switch (n.kind) {
       case AstKind::kElementCtor: {
         auto content = CompileTop(*n.children[0]);
         if (!content.ok()) return content.status();
         AddStage(std::make_unique<ElementConstruct>(
-            content.value(), n.name, ConstructScope::kWholeStream));
+                     content.value(), n.name, ConstructScope::kWholeStream),
+                 &n);
         return content;
       }
       case AstKind::kCount:
@@ -90,11 +132,12 @@ class Compiler {
         if (!in.ok()) return in.status();
         if (n.kind == AstKind::kCount) {
           AddStage(std::make_unique<CountOp>(ctx(), in.value(),
-                                             CountMode::kTopLevelElements));
+                                             CountMode::kTopLevelElements),
+                   &n);
         } else if (n.kind == AstKind::kSum) {
-          AddStage(std::make_unique<SumOp>(ctx(), in.value()));
+          AddStage(std::make_unique<SumOp>(ctx(), in.value()), &n);
         } else {
-          AddStage(std::make_unique<AvgOp>(ctx(), in.value()));
+          AddStage(std::make_unique<AvgOp>(ctx(), in.value()), &n);
         }
         return in;
       }
@@ -115,7 +158,7 @@ class Compiler {
 
   // Paths: a step/filter chain; every leaf (stream or variable reference)
   // resolves to `context_stream`.
-  StatusOr<StreamId> CompilePathOn(const AstNode& n, StreamId context_stream) {
+  StatusOr<StreamId> CompilePathOn(PlanNode& n, StreamId context_stream) {
     switch (n.kind) {
       case AstKind::kStream:
         return context_stream;
@@ -135,22 +178,22 @@ class Compiler {
     }
   }
 
-  StatusOr<StreamId> CompileStep(const AstNode& n, StreamId context_stream) {
+  StatusOr<StreamId> CompileStep(PlanNode& n, StreamId context_stream) {
     auto in = CompilePathOn(*n.children[0], context_stream);
     if (!in.ok()) return in.status();
     StreamId s = in.value();
     switch (n.axis) {
       case AstAxis::kChild:
-        AddStage(std::make_unique<ChildStep>(s, n.name));
+        AddStage(std::make_unique<ChildStep>(s, n.name), &n);
         return s;
       case AstAxis::kAttribute:
-        AddStage(std::make_unique<ChildStep>(s, "@" + n.name));
+        AddStage(std::make_unique<ChildStep>(s, "@" + n.name), &n);
         return s;
       case AstAxis::kText:
-        AddStage(std::make_unique<TextExtract>(s));
+        AddStage(std::make_unique<TextExtract>(s), &n);
         return s;
       case AstAxis::kDescendant:
-        AddStage(std::make_unique<DescendantStep>(ctx(), s, n.name));
+        AddStage(std::make_unique<DescendantStep>(ctx(), s, n.name), &n);
         return s;
       case AstAxis::kParent:
       case AstAxis::kAncestor: {
@@ -163,69 +206,94 @@ class Compiler {
         // the matching ones.
         std::string candidate_tag =
             n.axis == AstAxis::kParent ? "*" : n.name;
-        AddStage(std::make_unique<DescendantStep>(ctx(), candidates,
-                                                  candidate_tag));
+        AddStage(
+            std::make_unique<DescendantStep>(ctx(), candidates, candidate_tag),
+            &n);
         AddStage(std::make_unique<BackwardAxisOp>(
-            ctx(), s, candidates,
-            n.axis == AstAxis::kParent ? BackwardMode::kParent
-                                       : BackwardMode::kAncestor));
+                     ctx(), s, candidates,
+                     n.axis == AstAxis::kParent ? BackwardMode::kParent
+                                                : BackwardMode::kAncestor),
+                 &n);
         return candidates;
       }
     }
     return Status::Internal("unhandled axis");
   }
 
-  // e1[e2]: clone e1's output, run the condition on the clone, join.
-  StatusOr<StreamId> CompileFilter(const AstNode& n, StreamId context_stream) {
+  // e1[e2]: clone e1's output, run the condition on the clone, join.  An
+  // immune filter joins with the eager one-item-buffer predicate instead
+  // of the optimistic region-minting one.
+  StatusOr<StreamId> CompileFilter(PlanNode& n, StreamId context_stream) {
+    MaybePreallocateChain(n);
     auto in = CompilePathOn(*n.children[0], context_stream);
     if (!in.ok()) return in.status();
     StreamId data = in.value();
     auto cond = CompileCondition(*n.children[1], data);
     if (!cond.ok()) return cond.status();
-    AddStage(std::make_unique<PredicateOp>(ctx(), data, cond.value(),
-                                           PredicateScope::kElement));
+    if (n.immune) {
+      AddStage(std::make_unique<EagerPredicateOp>(data, cond.value(),
+                                                  PredicateScope::kElement),
+               &n);
+    } else {
+      AddStage(std::make_unique<PredicateOp>(ctx(), data, cond.value(),
+                                             PredicateScope::kElement),
+               &n);
+    }
     return data;
   }
 
   // Compiles a kCompare condition against a clone of `data`; returns the
   // condition stream.
-  StatusOr<StreamId> CompileCondition(const AstNode& cmp, StreamId data) {
+  StatusOr<StreamId> CompileCondition(PlanNode& cmp, StreamId data) {
     if (cmp.kind != AstKind::kCompare) {
       return Status::NotSupported("unsupported predicate condition");
     }
-    StreamId cond = NewBase();
+    StreamId cond;
+    auto pre = preallocated_cond_.find(&cmp);
+    if (pre != preallocated_cond_.end()) {
+      cond = pre->second;
+    } else {
+      cond = NewBase();
+    }
     pipeline_->AddStage<CloneFilter>(ctx(), data, cond);
+    RecordStage(&cmp);
     auto path = CompilePathOn(*cmp.children[0], cond);
     if (!path.ok()) return path.status();
     switch (cmp.match) {
       case AstMatch::kEquals:
         AddStage(std::make_unique<TextCompare>(ctx(), path.value(),
-                                               TextMatch::kEquals, cmp.name));
+                                               TextMatch::kEquals, cmp.name),
+                 &cmp);
         break;
       case AstMatch::kContains:
-        AddStage(std::make_unique<TextCompare>(
-            ctx(), path.value(), TextMatch::kContains, cmp.name));
+        AddStage(std::make_unique<TextCompare>(ctx(), path.value(),
+                                               TextMatch::kContains, cmp.name),
+                 &cmp);
         break;
       case AstMatch::kExists:
         // Existence: any delivered item matches (contains the empty
         // string); absent items deliver nothing.
         AddStage(std::make_unique<TextCompare>(ctx(), path.value(),
-                                               TextMatch::kContains, ""));
+                                               TextMatch::kContains, ""),
+                 &cmp);
         break;
     }
     return path;
   }
 
-  StatusOr<Roots> CompileFlwor(const AstNode& n) {
+  StatusOr<Roots> CompileFlwor(PlanNode& n) {
     // Predicates on the binding path are peeled into tuple scope: the
     // region then wraps the whole tuple (not an element straddling tuple
     // markers), which keeps it relocatable by a later sort.
-    const AstNode* in_node = n.children[static_cast<size_t>(n.in_child)].get();
-    std::vector<const AstNode*> peeled_conditions;
+    PlanNode* in_node = n.children[static_cast<size_t>(n.in_child)].get();
+    std::vector<PlanNode*> peeled_filters;
+    std::vector<PlanNode*> peeled_conditions;
     while (in_node->kind == AstKind::kFilter) {
+      peeled_filters.push_back(in_node);
       peeled_conditions.push_back(in_node->children[1].get());
       in_node = in_node->children[0].get();
     }
+    std::reverse(peeled_filters.begin(), peeled_filters.end());
     std::reverse(peeled_conditions.begin(), peeled_conditions.end());
 
     auto in = CompileTop(*in_node);
@@ -235,7 +303,7 @@ class Compiler {
     }
     StreamId loop = in.value().front();
     variables_[n.name] = loop;
-    AddStage(std::make_unique<MakeTuples>(loop));
+    AddStage(std::make_unique<MakeTuples>(loop), &n);
 
     // The sort key comes from a clone of the raw tuples, before filtering
     // and the return transform.
@@ -246,36 +314,55 @@ class Compiler {
       auto key = CompilePathOn(
           *n.children[static_cast<size_t>(n.orderby_child)], sort_key);
       if (!key.ok()) return key.status();
-      AddStage(std::make_unique<StringValue>(key.value()));
+      AddStage(std::make_unique<StringValue>(key.value()), nullptr);
     }
 
     // The where condition is extracted from a clone of the raw tuples, but
     // the tuple-scoped predicate itself runs after the return transform so
     // that its region wraps the *constructed* tuple output (and the whole
     // structure can be relocated by a later sort).
+    bool chain_reordered = false;
+    for (PlanNode* f : peeled_filters) {
+      chain_reordered = chain_reordered || f->reordered;
+    }
+    if (chain_reordered) PreallocateConditions(peeled_conditions);
     std::vector<StreamId> tuple_conditions;
-    for (const AstNode* cond_node : peeled_conditions) {
+    std::vector<PlanNode*> tuple_condition_nodes;
+    for (PlanNode* cond_node : peeled_conditions) {
       auto cond = CompileCondition(*cond_node, loop);
       if (!cond.ok()) return cond.status();
       tuple_conditions.push_back(cond.value());
+      tuple_condition_nodes.push_back(cond_node);
     }
     if (n.where_child >= 0) {
-      auto cond = CompileCondition(
-          *n.children[static_cast<size_t>(n.where_child)], loop);
+      PlanNode* where = n.children[static_cast<size_t>(n.where_child)].get();
+      auto cond = CompileCondition(*where, loop);
       if (!cond.ok()) return cond.status();
       tuple_conditions.push_back(cond.value());
+      tuple_condition_nodes.push_back(where);
     }
 
     auto ret = CompileReturn(*n.children[static_cast<size_t>(n.return_child)],
                              loop);
     if (!ret.ok()) return ret.status();
 
-    for (StreamId cond : tuple_conditions) {
-      AddStage(std::make_unique<PredicateOp>(ctx(), ret.value(), cond,
-                                             PredicateScope::kTuple));
+    for (size_t i = 0; i < tuple_conditions.size(); ++i) {
+      PlanNode* cond_node = tuple_condition_nodes[i];
+      if (cond_node->immune && ret.value().size() == 1) {
+        AddStage(std::make_unique<EagerPredicateOp>(ret.value().front(),
+                                                    tuple_conditions[i],
+                                                    PredicateScope::kTuple),
+                 cond_node);
+      } else {
+        AddStage(std::make_unique<PredicateOp>(ctx(), ret.value(),
+                                               tuple_conditions[i],
+                                               PredicateScope::kTuple),
+                 cond_node);
+      }
     }
     if (n.orderby_child >= 0) {
       pipeline_->AddStage<SortFilter>(ctx(), sort_key, n.descending);
+      RecordStage(&n);
     }
     variables_.erase(n.name);
     return ret;
@@ -283,7 +370,7 @@ class Compiler {
 
   // Return clauses run per tuple.  Returns all base streams the per-tuple
   // output roots at.
-  StatusOr<Roots> CompileReturn(const AstNode& n, StreamId loop) {
+  StatusOr<Roots> CompileReturn(PlanNode& n, StreamId loop) {
     switch (n.kind) {
       case AstKind::kVarRef:
         if (!n.name.empty() && variables_.count(n.name) == 0) {
@@ -300,12 +387,14 @@ class Compiler {
         auto content = CompileReturn(*n.children[0], loop);
         if (!content.ok()) return content.status();
         AddStage(std::make_unique<ElementConstruct>(
-            content.value(), n.name, ConstructScope::kPerTuple));
+                     content.value(), n.name, ConstructScope::kPerTuple),
+                 &n);
         return content;
       }
       case AstKind::kStringLiteral:
         AddStage(std::make_unique<TextLiteral>(loop, n.name,
-                                               ConstructScope::kPerTuple));
+                                               ConstructScope::kPerTuple),
+                 &n);
         return Roots{loop};
       case AstKind::kSequence: {
         // Branch 0 transforms the loop stream in place; the others run on
@@ -326,7 +415,7 @@ class Compiler {
           }
           outs.push_back(out.value().front());
         }
-        AddStage(std::make_unique<ConcatOp>(ctx(), outs));
+        AddStage(std::make_unique<ConcatOp>(ctx(), outs), &n);
         return outs;
       }
       default:
@@ -337,6 +426,9 @@ class Compiler {
   std::unique_ptr<Pipeline> pipeline_;
   std::unordered_map<std::string, StreamId> variables_;
   std::deque<StreamId> source_clones_;
+  // Condition base ids pre-allocated for reordered chains, keyed by the
+  // kCompare node (see PreallocateConditions).
+  std::unordered_map<const PlanNode*, StreamId> preallocated_cond_;
 };
 
 // ---------------------------------------------------------------------------
@@ -348,7 +440,7 @@ class Compiler {
 constexpr size_t kMaxPrefixOps = 24;
 constexpr size_t kMaxConditionSteps = 4;
 
-int CountStreamLeaves(const AstNode& n) {
+int CountStreamLeaves(const PlanNode& n) {
   int count = n.kind == AstKind::kStream ? 1 : 0;
   for (const auto& c : n.children) count += CountStreamLeaves(*c);
   return count;
@@ -357,7 +449,7 @@ int CountStreamLeaves(const AstNode& n) {
 // A condition path is sharable when it is a chain of forward steps over
 // the context item — exactly what CompileCondition turns into clone-local
 // stages with no reference to anything outside the predicate group.
-bool IsSharableConditionPath(const AstNode& n, size_t steps) {
+bool IsSharableConditionPath(const PlanNode& n, size_t steps) {
   if (steps > kMaxConditionSteps) return false;
   switch (n.kind) {
     case AstKind::kVarRef:
@@ -377,12 +469,12 @@ bool IsSharableConditionPath(const AstNode& n, size_t steps) {
   }
 }
 
-bool IsSharableCondition(const AstNode& cmp) {
+bool IsSharableCondition(const PlanNode& cmp) {
   return cmp.kind == AstKind::kCompare && cmp.children.size() == 1 &&
          IsSharableConditionPath(*cmp.children[0], 1);
 }
 
-void AppendConditionPathSignature(const AstNode& n, std::string* out) {
+void AppendConditionPathSignature(const PlanNode& n, std::string* out) {
   switch (n.kind) {
     case AstKind::kVarRef:
       out->append(".");
@@ -412,7 +504,7 @@ void AppendConditionPathSignature(const AstNode& n, std::string* out) {
   }
 }
 
-std::string ConditionSignature(const AstNode& cmp) {
+std::string ConditionSignature(const PlanNode& cmp) {
   std::string sig = "pred(";
   AppendConditionPathSignature(*cmp.children[0], &sig);
   switch (cmp.match) {
@@ -430,7 +522,7 @@ std::string ConditionSignature(const AstNode& cmp) {
   return sig;
 }
 
-PrefixStep MakeStepOp(const AstNode& n) {
+PrefixStep MakeStepOp(const PlanNode& n) {
   PrefixStep op;
   op.name = n.name;
   switch (n.axis) {
@@ -456,20 +548,34 @@ PrefixStep MakeStepOp(const AstNode& n) {
     default:
       break;  // unreachable: backward axes disable extraction entirely
   }
+  // An immune op lowers to a different stage group than the tracked one;
+  // the "!" keeps the two from deduping onto the same DAG node.
+  op.immune = n.immune;
+  if (n.immune) op.signature.append("!");
   return op;
 }
 
 }  // namespace
 
-PrefixSplit SplitForSharedPrefix(AstPtr ast) {
+void OptimizePlan(PlanNode& plan, const OptimizerOptions& options) {
+  if (!options.enabled) return;
+  PassManager manager =
+      PassManager::Standard(options.reorder, options.independence);
+  PassContext context;
+  context.schema = options.schema;
+  context.profile = options.cost_profile;
+  manager.Run(plan, context);
+}
+
+PrefixSplit SplitForSharedPrefix(PlanPtr plan) {
   PrefixSplit out;
-  if (ast == nullptr) return out;
+  if (plan == nullptr) return out;
   // Backward axes make the compiled pipeline clone the *raw* source before
   // any other stage; a prefix transformation ahead of those clones would
   // feed them something else.  Multiple stream leaves (or none) mean there
   // is no single spine to lift.
-  if (CountBackwardSteps(*ast) != 0 || CountStreamLeaves(*ast) != 1) {
-    out.residual = std::move(ast);
+  if (CountBackwardSteps(*plan) != 0 || CountStreamLeaves(*plan) != 1) {
+    out.residual = std::move(plan);
     return out;
   }
 
@@ -477,16 +583,16 @@ PrefixSplit SplitForSharedPrefix(AstPtr ast) {
   // slot at every level.  `peeled[i]` marks filters the FLWOR compiler
   // peels to tuple scope (consecutive filters directly under an `in`
   // clause) — those must stay in the residual.
-  std::vector<AstPtr*> slots;
+  std::vector<PlanPtr*> slots;
   std::vector<bool> peeled;
-  AstPtr* slot = &ast;
+  PlanPtr* slot = &plan;
   bool under_flwor_in = false;
   while (true) {
-    AstNode* n = slot->get();
+    PlanNode* n = slot->get();
     slots.push_back(slot);
     peeled.push_back(under_flwor_in && n->kind == AstKind::kFilter);
     if (n->kind == AstKind::kStream) break;
-    AstPtr* next = nullptr;
+    PlanPtr* next = nullptr;
     switch (n->kind) {
       case AstKind::kElementCtor:
       case AstKind::kCount:
@@ -514,7 +620,7 @@ PrefixSplit SplitForSharedPrefix(AstPtr ast) {
     if (next == nullptr || CountStreamLeaves(**next) != 1) {
       // The leaf hides somewhere this walk cannot follow (a sequence
       // branch, a condition); leave the query whole.
-      out.residual = std::move(ast);
+      out.residual = std::move(plan);
       return out;
     }
     slot = next;
@@ -525,7 +631,7 @@ PrefixSplit SplitForSharedPrefix(AstPtr ast) {
   const size_t leaf = slots.size() - 1;
   size_t first = leaf;  // index of the topmost extracted node
   while (first > 0) {
-    const AstNode& n = *slots[first - 1]->get();
+    const PlanNode& n = *slots[first - 1]->get();
     bool eligible = false;
     if (n.kind == AstKind::kStep) {
       eligible = n.axis == AstAxis::kChild || n.axis == AstAxis::kDescendant ||
@@ -537,28 +643,30 @@ PrefixSplit SplitForSharedPrefix(AstPtr ast) {
     --first;
   }
   if (first == leaf) {  // nothing extractable above the leaf
-    out.residual = std::move(ast);
+    out.residual = std::move(plan);
     return out;
   }
 
   // Detach: leaf out of the chain, chain out of the tree, leaf back into
   // the chain's old slot.  Interior slot pointers stay valid — moving a
   // unique_ptr moves the pointer, never the pointee.
-  AstPtr stream_leaf = std::move(*slots[leaf]);
-  AstPtr chain = std::move(*slots[first]);
+  PlanPtr stream_leaf = std::move(*slots[leaf]);
+  PlanPtr chain = std::move(*slots[first]);
   *slots[first] = std::move(stream_leaf);
-  out.residual = std::move(ast);
+  out.residual = std::move(plan);
 
   // Emit ops leaf-first: the node nearest the source compiles (and runs)
   // first, so this is execution order.
   for (size_t i = leaf; i-- > first;) {
-    AstNode* n = i == first ? chain.get() : slots[i]->get();
+    PlanNode* n = i == first ? chain.get() : slots[i]->get();
     if (n->kind == AstKind::kStep) {
       out.prefix.push_back(MakeStepOp(*n));
     } else {
       PrefixStep op;
       op.kind = PrefixStep::Kind::kPredicate;
       op.signature = ConditionSignature(*n->children[1]);
+      op.immune = n->immune;
+      if (n->immune) op.signature.append("!");
       op.condition = std::move(n->children[1]);
       out.prefix.push_back(std::move(op));
     }
@@ -568,14 +676,14 @@ PrefixSplit SplitForSharedPrefix(AstPtr ast) {
 
 StatusOr<CompiledQuery> CompilePrefixStep(PrefixStep op,
                                           StreamId first_dynamic_id) {
-  auto stream = std::make_unique<AstNode>(AstKind::kStream);
-  AstPtr node;
+  auto stream = std::make_unique<PlanNode>(AstKind::kStream);
+  PlanPtr node;
   switch (op.kind) {
     case PrefixStep::Kind::kChild:
     case PrefixStep::Kind::kDescendant:
     case PrefixStep::Kind::kAttribute:
     case PrefixStep::Kind::kText: {
-      node = std::make_unique<AstNode>(AstKind::kStep);
+      node = std::make_unique<PlanNode>(AstKind::kStep);
       switch (op.kind) {
         case PrefixStep::Kind::kChild:
           node->axis = AstAxis::kChild;
@@ -591,6 +699,7 @@ StatusOr<CompiledQuery> CompilePrefixStep(PrefixStep op,
           break;
       }
       node->name = op.name;
+      node->symbol = op.symbol;
       node->children.push_back(std::move(stream));
       break;
     }
@@ -598,19 +707,30 @@ StatusOr<CompiledQuery> CompilePrefixStep(PrefixStep op,
       if (op.condition == nullptr) {
         return Status::InvalidArgument("prefix predicate without a condition");
       }
-      node = std::make_unique<AstNode>(AstKind::kFilter);
+      node = std::make_unique<PlanNode>(AstKind::kFilter);
       node->children.push_back(std::move(stream));
       node->children.push_back(std::move(op.condition));
       break;
     }
   }
-  return CompileAst(*node, first_dynamic_id);
+  // The extracted node carries the full plan's optimizer verdict: the
+  // standalone segment must lower to the exact stage group the whole
+  // pipeline would have contained.  (The condition subtree kept its own
+  // annotations through the move.)
+  node->immune = op.immune;
+  return CompilePlan(*node, first_dynamic_id);
+}
+
+StatusOr<CompiledQuery> CompilePlan(PlanNode& plan,
+                                    StreamId first_dynamic_id) {
+  Compiler compiler(first_dynamic_id);
+  return compiler.Run(plan);
 }
 
 StatusOr<CompiledQuery> CompileAst(const AstNode& ast,
                                    StreamId first_dynamic_id) {
-  Compiler compiler(first_dynamic_id);
-  return compiler.Run(ast);
+  PlanPtr plan = BuildPlan(ast);
+  return CompilePlan(*plan, first_dynamic_id);
 }
 
 StatusOr<CompiledQuery> CompileQuery(std::string_view query,
@@ -618,6 +738,19 @@ StatusOr<CompiledQuery> CompileQuery(std::string_view query,
   auto ast = ParseQuery(query);
   if (!ast.ok()) return ast.status();
   return CompileAst(*ast.value(), first_dynamic_id);
+}
+
+StatusOr<CompiledQuery> CompileQueryOptimized(std::string_view query,
+                                              const OptimizerOptions& options,
+                                              StreamId first_dynamic_id,
+                                              PlanPtr* plan_out) {
+  auto ast = ParseQuery(query);
+  if (!ast.ok()) return ast.status();
+  PlanPtr plan = BuildPlan(*ast.value());
+  OptimizePlan(*plan, options);
+  auto compiled = CompilePlan(*plan, first_dynamic_id);
+  if (plan_out != nullptr) *plan_out = std::move(plan);
+  return compiled;
 }
 
 }  // namespace xflux

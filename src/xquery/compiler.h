@@ -1,7 +1,20 @@
-// Compiles the XQuery-subset AST into a pipeline of state transformers
-// (the translation the paper references from its earlier work [4]): each
-// XPath step, predicate, FLWOR clause, constructor, and aggregate becomes
-// one stage, all wrapped by the state-adjustment machinery.
+// Compiles queries into pipelines of state transformers, in three layers
+// (DESIGN.md §10): parse to AST, build the logical plan IR (plan.h), run
+// optimizer passes over it (passes/*), then lower the plan to stages —
+// each XPath step, predicate, FLWOR clause, constructor, and aggregate
+// becomes one stage, wrapped by the state-adjustment machinery unless the
+// update-independence pass proved the node immune (then the fast-path
+// stage variant is emitted).
+//
+// Lowering an unannotated plan is byte-identical to the historical direct
+// AST compilation: same stages, same construction order, same StreamId
+// allocations.  The only annotation that changes id allocation is
+// `reordered`: for a permuted predicate chain the compiler pre-allocates
+// the chain's condition base streams in source-ordinal order before any
+// chain stage is built, so each condition keeps the id it would have had
+// in source order no matter how the pass permuted execution — the PR 6 id
+// bands (and anything keyed on condition stream ids) stay stable across
+// profile changes.
 
 #ifndef XFLUX_XQUERY_COMPILER_H_
 #define XFLUX_XQUERY_COMPILER_H_
@@ -15,8 +28,12 @@
 #include "util/status.h"
 #include "util/symbol_table.h"
 #include "xquery/ast.h"
+#include "xquery/plan.h"
 
 namespace xflux {
+
+class Schema;
+class CostProfile;
 
 /// A compiled query: an assembled pipeline awaiting a sink and then source
 /// events on stream `source_id`.
@@ -25,23 +42,61 @@ struct CompiledQuery {
   StreamId source_id = 0;
 };
 
-/// Compiles a parsed AST.  `first_dynamic_id` seeds the pipeline's id
-/// allocator (see PipelineContext); the compiler itself draws clone/branch
-/// ids from it, so it must be fixed at compile time.
+/// Optimizer configuration for the plan-based entry points.  The default
+/// (`enabled = false`) lowers the unannotated plan — byte-identical to the
+/// pre-optimizer compiler.
+struct OptimizerOptions {
+  /// Master switch; off means no pass runs regardless of the rest.
+  bool enabled = false;
+  /// Document schema for the update-independence pass (nullptr disables
+  /// that pass even when `independence` is set).
+  const Schema* schema = nullptr;
+  /// Measured selectivities for predicate reorder; nullptr falls back to
+  /// heuristics.
+  const CostProfile* cost_profile = nullptr;
+  /// Per-pass toggles (for ablation).
+  bool reorder = true;
+  bool independence = true;
+};
+
+/// Runs the standard pass pipeline over `plan` in place (no-op when
+/// options.enabled is false).
+void OptimizePlan(PlanNode& plan, const OptimizerOptions& options);
+
+/// Lowers a plan to a pipeline.  Mutates only the plan's `stage_ids`
+/// annotations (which stages each node compiled into).
+StatusOr<CompiledQuery> CompilePlan(
+    PlanNode& plan, StreamId first_dynamic_id = kDefaultFirstDynamicId);
+
+/// Compiles a parsed AST (plan built internally, no passes).
+/// `first_dynamic_id` seeds the pipeline's id allocator (see
+/// PipelineContext); the compiler itself draws clone/branch ids from it,
+/// so it must be fixed at compile time.
 StatusOr<CompiledQuery> CompileAst(
     const AstNode& ast, StreamId first_dynamic_id = kDefaultFirstDynamicId);
 
-/// Parses and compiles in one step.
+/// Parses and compiles in one step (no passes).
 StatusOr<CompiledQuery> CompileQuery(
     std::string_view query,
     StreamId first_dynamic_id = kDefaultFirstDynamicId);
+
+/// Parses, builds the plan, runs the optimizer, and lowers.  When
+/// `plan_out` is non-null it receives the annotated plan (immunity,
+/// selectivities, lowered stage ids) — the input to `xflux_inspect
+/// --explain`.
+StatusOr<CompiledQuery> CompileQueryOptimized(
+    std::string_view query, const OptimizerOptions& options,
+    StreamId first_dynamic_id = kDefaultFirstDynamicId,
+    PlanPtr* plan_out = nullptr);
 
 /// One operation lifted off the leading spine of a query for shared
 /// execution: a forward step or an eligible predicate group, identified by
 /// a canonical `(op, Symbol)` signature.  Two queries whose spines yield
 /// equal signature sequences compute identical intermediate streams, which
 /// is what lets the QueryServer's prefix DAG evaluate the shared spine
-/// once (see DESIGN.md §9).
+/// once (see DESIGN.md §9).  An immune op appends "!" to its signature —
+/// the fast-path stage group is a different pipeline from the tracked one,
+/// so differently-optimized registrations must not dedup together.
 struct PrefixStep {
   enum class Kind {
     kChild,       // /name, /*
@@ -53,24 +108,27 @@ struct PrefixStep {
   Kind kind = Kind::kChild;
   std::string name;        // step name test; empty for kPredicate / kText
   Symbol symbol;           // interned name ("@name" for attributes)
-  AstPtr condition;        // kPredicate only: the kCompare subtree (owned)
+  PlanPtr condition;       // kPredicate only: the kCompare subtree (owned)
+  bool immune = false;     // lowers to the update-independent fast path
   std::string signature;   // canonical dedup key, e.g. `desc(item)`,
-                           // `pred(./child(location)="Albania")`
+                           // `pred(./child(location)="Albania")`, with a
+                           // trailing "!" when immune
 };
 
 /// Result of SplitForSharedPrefix: the extracted spine (in execution
-/// order, i.e. the step nearest the source first) plus the residual query
+/// order, i.e. the step nearest the source first) plus the residual plan
 /// with the spine replaced by the bare stream leaf.  When nothing is
-/// extractable, `prefix` is empty and `residual` is the original AST.
+/// extractable, `prefix` is empty and `residual` is the original plan.
 struct PrefixSplit {
   std::vector<PrefixStep> prefix;
-  AstPtr residual;
+  PlanPtr residual;
 };
 
-/// Splits `ast` (consumed) into a maximal shareable leading chain and the
-/// residual query.  Extraction covers forward child / descendant /
-/// attribute / text steps and predicates whose condition is a kCompare
-/// over a short relative forward path; it refuses
+/// Splits `plan` (consumed, annotations preserved) into a maximal
+/// shareable leading chain and the residual query.  Extraction covers
+/// forward child / descendant / attribute / text steps and predicates
+/// whose condition is a kCompare over a short relative forward path; it
+/// refuses
 ///  - queries containing any backward axis (their compiled form clones the
 ///    raw source first, so no prefix transformation may precede them),
 ///  - filter chains sitting directly under a FLWOR `in` clause (the
@@ -79,7 +137,7 @@ struct PrefixSplit {
 ///    semantics), and
 ///  - anything it cannot prove compiles to the same stage group in both
 ///    the standalone and the shared pipeline.
-PrefixSplit SplitForSharedPrefix(AstPtr ast);
+PrefixSplit SplitForSharedPrefix(PlanPtr plan);
 
 /// Compiles one extracted prefix op into a standalone pipeline segment:
 /// the exact stage group the full compiler would have emitted for it, with

@@ -4,11 +4,31 @@
 
 namespace xflux {
 
+namespace {
+
+OptimizerOptions OptimizerFrom(const QueryOptions& options) {
+  OptimizerOptions opt;
+  opt.enabled = options.optimize;
+  opt.schema = options.schema;
+  opt.cost_profile = options.cost_profile;
+  opt.reorder = options.optimize_reorder;
+  opt.independence = options.optimize_independence;
+  return opt;
+}
+
+}  // namespace
+
 StatusOr<std::unique_ptr<QuerySession>> QuerySession::Open(
     std::string_view query, const Options& options) {
-  auto compiled = CompileQuery(query, options.first_dynamic_id);
+  PlanPtr plan;
+  auto compiled =
+      options.optimize
+          ? CompileQueryOptimized(query, OptimizerFrom(options),
+                                  options.first_dynamic_id, &plan)
+          : CompileQuery(query, options.first_dynamic_id);
   if (!compiled.ok()) return compiled.status();
   auto session = std::unique_ptr<QuerySession>(new QuerySession());
+  session->plan_ = std::move(plan);
   session->pipeline_ = std::move(compiled.value().pipeline);
   session->source_id_ = compiled.value().source_id;
   SessionWiring wiring = WireSessionPipeline(session->pipeline_.get(), options);

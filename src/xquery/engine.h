@@ -68,6 +68,11 @@ class QuerySession {
   /// The protocol guard, or nullptr when Options::guard was false.
   ProtocolGuard* guard() { return guard_; }
 
+  /// The annotated plan the session was lowered from (immunity verdicts,
+  /// selectivities, lowered stage ids — see plan.h), or nullptr when
+  /// Options::optimize was false.
+  const PlanNode* plan() const { return plan_.get(); }
+
   /// Errors latched by the display (protocol violations).
   const Status& display_status() const { return display_->status(); }
 
@@ -85,6 +90,7 @@ class QuerySession {
   std::unique_ptr<ResultDisplay> display_;
   TraceSink* trace_ = nullptr;       // owned by the pipeline
   ProtocolGuard* guard_ = nullptr;   // owned by the pipeline
+  PlanPtr plan_;                     // optimized opens only
   StreamId source_id_ = 0;
 };
 

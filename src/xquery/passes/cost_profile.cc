@@ -1,0 +1,131 @@
+#include "xquery/passes/cost_profile.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace xflux {
+
+namespace {
+
+// Reads one JSON string starting at the opening quote `pos`; returns the
+// unescaped value and leaves `pos` just past the closing quote.  Returns
+// false on an unterminated string (scan stops there).
+bool ReadJsonString(std::string_view json, size_t* pos, std::string* out) {
+  out->clear();
+  size_t i = *pos + 1;  // skip opening quote
+  while (i < json.size()) {
+    char c = json[i];
+    if (c == '"') {
+      *pos = i + 1;
+      return true;
+    }
+    if (c == '\\' && i + 1 < json.size()) {
+      char esc = json[i + 1];
+      switch (esc) {
+        case 'n': out->push_back('\n'); break;
+        case 't': out->push_back('\t'); break;
+        case 'r': out->push_back('\r'); break;
+        default: out->push_back(esc); break;  // \" \\ \/ and friends
+      }
+      i += 2;
+      continue;
+    }
+    out->push_back(c);
+    ++i;
+  }
+  return false;
+}
+
+size_t SkipWhitespace(std::string_view json, size_t pos) {
+  while (pos < json.size() &&
+         std::isspace(static_cast<unsigned char>(json[pos]))) {
+    ++pos;
+  }
+  return pos;
+}
+
+bool IsCompareStageName(const std::string& name) {
+  return name.rfind("eq(\"", 0) == 0 || name.rfind("contains(\"", 0) == 0;
+}
+
+}  // namespace
+
+size_t CostProfile::MergeBenchJson(std::string_view json) {
+  // Accumulated in/out counts per compare stage; multiple rows for the
+  // same stage name (several benches in one file) pool their counts.
+  std::map<std::string, std::pair<double, double>> counts;
+  std::string current_name;
+  size_t pos = 0;
+  while (pos < json.size()) {
+    if (json[pos] != '"') {
+      ++pos;
+      continue;
+    }
+    std::string key;
+    if (!ReadJsonString(json, &pos, &key)) break;
+    size_t after = SkipWhitespace(json, pos);
+    if (after >= json.size() || json[after] != ':') continue;
+    after = SkipWhitespace(json, after + 1);
+    if (after >= json.size()) break;
+    if (key == "name") {
+      if (json[after] != '"') continue;
+      pos = after;
+      if (!ReadJsonString(json, &pos, &current_name)) break;
+      continue;
+    }
+    if (key != "in_simple" && key != "out_simple") continue;
+    if (!IsCompareStageName(current_name)) continue;
+    double value = 0;
+    size_t end = after;
+    while (end < json.size() &&
+           (std::isdigit(static_cast<unsigned char>(json[end])) ||
+            json[end] == '.' || json[end] == '-' || json[end] == '+' ||
+            json[end] == 'e' || json[end] == 'E')) {
+      ++end;
+    }
+    if (end == after) continue;
+    value = std::stod(std::string(json.substr(after, end - after)));
+    auto& entry = counts[current_name];
+    (key == "in_simple" ? entry.first : entry.second) += value;
+    pos = end;
+  }
+
+  size_t merged = 0;
+  for (const auto& [name, in_out] : counts) {
+    if (in_out.first <= 0) continue;
+    double selectivity = in_out.second / in_out.first;
+    if (selectivity < 0) selectivity = 0;
+    if (selectivity > 1) selectivity = 1;
+    Set(name, selectivity);
+    ++merged;
+  }
+  return merged;
+}
+
+StatusOr<CostProfile> CostProfile::LoadFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::InvalidArgument("cannot open cost profile: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  CostProfile profile;
+  profile.MergeBenchJson(buffer.str());
+  return profile;
+}
+
+std::string ConditionProfileKey(const PlanNode& compare) {
+  switch (compare.match) {
+    case AstMatch::kEquals:
+      return "eq(\"" + compare.name + "\")";
+    case AstMatch::kContains:
+      return "contains(\"" + compare.name + "\")";
+    case AstMatch::kExists:
+      // Existence lowers to contains("") — see Compiler::CompileCondition.
+      return "contains(\"\")";
+  }
+  return "";
+}
+
+}  // namespace xflux

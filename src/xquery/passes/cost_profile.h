@@ -1,0 +1,69 @@
+// Measured selectivities for the predicate-reorder pass.
+//
+// A CostProfile maps condition keys — the TextCompare stage names a query
+// compiles to, e.g. `eq("Albania")` or `contains("Creditcard")` — to the
+// fraction of evaluations that matched.  Profiles are seeded from a prior
+// run's `BENCH_*.json` (or any StatsRegistry::ToJson dump): a TextCompare
+// row's out_simple / in_simple ratio is exactly the fraction of condition
+// values that produced a non-empty verdict, which is the selectivity of
+// the predicate it feeds.
+//
+// The loader is a tolerant scanner, not a JSON validator: it walks the
+// text for `"name"` string fields and attributes the nearest following
+// `in_simple` / `out_simple` numbers to that stage.  Rows that are not
+// compare stages, malformed fragments, and unrelated JSON simply
+// contribute nothing — a missing or garbage profile degrades to the
+// heuristic defaults, never to an error at query time.
+
+#ifndef XFLUX_XQUERY_PASSES_COST_PROFILE_H_
+#define XFLUX_XQUERY_PASSES_COST_PROFILE_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+#include "xquery/plan.h"
+
+namespace xflux {
+
+/// See file comment.
+class CostProfile {
+ public:
+  /// Records (or overwrites) the selectivity for a condition key.
+  void Set(const std::string& key, double selectivity) {
+    selectivity_[key] = selectivity;
+  }
+
+  bool Has(const std::string& key) const {
+    return selectivity_.count(key) > 0;
+  }
+
+  /// The recorded selectivity, or `fallback` when the key is unknown.
+  double Lookup(const std::string& key, double fallback) const {
+    auto it = selectivity_.find(key);
+    return it == selectivity_.end() ? fallback : it->second;
+  }
+
+  size_t size() const { return selectivity_.size(); }
+
+  /// Scans a BENCH_*.json / StatsRegistry::ToJson text for compare-stage
+  /// rows and merges their measured selectivities (see file comment).
+  /// Returns the number of keys merged.
+  size_t MergeBenchJson(std::string_view json);
+
+  /// Reads `path` and merges it; fails only on I/O errors (unparseable
+  /// content merges zero keys, by design).
+  static StatusOr<CostProfile> LoadFromFile(const std::string& path);
+
+ private:
+  std::map<std::string, double> selectivity_;
+};
+
+/// The profile key for a condition node (kCompare): the exact name of the
+/// TextCompare stage its lowering emits.
+std::string ConditionProfileKey(const PlanNode& compare);
+
+}  // namespace xflux
+
+#endif  // XFLUX_XQUERY_PASSES_COST_PROFILE_H_

@@ -1,0 +1,16 @@
+#include "xquery/passes/pass.h"
+
+#include "xquery/passes/predicate_reorder.h"
+#include "xquery/passes/update_independence.h"
+
+namespace xflux {
+
+PassManager PassManager::Standard(bool reorder, bool independence) {
+  PassManager manager;
+  // Reorder first: independence annotates the plan's final shape.
+  if (reorder) manager.Add(std::make_unique<PredicateReorderPass>());
+  if (independence) manager.Add(std::make_unique<UpdateIndependencePass>());
+  return manager;
+}
+
+}  // namespace xflux

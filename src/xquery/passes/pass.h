@@ -1,0 +1,70 @@
+// The optimizer pass layer: analysis / rewrite passes over the plan IR.
+//
+// Pass contract (pinned by DESIGN.md §10 and the pass-manager tests):
+//
+//  - a pass mutates only annotation slots and/or permutes provably
+//    commuting subtrees; it never changes what the query computes,
+//  - a pass must be a no-op (beyond annotations) when its enabling inputs
+//    are absent — no Schema means no immunity marks, no CostProfile means
+//    heuristic selectivities only,
+//  - annotations are monotone hints for lowering: a plan with all
+//    annotations at their defaults lowers byte-identically to the direct
+//    AST compilation, so "passes off" is always a valid (just slower)
+//    configuration,
+//  - passes run in the order they were added; each sees the previous
+//    pass's rewrites.
+
+#ifndef XFLUX_XQUERY_PASSES_PASS_H_
+#define XFLUX_XQUERY_PASSES_PASS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "xquery/plan.h"
+
+namespace xflux {
+
+class Schema;
+class CostProfile;
+
+/// Inputs shared by all passes of one run.
+struct PassContext {
+  /// Document schema; nullptr disables schema-dependent analysis.
+  const Schema* schema = nullptr;
+  /// Measured selectivities from a prior run; nullptr falls back to
+  /// per-operator heuristics.
+  const CostProfile* profile = nullptr;
+};
+
+/// See file comment for the contract.
+class Pass {
+ public:
+  virtual ~Pass() = default;
+  virtual std::string name() const = 0;
+  virtual void Run(PlanNode& plan, const PassContext& context) = 0;
+};
+
+/// Runs passes in registration order.
+class PassManager {
+ public:
+  void Add(std::unique_ptr<Pass> pass) { passes_.push_back(std::move(pass)); }
+
+  void Run(PlanNode& plan, const PassContext& context) {
+    for (auto& pass : passes_) pass->Run(plan, context);
+  }
+
+  size_t size() const { return passes_.size(); }
+
+  /// The standard optimizer pipeline: predicate reorder (rewrites the
+  /// plan shape) followed by update independence (annotates the final
+  /// shape).  Either pass can be toggled for ablation runs.
+  static PassManager Standard(bool reorder, bool independence);
+
+ private:
+  std::vector<std::unique_ptr<Pass>> passes_;
+};
+
+}  // namespace xflux
+
+#endif  // XFLUX_XQUERY_PASSES_PASS_H_

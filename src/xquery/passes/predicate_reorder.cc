@@ -1,0 +1,113 @@
+#include "xquery/passes/predicate_reorder.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "xquery/passes/cost_profile.h"
+
+namespace xflux {
+
+namespace {
+
+bool ForwardConditionPath(const PlanNode& n) {
+  switch (n.kind) {
+    case AstKind::kVarRef:
+      return n.name.empty();
+    case AstKind::kStream:
+      return true;
+    case AstKind::kStep:
+      switch (n.axis) {
+        case AstAxis::kChild:
+        case AstAxis::kDescendant:
+        case AstAxis::kAttribute:
+        case AstAxis::kText:
+          return ForwardConditionPath(*n.children[0]);
+        default:
+          return false;
+      }
+    default:
+      return false;
+  }
+}
+
+bool Commutes(const PlanNode& cmp) {
+  return cmp.kind == AstKind::kCompare && cmp.children.size() == 1 &&
+         ForwardConditionPath(*cmp.children[0]);
+}
+
+double Estimate(const PlanNode& cmp, const PassContext& ctx) {
+  double fallback = kExistsSelectivity;
+  switch (cmp.match) {
+    case AstMatch::kEquals: fallback = kEqualsSelectivity; break;
+    case AstMatch::kContains: fallback = kContainsSelectivity; break;
+    case AstMatch::kExists: fallback = kExistsSelectivity; break;
+  }
+  if (ctx.profile == nullptr) return fallback;
+  return ctx.profile->Lookup(ConditionProfileKey(cmp), fallback);
+}
+
+// `head` is the topmost kFilter of a chain.  Chain nodes are fixed; only
+// the condition subtrees move between them.
+void HandleChain(PlanNode& head, const PassContext& ctx) {
+  std::vector<PlanNode*> chain;  // top-down
+  for (PlanNode* cur = &head; cur->kind == AstKind::kFilter;
+       cur = cur->children[0].get()) {
+    chain.push_back(cur);
+  }
+  // Execution order: the innermost filter's stages compile (and run)
+  // first.
+  std::reverse(chain.begin(), chain.end());
+
+  bool all_commute = true;
+  std::vector<double> sel(chain.size());
+  for (size_t i = 0; i < chain.size(); ++i) {
+    PlanNode& cmp = *chain[i]->children[1];
+    all_commute = all_commute && Commutes(cmp);
+    sel[i] = Estimate(cmp, ctx);
+    cmp.selectivity = sel[i];
+    chain[i]->selectivity = sel[i];
+  }
+  if (!all_commute || chain.size() < 2) return;
+
+  std::vector<size_t> order(chain.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](size_t a, size_t b) { return sel[a] < sel[b]; });
+  bool identity = true;
+  for (size_t j = 0; j < order.size(); ++j) identity &= order[j] == j;
+  if (identity) return;
+
+  std::vector<PlanPtr> conds;
+  conds.reserve(chain.size());
+  for (PlanNode* f : chain) conds.push_back(std::move(f->children[1]));
+  for (size_t j = 0; j < chain.size(); ++j) {
+    chain[j]->children[1] = std::move(conds[order[j]]);
+    chain[j]->selectivity = sel[order[j]];
+    if (order[j] != j) chain[j]->reordered = true;
+  }
+}
+
+void Visit(PlanNode& n, const PassContext& ctx) {
+  if (n.kind == AstKind::kFilter) {
+    // Generic recursion only reaches a kFilter at the top of its chain
+    // (chain interiors are walked here, not by the loop below).
+    HandleChain(n, ctx);
+    PlanNode* cur = &n;
+    while (cur->kind == AstKind::kFilter) {
+      Visit(*cur->children[1], ctx);
+      cur = cur->children[0].get();
+    }
+    Visit(*cur, ctx);
+    return;
+  }
+  for (auto& c : n.children) Visit(*c, ctx);
+}
+
+}  // namespace
+
+void PredicateReorderPass::Run(PlanNode& plan, const PassContext& context) {
+  Visit(plan, context);
+}
+
+}  // namespace xflux

@@ -1,0 +1,41 @@
+// The stats-driven predicate-reorder pass (ROADMAP item 3b's compile-time
+// half; cf. hyrise's performance_data-driven operator reordering).
+//
+// Adjacent predicates over the same item commute when each condition is a
+// kCompare over a forward relative path — evaluation is confined to the
+// item's own content, so applying them in any order keeps exactly the
+// same items.  For every such chain (nested kFilter nodes, and the filter
+// chain a FLWOR peels off its `in` clause) the pass permutes the
+// *condition subtrees* among the fixed chain of filter nodes so the most
+// selective condition runs first, estimated from the PassContext's
+// CostProfile (a prior run's measured TextCompare hit rates) with
+// per-match-kind heuristic fallbacks.
+//
+// Chains containing any non-commuting member (backward axes, non-compare
+// conditions, FLWOR-variable references) are left untouched, as are
+// chains already in best order — only genuinely permuted filter nodes get
+// `reordered = true`, which is what tells lowering to pre-allocate the
+// group's condition ids in source-ordinal order (see compiler.cc).
+
+#ifndef XFLUX_XQUERY_PASSES_PREDICATE_REORDER_H_
+#define XFLUX_XQUERY_PASSES_PREDICATE_REORDER_H_
+
+#include "xquery/passes/pass.h"
+
+namespace xflux {
+
+/// Heuristic selectivities used when no profile entry matches.
+inline constexpr double kEqualsSelectivity = 0.1;
+inline constexpr double kContainsSelectivity = 0.3;
+inline constexpr double kExistsSelectivity = 0.5;
+
+/// See file comment.
+class PredicateReorderPass : public Pass {
+ public:
+  std::string name() const override { return "predicate-reorder"; }
+  void Run(PlanNode& plan, const PassContext& context) override;
+};
+
+}  // namespace xflux
+
+#endif  // XFLUX_XQUERY_PASSES_PREDICATE_REORDER_H_

@@ -1,0 +1,297 @@
+#include "xquery/passes/update_independence.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "xquery/schema.h"
+
+namespace xflux {
+
+namespace {
+
+// The stream shape reaching a plan node: which tags may appear as
+// top-level items (`roots`) and anywhere in the content (`content`,
+// a superset of roots), whether the analysis gave up (`any`), and whether
+// the stream is free of upstream-minted revisable regions (`pure`).
+struct Shape {
+  bool any = false;
+  std::set<std::string> roots;
+  std::set<std::string> content;
+  bool pure = true;
+};
+
+Shape GiveUp() {
+  Shape s;
+  s.any = true;
+  s.pure = false;
+  return s;
+}
+
+// True when the condition is a kCompare over a forward relative path —
+// the only conditions whose evaluation is confined to the item's own
+// content (so schema disjointness of the data stream covers them too).
+// `loop_var` names the enclosing FLWOR's variable, which is exactly the
+// context item for that FLWOR's tuple predicates; references to any
+// *other* variable leave the item's scope and disqualify the path.
+bool ForwardConditionPath(const PlanNode& n, const std::string& loop_var) {
+  switch (n.kind) {
+    case AstKind::kVarRef:
+      return n.name.empty() || n.name == loop_var;
+    case AstKind::kStream:
+      return true;
+    case AstKind::kStep:
+      switch (n.axis) {
+        case AstAxis::kChild:
+        case AstAxis::kDescendant:
+        case AstAxis::kAttribute:
+        case AstAxis::kText:
+          return ForwardConditionPath(*n.children[0], loop_var);
+        default:
+          return false;
+      }
+    default:
+      return false;
+  }
+}
+
+bool ReorderableCondition(const PlanNode& cmp,
+                          const std::string& loop_var = std::string()) {
+  return cmp.kind == AstKind::kCompare && cmp.children.size() == 1 &&
+         ForwardConditionPath(*cmp.children[0], loop_var);
+}
+
+class Analyzer {
+ public:
+  explicit Analyzer(const Schema& schema) : schema_(schema) {
+    doc_.roots.insert(schema.root());
+    doc_.content = schema.ContentClosure(schema.root());
+    doc_.content.insert(schema.root());
+  }
+
+  void Run(PlanNode& plan) { AnalyzeTop(plan); }
+
+ private:
+  bool Immune(const Shape& s) const {
+    return !s.any && s.pure && schema_.UpdateDisjoint(s.content);
+  }
+
+  Shape AnalyzeTop(PlanNode& n) {
+    switch (n.kind) {
+      case AstKind::kElementCtor: {
+        Shape content = AnalyzeTop(*n.children[0]);
+        n.immune = Immune(content);
+        return CtorShape(n, content);
+      }
+      case AstKind::kCount:
+      case AstKind::kSum:
+      case AstKind::kAvg: {
+        Shape in = AnalyzeTop(*n.children[0]);
+        n.immune = Immune(in);
+        Shape out;
+        out.any = in.any;
+        // A revisable aggregate wraps its running value in a region.
+        out.pure = in.pure && n.immune;
+        return out;
+      }
+      case AstKind::kFlwor:
+        return AnalyzeFlwor(n);
+      case AstKind::kStream:
+      case AstKind::kVarRef:
+      case AstKind::kStep:
+      case AstKind::kFilter:
+        return AnalyzePath(n, doc_);
+      default:
+        return GiveUp();
+    }
+  }
+
+  Shape AnalyzePath(PlanNode& n, const Shape& context) {
+    switch (n.kind) {
+      case AstKind::kStream:
+      case AstKind::kVarRef:
+        return context;
+      case AstKind::kStep:
+        return AnalyzeStep(n, context);
+      case AstKind::kFilter:
+        return AnalyzeFilter(n, context);
+      default:
+        return GiveUp();
+    }
+  }
+
+  Shape AnalyzeStep(PlanNode& n, const Shape& context) {
+    Shape in = AnalyzePath(*n.children[0], context);
+    switch (n.axis) {
+      case AstAxis::kParent:
+      case AstAxis::kAncestor:
+        // Backward steps consume clones of the raw source; nothing on
+        // their output is proven about anything.
+        n.immune = false;
+        return GiveUp();
+      default:
+        break;
+    }
+    n.immune = Immune(in);
+    if (in.any) return GiveUp();
+    Shape out;
+    out.pure = in.pure;
+    switch (n.axis) {
+      case AstAxis::kChild:
+      case AstAxis::kAttribute: {
+        std::string test =
+            n.axis == AstAxis::kAttribute ? "@" + n.name : n.name;
+        for (const std::string& r : in.roots) {
+          for (const std::string& c : schema_.ChildrenOf(r)) {
+            if (test == "*" || c == test) out.roots.insert(c);
+          }
+        }
+        break;
+      }
+      case AstAxis::kDescendant:
+        for (const std::string& t : in.content) {
+          if (n.name == "*" || t == n.name) out.roots.insert(t);
+        }
+        break;
+      case AstAxis::kText:
+        // Text values only: no element structure flows on.
+        return out;
+      default:
+        return GiveUp();  // unreachable
+    }
+    out.content = out.roots;
+    for (const std::string& r : out.roots) {
+      std::set<std::string> closure = schema_.ContentClosure(r);
+      out.content.insert(closure.begin(), closure.end());
+    }
+    return out;
+  }
+
+  Shape AnalyzeFilter(PlanNode& n, const Shape& context) {
+    Shape data = AnalyzePath(*n.children[0], context);
+    PlanNode& cmp = *n.children[1];
+    bool cond_ok = ReorderableCondition(cmp);
+    if (cond_ok) {
+      // Annotate the condition path's steps; they run on a clone of the
+      // data stream, so the item shape is the data shape.
+      AnalyzePath(*cmp.children[0], data);
+    }
+    n.immune = cond_ok && Immune(data);
+    cmp.immune = n.immune;
+    Shape out = data;
+    // An optimistic predicate wraps every surviving item in a revisable
+    // region (hide/show may arrive later): downstream loses purity.  The
+    // eager (immune) variant drops items for good and mints nothing.
+    out.pure = data.pure && n.immune;
+    return out;
+  }
+
+  Shape AnalyzeFlwor(PlanNode& n) {
+    PlanNode* in_node = n.children[static_cast<size_t>(n.in_child)].get();
+    std::vector<PlanNode*> peeled;
+    while (in_node->kind == AstKind::kFilter) {
+      peeled.push_back(in_node);
+      in_node = in_node->children[0].get();
+    }
+    std::reverse(peeled.begin(), peeled.end());
+
+    Shape loop = AnalyzeTop(*in_node);
+    n.immune = Immune(loop);  // governs the MakeTuples stage
+
+    PlanNode& ret_node = *n.children[static_cast<size_t>(n.return_child)];
+    Shape ret = AnalyzeReturn(ret_node, loop);
+    // Sequence returns feed the tuple predicates several data branches;
+    // the eager variant is only proven for the single-stream case.
+    bool seq_return = ret_node.kind == AstKind::kSequence;
+
+    if (n.orderby_child >= 0) {
+      AnalyzePath(*n.children[static_cast<size_t>(n.orderby_child)], loop);
+    }
+
+    // Tuple predicates run in peeled order, then the where clause.  The
+    // condition is read from a clone of the raw tuples (loop shape); the
+    // buffered data is the constructed return output (ret shape).  A
+    // non-immune predicate mints regions around every tuple, so every
+    // later predicate — and everything above the FLWOR — loses purity.
+    bool pure_so_far = true;
+    auto mark_condition = [&](PlanNode* filter, PlanNode& cmp) {
+      bool immune = ReorderableCondition(cmp, n.name) && Immune(loop) &&
+                    !ret.any &&
+                    ret.pure && schema_.UpdateDisjoint(ret.content) &&
+                    !seq_return && pure_so_far;
+      if (filter != nullptr) filter->immune = immune;
+      cmp.immune = immune;
+      if (cmp.children.size() == 1) AnalyzePath(*cmp.children[0], loop);
+      if (!immune) pure_so_far = false;
+    };
+    for (PlanNode* pf : peeled) mark_condition(pf, *pf->children[1]);
+    if (n.where_child >= 0) {
+      mark_condition(nullptr,
+                     *n.children[static_cast<size_t>(n.where_child)]);
+    }
+
+    Shape out = ret;
+    out.pure = ret.pure && pure_so_far;
+    if (n.orderby_child >= 0) out.pure = false;  // SortFilter: conservative
+    return out;
+  }
+
+  Shape AnalyzeReturn(PlanNode& n, const Shape& loop) {
+    switch (n.kind) {
+      case AstKind::kVarRef:
+        return loop;
+      case AstKind::kStep:
+      case AstKind::kFilter:
+        return AnalyzePath(n, loop);
+      case AstKind::kElementCtor: {
+        Shape content = AnalyzeReturn(*n.children[0], loop);
+        n.immune = Immune(content);
+        return CtorShape(n, content);
+      }
+      case AstKind::kStringLiteral: {
+        n.immune = Immune(loop);
+        Shape out;
+        out.pure = loop.pure;
+        return out;
+      }
+      case AstKind::kSequence: {
+        Shape out;
+        bool all_immune = true;
+        for (auto& c : n.children) {
+          Shape branch = AnalyzeReturn(*c, loop);
+          out.any = out.any || branch.any;
+          out.pure = out.pure && branch.pure;
+          out.roots.insert(branch.roots.begin(), branch.roots.end());
+          out.content.insert(branch.content.begin(), branch.content.end());
+          all_immune = all_immune && Immune(branch);
+        }
+        n.immune = !out.any && out.pure && all_immune;  // the ConcatOp
+        out.pure = out.pure && n.immune;
+        return out;
+      }
+      default:
+        return GiveUp();
+    }
+  }
+
+  Shape CtorShape(const PlanNode& n, const Shape& content) {
+    Shape out = content;
+    out.roots.clear();
+    out.roots.insert(n.name);
+    out.content.insert(n.name);
+    return out;
+  }
+
+  const Schema& schema_;
+  Shape doc_;
+};
+
+}  // namespace
+
+void UpdateIndependencePass::Run(PlanNode& plan, const PassContext& context) {
+  if (context.schema == nullptr) return;
+  Analyzer(*context.schema).Run(plan);
+}
+
+}  // namespace xflux

@@ -1,0 +1,47 @@
+// The update-independence analysis pass (schema-based, compile-time
+// fix/freeze — ROADMAP item 3a; cf. Koch et al.'s schema-based scheduling
+// and Bidoit/Colazzo/Ulliana's type-based query-update independence).
+//
+// Given a document Schema, the pass computes for every plan node the
+// *stream shape* reaching it — which element tags can appear as top-level
+// items and anywhere in the content — and marks a node `immune` when
+//
+//   (1) its reachable content is disjoint from the schema's updatable
+//       closure (no update bracket can ever wrap, create, or remove
+//       anything the node's stages match), and
+//   (2) its input is *pure*: no upstream node may mint revisable output
+//       regions (an optimistic predicate's hide/show traffic is a
+//       retroactive update in its own right, so anything downstream of a
+//       non-immune predicate stays tracked).
+//
+// Soundness (the full argument is DESIGN.md §10): under (1), any update
+// content that does flow through an immune stage is balanced markup with
+// no stage-matched tags, so processing it against the live state is
+// state-neutral and produces no output; every per-region snapshot the S5
+// wrapper would have taken is value-equal to the live state, making every
+// adjust / hide-fold the identity.  Eliding the wrapper therefore cannot
+// change any observable output.  The first stage over the raw document is
+// never immune while `updatable` is non-empty (the document's content
+// closure intersects it by construction), so the tracked first stage keeps
+// swallowing updates addressed to fixed regions before any immune stage
+// sees them.
+//
+// Without a Schema in the PassContext the pass is a no-op.
+
+#ifndef XFLUX_XQUERY_PASSES_UPDATE_INDEPENDENCE_H_
+#define XFLUX_XQUERY_PASSES_UPDATE_INDEPENDENCE_H_
+
+#include "xquery/passes/pass.h"
+
+namespace xflux {
+
+/// See file comment.
+class UpdateIndependencePass : public Pass {
+ public:
+  std::string name() const override { return "update-independence"; }
+  void Run(PlanNode& plan, const PassContext& context) override;
+};
+
+}  // namespace xflux
+
+#endif  // XFLUX_XQUERY_PASSES_UPDATE_INDEPENDENCE_H_

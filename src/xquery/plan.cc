@@ -1,0 +1,141 @@
+#include "xquery/plan.h"
+
+#include <cstdio>
+
+namespace xflux {
+
+namespace {
+
+const char* KindName(AstKind k) {
+  switch (k) {
+    case AstKind::kStream: return "stream";
+    case AstKind::kVarRef: return "var";
+    case AstKind::kStep: return "step";
+    case AstKind::kFilter: return "filter";
+    case AstKind::kCompare: return "compare";
+    case AstKind::kFlwor: return "flwor";
+    case AstKind::kElementCtor: return "element";
+    case AstKind::kSequence: return "sequence";
+    case AstKind::kCount: return "count";
+    case AstKind::kSum: return "sum";
+    case AstKind::kAvg: return "avg";
+    case AstKind::kStringLiteral: return "literal";
+  }
+  return "?";
+}
+
+const char* AxisName(AstAxis a) {
+  switch (a) {
+    case AstAxis::kChild: return "child";
+    case AstAxis::kDescendant: return "descendant";
+    case AstAxis::kAttribute: return "attribute";
+    case AstAxis::kText: return "text";
+    case AstAxis::kParent: return "parent";
+    case AstAxis::kAncestor: return "ancestor";
+  }
+  return "?";
+}
+
+const char* MatchName(AstMatch m) {
+  switch (m) {
+    case AstMatch::kEquals: return "equals";
+    case AstMatch::kContains: return "contains";
+    case AstMatch::kExists: return "exists";
+  }
+  return "?";
+}
+
+PlanPtr BuildPlanImpl(const AstNode& n, int* next_ordinal) {
+  auto p = std::make_unique<PlanNode>(n.kind);
+  p->ordinal = (*next_ordinal)++;
+  p->axis = n.axis;
+  p->match = n.match;
+  p->name = n.name;
+  if ((n.kind == AstKind::kStep || n.kind == AstKind::kElementCtor) &&
+      !n.name.empty()) {
+    p->symbol = InternTag(n.axis == AstAxis::kAttribute &&
+                                  n.kind == AstKind::kStep
+                              ? "@" + n.name
+                              : n.name);
+  }
+  p->descending = n.descending;
+  p->in_child = n.in_child;
+  p->where_child = n.where_child;
+  p->orderby_child = n.orderby_child;
+  p->return_child = n.return_child;
+  p->children.reserve(n.children.size());
+  for (const auto& c : n.children) {
+    p->children.push_back(BuildPlanImpl(*c, next_ordinal));
+  }
+  return p;
+}
+
+}  // namespace
+
+PlanPtr BuildPlan(const AstNode& ast) {
+  int next_ordinal = 0;
+  return BuildPlanImpl(ast, &next_ordinal);
+}
+
+PlanPtr ClonePlan(const PlanNode& n) {
+  auto p = std::make_unique<PlanNode>(n.kind);
+  p->axis = n.axis;
+  p->match = n.match;
+  p->name = n.name;
+  p->symbol = n.symbol;
+  p->descending = n.descending;
+  p->in_child = n.in_child;
+  p->where_child = n.where_child;
+  p->orderby_child = n.orderby_child;
+  p->return_child = n.return_child;
+  p->ordinal = n.ordinal;
+  p->immune = n.immune;
+  p->selectivity = n.selectivity;
+  p->reordered = n.reordered;
+  p->stage_ids = n.stage_ids;
+  p->children.reserve(n.children.size());
+  for (const auto& c : n.children) p->children.push_back(ClonePlan(*c));
+  return p;
+}
+
+std::string PlanNode::ToString(bool annotations, int indent) const {
+  std::string out(static_cast<size_t>(indent) * 2, ' ');
+  out += KindName(kind);
+  if (kind == AstKind::kStep) {
+    out += "(";
+    out += AxisName(axis);
+    out += "::" + name + ")";
+  } else if (kind == AstKind::kCompare) {
+    out += "(";
+    out += MatchName(match);
+    out += " \"" + name + "\")";
+  } else if (!name.empty()) {
+    out += "(" + name + ")";
+  }
+  if (annotations) {
+    if (immune) out += " [immune]";
+    if (selectivity >= 0.0) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), " [sel=%.3f]", selectivity);
+      out += buf;
+    }
+    if (reordered) out += " [reordered]";
+    if (!stage_ids.empty()) {
+      out += " [stages ";
+      for (size_t i = 0; i < stage_ids.size(); ++i) {
+        if (i > 0) out += ",";
+        out += std::to_string(stage_ids[i]);
+      }
+      out += "]";
+    }
+  }
+  out += "\n";
+  for (const auto& c : children) out += c->ToString(annotations, indent + 1);
+  return out;
+}
+
+std::string PlanToString(const PlanNode& plan, bool annotations) {
+  return plan.ToString(annotations, 0);
+}
+
+}  // namespace xflux

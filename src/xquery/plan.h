@@ -1,0 +1,87 @@
+// The logical query-plan IR sitting between the AST and stage lowering.
+//
+// The parser's AST is a faithful record of the query text; the plan is the
+// optimizer's working copy.  A PlanNode mirrors the AST shape one-to-one
+// (same kinds, axes, and FLWOR slots), carries the interned Symbol for
+// named ops, and adds per-node annotation slots that analysis passes write
+// and lowering reads:
+//
+//  - `ordinal`   — stable pre-order position assigned by BuildPlan; the
+//    source-order key passes must use when they permute siblings (see the
+//    deterministic-id contract in compiler.cc),
+//  - `immune`    — set by the update-independence pass when the node's
+//    matched regions can never intersect an update target under the
+//    document Schema; lowering then emits the fast-path stage variant,
+//  - `selectivity` — estimated fraction of items surviving a predicate,
+//    seeded from a CostProfile (negative = unknown),
+//  - `reordered` — the predicate-reorder pass permuted this node's
+//    condition; lowering pre-allocates the group's ids in ordinal order,
+//  - `stage_ids` — filled during lowering with the pipeline stage indexes
+//    the node compiled into (for `xflux_inspect --explain`).
+//
+// PlanToString is the stable printer the golden tests pin: without
+// annotations it renders exactly the structural shape, with annotations it
+// appends the optimizer's verdict per node.
+
+#ifndef XFLUX_XQUERY_PLAN_H_
+#define XFLUX_XQUERY_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/symbol_table.h"
+#include "xquery/ast.h"
+
+namespace xflux {
+
+/// One node of the logical plan; shape semantics follow AstKind (see
+/// ast.h), annotations follow the file comment above.
+struct PlanNode {
+  AstKind kind;
+  AstAxis axis = AstAxis::kChild;
+  AstMatch match = AstMatch::kEquals;
+  std::string name;  // step name / variable / tag / literal text
+  Symbol symbol;     // interned `name` for steps and constructors
+  std::vector<std::unique_ptr<PlanNode>> children;
+
+  /// FLWOR: order by ... descending.
+  bool descending = false;
+
+  // FLWOR child slots (indexes into children; -1 when absent).
+  int in_child = -1;
+  int where_child = -1;
+  int orderby_child = -1;
+  int return_child = -1;
+
+  // --- annotation slots (see file comment) ---
+  int ordinal = -1;
+  bool immune = false;
+  double selectivity = -1.0;
+  bool reordered = false;
+  std::vector<size_t> stage_ids;
+
+  explicit PlanNode(AstKind k) : kind(k) {}
+
+  /// Stable multi-line rendering; `annotations` appends the optimizer
+  /// verdicts (immune / selectivity / reordered / lowered stages).
+  std::string ToString(bool annotations = false, int indent = 0) const;
+};
+
+using PlanPtr = std::unique_ptr<PlanNode>;
+
+/// Builds the plan for an AST: a structural copy with pre-order ordinals
+/// assigned and step/constructor names interned.  Annotations start at
+/// their defaults, so lowering an un-optimized plan reproduces the direct
+/// AST compilation exactly.
+PlanPtr BuildPlan(const AstNode& ast);
+
+/// Deep copy, annotations included.
+PlanPtr ClonePlan(const PlanNode& plan);
+
+/// Convenience wrapper over PlanNode::ToString.
+std::string PlanToString(const PlanNode& plan, bool annotations = false);
+
+}  // namespace xflux
+
+#endif  // XFLUX_XQUERY_PLAN_H_

@@ -30,14 +30,33 @@ std::string StreamClassKey(const QueryOptions& options) {
 /// the suffix's behavior or surface depends on matches: the query text
 /// (same residual, same path through the class DAG) and every per-query
 /// knob the server honors (display shape, instrumentation, tracing).
-std::string SuffixKey(std::string_view query, const QueryOptions& options) {
+std::string SuffixKey(std::string_view query, const QueryOptions& options,
+                      const PlanNode& residual) {
   std::string key(query);
   key += "\x1f";
   key += options.display.pretty ? "p" : "-";
   key += options.display.keep_tuples ? "t" : "-";
   key += options.instrumentation ? "i" : "-";
   key += ";trace=" + std::to_string(options.trace_capacity);
+  if (options.optimize) {
+    // The residual's annotations (immunity, reorder marks) change what it
+    // lowers to, so differently-optimized registrations of the same text
+    // must not share a runtime.  The annotated plan string is the
+    // content-based fingerprint.
+    key += "\x1f";
+    key += PlanToString(residual, /*annotations=*/true);
+  }
   return key;
+}
+
+OptimizerOptions OptimizerFrom(const QueryOptions& options) {
+  OptimizerOptions opt;
+  opt.enabled = options.optimize;
+  opt.schema = options.schema;
+  opt.cost_profile = options.cost_profile;
+  opt.reorder = options.optimize_reorder;
+  opt.independence = options.optimize_independence;
+  return opt;
 }
 
 }  // namespace
@@ -104,12 +123,14 @@ StatusOr<QueryHandle*> QueryServer::Register(std::string_view query,
   }
   auto ast = ParseQuery(query);
   if (!ast.ok()) return ast.status();
-  PrefixSplit split = SplitForSharedPrefix(std::move(ast.value()));
+  PlanPtr plan = BuildPlan(*ast.value());
+  OptimizePlan(*plan, OptimizerFrom(options));
+  PrefixSplit split = SplitForSharedPrefix(std::move(plan));
 
   // An identical earlier registration (same class, same suffix key) means
   // the whole runtime already exists — the new handle just joins it.
   std::string class_key = StreamClassKey(options);
-  std::string suffix_key = SuffixKey(query, options);
+  std::string suffix_key = SuffixKey(query, options, *split.residual);
   SuffixRuntime* suffix = nullptr;
   for (auto& existing : classes_) {
     if (existing->key != class_key) continue;
@@ -127,7 +148,7 @@ StatusOr<QueryHandle*> QueryServer::Register(std::string_view query,
   // compile — the runtime it joins already proved the query.
   std::unique_ptr<Pipeline> residual_pipe;
   if (suffix == nullptr) {
-    auto residual = CompileAst(*split.residual, kSuffixFirstDynamicId);
+    auto residual = CompilePlan(*split.residual, kSuffixFirstDynamicId);
     if (!residual.ok()) return residual.status();
     residual_pipe = std::move(residual.value().pipeline);
   }

@@ -1,0 +1,105 @@
+#include "xquery/schema.h"
+
+#include <deque>
+
+namespace xflux {
+
+Schema::Schema(std::string root,
+               std::map<std::string, std::vector<std::string>> children,
+               std::set<std::string> updatable)
+    : root_(std::move(root)),
+      children_(std::move(children)),
+      updatable_(std::move(updatable)) {
+  for (const std::string& tag : updatable_) {
+    std::set<std::string> closure = ContentClosure(tag);
+    // An updatable tag the children map has never heard of is still a
+    // threat at its own name (the stream asserts regions there).
+    closure.insert(tag);
+    updatable_closure_.insert(closure.begin(), closure.end());
+  }
+}
+
+const std::vector<std::string>& Schema::ChildrenOf(
+    const std::string& tag) const {
+  static const std::vector<std::string> kEmpty;
+  auto it = children_.find(tag);
+  return it == children_.end() ? kEmpty : it->second;
+}
+
+std::set<std::string> Schema::ContentClosure(const std::string& tag) const {
+  std::set<std::string> closure;
+  if (children_.count(tag) == 0 && updatable_.count(tag) == 0) {
+    // Unknown tag: matches nothing in a conforming stream.
+    return closure;
+  }
+  std::deque<std::string> frontier{tag};
+  closure.insert(tag);
+  while (!frontier.empty()) {
+    std::string cur = std::move(frontier.front());
+    frontier.pop_front();
+    for (const std::string& child : ChildrenOf(cur)) {
+      if (closure.insert(child).second) frontier.push_back(child);
+    }
+  }
+  return closure;
+}
+
+bool Schema::UpdateDisjoint(const std::set<std::string>& tags) const {
+  for (const std::string& tag : tags) {
+    if (updatable_closure_.count(tag) > 0) return false;
+  }
+  return true;
+}
+
+Schema XMarkSchema() {
+  std::map<std::string, std::vector<std::string>> children;
+  children["site"] = {"regions", "categories", "people", "open_auctions",
+                      "closed_auctions"};
+  children["regions"] = {"africa", "asia",     "australia",
+                         "europe", "namerica", "samerica"};
+  for (const char* region :
+       {"africa", "asia", "australia", "europe", "namerica", "samerica"}) {
+    children[region] = {"item"};
+  }
+  children["item"] = {"@id",     "location",    "quantity", "name",
+                      "payment", "description", "shipping"};
+  children["description"] = {"parlist", "text"};
+  children["parlist"] = {"listitem"};
+  children["listitem"] = {"text"};
+  children["categories"] = {"category"};
+  children["category"] = {"@id", "name", "description"};
+  children["people"] = {"person"};
+  children["person"] = {"@id", "name", "emailaddress"};
+  children["open_auctions"] = {"open_auction"};
+  children["open_auction"] = {"@id", "bidder", "current"};
+  children["bidder"] = {"personref", "increase"};
+  children["personref"] = {"@person"};
+  children["closed_auctions"] = {"closed_auction"};
+  children["closed_auction"] = {"price", "date"};
+  return Schema("site", std::move(children), {});
+}
+
+Schema DblpSchema() {
+  std::map<std::string, std::vector<std::string>> children;
+  children["dblp"] = {"inproceedings", "article"};
+  children["inproceedings"] = {"author", "title", "year", "booktitle",
+                               "pages"};
+  children["article"] = {"author", "title", "year", "journal", "volume"};
+  return Schema("dblp", std::move(children), {});
+}
+
+Schema BookstoreSchema() {
+  std::map<std::string, std::vector<std::string>> children;
+  children["biblio"] = {"book"};
+  children["book"] = {"publisher", "author", "price"};
+  return Schema("biblio", std::move(children), {"author", "price"});
+}
+
+Schema StockTickerSchema() {
+  std::map<std::string, std::vector<std::string>> children;
+  children["ticker"] = {"stock"};
+  children["stock"] = {"name", "quote"};
+  return Schema("ticker", std::move(children), {"quote"});
+}
+
+}  // namespace xflux

@@ -1,0 +1,83 @@
+// DTD-lite document schemas for the optimizer (update-independence pass).
+//
+// A Schema records, per element tag, which child tags may appear under it,
+// plus the set of *updatable* tags — tags whose content the stream may wrap
+// in mutable regions and later address with replace / insert updates.  The
+// contract is directional: the schema asserts facts about the stream, and
+// the update-independence pass only ever *relaxes* bookkeeping for stages
+// whose matched content provably cannot intersect an update target under
+// those facts.  A stream that violates its declared schema voids the
+// analysis (exactly as a violated DTD voids validation); the honest
+// factory schemas below therefore declare `updatable` to match what the
+// corresponding generators actually emit.
+//
+// Tags the schema has never heard of have no children and are never
+// updatable — unknown names make the analysis *more* conservative upstream
+// (an unknown step matches nothing, so nothing is proven about it) and are
+// simply absent from reachability sets.
+
+#ifndef XFLUX_XQUERY_SCHEMA_H_
+#define XFLUX_XQUERY_SCHEMA_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace xflux {
+
+/// See file comment.
+class Schema {
+ public:
+  Schema() = default;
+  Schema(std::string root,
+         std::map<std::string, std::vector<std::string>> children,
+         std::set<std::string> updatable);
+
+  const std::string& root() const { return root_; }
+  const std::set<std::string>& updatable() const { return updatable_; }
+
+  /// Declared child tags of `tag` (empty for leaves / unknown tags).
+  const std::vector<std::string>& ChildrenOf(const std::string& tag) const;
+
+  /// All tags reachable at or below `tag` (including `tag` itself, when
+  /// known).  Unknown tags yield the empty set.
+  std::set<std::string> ContentClosure(const std::string& tag) const;
+
+  /// Union of ContentClosure over every updatable tag: every tag whose
+  /// instances an update can create, remove, or sit inside.  A stage whose
+  /// reachable content is disjoint from this set can never observe an
+  /// update-dependent value.
+  const std::set<std::string>& UpdatableClosure() const {
+    return updatable_closure_;
+  }
+
+  /// True when no tag in `tags` intersects the updatable closure.
+  bool UpdateDisjoint(const std::set<std::string>& tags) const;
+
+ private:
+  std::string root_;
+  std::map<std::string, std::vector<std::string>> children_;
+  std::set<std::string> updatable_;
+  std::set<std::string> updatable_closure_;
+};
+
+/// XMark auction documents as emitted by GenerateXmark (plain XML, no
+/// update regions): `updatable` is empty, so every stage over a conforming
+/// stream is eligible for immunity.
+Schema XMarkSchema();
+
+/// DBLP bibliography documents as emitted by GenerateDblp (plain XML).
+Schema DblpSchema();
+
+/// The bookstore corpus used by the fault-injection tests: mutable regions
+/// wrap text inside author and price elements, and updates re-address
+/// those regions — `updatable` = {author, price}.
+Schema BookstoreSchema();
+
+/// The stock-ticker corpus (GenerateStockTicker): quote text is updatable.
+Schema StockTickerSchema();
+
+}  // namespace xflux
+
+#endif  // XFLUX_XQUERY_SCHEMA_H_

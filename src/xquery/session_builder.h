@@ -17,6 +17,9 @@
 
 namespace xflux {
 
+class Schema;
+class CostProfile;
+
 /// Everything configurable about one query, in one place.  Used verbatim
 /// by QuerySession::Open (as `QuerySession::Options`) and by
 /// QueryServer::Register.
@@ -64,6 +67,26 @@ struct QueryOptions {
   /// Queue sizing for threads > 0 (bounded SPSC batch queues).
   size_t queue_capacity = 64;
   size_t batch_events = 64;
+  /// --- optimizer (DESIGN.md §10) ---
+  /// When true, the query is lowered through the plan IR with the
+  /// standard optimizer passes: predicate reorder (selectivities from
+  /// `cost_profile`, per-operator heuristics otherwise) and update
+  /// independence (needs `schema`).  Off by default — the unoptimized
+  /// lowering is byte-identical to the pre-optimizer compiler.  Under a
+  /// server this knob is per-query: each registration's plan is optimized
+  /// on its own, and differently-optimized registrations never share a
+  /// prefix node or suffix runtime.
+  bool optimize = false;
+  /// DTD-lite document schema for the update-independence pass; nullptr
+  /// leaves every stage update-tracked.  Must outlive Open/Register.
+  const Schema* schema = nullptr;
+  /// Measured stage selectivities (e.g. loaded from a prior run's
+  /// BENCH_*.json via CostProfile::LoadFromFile) for predicate reorder;
+  /// nullptr falls back to heuristics.  Must outlive Open/Register.
+  const CostProfile* cost_profile = nullptr;
+  /// Per-pass toggles for ablation runs (honored only with `optimize`).
+  bool optimize_reorder = true;
+  bool optimize_independence = true;
 };
 
 /// Bridges an event producer (e.g. the SAX tokenizer) to a pipeline.

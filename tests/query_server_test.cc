@@ -41,7 +41,7 @@ std::vector<std::string> SplitSignatures(const char* query) {
   auto ast = ParseQuery(query);
   EXPECT_TRUE(ast.ok()) << query << ": " << ast.status();
   if (!ast.ok()) return {};
-  PrefixSplit split = SplitForSharedPrefix(std::move(ast.value()));
+  PrefixSplit split = SplitForSharedPrefix(BuildPlan(*ast.value()));
   EXPECT_NE(split.residual, nullptr) << query;
   std::vector<std::string> keys;
   for (const PrefixStep& op : split.prefix) keys.push_back(op.signature);
@@ -96,9 +96,9 @@ TEST(PrefixSplit, ResidualCompilesAndAnswers) {
   // make sure a full-extraction residual (bare stream) still wires up.
   auto ast = ParseQuery("X//book/price");
   ASSERT_TRUE(ast.ok());
-  PrefixSplit split = SplitForSharedPrefix(std::move(ast.value()));
+  PrefixSplit split = SplitForSharedPrefix(BuildPlan(*ast.value()));
   EXPECT_EQ(split.prefix.size(), 2u);
-  auto compiled = CompileAst(*split.residual);
+  auto compiled = CompilePlan(*split.residual);
   ASSERT_TRUE(compiled.ok()) << compiled.status();
 }
 
