@@ -1,0 +1,163 @@
+// Service-level robustness benchmark for xflux_serve: a fresh in-process
+// server per mix, a multi-client traffic generator driving it, and the
+// SLO numbers EXPERIMENTS.md table A7 reports:
+//
+//   honest      — well-behaved subscribers; baseline delta push latency.
+//   slow        — consumers that feed but never read: bounded outbound
+//                 queues + write deadlines must cut them loose while the
+//                 honest half completes untouched.
+//   bursty      — whole documents in single frames, all at once.
+//   hostile_mix — corrupted documents, framing garbage, and length bombs
+//                 interleaved with honest traffic: every hostile client
+//                 must end with a structured error, every honest one
+//                 cleanly, and the server must survive all of it.
+//   overload_4x — 4x the admitted-session budget offered at once under
+//                 aggressive shed thresholds: admission rejects carry
+//                 retry-after, the shed tiers fire in order, queues stay
+//                 bounded, and admitted clean sessions still finish.
+//
+// Each row records the traffic generator's view (outcome counts, p50/p99
+// delta latency) and the server's own counters (admission rejects, per-
+// tier sheds, timeouts).  Writes BENCH_serve.json.
+
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "bench/bench_util.h"
+#include "serve/server.h"
+#include "testing/traffic_gen.h"
+
+namespace {
+
+using xflux::serve::ServeServer;
+using xflux::serve::TrafficOptions;
+using xflux::serve::TrafficReport;
+
+struct MixResult {
+  TrafficReport traffic;
+  xflux::Metrics metrics;
+  double seconds = 0;
+};
+
+MixResult RunMix(const std::string& name, ServeServer::Options server_options,
+                 TrafficOptions traffic) {
+  server_options.unix_path = "bench_serve_" + name + ".sock";
+  ServeServer server(server_options);
+  xflux::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 started.ToString().c_str());
+    return {};
+  }
+  std::thread loop([&server] { server.Run(); });
+  traffic.endpoint = server.endpoint();
+  MixResult result;
+  result.seconds = xflux::bench::Time(
+      [&] { result.traffic = xflux::serve::RunTraffic(traffic); });
+  server.Stop();
+  loop.join();
+  result.metrics = server.metrics();
+  return result;
+}
+
+void AddRow(xflux::bench::BenchReport& report, const std::string& mix,
+            const MixResult& r) {
+  xflux::JsonWriter row = xflux::JsonWriter::Object();
+  row.Field("mix", mix);
+  row.Field("seconds", r.seconds);
+  row.Field("attempted", r.traffic.attempted);
+  row.Field("admitted", r.traffic.admitted);
+  row.Field("rejected", r.traffic.rejected);
+  row.Field("completed", r.traffic.completed);
+  row.Field("errored", r.traffic.errored);
+  row.Field("evicted", r.traffic.evicted);
+  row.Field("transport_errors", r.traffic.transport_errors);
+  row.Field("deltas", r.traffic.deltas);
+  row.Field("p50_delta_ms", r.traffic.LatencyPercentile(0.5));
+  row.Field("p99_delta_ms", r.traffic.LatencyPercentile(0.99));
+  row.Field("admission_rejects", r.metrics.admission_rejects());
+  row.Field("shed_tier1", r.metrics.shed_tier(1));
+  row.Field("shed_tier2", r.metrics.shed_tier(2));
+  row.Field("shed_tier3", r.metrics.shed_tier(3));
+  row.Field("session_timeouts", r.metrics.session_timeouts());
+  report.AddRow(std::move(row));
+  std::printf(
+      "%-12s %5.2fs  attempted=%llu admitted=%llu rejected=%llu "
+      "completed=%llu errored=%llu evicted=%llu transport=%llu "
+      "p50=%.2fms p99=%.2fms shed=%llu/%llu/%llu timeouts=%llu\n",
+      mix.c_str(), r.seconds,
+      static_cast<unsigned long long>(r.traffic.attempted),
+      static_cast<unsigned long long>(r.traffic.admitted),
+      static_cast<unsigned long long>(r.traffic.rejected),
+      static_cast<unsigned long long>(r.traffic.completed),
+      static_cast<unsigned long long>(r.traffic.errored),
+      static_cast<unsigned long long>(r.traffic.evicted),
+      static_cast<unsigned long long>(r.traffic.transport_errors),
+      r.traffic.LatencyPercentile(0.5), r.traffic.LatencyPercentile(0.99),
+      static_cast<unsigned long long>(r.metrics.shed_tier(1)),
+      static_cast<unsigned long long>(r.metrics.shed_tier(2)),
+      static_cast<unsigned long long>(r.metrics.shed_tier(3)),
+      static_cast<unsigned long long>(r.metrics.session_timeouts()));
+}
+
+}  // namespace
+
+int main() {
+  xflux::bench::BenchReport report("serve");
+
+  ServeServer::Options base;
+  base.admission.max_sessions = 32;
+  base.idle_timeout_ms = 10000;
+  base.write_timeout_ms = 1000;
+
+  TrafficOptions traffic;
+  traffic.doc_bytes = 8192;
+  traffic.chunk_bytes = 512;
+
+  {
+    TrafficOptions t = traffic;
+    t.honest = 8;
+    t.seed = 11;
+    AddRow(report, "honest", RunMix("honest", base, t));
+  }
+  {
+    TrafficOptions t = traffic;
+    t.honest = 4;
+    t.slow = 4;
+    t.seed = 22;
+    AddRow(report, "slow", RunMix("slow", base, t));
+  }
+  {
+    TrafficOptions t = traffic;
+    t.bursty = 12;
+    t.seed = 33;
+    AddRow(report, "bursty", RunMix("bursty", base, t));
+  }
+  {
+    TrafficOptions t = traffic;
+    t.honest = 6;
+    t.hostile = 6;
+    t.slow = 2;
+    t.seed = 44;
+    AddRow(report, "hostile_mix", RunMix("hostile", base, t));
+  }
+  {
+    // 4x the admitted budget, with shed thresholds low enough that the
+    // full ladder engages while the run is in flight.
+    ServeServer::Options overload = base;
+    overload.admission.max_sessions = 8;
+    overload.admission.retry_after_ms = 50;
+    overload.shed.tier1_pressure = 0.50;
+    overload.shed.tier2_pressure = 0.75;
+    overload.shed.tier3_pressure = 0.95;
+    TrafficOptions t = traffic;
+    t.honest = 16;
+    t.bursty = 16;
+    t.seed = 55;
+    AddRow(report, "overload_4x", RunMix("overload", overload, t));
+  }
+
+  report.Write();
+  return 0;
+}

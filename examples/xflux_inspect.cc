@@ -37,6 +37,13 @@
 //
 //   $ ./xflux_inspect --server --queries=queries.txt doc.xml
 //
+// --serve-stats=<BENCH_serve.json> renders a bench_serve service report
+// as a table — per-mix outcome counts, p50/p99 delta latency, and the
+// shed-tier counters — and exits non-zero if any mix saw transport-level
+// errors (the CI serve-smoke job's health check).
+//
+//   $ ./xflux_inspect --serve-stats=BENCH_serve.json
+//
 // The generated XMark document defaults to ~1 MiB; set XFLUX_BENCH_MB to
 // scale it like the bench binaries do.
 
@@ -95,6 +102,86 @@ std::vector<std::string> LoadQueries(const std::string& path) {
   return queries;
 }
 
+// -- --serve-stats: render a BENCH_serve.json service report as a table --
+
+/// Pulls `"key":<number>` out of one JSON row (the schema is our own
+/// bench output, so a targeted scan beats hauling in a JSON parser).
+double JsonNumber(const std::string& row, const std::string& key) {
+  std::string needle = "\"" + key + "\":";
+  size_t at = row.find(needle);
+  if (at == std::string::npos) return 0;
+  return std::strtod(row.c_str() + at + needle.size(), nullptr);
+}
+
+std::string JsonString(const std::string& row, const std::string& key) {
+  std::string needle = "\"" + key + "\":\"";
+  size_t at = row.find(needle);
+  if (at == std::string::npos) return "?";
+  size_t start = at + needle.size();
+  size_t end = row.find('"', start);
+  return row.substr(start, end - start);
+}
+
+int RenderServeStats(const std::string& path) {
+  std::string json;
+  if (!ReadFile(path.c_str(), &json)) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return 1;
+  }
+  size_t rows_at = json.find("\"rows\":[");
+  if (rows_at == std::string::npos) {
+    std::fprintf(stderr, "%s: no \"rows\" array — not a bench report?\n",
+                 path.c_str());
+    return 1;
+  }
+  // Split the rows array on top-level object boundaries.  Bench rows are
+  // flat objects, so '{' ... '}' pairs do not nest.
+  std::vector<std::string> rows;
+  size_t start = json.find('{', rows_at);
+  while (start != std::string::npos) {
+    size_t end = json.find('}', start);
+    if (end == std::string::npos) break;
+    rows.push_back(json.substr(start, end - start + 1));
+    if (json[end + 1] != ',') break;
+    start = json.find('{', end);
+  }
+  if (rows.empty()) {
+    std::fprintf(stderr, "%s: empty rows array\n", path.c_str());
+    return 1;
+  }
+  std::printf(
+      "%-12s %9s %9s %9s %9s %8s %8s %11s %11s %18s %9s\n", "mix", "attempt",
+      "admitted", "rejected", "complete", "errored", "evicted", "p50_delta",
+      "p99_delta", "shed t1/t2/t3", "timeouts");
+  for (const std::string& row : rows) {
+    std::string shed =
+        std::to_string(static_cast<long long>(JsonNumber(row, "shed_tier1"))) +
+        "/" +
+        std::to_string(static_cast<long long>(JsonNumber(row, "shed_tier2"))) +
+        "/" +
+        std::to_string(static_cast<long long>(JsonNumber(row, "shed_tier3")));
+    std::printf("%-12s %9lld %9lld %9lld %9lld %8lld %8lld %9.2fms %9.2fms "
+                "%18s %9lld\n",
+                JsonString(row, "mix").c_str(),
+                static_cast<long long>(JsonNumber(row, "attempted")),
+                static_cast<long long>(JsonNumber(row, "admitted")),
+                static_cast<long long>(JsonNumber(row, "rejected")),
+                static_cast<long long>(JsonNumber(row, "completed")),
+                static_cast<long long>(JsonNumber(row, "errored")),
+                static_cast<long long>(JsonNumber(row, "evicted")),
+                JsonNumber(row, "p50_delta_ms"),
+                JsonNumber(row, "p99_delta_ms"), shed.c_str(),
+                static_cast<long long>(JsonNumber(row, "session_timeouts")));
+  }
+  // The smoke-level health verdict the CI job keys off.
+  long long transport = 0;
+  for (const std::string& row : rows)
+    transport += static_cast<long long>(JsonNumber(row, "transport_errors"));
+  std::printf("transport errors across all mixes: %lld%s\n", transport,
+              transport == 0 ? " (healthy)" : " (INVESTIGATE)");
+  return transport == 0 ? 0 : 3;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -102,6 +189,7 @@ int main(int argc, char** argv) {
   std::string guard_name;
   std::string inject_spec;
   std::string queries_path;
+  std::string serve_stats_path;
   bool server_mode = false;
   bool explain = false;
   uint64_t seed = 1;
@@ -122,15 +210,21 @@ int main(int argc, char** argv) {
       explain = true;
     } else if (arg.rfind("--queries=", 0) == 0) {
       queries_path = arg.substr(10);
+    } else if (arg.rfind("--serve-stats=", 0) == 0) {
+      serve_stats_path = arg.substr(14);
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr,
                    "unknown flag %s (want --guard= --inject= --seed= "
-                   "--threads= --server --queries= --explain)\n",
+                   "--threads= --server --queries= --explain "
+                   "--serve-stats=)\n",
                    arg.c_str());
       return 1;
     } else {
       positional.push_back(argv[i]);
     }
+  }
+  if (!serve_stats_path.empty()) {
+    return RenderServeStats(serve_stats_path);
   }
   if (server_mode) {
     std::vector<std::string> queries = LoadQueries(queries_path);

@@ -1,0 +1,95 @@
+// xflux_serve: the long-running streaming query service (DESIGN.md §11).
+//
+// Clients connect over a localhost socket, open a session with a query,
+// feed XML or binary update events, and subscribe to incremental result
+// deltas.  Admission control, per-session deadlines, and three-tier load
+// shedding keep the service healthy no matter what the clients do.
+//
+//   $ ./xflux_serve --unix=/tmp/xflux.sock
+//   $ ./xflux_serve --tcp=0                # ephemeral loopback port
+//   $ ./xflux_serve --unix=/tmp/xflux.sock --shared   # enable channels
+//
+// Prints "LISTENING <endpoint>" once the socket is bound (the CI smoke
+// job and scripts wait for that line), serves until SIGINT/SIGTERM, then
+// prints the service metrics rollup on exit.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "serve/server.h"
+
+namespace {
+
+xflux::serve::ServeServer* g_server = nullptr;
+
+void HandleSignal(int) {
+  if (g_server != nullptr) g_server->Stop();  // async-signal-safe
+}
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--unix=PATH | --tcp=PORT] [--max-sessions=N]\n"
+               "          [--idle-timeout-ms=MS] [--write-timeout-ms=MS]\n"
+               "          [--max-frame-bytes=N] [--shared]\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  xflux::serve::ServeServer::Options options;
+  options.unix_path = "/tmp/xflux_serve.sock";
+  bool endpoint_set = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--unix=", 7) == 0) {
+      options.unix_path = arg + 7;
+      options.tcp_port = 0;
+      endpoint_set = true;
+    } else if (std::strncmp(arg, "--tcp=", 6) == 0) {
+      options.unix_path.clear();
+      options.tcp_port = static_cast<uint16_t>(std::atoi(arg + 6));
+      endpoint_set = true;
+    } else if (std::strncmp(arg, "--max-sessions=", 15) == 0) {
+      options.admission.max_sessions = std::atoi(arg + 15);
+    } else if (std::strncmp(arg, "--idle-timeout-ms=", 18) == 0) {
+      options.idle_timeout_ms = std::atoll(arg + 18);
+    } else if (std::strncmp(arg, "--write-timeout-ms=", 19) == 0) {
+      options.write_timeout_ms = std::atoll(arg + 19);
+    } else if (std::strncmp(arg, "--max-frame-bytes=", 18) == 0) {
+      options.session.max_frame_bytes =
+          static_cast<size_t>(std::atoll(arg + 18));
+    } else if (std::strcmp(arg, "--shared") == 0) {
+      options.shared = true;
+    } else {
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+  (void)endpoint_set;
+
+  xflux::serve::ServeServer server(options);
+  xflux::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  g_server = &server;
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGPIPE, SIG_IGN);  // client hangups surface as write errors
+
+  std::printf("LISTENING %s\n", server.endpoint().c_str());
+  std::fflush(stdout);
+
+  server.Run();
+
+  std::printf("served %llu sessions\n",
+              static_cast<unsigned long long>(server.sessions_served()));
+  std::printf("%s\n", server.metrics().ToString().c_str());
+  return 0;
+}

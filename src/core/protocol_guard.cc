@@ -82,6 +82,44 @@ bool ProtocolGuard::Swallowed(const Event& e) {
   return discard_.count(e.id) > 0;
 }
 
+bool ProtocolGuard::Shed(const Event& e) {
+  if (e.IsUpdateStart()) {
+    if (shed_ids_.count(e.id) > 0) {
+      // A chained update addressing a shed region: shed it too, so the
+      // whole update lineage dies without ever becoming a violation.
+      ShedRegion(e);
+      return true;
+    }
+    if (shed_updates_ && base_.count(e.id) == 0 && open_.count(e.id) == 0) {
+      // Retroactive: the target is already-streamed (closed) content, not
+      // an open stream or live region — exactly the work tier 2 defers.
+      ShedRegion(e);
+      return true;
+    }
+    return false;
+  }
+  if (shed_ids_.empty()) return false;
+  if (e.kind == EventKind::kStartStream || e.kind == EventKind::kEndStream) {
+    return false;
+  }
+  if (shed_ids_.count(e.id) == 0) return false;
+  if (e.kind == EventKind::kFreeze) {
+    // Frozen regions can never be addressed again: reclaim the entry.
+    shed_ids_.erase(e.id);
+  }
+  return true;  // controls or stray content for a shed region
+}
+
+void ProtocolGuard::ShedRegion(const Event& start) {
+  shed_ids_.insert(start.uid);
+  // Swallow the region's content and its end bracket through the same
+  // pending-ends machinery kDropRegion uses; nothing was forwarded, so no
+  // retraction is needed.
+  ++discard_[start.uid];
+  ++shed_regions_;
+  context()->metrics()->CountShedTier(2);
+}
+
 Status ProtocolGuard::Check(const Event& e) {
   offense_ = Offense::kNone;
   offending_region_ = 0;
@@ -312,6 +350,7 @@ void ProtocolGuard::Finish() {
   if (base_.empty() && open_.empty()) {
     resyncing_ = false;
     discard_.clear();
+    shed_ids_.clear();
     return;
   }
   ++violations_;
@@ -348,6 +387,7 @@ void ProtocolGuard::CloseAllOpen() {
   }
   open_.clear();
   discard_.clear();
+  shed_ids_.clear();
   for (auto& [id, stack] : base_) {
     for (auto rit = stack.rbegin(); rit != stack.rend(); ++rit) {
       Emit(Event::EndElement(id, *rit));
@@ -453,6 +493,10 @@ void ProtocolGuard::Dispatch(Event e) {
     CountDropped(e);
     return;
   }
+  if ((shed_updates_ || !shed_ids_.empty()) && Shed(e)) {
+    CountDropped(e);
+    return;
+  }
   Status v = Check(e);
   if (v.ok()) {
     Emit(std::move(e));
@@ -462,10 +506,11 @@ void ProtocolGuard::Dispatch(Event e) {
 }
 
 void ProtocolGuard::DispatchBatch(EventBatch batch) {
-  // Fast path: while no discard/resync is active, validate in place; a
-  // batch that is clean end to end is forwarded untouched — no per-event
-  // copy, one EmitBatch.
-  if (!resyncing_ && discard_.empty()) {
+  // Fast path: while no discard/resync/shedding is active, validate in
+  // place; a batch that is clean end to end is forwarded untouched — no
+  // per-event copy, one EmitBatch.
+  if (!resyncing_ && discard_.empty() && !shed_updates_ &&
+      shed_ids_.empty()) {
     const size_t n = batch.size();
     const size_t max_depth = options_.limits.max_depth;
     const bool check_bytes = options_.limits.max_buffered_bytes > 0;

@@ -40,6 +40,7 @@
 #include <cstdint>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "core/pipeline.h"
@@ -85,6 +86,22 @@ class ProtocolGuard : public Filter {
 
   /// Parses "failfast" / "drop" / "resync" (xflux_inspect --guard=).
   static StatusOr<Policy> ParsePolicy(std::string_view name);
+
+  /// Tier-2 load shedding (xflux_serve): while on, *retroactive* update
+  /// regions — update starts whose target is not an open base stream, i.e.
+  /// replacements/insertions addressing already-streamed content — are
+  /// discarded wholesale through the same swallow machinery the kDropRegion
+  /// policy uses, before any operator pays for them.  Base-document content
+  /// (including sM regions opened by the source) still flows, so the answer
+  /// stays exact for the input consumed; it is merely *stale* with respect
+  /// to the shed update tail.  Follow-on traffic addressing a shed region
+  /// (chained updates, freeze/hide/show) is swallowed silently rather than
+  /// reported as a violation.  Toggling mid-stream is safe: regions already
+  /// forwarded stay live, regions already shed stay shed.
+  void set_shed_updates(bool on) { shed_updates_ = on; }
+  bool shed_updates() const { return shed_updates_; }
+  /// Update regions discarded by shedding (not by a protocol violation).
+  uint64_t shed_regions() const { return shed_regions_; }
 
   /// End-of-input signal for truncated streams (a dropped connection never
   /// sends its closing events).  Anything still open is a violation:
@@ -135,6 +152,12 @@ class ProtocolGuard : public Filter {
   /// True when `e` must be swallowed by an active discard / resync.
   bool Swallowed(const Event& e);
 
+  /// True when shedding (or shed-region follow-up) consumed `e`.
+  bool Shed(const Event& e);
+  /// Marks `uid` shed: its whole bracket is swallowed and the id is
+  /// remembered so follow-on updates/controls die silently.
+  void ShedRegion(const Event& start);
+
   void HandleViolation(const Event& e, Status violation);
 
   /// Retracts open region `uid` downstream: synthesized element closures,
@@ -161,6 +184,12 @@ class ProtocolGuard : public Filter {
   // Regions being discarded: uid -> end brackets still expected in the
   // input (every event carrying the uid is swallowed until then).
   std::unordered_map<StreamId, int> discard_;
+  // Ids shed by set_shed_updates: later traffic addressing them (chained
+  // updates, freeze/hide/show, stray content) is swallowed silently.
+  // Entries are reclaimed at the region's freeze — a frozen region can
+  // never be addressed again — so the set tracks shed-but-thawed ids only.
+  std::unordered_set<StreamId> shed_ids_;
+  bool shed_updates_ = false;
   bool resyncing_ = false;
   // Hot home-stream cache for content validation: mapped-value pointers
   // into base_/open_ are stable until that entry is erased (every erase
@@ -176,6 +205,7 @@ class ProtocolGuard : public Filter {
   uint64_t dropped_events_ = 0;
   uint64_t dropped_regions_ = 0;
   uint64_t resyncs_ = 0;
+  uint64_t shed_regions_ = 0;
   Status last_violation_;
 };
 

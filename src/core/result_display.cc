@@ -66,6 +66,22 @@ StatusOr<std::string> ResultDisplay::CurrentText() const {
   return text;
 }
 
+ResultDisplay::TextDelta ResultDisplay::TextDeltaSince(
+    size_t last_stable_len, uint64_t last_restarts) const {
+  const std::string& text = LiveText();
+  TextDelta delta;
+  delta.restarts = document_.full_rescans();
+  delta.stable_len = stable_text_len_;
+  // Between restarts the stable prefix only appends, so exactly the bytes
+  // that were stable at the last send are still valid; a restart replays
+  // from the top and invalidates everything.
+  delta.keep =
+      delta.restarts == last_restarts ? std::min(last_stable_len, text.size())
+                                      : 0;
+  delta.append = std::string_view(text).substr(delta.keep);
+  return delta;
+}
+
 EventVec ResultDisplay::FullRenderEvents() const {
   RenderOptions opts;
   opts.keep_tuples = options_.keep_tuples;

@@ -68,6 +68,24 @@ class ResultDisplay : public EventSink {
   EventVec FullRenderEvents() const;
   StatusOr<std::string> FullRenderText() const;
 
+  /// One answer-text delta for a remote consumer (the xflux_serve push
+  /// path).  The stable-prefix/volatile-tail split maps directly onto a
+  /// wire delta: bytes the consumer received while they were part of the
+  /// stable prefix never change again (the prefix is append-only between
+  /// structural restarts), while bytes received from the volatile tail
+  /// must be resent.  The caller therefore remembers, per consumer, the
+  /// `stable_len` and `restarts` values of the delta it last shipped and
+  /// passes them back here; the consumer's new text is
+  /// `old_text[0:keep] + append`.
+  struct TextDelta {
+    size_t keep = 0;          ///< prefix of the consumer's text still valid
+    std::string_view append;  ///< bytes after `keep`; valid until next event
+    size_t stable_len = 0;    ///< remember for the next TextDeltaSince call
+    uint64_t restarts = 0;    ///< remember for the next TextDeltaSince call
+  };
+  TextDelta TextDeltaSince(size_t last_stable_len,
+                           uint64_t last_restarts) const;
+
   /// Invoked after every event that may have changed the answer — live
   /// displays re-render from here.
   void SetOnChange(std::function<void(const ResultDisplay&)> on_change) {

@@ -1,0 +1,87 @@
+// Admission control for xflux_serve (explicit policy object).
+//
+// Overload protection starts before a session exists: the controller
+// decides at accept time whether a new connection may become a session at
+// all, and what resource envelope it gets if so.  Rejection is a
+// first-class, structured answer — a kRejected frame carrying a
+// retry-after hint — not a dropped connection, so honest clients back off
+// instead of hammering the listener.
+//
+// The controller is deliberately simple state (it runs on the single
+// server thread): an active-session count against a hard cap, plus the
+// per-session ResourceLimits every admitted session's ProtocolGuard is
+// armed with.  The retry-after hint scales with how far over budget the
+// offered load is, so a thundering herd is spread out instead of
+// resynchronized.
+
+#ifndef XFLUX_SERVE_ADMISSION_H_
+#define XFLUX_SERVE_ADMISSION_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/protocol_guard.h"
+#include "util/metrics.h"
+
+namespace xflux::serve {
+
+/// See file comment.
+class AdmissionController {
+ public:
+  struct Options {
+    /// Hard cap on concurrently-admitted sessions.
+    size_t max_sessions = 64;
+    /// Base retry-after hint for a rejected client, scaled up by how many
+    /// rejections are already outstanding.
+    uint32_t retry_after_ms = 100;
+    /// Resource envelope stamped on every admitted session's guard.
+    ResourceLimits session_limits{/*max_depth=*/256,
+                                  /*max_open_regions=*/4096,
+                                  /*max_buffered_bytes=*/0};
+  };
+
+  struct Decision {
+    bool admit = false;
+    uint32_t retry_after_ms = 0;  ///< meaningful when !admit
+  };
+
+  AdmissionController(const Options& options, Metrics* metrics)
+      : options_(options), metrics_(metrics) {}
+
+  /// Decides the fate of one new connection.  Counts rejects into the
+  /// server metrics.
+  Decision Offer() {
+    if (active_ < options_.max_sessions) {
+      ++active_;
+      consecutive_rejects_ = 0;
+      return {true, 0};
+    }
+    ++consecutive_rejects_;
+    if (metrics_ != nullptr) metrics_->CountAdmissionReject();
+    // Under a herd, later arrivals get pushed further out — a crude but
+    // effective desynchronizer (capped so the hint stays honest).
+    uint64_t scale = consecutive_rejects_ < 8 ? consecutive_rejects_ : 8;
+    return {false, static_cast<uint32_t>(options_.retry_after_ms * scale)};
+  }
+
+  /// Returns one admitted session's slot (on close, however it closed).
+  void Release() {
+    if (active_ > 0) --active_;
+  }
+
+  size_t active() const { return active_; }
+  size_t max_sessions() const { return options_.max_sessions; }
+  const ResourceLimits& session_limits() const {
+    return options_.session_limits;
+  }
+
+ private:
+  Options options_;
+  Metrics* metrics_;
+  size_t active_ = 0;
+  uint64_t consecutive_rejects_ = 0;
+};
+
+}  // namespace xflux::serve
+
+#endif  // XFLUX_SERVE_ADMISSION_H_

@@ -1,0 +1,286 @@
+#include "serve/client.h"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+namespace xflux::serve {
+
+namespace {
+
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+ServeClient::ServeClient(int fd) : fd_(fd) {
+  // Clients decode server frames; deltas for a large answer need headroom
+  // well past the server's inbound bound.
+  FrameDecoder::Options opts;
+  opts.max_frame_bytes = 64u << 20;
+  decoder_ = FrameDecoder(opts);
+}
+
+ServeClient::~ServeClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+StatusOr<std::unique_ptr<ServeClient>> ServeClient::Connect(
+    const std::string& endpoint) {
+  int fd = -1;
+  if (endpoint.rfind("unix:", 0) == 0) {
+    std::string path = endpoint.substr(5);
+    if (path.size() >= sizeof(sockaddr_un{}.sun_path))
+      return Status::InvalidArgument("unix socket path too long: " + path);
+    fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0)
+      return Status::Internal("socket: " + std::string(std::strerror(errno)));
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      int err = errno;
+      ::close(fd);
+      return Status::Internal("connect(" + path +
+                              "): " + std::string(std::strerror(err)));
+    }
+  } else if (endpoint.rfind("tcp:", 0) == 0) {
+    std::string hostport = endpoint.substr(4);
+    size_t colon = hostport.rfind(':');
+    if (colon == std::string::npos)
+      return Status::InvalidArgument("tcp endpoint needs host:port: " +
+                                     endpoint);
+    int port = std::atoi(hostport.substr(colon + 1).c_str());
+    fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0)
+      return Status::Internal("socket: " + std::string(std::strerror(errno)));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      int err = errno;
+      ::close(fd);
+      return Status::Internal("connect(" + hostport +
+                              "): " + std::string(std::strerror(err)));
+    }
+  } else {
+    return Status::InvalidArgument("endpoint must be unix:<path> or "
+                                   "tcp:127.0.0.1:<port>, got: " +
+                                   endpoint);
+  }
+  return std::unique_ptr<ServeClient>(new ServeClient(fd));
+}
+
+Status ServeClient::SendRaw(std::string_view bytes) {
+  size_t written = 0;
+  while (written < bytes.size()) {
+    ssize_t n = ::send(fd_, bytes.data() + written, bytes.size() - written,
+                       MSG_NOSIGNAL);
+    if (n > 0) {
+      written += static_cast<size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return Status::Internal("write: " + std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Status ServeClient::SendFrame(FrameType type, std::string_view payload) {
+  return SendRaw(EncodeFrame(type, payload));
+}
+
+Status ServeClient::Open(const std::string& query,
+                         const std::string& option_lines) {
+  std::string payload = query;
+  if (!option_lines.empty()) {
+    payload.push_back('\n');
+    payload.append(option_lines);
+  }
+  XFLUX_RETURN_IF_ERROR(SendFrame(FrameType::kOpen, payload));
+  auto frame = ReadFrame(10000);
+  if (!frame.ok()) return frame.status();
+  switch (frame.value().type) {
+    case FrameType::kOpened:
+      session_id_ = std::strtoull(frame.value().payload.c_str(), nullptr, 10);
+      return Status::OK();
+    case FrameType::kRejected: {
+      ReadU32(frame.value().payload, 0, &retry_after_ms_);
+      return Status::ResourceExhausted(
+          "admission rejected; retry after " +
+          std::to_string(retry_after_ms_) + "ms");
+    }
+    case FrameType::kError: {
+      uint32_t code = 0;
+      ReadU32(frame.value().payload, 0, &code);
+      return Status(static_cast<StatusCode>(code),
+                    frame.value().payload.size() > 4
+                        ? frame.value().payload.substr(4)
+                        : std::string());
+    }
+    default:
+      return Status::ProtocolViolation("unexpected reply to OPEN");
+  }
+}
+
+Status ServeClient::FeedXml(std::string_view chunk) {
+  XFLUX_RETURN_IF_ERROR(SendFrame(FrameType::kFeedXml, chunk));
+  return DrainPushed();
+}
+
+Status ServeClient::FeedEvents(const EventVec& events) {
+  XFLUX_RETURN_IF_ERROR(SendFrame(FrameType::kFeedEvents,
+                                  EncodeEvents(events)));
+  return DrainPushed();
+}
+
+Status ServeClient::Subscribe() {
+  return SendFrame(FrameType::kSubscribe, "");
+}
+
+Status ServeClient::SendFinish() { return SendFrame(FrameType::kFinish, ""); }
+
+Status ServeClient::SendClose() { return SendFrame(FrameType::kClose, ""); }
+
+void ServeClient::ApplyFrame(const Frame& frame) {
+  switch (frame.type) {
+    case FrameType::kDelta: {
+      uint32_t keep = 0;
+      if (!ReadU32(frame.payload, 0, &keep)) return;
+      if (keep < text_.size()) text_.resize(keep);
+      text_.append(frame.payload, 4, std::string::npos);
+      ++deltas_received_;
+      return;
+    }
+    case FrameType::kShedNotice: {
+      uint32_t tier = 0;
+      ReadU32(frame.payload, 0, &tier);
+      ++shed_notices_;
+      last_shed_tier_ = static_cast<int>(tier);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+StatusOr<Frame> ServeClient::ReadFrame(int timeout_ms) {
+  if (!pending_.empty()) {
+    Frame frame = std::move(pending_.front());
+    pending_.pop_front();
+    return frame;
+  }
+  int64_t deadline = NowMs() + timeout_ms;
+  for (;;) {
+    Frame frame;
+    if (decoder_.Next(&frame)) {
+      ApplyFrame(frame);
+      return frame;
+    }
+    if (!decoder_.error().ok()) return decoder_.error();
+    if (eof_) return Status::Internal("connection closed by server");
+    int64_t remaining = deadline - NowMs();
+    if (remaining < 0) remaining = 0;
+    pollfd pfd{fd_, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, static_cast<int>(remaining));
+    if (ready == 0)
+      return Status::ResourceExhausted("timed out waiting for a frame");
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal("poll: " + std::string(std::strerror(errno)));
+    }
+    char buf[65536];
+    ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n > 0) {
+      decoder_.Feed(std::string_view(buf, static_cast<size_t>(n)));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    eof_ = true;
+    return Status::Internal("connection closed by server");
+  }
+}
+
+Status ServeClient::DrainPushed() {
+  for (;;) {
+    Frame frame;
+    if (decoder_.Next(&frame)) {
+      ApplyFrame(frame);
+      // Push frames (deltas, shed notices) are fully handled by
+      // ApplyFrame; anything else — an error, the final status — must
+      // reach the caller's next ReadFrame/WaitFinished intact.
+      if (frame.type != FrameType::kDelta &&
+          frame.type != FrameType::kShedNotice) {
+        pending_.push_back(std::move(frame));
+      }
+      continue;
+    }
+    if (!decoder_.error().ok()) return decoder_.error();
+    if (eof_) return Status::OK();
+    pollfd pfd{fd_, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, 0);
+    if (ready <= 0) return Status::OK();
+    char buf[65536];
+    ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n > 0) {
+      decoder_.Feed(std::string_view(buf, static_cast<size_t>(n)));
+      continue;
+    }
+    if (n < 0 && (errno == EINTR || errno == EAGAIN)) return Status::OK();
+    // EOF mid-feed: whatever structured ending arrived before the close is
+    // already queued; report the hangup only when someone tries to read
+    // past it.
+    eof_ = true;
+    return Status::OK();
+  }
+}
+
+Status ServeClient::WaitFinished(int timeout_ms) {
+  int64_t deadline = NowMs() + timeout_ms;
+  for (;;) {
+    int64_t remaining = deadline - NowMs();
+    if (remaining <= 0)
+      return Status::ResourceExhausted("timed out waiting for FINISHED");
+    auto frame = ReadFrame(static_cast<int>(remaining));
+    if (!frame.ok()) return frame.status();
+    switch (frame.value().type) {
+      case FrameType::kFinished: {
+        uint32_t code = 0;
+        ReadU32(frame.value().payload, 0, &code);
+        if (code == 0) return Status::OK();
+        return Status(static_cast<StatusCode>(code),
+                      frame.value().payload.size() > 4
+                          ? frame.value().payload.substr(4)
+                          : std::string());
+      }
+      case FrameType::kError: {
+        uint32_t code = 0;
+        ReadU32(frame.value().payload, 0, &code);
+        return Status(static_cast<StatusCode>(code),
+                      frame.value().payload.size() > 4
+                          ? frame.value().payload.substr(4)
+                          : std::string());
+      }
+      case FrameType::kShedNotice:
+        // Applied by ApplyFrame; a tier-3 notice means eviction.
+        if (last_shed_tier_ >= 3)
+          return Status::ResourceExhausted("evicted by load shedding");
+        continue;
+      default:
+        continue;  // deltas and anything else: keep draining
+    }
+  }
+}
+
+}  // namespace xflux::serve

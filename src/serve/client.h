@@ -1,0 +1,103 @@
+// Blocking convenience client for the xflux_serve frame protocol.
+//
+// The in-tree consumers of the service (tests, the traffic generator,
+// xflux_inspect probes) all speak the protocol through this class: a
+// blocking socket, a FrameDecoder, and the client half of the delta
+// protocol — `text_` is maintained as `text_[0:keep] + append` per kDelta,
+// so after a clean FINISH `text()` is byte-identical to the answer a
+// direct QuerySession would have produced.
+//
+// The class deliberately does NOT hide the frame loop: ReadFrame exposes
+// raw frames (tests assert on exact frame types and payloads), while
+// WaitFinished is the packaged happy path.  Nothing here is thread-safe;
+// one client, one thread.
+
+#ifndef XFLUX_SERVE_CLIENT_H_
+#define XFLUX_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "serve/frame.h"
+#include "util/status.h"
+
+namespace xflux::serve {
+
+/// See file comment.
+class ServeClient {
+ public:
+  /// Connects to "unix:<path>" or "tcp:127.0.0.1:<port>" (the string
+  /// ServeServer::endpoint() returns).
+  static StatusOr<std::unique_ptr<ServeClient>> Connect(
+      const std::string& endpoint);
+
+  ~ServeClient();
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  /// Sends kOpen and waits for the verdict.  OK on kOpened; the server's
+  /// error on kError; kResourceExhausted ("admission rejected...") on
+  /// kRejected, with the hint in rejected_retry_after_ms().
+  /// `option_lines` is the raw key=value block ("guard=drop\npretty=1").
+  Status Open(const std::string& query, const std::string& option_lines = "");
+
+  // -- feed path (write-only; each drains pushed frames opportunistically
+  //    so an honest client never jams the server's outbound queue) --
+  Status FeedXml(std::string_view chunk);
+  Status FeedEvents(const EventVec& events);
+  Status Subscribe();
+  Status SendFinish();
+  Status SendClose();
+
+  /// Reads one frame, waiting up to `timeout_ms`.  kDelta frames are
+  /// applied to text() before being returned.  kResourceExhausted on
+  /// timeout, kProtocolViolation on a broken stream, kInternal on EOF.
+  StatusOr<Frame> ReadFrame(int timeout_ms);
+
+  /// Drives the read loop until kFinished (returns the server's final
+  /// status), kError (returns it), or a tier-3 kShedNotice (returns
+  /// kResourceExhausted).  Deltas accumulate into text() along the way.
+  Status WaitFinished(int timeout_ms);
+
+  /// The answer as reconstructed from deltas so far.
+  const std::string& text() const { return text_; }
+
+  uint64_t session_id() const { return session_id_; }
+  uint32_t rejected_retry_after_ms() const { return retry_after_ms_; }
+  uint64_t deltas_received() const { return deltas_received_; }
+  uint64_t shed_notices() const { return shed_notices_; }
+  int last_shed_tier() const { return last_shed_tier_; }
+
+  /// Raw socket access for hostile-client tests (byte dribbling, garbage).
+  Status SendRaw(std::string_view bytes);
+  int fd() const { return fd_; }
+
+ private:
+  explicit ServeClient(int fd);
+
+  Status SendFrame(FrameType type, std::string_view payload);
+  /// Non-blocking drain of any already-arrived frames.  Terminal frames
+  /// (kError, kFinished, ...) are queued for the next ReadFrame, never
+  /// dropped: a feed racing the server's teardown must not lose the
+  /// structured ending.
+  Status DrainPushed();
+  void ApplyFrame(const Frame& frame);
+
+  int fd_ = -1;
+  FrameDecoder decoder_;
+  std::deque<Frame> pending_;  ///< non-push frames seen during a drain
+  bool eof_ = false;
+  std::string text_;
+  uint64_t session_id_ = 0;
+  uint32_t retry_after_ms_ = 0;
+  uint64_t deltas_received_ = 0;
+  uint64_t shed_notices_ = 0;
+  int last_shed_tier_ = 0;
+};
+
+}  // namespace xflux::serve
+
+#endif  // XFLUX_SERVE_CLIENT_H_

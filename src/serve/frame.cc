@@ -1,0 +1,191 @@
+#include "serve/frame.h"
+
+#include <cstring>
+
+namespace xflux::serve {
+
+namespace {
+
+constexpr size_t kHeaderBytes = 5;  // u32 length + u8 type
+
+bool IsServerFrameType(uint8_t type) {
+  return type >= static_cast<uint8_t>(FrameType::kOpened) &&
+         type <= static_cast<uint8_t>(FrameType::kShedNotice);
+}
+
+void AppendU16(std::string* out, uint16_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+bool ReadU16(std::string_view buf, size_t pos, uint16_t* v) {
+  if (pos + 2 > buf.size()) return false;
+  const auto* p = reinterpret_cast<const unsigned char*>(buf.data() + pos);
+  *v = static_cast<uint16_t>(p[0] | (p[1] << 8));
+  return true;
+}
+
+}  // namespace
+
+bool IsClientFrameType(uint8_t type) {
+  return type >= static_cast<uint8_t>(FrameType::kOpen) &&
+         type <= static_cast<uint8_t>(FrameType::kClose);
+}
+
+void AppendU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+bool ReadU32(std::string_view buf, size_t pos, uint32_t* v) {
+  if (pos + 4 > buf.size()) return false;
+  const auto* p = reinterpret_cast<const unsigned char*>(buf.data() + pos);
+  *v = static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+       (static_cast<uint32_t>(p[2]) << 16) | (static_cast<uint32_t>(p[3]) << 24);
+  return true;
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+bool ReadU64(std::string_view buf, size_t pos, uint64_t* v) {
+  if (pos + 8 > buf.size()) return false;
+  const auto* p = reinterpret_cast<const unsigned char*>(buf.data() + pos);
+  uint64_t r = 0;
+  for (int i = 7; i >= 0; --i) r = (r << 8) | p[i];
+  *v = r;
+  return true;
+}
+
+void AppendFrame(std::string* out, FrameType type, std::string_view payload) {
+  AppendU32(out, static_cast<uint32_t>(payload.size()));
+  out->push_back(static_cast<char>(type));
+  out->append(payload);
+}
+
+std::string EncodeFrame(FrameType type, std::string_view payload) {
+  std::string out;
+  out.reserve(kHeaderBytes + payload.size());
+  AppendFrame(&out, type, payload);
+  return out;
+}
+
+void FrameDecoder::Feed(std::string_view chunk) {
+  if (!error_.ok()) return;
+  // Compact lazily: only when the consumed prefix dominates the buffer, so
+  // steady-state streaming pays one memmove per buffer's worth, not per
+  // frame.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(chunk);
+}
+
+bool FrameDecoder::Next(Frame* out) {
+  if (!error_.ok()) return false;
+  std::string_view buf(buffer_);
+  uint32_t len = 0;
+  if (!ReadU32(buf, consumed_, &len)) return false;
+  // Bound checked from the prefix alone, before the payload is buffered:
+  // a hostile length must not translate into a hostile allocation.
+  if (len > options_.max_frame_bytes) {
+    error_ = Status::ResourceExhausted(
+        "frame payload of " + std::to_string(len) + " bytes exceeds limit of " +
+        std::to_string(options_.max_frame_bytes));
+    return false;
+  }
+  if (consumed_ + kHeaderBytes + len > buf.size()) return false;
+  uint8_t type = static_cast<uint8_t>(buf[consumed_ + 4]);
+  bool known = options_.client_types_only ? IsClientFrameType(type)
+                                          : IsClientFrameType(type) ||
+                                                IsServerFrameType(type);
+  if (!known) {
+    error_ = Status::ProtocolViolation("unknown frame type " +
+                                       std::to_string(static_cast<int>(type)));
+    return false;
+  }
+  out->type = static_cast<FrameType>(type);
+  out->payload.assign(buf.substr(consumed_ + kHeaderBytes, len));
+  consumed_ += kHeaderBytes + len;
+  if (consumed_ == buffer_.size()) {
+    buffer_.clear();
+    consumed_ = 0;
+  }
+  return true;
+}
+
+void AppendEvent(std::string* out, const Event& e) {
+  out->push_back(static_cast<char>(e.kind));
+  AppendU32(out, e.id);
+  AppendU32(out, e.uid);
+  if (e.kind == EventKind::kStartElement || e.kind == EventKind::kEndElement) {
+    AppendU64(out, e.oid);
+    std::string_view tag = e.tag_name();
+    AppendU16(out, static_cast<uint16_t>(tag.size()));
+    out->append(tag);
+  } else if (e.kind == EventKind::kCharacters) {
+    std::string_view text = e.chars();
+    AppendU32(out, static_cast<uint32_t>(text.size()));
+    out->append(text);
+  }
+}
+
+void AppendEvents(std::string* out, const EventVec& events) {
+  for (const Event& e : events) AppendEvent(out, e);
+}
+
+std::string EncodeEvents(const EventVec& events) {
+  std::string out;
+  AppendEvents(&out, events);
+  return out;
+}
+
+Status DecodeEvents(std::string_view payload, EventVec* out) {
+  size_t pos = 0;
+  while (pos < payload.size()) {
+    if (pos + 9 > payload.size())
+      return Status::ProtocolViolation("truncated event entry");
+    uint8_t kind = static_cast<uint8_t>(payload[pos]);
+    if (kind > static_cast<uint8_t>(EventKind::kShow))
+      return Status::ProtocolViolation("event kind " + std::to_string(kind) +
+                                       " out of range");
+    uint32_t id = 0;
+    uint32_t uid = 0;
+    ReadU32(payload, pos + 1, &id);
+    ReadU32(payload, pos + 5, &uid);
+    pos += 9;
+    Event e;
+    e.kind = static_cast<EventKind>(kind);
+    e.id = id;
+    e.uid = uid;
+    if (e.kind == EventKind::kStartElement ||
+        e.kind == EventKind::kEndElement) {
+      uint64_t oid = 0;
+      uint16_t tag_len = 0;
+      if (!ReadU64(payload, pos, &oid) || !ReadU16(payload, pos + 8, &tag_len))
+        return Status::ProtocolViolation("truncated element entry");
+      pos += 10;
+      if (pos + tag_len > payload.size())
+        return Status::ProtocolViolation("truncated element tag");
+      e.oid = oid;
+      e.tag = InternTag(payload.substr(pos, tag_len));
+      pos += tag_len;
+    } else if (e.kind == EventKind::kCharacters) {
+      uint32_t text_len = 0;
+      if (!ReadU32(payload, pos, &text_len))
+        return Status::ProtocolViolation("truncated characters entry");
+      pos += 4;
+      if (pos + text_len > payload.size())
+        return Status::ProtocolViolation("truncated character data");
+      e.text = TextRef::Copy(payload.substr(pos, text_len));
+      pos += text_len;
+    }
+    out->push_back(std::move(e));
+  }
+  return Status::OK();
+}
+
+}  // namespace xflux::serve

@@ -1,0 +1,129 @@
+// Wire framing for the xflux_serve session protocol.
+//
+// Everything a client and the server exchange travels in frames:
+//
+//   u32 LE payload length | u8 frame type | payload bytes
+//
+// The framing is deliberately dumb — no versioning, no flags — because the
+// service only speaks to the bundled client (tests, traffic generator,
+// xflux_inspect).  What matters for robustness is that the *decoder* is
+// hostile-input safe: it consumes arbitrary chunk boundaries, enforces a
+// hard payload-size bound before buffering (a 4 GiB length prefix must not
+// allocate 4 GiB), and rejects unknown frame types, so a garbage-spewing
+// or malicious client costs the server O(max_frame_bytes) memory at worst
+// and is answered with a structured error, never a crash.
+//
+// Two feed encodings exist because the XML layer has no update-stream
+// markup: FEED_XML carries document text for the server-side SAX parser,
+// FEED_EVENTS carries the binary event codec below (the only way to ship
+// sM/sR/freeze traffic over the wire).  A session commits to one encoding
+// at its first feed.
+
+#ifndef XFLUX_SERVE_FRAME_H_
+#define XFLUX_SERVE_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/event.h"
+#include "util/status.h"
+
+namespace xflux::serve {
+
+/// Frame type tags.  Client-to-server types live below 16, server-to-client
+/// types at 16 and up, so a direction mix-up is caught as an unknown type.
+enum class FrameType : uint8_t {
+  // -- client -> server --
+  kOpen = 1,        ///< query text + options; must be the first frame
+  kFeedXml = 2,     ///< a chunk of XML document text
+  kFeedEvents = 3,  ///< a batch of binary-coded update-stream events
+  kSubscribe = 4,   ///< request delta pushes as the answer evolves
+  kFinish = 5,      ///< end of input: finalize and report the answer
+  kClose = 6,       ///< drop the session without finishing
+  // -- server -> client --
+  kOpened = 16,      ///< session admitted; payload = session id (decimal)
+  kDelta = 17,       ///< answer delta: u32 keep length + append bytes
+  kError = 18,       ///< structured error: u32 status code + message
+  kRejected = 19,    ///< admission refused: u32 retry-after ms
+  kFinished = 20,    ///< final status: u32 status code + message
+  kShedNotice = 21,  ///< load shed applied: u32 tier + note
+};
+
+/// True for the types a client is allowed to send.
+bool IsClientFrameType(uint8_t type);
+
+/// One decoded frame.
+struct Frame {
+  FrameType type = FrameType::kClose;
+  std::string payload;
+};
+
+// -- little-endian scalar helpers (shared by the codec and the session
+//    payloads; exposed because tests and the client build payloads too) --
+void AppendU32(std::string* out, uint32_t v);
+/// Reads a u32 at `pos`; false when fewer than 4 bytes remain.
+bool ReadU32(std::string_view buf, size_t pos, uint32_t* v);
+void AppendU64(std::string* out, uint64_t v);
+bool ReadU64(std::string_view buf, size_t pos, uint64_t* v);
+
+/// Serializes one frame onto `out`.
+void AppendFrame(std::string* out, FrameType type, std::string_view payload);
+std::string EncodeFrame(FrameType type, std::string_view payload);
+
+/// Incremental frame decoder.  Feed arbitrary byte chunks; Next() yields
+/// complete frames until it returns false.  Errors (oversized payload,
+/// unknown type) latch: the connection is unrecoverable past the first
+/// malformed frame because framing has lost sync.
+class FrameDecoder {
+ public:
+  struct Options {
+    /// Hard bound on a single payload, enforced from the length prefix
+    /// alone.  Servers keep this small; clients need room for deltas.
+    size_t max_frame_bytes = 1 << 20;
+    /// When true (server side), only client->server types are accepted.
+    bool client_types_only = false;
+  };
+
+  explicit FrameDecoder(const Options& options) : options_(options) {}
+  FrameDecoder() : FrameDecoder(Options()) {}
+
+  /// Buffers the next chunk of raw bytes.  No-op after an error.
+  void Feed(std::string_view chunk);
+
+  /// Extracts the next complete frame.  Returns true and fills `out` when
+  /// one is available; false when more input is needed OR the decoder has
+  /// latched an error (check error() to tell the cases apart).
+  bool Next(Frame* out);
+
+  const Status& error() const { return error_; }
+
+  /// Bytes currently buffered (the slow-consumer / hostile-client gauge).
+  size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  Options options_;
+  std::string buffer_;
+  size_t consumed_ = 0;  // prefix of buffer_ already handed out
+  Status error_;
+};
+
+// -- binary event codec (the kFeedEvents payload) --
+//
+// Per event: u8 kind | u32 id | u32 uid, then for sE/eE a u64 oid plus a
+// u16-length-prefixed tag spelling (re-interned on decode; symbols are
+// process-local and cannot cross the wire), and for cD a u32-length-
+// prefixed text.  A batch is just events concatenated.
+
+void AppendEvent(std::string* out, const Event& e);
+void AppendEvents(std::string* out, const EventVec& events);
+std::string EncodeEvents(const EventVec& events);
+
+/// Decodes a whole kFeedEvents payload.  Rejects truncated entries and
+/// out-of-range kinds with kProtocolViolation — the payload is untrusted.
+Status DecodeEvents(std::string_view payload, EventVec* out);
+
+}  // namespace xflux::serve
+
+#endif  // XFLUX_SERVE_FRAME_H_

@@ -1,0 +1,102 @@
+// Graceful load shedding for xflux_serve (explicit policy object).
+//
+// When the server cannot keep up, it degrades in three deliberate tiers
+// rather than letting queues grow until the OS kills it.  The shedder is
+// pure policy: the server feeds it load gauges each loop iteration, it
+// answers with the tier currently in force, and the server applies the
+// tier's mechanism:
+//
+//   tier 1 — defer delta pushes.  Subscribed clients stop receiving
+//            per-feed answer deltas; the answer is still maintained and
+//            deltas resume (with full catch-up, the delta protocol is
+//            self-healing) once pressure drops.  Costs latency only.
+//   tier 2 — shed retroactive updates.  Every admitted session's
+//            ProtocolGuard starts discarding update regions that address
+//            already-streamed content (ProtocolGuard::set_shed_updates):
+//            answers remain exact for the content consumed but go *stale*
+//            with respect to the update tail.  Costs freshness.
+//   tier 3 — evict.  The lowest-priority streaming session is closed with
+//            a structured kShedNotice so its client knows this was policy,
+//            not a crash.  Costs whole sessions — last resort.
+//
+// Pressure is the max of the session-slot ratio and the queued-output
+// ratio, so either dimension of overload (too many clients, or few
+// clients consuming too slowly) triggers the same ladder.  Tier
+// transitions use a small hysteresis margin so the server does not
+// flap-toggle guards at a threshold boundary.
+
+#ifndef XFLUX_SERVE_LOAD_SHEDDER_H_
+#define XFLUX_SERVE_LOAD_SHEDDER_H_
+
+#include <cstddef>
+
+namespace xflux::serve {
+
+/// See file comment.
+class LoadShedder {
+ public:
+  struct Options {
+    double tier1_pressure = 0.70;  ///< defer delta pushes
+    double tier2_pressure = 0.85;  ///< shed retroactive updates
+    double tier3_pressure = 0.95;  ///< evict lowest-priority sessions
+    /// Queued-output budget across all sessions; the second pressure
+    /// dimension (slow consumers).
+    size_t max_total_queued_bytes = 8u << 20;
+    /// A tier disengages only this far below its threshold (hysteresis).
+    double release_margin = 0.05;
+  };
+
+  struct Gauges {
+    size_t active_sessions = 0;
+    size_t max_sessions = 1;
+    size_t total_queued_bytes = 0;
+  };
+
+  explicit LoadShedder(const Options& options) : options_(options) {}
+  LoadShedder() : LoadShedder(Options()) {}
+
+  /// The scalar load measure: max of the two utilization ratios.
+  double Pressure(const Gauges& g) const {
+    double sessions = g.max_sessions == 0
+                          ? 1.0
+                          : static_cast<double>(g.active_sessions) /
+                                static_cast<double>(g.max_sessions);
+    double queued = options_.max_total_queued_bytes == 0
+                        ? 0.0
+                        : static_cast<double>(g.total_queued_bytes) /
+                              static_cast<double>(
+                                  options_.max_total_queued_bytes);
+    return sessions > queued ? sessions : queued;
+  }
+
+  /// Updates and returns the tier in force (0 = none, 1..3 as above).
+  int Update(const Gauges& g) {
+    double p = Pressure(g);
+    int target = p >= options_.tier3_pressure   ? 3
+                 : p >= options_.tier2_pressure ? 2
+                 : p >= options_.tier1_pressure ? 1
+                                                : 0;
+    if (target > tier_) {
+      tier_ = target;
+    } else if (target < tier_) {
+      // Drop one tier at a time, and only once clear of the threshold by
+      // the hysteresis margin.
+      double threshold = tier_ == 3   ? options_.tier3_pressure
+                         : tier_ == 2 ? options_.tier2_pressure
+                                      : options_.tier1_pressure;
+      if (p < threshold - options_.release_margin) --tier_;
+    }
+    return tier_;
+  }
+
+  int tier() const { return tier_; }
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  int tier_ = 0;
+};
+
+}  // namespace xflux::serve
+
+#endif  // XFLUX_SERVE_LOAD_SHEDDER_H_

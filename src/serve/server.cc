@@ -1,0 +1,630 @@
+#include "serve/server.h"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "xml/sax_parser.h"
+#include "xquery/engine.h"
+#include "xquery/query_server.h"
+
+namespace xflux::serve {
+
+namespace {
+
+/// Direct mode: the session owns a private QuerySession plus a persistent
+/// incremental SAX parser (PushDocument's wiring, but chunk-at-a-time
+/// across FEED frames).
+class DirectBackend : public SessionBackend {
+ public:
+  explicit DirectBackend(std::unique_ptr<QuerySession> session)
+      : session_(std::move(session)), source_(session_->pipeline()) {}
+
+  Status FeedXml(std::string_view chunk) override {
+    if (parser_ == nullptr) {
+      SaxParser::Options o;
+      o.stream_id = session_->source_id();
+      o.errors = session_->pipeline()->context()->errors();
+      parser_ = std::make_unique<SaxParser>(o, &source_);
+    }
+    return parser_->Feed(chunk);
+  }
+
+  Status FeedEvents(const EventVec& events) override {
+    session_->PushAll(events);
+    return Status::OK();
+  }
+
+  Status Finish() override {
+    Status parse;
+    if (parser_ != nullptr) parse = parser_->Finish();
+    // Event-mode truncation (a dropped client never sends its closing
+    // brackets) is the guard's end-of-input case; Pipeline::Finish alone
+    // does not signal it.
+    if (session_->guard() != nullptr) session_->guard()->Finish();
+    Status run = session_->Finish();
+    return parse.ok() ? run : parse;
+  }
+
+  ResultDisplay* display() override { return session_->display(); }
+  Status query_status() const override { return session_->status(); }
+  ProtocolGuard* guard() override { return session_->guard(); }
+  Metrics* metrics() override { return session_->metrics(); }
+
+ private:
+  std::unique_ptr<QuerySession> session_;
+  PipelineSource source_;
+  std::unique_ptr<SaxParser> parser_;
+};
+
+/// Bridges the channel's SAX parser into the shared QueryServer.
+class QueryServerSink : public EventSink {
+ public:
+  explicit QueryServerSink(QueryServer* qs) : qs_(qs) {}
+  void Accept(Event event) override { qs_->Push(std::move(event)); }
+  void AcceptBatch(EventBatch batch) override {
+    qs_->PushBatch(std::move(batch));
+  }
+
+ private:
+  QueryServer* qs_;
+};
+
+}  // namespace
+
+/// Shared-mode execution group: one QueryServer, one input stream, many
+/// member sessions.  The first member to feed becomes the stream owner.
+struct ServeServer::Channel {
+  std::string name;
+  QueryServer qserver;
+  bool streaming = false;
+  bool finished = false;
+  uint64_t feeder_session = 0;
+  std::unique_ptr<QueryServerSink> sink;
+  std::unique_ptr<SaxParser> parser;
+  std::vector<uint64_t> members;
+};
+
+namespace {
+
+/// Shared mode: the session holds a QueryHandle registered on its
+/// channel's QueryServer.  Only the channel's stream owner may feed.
+class ChannelBackend : public SessionBackend {
+ public:
+  ChannelBackend(ServeServer::Channel* channel, QueryHandle* handle,
+                 uint64_t session_id)
+      : channel_(channel), handle_(handle), session_id_(session_id) {}
+
+  Status FeedXml(std::string_view chunk) override {
+    XFLUX_RETURN_IF_ERROR(ClaimFeeder());
+    if (channel_->parser == nullptr) {
+      channel_->sink = std::make_unique<QueryServerSink>(&channel_->qserver);
+      SaxParser::Options o;
+      o.stream_id = channel_->qserver.source_id();
+      channel_->parser = std::make_unique<SaxParser>(o, channel_->sink.get());
+    }
+    channel_->streaming = true;
+    return channel_->parser->Feed(chunk);
+  }
+
+  Status FeedEvents(const EventVec& events) override {
+    XFLUX_RETURN_IF_ERROR(ClaimFeeder());
+    channel_->streaming = true;
+    channel_->qserver.PushAll(events);
+    return Status::OK();
+  }
+
+  Status Finish() override {
+    // A non-owner's FINISH ends only its own subscription; the shared
+    // stream belongs to the owner.
+    if (channel_->feeder_session != session_id_ || channel_->finished)
+      return Status::OK();
+    channel_->finished = true;
+    Status parse;
+    if (channel_->parser != nullptr) parse = channel_->parser->Finish();
+    Status run = channel_->qserver.Finish();
+    return parse.ok() ? run : parse;
+  }
+
+  ResultDisplay* display() override { return handle_->display(); }
+  Status query_status() const override { return handle_->status(); }
+  ProtocolGuard* guard() override { return handle_->guard(); }
+  Metrics* metrics() override { return handle_->metrics(); }
+
+ private:
+  Status ClaimFeeder() {
+    if (channel_->feeder_session == 0)
+      channel_->feeder_session = session_id_;
+    if (channel_->feeder_session != session_id_)
+      return Status::InvalidArgument(
+          "channel already has a stream owner; only session " +
+          std::to_string(channel_->feeder_session) + " may feed");
+    if (channel_->finished)
+      return Status::InvalidArgument("channel stream already finished");
+    return Status::OK();
+  }
+
+  ServeServer::Channel* channel_;
+  QueryHandle* handle_;
+  uint64_t session_id_;
+};
+
+}  // namespace
+
+ServeServer::ServeServer(const Options& options)
+    : options_(options),
+      admission_(options.admission, &metrics_),
+      shedder_(options.shed) {}
+
+ServeServer::~ServeServer() {
+  sessions_.clear();
+  session_by_id_.clear();
+  channels_.clear();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (wake_fds_[0] >= 0) ::close(wake_fds_[0]);
+  if (wake_fds_[1] >= 0) ::close(wake_fds_[1]);
+  if (!options_.unix_path.empty()) ::unlink(options_.unix_path.c_str());
+}
+
+int64_t ServeServer::NowMs() const {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Status ServeServer::StartUnix() {
+  if (options_.unix_path.size() >= sizeof(sockaddr_un{}.sun_path))
+    return Status::InvalidArgument("unix socket path too long: " +
+                                   options_.unix_path);
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0)
+    return Status::Internal("socket(AF_UNIX): " +
+                            std::string(std::strerror(errno)));
+  ::unlink(options_.unix_path.c_str());
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, options_.unix_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0)
+    return Status::Internal("bind(" + options_.unix_path +
+                            "): " + std::string(std::strerror(errno)));
+  return Status::OK();
+}
+
+Status ServeServer::StartTcp() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0)
+    return Status::Internal("socket(AF_INET): " +
+                            std::string(std::strerror(errno)));
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.tcp_port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0)
+    return Status::Internal("bind(127.0.0.1:" +
+                            std::to_string(options_.tcp_port) +
+                            "): " + std::string(std::strerror(errno)));
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  bound_port_ = ntohs(bound.sin_port);
+  return Status::OK();
+}
+
+Status ServeServer::Start() {
+  if (started_) return Status::InvalidArgument("server already started");
+  Status bound = options_.unix_path.empty() ? StartTcp() : StartUnix();
+  if (!bound.ok()) return bound;
+  if (::listen(listen_fd_, 128) < 0)
+    return Status::Internal("listen: " + std::string(std::strerror(errno)));
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0)
+    return Status::Internal("epoll_create1: " +
+                            std::string(std::strerror(errno)));
+  if (::pipe2(wake_fds_, O_NONBLOCK | O_CLOEXEC) < 0)
+    return Status::Internal("pipe2: " + std::string(std::strerror(errno)));
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.fd = wake_fds_[0];
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fds_[0], &ev);
+  started_ = true;
+  return Status::OK();
+}
+
+void ServeServer::Stop() {
+  stop_.store(true);
+  // Async-signal-safe wakeup (the example binary calls this from SIGINT).
+  if (wake_fds_[1] >= 0) {
+    char b = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_fds_[1], &b, 1);
+  }
+}
+
+std::string ServeServer::endpoint() const {
+  if (!options_.unix_path.empty()) return "unix:" + options_.unix_path;
+  return "tcp:127.0.0.1:" + std::to_string(bound_port_);
+}
+
+void ServeServer::Run() {
+  constexpr int kTickMs = 20;  // deadline/shedding granularity
+  std::vector<epoll_event> events(64);
+  while (!stop_.load()) {
+    int n = ::epoll_wait(epoll_fd_, events.data(),
+                         static_cast<int>(events.size()), kTickMs);
+    now_ms_ = NowMs();
+    for (int i = 0; i < n; ++i) {
+      int fd = events[i].data.fd;
+      uint32_t mask = events[i].events;
+      if (fd == listen_fd_) {
+        AcceptPending();
+        continue;
+      }
+      if (fd == wake_fds_[0]) {
+        char drain[64];
+        while (::read(wake_fds_[0], drain, sizeof(drain)) > 0) {
+        }
+        continue;
+      }
+      auto it = sessions_.find(fd);
+      if (it == sessions_.end()) continue;  // reaped earlier this sweep
+      ServeSession* s = it->second.get();
+      if ((mask & (EPOLLHUP | EPOLLERR)) != 0) {
+        s->set_state(ServeSession::State::kClosed);
+        continue;
+      }
+      if ((mask & EPOLLIN) != 0) OnReadable(s);
+      if ((mask & EPOLLOUT) != 0 &&
+          sessions_.find(fd) != sessions_.end()) {
+        TryWrite(s);
+        UpdateWriteInterest(s);
+      }
+    }
+    ApplyShedding();
+    FlushDeltas();
+    SweepDeadlines();
+    ReapFinished();
+  }
+  // Orderly shutdown: every remaining client gets a structured ending.
+  std::vector<int> fds;
+  fds.reserve(sessions_.size());
+  for (auto& [fd, s] : sessions_) {
+    if (s->state() == ServeSession::State::kAwaitOpen ||
+        s->state() == ServeSession::State::kStreaming)
+      s->AppendErrorFrame(Status::NotSupported("server shutting down"));
+    fds.push_back(fd);
+  }
+  for (int fd : fds) CloseSession(fd);
+}
+
+void ServeServer::AcceptPending() {
+  for (;;) {
+    int cfd = ::accept4(listen_fd_, nullptr, nullptr,
+                        SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (cfd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN or transient accept failure: next tick retries
+    }
+    AdmissionController::Decision d = admission_.Offer();
+    if (!d.admit) {
+      // The one frame a rejected connection gets.  Best-effort: it fits
+      // any socket buffer, and a client too broken to read it was not
+      // going to honor retry-after anyway.
+      std::string payload;
+      AppendU32(&payload, d.retry_after_ms);
+      std::string frame = EncodeFrame(FrameType::kRejected, payload);
+      [[maybe_unused]] ssize_t n =
+          ::send(cfd, frame.data(), frame.size(), MSG_NOSIGNAL);
+      ::close(cfd);
+      continue;
+    }
+    uint64_t id = next_session_id_++;
+    auto session = std::make_unique<ServeSession>(
+        id, cfd, options_.session,
+        [this](ServeSession& s, const OpenRequest& r) {
+          return MakeBackend(s, r);
+        });
+    session->last_read_ms = now_ms_;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = cfd;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, cfd, &ev);
+    session_by_id_[id] = session.get();
+    sessions_[cfd] = std::move(session);
+  }
+}
+
+StatusOr<std::unique_ptr<SessionBackend>> ServeServer::MakeBackend(
+    ServeSession& session, const OpenRequest& request) {
+  QueryOptions qo = options_.base_query;
+  qo.display.pretty = request.pretty;
+  qo.guard = request.guard;
+  qo.guard_options.policy = request.guard_policy;
+  qo.guard_options.limits = admission_.session_limits();
+  qo.threads = 0;  // the epoll thread is the only writer anywhere
+  std::unique_ptr<SessionBackend> backend;
+  if (!request.channel.empty()) {
+    if (!options_.shared)
+      return Status::InvalidArgument(
+          "channel= requires a server started with --shared");
+    auto& slot = channels_[request.channel];
+    if (slot == nullptr) {
+      slot = std::make_unique<Channel>();
+      slot->name = request.channel;
+    }
+    if (slot->streaming)
+      return Status::InvalidArgument(
+          "channel '" + request.channel +
+          "' is already streaming; registration is closed");
+    auto handle = slot->qserver.Register(request.query, qo);
+    if (!handle.ok()) return handle.status();
+    slot->members.push_back(session.id());
+    backend = std::make_unique<ChannelBackend>(slot.get(), handle.value(),
+                                               session.id());
+  } else {
+    auto qs = QuerySession::Open(request.query, qo);
+    if (!qs.ok()) return qs.status();
+    backend = std::make_unique<DirectBackend>(std::move(qs).value());
+  }
+  // A session born under tier-2 pressure starts shedding immediately.
+  if (shed_updates_applied_ && backend->guard() != nullptr)
+    backend->guard()->set_shed_updates(true);
+  return backend;
+}
+
+void ServeServer::OnReadable(ServeSession* session) {
+  char buf[65536];
+  bool eof = false;
+  for (;;) {
+    ssize_t n = ::read(session->fd(), buf, sizeof(buf));
+    if (n > 0) {
+      session->decoder().Feed(std::string_view(buf, static_cast<size_t>(n)));
+      session->last_read_ms = now_ms_;
+      continue;
+    }
+    if (n == 0) {
+      eof = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    eof = true;  // hard socket error: the connection is gone
+    break;
+  }
+  Frame frame;
+  while (session->state() != ServeSession::State::kClosed &&
+         session->decoder().Next(&frame)) {
+    bool was_finish = frame.type == FrameType::kFinish;
+    Status handled = session->HandleFrame(frame);
+    if (!handled.ok()) {
+      // Framing-level violation: one structured error, then the session
+      // is done.  The decoder has lost sync anyway.
+      session->AppendErrorFrame(handled);
+      session->set_state(ServeSession::State::kFinished);
+      break;
+    }
+    if (!session->channel().empty()) {
+      if (frame.type == FrameType::kFeedXml ||
+          frame.type == FrameType::kFeedEvents)
+        MarkChannelDirty(session->channel());
+      if (was_finish) {
+        Channel* ch = FindChannel(session->channel());
+        if (ch != nullptr && ch->feeder_session == session->id() &&
+            ch->finished)
+          FinishChannelMembers(ch, session->id());
+      }
+    }
+  }
+  if (!session->decoder().error().ok() &&
+      (session->state() == ServeSession::State::kAwaitOpen ||
+       session->state() == ServeSession::State::kStreaming)) {
+    session->AppendErrorFrame(session->decoder().error());
+    session->set_state(ServeSession::State::kFinished);
+  }
+  if (eof) session->set_state(ServeSession::State::kClosed);
+  TryWrite(session);
+  UpdateWriteInterest(session);
+}
+
+void ServeServer::TryWrite(ServeSession* session) {
+  std::string& out = session->outbound();
+  size_t written = 0;
+  while (written < out.size()) {
+    // MSG_NOSIGNAL: a hung-up client must surface as EPIPE here, not
+    // kill the process with SIGPIPE.
+    ssize_t n = ::send(session->fd(), out.data() + written,
+                       out.size() - written, MSG_NOSIGNAL);
+    if (n > 0) {
+      written += static_cast<size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    session->set_state(ServeSession::State::kClosed);  // peer is gone
+    out.clear();
+    return;
+  }
+  out.erase(0, written);
+  if (out.empty()) {
+    session->write_pending_since_ms = -1;
+  } else if (session->write_pending_since_ms < 0) {
+    session->write_pending_since_ms = now_ms_;
+  }
+}
+
+void ServeServer::UpdateWriteInterest(ServeSession* session) {
+  epoll_event ev{};
+  ev.events = EPOLLIN | (session->outbound_bytes() > 0 ? EPOLLOUT : 0u);
+  ev.data.fd = session->fd();
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, session->fd(), &ev);
+}
+
+void ServeServer::FlushDeltas() {
+  int tier = shedder_.tier();
+  for (auto& [fd, session] : sessions_) {
+    ServeSession* s = session.get();
+    if (s->state() != ServeSession::State::kStreaming) continue;
+    if (tier >= 1) {
+      uint64_t before = s->deltas_deferred();
+      s->FlushDelta(/*defer=*/true);
+      if (s->deltas_deferred() > before) metrics_.CountShedTier(1);
+    } else if (s->FlushDelta(/*defer=*/false)) {
+      TryWrite(s);
+      UpdateWriteInterest(s);
+    }
+  }
+}
+
+void ServeServer::ApplyShedding() {
+  LoadShedder::Gauges gauges;
+  gauges.active_sessions = sessions_.size();
+  gauges.max_sessions = admission_.max_sessions();
+  for (auto& [fd, s] : sessions_)
+    gauges.total_queued_bytes += s->outbound_bytes();
+  int tier = shedder_.Update(gauges);
+  bool want_shed_updates = tier >= 2;
+  if (want_shed_updates != shed_updates_applied_) {
+    for (auto& [fd, s] : sessions_) {
+      if (s->backend() != nullptr && s->backend()->guard() != nullptr)
+        s->backend()->guard()->set_shed_updates(want_shed_updates);
+    }
+    shed_updates_applied_ = want_shed_updates;
+  }
+  if (tier >= 3) {
+    // One eviction per tick: enough to relieve pressure monotonically,
+    // gradual enough to stop as soon as the gauges recover.
+    ServeSession* victim = nullptr;
+    for (auto& [fd, s] : sessions_) {
+      if (s->state() != ServeSession::State::kStreaming &&
+          s->state() != ServeSession::State::kAwaitOpen)
+        continue;
+      if (victim == nullptr || s->priority() < victim->priority() ||
+          (s->priority() == victim->priority() && s->id() < victim->id()))
+        victim = s.get();
+    }
+    if (victim != nullptr) {
+      metrics_.CountShedTier(3);
+      victim->AppendShedNotice(3, "evicted: server overloaded");
+      victim->set_state(ServeSession::State::kFinished);
+      TryWrite(victim);
+      UpdateWriteInterest(victim);
+    }
+  }
+}
+
+void ServeServer::SweepDeadlines() {
+  for (auto& [fd, session] : sessions_) {
+    ServeSession* s = session.get();
+    bool live = s->state() == ServeSession::State::kAwaitOpen ||
+                s->state() == ServeSession::State::kStreaming;
+    if (live && options_.idle_timeout_ms > 0 &&
+        now_ms_ - s->last_read_ms > options_.idle_timeout_ms) {
+      metrics_.CountSessionTimeout();
+      s->AppendErrorFrame(
+          Status::ResourceExhausted("idle timeout: no frames received"));
+      s->set_state(ServeSession::State::kFinished);
+      TryWrite(s);
+      UpdateWriteInterest(s);
+      continue;
+    }
+    if (s->outbound_bytes() > 0 && options_.write_timeout_ms > 0 &&
+        s->write_pending_since_ms >= 0 &&
+        now_ms_ - s->write_pending_since_ms > options_.write_timeout_ms) {
+      // The consumer stopped reading; its socket is jammed, so there is
+      // no way to say goodbye.  Cut it loose.
+      metrics_.CountSessionTimeout();
+      s->set_state(ServeSession::State::kClosed);
+    }
+  }
+}
+
+void ServeServer::ReapFinished() {
+  std::vector<int> done;
+  for (auto& [fd, s] : sessions_) {
+    if (s->state() == ServeSession::State::kClosed ||
+        (s->state() == ServeSession::State::kFinished &&
+         s->outbound_bytes() == 0))
+      done.push_back(fd);
+  }
+  for (int fd : done) CloseSession(fd);
+}
+
+void ServeServer::CloseSession(int fd) {
+  auto it = sessions_.find(fd);
+  if (it == sessions_.end()) return;
+  ServeSession* s = it->second.get();
+  TryWrite(s);  // last chance for any queued final frame
+  // Direct sessions fold their pipeline counters into the service rollup
+  // here; channel members share suffix metrics, folded when the channel
+  // itself is torn down (QueryServer::AggregateMetrics covers them).
+  if (s->backend() != nullptr && s->channel().empty())
+    metrics_.MergeFrom(*s->backend()->metrics());
+  if (!s->channel().empty()) DropChannelMember(s->channel(), s->id());
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  admission_.Release();
+  session_by_id_.erase(s->id());
+  sessions_.erase(it);  // destructor closes the fd
+}
+
+ServeServer::Channel* ServeServer::FindChannel(const std::string& name) {
+  auto it = channels_.find(name);
+  return it == channels_.end() ? nullptr : it->second.get();
+}
+
+void ServeServer::MarkChannelDirty(const std::string& name) {
+  Channel* ch = FindChannel(name);
+  if (ch == nullptr) return;
+  for (uint64_t id : ch->members) {
+    auto it = session_by_id_.find(id);
+    if (it != session_by_id_.end() &&
+        it->second->state() == ServeSession::State::kStreaming)
+      it->second->MarkDirty();
+  }
+}
+
+void ServeServer::FinishChannelMembers(Channel* channel, uint64_t finisher) {
+  Frame finish;
+  finish.type = FrameType::kFinish;
+  for (uint64_t id : channel->members) {
+    if (id == finisher) continue;
+    auto it = session_by_id_.find(id);
+    if (it == session_by_id_.end() ||
+        it->second->state() != ServeSession::State::kStreaming)
+      continue;
+    // Replaying FINISH through the member's own state machine gives it
+    // the same ending the owner got: final delta, then kFinished.
+    [[maybe_unused]] Status st = it->second->HandleFrame(finish);
+    TryWrite(it->second);
+    UpdateWriteInterest(it->second);
+  }
+}
+
+void ServeServer::DropChannelMember(const std::string& name,
+                                    uint64_t session_id) {
+  Channel* ch = FindChannel(name);
+  if (ch == nullptr) return;
+  auto& m = ch->members;
+  for (size_t i = 0; i < m.size(); ++i) {
+    if (m[i] == session_id) {
+      m.erase(m.begin() + i);
+      break;
+    }
+  }
+  if (m.empty()) {
+    metrics_.MergeFrom(ch->qserver.AggregateMetrics());
+    channels_.erase(name);
+  }
+}
+
+}  // namespace xflux::serve

@@ -1,0 +1,159 @@
+// The xflux_serve service: a long-running epoll loop multiplexing many
+// client sessions over localhost sockets.
+//
+// Architecture (DESIGN.md §11): one thread, one epoll instance, N
+// sessions.  Every query pipeline runs serially inside the loop — the
+// engine's serial mode is deterministic and allocation-tight, and a
+// single-writer loop means zero locks anywhere in the service.  The
+// robustness mechanisms are explicit policy objects, each independently
+// testable:
+//
+//   AdmissionController  — who gets a session at all (admission.h)
+//   LoadShedder          — three-tier degradation under load (load_shedder.h)
+//   ServeSession         — per-client state machine + crash containment
+//                          (session.h)
+//   deadlines            — idle-read and slow-consumer write timeouts,
+//                          enforced here from one monotonic clock
+//
+// The server owns the sockets and the clock; the sessions own the query
+// state; the policies own the decisions.  Nothing a client sends — or
+// fails to send — can take down more than its own session: every exit
+// path (parse error, guard escalation, resource bound, timeout, eviction,
+// hangup) funnels through CloseSession, which emits whatever structured
+// frame the cause calls for, merges the session's metrics into the
+// service rollup, and releases the admission slot.
+//
+// In --shared mode, sessions carrying a `channel=NAME` open option join a
+// shared QueryServer (work sharing across queries, ROADMAP item 1 / PR 6):
+// the first member to feed becomes the channel's stream owner, every
+// member's answer is maintained by the shared prefix DAG, and a member
+// joining after streaming started is refused with a structured error
+// (QueryServer registration freezes at streaming start).
+
+#ifndef XFLUX_SERVE_SERVER_H_
+#define XFLUX_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/admission.h"
+#include "serve/load_shedder.h"
+#include "serve/session.h"
+#include "util/metrics.h"
+#include "util/status.h"
+#include "xquery/session_builder.h"
+
+namespace xflux::serve {
+
+/// See file comment.
+class ServeServer {
+ public:
+  struct Options {
+    /// AF_UNIX listening path; when non-empty this wins over TCP.
+    std::string unix_path;
+    /// Loopback TCP port when unix_path is empty; 0 picks an ephemeral
+    /// port (read it back from endpoint()).
+    uint16_t tcp_port = 0;
+    AdmissionController::Options admission;
+    LoadShedder::Options shed;
+    ServeSession::Config session;
+    /// A session that sends nothing for this long is timed out.
+    int64_t idle_timeout_ms = 30000;
+    /// A consumer that accepts no outbound bytes for this long is dropped.
+    int64_t write_timeout_ms = 5000;
+    /// Enables channel=NAME open options backed by a shared QueryServer.
+    bool shared = false;
+    /// Per-session query defaults; the open request's own options
+    /// (guard policy, pretty) are applied on top.
+    QueryOptions base_query;
+  };
+
+  explicit ServeServer(const Options& options);
+  ~ServeServer();
+
+  ServeServer(const ServeServer&) = delete;
+  ServeServer& operator=(const ServeServer&) = delete;
+
+  /// Binds, listens, and readies the epoll loop.
+  Status Start();
+
+  /// Serves until Stop().  Run this on a dedicated thread (or as the
+  /// process main loop); everything session-related happens here.
+  void Run();
+
+  /// Thread- and signal-safe shutdown request.
+  void Stop();
+
+  /// "unix:<path>" or "tcp:127.0.0.1:<port>" (valid after Start()).
+  std::string endpoint() const;
+
+  /// Service-level rollup: admission rejects, shed tiers, timeouts, plus
+  /// every closed session's pipeline counters (merged at close).  Stable
+  /// to read only while Run() is not executing (before Start, or after
+  /// Run returned).
+  const Metrics& metrics() const { return metrics_; }
+
+  int shed_tier() const { return shedder_.tier(); }
+  size_t active_sessions() const { return sessions_.size(); }
+  uint64_t sessions_served() const { return next_session_id_ - 1; }
+
+  /// Shared-mode execution group (defined in server.cc; public so the
+  /// channel backend can reach it, opaque to everyone else).
+  struct Channel;
+
+ private:
+
+  int64_t NowMs() const;
+  Status StartUnix();
+  Status StartTcp();
+
+  void AcceptPending();
+  void OnReadable(ServeSession* session);
+  void TryWrite(ServeSession* session);
+  void UpdateWriteInterest(ServeSession* session);
+  void FlushDeltas();
+  void ApplyShedding();
+  void SweepDeadlines();
+  /// Emits nothing itself — callers have already queued any final frame —
+  /// then best-effort flushes, releases admission, merges metrics, and
+  /// reaps the socket.
+  void CloseSession(int fd);
+  void ReapFinished();
+
+  /// The BackendFactory handed to every session: builds a direct
+  /// QuerySession backend, or a channel registration in --shared mode.
+  StatusOr<std::unique_ptr<SessionBackend>> MakeBackend(
+      ServeSession& session, const OpenRequest& request);
+
+  Channel* FindChannel(const std::string& name);
+  void MarkChannelDirty(const std::string& name);
+  void FinishChannelMembers(Channel* channel, uint64_t finisher);
+  void DropChannelMember(const std::string& name, uint64_t session_id);
+
+  Options options_;
+  Metrics metrics_;
+  AdmissionController admission_;
+  LoadShedder shedder_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  // self-pipe for Stop()
+  uint16_t bound_port_ = 0;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+
+  uint64_t next_session_id_ = 1;
+  int64_t now_ms_ = 0;
+  std::unordered_map<int, std::unique_ptr<ServeSession>> sessions_;  // by fd
+  std::unordered_map<uint64_t, ServeSession*> session_by_id_;
+  std::unordered_map<std::string, std::unique_ptr<Channel>> channels_;
+  bool shed_updates_applied_ = false;  // tier-2 toggle state
+};
+
+}  // namespace xflux::serve
+
+#endif  // XFLUX_SERVE_SERVER_H_

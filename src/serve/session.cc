@@ -1,0 +1,243 @@
+#include "serve/session.h"
+
+#include <unistd.h>
+
+#include <cstdlib>
+
+namespace xflux::serve {
+
+StatusOr<OpenRequest> ParseOpenRequest(std::string_view payload) {
+  OpenRequest req;
+  size_t line_start = 0;
+  bool first = true;
+  while (line_start <= payload.size()) {
+    size_t eol = payload.find('\n', line_start);
+    std::string_view line = payload.substr(
+        line_start, eol == std::string_view::npos ? std::string_view::npos
+                                                  : eol - line_start);
+    if (first) {
+      if (line.empty())
+        return Status::InvalidArgument("open request has no query");
+      req.query.assign(line);
+      first = false;
+    } else if (!line.empty()) {
+      size_t eq = line.find('=');
+      if (eq == std::string_view::npos)
+        return Status::InvalidArgument("open option is not key=value: " +
+                                       std::string(line));
+      std::string_view key = line.substr(0, eq);
+      std::string_view value = line.substr(eq + 1);
+      if (key == "guard") {
+        if (value == "off") {
+          req.guard = false;
+        } else {
+          auto policy = ProtocolGuard::ParsePolicy(value);
+          if (!policy.ok()) return policy.status();
+          req.guard = true;
+          req.guard_policy = policy.value();
+        }
+      } else if (key == "pretty") {
+        req.pretty = value == "1";
+      } else if (key == "priority") {
+        req.priority = std::atoi(std::string(value).c_str());
+      } else if (key == "channel") {
+        if (value.empty())
+          return Status::InvalidArgument("empty channel name");
+        req.channel.assign(value);
+      } else {
+        return Status::InvalidArgument("unknown open option: " +
+                                       std::string(key));
+      }
+    }
+    if (eol == std::string_view::npos) break;
+    line_start = eol + 1;
+  }
+  if (first) return Status::InvalidArgument("open request has no query");
+  return req;
+}
+
+ServeSession::ServeSession(uint64_t id, int fd, const Config& config,
+                           BackendFactory factory)
+    : id_(id),
+      fd_(fd),
+      config_(config),
+      factory_(std::move(factory)),
+      decoder_(FrameDecoder::Options{config.max_frame_bytes,
+                                     /*client_types_only=*/true}) {}
+
+ServeSession::~ServeSession() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status ServeSession::HandleFrame(const Frame& frame) {
+  switch (state_) {
+    case State::kAwaitOpen:
+      if (frame.type != FrameType::kOpen)
+        return Status::ProtocolViolation("first frame must be OPEN");
+      return HandleOpen(frame);
+    case State::kStreaming:
+      switch (frame.type) {
+        case FrameType::kOpen:
+          return Status::ProtocolViolation("duplicate OPEN");
+        case FrameType::kFeedXml:
+        case FrameType::kFeedEvents:
+          return HandleFeed(frame);
+        case FrameType::kSubscribe:
+          subscribed_ = true;
+          dirty_ = true;  // ship the current answer as the first delta
+          return Status::OK();
+        case FrameType::kFinish:
+          HandleFinish();
+          return Status::OK();
+        case FrameType::kClose:
+          state_ = State::kClosed;
+          return Status::OK();
+        default:
+          return Status::ProtocolViolation("unexpected frame type");
+      }
+    case State::kFinished:
+      // The client may have pipelined feeds before seeing our final frame;
+      // swallow them so the ending flushes cleanly.
+      if (frame.type == FrameType::kClose) state_ = State::kClosed;
+      return Status::OK();
+    case State::kClosed:
+      return Status::OK();
+  }
+  return Status::Internal("unreachable session state");
+}
+
+Status ServeSession::HandleOpen(const Frame& frame) {
+  auto request = ParseOpenRequest(frame.payload);
+  if (!request.ok()) {
+    // A malformed or uncompilable open is the client's failure, reported
+    // in-band; the framing itself is still intact.
+    FailSession(request.status());
+    return Status::OK();
+  }
+  priority_ = request.value().priority;
+  channel_ = request.value().channel;
+  auto backend = factory_(*this, request.value());
+  if (!backend.ok()) {
+    FailSession(backend.status());
+    return Status::OK();
+  }
+  backend_ = std::move(backend).value();
+  state_ = State::kStreaming;
+  AppendFrame(&outbound_, FrameType::kOpened, std::to_string(id_));
+  return Status::OK();
+}
+
+Status ServeSession::HandleFeed(const Frame& frame) {
+  FeedMode mode = frame.type == FrameType::kFeedXml ? FeedMode::kXml
+                                                    : FeedMode::kEvents;
+  if (feed_mode_ == FeedMode::kNone) {
+    feed_mode_ = mode;
+  } else if (feed_mode_ != mode) {
+    // Mixing encodings would interleave two id spaces into one stream.
+    FailSession(Status::ProtocolViolation(
+        "session already committed to the other feed encoding"));
+    return Status::OK();
+  }
+  Status fed;
+  if (mode == FeedMode::kXml) {
+    fed = backend_->FeedXml(frame.payload);
+  } else {
+    EventVec events;
+    fed = DecodeEvents(frame.payload, &events);
+    if (fed.ok()) fed = backend_->FeedEvents(events);
+  }
+  if (fed.ok()) fed = backend_->query_status();
+  if (!fed.ok()) {
+    // The containment boundary: a poisoned parser/pipeline ends THIS
+    // session with a structured error; the server never sees it.
+    FailSession(fed);
+    return Status::OK();
+  }
+  MarkDirty();
+  return Status::OK();
+}
+
+void ServeSession::HandleFinish() {
+  Status finished = backend_->Finish();
+  if (finished.ok()) finished = backend_->query_status();
+  if (!finished.ok()) {
+    FailSession(finished);
+    return;
+  }
+  // Final answer delivery bypasses the subscribe flag and the backlog
+  // bound: every clean session ends with its full answer on the wire
+  // (one delta — bounded — then the final status).
+  subscribed_ = true;
+  dirty_ = true;
+  auto delta = backend_->display()->TextDeltaSince(client_stable_len_,
+                                                   client_restarts_);
+  std::string payload;
+  AppendU32(&payload, static_cast<uint32_t>(delta.keep));
+  payload.append(delta.append);
+  AppendFrame(&outbound_, FrameType::kDelta, payload);
+  client_stable_len_ = delta.stable_len;
+  client_restarts_ = delta.restarts;
+  ++deltas_sent_;
+  dirty_ = false;
+  AppendFinishedFrame(Status::OK());
+  state_ = State::kFinished;
+}
+
+bool ServeSession::FlushDelta(bool defer) {
+  if (!subscribed_ || !dirty_ || backend_ == nullptr) return false;
+  if (state_ != State::kStreaming) return false;
+  if (defer) {
+    // Tier-1 shedding: the answer keeps evolving server-side; the dirty
+    // flag survives, so one catch-up delta covers the whole deferral.
+    // Counted once per dirty period, not once per server tick.
+    if (!defer_counted_) {
+      ++deltas_deferred_;
+      defer_counted_ = true;
+    }
+    return false;
+  }
+  if (outbound_.size() >= config_.max_outbound_bytes) return false;
+  auto delta = backend_->display()->TextDeltaSince(client_stable_len_,
+                                                   client_restarts_);
+  dirty_ = false;
+  size_t new_text_len = delta.keep + delta.append.size();
+  bool no_change = delta.append.empty() && delta.keep == client_text_len_;
+  if (no_change) return false;
+  std::string payload;
+  AppendU32(&payload, static_cast<uint32_t>(delta.keep));
+  payload.append(delta.append);
+  AppendFrame(&outbound_, FrameType::kDelta, payload);
+  client_stable_len_ = delta.stable_len;
+  client_restarts_ = delta.restarts;
+  client_text_len_ = new_text_len;
+  ++deltas_sent_;
+  return true;
+}
+
+void ServeSession::AppendErrorFrame(const Status& error) {
+  std::string payload;
+  AppendU32(&payload, static_cast<uint32_t>(error.code()));
+  payload.append(error.message());
+  AppendFrame(&outbound_, FrameType::kError, payload);
+}
+
+void ServeSession::AppendShedNotice(int tier, std::string_view note) {
+  std::string payload;
+  AppendU32(&payload, static_cast<uint32_t>(tier));
+  payload.append(note);
+  AppendFrame(&outbound_, FrameType::kShedNotice, payload);
+}
+
+void ServeSession::AppendFinishedFrame(const Status& status) {
+  std::string payload;
+  AppendU32(&payload, static_cast<uint32_t>(status.code()));
+  payload.append(status.message());
+  AppendFrame(&outbound_, FrameType::kFinished, payload);
+}
+
+void ServeSession::FailSession(const Status& error) {
+  AppendErrorFrame(error);
+  state_ = State::kFinished;
+}
+
+}  // namespace xflux::serve

@@ -1,0 +1,182 @@
+// One client session of the xflux_serve service.
+//
+// A session is the unit of crash containment: everything fallible about
+// one client — its frames, its document bytes, its update events, its
+// query pipeline — is wrapped here, and every failure mode ends the same
+// way: a structured frame (kError / kFinished / kShedNotice) on this
+// session's socket and a state transition to kFinished or kClosed.  No
+// failure path reaches the server loop as anything but "this session is
+// done"; a poisoned pipeline poisons exactly one session.
+//
+// The session is also where the delta push path lives.  Outbound data is
+// bounded *by construction*: at most one answer delta is materialized at a
+// time (a dirty flag coalesces any number of feeds into the next delta),
+// and a delta is only materialized when the previous outbound bytes have
+// drained below the configured bound.  A slow consumer therefore costs
+// O(max_outbound_bytes + one delta), never an unbounded queue — the
+// server's write-timeout deadline handles the rest.
+//
+// Execution is pluggable through SessionBackend so the same state machine
+// serves both a private QuerySession (direct mode) and a QueryHandle on a
+// shared QueryServer channel (--shared mode, wired in server.cc).
+
+#ifndef XFLUX_SERVE_SESSION_H_
+#define XFLUX_SERVE_SESSION_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "core/protocol_guard.h"
+#include "core/result_display.h"
+#include "serve/frame.h"
+#include "util/metrics.h"
+#include "util/status.h"
+
+namespace xflux::serve {
+
+/// What a session needs from its query execution, direct or shared.
+class SessionBackend {
+ public:
+  virtual ~SessionBackend() = default;
+  virtual Status FeedXml(std::string_view chunk) = 0;
+  virtual Status FeedEvents(const EventVec& events) = 0;
+  /// End of input: closes truncated regions, settles the answer.
+  virtual Status Finish() = 0;
+  virtual ResultDisplay* display() = 0;
+  /// The query's combined health (pipeline error or display latch).
+  virtual Status query_status() const = 0;
+  /// The protocol guard, or nullptr when the session opened unguarded.
+  virtual ProtocolGuard* guard() = 0;
+  /// The query's metrics (merged into the server rollup at close).
+  virtual Metrics* metrics() = 0;
+};
+
+/// The parsed kOpen payload: first line is the query text, every further
+/// line is `key=value`.  Keys: guard (failfast|drop|resync|off, default
+/// drop), pretty (0|1), priority (int, higher survives longer), channel
+/// (shared-mode execution group).
+struct OpenRequest {
+  std::string query;
+  bool guard = true;
+  ProtocolGuard::Policy guard_policy = ProtocolGuard::Policy::kDropRegion;
+  bool pretty = false;
+  int priority = 1;
+  std::string channel;
+};
+
+StatusOr<OpenRequest> ParseOpenRequest(std::string_view payload);
+
+/// See file comment.
+class ServeSession {
+ public:
+  enum class State {
+    kAwaitOpen,  ///< connected, kOpen not yet seen
+    kStreaming,  ///< open; accepting feeds
+    kFinished,   ///< logically done; outbound still flushing
+    kClosed,     ///< dead; server reaps the socket
+  };
+  enum class FeedMode { kNone, kXml, kEvents };
+
+  struct Config {
+    size_t max_frame_bytes = 1 << 20;
+    /// Outbound backlog above which no further delta is materialized.
+    size_t max_outbound_bytes = 1 << 20;
+  };
+
+  /// Turns a parsed kOpen into a query execution; installed by the server
+  /// (this is where direct vs channel mode is decided).
+  using BackendFactory = std::function<StatusOr<std::unique_ptr<SessionBackend>>(
+      ServeSession& session, const OpenRequest& request)>;
+
+  ServeSession(uint64_t id, int fd, const Config& config,
+               BackendFactory factory);
+  ~ServeSession();
+
+  ServeSession(const ServeSession&) = delete;
+  ServeSession& operator=(const ServeSession&) = delete;
+
+  // -- socket plumbing (driven by the server's epoll loop) --
+  int fd() const { return fd_; }
+  uint64_t id() const { return id_; }
+  FrameDecoder& decoder() { return decoder_; }
+  /// Bytes waiting to be written to the socket.
+  std::string& outbound() { return outbound_; }
+  size_t outbound_bytes() const { return outbound_.size(); }
+
+  // -- state --
+  State state() const { return state_; }
+  FeedMode feed_mode() const { return feed_mode_; }
+  int priority() const { return priority_; }
+  bool subscribed() const { return subscribed_; }
+  const std::string& channel() const { return channel_; }
+  SessionBackend* backend() { return backend_.get(); }
+
+  /// Consumes one decoded frame.  A non-OK return is a *framing-level*
+  /// violation (wrong state, wrong direction): the server answers with a
+  /// final kError and closes.  Query-level failures are handled in-band —
+  /// the session emits its own error frame and moves to kFinished — and
+  /// return OK here.
+  Status HandleFrame(const Frame& frame);
+
+  // -- delta push path --
+  bool dirty() const { return dirty_; }
+  void MarkDirty() {
+    dirty_ = true;
+    defer_counted_ = false;
+  }
+  /// Materializes one coalesced answer delta into the outbound buffer, if
+  /// the session is subscribed, dirty, and the backlog allows.  Returns
+  /// true when a delta was emitted.  With `defer` (shed tier >= 1) the
+  /// delta stays pending and is counted as deferred instead.
+  bool FlushDelta(bool defer);
+
+  // -- structured endings (also used by the server for timeouts/evictions) --
+  void AppendErrorFrame(const Status& error);
+  void AppendShedNotice(int tier, std::string_view note);
+  void AppendFinishedFrame(const Status& status);
+  /// Emits kError and moves to kFinished: the in-band failure path.
+  void FailSession(const Status& error);
+  void set_state(State s) { state_ = s; }
+
+  // -- deadlines (bookkept by the server, in its monotonic clock) --
+  int64_t last_read_ms = 0;
+  int64_t write_pending_since_ms = -1;
+
+  // -- per-session counters for the service rollup --
+  uint64_t deltas_sent() const { return deltas_sent_; }
+  uint64_t deltas_deferred() const { return deltas_deferred_; }
+
+ private:
+  Status HandleOpen(const Frame& frame);
+  Status HandleFeed(const Frame& frame);
+  void HandleFinish();
+
+  uint64_t id_;
+  int fd_;
+  Config config_;
+  BackendFactory factory_;
+  FrameDecoder decoder_;
+  std::string outbound_;
+  State state_ = State::kAwaitOpen;
+  FeedMode feed_mode_ = FeedMode::kNone;
+  bool subscribed_ = false;
+  bool dirty_ = false;
+  bool defer_counted_ = false;  // one deferral count per dirty period
+  int priority_ = 1;
+  std::string channel_;
+  std::unique_ptr<SessionBackend> backend_;
+  // Delta protocol state: what the client last acknowledged implicitly —
+  // the stable length and restart count of the delta last shipped.
+  size_t client_stable_len_ = 0;
+  uint64_t client_restarts_ = 0;
+  size_t client_text_len_ = 0;  // the client's reconstructed text length
+  uint64_t deltas_sent_ = 0;
+  uint64_t deltas_deferred_ = 0;
+};
+
+}  // namespace xflux::serve
+
+#endif  // XFLUX_SERVE_SESSION_H_

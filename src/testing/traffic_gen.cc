@@ -1,0 +1,323 @@
+#include "testing/traffic_gen.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <mutex>
+#include <thread>
+
+#include "serve/client.h"
+#include "serve/frame.h"
+#include "testing/fault_injector.h"
+#include "util/prng.h"
+
+namespace xflux::serve {
+
+namespace {
+
+int64_t NowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void SleepMs(int ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+/// Classifies a finished client run into the report buckets.
+void RecordEnding(const Status& ending, const ServeClient* client,
+                  TrafficReport* report) {
+  if (ending.ok()) {
+    ++report->completed;
+  } else if (client != nullptr && client->last_shed_tier() >= 3) {
+    ++report->evicted;
+  } else if (ending.code() == StatusCode::kInternal) {
+    ++report->transport_errors;
+  } else if (ending.message().rfind("timed out", 0) == 0) {
+    ++report->transport_errors;
+  } else {
+    ++report->errored;  // a structured in-protocol error: containment worked
+  }
+}
+
+void RunHonest(const TrafficOptions& options, uint64_t seed, bool slow,
+               TrafficReport* report) {
+  ++report->attempted;
+  auto client = ServeClient::Connect(options.endpoint);
+  if (!client.ok()) {
+    ++report->transport_errors;
+    return;
+  }
+  ServeClient* c = client.value().get();
+  Status opened = c->Open(options.query, "guard=drop\npriority=1");
+  if (!opened.ok()) {
+    if (opened.code() == StatusCode::kResourceExhausted &&
+        c->rejected_retry_after_ms() > 0) {
+      ++report->rejected;
+    } else {
+      RecordEnding(opened, c, report);
+    }
+    return;
+  }
+  ++report->admitted;
+  std::string doc = MakeBookDocument(seed, options.doc_bytes);
+  Status run = c->Subscribe();
+  int64_t last_feed_us = NowUs();
+  uint64_t seen_deltas = 0;
+  for (size_t off = 0; run.ok() && off < doc.size();
+       off += options.chunk_bytes) {
+    std::string_view chunk(doc.data() + off,
+                           std::min(options.chunk_bytes, doc.size() - off));
+    if (slow) {
+      // The slow consumer: keeps feeding, never reads, lets the server's
+      // outbound queue absorb (and bound) the lag.
+      run = c->SendRaw(EncodeFrame(FrameType::kFeedXml, chunk));
+      SleepMs(options.slow_delay_ms);
+      continue;
+    }
+    last_feed_us = NowUs();
+    run = c->FeedXml(chunk);
+    // Give the push path a chance to deliver, and time what arrives.
+    auto frame = c->ReadFrame(2);
+    if (frame.ok() && frame.value().type == FrameType::kDelta) {
+      report->delta_latency_ms.push_back(
+          static_cast<double>(NowUs() - last_feed_us) / 1000.0);
+    }
+  }
+  if (run.ok()) run = c->SendFinish();
+  // Even when a send raced the server's teardown, a structured ending may
+  // already be buffered — the drain below surfaces it either way.
+  // Drain to the final status, timing any remaining pushed deltas.
+  int64_t deadline_us =
+      NowUs() + static_cast<int64_t>(options.finish_timeout_ms) * 1000;
+  Status ending;
+  for (;;) {
+    int64_t remaining_ms = (deadline_us - NowUs()) / 1000;
+    if (remaining_ms <= 0) {
+      ending = Status::ResourceExhausted("timed out waiting for FINISHED");
+      break;
+    }
+    auto frame = c->ReadFrame(static_cast<int>(remaining_ms));
+    if (!frame.ok()) {
+      ending = frame.status();
+      break;
+    }
+    if (frame.value().type == FrameType::kDelta && !slow) {
+      report->delta_latency_ms.push_back(
+          static_cast<double>(NowUs() - last_feed_us) / 1000.0);
+    }
+    if (frame.value().type == FrameType::kFinished) {
+      uint32_t code = 0;
+      ReadU32(frame.value().payload, 0, &code);
+      ending = code == 0 ? Status::OK()
+                         : Status(static_cast<StatusCode>(code), "finished");
+      break;
+    }
+    if (frame.value().type == FrameType::kError) {
+      uint32_t code = 0;
+      ReadU32(frame.value().payload, 0, &code);
+      ending = Status(static_cast<StatusCode>(code), "error frame");
+      break;
+    }
+    if (frame.value().type == FrameType::kShedNotice &&
+        c->last_shed_tier() >= 3) {
+      ending = Status::ResourceExhausted("evicted");
+      break;
+    }
+  }
+  seen_deltas = c->deltas_received();
+  report->deltas += seen_deltas;
+  RecordEnding(ending, c, report);
+}
+
+void RunBursty(const TrafficOptions& options, uint64_t seed,
+               TrafficReport* report) {
+  ++report->attempted;
+  auto client = ServeClient::Connect(options.endpoint);
+  if (!client.ok()) {
+    ++report->transport_errors;
+    return;
+  }
+  ServeClient* c = client.value().get();
+  Status opened = c->Open(options.query, "guard=drop\npriority=1");
+  if (!opened.ok()) {
+    if (opened.code() == StatusCode::kResourceExhausted &&
+        c->rejected_retry_after_ms() > 0) {
+      ++report->rejected;
+    } else {
+      RecordEnding(opened, c, report);
+    }
+    return;
+  }
+  ++report->admitted;
+  std::string doc = MakeBookDocument(seed, options.doc_bytes);
+  Status run = c->FeedXml(doc);
+  if (run.ok()) run = c->SendFinish();
+  Status ending = c->WaitFinished(options.finish_timeout_ms);
+  report->deltas += c->deltas_received();
+  RecordEnding(ending, c, report);
+}
+
+void RunHostile(const TrafficOptions& options, uint64_t seed,
+                TrafficReport* report) {
+  ++report->attempted;
+  auto client = ServeClient::Connect(options.endpoint);
+  if (!client.ok()) {
+    ++report->transport_errors;
+    return;
+  }
+  ServeClient* c = client.value().get();
+  switch (seed % 3) {
+    case 0: {
+      // Corrupted document under a fail-fast guard: the parse or protocol
+      // error must come back as a structured kError.
+      Status opened = c->Open(options.query, "guard=failfast\npriority=0");
+      if (!opened.ok()) {
+        if (c->rejected_retry_after_ms() > 0)
+          ++report->rejected;
+        else
+          RecordEnding(opened, c, report);
+        return;
+      }
+      ++report->admitted;
+      std::string doc = CorruptBytes(
+          MakeBookDocument(seed, options.doc_bytes), seed, 0.02);
+      Status run = c->FeedXml(doc);
+      if (run.ok()) run = c->SendFinish();
+      Status ending = c->WaitFinished(options.finish_timeout_ms);
+      RecordEnding(ending, c, report);
+      return;
+    }
+    case 1: {
+      // Raw garbage: desyncs the framing; expect kError, then hangup.
+      Prng prng(seed);
+      std::string garbage;
+      for (int i = 0; i < 512; ++i)
+        garbage.push_back(static_cast<char>(prng.Uniform(256)));
+      Status sent = c->SendRaw(garbage);
+      if (!sent.ok()) {
+        ++report->transport_errors;
+        return;
+      }
+      auto frame = c->ReadFrame(options.finish_timeout_ms);
+      if (frame.ok() && frame.value().type == FrameType::kError)
+        ++report->errored;
+      else
+        ++report->transport_errors;
+      return;
+    }
+    default: {
+      // A frame-length bomb: a prefix advertising a payload far over the
+      // server bound.  Must be refused from the header alone.
+      std::string bomb;
+      AppendU32(&bomb, 0x40000000u);  // claims a 1 GiB payload
+      bomb.push_back(static_cast<char>(FrameType::kFeedXml));
+      Status sent = c->SendRaw(bomb);
+      if (!sent.ok()) {
+        ++report->transport_errors;
+        return;
+      }
+      auto frame = c->ReadFrame(options.finish_timeout_ms);
+      if (frame.ok() && frame.value().type == FrameType::kError)
+        ++report->errored;
+      else
+        ++report->transport_errors;
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+void TrafficReport::MergeFrom(const TrafficReport& other) {
+  attempted += other.attempted;
+  admitted += other.admitted;
+  rejected += other.rejected;
+  completed += other.completed;
+  errored += other.errored;
+  evicted += other.evicted;
+  transport_errors += other.transport_errors;
+  deltas += other.deltas;
+  delta_latency_ms.insert(delta_latency_ms.end(),
+                          other.delta_latency_ms.begin(),
+                          other.delta_latency_ms.end());
+}
+
+double TrafficReport::LatencyPercentile(double q) const {
+  if (delta_latency_ms.empty()) return 0.0;
+  std::vector<double> sorted = delta_latency_ms;
+  std::sort(sorted.begin(), sorted.end());
+  double idx = q * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(idx);
+  size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = idx - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+std::string MakeBookDocument(uint64_t seed, size_t approx_bytes) {
+  Prng prng(seed);
+  const std::vector<std::string> authors = {"Smith", "Jones", "Doe", "Roe"};
+  std::string doc = "<biblio>";
+  while (doc.size() < approx_bytes) {
+    doc += "<book><author>";
+    doc += prng.Pick(authors);
+    doc += "</author><price>";
+    doc += std::to_string(prng.Uniform(90) + 10);
+    doc += "</price></book>";
+  }
+  doc += "</biblio>";
+  return doc;
+}
+
+TrafficReport RunTraffic(const TrafficOptions& options) {
+  struct ClientJob {
+    enum class Kind { kHonest, kSlow, kBursty, kHostile } kind;
+    uint64_t seed;
+  };
+  std::vector<ClientJob> jobs;
+  for (int i = 0; i < options.honest; ++i)
+    jobs.push_back({ClientJob::Kind::kHonest, options.seed * 1000 + i});
+  for (int i = 0; i < options.slow; ++i)
+    jobs.push_back({ClientJob::Kind::kSlow, options.seed * 2000 + i});
+  for (int i = 0; i < options.bursty; ++i)
+    jobs.push_back({ClientJob::Kind::kBursty, options.seed * 3000 + i});
+  for (int i = 0; i < options.hostile; ++i)
+    jobs.push_back({ClientJob::Kind::kHostile, options.seed * 4000 + i});
+  // Interleave personalities so hostile/slow load overlaps honest load
+  // instead of running as separate phases.
+  std::sort(jobs.begin(), jobs.end(),
+            [](const ClientJob& a, const ClientJob& b) {
+              return a.seed % 7 < b.seed % 7;
+            });
+
+  TrafficReport merged;
+  std::mutex mu;
+  std::vector<std::thread> threads;
+  threads.reserve(jobs.size());
+  for (const ClientJob& job : jobs) {
+    threads.emplace_back([&options, job, &merged, &mu] {
+      TrafficReport local;
+      switch (job.kind) {
+        case ClientJob::Kind::kHonest:
+          RunHonest(options, job.seed, /*slow=*/false, &local);
+          break;
+        case ClientJob::Kind::kSlow:
+          RunHonest(options, job.seed, /*slow=*/true, &local);
+          break;
+        case ClientJob::Kind::kBursty:
+          RunBursty(options, job.seed, &local);
+          break;
+        case ClientJob::Kind::kHostile:
+          RunHostile(options, job.seed, &local);
+          break;
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      merged.MergeFrom(local);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  return merged;
+}
+
+}  // namespace xflux::serve

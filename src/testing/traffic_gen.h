@@ -1,0 +1,78 @@
+// Multi-client traffic generator for xflux_serve.
+//
+// Drives a running server with a configurable mix of client personalities
+// and reports what happened — the measurement half of the service's
+// robustness story (bench/bench_serve.cc turns the report into
+// BENCH_serve.json; the CI serve-smoke job asserts on it):
+//
+//   honest  — open, subscribe, feed a generated document in chunks,
+//             finish, drain; measures per-delta push latency (time from
+//             the feed that made the answer dirty to the delta's arrival).
+//   slow    — feeds with think-time and never reads until the end: the
+//             slow-consumer case the server's bounded outbound queue and
+//             write deadline exist for.
+//   bursty  — the whole document in one frame, finish immediately: spiky
+//             arrival pattern, stresses admission and big single frames.
+//   hostile — rotates through corrupted-XML feeds (guard=failfast),
+//             raw garbage bytes (framing desync), and an oversized frame
+//             length prefix: every one must come back as a structured
+//             error or rejection, never a hang or a crash.
+//
+// Each client runs on its own thread with a blocking ServeClient; the
+// per-client outcomes merge into one TrafficReport.  Determinism: client
+// i derives its behavior from (options.seed, i) alone.
+
+#ifndef XFLUX_TESTING_TRAFFIC_GEN_H_
+#define XFLUX_TESTING_TRAFFIC_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xflux::serve {
+
+struct TrafficOptions {
+  std::string endpoint;          ///< ServeServer::endpoint() string
+  std::string query = "X//author";
+  int honest = 0;
+  int slow = 0;
+  int bursty = 0;
+  int hostile = 0;
+  uint64_t seed = 1;
+  /// Approximate generated document size per client.
+  size_t doc_bytes = 4096;
+  /// Feed chunking for honest/slow clients.
+  size_t chunk_bytes = 256;
+  /// Slow clients sleep this long between feeds (and before draining).
+  int slow_delay_ms = 30;
+  /// Per-client budget for the final drain.
+  int finish_timeout_ms = 15000;
+};
+
+struct TrafficReport {
+  uint64_t attempted = 0;
+  uint64_t admitted = 0;
+  uint64_t rejected = 0;          ///< kRejected at admission
+  uint64_t completed = 0;         ///< clean kFinished
+  uint64_t errored = 0;           ///< structured kError ending
+  uint64_t evicted = 0;           ///< tier-3 kShedNotice ending
+  uint64_t transport_errors = 0;  ///< timeouts / unexpected disconnects
+  uint64_t deltas = 0;
+  std::vector<double> delta_latency_ms;  ///< honest clients only
+
+  void MergeFrom(const TrafficReport& other);
+  /// Percentile over delta_latency_ms (q in [0,1]); 0 when empty.
+  double LatencyPercentile(double q) const;
+};
+
+/// Runs the whole mix against `options.endpoint` and blocks until every
+/// client finished.  The server must already be listening.
+TrafficReport RunTraffic(const TrafficOptions& options);
+
+/// The deterministic document honest/slow/bursty clients feed: a flat
+/// bookstore of approximately `approx_bytes` XML text.
+std::string MakeBookDocument(uint64_t seed, size_t approx_bytes);
+
+}  // namespace xflux::serve
+
+#endif  // XFLUX_TESTING_TRAFFIC_GEN_H_

@@ -33,6 +33,19 @@ std::string Metrics::ToString() const {
         static_cast<unsigned long long>(stage_recoveries_));
     out += buf;
   }
+  if (admission_rejects_ + shed_tier_[0] + shed_tier_[1] + shed_tier_[2] +
+          session_timeouts_ >
+      0) {
+    std::snprintf(buf, sizeof(buf),
+                  " admission_rejects=%llu shed_tier1=%llu shed_tier2=%llu "
+                  "shed_tier3=%llu session_timeouts=%llu",
+                  static_cast<unsigned long long>(admission_rejects_),
+                  static_cast<unsigned long long>(shed_tier_[0]),
+                  static_cast<unsigned long long>(shed_tier_[1]),
+                  static_cast<unsigned long long>(shed_tier_[2]),
+                  static_cast<unsigned long long>(session_timeouts_));
+    out += buf;
+  }
   return out;
 }
 
@@ -57,6 +70,11 @@ std::string Metrics::ToJson() const {
   w.Field("guard_dropped_regions", guard_dropped_regions_);
   w.Field("guard_resyncs", guard_resyncs_);
   w.Field("stage_recoveries", stage_recoveries_);
+  w.Field("admission_rejects", admission_rejects_);
+  w.Field("shed_tier1", shed_tier_[0]);
+  w.Field("shed_tier2", shed_tier_[1]);
+  w.Field("shed_tier3", shed_tier_[2]);
+  w.Field("session_timeouts", session_timeouts_);
   return w.Close();
 }
 

@@ -77,6 +77,24 @@ class Metrics {
   /// asserting (e.g. an update close whose target state vanished).
   void CountStageRecovery() { ++stage_recoveries_; }
 
+  // -- service counters (xflux_serve admission control and load shedding) --
+
+  /// A session the AdmissionController turned away (rejected with
+  /// retry-after rather than admitted).
+  void CountAdmissionReject() { ++admission_rejects_; }
+  /// One load-shedding action at degradation tier `n` (1 = delta push
+  /// deferred, 2 = update region dropped, 3 = session evicted).  Tiers
+  /// outside [1,3] are clamped so a miscounting caller cannot corrupt
+  /// adjacent counters.
+  void CountShedTier(int n) {
+    if (n < 1) n = 1;
+    if (n > 3) n = 3;
+    ++shed_tier_[n - 1];
+  }
+  /// A session closed by deadline enforcement (idle-read or slow-consumer
+  /// write timeout).
+  void CountSessionTimeout() { ++session_timeouts_; }
+
   uint64_t transformer_calls() const { return transformer_calls_; }
   uint64_t events_emitted() const { return events_emitted_; }
   uint64_t adjust_calls() const { return adjust_calls_; }
@@ -94,6 +112,12 @@ class Metrics {
   uint64_t guard_dropped_regions() const { return guard_dropped_regions_; }
   uint64_t guard_resyncs() const { return guard_resyncs_; }
   uint64_t stage_recoveries() const { return stage_recoveries_; }
+  uint64_t admission_rejects() const { return admission_rejects_; }
+  /// Shed actions at tier `n` in [1,3]; 0 for out-of-range tiers.
+  uint64_t shed_tier(int n) const {
+    return (n >= 1 && n <= 3) ? shed_tier_[n - 1] : 0;
+  }
+  uint64_t session_timeouts() const { return session_timeouts_; }
 
   /// Rough resident footprint of pipeline state, in bytes: per-region state
   /// copies plus buffered payload plus display registry entries.  This is
@@ -140,6 +164,9 @@ class Metrics {
     guard_dropped_regions_ += other.guard_dropped_regions_;
     guard_resyncs_ += other.guard_resyncs_;
     stage_recoveries_ += other.stage_recoveries_;
+    admission_rejects_ += other.admission_rejects_;
+    for (int i = 0; i < 3; ++i) shed_tier_[i] += other.shed_tier_[i];
+    session_timeouts_ += other.session_timeouts_;
   }
 
   /// One-line human-readable dump for benches and examples.
@@ -168,6 +195,9 @@ class Metrics {
   uint64_t guard_dropped_regions_ = 0;
   uint64_t guard_resyncs_ = 0;
   uint64_t stage_recoveries_ = 0;
+  uint64_t admission_rejects_ = 0;
+  uint64_t shed_tier_[3] = {0, 0, 0};
+  uint64_t session_timeouts_ = 0;
 };
 
 }  // namespace xflux

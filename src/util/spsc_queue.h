@@ -13,6 +13,7 @@
 #ifndef XFLUX_UTIL_SPSC_QUEUE_H_
 #define XFLUX_UTIL_SPSC_QUEUE_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <mutex>
@@ -57,6 +58,28 @@ class SpscQueue {
     head_ = (head_ + 1) % ring_.size();
     --size_;
     can_push_.notify_one();
+    return true;
+  }
+
+  /// Like Pop, but gives up after `timeout_ms` milliseconds so drain loops
+  /// can enforce deadlines instead of blocking forever (the server's delta
+  /// queues and any consumer that must also watch a clock).  Returns true
+  /// with an element, or false with `*timed_out` distinguishing "deadline
+  /// hit while the queue stayed empty" (true) from "closed and drained"
+  /// (false).
+  bool PopWithTimeout(T* out, int64_t timeout_ms, bool* timed_out = nullptr) {
+    std::unique_lock<std::mutex> lock(mu_);
+    bool ready = can_pop_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                                   [&] { return size_ > 0 || closed_; });
+    if (size_ == 0) {
+      if (timed_out != nullptr) *timed_out = !ready;
+      return false;
+    }
+    *out = std::move(ring_[head_]);
+    head_ = (head_ + 1) % ring_.size();
+    --size_;
+    can_push_.notify_one();
+    if (timed_out != nullptr) *timed_out = false;
     return true;
   }
 

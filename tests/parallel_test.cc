@@ -93,6 +93,48 @@ TEST(SpscQueue, CloseReleasesConsumerAfterDrain) {
   EXPECT_FALSE(q.Pop(&value));  // closed + drained: end of stream
 }
 
+TEST(SpscQueue, PopWithTimeoutExpiresOnEmptyQueue) {
+  SpscQueue<int> q(4);
+  int value = -1;
+  bool timed_out = false;
+  auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(q.PopWithTimeout(&value, 20, &timed_out));
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_TRUE(timed_out);
+  EXPECT_GE(elapsed.count(), 15);  // deadline honored, not an instant fail
+  EXPECT_EQ(value, -1);            // output untouched on timeout
+}
+
+TEST(SpscQueue, PopWithTimeoutDeliversBufferedAndClosedStates) {
+  SpscQueue<int> q(4);
+  ASSERT_TRUE(q.Push(7));
+  int value = 0;
+  bool timed_out = true;
+  EXPECT_TRUE(q.PopWithTimeout(&value, 1000, &timed_out));
+  EXPECT_EQ(value, 7);
+  EXPECT_FALSE(timed_out);
+  // Closed + drained reports end-of-stream, not a timeout: the consumer
+  // can tell "deadline" from "producer finished".
+  q.Close();
+  EXPECT_FALSE(q.PopWithTimeout(&value, 1000, &timed_out));
+  EXPECT_FALSE(timed_out);
+}
+
+TEST(SpscQueue, PopWithTimeoutWakesOnLatePush) {
+  SpscQueue<int> q(4);
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    ASSERT_TRUE(q.Push(42));
+  });
+  int value = 0;
+  bool timed_out = true;
+  EXPECT_TRUE(q.PopWithTimeout(&value, 5000, &timed_out));
+  EXPECT_EQ(value, 42);
+  EXPECT_FALSE(timed_out);
+  producer.join();
+}
+
 // ---------------------------------------------------------------------------
 // Serial/parallel equivalence.
 

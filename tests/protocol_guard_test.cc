@@ -317,5 +317,112 @@ TEST(ProtocolGuard, GuardedSessionSurvivesTruncatedUpdateTail) {
   EXPECT_NE(text.value().find("author"), std::string::npos) << text.value();
 }
 
+// ---------------------------------------------------------------------------
+// Tier-2 load shedding (set_shed_updates, the xflux_serve degradation hook).
+
+TEST(ProtocolGuard, SheddingDropsRetroactiveUpdatesKeepsBaseContent) {
+  Pipeline pipeline;
+  auto* guard = pipeline.AddStage<ProtocolGuard>(pipeline.context(),
+                                                 ProtocolGuard::Options{});
+  guard->set_shed_updates(true);
+  CollectingSink sink;
+  pipeline.SetSink(&sink);
+  pipeline.PushAll(CleanStream());
+
+  // The base document — including its sM region — flowed; the retroactive
+  // replace (and the replacement text) did not.
+  EXPECT_TRUE(pipeline.status().ok()) << pipeline.status();
+  EXPECT_EQ(guard->violations(), 0u);  // shedding is policy, not an offense
+  EXPECT_EQ(guard->shed_regions(), 1u);
+  EventVec out = sink.Take();
+  auto mat = Materialize(out);
+  ASSERT_TRUE(mat.ok()) << mat.status();
+  std::string flat;
+  for (const Event& e : mat.value()) flat += e.chars();
+  EXPECT_NE(flat.find('x'), std::string::npos) << ToString(out);
+  EXPECT_EQ(flat.find('y'), std::string::npos) << ToString(out);
+}
+
+TEST(ProtocolGuard, SheddingSwallowsChainedUpdatesAndControlsSilently) {
+  Pipeline pipeline;
+  auto* guard = pipeline.AddStage<ProtocolGuard>(pipeline.context(),
+                                                 ProtocolGuard::Options{});
+  CollectingSink sink;
+  pipeline.SetSink(&sink);
+
+  EventVec head;
+  head.push_back(Event::StartStream(0));
+  head.push_back(Event::StartElement(0, "a", 1));
+  head.push_back(Event::StartMutable(0, 100));
+  head.push_back(Event::Characters(100, "x"));
+  head.push_back(Event::EndMutable(0, 100));
+  head.push_back(Event::EndElement(0, "a"));
+  pipeline.PushAll(head);
+
+  guard->set_shed_updates(true);  // pressure arrived mid-stream
+  EventVec tail;
+  tail.push_back(Event::StartReplace(100, 101));
+  tail.push_back(Event::Characters(101, "y"));
+  tail.push_back(Event::EndReplace(100, 101));
+  // A chain addressing the shed region, plus controls for it: all of it
+  // must die silently — no violations, no poisoning.
+  tail.push_back(Event::StartReplace(101, 102));
+  tail.push_back(Event::Characters(102, "z"));
+  tail.push_back(Event::EndReplace(101, 102));
+  tail.push_back(Event::Hide(101));
+  tail.push_back(Event::Freeze(101));
+  tail.push_back(Event::EndStream(0));
+  pipeline.PushAll(tail);
+
+  EXPECT_TRUE(pipeline.status().ok()) << pipeline.status();
+  EXPECT_EQ(guard->violations(), 0u);
+  EXPECT_EQ(guard->shed_regions(), 2u);
+  EXPECT_EQ(pipeline.context()->metrics()->shed_tier(2), 2u);
+  EventVec out = sink.Take();
+  ASSERT_TRUE(ValidateUpdateStream(out).ok()) << ToString(out);
+  auto mat = Materialize(out);
+  ASSERT_TRUE(mat.ok()) << mat.status();
+  std::string flat;
+  for (const Event& e : mat.value()) flat += e.chars();
+  EXPECT_EQ(flat, "x");  // stale-but-exact: the shed tail never landed
+}
+
+TEST(ProtocolGuard, SheddingTogglesOffCleanly) {
+  Pipeline pipeline;
+  auto* guard = pipeline.AddStage<ProtocolGuard>(pipeline.context(),
+                                                 ProtocolGuard::Options{});
+  CollectingSink sink;
+  pipeline.SetSink(&sink);
+
+  EventVec head;
+  head.push_back(Event::StartStream(0));
+  head.push_back(Event::StartElement(0, "a", 1));
+  head.push_back(Event::StartMutable(0, 100));
+  head.push_back(Event::Characters(100, "x"));
+  head.push_back(Event::EndMutable(0, 100));
+  head.push_back(Event::EndElement(0, "a"));
+  pipeline.PushAll(head);
+
+  guard->set_shed_updates(true);
+  pipeline.Push(Event::StartReplace(100, 101));
+  pipeline.Push(Event::Characters(101, "y"));
+  pipeline.Push(Event::EndReplace(100, 101));
+  guard->set_shed_updates(false);  // pressure receded
+
+  // A later update to the still-live original region flows again.
+  pipeline.Push(Event::StartReplace(100, 102));
+  pipeline.Push(Event::Characters(102, "z"));
+  pipeline.Push(Event::EndReplace(100, 102));
+  pipeline.Push(Event::EndStream(0));
+
+  EXPECT_TRUE(pipeline.status().ok()) << pipeline.status();
+  EXPECT_EQ(guard->shed_regions(), 1u);
+  auto mat = Materialize(sink.Take());
+  ASSERT_TRUE(mat.ok()) << mat.status();
+  std::string flat;
+  for (const Event& e : mat.value()) flat += e.chars();
+  EXPECT_EQ(flat, "z");
+}
+
 }  // namespace
 }  // namespace xflux

@@ -3,12 +3,15 @@
 // come back as a clean kParseError / kResourceExhausted — never a crash —
 // and the parser must stay latched on its first error.
 
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "core/event.h"
+#include "testing/fault_injector.h"
+#include "testing/traffic_gen.h"
 #include "util/error_channel.h"
 #include "xml/sax_parser.h"
 
@@ -122,6 +125,51 @@ TEST(SaxHostileTest, ErrorsLatchAcrossFeedAndFinish) {
   EXPECT_EQ(parser.Feed("<fine/>").code(), StatusCode::kParseError);
   EXPECT_EQ(parser.Finish().code(), StatusCode::kParseError);
   EXPECT_EQ(parser.error().message(), first.message());
+}
+
+// Chunking must never change the verdict: feeding any document — valid,
+// malformed, or byte-corrupted — one byte at a time has to produce the
+// exact same status (code and message) as feeding it in one buffer, with
+// errors latched identically.  This sweeps the fixed hostile documents
+// above plus a corrupted-corpus of XFLUX_FAULT_ITERS seeds (default 150).
+TEST(SaxHostileTest, ByteAtATimeSweepMatchesWholeBufferVerdict) {
+  int seeds = 150;
+  if (const char* env = std::getenv("XFLUX_FAULT_ITERS")) {
+    int v = std::atoi(env);
+    if (v > 0) seeds = v;
+  }
+  std::vector<std::string> corpus = {
+      "<biblio><book>text",
+      "<biblio><boo",
+      "<a><b>x</c></a>",
+      "<a>x]]>y</a>",
+      "<a>fish & chips</a>",
+      "<a>&bogus;</a>",
+      "</a>",
+      "garbage<a/>",
+      "<biblio><a>x</a></biblio>",  // valid: both paths must say OK
+      "<book year=\"2008\"/>",
+  };
+  for (int seed = 0; seed < seeds; ++seed) {
+    corpus.push_back(CorruptBytes(
+        serve::MakeBookDocument(static_cast<uint64_t>(seed), 512),
+        static_cast<uint64_t>(seed), 0.01));
+  }
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    const std::string& doc = corpus[i];
+    Status whole = ParseAll({doc});
+    NullSink sink;
+    SaxParser parser(SaxParser::Options(), &sink);
+    Status byte_wise = Status::OK();
+    for (char c : doc) {
+      byte_wise = parser.Feed(std::string_view(&c, 1));
+      if (!byte_wise.ok()) break;
+    }
+    if (byte_wise.ok()) byte_wise = parser.Finish();
+    ASSERT_EQ(whole.code(), byte_wise.code())
+        << "corpus[" << i << "]: whole=" << whole << " byte=" << byte_wise;
+    ASSERT_EQ(whole.message(), byte_wise.message()) << "corpus[" << i << "]";
+  }
 }
 
 TEST(SaxHostileTest, DownstreamPoisoningSurfacesThroughFeed) {

@@ -225,6 +225,52 @@ TEST(StatsJsonTest, RegistryAndMetricsExportBalancedJson) {
   }
 }
 
+TEST(StatsJsonTest, ServiceCountersMergeAndExport) {
+  // The admission/shed/timeout counters behave exactly like the guard
+  // counters they sit next to: monotone, additive under MergeFrom, and
+  // present in both ToJson and (once non-zero) ToString.
+  Metrics a;
+  a.CountAdmissionReject();
+  a.CountAdmissionReject();
+  a.CountShedTier(1);
+  a.CountShedTier(2);
+  a.CountShedTier(2);
+  a.CountShedTier(3);
+  a.CountSessionTimeout();
+  EXPECT_EQ(a.admission_rejects(), 2u);
+  EXPECT_EQ(a.shed_tier(1), 1u);
+  EXPECT_EQ(a.shed_tier(2), 2u);
+  EXPECT_EQ(a.shed_tier(3), 1u);
+  EXPECT_EQ(a.session_timeouts(), 1u);
+  // Out-of-range tiers clamp into the boundary counters and read as 0.
+  a.CountShedTier(0);
+  a.CountShedTier(9);
+  EXPECT_EQ(a.shed_tier(1), 2u);
+  EXPECT_EQ(a.shed_tier(3), 2u);
+  EXPECT_EQ(a.shed_tier(0), 0u);
+  EXPECT_EQ(a.shed_tier(4), 0u);
+
+  Metrics b;
+  b.CountShedTier(2);
+  b.CountSessionTimeout();
+  b.MergeFrom(a);
+  EXPECT_EQ(b.admission_rejects(), 2u);
+  EXPECT_EQ(b.shed_tier(2), 3u);
+  EXPECT_EQ(b.session_timeouts(), 2u);
+
+  std::string json = b.ToJson();
+  EXPECT_TRUE(BalancedJson(json)) << json;
+  EXPECT_NE(json.find("\"admission_rejects\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"shed_tier1\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"shed_tier2\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"shed_tier3\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"session_timeouts\":2"), std::string::npos) << json;
+  EXPECT_NE(b.ToString().find("admission_rejects=2"), std::string::npos);
+  // A run with no service activity keeps its one-line dump unchanged.
+  EXPECT_EQ(Metrics().ToString().find("admission_rejects"),
+            std::string::npos);
+}
+
 TEST(StatsJsonTest, JsonWriterEscapesStrings) {
   JsonWriter w = JsonWriter::Object();
   w.Field("q", "say \"hi\"\n\tdone\x01");
