@@ -58,6 +58,11 @@ struct ResourceLimits {
   /// operator buffering (BufferLedger-accounted) plus display registry.
   /// Always fail-fast: dropping one region cannot un-buffer the past.
   int64_t max_buffered_bytes = 0;
+  /// Maximum bytes one unfinished XML token (open markup or accumulated
+  /// character data) may buffer in the tokenizer.  Enforced at the stream
+  /// source (SaxParser::Options::max_token_bytes), not by the guard: a
+  /// hostile never-closing tag must be stopped before it becomes events.
+  size_t max_token_bytes = 0;
 };
 
 /// See file comment.

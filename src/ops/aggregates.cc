@@ -133,7 +133,8 @@ void SumOp::Process(const Event& e, StreamId /*root*/, OperatorState* state,
       --s->depth;
       return;
     case EventKind::kCharacters: {
-      double v = std::strtod(e.text.c_str(), nullptr);
+      double v = 0;
+      ParseLeadingDouble(e.text.view(), &v);
       if (v != 0) {
         s->sum += v;
         EmitReplace(s->sum, out);
@@ -193,9 +194,8 @@ void AvgOp::Process(const Event& e, StreamId /*root*/, OperatorState* state,
       --s->depth;
       return;
     case EventKind::kCharacters: {
-      char* end = nullptr;
-      double v = std::strtod(e.text.c_str(), &end);
-      if (end != e.text.c_str()) {
+      double v = 0;
+      if (ParseLeadingDouble(e.text.view(), &v)) {
         s->sum += v;
         ++s->count;
         EmitReplace(s->sum, s->count, out);

@@ -37,7 +37,8 @@ class AdmissionController {
     /// Resource envelope stamped on every admitted session's guard.
     ResourceLimits session_limits{/*max_depth=*/256,
                                   /*max_open_regions=*/4096,
-                                  /*max_buffered_bytes=*/0};
+                                  /*max_buffered_bytes=*/0,
+                                  /*max_token_bytes=*/8u << 20};
   };
 
   struct Decision {

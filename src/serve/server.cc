@@ -24,14 +24,20 @@ namespace {
 /// across FEED frames).
 class DirectBackend : public SessionBackend {
  public:
-  explicit DirectBackend(std::unique_ptr<QuerySession> session)
-      : session_(std::move(session)), source_(session_->pipeline()) {}
+  DirectBackend(std::unique_ptr<QuerySession> session, size_t max_token_bytes)
+      : session_(std::move(session)),
+        source_(session_->pipeline()),
+        max_token_bytes_(max_token_bytes) {}
 
   Status FeedXml(std::string_view chunk) override {
     if (parser_ == nullptr) {
       SaxParser::Options o;
       o.stream_id = session_->source_id();
       o.errors = session_->pipeline()->context()->errors();
+      // The session's resource envelope bounds the tokenizer too: a
+      // never-closing tag fails with kResourceExhausted instead of
+      // buffering without limit.
+      o.max_token_bytes = max_token_bytes_;
       parser_ = std::make_unique<SaxParser>(o, &source_);
     }
     return parser_->Feed(chunk);
@@ -62,6 +68,7 @@ class DirectBackend : public SessionBackend {
   std::unique_ptr<QuerySession> session_;
   PipelineSource source_;
   std::unique_ptr<SaxParser> parser_;
+  size_t max_token_bytes_;
 };
 
 /// Bridges the channel's SAX parser into the shared QueryServer.
@@ -99,8 +106,11 @@ namespace {
 class ChannelBackend : public SessionBackend {
  public:
   ChannelBackend(ServeServer::Channel* channel, QueryHandle* handle,
-                 uint64_t session_id)
-      : channel_(channel), handle_(handle), session_id_(session_id) {}
+                 uint64_t session_id, size_t max_token_bytes)
+      : channel_(channel),
+        handle_(handle),
+        session_id_(session_id),
+        max_token_bytes_(max_token_bytes) {}
 
   Status FeedXml(std::string_view chunk) override {
     XFLUX_RETURN_IF_ERROR(ClaimFeeder());
@@ -108,6 +118,7 @@ class ChannelBackend : public SessionBackend {
       channel_->sink = std::make_unique<QueryServerSink>(&channel_->qserver);
       SaxParser::Options o;
       o.stream_id = channel_->qserver.source_id();
+      o.max_token_bytes = max_token_bytes_;
       channel_->parser = std::make_unique<SaxParser>(o, channel_->sink.get());
     }
     channel_->streaming = true;
@@ -154,6 +165,7 @@ class ChannelBackend : public SessionBackend {
   ServeServer::Channel* channel_;
   QueryHandle* handle_;
   uint64_t session_id_;
+  size_t max_token_bytes_;
 };
 
 }  // namespace
@@ -370,12 +382,14 @@ StatusOr<std::unique_ptr<SessionBackend>> ServeServer::MakeBackend(
     auto handle = slot->qserver.Register(request.query, qo);
     if (!handle.ok()) return handle.status();
     slot->members.push_back(session.id());
-    backend = std::make_unique<ChannelBackend>(slot.get(), handle.value(),
-                                               session.id());
+    backend = std::make_unique<ChannelBackend>(
+        slot.get(), handle.value(), session.id(),
+        admission_.session_limits().max_token_bytes);
   } else {
     auto qs = QuerySession::Open(request.query, qo);
     if (!qs.ok()) return qs.status();
-    backend = std::make_unique<DirectBackend>(std::move(qs).value());
+    backend = std::make_unique<DirectBackend>(
+        std::move(qs).value(), admission_.session_limits().max_token_bytes);
   }
   // A session born under tier-2 pressure starts shedding immediately.
   if (shed_updates_applied_ && backend->guard() != nullptr)

@@ -23,11 +23,16 @@ namespace xflux {
 /// delta of the first add / last remove of each distinct buffer).
 class BufferLedger {
  public:
-  /// Accounts one buffered item of `item_bytes` plus its payload.
+  /// Accounts one buffered item of `item_bytes` plus its payload.  The
+  /// payload charge is TextRef::payload_bytes() — for chunk slices that is
+  /// the whole pinned chunk, charged once no matter how many slices into
+  /// it are buffered (the honest memory picture for aliased text).
   int64_t Add(const TextRef& text, size_t item_bytes) {
     int64_t delta = static_cast<int64_t>(item_bytes);
-    if (!text.empty() && ++holders_[text.buffer_id()] == 1) {
-      delta += static_cast<int64_t>(text.size());
+    // Inline refs have no buffer: their bytes ride inside the item.
+    const void* id = text.buffer_id();
+    if (id != nullptr && ++holders_[id] == 1) {
+      delta += static_cast<int64_t>(text.payload_bytes());
     }
     bytes_ += delta;
     return delta;
@@ -37,11 +42,12 @@ class BufferLedger {
   /// released.
   int64_t Remove(const TextRef& text, size_t item_bytes) {
     int64_t delta = static_cast<int64_t>(item_bytes);
-    if (!text.empty()) {
-      auto it = holders_.find(text.buffer_id());
+    const void* id = text.buffer_id();
+    if (id != nullptr) {
+      auto it = holders_.find(id);
       if (it != holders_.end() && --it->second == 0) {
         holders_.erase(it);
-        delta += static_cast<int64_t>(text.size());
+        delta += static_cast<int64_t>(text.payload_bytes());
       }
     }
     bytes_ -= delta;

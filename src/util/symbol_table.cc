@@ -1,5 +1,7 @@
 #include "util/symbol_table.h"
 
+#include "util/check.h"
+
 namespace xflux {
 
 SymbolTable& SymbolTable::Global() {
@@ -8,36 +10,43 @@ SymbolTable& SymbolTable::Global() {
 }
 
 SymbolTable::SymbolTable() {
-  entries_.push_back(Entry{std::string(), false});
-  index_.emplace(std::string_view(entries_.back().spelling), 0);
+  Intern(std::string_view());  // entry 0 is the empty spelling
 }
 
 Symbol SymbolTable::Intern(std::string_view spelling) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = index_.find(spelling);
   if (it != index_.end()) return Symbol(it->second);
-  uint32_t value = static_cast<uint32_t>(entries_.size());
-  entries_.push_back(
-      Entry{std::string(spelling), !spelling.empty() && spelling[0] == '@'});
-  index_.emplace(std::string_view(entries_.back().spelling), value);
+  uint32_t value = published_.load(std::memory_order_relaxed);
+  XFLUX_CHECK(value < kMaxBlocks * kBlockSize);
+  std::atomic<Entry*>& slot = blocks_[value >> kBlockBits];
+  Entry* block = slot.load(std::memory_order_relaxed);
+  if (block == nullptr) {
+    block = new Entry[kBlockSize];
+    slot.store(block, std::memory_order_relaxed);
+  }
+  Entry& e = block[value & (kBlockSize - 1)];
+  e.spelling = std::string(spelling);
+  e.attribute = !spelling.empty() && spelling[0] == '@';
+  index_.emplace(std::string_view(e.spelling), value);
+  // Publish only after the entry is fully built: readers that pass the
+  // published_ bound may touch the entry without synchronizing further.
+  published_.store(value + 1, std::memory_order_release);
   return Symbol(value);
 }
 
 std::string_view SymbolTable::Spelling(Symbol symbol) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (symbol.value() >= entries_.size()) return {};
-  return entries_[symbol.value()].spelling;
+  const Entry* e = Find(symbol);
+  return e == nullptr ? std::string_view() : std::string_view(e->spelling);
 }
 
 bool SymbolTable::IsAttribute(Symbol symbol) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (symbol.value() >= entries_.size()) return false;
-  return entries_[symbol.value()].attribute;
+  const Entry* e = Find(symbol);
+  return e != nullptr && e->attribute;
 }
 
 size_t SymbolTable::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return entries_.size();
+  return published_.load(std::memory_order_acquire);
 }
 
 }  // namespace xflux

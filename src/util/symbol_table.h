@@ -14,13 +14,13 @@
 #ifndef XFLUX_UTIL_SYMBOL_TABLE_H_
 #define XFLUX_UTIL_SYMBOL_TABLE_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
-#include <deque>
 #include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <vector>
 
 namespace xflux {
 
@@ -51,8 +51,10 @@ class Symbol {
   uint32_t value_ = 0;
 };
 
-/// The process-wide intern table.  Intern() is thread-safe; Spelling() and
-/// IsAttribute() are lock-free reads of immutable entries.
+/// The process-wide intern table.  Intern() is thread-safe (writers
+/// serialize on a mutex); Spelling(), IsAttribute(), and size() are
+/// genuinely lock-free reads of immutable entries — they sit on the
+/// tokenizer's per-element path.
 class SymbolTable {
  public:
   static SymbolTable& Global();
@@ -78,10 +80,29 @@ class SymbolTable {
     bool attribute = false;
   };
 
-  mutable std::mutex mutex_;
-  // Deque: stable addresses, so index_ keys and Spelling() views survive
-  // growth.  Entry 0 is "".
-  std::deque<Entry> entries_;
+  // Fixed-shape block storage: entry addresses never move, and readers
+  // reach entry i through blocks_[i >> kBlockBits] without any lock.  A
+  // writer installs the block and fills the entry BEFORE publishing i+1
+  // with a release store; readers that observe i < published_ (acquire)
+  // therefore see the entry fully constructed.  Capacity is
+  // kMaxBlocks * kBlockSize distinct spellings (4M) — a hard process
+  // limit, checked in Intern.
+  static constexpr size_t kBlockBits = 10;
+  static constexpr size_t kBlockSize = size_t{1} << kBlockBits;
+  static constexpr size_t kMaxBlocks = 4096;
+
+  const Entry* Find(Symbol symbol) const {
+    uint32_t v = symbol.value();
+    if (v >= published_.load(std::memory_order_acquire)) return nullptr;
+    return &blocks_[v >> kBlockBits].load(std::memory_order_relaxed)
+                                    [v & (kBlockSize - 1)];
+  }
+
+  mutable std::mutex mutex_;  // serializes writers (Intern) only
+  std::array<std::atomic<Entry*>, kMaxBlocks> blocks_{};
+  std::atomic<uint32_t> published_{0};
+  // Spelling -> handle, for Intern's dedup; views point into entry
+  // storage.  Guarded by mutex_.
   std::unordered_map<std::string_view, uint32_t> index_;
 };
 

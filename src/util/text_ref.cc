@@ -1,0 +1,28 @@
+#include "util/text_ref.h"
+
+#include <charconv>
+
+namespace xflux {
+
+bool ParseLeadingDouble(std::string_view text, double* value) {
+  size_t i = 0;
+  // strtod skips the full C isspace set before parsing.
+  while (i < text.size() &&
+         (text[i] == ' ' || text[i] == '\t' || text[i] == '\n' ||
+          text[i] == '\r' || text[i] == '\f' || text[i] == '\v')) {
+    ++i;
+  }
+  // from_chars rejects an explicit '+', strtod accepts it.
+  if (i < text.size() && text[i] == '+') ++i;
+  double v = 0;
+  auto result = std::from_chars(text.data() + i, text.data() + text.size(), v);
+  if (result.ec != std::errc() || result.ptr == text.data() + i) {
+    // A bare "+" (or sign followed by junk) parses nothing, as in strtod.
+    *value = 0;
+    return false;
+  }
+  *value = v;
+  return true;
+}
+
+}  // namespace xflux

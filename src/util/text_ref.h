@@ -3,13 +3,32 @@
 // A cD event's text lives in one heap buffer, refcounted intrusively; a
 // TextRef is a single pointer, so copying an event through wrapper state
 // maps, shadow snapshots, and RegionDocument is a refcount bump instead of
-// a string allocation.  Buffers are immutable after construction and
-// NUL-terminated (c_str() feeds strtod in the aggregates without a copy).
+// a string allocation.
+//
+// Three representations share the word (low-bits tagged):
+//  - owned: the classic rep — refcount header + the chars in one
+//    allocation.
+//  - slice: a borrowed view into a refcounted StableChunk (the tokenizer's
+//    pinned input buffer).  Entity-free character data that lands inside
+//    one chunk aliases the input instead of being copied; the slice holds
+//    a chunk reference, so the text outlives the parser and the chunk is
+//    reclaimed when the last slice (or the parser) lets go.
+//  - inline: text of up to 7 bytes packed directly into the word — no
+//    allocation and no refcount traffic at all (prices, counts, and short
+//    attribute values are the bulk of real cD payloads).
+//
+// All reps are immutable after construction.  Payloads are NOT
+// NUL-terminated (slices point into the middle of a chunk) — consumers
+// use view(); the aggregates parse numbers with ParseLeadingDouble.  An
+// inline ref's view() points into the TextRef itself, so it is valid only
+// while that TextRef stays alive at that address — take views fresh, do
+// not cache one across a move of the owning Event.
 
 #ifndef XFLUX_UTIL_TEXT_REF_H_
 #define XFLUX_UTIL_TEXT_REF_H_
 
 #include <atomic>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -17,22 +36,111 @@
 #include <string_view>
 #include <utility>
 
+#include "util/check.h"
+
 namespace xflux {
 
-/// A refcounted immutable text buffer.  Empty text is represented as a
-/// null rep (no allocation, no refcount traffic).
-class TextRef {
+/// A refcounted, fixed-capacity, stable byte buffer.  The tokenizer fills
+/// one chunk per input window and hands out TextRef slices into it; the
+/// chunk's storage never moves or shrinks, so slice views stay valid for
+/// as long as any reference (parser handle or slice) is alive.
+class StableChunk {
  public:
-  TextRef() = default;
+  StableChunk() = default;
 
-  TextRef(const TextRef& other) : rep_(other.rep_) {
+  static StableChunk Allocate(size_t capacity) {
+    XFLUX_CHECK(capacity > 0 && capacity <= UINT32_MAX);
+    void* mem = ::operator new(sizeof(Rep) + capacity);
+    Rep* rep = new (mem)
+        Rep{std::atomic<uint32_t>(1), static_cast<uint32_t>(capacity)};
+    return StableChunk(rep);
+  }
+
+  StableChunk(const StableChunk& other) : rep_(other.rep_) {
     if (rep_ != nullptr) rep_->refs.fetch_add(1, std::memory_order_relaxed);
   }
-  TextRef(TextRef&& other) noexcept : rep_(other.rep_) {
+  StableChunk(StableChunk&& other) noexcept : rep_(other.rep_) {
     other.rep_ = nullptr;
   }
-  TextRef& operator=(TextRef other) noexcept {
+  StableChunk& operator=(StableChunk other) noexcept {
     std::swap(rep_, other.rep_);
+    return *this;
+  }
+  ~StableChunk() { Release(rep_); }
+
+  bool valid() const { return rep_ != nullptr; }
+  size_t capacity() const { return rep_ == nullptr ? 0 : rep_->capacity; }
+
+  const char* data() const {
+    return rep_ == nullptr ? nullptr
+                           : reinterpret_cast<const char*>(rep_) + sizeof(Rep);
+  }
+  /// Writable storage.  The owner appends into not-yet-published bytes
+  /// only; bytes already referenced by slices are immutable.
+  char* mutable_data() {
+    return rep_ == nullptr ? nullptr
+                           : reinterpret_cast<char*>(rep_) + sizeof(Rep);
+  }
+
+  /// Number of handles (chunk handles + slices) sharing this buffer.  An
+  /// acquire load: observing 1 from the sole remaining handle synchronizes
+  /// with every released reference, so the owner may then reuse the
+  /// storage (the tokenizer's in-place compaction).
+  uint32_t use_count() const {
+    return rep_ == nullptr ? 0 : rep_->refs.load(std::memory_order_acquire);
+  }
+
+  /// Buffer identity for the ledger/tests; null for the invalid chunk.
+  const void* id() const { return rep_; }
+
+ private:
+  friend class TextRef;
+
+  struct Rep {
+    std::atomic<uint32_t> refs;
+    uint32_t capacity;
+    // Followed in the same allocation by `capacity` bytes of storage.
+  };
+
+  explicit StableChunk(Rep* rep) : rep_(rep) {}
+
+  static void AddRef(Rep* rep) {
+    if (rep != nullptr) rep->refs.fetch_add(1, std::memory_order_relaxed);
+  }
+  static void Release(Rep* rep) {
+    if (rep != nullptr &&
+        rep->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      rep->~Rep();
+      ::operator delete(rep);
+    }
+  }
+
+  Rep* rep_ = nullptr;
+};
+
+/// A refcounted immutable text buffer (owned, a chunk slice, or packed
+/// inline).  Empty text is represented as a null rep (no allocation, no
+/// refcount traffic).
+class TextRef {
+ public:
+  /// Text up to this long is packed into the ref itself — no heap buffer.
+  /// (The packing assumes little-endian byte order; big-endian builds take
+  /// the owned path for everything.)
+  static constexpr bool kInlineEnabled =
+      std::endian::native == std::endian::little;
+  static constexpr size_t kInlineBytes = kInlineEnabled ? 7 : 0;
+
+  TextRef() = default;
+
+  TextRef(const TextRef& other) : bits_(other.bits_) {
+    RefHeader* h = header();
+    if (h != nullptr) h->refs.fetch_add(1, std::memory_order_relaxed);
+  }
+  TextRef(TextRef&& other) noexcept : bits_(other.bits_) {
+    other.bits_ = 0;
+  }
+  TextRef& operator=(TextRef other) noexcept {
+    std::swap(bits_, other.bits_);
     return *this;
   }
   ~TextRef() { Release(); }
@@ -41,67 +149,224 @@ class TextRef {
   /// the allocation-free empty ref.
   static TextRef Copy(std::string_view chars);
 
+  /// Single-allocation copy of the concatenation a + b (the tokenizer's
+  /// spilled-prefix + in-chunk-tail flush).
+  static TextRef Copy2(std::string_view a, std::string_view b);
+
+  /// A borrowed view of `size` bytes at `data` inside `chunk`'s storage.
+  /// Holds one chunk reference; the bytes must already be written and are
+  /// immutable from here on.  Empty input yields the empty ref.
+  static TextRef Slice(const StableChunk& chunk, const char* data,
+                       size_t size);
+
+  /// Like Slice, but the rep itself lives in caller-provided storage
+  /// inside the chunk (the tokenizer bump-allocates rep headers from the
+  /// top of its input window, so steady-state aliased text performs no
+  /// heap allocation at all).  `rep_storage` must be 8-aligned, lie inside
+  /// the chunk, and stay untouched until the chunk dies: when the last ref
+  /// drops, only the chunk reference is released — the rep's storage is
+  /// reclaimed with the chunk allocation itself.
+  static TextRef EmbeddedSlice(const StableChunk& chunk, void* rep_storage,
+                               const char* data, size_t size);
+
   std::string_view view() const {
-    return rep_ == nullptr ? std::string_view()
-                           : std::string_view(data(), rep_->size);
+    if (bits_ == 0) return std::string_view();
+    if (is_inline()) {
+      return std::string_view(reinterpret_cast<const char*>(&bits_) + 1,
+                              inline_size());
+    }
+    if (is_slice()) {
+      const SliceRep* s = slice();
+      return std::string_view(s->data, s->size);
+    }
+    const OwnedRep* o = owned();
+    return std::string_view(reinterpret_cast<const char*>(o + 1), o->size);
   }
-  /// NUL-terminated; the empty ref returns a static "".
-  const char* c_str() const { return rep_ == nullptr ? "" : data(); }
 
-  size_t size() const { return rep_ == nullptr ? 0 : rep_->size; }
-  bool empty() const { return rep_ == nullptr || rep_->size == 0; }
+  size_t size() const {
+    if (is_inline()) return inline_size();
+    const RefHeader* h = header();
+    return h == nullptr ? 0 : h->size;
+  }
+  bool empty() const { return size() == 0; }
 
-  /// Number of TextRefs sharing this buffer (0 for the empty ref).
+  /// True when this ref borrows a StableChunk instead of owning its bytes.
+  bool is_slice() const { return (bits_ & kSliceTag) != 0; }
+
+  /// True when the text is packed into the ref itself (no heap buffer).
+  bool is_inline() const { return (bits_ & kInlineTag) != 0; }
+
+  /// Number of TextRefs sharing this rep (0 for the empty ref, 1 for an
+  /// inline ref — its storage is itself).  Note: slices into one chunk are
+  /// distinct reps; chunk sharing is visible via buffer_id().
   uint32_t use_count() const {
-    return rep_ == nullptr ? 0 : rep_->refs.load(std::memory_order_relaxed);
+    if (is_inline()) return 1;
+    const RefHeader* h = header();
+    return h == nullptr ? 0 : h->refs.load(std::memory_order_relaxed);
   }
 
-  /// Buffer identity — equal means physically shared storage.  Used by the
-  /// aliasing tests and the buffered-bytes ledger; null for the empty ref.
-  const void* buffer_id() const { return rep_; }
+  /// Buffer identity — equal means physically shared storage.  For owned
+  /// text this is the rep; for slices it is the underlying chunk, so every
+  /// slice into one chunk shares one identity.  Null for the empty and
+  /// inline reps, which hold no heap storage at all.
+  const void* buffer_id() const {
+    if (bits_ == 0 || is_inline()) return nullptr;
+    return is_slice() ? static_cast<const void*>(slice()->chunk)
+                      : static_cast<const void*>(owned());
+  }
+
+  /// Bytes of heap storage this ref pins: the text itself for owned reps,
+  /// the whole chunk for slices (a slice keeps its entire chunk alive),
+  /// nothing for inline reps (their bytes live inside the holder).  The
+  /// BufferLedger charges this once per distinct buffer_id — the honest
+  /// memory picture for aliased text.
+  size_t payload_bytes() const {
+    if (bits_ == 0 || is_inline()) return 0;
+    return is_slice() ? slice()->chunk->capacity : owned()->size;
+  }
 
   friend bool operator==(const TextRef& a, const TextRef& b) {
-    return a.rep_ == b.rep_ || a.view() == b.view();
+    return a.bits_ == b.bits_ || a.view() == b.view();
   }
   friend bool operator!=(const TextRef& a, const TextRef& b) {
     return !(a == b);
   }
 
  private:
-  struct Rep {
+  // Low-bits tag: heap reps come from operator new (>= 8-aligned), so an
+  // owned pointer has low bits 000, a slice pointer is marked xx1, and the
+  // inline rep claims bit 1 (x1x cannot occur in a pointer).  A slice
+  // additionally carries bit 2 when its rep is embedded in the chunk
+  // (101) rather than heap-allocated (001).  The inline word's low byte is
+  // (size << 3) | kInlineTag; the 7 bytes above it are the chars
+  // (little-endian: &bits_ + 1).
+  static constexpr uintptr_t kSliceTag = 1;
+  static constexpr uintptr_t kInlineTag = 2;
+  static constexpr uintptr_t kEmbeddedTag = 4;
+  static constexpr uintptr_t kTagMask = kSliceTag | kInlineTag | kEmbeddedTag;
+
+  size_t inline_size() const { return (bits_ >> 3) & 7; }
+
+  // Both reps begin with {refs, size} so refcount traffic is tag-blind.
+  struct RefHeader {
+    std::atomic<uint32_t> refs;
+    uint32_t size;
+  };
+  struct OwnedRep {
     std::atomic<uint32_t> refs;
     uint32_t size;
     // Followed in the same allocation by `size` chars and a NUL.
   };
+  struct SliceRep {
+    std::atomic<uint32_t> refs;
+    uint32_t size;
+    const char* data;        // into chunk storage
+    StableChunk::Rep* chunk;  // one chunk reference held
+  };
 
-  explicit TextRef(Rep* rep) : rep_(rep) {}
+  explicit TextRef(OwnedRep* rep) : bits_(reinterpret_cast<uintptr_t>(rep)) {}
+  explicit TextRef(SliceRep* rep)
+      : bits_(reinterpret_cast<uintptr_t>(rep) | kSliceTag) {}
 
-  const char* data() const {
-    return reinterpret_cast<const char*>(rep_) + sizeof(Rep);
+  RefHeader* header() const {
+    if (is_inline()) return nullptr;
+    return reinterpret_cast<RefHeader*>(bits_ & ~kTagMask);
+  }
+  OwnedRep* owned() const { return reinterpret_cast<OwnedRep*>(bits_); }
+  SliceRep* slice() const {
+    return reinterpret_cast<SliceRep*>(bits_ & ~kTagMask);
   }
 
   void Release() {
-    if (rep_ != nullptr &&
-        rep_->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      rep_->~Rep();
-      ::operator delete(rep_);
+    RefHeader* h = header();
+    if (h != nullptr &&
+        h->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      if (is_slice()) {
+        SliceRep* s = slice();
+        StableChunk::Rep* chunk = s->chunk;
+        s->~SliceRep();
+        // An embedded rep's storage belongs to the chunk allocation; only
+        // a heap rep is freed here.
+        if ((bits_ & kEmbeddedTag) == 0) ::operator delete(s);
+        StableChunk::Release(chunk);
+      } else {
+        OwnedRep* o = owned();
+        o->~OwnedRep();
+        ::operator delete(o);
+      }
     }
-    rep_ = nullptr;
+    bits_ = 0;
   }
 
-  Rep* rep_ = nullptr;
+  uintptr_t bits_ = 0;
+
+ public:
+  /// Storage an embedded slice rep needs (the tokenizer's arena carve
+  /// size); always a multiple of 8.
+  static constexpr size_t kSliceRepBytes = sizeof(SliceRep);
 };
 
 inline TextRef TextRef::Copy(std::string_view chars) {
-  if (chars.empty()) return TextRef();
-  void* mem = ::operator new(sizeof(Rep) + chars.size() + 1);
-  Rep* rep = new (mem) Rep{std::atomic<uint32_t>(1),
-                           static_cast<uint32_t>(chars.size())};
-  char* data = reinterpret_cast<char*>(mem) + sizeof(Rep);
-  std::memcpy(data, chars.data(), chars.size());
-  data[chars.size()] = '\0';
+  return Copy2(chars, std::string_view());
+}
+
+inline TextRef TextRef::Copy2(std::string_view a, std::string_view b) {
+  size_t total = a.size() + b.size();
+  if (total == 0) return TextRef();
+  if (kInlineEnabled && total <= kInlineBytes) {
+    TextRef t;
+    t.bits_ = (static_cast<uintptr_t>(total) << 3) | kInlineTag;
+    char* chars = reinterpret_cast<char*>(&t.bits_) + 1;
+    if (!a.empty()) std::memcpy(chars, a.data(), a.size());
+    if (!b.empty()) std::memcpy(chars + a.size(), b.data(), b.size());
+    return t;
+  }
+  void* mem = ::operator new(sizeof(OwnedRep) + total + 1);
+  OwnedRep* rep = new (mem)
+      OwnedRep{std::atomic<uint32_t>(1), static_cast<uint32_t>(total)};
+  char* data = reinterpret_cast<char*>(mem) + sizeof(OwnedRep);
+  if (!a.empty()) std::memcpy(data, a.data(), a.size());
+  if (!b.empty()) std::memcpy(data + a.size(), b.data(), b.size());
+  data[total] = '\0';
   return TextRef(rep);
 }
+
+inline TextRef TextRef::Slice(const StableChunk& chunk, const char* data,
+                              size_t size) {
+  if (size == 0) return TextRef();
+  XFLUX_CHECK(chunk.valid() && data >= chunk.data() &&
+              data + size <= chunk.data() + chunk.capacity());
+  void* mem = ::operator new(sizeof(SliceRep));
+  SliceRep* rep = new (mem) SliceRep{std::atomic<uint32_t>(1),
+                                     static_cast<uint32_t>(size), data,
+                                     chunk.rep_};
+  StableChunk::AddRef(chunk.rep_);
+  return TextRef(rep);
+}
+
+inline TextRef TextRef::EmbeddedSlice(const StableChunk& chunk,
+                                      void* rep_storage, const char* data,
+                                      size_t size) {
+  if (size == 0) return TextRef();
+  XFLUX_CHECK(chunk.valid() && data >= chunk.data() &&
+              data + size <= chunk.data() + chunk.capacity());
+  XFLUX_CHECK(reinterpret_cast<uintptr_t>(rep_storage) % 8 == 0 &&
+              static_cast<const char*>(rep_storage) >= chunk.data() &&
+              static_cast<const char*>(rep_storage) + sizeof(SliceRep) <=
+                  chunk.data() + chunk.capacity());
+  SliceRep* rep = new (rep_storage) SliceRep{std::atomic<uint32_t>(1),
+                                             static_cast<uint32_t>(size),
+                                             data, chunk.rep_};
+  StableChunk::AddRef(chunk.rep_);
+  TextRef t;
+  t.bits_ = reinterpret_cast<uintptr_t>(rep) | kSliceTag | kEmbeddedTag;
+  return t;
+}
+
+/// strtod over a non-NUL-terminated view: skips leading XML whitespace and
+/// an optional '+', parses the longest numeric prefix.  Returns true when
+/// any characters were consumed (the AvgOp "was this a number" test).
+bool ParseLeadingDouble(std::string_view text, double* value);
 
 }  // namespace xflux
 

@@ -1,26 +1,52 @@
 #include "xml/sax_parser.h"
 
 #include <algorithm>
-#include <cctype>
+#include <cstring>
 #include <utility>
 
-#include "util/text_ref.h"
 #include "xml/escape.h"
+#include "xml/scan.h"
 
 namespace xflux {
 
 namespace {
 
-bool IsSpace(char c) {
-  return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+// Initial chunk capacity; rollovers allocate NextPow2(tail + incoming) when
+// larger, so slow-drip feeds amortize to O(n) total copying.
+constexpr size_t kMinChunkBytes = 16 * 1024;
+
+size_t NextPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
 }
 
-bool IsNameChar(char c) {
-  return !IsSpace(c) && c != '>' && c != '/' && c != '=' && c != '<';
+// True when the available bytes of buf are consistent with lit (i.e. buf
+// may still turn out to start with lit once more input arrives).
+bool CouldBePrefix(std::string_view buf, std::string_view lit) {
+  size_t n = std::min(buf.size(), lit.size());
+  return std::memcmp(buf.data(), lit.data(), n) == 0;
 }
 
-bool AllWhitespace(std::string_view s) {
-  return std::all_of(s.begin(), s.end(), [](char c) { return IsSpace(c); });
+// Equality for names whose lengths already matched: word loads beat a libc
+// memcmp call at tag-name sizes.
+bool NameEq(const char* a, const char* b, size_t n) {
+  if (n >= 4) {
+    uint32_t a0;
+    uint32_t a1;
+    uint32_t b0;
+    uint32_t b1;
+    std::memcpy(&a0, a, 4);
+    std::memcpy(&b0, b, 4);
+    std::memcpy(&a1, a + n - 4, 4);
+    std::memcpy(&b1, b + n - 4, 4);
+    if (((a0 ^ b0) | (a1 ^ b1)) != 0) return false;
+    return n <= 8 || std::memcmp(a + 4, b + 4, n - 8) == 0;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -58,6 +84,66 @@ Status SaxParser::Latch(Status status) {
   return status;
 }
 
+void SaxParser::SpillTextRun() {
+  if (pos_ > text_start_) {
+    pending_text_.append(chunk_.data() + text_start_, pos_ - text_start_);
+  }
+  text_start_ = pos_;
+}
+
+TextRef SaxParser::MakeText(std::string_view raw_in_chunk) {
+  if (raw_in_chunk.empty()) return TextRef();
+  if (raw_in_chunk.size() >= options_.min_alias_bytes) {
+    ++stats_.aliased_texts;
+    // Carve the slice header from the top of the window itself — the
+    // common case costs a bump-pointer, not a malloc.  A full arena (the
+    // window caught up with the carved headers) falls back to a heap rep.
+    if (arena_floor_ >= TextRef::kSliceRepBytes &&
+        arena_floor_ - TextRef::kSliceRepBytes >= written_) {
+      arena_floor_ -= TextRef::kSliceRepBytes;
+      return TextRef::EmbeddedSlice(chunk_,
+                                    chunk_.mutable_data() + arena_floor_,
+                                    raw_in_chunk.data(), raw_in_chunk.size());
+    }
+    return TextRef::Slice(chunk_, raw_in_chunk.data(), raw_in_chunk.size());
+  }
+  if (raw_in_chunk.size() <= TextRef::kInlineBytes) {
+    ++stats_.inlined_texts;
+  } else {
+    ++stats_.copied_texts;
+  }
+  return TextRef::Copy(raw_in_chunk);
+}
+
+void SaxParser::EnsureWindow(size_t incoming) {
+  if (chunk_.valid() && written_ + incoming <= arena_floor_) return;
+  if (!chunk_.valid() && incoming == 0) return;
+  // The in-chunk text run cannot survive a move of the window; park it in
+  // the owned spill.  Only the incomplete markup tail stays live.
+  SpillTextRun();
+  size_t tail = written_ - pos_;
+  size_t need = tail + incoming;
+  if (chunk_.valid() && chunk_.use_count() == 1 && chunk_.capacity() >= need) {
+    // Sole owner: no slices pin these bytes, so reuse the storage in place.
+    if (pos_ > 0 && tail > 0) {
+      std::memmove(chunk_.mutable_data(), chunk_.data() + pos_, tail);
+    }
+    ++stats_.compactions;
+  } else {
+    StableChunk fresh =
+        StableChunk::Allocate(std::max(kMinChunkBytes, NextPow2(need)));
+    if (tail > 0) std::memcpy(fresh.mutable_data(), chunk_.data() + pos_, tail);
+    chunk_ = std::move(fresh);
+    ++stats_.chunk_allocs;
+  }
+  written_ = tail;
+  pos_ = 0;
+  text_start_ = 0;
+  // Either path leaves the storage free of live embedded headers (sole
+  // ownership means every slice died; a fresh chunk starts empty).
+  arena_floor_ = chunk_.capacity() & ~size_t{7};
+}
+
 Status SaxParser::Feed(std::string_view chunk) {
   if (!error_.ok()) return error_;
   if (finished_) return Status::InvalidArgument("Feed after Finish");
@@ -67,14 +153,22 @@ Status SaxParser::Feed(std::string_view chunk) {
       Emit(Event::StartStream(options_.stream_id));
     }
   }
-  // Drop the already-consumed prefix before appending, keeping the buffer
-  // bounded by the largest single token.
-  if (pos_ > 0) {
-    buffer_.erase(0, pos_);
-    pos_ = 0;
-  }
-  buffer_.append(chunk);
-  Status status = Consume();
+  // Large inputs are copied in and consumed in cache-sized slices: copying
+  // a whole megabyte into the window before scanning it would evict every
+  // byte from L1/L2 right before the scan loops read it back.
+  constexpr size_t kFeedSlice = 64 * 1024;
+  Status status;
+  do {
+    std::string_view piece = chunk.substr(0, kFeedSlice);
+    chunk.remove_prefix(piece.size());
+    if (!piece.empty()) {
+      EnsureWindow(piece.size());
+      std::memcpy(chunk_.mutable_data() + written_, piece.data(),
+                  piece.size());
+      written_ += piece.size();
+    }
+    status = Consume();
+  } while (status.ok() && !chunk.empty());
   // Completed events must reach the sink before Feed returns, error or not
   // (callers observe the display between chunks).
   FlushBatch();
@@ -86,13 +180,10 @@ Status SaxParser::Finish() {
   if (finished_) return Status::OK();
   finished_ = true;
   Status status = [&]() -> Status {
-    if (pos_ < buffer_.size()) {
-      // Leftover input that never completed a token.
-      std::string_view rest(buffer_.data() + pos_, buffer_.size() - pos_);
-      if (rest.find('<') != std::string_view::npos) {
-        return Status::ParseError("unterminated markup at end of document");
-      }
-      pending_text_.append(rest);
+    if (pos_ < written_) {
+      // Text is always consumed to the window's end, so an unconsumed tail
+      // is an incomplete markup token.
+      return Status::ParseError("unterminated markup at end of document");
     }
     XFLUX_RETURN_IF_ERROR(FlushText());
     if (!open_elements_.empty()) {
@@ -111,20 +202,64 @@ Status SaxParser::Finish() {
 }
 
 Status SaxParser::FlushText() {
-  if (pending_text_.empty()) return Status::OK();
-  std::string raw;
-  raw.swap(pending_text_);
+  size_t span_len = pos_ - text_start_;
+  if (pending_text_.empty() && span_len == 0) return Status::OK();
+  // Fast path: an uninterrupted, entity-free, ']'-free in-chunk run inside
+  // the document element — no spill merge, no "]]>" search, no decode, and
+  // no std::string traffic at all.
+  if (pending_text_.empty() && !text_amp_ && !text_rbracket_ &&
+      !open_elements_.empty()) {
+    std::string_view span(chunk_.data() + text_start_, span_len);
+    text_start_ = pos_;
+    if (!options_.keep_whitespace && scan::AllWhitespace(span)) {
+      return Status::OK();
+    }
+    TextRef text = MakeText(span);
+    EmitWith([&](Event& e) {
+      e.kind = EventKind::kCharacters;
+      e.id = options_.stream_id;
+      e.text = std::move(text);
+    });
+    return Status::OK();
+  }
+  std::string_view span =
+      span_len > 0 ? std::string_view(chunk_.data() + text_start_, span_len)
+                   : std::string_view();
+  bool has_amp = text_amp_;
+  bool has_rbracket = text_rbracket_;
+  text_amp_ = false;
+  text_rbracket_ = false;
+  text_start_ = pos_;
+  std::string spilled;
+  spilled.swap(pending_text_);
+
+  // The raw run is spilled-prefix + in-chunk-tail; merge only when a spill
+  // exists (the rare interrupted-run case).
+  bool in_chunk = spilled.empty();
+  std::string merged;
+  std::string_view raw;
+  if (in_chunk) {
+    raw = span;
+  } else {
+    merged.reserve(spilled.size() + span.size());
+    merged = std::move(spilled);
+    merged.append(span);
+    raw = merged;
+  }
   // "]]>" may not appear literally in character data (XML 1.0 §2.4); it is
-  // usually the tail of a corrupted CDATA section.  pending_text_ spans
-  // chunk boundaries, so a split "]]>" is still caught here.
-  if (raw.find("]]>") != std::string::npos) {
+  // usually the tail of a corrupted CDATA section.  The run's ']' flag
+  // covers every scanned byte, so the substring search runs only when a
+  // ']' actually occurred.
+  if (has_rbracket && raw.find("]]>") != std::string_view::npos) {
     return Status::ParseError("']]>' in character data");
   }
-  if (!options_.keep_whitespace && AllWhitespace(raw)) return Status::OK();
-  // Entity-free text (the common case) goes straight into a shared buffer.
+  if (!options_.keep_whitespace && scan::AllWhitespace(raw)) {
+    return Status::OK();
+  }
+  // Entity-free text (the common case) skips the decode pass entirely.
   std::string_view chars = raw;
   std::string decoded;
-  if (raw.find('&') != std::string::npos) {
+  if (has_amp) {
     auto status = DecodeEntities(raw);
     if (!status.ok()) return status.status();
     decoded = std::move(status).value();
@@ -132,144 +267,444 @@ Status SaxParser::FlushText() {
   }
   if (open_elements_.empty()) {
     // Text outside the document element: only whitespace is legal.
-    if (!AllWhitespace(chars)) {
+    if (!scan::AllWhitespace(chars)) {
       return Status::ParseError("character data outside document element");
     }
     return Status::OK();
   }
-  Emit(Event::Characters(options_.stream_id, TextRef::Copy(chars)));
+  TextRef text;
+  if (in_chunk && !has_amp) {
+    text = MakeText(chars);
+  } else {
+    if (chars.size() <= TextRef::kInlineBytes) {
+      ++stats_.inlined_texts;
+    } else {
+      ++stats_.copied_texts;
+    }
+    text = TextRef::Copy(chars);
+  }
+  EmitWith([&](Event& e) {
+    e.kind = EventKind::kCharacters;
+    e.id = options_.stream_id;
+    e.text = std::move(text);
+  });
   return Status::OK();
 }
 
 Status SaxParser::Consume() {
-  while (pos_ < buffer_.size()) {
-    if (buffer_[pos_] != '<') {
-      size_t lt = buffer_.find('<', pos_);
-      if (lt == std::string::npos) {
-        // Text may continue in the next chunk; keep accumulating.
-        pending_text_.append(buffer_, pos_, buffer_.size() - pos_);
-        pos_ = buffer_.size();
-        if (options_.max_token_bytes > 0 &&
-            pending_text_.size() > options_.max_token_bytes) {
-          return Status::ResourceExhausted(
-              "character data exceeds max_token_bytes=" +
-              std::to_string(options_.max_token_bytes));
-        }
-        return Status::OK();
-      }
-      pending_text_.append(buffer_, pos_, lt - pos_);
-      pos_ = lt;
-      continue;
-    }
+  // The hot loop keeps the cursor and the scan counter in locals and
+  // handles the dominant tokens (character data, start tags, end tags)
+  // inline; pos_ is synchronized before anything that reads it (FlushText,
+  // ConsumeMarkup, every return).  Cold markup ('<!', '<?') and tokens
+  // resumed across a Feed boundary take the general ConsumeMarkup path.
+  std::string_view win = window();
+  const char* data = win.data();
+  const size_t size = win.size();
+  size_t pos = pos_;
+  uint64_t scanned = 0;
+
+  if (token_kind_ != TokenKind::kNone && pos < size) {
     auto consumed = ConsumeMarkup();
     if (!consumed.ok()) return consumed.status();
     if (!consumed.value()) {
-      // Need more input.  An unterminated token must not grow the buffer
-      // without bound ("<tag " followed by gigabytes of attribute noise).
       if (options_.max_token_bytes > 0 &&
-          buffer_.size() - pos_ > options_.max_token_bytes) {
+          written_ - pos_ > options_.max_token_bytes) {
         return Status::ResourceExhausted(
             "markup token exceeds max_token_bytes=" +
             std::to_string(options_.max_token_bytes));
       }
       return Status::OK();
     }
+    pos = pos_;
+  }
+
+  while (pos < size) {
+    if (data[pos] != '<') {
+      scan::TextScan ts = scan::ScanText(win, pos);
+      size_t stop = ts.stop == scan::npos ? size : ts.stop;
+      scanned += stop - pos;
+      text_amp_ |= ts.amp;
+      text_rbracket_ |= ts.rbracket;
+      pos = stop;
+      if (ts.stop == scan::npos) {
+        // Text may continue in the next chunk; the run stays in the window.
+        pos_ = pos;
+        stats_.bytes_scanned += scanned;
+        if (options_.max_token_bytes > 0 &&
+            pending_text_.size() + (pos - text_start_) >
+                options_.max_token_bytes) {
+          return Status::ResourceExhausted(
+              "character data exceeds max_token_bytes=" +
+              std::to_string(options_.max_token_bytes));
+        }
+        return Status::OK();
+      }
+      continue;
+    }
+    if (pos + 1 >= size) break;  // kind needs two bytes; resume next Feed
+    const char c2 = data[pos + 1];
+    if (c2 == '/') {
+      // ---- end tag, complete within the window ----
+      // The well-formed case is fully predicted by the open stack: the tag
+      // must spell "</" + top.spelling + ">", so one length-guided compare
+      // resolves it with no delimiter scan and no whitespace trim.  Any
+      // mismatch (or a tag cut by the window edge) falls through to the
+      // general scan below.
+      if (!open_elements_.empty()) {
+        const OpenElement& open = open_elements_.back();
+        const size_t n = open.spelling.size();
+        if (pos + 2 + n < size && data[pos + 2 + n] == '>' &&
+            NameEq(open.spelling.data(), data + pos + 2, n)) {
+          scanned += n + 1;
+          pos_ = pos;
+          if (pos != text_start_ || !pending_text_.empty()) {
+            if (Status s = FlushText(); !s.ok()) {
+              stats_.bytes_scanned += scanned;
+              return s;
+            }
+          }
+          EmitWith([&](Event& e) {
+            e.kind = EventKind::kEndElement;
+            e.id = options_.stream_id;
+            e.tag = open.tag;
+            e.oid = open.oid;
+          });
+          open_elements_.pop_back();
+          pos += n + 3;
+          text_start_ = pos;
+          continue;
+        }
+      }
+      size_t gt = scan::FindAnyOf<'>'>(win, pos + 2);
+      if (gt == scan::npos) {
+        token_kind_ = TokenKind::kEndTag;
+        scan_done_ = size - pos;
+        scanned += size - pos - 2;
+        break;
+      }
+      size_t end = gt - pos;  // '>' offset relative to pos
+      scanned += end - 1;
+      std::string_view name(data + pos + 2, end - 2);
+      while (!name.empty() && scan::IsSpaceChar(name.back())) {
+        name.remove_suffix(1);
+      }
+      pos_ = pos;
+      if (pos != text_start_ || !pending_text_.empty()) {
+        if (Status s = FlushText(); !s.ok()) {
+          stats_.bytes_scanned += scanned;
+          return s;
+        }
+      }
+      if (open_elements_.empty()) {
+        stats_.bytes_scanned += scanned;
+        return Status::ParseError("unmatched end tag </" + std::string(name) +
+                                  ">");
+      }
+      const OpenElement& open = open_elements_.back();
+      if (open.spelling.size() != name.size() ||
+          !NameEq(open.spelling.data(), name.data(), name.size())) {
+        stats_.bytes_scanned += scanned;
+        return Status::ParseError("mismatched end tag </" + std::string(name) +
+                                  ">, expected </" +
+                                  std::string(open.spelling) + ">");
+      }
+      EmitWith([&](Event& e) {
+        e.kind = EventKind::kEndElement;
+        e.id = options_.stream_id;
+        e.tag = open.tag;
+        e.oid = open.oid;
+      });
+      open_elements_.pop_back();
+      pos += end + 1;
+      text_start_ = pos;
+      continue;
+    }
+    if (c2 != '!' && c2 != '?') {
+      // ---- start tag ----
+      // Attribute-less tags (<name> and <name/>) are the dominant shape in
+      // data-oriented XML; one name scan resolves them with no body rescan
+      // and no EmitStartTag call.
+      size_t name_end = scan::FindNameEnd(win, pos + 1);
+      if (name_end > pos + 1 && name_end < size) {
+        const char after = data[name_end];
+        const bool simple = after == '>';
+        const bool self_closing = !simple && after == '/' &&
+                                  name_end + 1 < size &&
+                                  data[name_end + 1] == '>';
+        if (simple || self_closing) {
+          scanned += name_end + (simple ? 0 : 1) - pos;
+          pos_ = pos;
+          if (pos != text_start_ || !pending_text_.empty()) {
+            if (Status s = FlushText(); !s.ok()) {
+              stats_.bytes_scanned += scanned;
+              return s;
+            }
+          }
+          TagCache::Interned tag = tag_cache_.Intern(
+              std::string_view(data + pos + 1, name_end - pos - 1),
+              /*attribute=*/false, &stats_);
+          Oid oid = next_oid_++;
+          EmitWith([&](Event& e) {
+            e.kind = EventKind::kStartElement;
+            e.id = options_.stream_id;
+            e.tag = tag.symbol;
+            e.oid = oid;
+          });
+          if (self_closing) {
+            EmitWith([&](Event& e) {
+              e.kind = EventKind::kEndElement;
+              e.id = options_.stream_id;
+              e.tag = tag.symbol;
+              e.oid = oid;
+            });
+          } else {
+            open_elements_.push_back(OpenElement{tag.symbol, oid,
+                                                 tag.spelling});
+          }
+          pos = name_end + (simple ? 1 : 2);
+          text_start_ = pos;
+          continue;
+        }
+      }
+      // General form: attributes, whitespace, or a tag split across the
+      // window end.  The terminator scan resumes past the name.
+      char quote = 0;
+      size_t end = scan::FindTagEnd(win.substr(pos),
+                                    name_end > pos + 1 ? name_end - pos : 1,
+                                    &quote);
+      if (end == scan::npos) {
+        token_kind_ = TokenKind::kStartTag;
+        scan_done_ = size - pos;
+        tag_quote_ = quote;
+        scanned += size - pos - 1;
+        break;
+      }
+      scanned += end;
+      if (data[pos + end] == '<') {
+        pos_ = pos;
+        stats_.bytes_scanned += scanned;
+        return Status::ParseError("'<' inside tag");
+      }
+      pos_ = pos;
+      if (pos != text_start_ || !pending_text_.empty()) {
+        if (Status s = FlushText(); !s.ok()) {
+          stats_.bytes_scanned += scanned;
+          return s;
+        }
+      }
+      if (Status s = EmitStartTag(std::string_view(data + pos + 1, end - 1));
+          !s.ok()) {
+        stats_.bytes_scanned += scanned;
+        return s;
+      }
+      pos += end + 1;
+      text_start_ = pos;
+      continue;
+    }
+    // ---- cold markup: comment / CDATA / DOCTYPE / PI ----
+    pos_ = pos;
+    stats_.bytes_scanned += scanned;
+    scanned = 0;
+    auto consumed = ConsumeMarkup();
+    if (!consumed.ok()) return consumed.status();
+    if (!consumed.value()) {
+      // Need more input.  An unterminated token must not grow the buffer
+      // without bound ("<tag " followed by gigabytes of attribute noise).
+      if (options_.max_token_bytes > 0 &&
+          written_ - pos_ > options_.max_token_bytes) {
+        return Status::ResourceExhausted(
+            "markup token exceeds max_token_bytes=" +
+            std::to_string(options_.max_token_bytes));
+      }
+      return Status::OK();
+    }
+    pos = pos_;
+  }
+
+  pos_ = pos;
+  stats_.bytes_scanned += scanned;
+  if (pos < size && options_.max_token_bytes > 0 &&
+      written_ - pos > options_.max_token_bytes) {
+    return Status::ResourceExhausted("markup token exceeds max_token_bytes=" +
+                                     std::to_string(options_.max_token_bytes));
   }
   return Status::OK();
 }
 
+void SaxParser::AdvanceToken(size_t token_len) {
+  // scan_done_/tag_quote_/doctype_depth_ are (re)initialized when the next
+  // token's kind is committed, so only the cursor state resets here.
+  pos_ += token_len;
+  token_kind_ = TokenKind::kNone;
+  // Any text run before the token was flushed or spilled by now.
+  text_start_ = pos_;
+}
+
 StatusOr<bool> SaxParser::ConsumeMarkup() {
-  std::string_view buf(buffer_.data() + pos_, buffer_.size() - pos_);
-  // Comments.
-  if (buf.rfind("<!--", 0) == 0) {
-    size_t end = buf.find("-->", 4);
-    if (end == std::string_view::npos) return false;
-    pos_ += end + 3;
-    return true;
-  }
-  // CDATA: raw character data, no entity decoding.
-  if (buf.rfind("<![CDATA[", 0) == 0) {
-    size_t end = buf.find("]]>", 9);
-    if (end == std::string_view::npos) return false;
-    XFLUX_RETURN_IF_ERROR(FlushText());
-    std::string_view literal = buf.substr(9, end - 9);
-    if (open_elements_.empty() && !AllWhitespace(literal)) {
-      return Status::ParseError("character data outside document element");
-    }
-    if (!open_elements_.empty()) {
-      Emit(Event::Characters(options_.stream_id, TextRef::Copy(literal)));
-    }
-    pos_ += end + 3;
-    return true;
-  }
-  // DOCTYPE and other declarations: skip, honoring an internal subset.
-  if (buf.rfind("<!", 0) == 0) {
-    int bracket_depth = 0;
-    for (size_t i = 2; i < buf.size(); ++i) {
-      char c = buf[i];
-      if (c == '[') ++bracket_depth;
-      if (c == ']') --bracket_depth;
-      if (c == '>' && bracket_depth == 0) {
-        pos_ += i + 1;
-        return true;
+  std::string_view win = window();
+  std::string_view buf = win.substr(pos_);
+  if (token_kind_ == TokenKind::kNone) {
+    // Commit to a token kind only once the prefix is unambiguous ("<!-"
+    // may still become a comment, "<![CD" a CDATA section); commitment is
+    // what lets the per-kind scans below resume instead of rescanning.
+    if (buf.size() < 2) return false;
+    switch (buf[1]) {
+      case '!': {
+        constexpr std::string_view kCommentOpen = "<!--";
+        constexpr std::string_view kCdataOpen = "<![CDATA[";
+        if (CouldBePrefix(buf, kCommentOpen)) {
+          if (buf.size() < kCommentOpen.size()) return false;
+          token_kind_ = TokenKind::kComment;
+          scan_done_ = kCommentOpen.size();
+        } else if (CouldBePrefix(buf, kCdataOpen)) {
+          if (buf.size() < kCdataOpen.size()) return false;
+          token_kind_ = TokenKind::kCdata;
+          scan_done_ = kCdataOpen.size();
+        } else {
+          token_kind_ = TokenKind::kDoctype;
+          scan_done_ = 2;
+          doctype_depth_ = 0;
+        }
+        break;
       }
+      case '?':
+        token_kind_ = TokenKind::kPi;
+        scan_done_ = 2;
+        break;
+      case '/':
+        token_kind_ = TokenKind::kEndTag;
+        scan_done_ = 2;
+        break;
+      default:
+        token_kind_ = TokenKind::kStartTag;
+        scan_done_ = 1;
+        tag_quote_ = 0;
+        break;
     }
-    return false;
   }
-  // Processing instructions and the XML declaration.
-  if (buf.rfind("<?", 0) == 0) {
-    size_t end = buf.find("?>", 2);
-    if (end == std::string_view::npos) return false;
-    pos_ += end + 2;
-    return true;
-  }
-  // End tag.
-  if (buf.rfind("</", 0) == 0) {
-    size_t end = buf.find('>', 2);
-    if (end == std::string_view::npos) return false;
-    std::string_view name = buf.substr(2, end - 2);
-    while (!name.empty() && IsSpace(name.back())) name.remove_suffix(1);
-    XFLUX_RETURN_IF_ERROR(FlushText());
-    if (open_elements_.empty()) {
-      return Status::ParseError("unmatched end tag </" + std::string(name) +
-                                ">");
-    }
-    // The end tag reuses the matching start tag's symbol: one spelling
-    // compare, no intern lookup.
-    const OpenElement& open = open_elements_.back();
-    if (TagSpelling(open.tag) != name) {
-      return Status::ParseError("mismatched end tag </" + std::string(name) +
-                                ">, expected </" +
-                                std::string(TagSpelling(open.tag)) + ">");
-    }
-    Emit(Event::EndElement(options_.stream_id, open.tag, open.oid));
-    open_elements_.pop_back();
-    pos_ += end + 1;
-    return true;
-  }
-  // Start tag: find the terminating '>', skipping quoted attribute values.
-  char quote = 0;
-  for (size_t i = 1; i < buf.size(); ++i) {
-    char c = buf[i];
-    if (quote != 0) {
-      if (c == quote) quote = 0;
-      continue;
-    }
-    if (c == '"' || c == '\'') {
-      quote = c;
-      continue;
-    }
-    if (c == '<') {
-      return Status::ParseError("'<' inside tag");
-    }
-    if (c == '>') {
-      XFLUX_RETURN_IF_ERROR(FlushText());
-      XFLUX_RETURN_IF_ERROR(EmitStartTag(buf.substr(1, i - 1)));
-      pos_ += i + 1;
+
+  switch (token_kind_) {
+    case TokenKind::kComment: {
+      size_t end = buf.find("-->", scan_done_);
+      if (end == std::string_view::npos) {
+        stats_.bytes_scanned += buf.size() - scan_done_;
+        // Keep a 2-byte overlap: the terminator may straddle the boundary.
+        scan_done_ = std::max(buf.size(), size_t{6}) - 2;
+        return false;
+      }
+      stats_.bytes_scanned += end + 3 - scan_done_;
+      // Comments do not break a text run; park the prefix and continue.
+      SpillTextRun();
+      AdvanceToken(end + 3);
       return true;
     }
+    case TokenKind::kCdata: {
+      size_t end = buf.find("]]>", scan_done_);
+      if (end == std::string_view::npos) {
+        stats_.bytes_scanned += buf.size() - scan_done_;
+        scan_done_ = std::max(buf.size(), size_t{11}) - 2;
+        return false;
+      }
+      stats_.bytes_scanned += end + 3 - scan_done_;
+      XFLUX_RETURN_IF_ERROR(FlushText());
+      std::string_view literal = buf.substr(9, end - 9);
+      if (open_elements_.empty() && !scan::AllWhitespace(literal)) {
+        return Status::ParseError("character data outside document element");
+      }
+      if (!open_elements_.empty()) {
+        // CDATA is raw: no entity decoding, aliasing always safe.
+        Emit(Event::Characters(options_.stream_id, MakeText(literal)));
+      }
+      AdvanceToken(end + 3);
+      return true;
+    }
+    case TokenKind::kDoctype: {
+      // DOCTYPE and other declarations: skip, honoring an internal subset.
+      size_t i = scan_done_;
+      for (; i < buf.size(); ++i) {
+        char c = buf[i];
+        if (c == '[') ++doctype_depth_;
+        if (c == ']') --doctype_depth_;
+        if (c == '>' && doctype_depth_ == 0) {
+          stats_.bytes_scanned += i + 1 - scan_done_;
+          SpillTextRun();
+          AdvanceToken(i + 1);
+          return true;
+        }
+      }
+      stats_.bytes_scanned += buf.size() - scan_done_;
+      scan_done_ = buf.size();  // depth carries the state; nothing to rescan
+      return false;
+    }
+    case TokenKind::kPi: {
+      // Processing instructions and the XML declaration.
+      size_t end = buf.find("?>", scan_done_);
+      if (end == std::string_view::npos) {
+        stats_.bytes_scanned += buf.size() - scan_done_;
+        scan_done_ = std::max(buf.size(), size_t{3}) - 1;
+        return false;
+      }
+      stats_.bytes_scanned += end + 2 - scan_done_;
+      SpillTextRun();
+      AdvanceToken(end + 2);
+      return true;
+    }
+    case TokenKind::kEndTag: {
+      size_t end = buf.find('>', scan_done_);
+      if (end == std::string_view::npos) {
+        stats_.bytes_scanned += buf.size() - scan_done_;
+        scan_done_ = buf.size();
+        return false;
+      }
+      stats_.bytes_scanned += end + 1 - scan_done_;
+      std::string_view name = buf.substr(2, end - 2);
+      while (!name.empty() && scan::IsSpaceChar(name.back())) {
+        name.remove_suffix(1);
+      }
+      XFLUX_RETURN_IF_ERROR(FlushText());
+      if (open_elements_.empty()) {
+        return Status::ParseError("unmatched end tag </" + std::string(name) +
+                                  ">");
+      }
+      // The end tag reuses the matching start tag's symbol and cached
+      // spelling: one memcmp, no intern or symbol-table lookup.
+      const OpenElement& open = open_elements_.back();
+      if (open.spelling.size() != name.size() ||
+          !NameEq(open.spelling.data(), name.data(), name.size())) {
+        return Status::ParseError("mismatched end tag </" + std::string(name) +
+                                  ">, expected </" + std::string(open.spelling) +
+                                  ">");
+      }
+      EmitWith([&](Event& e) {
+        e.kind = EventKind::kEndElement;
+        e.id = options_.stream_id;
+        e.tag = open.tag;
+        e.oid = open.oid;
+      });
+      open_elements_.pop_back();
+      AdvanceToken(end + 1);
+      return true;
+    }
+    case TokenKind::kStartTag: {
+      size_t end = scan::FindTagEnd(buf, scan_done_, &tag_quote_);
+      if (end == scan::npos) {
+        stats_.bytes_scanned += buf.size() - scan_done_;
+        scan_done_ = buf.size();
+        return false;
+      }
+      stats_.bytes_scanned += end + 1 - scan_done_;
+      if (buf[end] == '<') {
+        return Status::ParseError("'<' inside tag");
+      }
+      XFLUX_RETURN_IF_ERROR(FlushText());
+      XFLUX_RETURN_IF_ERROR(EmitStartTag(buf.substr(1, end - 1)));
+      AdvanceToken(end + 1);
+      return true;
+    }
+    case TokenKind::kNone:
+      break;
   }
-  return false;
+  return Status::Internal("unreachable markup state");
 }
 
 Status SaxParser::EmitStartTag(std::string_view body) {
@@ -278,64 +713,184 @@ Status SaxParser::EmitStartTag(std::string_view body) {
     self_closing = true;
     body.remove_suffix(1);
   }
-  size_t i = 0;
-  while (i < body.size() && IsNameChar(body[i])) ++i;
+  size_t i = scan::FindNameEnd(body, 0);
   if (i == 0) return Status::ParseError("empty tag name");
   std::string_view name = body.substr(0, i);
-  Symbol tag = InternTag(name);
+  TagCache::Interned tag =
+      tag_cache_.Intern(name, /*attribute=*/false, &stats_);
 
   Oid oid = next_oid_++;
-  Emit(Event::StartElement(options_.stream_id, tag, oid));
+  EmitWith([&](Event& e) {
+    e.kind = EventKind::kStartElement;
+    e.id = options_.stream_id;
+    e.tag = tag.symbol;
+    e.oid = oid;
+  });
 
   // Attributes, tokenized as '@name' child elements.
-  std::string attr_tag;
   while (i < body.size()) {
-    while (i < body.size() && IsSpace(body[i])) ++i;
+    while (i < body.size() && scan::IsSpaceChar(body[i])) ++i;
     if (i >= body.size()) break;
     size_t ns = i;
-    while (i < body.size() && IsNameChar(body[i])) ++i;
+    i = scan::FindNameEnd(body, i);
     if (i == ns) {
       return Status::ParseError("bad attribute in <" + std::string(name) +
                                 ">");
     }
     std::string_view attr = body.substr(ns, i - ns);
-    while (i < body.size() && IsSpace(body[i])) ++i;
+    while (i < body.size() && scan::IsSpaceChar(body[i])) ++i;
     if (i >= body.size() || body[i] != '=') {
       return Status::ParseError("attribute '" + std::string(attr) +
                                 "' missing '='");
     }
     ++i;
-    while (i < body.size() && IsSpace(body[i])) ++i;
+    while (i < body.size() && scan::IsSpaceChar(body[i])) ++i;
     if (i >= body.size() || (body[i] != '"' && body[i] != '\'')) {
       return Status::ParseError("attribute '" + std::string(attr) +
                                 "' missing quote");
     }
     char quote = body[i++];
     size_t vs = i;
-    while (i < body.size() && body[i] != quote) ++i;
-    if (i >= body.size()) {
+    const void* q = std::memchr(body.data() + i, quote, body.size() - i);
+    if (q == nullptr) {
       return Status::ParseError("unterminated attribute value in <" +
                                 std::string(name) + ">");
     }
-    auto value = DecodeEntities(body.substr(vs, i - vs));
-    if (!value.ok()) return value.status();
+    i = static_cast<size_t>(static_cast<const char*>(q) - body.data());
+    std::string_view raw = body.substr(vs, i - vs);
     ++i;  // closing quote
 
-    attr_tag.assign(1, '@');
-    attr_tag.append(attr);
-    Symbol attr_sym = InternTag(attr_tag);
+    // Entity-free values (decode is the identity) alias the input.
+    TextRef value;
+    if (!raw.empty() &&
+        std::memchr(raw.data(), '&', raw.size()) != nullptr) {
+      auto decoded = DecodeEntities(raw);
+      if (!decoded.ok()) return decoded.status();
+      if (decoded.value().size() <= TextRef::kInlineBytes) {
+        ++stats_.inlined_texts;
+      } else {
+        ++stats_.copied_texts;
+      }
+      value = TextRef::Copy(decoded.value());
+    } else {
+      value = MakeText(raw);
+    }
+
+    Symbol attr_sym =
+        tag_cache_.Intern(attr, /*attribute=*/true, &stats_).symbol;
     Oid attr_oid = next_oid_++;
-    Emit(Event::StartElement(options_.stream_id, attr_sym, attr_oid));
-    Emit(Event::Characters(options_.stream_id, TextRef::Copy(value.value())));
-    Emit(Event::EndElement(options_.stream_id, attr_sym, attr_oid));
+    EmitWith([&](Event& e) {
+      e.kind = EventKind::kStartElement;
+      e.id = options_.stream_id;
+      e.tag = attr_sym;
+      e.oid = attr_oid;
+    });
+    EmitWith([&](Event& e) {
+      e.kind = EventKind::kCharacters;
+      e.id = options_.stream_id;
+      e.text = std::move(value);
+    });
+    EmitWith([&](Event& e) {
+      e.kind = EventKind::kEndElement;
+      e.id = options_.stream_id;
+      e.tag = attr_sym;
+      e.oid = attr_oid;
+    });
   }
 
   if (self_closing) {
-    Emit(Event::EndElement(options_.stream_id, tag, oid));
+    EmitWith([&](Event& e) {
+      e.kind = EventKind::kEndElement;
+      e.id = options_.stream_id;
+      e.tag = tag.symbol;
+      e.oid = oid;
+    });
   } else {
-    open_elements_.push_back(OpenElement{tag, oid});
+    open_elements_.push_back(OpenElement{tag.symbol, oid, tag.spelling});
   }
   return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// TagCache
+
+namespace {
+
+// Ends-mix hash: the first and last 8 bytes cover realistic tag names
+// whole; only very long names with identical ends collide into the same
+// probe sequence (resolved by the memcmp).
+uint32_t HashName(std::string_view s) {
+  uint64_t a = 0;
+  uint64_t b = 0;
+  if (s.size() >= 8) {
+    std::memcpy(&a, s.data(), 8);
+    std::memcpy(&b, s.data() + s.size() - 8, 8);
+  } else if (s.size() >= 4) {
+    // Two overlapping word loads cover 4..7 bytes without a byte loop
+    // (realistic tag names live here).
+    uint32_t lo;
+    uint32_t hi;
+    std::memcpy(&lo, s.data(), 4);
+    std::memcpy(&hi, s.data() + s.size() - 4, 4);
+    a = (static_cast<uint64_t>(hi) << 32) | lo;
+  } else if (!s.empty()) {
+    a = (static_cast<uint64_t>(static_cast<uint8_t>(s[0])) << 16) |
+        (static_cast<uint64_t>(static_cast<uint8_t>(s[s.size() / 2])) << 8) |
+        static_cast<uint8_t>(s[s.size() - 1]);
+  }
+  uint64_t h = (a ^ (b * 0x9E3779B97F4A7C15ull)) + s.size();
+  h ^= h >> 29;
+  h *= 0xBF58476D1CE4E5B9ull;
+  h ^= h >> 32;
+  return static_cast<uint32_t>(h);
+}
+
+}  // namespace
+
+SaxParser::TagCache::Interned SaxParser::TagCache::Intern(
+    std::string_view name, bool attribute, IngestStats* stats) {
+  // The low hash bit carries the attribute flag, so "x" the element and
+  // "x" the attribute never alias an entry.
+  uint32_t h = (HashName(name) << 1) | (attribute ? 1u : 0u);
+  size_t home = h & (kSlots - 1);
+  for (size_t probe = 0; probe < kMaxProbe; ++probe) {
+    Entry& e = entries_[(home + probe) & (kSlots - 1)];
+    if (e.data == nullptr) {
+      ++stats->tag_cache_misses;
+      return Fill(&e, name, attribute, h);
+    }
+    if (e.hash == h && e.len == name.size() &&
+        NameEq(e.data, name.data(), name.size())) {
+      ++stats->tag_cache_hits;
+      return Interned{e.symbol, std::string_view(e.data, e.len)};
+    }
+  }
+  // Probe window full: evict the home slot (recency beats retention for
+  // the document-local reuse this cache targets).
+  ++stats->tag_cache_misses;
+  return Fill(&entries_[home], name, attribute, h);
+}
+
+SaxParser::TagCache::Interned SaxParser::TagCache::Fill(Entry* e,
+                                                        std::string_view name,
+                                                        bool attribute,
+                                                        uint32_t hash) {
+  Symbol sym;
+  std::string_view spelling;
+  if (attribute) {
+    attr_scratch_.assign(1, '@');
+    attr_scratch_.append(name);
+    sym = InternTag(attr_scratch_);
+    spelling = TagSpelling(sym).substr(1);  // cache key omits the '@'
+  } else {
+    sym = InternTag(name);
+    spelling = TagSpelling(sym);
+  }
+  // SymbolTable spellings are process-stable, so the entry may point at
+  // them directly.
+  *e = Entry{spelling.data(), static_cast<uint32_t>(spelling.size()), hash,
+             sym};
+  return Interned{sym, spelling};
 }
 
 StatusOr<EventVec> SaxParser::Tokenize(std::string_view document,

@@ -6,6 +6,17 @@
 // '@' (so XPath attribute steps are ordinary child steps); the serializer
 // reverses the encoding.
 //
+// The ingest path (DESIGN.md Section 12) is built to run at memory speed:
+//  - Hot loops scan 16 bytes per step through xml/scan.h (SSE2/NEON/SWAR,
+//    with an XFLUX_FORCE_SCALAR escape hatch).
+//  - Input is pinned in refcounted StableChunks; entity-free character
+//    data that lands inside one chunk is emitted as a zero-copy TextRef
+//    slice of the input instead of being copied out.
+//  - A per-document tag cache sits in front of the global SymbolTable, so
+//    steady-state start tags intern without taking the global lock.
+//  - Incomplete tokens carry scan-resume state across Feed() calls, so a
+//    token drip-fed byte-at-a-time costs O(token), not O(token^2).
+//
 // Tags are interned into the global SymbolTable as they are parsed, and
 // completed events are handed to the sink in EventBatch runs (one virtual
 // call per Options::batch_size events) — the producing end of the batched
@@ -14,6 +25,7 @@
 #ifndef XFLUX_XML_SAX_PARSER_H_
 #define XFLUX_XML_SAX_PARSER_H_
 
+#include <array>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -23,6 +35,7 @@
 #include "util/error_channel.h"
 #include "util/status.h"
 #include "util/symbol_table.h"
+#include "util/text_ref.h"
 
 namespace xflux {
 
@@ -45,15 +58,37 @@ class SaxParser {
     /// Events accumulated before one AcceptBatch call to the sink.  0
     /// disables batching (every event goes through sink->Accept singly);
     /// any pending run is always flushed at the end of Feed()/Finish().
-    size_t batch_size = 64;
+    size_t batch_size = 128;
     /// Resource bound on hostile input: fail with kResourceExhausted when a
     /// single unfinished token (open markup or accumulated character data)
     /// exceeds this many buffered bytes.  0 = unlimited.
     size_t max_token_bytes = 0;
+    /// Character data at least this long that needs no entity decoding and
+    /// lies inside one input chunk is emitted as a zero-copy slice of the
+    /// pinned input (aliasing keeps the chunk alive; see
+    /// TextRef::payload_bytes for the accounting).  Slice headers are
+    /// bump-allocated from the top of the input window itself, so aliased
+    /// text performs no heap allocation at all; text shorter than this
+    /// either packs inline (<= TextRef::kInlineBytes) or is copied into an
+    /// owned buffer.  SIZE_MAX disables aliasing entirely.
+    size_t min_alias_bytes = 8;
     /// When set (usually to the pipeline's context()->errors()), Feed and
     /// Finish surface the first downstream error as their return Status, so
     /// drivers see a poisoned pipeline without polling it separately.
     const ErrorChannel* errors = nullptr;
+  };
+
+  /// Observability counters for the ingest path (bench_parse rows, the
+  /// slow-drip and compaction regression tests).
+  struct IngestStats {
+    uint64_t bytes_scanned = 0;   // bytes examined by scan loops (~O(input))
+    uint64_t chunk_allocs = 0;    // StableChunk allocations
+    uint64_t compactions = 0;     // in-place tail memmoves (chunk reused)
+    uint64_t aliased_texts = 0;   // cD payloads emitted as chunk slices
+    uint64_t copied_texts = 0;    // cD payloads emitted as owned copies
+    uint64_t inlined_texts = 0;   // cD payloads packed inline (no heap)
+    uint64_t tag_cache_hits = 0;
+    uint64_t tag_cache_misses = 0;
   };
 
   SaxParser(const Options& options, EventSink* sink);
@@ -75,6 +110,8 @@ class SaxParser {
   /// Number of events emitted so far (Table 1's "events" column).
   uint64_t events_emitted() const { return events_emitted_; }
 
+  const IngestStats& ingest_stats() const { return stats_; }
+
   /// One-shot convenience: tokenizes a whole document into a vector.
   static StatusOr<EventVec> Tokenize(std::string_view document,
                                      const Options& options);
@@ -86,27 +123,132 @@ class SaxParser {
   struct OpenElement {
     Symbol tag;
     Oid oid;
+    // The interned spelling (process-stable), kept here so the end-tag
+    // match is a plain memcmp with no symbol-table lookup.
+    std::string_view spelling;
   };
 
-  // Consumes as many complete tokens from buffer_ as possible.
+  /// The markup token being scanned at pos_ (kNone between tokens).
+  /// Committing to a kind requires enough bytes to disambiguate ("<![CD"
+  /// may still become CDATA), after which per-kind resume state makes the
+  /// scan incremental across Feed() calls.
+  enum class TokenKind : uint8_t {
+    kNone,
+    kComment,
+    kCdata,
+    kDoctype,
+    kPi,
+    kEndTag,
+    kStartTag,
+  };
+
+  /// Per-document spelling -> Symbol cache in front of the global intern
+  /// table (open-addressed, fixed size, reset per parser).  Attribute
+  /// names are cached without their '@' prefix; the prefixed spelling is
+  /// built only on a miss.
+  class TagCache {
+   public:
+    struct Interned {
+      Symbol symbol;
+      std::string_view spelling;  // interned storage (past '@' for attrs)
+    };
+    Interned Intern(std::string_view name, bool attribute,
+                    IngestStats* stats);
+
+   private:
+    static constexpr size_t kSlots = 512;  // power of two
+    static constexpr size_t kMaxProbe = 4;
+    struct Entry {
+      const char* data = nullptr;  // interned spelling (past '@' for attrs)
+      uint32_t len = 0;
+      uint32_t hash = 0;
+      Symbol symbol;
+    };
+    Interned Fill(Entry* e, std::string_view name, bool attribute,
+                  uint32_t hash);
+    std::array<Entry, kSlots> entries_;
+    std::string attr_scratch_;
+  };
+
+  // Consumes as many complete tokens from the window as possible.
   Status Consume();
-  // Handles the markup starting at buffer_[pos_] == '<'.  Returns true if a
-  // complete token was consumed, false if more input is needed.
+  // Handles the markup starting at pos_ ('<').  Returns true if a complete
+  // token was consumed, false if more input is needed.
   StatusOr<bool> ConsumeMarkup();
   // Parses the inside of a start tag (between '<' and '>').
   Status EmitStartTag(std::string_view body);
+  // Advances past a completed token and resets the scan-resume state.
+  void AdvanceToken(size_t token_len);
   Status FlushText();
+  // Moves the in-chunk text run into the owned pending_text_ spill (a
+  // comment/PI/rollover interrupted the contiguous run).
+  void SpillTextRun();
+  // Emits raw (already-decoded) in-chunk text as a slice or an owned copy
+  // per the aliasing policy.
+  TextRef MakeText(std::string_view raw_in_chunk);
+  // Makes room for `incoming` more bytes: reuses the current chunk in
+  // place when it is sole-owned and large enough, otherwise pins a fresh
+  // chunk and carries the unconsumed tail over.
+  void EnsureWindow(size_t incoming);
   void Emit(Event e);
+  // Hot-path emission: constructs the event in place in the batch (no
+  // temporary Event, no extra move/destroy pair).  `fill` runs with a
+  // reference to a default-constructed event; the batch is flushed only
+  // after the fill completes.
+  template <typename Fill>
+  void EmitWith(Fill&& fill) {
+    ++events_emitted_;
+    if (options_.batch_size == 0) {
+      Event e;
+      fill(e);
+      sink_->Accept(std::move(e));
+      return;
+    }
+    batch_.emplace_back();
+    fill(batch_.back());
+    if (batch_.size() >= options_.batch_size) FlushBatch();
+  }
   // Hands any accumulated batch to the sink.
   void FlushBatch();
   // Latches the first non-OK status (also consulting Options::errors).
   Status Latch(Status status);
 
+  std::string_view window() const {
+    return chunk_.valid() ? std::string_view(chunk_.data(), written_)
+                          : std::string_view();
+  }
+
   Options options_;
   EventSink* sink_;
-  std::string buffer_;
+
+  // Pinned input window.  Live bytes are [text_start_, written_):
+  // [text_start_, pos_) is the unflushed in-chunk text run (empty when
+  // text_start_ == pos_), [pos_, written_) the incomplete markup token.
+  // [arena_floor_, capacity) holds embedded slice-rep headers, carved
+  // downward from the top; input may grow only up to arena_floor_.
+  StableChunk chunk_;
+  size_t written_ = 0;
   size_t pos_ = 0;
-  std::string pending_text_;  // raw (undecoded) character data
+  size_t text_start_ = 0;
+  size_t arena_floor_ = 0;
+
+  // Owned spill for text runs a slice cannot represent (interrupted by a
+  // comment/PI or a chunk rollover), plus content flags accumulated over
+  // every scanned text byte: '&' forces the decode path, ']' forces the
+  // "]]>" check.
+  std::string pending_text_;
+  bool text_amp_ = false;
+  bool text_rbracket_ = false;
+
+  // Scan-resume state for the incomplete markup token at pos_.
+  TokenKind token_kind_ = TokenKind::kNone;
+  size_t scan_done_ = 0;  // offset from pos_ already cleared of terminator
+  char tag_quote_ = 0;    // start-tag scanner: open quote char, 0 = none
+  int doctype_depth_ = 0; // DOCTYPE internal-subset bracket depth
+
+  TagCache tag_cache_;
+  IngestStats stats_;
+
   std::vector<OpenElement> open_elements_;
   EventBatch batch_;
   Oid next_oid_;

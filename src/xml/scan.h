@@ -1,0 +1,408 @@
+// Wide-scan primitives for the ingest path (DESIGN.md Section 12).
+//
+// The SAX tokenizer spends its time answering four questions: where does
+// this text run end ('<'), where does this tag end ('>' outside quotes),
+// is this span all whitespace, and where does this name end.  Each is
+// answered here over 16 bytes per step (SSE2/NEON) or 8 (SWAR uint64
+// tricks) instead of one, with a byte-at-a-time reference implementation
+// kept as the differential-testing oracle and runtime escape hatch.
+//
+// Mode selection: the accelerated path is chosen at compile time
+// (SSE2 > NEON > SWAR); setting XFLUX_FORCE_SCALAR=1 in the environment
+// (or calling SetForceScalar) routes every primitive through the scalar
+// reference at runtime — CI runs the hostile-input suites in both modes
+// and the verdicts must be identical.
+
+#ifndef XFLUX_XML_SCAN_H_
+#define XFLUX_XML_SCAN_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#define XFLUX_SCAN_SSE2 1
+#elif (defined(__ARM_NEON) || defined(__ARM_NEON__)) && defined(__aarch64__)
+// vshrn/vminvq are A64 instructions; 32-bit NEON falls back to SWAR.
+#include <arm_neon.h>
+#define XFLUX_SCAN_NEON 1
+#endif
+
+namespace xflux::scan {
+
+inline constexpr size_t npos = static_cast<size_t>(-1);
+
+/// Name of the accelerated implementation compiled in ("sse2", "neon",
+/// "swar") — stamped into BENCH_parse.json so runs are comparable.
+inline const char* SimdKind() {
+#if defined(XFLUX_SCAN_SSE2)
+  return "sse2";
+#elif defined(XFLUX_SCAN_NEON)
+  return "neon";
+#else
+  return "swar";
+#endif
+}
+
+// -1 = env not consulted yet, 0 = accelerated, 1 = forced scalar.
+inline std::atomic<int> g_force_scalar{-1};
+
+/// True when every primitive must take the byte-at-a-time reference path.
+/// Consults XFLUX_FORCE_SCALAR once; SetForceScalar overrides (tests and
+/// benches flip modes within one process).
+inline bool ForceScalar() {
+  int v = g_force_scalar.load(std::memory_order_relaxed);
+  if (v < 0) {
+    const char* env = std::getenv("XFLUX_FORCE_SCALAR");
+    v = (env != nullptr && *env != '\0' && *env != '0') ? 1 : 0;
+    g_force_scalar.store(v, std::memory_order_relaxed);
+  }
+  return v == 1;
+}
+
+inline void SetForceScalar(bool on) {
+  g_force_scalar.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Character classes (must match the tokenizer's historical definitions
+// exactly: IsSpace is the XML S production, IsNameChar is everything a tag
+// or attribute name may contain — the tokenizer is permissive by design).
+// Quote characters are NOT name characters: a name scan stopping at a
+// quote is what lets the tokenizer's fused tag fast path stay consistent
+// with FindTagEnd's quote tracking on hostile input.
+
+inline bool IsSpaceChar(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+}
+
+inline constexpr std::array<unsigned char, 256> kNameCharTable = [] {
+  std::array<unsigned char, 256> t{};
+  for (int i = 0; i < 256; ++i) {
+    char c = static_cast<char>(i);
+    bool space = c == ' ' || c == '\t' || c == '\r' || c == '\n';
+    t[i] = !(space || c == '>' || c == '/' || c == '=' || c == '<' ||
+             c == '"' || c == '\'');
+  }
+  return t;
+}();
+
+inline bool IsNameChar(char c) {
+  return kNameCharTable[static_cast<unsigned char>(c)] != 0;
+}
+
+// FindNameEnd is defined after FindAnyOf (it is the same scan phrased as
+// "first of the ten delimiter bytes").
+
+namespace detail {
+
+inline constexpr uint64_t kOnes = 0x0101010101010101ull;
+inline constexpr uint64_t kHighs = 0x8080808080808080ull;
+inline constexpr uint64_t kLows7 = 0x7f7f7f7f7f7f7f7full;
+
+inline uint64_t Load64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+constexpr uint64_t Broadcast(char c) {
+  return kOnes * static_cast<uint8_t>(c);
+}
+
+/// Exact per-byte zero detector: bit 7 of each byte of the result is set
+/// iff that byte of v is zero.  (The classic (v-1)&~v&0x80 trick leaks
+/// carry garbage above the first zero byte; this form has no cross-byte
+/// carries, so it is safe for presence masks, not just find-first.)
+inline uint64_t ZeroBytes(uint64_t v) {
+  return ~(((v & kLows7) + kLows7) | v | kLows7);
+}
+
+template <char... Cs>
+inline uint64_t MatchMask64(uint64_t v) {
+  uint64_t m = 0;
+  ((m |= ZeroBytes(v ^ Broadcast(Cs))), ...);
+  return m;
+}
+
+#if defined(XFLUX_SCAN_NEON)
+/// 4 bits per byte lane, LSB-first — ctz(mask)>>2 is the first match.
+inline uint64_t NeonMask(uint8x16_t eq) {
+  uint8x8_t n = vshrn_n_u16(vreinterpretq_u16_u8(eq), 4);
+  return vget_lane_u64(vreinterpret_u64_u8(n), 0);
+}
+#endif
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// FindAnyOf: first index >= from of any of the template-parameter bytes.
+
+template <char... Cs>
+inline size_t FindAnyOfScalar(std::string_view s, size_t from) {
+  for (size_t i = from; i < s.size(); ++i) {
+    char c = s[i];
+    if (((c == Cs) || ...)) return i;
+  }
+  return npos;
+}
+
+template <char... Cs>
+inline size_t FindAnyOf(std::string_view s, size_t from) {
+  if (ForceScalar()) return FindAnyOfScalar<Cs...>(s, from);
+  const char* p = s.data();
+  size_t n = s.size();
+  size_t i = from;
+#if defined(XFLUX_SCAN_SSE2)
+  for (; i + 16 <= n; i += 16) {
+    __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + i));
+    __m128i m = _mm_setzero_si128();
+    ((m = _mm_or_si128(m, _mm_cmpeq_epi8(v, _mm_set1_epi8(Cs)))), ...);
+    int mask = _mm_movemask_epi8(m);
+    if (mask != 0) return i + static_cast<size_t>(__builtin_ctz(mask));
+  }
+#elif defined(XFLUX_SCAN_NEON)
+  for (; i + 16 <= n; i += 16) {
+    uint8x16_t v = vld1q_u8(reinterpret_cast<const uint8_t*>(p + i));
+    uint8x16_t m = vdupq_n_u8(0);
+    ((m = vorrq_u8(m, vceqq_u8(v, vdupq_n_u8(static_cast<uint8_t>(Cs))))),
+     ...);
+    uint64_t mask = detail::NeonMask(m);
+    if (mask != 0) {
+      return i + (static_cast<size_t>(__builtin_ctzll(mask)) >> 2);
+    }
+  }
+#else
+  for (; i + 8 <= n; i += 8) {
+    uint64_t mask = detail::MatchMask64<Cs...>(detail::Load64(p + i));
+    if (mask != 0) {
+      return i + (static_cast<size_t>(__builtin_ctzll(mask)) >> 3);
+    }
+  }
+#endif
+  for (; i < n; ++i) {
+    char c = p[i];
+    if (((c == Cs) || ...)) return i;
+  }
+  return npos;
+}
+
+/// First index >= from whose byte is not a name character, or s.size().
+/// Kept scalar on purpose: realistic tag names end within a handful of
+/// bytes, where a table lookup per byte beats any vector setup cost (the
+/// table's complement is exactly the ten delimiter bytes space \t \r \n
+/// > / = < " ').
+inline size_t FindNameEnd(std::string_view s, size_t from) {
+  size_t i = from;
+  for (; i < s.size(); ++i) {
+    if (!IsNameChar(s[i])) break;
+  }
+  return i;
+}
+
+// ---------------------------------------------------------------------------
+// ScanText: advance through character data to the next '<', reporting
+// whether the scanned prefix (bytes [from, stop)) contained '&' (entity:
+// the text needs the decode path) or ']' (possible "]]>": the text needs
+// the full check).  One pass replaces the tokenizer's former find('<') +
+// find('&') + find("]]>") triple.
+
+struct TextScan {
+  size_t stop = npos;  // index of the '<', or npos when the window ends
+  bool amp = false;
+  bool rbracket = false;
+};
+
+inline TextScan ScanTextScalar(std::string_view s, size_t from) {
+  TextScan r;
+  for (size_t i = from; i < s.size(); ++i) {
+    char c = s[i];
+    if (c == '<') {
+      r.stop = i;
+      return r;
+    }
+    r.amp |= c == '&';
+    r.rbracket |= c == ']';
+  }
+  return r;
+}
+
+inline TextScan ScanText(std::string_view s, size_t from) {
+  if (ForceScalar()) return ScanTextScalar(s, from);
+  TextScan r;
+  const char* p = s.data();
+  size_t n = s.size();
+  size_t i = from;
+#if defined(XFLUX_SCAN_SSE2)
+  const __m128i lt = _mm_set1_epi8('<');
+  const __m128i amp = _mm_set1_epi8('&');
+  const __m128i rb = _mm_set1_epi8(']');
+  for (; i + 16 <= n; i += 16) {
+    __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + i));
+    int mlt = _mm_movemask_epi8(_mm_cmpeq_epi8(v, lt));
+    int mam = _mm_movemask_epi8(_mm_cmpeq_epi8(v, amp));
+    int mrb = _mm_movemask_epi8(_mm_cmpeq_epi8(v, rb));
+    if (mlt != 0) {
+      int idx = __builtin_ctz(mlt);
+      int below = (1 << idx) - 1;
+      r.amp |= (mam & below) != 0;
+      r.rbracket |= (mrb & below) != 0;
+      r.stop = i + static_cast<size_t>(idx);
+      return r;
+    }
+    r.amp |= mam != 0;
+    r.rbracket |= mrb != 0;
+  }
+#elif defined(XFLUX_SCAN_NEON)
+  const uint8x16_t lt = vdupq_n_u8('<');
+  const uint8x16_t amp = vdupq_n_u8('&');
+  const uint8x16_t rb = vdupq_n_u8(']');
+  for (; i + 16 <= n; i += 16) {
+    uint8x16_t v = vld1q_u8(reinterpret_cast<const uint8_t*>(p + i));
+    uint64_t mlt = detail::NeonMask(vceqq_u8(v, lt));
+    uint64_t mam = detail::NeonMask(vceqq_u8(v, amp));
+    uint64_t mrb = detail::NeonMask(vceqq_u8(v, rb));
+    if (mlt != 0) {
+      int bit = __builtin_ctzll(mlt);
+      uint64_t below = (bit == 0) ? 0 : ((1ull << bit) - 1);
+      r.amp |= (mam & below) != 0;
+      r.rbracket |= (mrb & below) != 0;
+      r.stop = i + (static_cast<size_t>(bit) >> 2);
+      return r;
+    }
+    r.amp |= mam != 0;
+    r.rbracket |= mrb != 0;
+  }
+#else
+  for (; i + 8 <= n; i += 8) {
+    uint64_t v = detail::Load64(p + i);
+    uint64_t mlt = detail::ZeroBytes(v ^ detail::Broadcast('<'));
+    uint64_t mam = detail::ZeroBytes(v ^ detail::Broadcast('&'));
+    uint64_t mrb = detail::ZeroBytes(v ^ detail::Broadcast(']'));
+    if (mlt != 0) {
+      int bit = __builtin_ctzll(mlt);
+      uint64_t below = (1ull << bit) - 1;
+      r.amp |= (mam & below) != 0;
+      r.rbracket |= (mrb & below) != 0;
+      r.stop = i + (static_cast<size_t>(bit) >> 3);
+      return r;
+    }
+    r.amp |= mam != 0;
+    r.rbracket |= mrb != 0;
+  }
+#endif
+  for (; i < n; ++i) {
+    char c = p[i];
+    if (c == '<') {
+      r.stop = i;
+      return r;
+    }
+    r.amp |= c == '&';
+    r.rbracket |= c == ']';
+  }
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// FindTagEnd: first unquoted '>' or '<' at index >= from (the caller
+// treats '>' as the tag terminator and '<' as a parse error), honoring
+// single- and double-quoted attribute values.  *quote carries the open
+// quote character across calls (0 = outside quotes) so an incomplete tag
+// resumes mid-state on the next Feed without rescanning.
+
+inline size_t FindTagEndScalar(std::string_view s, size_t from, char* quote) {
+  for (size_t i = from; i < s.size(); ++i) {
+    char c = s[i];
+    if (*quote != 0) {
+      if (c == *quote) *quote = 0;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      *quote = c;
+      continue;
+    }
+    if (c == '>' || c == '<') return i;
+  }
+  return npos;
+}
+
+inline size_t FindTagEnd(std::string_view s, size_t from, char* quote) {
+  if (ForceScalar()) return FindTagEndScalar(s, from, quote);
+  size_t i = from;
+  while (true) {
+    if (*quote != 0) {
+      if (i >= s.size()) return npos;
+      const void* q = std::memchr(s.data() + i, *quote, s.size() - i);
+      if (q == nullptr) return npos;
+      i = static_cast<size_t>(static_cast<const char*>(q) - s.data()) + 1;
+      *quote = 0;
+    }
+    size_t hit = FindAnyOf<'>', '"', '\'', '<'>(s, i);
+    if (hit == npos) return npos;
+    char c = s[hit];
+    if (c == '"' || c == '\'') {
+      *quote = c;
+      i = hit + 1;
+      continue;
+    }
+    return hit;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AllWhitespace: true when every byte of s is in the XML S production.
+
+inline bool AllWhitespaceScalar(std::string_view s) {
+  for (char c : s) {
+    if (!IsSpaceChar(c)) return false;
+  }
+  return true;
+}
+
+inline bool AllWhitespace(std::string_view s) {
+  if (ForceScalar()) return AllWhitespaceScalar(s);
+  const char* p = s.data();
+  size_t n = s.size();
+  size_t i = 0;
+#if defined(XFLUX_SCAN_SSE2)
+  for (; i + 16 <= n; i += 16) {
+    __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + i));
+    __m128i ws = _mm_or_si128(
+        _mm_or_si128(_mm_cmpeq_epi8(v, _mm_set1_epi8(' ')),
+                     _mm_cmpeq_epi8(v, _mm_set1_epi8('\t'))),
+        _mm_or_si128(_mm_cmpeq_epi8(v, _mm_set1_epi8('\r')),
+                     _mm_cmpeq_epi8(v, _mm_set1_epi8('\n'))));
+    if (_mm_movemask_epi8(ws) != 0xFFFF) return false;
+  }
+#elif defined(XFLUX_SCAN_NEON)
+  for (; i + 16 <= n; i += 16) {
+    uint8x16_t v = vld1q_u8(reinterpret_cast<const uint8_t*>(p + i));
+    uint8x16_t ws = vorrq_u8(
+        vorrq_u8(vceqq_u8(v, vdupq_n_u8(' ')), vceqq_u8(v, vdupq_n_u8('\t'))),
+        vorrq_u8(vceqq_u8(v, vdupq_n_u8('\r')),
+                 vceqq_u8(v, vdupq_n_u8('\n'))));
+    if (vminvq_u8(ws) == 0) return false;
+  }
+#else
+  for (; i + 8 <= n; i += 8) {
+    uint64_t v = detail::Load64(p + i);
+    uint64_t ws = detail::ZeroBytes(v ^ detail::Broadcast(' ')) |
+                  detail::ZeroBytes(v ^ detail::Broadcast('\t')) |
+                  detail::ZeroBytes(v ^ detail::Broadcast('\r')) |
+                  detail::ZeroBytes(v ^ detail::Broadcast('\n'));
+    if (ws != detail::kHighs) return false;
+  }
+#endif
+  for (; i < n; ++i) {
+    if (!IsSpaceChar(p[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace xflux::scan
+
+#endif  // XFLUX_XML_SCAN_H_

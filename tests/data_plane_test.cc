@@ -2,6 +2,7 @@
 // the buffered-bytes accounting rule, and the batch-vs-single-event
 // equivalence property for the whole engine.
 
+#include <cstring>
 #include <string>
 #include <type_traits>
 #include <vector>
@@ -60,11 +61,12 @@ TEST(EventLayoutTest, EqualityComparesTagAndTextContent) {
 // TextRef
 
 TEST(TextRefTest, CopiesShareOneBuffer) {
-  TextRef a = TextRef::Copy("payload");
+  TextRef a = TextRef::Copy("payload-too-long-to-inline");
   TextRef b = a;
   EXPECT_EQ(a.buffer_id(), b.buffer_id());
+  EXPECT_NE(a.buffer_id(), nullptr);
   EXPECT_EQ(a.use_count(), 2u);
-  EXPECT_EQ(b.view(), "payload");
+  EXPECT_EQ(b.view(), "payload-too-long-to-inline");
   {
     TextRef c = b;
     EXPECT_EQ(a.use_count(), 3u);
@@ -77,13 +79,78 @@ TEST(TextRefTest, EmptyRefNeverAllocates) {
   EXPECT_TRUE(empty.empty());
   EXPECT_EQ(empty.buffer_id(), nullptr);
   EXPECT_EQ(TextRef::Copy("").buffer_id(), nullptr);
-  EXPECT_STREQ(empty.c_str(), "");
+  EXPECT_EQ(empty.view(), "");
 }
 
-TEST(TextRefTest, CStrIsNulTerminated) {
-  TextRef t = TextRef::Copy("12.5");
-  EXPECT_STREQ(t.c_str(), "12.5");
+TEST(TextRefTest, Copy2ConcatenatesIntoOneBuffer) {
+  TextRef t = TextRef::Copy2("prefix spilled ", "in-chunk tail");
+  EXPECT_EQ(t.view(), "prefix spilled in-chunk tail");
+  EXPECT_EQ(t.size(), 28u);
+  EXPECT_FALSE(t.is_slice());
+  EXPECT_FALSE(t.is_inline());
+  EXPECT_EQ(t.payload_bytes(), 28u);
+}
+
+TEST(TextRefTest, ShortTextPacksInline) {
+  TextRef t = TextRef::Copy2("12", ".5");
+  EXPECT_EQ(t.view(), "12.5");
   EXPECT_EQ(t.size(), 4u);
+  EXPECT_TRUE(t.is_inline());
+  // No heap storage at all: no identity, nothing for the ledger to pin.
+  EXPECT_EQ(t.buffer_id(), nullptr);
+  EXPECT_EQ(t.payload_bytes(), 0u);
+  // Copies carry the bytes with them.
+  TextRef c = t;
+  EXPECT_EQ(c.view(), "12.5");
+  // Content equality spans representations.
+  EXPECT_EQ(t, TextRef::Copy("12.5"));
+  // The 7-byte boundary: max inline vs first heap size.
+  EXPECT_TRUE(TextRef::Copy("seven77").is_inline());
+  EXPECT_FALSE(TextRef::Copy("eight888").is_inline());
+}
+
+TEST(TextRefTest, SliceAliasesChunkAndPinsIt) {
+  StableChunk chunk = StableChunk::Allocate(64);
+  std::memcpy(chunk.mutable_data(), "hello chunked world", 19);
+  TextRef slice = TextRef::Slice(chunk, chunk.data() + 6, 7);
+  EXPECT_EQ(slice.view(), "chunked");
+  EXPECT_TRUE(slice.is_slice());
+  // The slice's storage IS the chunk's storage (no copy)...
+  EXPECT_EQ(slice.view().data(), chunk.data() + 6);
+  // ...and its identity/payload are the chunk, counted whole.
+  EXPECT_EQ(slice.buffer_id(), chunk.id());
+  EXPECT_EQ(slice.payload_bytes(), 64u);
+  // The slice holds a chunk reference: chunk handle + slice = 2.
+  EXPECT_EQ(chunk.use_count(), 2u);
+  {
+    TextRef copy = slice;  // refcount bump on the slice rep, not the chunk
+    EXPECT_EQ(slice.use_count(), 2u);
+    EXPECT_EQ(chunk.use_count(), 2u);
+  }
+  // Dropping the chunk handle leaves the slice's bytes alive.
+  const char* data = slice.view().data();
+  chunk = StableChunk();
+  EXPECT_EQ(slice.view(), "chunked");
+  EXPECT_EQ(slice.view().data(), data);
+}
+
+TEST(TextRefTest, ParseLeadingDoubleMatchesStrtod) {
+  double v = 0;
+  EXPECT_TRUE(ParseLeadingDouble("12.5", &v));
+  EXPECT_EQ(v, 12.5);
+  EXPECT_TRUE(ParseLeadingDouble("  -3e2xyz", &v));
+  EXPECT_EQ(v, -300.0);
+  EXPECT_TRUE(ParseLeadingDouble("+7", &v));
+  EXPECT_EQ(v, 7.0);
+  EXPECT_FALSE(ParseLeadingDouble("", &v));
+  EXPECT_EQ(v, 0.0);
+  EXPECT_FALSE(ParseLeadingDouble("abc", &v));
+  EXPECT_FALSE(ParseLeadingDouble("+", &v));
+  EXPECT_FALSE(ParseLeadingDouble("   ", &v));
+  // Non-NUL-terminated middle-of-buffer view.
+  std::string_view buf("xx42yy");
+  EXPECT_TRUE(ParseLeadingDouble(buf.substr(2, 2), &v));
+  EXPECT_EQ(v, 42.0);
 }
 
 TEST(TextRefTest, AliasingSurvivesMaterialize) {

@@ -1,0 +1,282 @@
+// Property tests for the zero-copy ingest path (DESIGN.md Section 12):
+// chunk boundaries must be invisible in the emitted events, aliased text
+// must outlive the parser, slow drips must stay O(n) in scan work, the
+// window must be recycled rather than reallocated, and the accelerated
+// scan mode must be observationally identical to the forced-scalar
+// reference on hostile input.
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/event.h"
+#include "core/event_sink.h"
+#include "data/generators.h"
+#include "testing/fault_injector.h"
+#include "testing/traffic_gen.h"
+#include "util/buffer_ledger.h"
+#include "util/text_ref.h"
+#include "xml/sax_parser.h"
+#include "xml/scan.h"
+
+namespace xflux {
+namespace {
+
+struct ParseRun {
+  Status status = Status::OK();
+  EventVec events;
+  SaxParser::IngestStats stats;
+};
+
+ParseRun ParseChunked(std::string_view doc, const std::vector<size_t>& cuts,
+                      SaxParser::Options options = {}) {
+  ParseRun run;
+  CollectingSink sink;
+  SaxParser parser(options, &sink);
+  size_t at = 0;
+  for (size_t cut : cuts) {
+    run.status = parser.Feed(doc.substr(at, cut - at));
+    at = cut;
+    if (!run.status.ok()) break;
+  }
+  if (run.status.ok()) run.status = parser.Feed(doc.substr(at));
+  if (run.status.ok()) run.status = parser.Finish();
+  run.stats = parser.ingest_stats();
+  run.events = sink.Take();
+  return run;
+}
+
+void ExpectSameEvents(const EventVec& a, const EventVec& b,
+                      const std::string& label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].kind, b[i].kind) << label << " event " << i;
+    ASSERT_EQ(a[i].id, b[i].id) << label << " event " << i;
+    ASSERT_EQ(a[i].tag, b[i].tag) << label << " event " << i;
+    ASSERT_EQ(a[i].oid, b[i].oid) << label << " event " << i;
+    ASSERT_EQ(a[i].chars(), b[i].chars()) << label << " event " << i;
+  }
+}
+
+TEST(SaxIngest, RandomChunkSplitsAreInvisible) {
+  std::string doc = GenerateXmark(XmarkOptionsForBytes(48 * 1024));
+  ParseRun whole = ParseChunked(doc, {});
+  ASSERT_TRUE(whole.status.ok()) << whole.status;
+  std::mt19937 rng(2008);
+  for (int iter = 0; iter < 12; ++iter) {
+    std::vector<size_t> cuts;
+    size_t at = 0;
+    while (at < doc.size()) {
+      // Mix tiny and page-sized pieces so tags, entities, and text runs
+      // all get cut mid-token somewhere.
+      at += 1 + rng() % (iter % 2 == 0 ? 7 : 4096);
+      if (at >= doc.size()) break;
+      cuts.push_back(at);
+    }
+    ParseRun split = ParseChunked(doc, cuts);
+    ASSERT_TRUE(split.status.ok()) << split.status;
+    ExpectSameEvents(split.events, whole.events,
+                     "iter " + std::to_string(iter));
+  }
+}
+
+TEST(SaxIngest, AliasedTextSurvivesTheParser) {
+  // Zero-copy cD payloads (including ones whose slice headers live inside
+  // the input chunk) must stay readable after the parser — and with it the
+  // last chunk handle — is gone.
+  std::string body(256, 'q');
+  std::string doc = "<a><b>" + body + "</b><c>tiny but aliasable</c></a>";
+  EventVec events;
+  SaxParser::IngestStats stats;
+  {
+    CollectingSink sink;
+    SaxParser::Options options;
+    options.min_alias_bytes = 8;
+    SaxParser parser(options, &sink);
+    ASSERT_TRUE(parser.Feed(doc).ok());
+    ASSERT_TRUE(parser.Finish().ok());
+    stats = parser.ingest_stats();
+    events = sink.Take();
+  }
+  EXPECT_GE(stats.aliased_texts, 2u);
+  std::vector<std::string> texts;
+  for (const Event& e : events) {
+    if (e.kind == EventKind::kCharacters) texts.emplace_back(e.chars());
+  }
+  ASSERT_EQ(texts.size(), 2u);
+  EXPECT_EQ(texts[0], body);
+  EXPECT_EQ(texts[1], "tiny but aliasable");
+}
+
+TEST(SaxIngest, SliceOutlivesEveryOtherHandleToItsChunk) {
+  // Keep exactly one aliased event alive, drop everything else, and make
+  // sure the bytes are still there (the slice pins the chunk).
+  TextRef survivor;
+  {
+    CollectingSink sink;
+    SaxParser parser(SaxParser::Options(), &sink);
+    std::string doc = "<a>0123456789 ten chars and then some</a>";
+    ASSERT_TRUE(parser.Feed(doc).ok());
+    ASSERT_TRUE(parser.Finish().ok());
+    for (Event& e : sink.Take()) {
+      if (e.kind == EventKind::kCharacters) survivor = std::move(e.text);
+    }
+  }
+  EXPECT_EQ(survivor.view(), "0123456789 ten chars and then some");
+  EXPECT_TRUE(survivor.is_slice());
+}
+
+TEST(SaxIngest, SlowDripScanWorkStaysLinear) {
+  // A large comment fed one byte at a time used to rescan the buffered
+  // prefix for "-->" on every Feed — O(n^2) bytes examined.  The resume
+  // offset must keep total scan work within a small constant of the
+  // document size.  (At 256 KiB the quadratic behavior would examine
+  // ~8 GiB; the bound below fails fast if it ever comes back.)
+  std::string doc = "<a><!--";
+  doc.append(256 * 1024, 'c');
+  doc += "--><b>x</b></a>";
+  NullSink sink;
+  SaxParser parser(SaxParser::Options(), &sink);
+  for (size_t i = 0; i < doc.size(); ++i) {
+    ASSERT_TRUE(parser.Feed(std::string_view(doc).substr(i, 1)).ok()) << i;
+  }
+  ASSERT_TRUE(parser.Finish().ok());
+  EXPECT_LE(parser.ingest_stats().bytes_scanned, 8 * doc.size());
+}
+
+TEST(SaxIngest, WindowIsRecycledNotReallocated) {
+  // Feeding page-sized chunks of a large document must settle into
+  // in-place compaction of one window, not a fresh allocation per Feed.
+  std::string doc = GenerateXmark(XmarkOptionsForBytes(256 * 1024));
+  NullSink sink;
+  SaxParser parser(SaxParser::Options(), &sink);
+  std::string_view d(doc);
+  for (size_t off = 0; off < d.size(); off += 4096) {
+    ASSERT_TRUE(parser.Feed(d.substr(off, 4096)).ok());
+  }
+  ASSERT_TRUE(parser.Finish().ok());
+  const SaxParser::IngestStats& stats = parser.ingest_stats();
+  EXPECT_GT(stats.compactions, 0u);
+  // Allocations happen only when live slices pin the current chunk; that
+  // is bounded by the feed count, and in practice far below it.
+  EXPECT_LT(stats.chunk_allocs, doc.size() / 4096 / 2);
+}
+
+TEST(SaxIngest, LedgerChargesASharedChunkOnce) {
+  // Every aliased cD in one window shares one pinned chunk: the ledger
+  // must charge the chunk's bytes once, not per slice.
+  CollectingSink sink;
+  SaxParser::Options options;
+  options.min_alias_bytes = 8;
+  SaxParser parser(options, &sink);
+  ASSERT_TRUE(
+      parser.Feed("<a><b>first aliased text run</b>"
+                  "<c>second aliased text run</c>"
+                  "<d>third aliased text run</d></a>")
+          .ok());
+  ASSERT_TRUE(parser.Finish().ok());
+  EventVec events = sink.Take();
+  std::vector<const Event*> texts;
+  for (const Event& e : events) {
+    if (e.kind == EventKind::kCharacters) texts.push_back(&e);
+  }
+  ASSERT_EQ(texts.size(), 3u);
+  ASSERT_TRUE(texts[0]->text.is_slice());
+  ASSERT_EQ(texts[0]->text.buffer_id(), texts[1]->text.buffer_id());
+  ASSERT_EQ(texts[1]->text.buffer_id(), texts[2]->text.buffer_id());
+
+  BufferLedger ledger;
+  int64_t first = ledger.Add(texts[0]->text, sizeof(Event));
+  EXPECT_EQ(first, static_cast<int64_t>(sizeof(Event) +
+                                        texts[0]->text.payload_bytes()));
+  int64_t second = ledger.Add(texts[1]->text, sizeof(Event));
+  EXPECT_EQ(second, static_cast<int64_t>(sizeof(Event)));
+  int64_t third = ledger.Add(texts[2]->text, sizeof(Event));
+  EXPECT_EQ(third, static_cast<int64_t>(sizeof(Event)));
+  ledger.Remove(texts[0]->text, sizeof(Event));
+  ledger.Remove(texts[1]->text, sizeof(Event));
+  ledger.Remove(texts[2]->text, sizeof(Event));
+  EXPECT_EQ(ledger.bytes(), 0);
+}
+
+TEST(SaxIngest, AliasingDisabledCopiesEverything) {
+  CollectingSink sink;
+  SaxParser::Options options;
+  options.min_alias_bytes = SIZE_MAX;
+  SaxParser parser(options, &sink);
+  ASSERT_TRUE(
+      parser.Feed("<a>a text run comfortably past the inline limit</a>")
+          .ok());
+  ASSERT_TRUE(parser.Finish().ok());
+  EXPECT_EQ(parser.ingest_stats().aliased_texts, 0u);
+  EXPECT_GE(parser.ingest_stats().copied_texts, 1u);
+  for (const Event& e : sink.events()) {
+    if (e.kind == EventKind::kCharacters) EXPECT_FALSE(e.text.is_slice());
+  }
+}
+
+// Both scan modes must produce byte-identical verdicts and events on a
+// corpus of well-formed, malformed, and randomly corrupted documents, at
+// hostile chunkings.  This is the runtime guarantee behind the
+// XFLUX_FORCE_SCALAR escape hatch.
+TEST(SaxIngest, ScalarAndAcceleratedModesAreObservationallyIdentical) {
+  std::vector<std::string> corpus = {
+      GenerateXmark(XmarkOptionsForBytes(16 * 1024)),
+      "<a><b>x</b><!--c--><![CDATA[<raw>]]><?pi d?></a>",
+      "<a>fish &amp; chips &bogus;</a>",
+      "<a><b>x</c></a>",
+      "<biblio><book>text",
+      "<a>x]]>y</a>",
+  };
+  for (int seed = 0; seed < 24; ++seed) {
+    corpus.push_back(CorruptBytes(
+        serve::MakeBookDocument(static_cast<uint64_t>(seed), 768),
+        static_cast<uint64_t>(seed), 0.02));
+  }
+  std::mt19937 rng(4242);
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    const std::string& doc = corpus[i];
+    std::vector<size_t> cuts;
+    size_t at = 0;
+    while (at < doc.size()) {
+      at += 1 + rng() % 97;
+      if (at >= doc.size()) break;
+      cuts.push_back(at);
+    }
+    scan::SetForceScalar(false);
+    ParseRun fast = ParseChunked(doc, cuts);
+    scan::SetForceScalar(true);
+    ParseRun slow = ParseChunked(doc, cuts);
+    scan::SetForceScalar(false);
+    ASSERT_EQ(fast.status.code(), slow.status.code()) << "corpus[" << i << "]";
+    ASSERT_EQ(fast.status.message(), slow.status.message())
+        << "corpus[" << i << "]";
+    ExpectSameEvents(fast.events, slow.events,
+                     "corpus[" + std::to_string(i) + "]");
+    // Observable side effects beyond events must match too.
+    EXPECT_EQ(fast.stats.aliased_texts, slow.stats.aliased_texts);
+    EXPECT_EQ(fast.stats.copied_texts, slow.stats.copied_texts);
+    EXPECT_EQ(fast.stats.inlined_texts, slow.stats.inlined_texts);
+  }
+}
+
+TEST(SaxIngest, MaxTokenBytesAppliesToDrippedText) {
+  SaxParser::Options options;
+  options.max_token_bytes = 1024;
+  NullSink sink;
+  SaxParser parser(options, &sink);
+  std::string big(4096, 't');
+  Status s = Status::OK();
+  ASSERT_TRUE(parser.Feed("<a>").ok());
+  for (size_t i = 0; s.ok() && i < big.size(); ++i) {
+    s = parser.Feed(std::string_view(big).substr(i, 1));
+  }
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted) << s;
+}
+
+}  // namespace
+}  // namespace xflux

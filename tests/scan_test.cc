@@ -1,0 +1,176 @@
+// Differential tests for the wide-scan primitives (xml/scan.h): every
+// accelerated implementation must agree byte-for-byte with the scalar
+// reference on random buffers, on every starting offset, and especially
+// around the 16-byte block boundaries where lane handling goes wrong.
+// The suite runs each property in the compiled accelerated mode and under
+// SetForceScalar(true); a third leg compares the two directly.
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <string_view>
+
+#include <gtest/gtest.h>
+
+#include "xml/scan.h"
+
+namespace xflux {
+namespace {
+
+// The interesting bytes for every primitive, overweighted so random
+// buffers actually exercise matches, plus plain filler.
+std::string RandomBuffer(std::mt19937& rng, size_t len) {
+  static constexpr char kAlphabet[] =
+      "<>&]\"'/= \t\r\nabcdefghijklmnopqrstuvwxyz";
+  std::uniform_int_distribution<size_t> pick(0, sizeof(kAlphabet) - 2);
+  std::string s;
+  s.reserve(len);
+  for (size_t i = 0; i < len; ++i) s.push_back(kAlphabet[pick(rng)]);
+  return s;
+}
+
+// Restores the accelerated mode however a test exits.
+struct ScalarModeGuard {
+  explicit ScalarModeGuard(bool on) { scan::SetForceScalar(on); }
+  ~ScalarModeGuard() { scan::SetForceScalar(false); }
+};
+
+TEST(ScanTest, FindAnyOfMatchesScalarOnRandomBuffers) {
+  std::mt19937 rng(20080401);
+  for (int iter = 0; iter < 200; ++iter) {
+    std::string buf = RandomBuffer(rng, 1 + iter % 97);
+    for (size_t from = 0; from <= buf.size(); ++from) {
+      size_t ref = scan::FindAnyOfScalar<'<', '&', '>'>(buf, from);
+      EXPECT_EQ((scan::FindAnyOf<'<', '&', '>'>(buf, from)), ref)
+          << "buf=" << buf << " from=" << from;
+    }
+  }
+}
+
+TEST(ScanTest, FindAnyOfBoundaryStraddle) {
+  // A single target byte at every position of a 48-byte buffer: the match
+  // must be found whether it lands in a full 16-byte block or the scalar
+  // tail, from every starting offset at or before it.
+  for (size_t at = 0; at < 48; ++at) {
+    std::string buf(48, 'x');
+    buf[at] = '>';
+    for (size_t from = 0; from <= at; ++from) {
+      EXPECT_EQ(scan::FindAnyOf<'>'>(buf, from), at) << "at=" << at;
+    }
+    EXPECT_EQ(scan::FindAnyOf<'>'>(buf, at + 1), scan::npos);
+  }
+}
+
+TEST(ScanTest, ScanTextMatchesScalarIncludingFlags) {
+  std::mt19937 rng(20080402);
+  for (int iter = 0; iter < 200; ++iter) {
+    std::string buf = RandomBuffer(rng, 1 + iter % 131);
+    for (size_t from = 0; from <= buf.size(); ++from) {
+      scan::TextScan ref = scan::ScanTextScalar(buf, from);
+      scan::TextScan got = scan::ScanText(buf, from);
+      EXPECT_EQ(got.stop, ref.stop) << "buf=" << buf << " from=" << from;
+      EXPECT_EQ(got.amp, ref.amp) << "buf=" << buf << " from=" << from;
+      EXPECT_EQ(got.rbracket, ref.rbracket)
+          << "buf=" << buf << " from=" << from;
+    }
+  }
+}
+
+TEST(ScanTest, ScanTextFlagsOnlyCoverBytesBeforeTheStop) {
+  // '&' and ']' after the '<' must not leak into the flags — the SIMD
+  // path masks the lanes past the stop.
+  std::string buf = "plain text here<&]]]";
+  scan::TextScan r = scan::ScanText(buf, 0);
+  EXPECT_EQ(r.stop, buf.find('<'));
+  EXPECT_FALSE(r.amp);
+  EXPECT_FALSE(r.rbracket);
+  scan::TextScan s = scan::ScanText("a&b]c              <", 0);
+  EXPECT_TRUE(s.amp);
+  EXPECT_TRUE(s.rbracket);
+}
+
+TEST(ScanTest, FindTagEndMatchesScalarWithQuoteState) {
+  std::mt19937 rng(20080403);
+  for (int iter = 0; iter < 300; ++iter) {
+    std::string buf = RandomBuffer(rng, 1 + iter % 113);
+    for (char initial : {'\0', '"', '\''}) {
+      char qa = initial;
+      char qb = initial;
+      size_t ref = scan::FindTagEndScalar(buf, 0, &qa);
+      size_t got = scan::FindTagEnd(buf, 0, &qb);
+      EXPECT_EQ(got, ref) << "buf=" << buf << " initial=" << int(initial);
+      EXPECT_EQ(qb, qa) << "buf=" << buf << " initial=" << int(initial);
+    }
+  }
+}
+
+TEST(ScanTest, FindNameEndStopsAtEveryDelimiter) {
+  // The name-character table's complement is exactly the ten delimiter
+  // bytes; anything else (including NUL and bytes >= 0x80) is a name char.
+  const std::string delims = " \t\r\n></=<\"'";
+  for (int c = 0; c < 256; ++c) {
+    std::string buf = "name";
+    buf.push_back(static_cast<char>(c));
+    buf += "rest";
+    size_t end = scan::FindNameEnd(buf, 0);
+    if (delims.find(static_cast<char>(c)) != std::string::npos) {
+      EXPECT_EQ(end, 4u) << "c=" << c;
+    } else {
+      EXPECT_EQ(end, buf.size()) << "c=" << c;
+    }
+  }
+  EXPECT_EQ(scan::FindNameEnd("noend", 0), 5u);
+  EXPECT_EQ(scan::FindNameEnd(">", 0), 0u);
+}
+
+TEST(ScanTest, AllWhitespaceMatchesScalar) {
+  std::mt19937 rng(20080404);
+  for (int iter = 0; iter < 300; ++iter) {
+    size_t len = iter % 67;
+    std::string buf(len, ' ');
+    // Mostly-whitespace buffers with an occasional intruder.
+    std::uniform_int_distribution<int> ws(0, 3);
+    for (char& c : buf) c = " \t\r\n"[ws(rng)];
+    if (iter % 3 == 0 && !buf.empty()) {
+      buf[static_cast<size_t>(rng() % buf.size())] = 'x';
+    }
+    EXPECT_EQ(scan::AllWhitespace(buf), scan::AllWhitespaceScalar(buf))
+        << "buf=[" << buf << "]";
+  }
+  EXPECT_TRUE(scan::AllWhitespace(""));
+}
+
+TEST(ScanTest, ForcedScalarModeAgreesWithAccelerated) {
+  std::mt19937 rng(20080405);
+  for (int iter = 0; iter < 100; ++iter) {
+    std::string buf = RandomBuffer(rng, 1 + iter % 173);
+    size_t from = buf.size() > 1 ? rng() % buf.size() : 0;
+
+    size_t fast_any = scan::FindAnyOf<'<', '>', '&'>(buf, from);
+    scan::TextScan fast_text = scan::ScanText(buf, from);
+    char fq = 0;
+    size_t fast_tag = scan::FindTagEnd(buf, from, &fq);
+    bool fast_ws = scan::AllWhitespace(buf);
+
+    {
+      ScalarModeGuard guard(true);
+      EXPECT_EQ((scan::FindAnyOf<'<', '>', '&'>(buf, from)), fast_any);
+      scan::TextScan t = scan::ScanText(buf, from);
+      EXPECT_EQ(t.stop, fast_text.stop);
+      EXPECT_EQ(t.amp, fast_text.amp);
+      EXPECT_EQ(t.rbracket, fast_text.rbracket);
+      char q = 0;
+      EXPECT_EQ(scan::FindTagEnd(buf, from, &q), fast_tag);
+      EXPECT_EQ(q, fq);
+      EXPECT_EQ(scan::AllWhitespace(buf), fast_ws);
+    }
+  }
+}
+
+TEST(ScanTest, SimdKindIsStamped) {
+  std::string kind = scan::SimdKind();
+  EXPECT_TRUE(kind == "sse2" || kind == "neon" || kind == "swar") << kind;
+}
+
+}  // namespace
+}  // namespace xflux

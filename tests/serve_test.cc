@@ -411,6 +411,29 @@ TEST(ServeE2E, AdmissionRejectionCarriesRetryAfter) {
   EXPECT_GE(second.value()->rejected_retry_after_ms(), 250u);
 }
 
+TEST(ServeE2E, OversizedTokenCutOffByResourceEnvelope) {
+  // The admission envelope's max_token_bytes reaches the tokenizer: a
+  // never-closing tag is refused after the bound, as a structured error,
+  // instead of buffering document text without limit.
+  ServeServer::Options options;
+  options.admission.session_limits.max_token_bytes = 1024;
+  ServerFixture fixture{options};
+  auto client = ServeClient::Connect(fixture.endpoint());
+  ASSERT_TRUE(client.ok());
+  ServeClient* c = client.value().get();
+  ASSERT_TRUE(c->Open("X//author", "guard=off").ok());
+  ASSERT_TRUE(c->FeedXml("<biblio><book ").ok());
+  std::string junk(512, 'a');
+  Status fed = Status::OK();
+  for (int i = 0; fed.ok() && i < 64; ++i) {
+    fed = c->FeedXml(junk);  // the send may race the server's error frame
+  }
+  Status ending = c->WaitFinished(10000);
+  EXPECT_EQ(ending.code(), StatusCode::kResourceExhausted) << ending;
+  EXPECT_NE(ending.message().find("max_token_bytes"), std::string::npos)
+      << ending;
+}
+
 TEST(ServeE2E, IdleSessionTimedOutWithStructuredError) {
   ServeServer::Options options;
   options.idle_timeout_ms = 150;
