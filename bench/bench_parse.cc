@@ -5,19 +5,43 @@
 // the win from xml/scan.h; the 64B-vs-1MiB delta bounds the cost of
 // chunked feeding (resume state + window compaction).
 //
-// Rows land in BENCH_parse.json; CI's bench-smoke job asserts the schema
-// and a conservative MB/s floor on the bulk-chunk accelerated rows.
+// The feed dimension compares the three ingest paths at bulk sizes:
+//   copied   Feed(string_view): bytes memcpy'd into the pinned window
+//   adopted  Feed(StableChunk): caller memory scanned in place; only
+//            boundary-straddling token bytes are spliced by copy
+//   mmap     MappedFileSource: the document scanned straight out of the
+//            page cache, no read() and no window copy at all
+//
+// Rows land in BENCH_parse.json; CI's bench-smoke job asserts the schema,
+// a conservative MB/s floor on the bulk-chunk accelerated rows, and that
+// the adopted path never loses to the copied path at the same chunk size.
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+
+#include <unistd.h>
 
 #include "bench/bench_util.h"
 #include "core/event_sink.h"
 #include "data/generators.h"
+#include "util/text_ref.h"
+#include "xml/file_source.h"
 #include "xml/sax_parser.h"
 #include "xml/scan.h"
 
 namespace {
+
+enum class FeedKind { kCopied, kAdopted, kMapped };
+
+const char* FeedName(FeedKind feed) {
+  switch (feed) {
+    case FeedKind::kCopied: return "copied";
+    case FeedKind::kAdopted: return "adopted";
+    case FeedKind::kMapped: return "mmap";
+  }
+  return "?";
+}
 
 struct RunResult {
   double seconds = 0;
@@ -25,14 +49,46 @@ struct RunResult {
   xflux::SaxParser::IngestStats stats;
 };
 
-RunResult RunOnce(const std::string& document, size_t chunk_bytes) {
+// The adopted rows scan the benchmark document's own buffer in place; the
+// deleter is a no-op because the std::string outlives every chunk.
+void NoopDeleter(void*, const char*, size_t) {}
+
+RunResult RunOnce(const std::string& document, size_t chunk_bytes,
+                  FeedKind feed, const std::string& path) {
   xflux::NullSink sink;
   RunResult r;
   r.seconds = xflux::bench::Time([&] {
     xflux::SaxParser parser(xflux::SaxParser::Options(), &sink);
-    for (size_t off = 0; off < document.size(); off += chunk_bytes) {
-      size_t n = std::min(chunk_bytes, document.size() - off);
-      (void)parser.Feed(std::string_view(document).substr(off, n));
+    switch (feed) {
+      case FeedKind::kCopied:
+        for (size_t off = 0; off < document.size(); off += chunk_bytes) {
+          size_t n = std::min(chunk_bytes, document.size() - off);
+          (void)parser.Feed(std::string_view(document).substr(off, n));
+        }
+        break;
+      case FeedKind::kAdopted:
+        for (size_t off = 0; off < document.size(); off += chunk_bytes) {
+          size_t n = std::min(chunk_bytes, document.size() - off);
+          (void)parser.Feed(
+              xflux::StableChunk::Adopt(document.data() + off, n,
+                                        NoopDeleter, nullptr),
+              n);
+        }
+        break;
+      case FeedKind::kMapped: {
+        auto source = xflux::MappedFileSource::Open(path);
+        if (!source.ok()) {
+          std::fprintf(stderr, "mmap open failed: %s\n",
+                       source.status().ToString().c_str());
+          std::exit(1);
+        }
+        for (;;) {
+          auto chunk = source.value().Next();
+          if (!chunk.ok() || !chunk.value().valid()) break;
+          (void)parser.Feed(std::move(chunk).value());
+        }
+        break;
+      }
     }
     (void)parser.Finish();
     r.events = parser.events_emitted();
@@ -42,13 +98,35 @@ RunResult RunOnce(const std::string& document, size_t chunk_bytes) {
 }
 
 // Best-of-3 wall clock (throughput benches want the least-disturbed run).
-RunResult RunBest(const std::string& document, size_t chunk_bytes) {
-  RunResult best = RunOnce(document, chunk_bytes);
+RunResult RunBest(const std::string& document, size_t chunk_bytes,
+                  FeedKind feed, const std::string& path) {
+  RunResult best = RunOnce(document, chunk_bytes, feed, path);
   for (int i = 0; i < 2; ++i) {
-    RunResult r = RunOnce(document, chunk_bytes);
+    RunResult r = RunOnce(document, chunk_bytes, feed, path);
     if (r.seconds < best.seconds) best = r;
   }
   return best;
+}
+
+/// Writes `text` to a mkstemp file for the mmap rows; caller unlinks.
+std::string WriteTempDoc(const std::string& text) {
+  char path[] = "/tmp/bench_parse_XXXXXX";
+  int fd = ::mkstemp(path);
+  if (fd < 0) {
+    std::fprintf(stderr, "mkstemp failed\n");
+    std::exit(1);
+  }
+  size_t off = 0;
+  while (off < text.size()) {
+    ssize_t n = ::write(fd, text.data() + off, text.size() - off);
+    if (n <= 0) {
+      std::fprintf(stderr, "temp doc write failed\n");
+      std::exit(1);
+    }
+    off += static_cast<size_t>(n);
+  }
+  ::close(fd);
+  return path;
 }
 
 }  // namespace
@@ -64,32 +142,47 @@ int main() {
       {"dblp", xflux::GenerateDblp(
                    xflux::DblpOptionsForBytes(xflux::bench::DblpBytes()))},
   };
-  const size_t kChunks[] = {64, 4096, 1024 * 1024};
+  // (feed, chunk) pairs per document; chunk 0 means "whole file".
+  struct FeedPoint {
+    FeedKind feed;
+    size_t chunk;
+  };
+  const FeedPoint kPoints[] = {
+      {FeedKind::kCopied, 64},          {FeedKind::kCopied, 4096},
+      {FeedKind::kCopied, 64 * 1024},   {FeedKind::kCopied, 1024 * 1024},
+      {FeedKind::kAdopted, 64 * 1024},  {FeedKind::kAdopted, 1024 * 1024},
+      {FeedKind::kMapped, 0},
+  };
   const char* simd_kind = xflux::scan::SimdKind();
 
   std::printf("Tokenizer ingest throughput (simd=%s)\n", simd_kind);
-  std::printf("%-7s %9s %-7s %9s %11s %10s %9s %9s\n", "doc", "chunk", "mode",
-              "MB/s", "events/s", "aliased", "copied", "taghit%");
+  std::printf("%-7s %-8s %9s %-7s %9s %11s %10s %9s %10s %9s\n", "doc",
+              "feed", "chunk", "mode", "MB/s", "events/s", "aliased",
+              "copied", "spliced", "taghit%");
   xflux::bench::BenchReport report("parse");
   for (Doc& doc : docs) {
-    for (size_t chunk : kChunks) {
+    std::string path = WriteTempDoc(doc.text);
+    for (const FeedPoint& point : kPoints) {
       for (int scalar = 0; scalar <= 1; ++scalar) {
         xflux::scan::SetForceScalar(scalar != 0);
-        RunResult r = RunBest(doc.text, chunk);
+        RunResult r = RunBest(doc.text, point.chunk, point.feed, path);
         const char* mode = scalar != 0 ? "scalar" : "simd";
         double mb_per_s = doc.text.size() / r.seconds / 1e6;
         double events_per_s = r.events / r.seconds;
         double lookups = static_cast<double>(r.stats.tag_cache_hits +
                                              r.stats.tag_cache_misses);
-        std::printf("%-7s %9zu %-7s %9.1f %10.1fM %10llu %9llu %8.1f%%\n",
-                    doc.name, chunk, mode, mb_per_s, events_per_s / 1e6,
-                    static_cast<unsigned long long>(r.stats.aliased_texts),
-                    static_cast<unsigned long long>(r.stats.copied_texts),
-                    lookups > 0 ? 100.0 * r.stats.tag_cache_hits / lookups
-                                : 0.0);
+        std::printf(
+            "%-7s %-8s %9zu %-7s %9.1f %10.1fM %10llu %9llu %10llu %8.1f%%\n",
+            doc.name, FeedName(point.feed), point.chunk, mode, mb_per_s,
+            events_per_s / 1e6,
+            static_cast<unsigned long long>(r.stats.aliased_texts),
+            static_cast<unsigned long long>(r.stats.copied_texts),
+            static_cast<unsigned long long>(r.stats.splice_bytes),
+            lookups > 0 ? 100.0 * r.stats.tag_cache_hits / lookups : 0.0);
         xflux::JsonWriter row = xflux::JsonWriter::Object();
         row.Field("document", doc.name);
-        row.Field("chunk_bytes", static_cast<uint64_t>(chunk));
+        row.Field("feed", FeedName(point.feed));
+        row.Field("chunk_bytes", static_cast<uint64_t>(point.chunk));
         row.Field("mode", mode);
         row.Field("simd_kind", scalar != 0 ? "scalar" : simd_kind);
         row.Field("doc_bytes", static_cast<uint64_t>(doc.text.size()));
@@ -99,6 +192,9 @@ int main() {
         row.Field("events_per_s", events_per_s);
         row.Field("bytes_scanned", r.stats.bytes_scanned);
         row.Field("chunk_allocs", r.stats.chunk_allocs);
+        row.Field("chunk_adoptions", r.stats.chunk_adoptions);
+        row.Field("adopted_bytes", r.stats.adopted_bytes);
+        row.Field("splice_bytes", r.stats.splice_bytes);
         row.Field("compactions", r.stats.compactions);
         row.Field("aliased_texts", r.stats.aliased_texts);
         row.Field("copied_texts", r.stats.copied_texts);
@@ -108,6 +204,7 @@ int main() {
         report.AddRow(std::move(row));
       }
     }
+    ::unlink(path.c_str());
   }
   xflux::scan::SetForceScalar(false);
   report.Write();

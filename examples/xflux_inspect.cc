@@ -44,6 +44,15 @@
 //
 //   $ ./xflux_inspect --serve-stats=BENCH_serve.json
 //
+// --file=PATH bulk-ingests the document through the zero-copy file path
+// (DESIGN.md section 12): regular files are mmap'd and scanned in place
+// as adopted chunks, pipes stream through adopted heap chunks.  The
+// report adds the ingest-side counters — windows mapped, bytes adopted,
+// and how few boundary bytes were spliced.  Incompatible with --inject
+// (which needs the token stream up front).
+//
+//   $ ./xflux_inspect --file=dblp.xml 'count(X//item)'
+//
 // The generated XMark document defaults to ~1 MiB; set XFLUX_BENCH_MB to
 // scale it like the bench binaries do.
 
@@ -55,6 +64,7 @@
 #include "bench/bench_util.h"
 #include "data/generators.h"
 #include "testing/fault_injector.h"
+#include "xml/file_source.h"
 #include "xml/sax_parser.h"
 #include "xquery/engine.h"
 #include "xquery/plan.h"
@@ -190,6 +200,7 @@ int main(int argc, char** argv) {
   std::string inject_spec;
   std::string queries_path;
   std::string serve_stats_path;
+  std::string file_path;
   bool server_mode = false;
   bool explain = false;
   uint64_t seed = 1;
@@ -212,11 +223,13 @@ int main(int argc, char** argv) {
       queries_path = arg.substr(10);
     } else if (arg.rfind("--serve-stats=", 0) == 0) {
       serve_stats_path = arg.substr(14);
+    } else if (arg.rfind("--file=", 0) == 0) {
+      file_path = arg.substr(7);
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr,
                    "unknown flag %s (want --guard= --inject= --seed= "
                    "--threads= --server --queries= --explain "
-                   "--serve-stats=)\n",
+                   "--serve-stats= --file=)\n",
                    arg.c_str());
       return 1;
     } else {
@@ -225,6 +238,12 @@ int main(int argc, char** argv) {
   }
   if (!serve_stats_path.empty()) {
     return RenderServeStats(serve_stats_path);
+  }
+  if (!file_path.empty() && (server_mode || !inject_spec.empty())) {
+    std::fprintf(stderr,
+                 "--file= streams the document zero-copy and cannot be "
+                 "combined with --server or --inject\n");
+    return 1;
   }
   if (server_mode) {
     std::vector<std::string> queries = LoadQueries(queries_path);
@@ -323,14 +342,16 @@ int main(int argc, char** argv) {
                           : "X//europe//item[location=\"Albania\"]/quantity";
 
   std::string document;
-  if (positional.size() > 1) {
-    if (!ReadFile(positional[1], &document)) {
-      std::fprintf(stderr, "cannot read %s\n", positional[1]);
-      return 1;
+  if (file_path.empty()) {
+    if (positional.size() > 1) {
+      if (!ReadFile(positional[1], &document)) {
+        std::fprintf(stderr, "cannot read %s\n", positional[1]);
+        return 1;
+      }
+    } else {
+      document = xflux::GenerateXmark(
+          xflux::XmarkOptionsForBytes(xflux::bench::XmarkBytes() / 2));
     }
-  } else {
-    document = xflux::GenerateXmark(
-        xflux::XmarkOptionsForBytes(xflux::bench::XmarkBytes() / 2));
   }
 
   xflux::QuerySession::Options options;
@@ -376,6 +397,7 @@ int main(int argc, char** argv) {
   }
 
   double seconds;
+  size_t ingested_bytes = document.size();
   xflux::FaultCounts fault_counts;
   if (!inject_spec.empty()) {
     // Mutate the token stream, then drive the session event-by-event —
@@ -399,6 +421,46 @@ int main(int argc, char** argv) {
                      session.value()->status().ToString().c_str());
       }
     });
+  } else if (!file_path.empty()) {
+    // Zero-copy bulk ingest: mmap'd (or chunked, for pipes) adopted chunks
+    // scanned in place, driving the session's pipeline directly.
+    xflux::PipelineSource source(session.value()->pipeline());
+    xflux::SaxParser::Options popt;
+    popt.stream_id = session.value()->source_id();
+    popt.errors = session.value()->pipeline()->context()->errors();
+    xflux::SaxParser parser(popt, &source);
+    xflux::FileIngestReport report;
+    bool file_unreadable = false;
+    seconds = xflux::bench::Time([&] {
+      auto ingested = xflux::IngestFile(file_path, &parser);
+      xflux::Status st =
+          ingested.ok() ? parser.Finish() : ingested.status();
+      session.value()->Finish();  // always drain, even on parse failure
+      if (st.ok()) {
+        report = ingested.value();
+      } else {
+        file_unreadable = !ingested.ok();
+        std::fprintf(stderr, "run failed: %s\n", st.ToString().c_str());
+      }
+    });
+    // An unreadable file is a usage error (rc 1, like the positional
+    // file arg); a parse failure still reports the partial session.
+    if (file_unreadable) return 1;
+    ingested_bytes = report.bytes;
+    const auto& is = parser.ingest_stats();
+    std::printf("ingest  : %s, %llu chunks, %llu adopted bytes, "
+                "%llu spliced (%.3f%%), %llu aliased / %llu copied / "
+                "%llu inlined texts\n",
+                report.mapped ? "mmap" : "chunked read",
+                (unsigned long long)report.chunks,
+                (unsigned long long)is.adopted_bytes,
+                (unsigned long long)is.splice_bytes,
+                report.bytes > 0
+                    ? 100.0 * is.splice_bytes / report.bytes
+                    : 0.0,
+                (unsigned long long)is.aliased_texts,
+                (unsigned long long)is.copied_texts,
+                (unsigned long long)is.inlined_texts);
   } else {
     seconds = xflux::bench::Time([&] {
       auto status = session.value()->PushDocument(document);
@@ -414,10 +476,10 @@ int main(int argc, char** argv) {
   if (text.size() > 160) text = text.substr(0, 157) + "...";
 
   std::printf("query   : %s\n", query);
-  std::printf("document: %.1f KiB\n", document.size() / 1024.0);
+  std::printf("document: %.1f KiB\n", ingested_bytes / 1024.0);
   std::printf("answer  : %s\n", text.c_str());
   std::printf("time    : %.1f ms (%.1f MB/s, instrumented)\n\n",
-              seconds * 1e3, document.size() / seconds / 1e6);
+              seconds * 1e3, ingested_bytes / seconds / 1e6);
   if (!inject_spec.empty()) {
     std::printf(
         "injected: %llu faults (seed %llu: %llu drop, %llu dup, %llu swap, "

@@ -30,17 +30,16 @@ class DirectBackend : public SessionBackend {
         max_token_bytes_(max_token_bytes) {}
 
   Status FeedXml(std::string_view chunk) override {
-    if (parser_ == nullptr) {
-      SaxParser::Options o;
-      o.stream_id = session_->source_id();
-      o.errors = session_->pipeline()->context()->errors();
-      // The session's resource envelope bounds the tokenizer too: a
-      // never-closing tag fails with kResourceExhausted instead of
-      // buffering without limit.
-      o.max_token_bytes = max_token_bytes_;
-      parser_ = std::make_unique<SaxParser>(o, &source_);
-    }
+    EnsureParser();
     return parser_->Feed(chunk);
+  }
+
+  Status FeedXml(StableChunk chunk) override {
+    // Same parser, same resource envelope: the adopted path differs only
+    // in scanning the frame payload in place.
+    EnsureParser();
+    size_t size = chunk.capacity();
+    return parser_->Feed(std::move(chunk), size);
   }
 
   Status FeedEvents(const EventVec& events) override {
@@ -65,6 +64,18 @@ class DirectBackend : public SessionBackend {
   Metrics* metrics() override { return session_->metrics(); }
 
  private:
+  void EnsureParser() {
+    if (parser_ != nullptr) return;
+    SaxParser::Options o;
+    o.stream_id = session_->source_id();
+    o.errors = session_->pipeline()->context()->errors();
+    // The session's resource envelope bounds the tokenizer too: a
+    // never-closing tag fails with kResourceExhausted instead of
+    // buffering without limit.
+    o.max_token_bytes = max_token_bytes_;
+    parser_ = std::make_unique<SaxParser>(o, &source_);
+  }
+
   std::unique_ptr<QuerySession> session_;
   PipelineSource source_;
   std::unique_ptr<SaxParser> parser_;
@@ -113,16 +124,14 @@ class ChannelBackend : public SessionBackend {
         max_token_bytes_(max_token_bytes) {}
 
   Status FeedXml(std::string_view chunk) override {
-    XFLUX_RETURN_IF_ERROR(ClaimFeeder());
-    if (channel_->parser == nullptr) {
-      channel_->sink = std::make_unique<QueryServerSink>(&channel_->qserver);
-      SaxParser::Options o;
-      o.stream_id = channel_->qserver.source_id();
-      o.max_token_bytes = max_token_bytes_;
-      channel_->parser = std::make_unique<SaxParser>(o, channel_->sink.get());
-    }
-    channel_->streaming = true;
+    XFLUX_RETURN_IF_ERROR(PrepareXmlFeed());
     return channel_->parser->Feed(chunk);
+  }
+
+  Status FeedXml(StableChunk chunk) override {
+    XFLUX_RETURN_IF_ERROR(PrepareXmlFeed());
+    size_t size = chunk.capacity();
+    return channel_->parser->Feed(std::move(chunk), size);
   }
 
   Status FeedEvents(const EventVec& events) override {
@@ -150,6 +159,19 @@ class ChannelBackend : public SessionBackend {
   Metrics* metrics() override { return handle_->metrics(); }
 
  private:
+  Status PrepareXmlFeed() {
+    XFLUX_RETURN_IF_ERROR(ClaimFeeder());
+    if (channel_->parser == nullptr) {
+      channel_->sink = std::make_unique<QueryServerSink>(&channel_->qserver);
+      SaxParser::Options o;
+      o.stream_id = channel_->qserver.source_id();
+      o.max_token_bytes = max_token_bytes_;
+      channel_->parser = std::make_unique<SaxParser>(o, channel_->sink.get());
+    }
+    channel_->streaming = true;
+    return Status::OK();
+  }
+
   Status ClaimFeeder() {
     if (channel_->feeder_session == 0)
       channel_->feeder_session = session_id_;

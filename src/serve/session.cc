@@ -69,7 +69,7 @@ ServeSession::~ServeSession() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-Status ServeSession::HandleFrame(const Frame& frame) {
+Status ServeSession::HandleFrame(Frame& frame) {
   switch (state_) {
     case State::kAwaitOpen:
       if (frame.type != FrameType::kOpen)
@@ -127,7 +127,7 @@ Status ServeSession::HandleOpen(const Frame& frame) {
   return Status::OK();
 }
 
-Status ServeSession::HandleFeed(const Frame& frame) {
+Status ServeSession::HandleFeed(Frame& frame) {
   FeedMode mode = frame.type == FrameType::kFeedXml ? FeedMode::kXml
                                                     : FeedMode::kEvents;
   if (feed_mode_ == FeedMode::kNone) {
@@ -140,7 +140,17 @@ Status ServeSession::HandleFeed(const Frame& frame) {
   }
   Status fed;
   if (mode == FeedMode::kXml) {
-    fed = backend_->FeedXml(frame.payload);
+    // A complete FEED payload is already its own buffer; adoption-sized
+    // ones move to the backend as adopted chunks so the parser scans them
+    // in place instead of copying them into its window.  Small frames
+    // keep the copy path (adoption bookkeeping costs more than the copy).
+    constexpr size_t kAdoptFeedBytes = 8 * 1024;
+    if (frame.payload.size() >= kAdoptFeedBytes) {
+      fed = backend_->FeedXml(
+          StableChunk::AdoptString(std::move(frame.payload)));
+    } else {
+      fed = backend_->FeedXml(std::string_view(frame.payload));
+    }
   } else {
     EventVec events;
     fed = DecodeEvents(frame.payload, &events);

@@ -34,6 +34,7 @@
 #include "serve/frame.h"
 #include "util/metrics.h"
 #include "util/status.h"
+#include "util/text_ref.h"
 
 namespace xflux::serve {
 
@@ -42,6 +43,11 @@ class SessionBackend {
  public:
   virtual ~SessionBackend() = default;
   virtual Status FeedXml(std::string_view chunk) = 0;
+  /// Zero-copy feed: a complete FEED payload handed over as an adopted
+  /// chunk, scanned in place by the backend's parser.  Must enforce the
+  /// same admission limits (max_token_bytes et al.) as the copying
+  /// overload.
+  virtual Status FeedXml(StableChunk chunk) = 0;
   virtual Status FeedEvents(const EventVec& events) = 0;
   /// End of input: closes truncated regions, settles the answer.
   virtual Status Finish() = 0;
@@ -118,8 +124,10 @@ class ServeSession {
   /// violation (wrong state, wrong direction): the server answers with a
   /// final kError and closes.  Query-level failures are handled in-band —
   /// the session emits its own error frame and moves to kFinished — and
-  /// return OK here.
-  Status HandleFrame(const Frame& frame);
+  /// return OK here.  The frame is mutable so a bulk FEED payload can move
+  /// to the backend as an adopted chunk instead of being copied; only
+  /// frame.type is meaningful afterwards.
+  Status HandleFrame(Frame& frame);
 
   // -- delta push path --
   bool dirty() const { return dirty_; }
@@ -151,7 +159,7 @@ class ServeSession {
 
  private:
   Status HandleOpen(const Frame& frame);
-  Status HandleFeed(const Frame& frame);
+  Status HandleFeed(Frame& frame);
   void HandleFinish();
 
   uint64_t id_;

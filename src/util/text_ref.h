@@ -33,6 +33,7 @@
 #include <cstdint>
 #include <cstring>
 #include <new>
+#include <string>
 #include <string_view>
 #include <utility>
 
@@ -44,16 +45,64 @@ namespace xflux {
 /// one chunk per input window and hands out TextRef slices into it; the
 /// chunk's storage never moves or shrinks, so slice views stay valid for
 /// as long as any reference (parser handle or slice) is alive.
+///
+/// A chunk either owns its storage (Allocate: the bytes trail the refcount
+/// header in one allocation) or adopts foreign storage (Adopt: the bytes
+/// belong to the caller — a heap buffer, an mmap'd file window — and a
+/// type-erased deleter runs exactly once when the last reference drops).
+/// Adopted chunks carry a small writable sidecar arena next to the header
+/// so the tokenizer can still bump-allocate embedded slice reps without
+/// writing into memory it does not own.
 class StableChunk {
  public:
+  /// Destruction callback for adopted storage.  Runs exactly once, when
+  /// the last reference (chunk handle or TextRef slice) drops; it receives
+  /// the original data pointer and size, e.g. to munmap or delete.
+  using Deleter = void (*)(void* user, const char* data, size_t size);
+
   StableChunk() = default;
 
   static StableChunk Allocate(size_t capacity) {
     XFLUX_CHECK(capacity > 0 && capacity <= UINT32_MAX);
     void* mem = ::operator new(sizeof(Rep) + capacity);
-    Rep* rep = new (mem)
-        Rep{std::atomic<uint32_t>(1), static_cast<uint32_t>(capacity)};
+    Rep* rep = new (mem) Rep{std::atomic<uint32_t>(1),
+                             static_cast<uint32_t>(capacity),
+                             reinterpret_cast<char*>(mem) + sizeof(Rep),
+                             /*deleter=*/nullptr, /*user=*/nullptr,
+                             /*sidecar=*/0};
     return StableChunk(rep);
+  }
+
+  /// Wraps `size` caller-owned bytes at `data` without copying.  The bytes
+  /// must stay valid and immutable until `deleter` runs (when the last
+  /// reference drops); a null deleter means the caller guarantees the
+  /// storage outlives every reference (e.g. a bench scanning a live
+  /// std::string in place).  `sidecar_bytes` sizes the writable header
+  /// arena (SIZE_MAX picks a default proportional to `size`).
+  static StableChunk Adopt(const char* data, size_t size, Deleter deleter,
+                           void* user, size_t sidecar_bytes = SIZE_MAX) {
+    XFLUX_CHECK(data != nullptr && size > 0 && size <= UINT32_MAX);
+    if (sidecar_bytes == SIZE_MAX) sidecar_bytes = DefaultSidecarBytes(size);
+    sidecar_bytes &= ~size_t{7};
+    void* mem = ::operator new(sizeof(Rep) + sidecar_bytes);
+    Rep* rep = new (mem) Rep{std::atomic<uint32_t>(1),
+                             static_cast<uint32_t>(size), data, deleter, user,
+                             static_cast<uint32_t>(sidecar_bytes)};
+    return StableChunk(rep);
+  }
+
+  /// Adopts a std::string's buffer: the string is moved to the heap and
+  /// freed when the last reference drops.  Empty strings yield the invalid
+  /// chunk.
+  static StableChunk AdoptString(std::string&& s) {
+    if (s.empty()) return StableChunk();
+    auto* owned = new std::string(std::move(s));
+    return Adopt(
+        owned->data(), owned->size(),
+        [](void* user, const char*, size_t) {
+          delete static_cast<std::string*>(user);
+        },
+        owned);
   }
 
   StableChunk(const StableChunk& other) : rep_(other.rep_) {
@@ -71,15 +120,30 @@ class StableChunk {
   bool valid() const { return rep_ != nullptr; }
   size_t capacity() const { return rep_ == nullptr ? 0 : rep_->capacity; }
 
-  const char* data() const {
-    return rep_ == nullptr ? nullptr
-                           : reinterpret_cast<const char*>(rep_) + sizeof(Rep);
-  }
+  const char* data() const { return rep_ == nullptr ? nullptr : rep_->data; }
   /// Writable storage.  The owner appends into not-yet-published bytes
-  /// only; bytes already referenced by slices are immutable.
+  /// only; bytes already referenced by slices are immutable.  Adopted
+  /// storage is never writable (it may be a read-only mapping).
   char* mutable_data() {
+    if (rep_ == nullptr) return nullptr;
+    XFLUX_CHECK(owns_storage());
+    return reinterpret_cast<char*>(rep_) + sizeof(Rep);
+  }
+
+  /// False for adopted chunks: the bytes belong to the caller (and may be
+  /// read-only), so the tokenizer must not write into or recycle them.
+  bool owns_storage() const {
+    return rep_ != nullptr && rep_->data == reinterpret_cast<const char*>(rep_) + sizeof(Rep);
+  }
+
+  /// Writable header arena carried alongside adopted storage (zero-sized
+  /// for owned chunks, which embed headers in the data region instead).
+  char* sidecar_data() {
     return rep_ == nullptr ? nullptr
                            : reinterpret_cast<char*>(rep_) + sizeof(Rep);
+  }
+  size_t sidecar_capacity() const {
+    return rep_ == nullptr ? 0 : rep_->sidecar;
   }
 
   /// Number of handles (chunk handles + slices) sharing this buffer.  An
@@ -99,8 +163,28 @@ class StableChunk {
   struct Rep {
     std::atomic<uint32_t> refs;
     uint32_t capacity;
-    // Followed in the same allocation by `capacity` bytes of storage.
+    const char* data;  // trailing storage (owned) or foreign bytes (adopted)
+    Deleter deleter;   // runs once at last release; null for owned chunks
+    void* user;
+    uint32_t sidecar;  // trailing header-arena bytes (adopted chunks)
+    // Followed in the same allocation by `capacity` bytes of storage
+    // (owned) or `sidecar` bytes of slice-header arena (adopted).
   };
+  static_assert(sizeof(Rep) % 8 == 0,
+                "trailing storage must stay 8-aligned for embedded reps");
+
+  /// Default sidecar sizing for adopted chunks: enough embedded headers
+  /// for dense markup (XMark/DBLP run one aliased text per ~45-55 payload
+  /// bytes, and a SliceRep is 24 bytes, so headers can approach half the
+  /// payload).  Matching the owned path's 2x-window headroom keeps the
+  /// adopted path off the per-text heap fallback; the sidecar is
+  /// transient — it is freed with the chunk.
+  static size_t DefaultSidecarBytes(size_t size) {
+    size_t bytes = size / 2 + size / 8;
+    if (bytes < 4096) bytes = 4096;
+    if (bytes > (48u << 20)) bytes = 48u << 20;
+    return bytes;
+  }
 
   explicit StableChunk(Rep* rep) : rep_(rep) {}
 
@@ -110,6 +194,9 @@ class StableChunk {
   static void Release(Rep* rep) {
     if (rep != nullptr &&
         rep->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      if (rep->deleter != nullptr) {
+        rep->deleter(rep->user, rep->data, rep->capacity);
+      }
       rep->~Rep();
       ::operator delete(rep);
     }
@@ -350,10 +437,17 @@ inline TextRef TextRef::EmbeddedSlice(const StableChunk& chunk,
   if (size == 0) return TextRef();
   XFLUX_CHECK(chunk.valid() && data >= chunk.data() &&
               data + size <= chunk.data() + chunk.capacity());
+  // The rep must live in storage that dies with the chunk: the data region
+  // of an owned chunk, or the sidecar arena of an adopted one.
+  const char* storage = static_cast<const char*>(rep_storage);
+  const char* sidecar =
+      reinterpret_cast<const char*>(chunk.rep_) + sizeof(StableChunk::Rep);
   XFLUX_CHECK(reinterpret_cast<uintptr_t>(rep_storage) % 8 == 0 &&
-              static_cast<const char*>(rep_storage) >= chunk.data() &&
-              static_cast<const char*>(rep_storage) + sizeof(SliceRep) <=
-                  chunk.data() + chunk.capacity());
+              ((storage >= chunk.data() &&
+                storage + sizeof(SliceRep) <=
+                    chunk.data() + chunk.capacity()) ||
+               (storage >= sidecar &&
+                storage + sizeof(SliceRep) <= sidecar + chunk.rep_->sidecar)));
   SliceRep* rep = new (rep_storage) SliceRep{std::atomic<uint32_t>(1),
                                              static_cast<uint32_t>(size),
                                              data, chunk.rep_};

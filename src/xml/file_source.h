@@ -1,0 +1,141 @@
+// Bulk document ingest from files and pipes (DESIGN.md Section 12).
+//
+// MappedFileSource mmaps a regular file and hands out adopted StableChunks
+// over the mapping, so SaxParser::Feed(StableChunk) scans the page cache in
+// place — no read() copy, no window copy-in.  Each window is an independent
+// mapping whose unmap is the chunk's deleter: TextRef slices that alias the
+// window keep exactly that window mapped (not the whole file) until the
+// last slice drops.  Huge files stream as a sequence of windows; mmap
+// failure (filesystem without mmap support, resource limits) degrades to a
+// pread-into-heap fallback with identical parse results.
+//
+// ChunkedFileSource covers the non-seekable cases (pipes, FIFOs, sockets,
+// /dev/stdin): it reads into heap buffers that are adopted the same way.
+//
+// IngestFile() picks the right source for a path and drives a parser to
+// end-of-file (without calling Finish(), so callers may keep feeding).
+
+#ifndef XFLUX_XML_FILE_SOURCE_H_
+#define XFLUX_XML_FILE_SOURCE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+#include "util/text_ref.h"
+#include "xml/sax_parser.h"
+
+namespace xflux {
+
+/// Streams a regular file as adopted chunks over mmap'd windows.
+class MappedFileSource {
+ public:
+  struct Options {
+    /// Bytes per mapped window; rounded up to the page size.  Files larger
+    /// than one window are remapped window by window (each an independent
+    /// mapping, unmapped when its last reference drops).
+    size_t window_bytes = 64u << 20;
+    /// Test hook: pretend mmap is unavailable and use the pread fallback.
+    bool allow_mmap = true;
+  };
+
+  /// Opens `path` (must be a regular, non-empty-capable file).
+  static StatusOr<MappedFileSource> Open(const std::string& path,
+                                         const Options& options);
+  static StatusOr<MappedFileSource> Open(const std::string& path) {
+    return Open(path, Options());
+  }
+
+  MappedFileSource() = default;
+  MappedFileSource(MappedFileSource&& other) noexcept { *this = std::move(other); }
+  MappedFileSource& operator=(MappedFileSource&& other) noexcept;
+  MappedFileSource(const MappedFileSource&) = delete;
+  MappedFileSource& operator=(const MappedFileSource&) = delete;
+  ~MappedFileSource();
+
+  /// The next window as an adopted chunk, or the invalid chunk at EOF.
+  /// The chunk (and any TextRef slice into it) keeps its window mapped —
+  /// independent of this source and of the parser it is fed to.
+  StatusOr<StableChunk> Next();
+
+  size_t file_bytes() const { return file_bytes_; }
+  /// Windows handed out so far via mmap / via the pread fallback.
+  uint64_t mapped_windows() const { return mapped_windows_; }
+  uint64_t fallback_windows() const { return fallback_windows_; }
+
+ private:
+  int fd_ = -1;
+  size_t file_bytes_ = 0;
+  size_t offset_ = 0;
+  size_t window_bytes_ = 0;
+  bool allow_mmap_ = true;
+  uint64_t mapped_windows_ = 0;
+  uint64_t fallback_windows_ = 0;
+};
+
+/// Streams a non-seekable fd (pipe, FIFO, socket, tty) as adopted heap
+/// chunks.  Also works on regular files; MappedFileSource is faster there.
+class ChunkedFileSource {
+ public:
+  struct Options {
+    /// Target bytes per chunk; reads accumulate until the buffer fills or
+    /// EOF, so pipes still produce adoption-sized chunks.
+    size_t chunk_bytes = 256u << 10;
+  };
+
+  static StatusOr<ChunkedFileSource> Open(const std::string& path,
+                                          const Options& options);
+  static StatusOr<ChunkedFileSource> Open(const std::string& path) {
+    return Open(path, Options());
+  }
+  /// Wraps an existing descriptor.  When `owns_fd`, the source closes it.
+  static ChunkedFileSource FromFd(int fd, bool owns_fd,
+                                  const Options& options);
+  static ChunkedFileSource FromFd(int fd, bool owns_fd) {
+    return FromFd(fd, owns_fd, Options());
+  }
+
+  ChunkedFileSource() = default;
+  ChunkedFileSource(ChunkedFileSource&& other) noexcept { *this = std::move(other); }
+  ChunkedFileSource& operator=(ChunkedFileSource&& other) noexcept;
+  ChunkedFileSource(const ChunkedFileSource&) = delete;
+  ChunkedFileSource& operator=(const ChunkedFileSource&) = delete;
+  ~ChunkedFileSource();
+
+  /// The next filled chunk, or the invalid chunk at EOF.
+  StatusOr<StableChunk> Next();
+
+ private:
+  int fd_ = -1;
+  bool owns_fd_ = false;
+  bool eof_ = false;
+  size_t chunk_bytes_ = 0;
+};
+
+struct FileIngestOptions {
+  MappedFileSource::Options mapped;
+  ChunkedFileSource::Options chunked;
+};
+
+/// Counters for one IngestFile run.
+struct FileIngestReport {
+  uint64_t bytes = 0;
+  uint64_t chunks = 0;
+  bool mapped = false;  // true when the mmap source served the file
+};
+
+/// Feeds the whole of `path` into `parser`: mmap'd windows for regular
+/// files, chunked reads for pipes and other non-seekable inputs.  Does not
+/// call parser->Finish().
+StatusOr<FileIngestReport> IngestFile(const std::string& path,
+                                      SaxParser* parser,
+                                      const FileIngestOptions& options);
+inline StatusOr<FileIngestReport> IngestFile(const std::string& path,
+                                             SaxParser* parser) {
+  return IngestFile(path, parser, FileIngestOptions());
+}
+
+}  // namespace xflux
+
+#endif  // XFLUX_XML_FILE_SOURCE_H_

@@ -95,6 +95,19 @@ TextRef SaxParser::MakeText(std::string_view raw_in_chunk) {
   if (raw_in_chunk.empty()) return TextRef();
   if (raw_in_chunk.size() >= options_.min_alias_bytes) {
     ++stats_.aliased_texts;
+    if (window_foreign_) {
+      // Adopted storage is not ours to write: headers bump-allocate from
+      // the chunk's sidecar arena (same lifetime — reclaimed with the
+      // chunk), overflowing to heap reps if the arena fills.
+      if (sidecar_used_ + TextRef::kSliceRepBytes <=
+          chunk_.sidecar_capacity()) {
+        void* storage = chunk_.sidecar_data() + sidecar_used_;
+        sidecar_used_ += TextRef::kSliceRepBytes;
+        return TextRef::EmbeddedSlice(chunk_, storage, raw_in_chunk.data(),
+                                      raw_in_chunk.size());
+      }
+      return TextRef::Slice(chunk_, raw_in_chunk.data(), raw_in_chunk.size());
+    }
     // Carve the slice header from the top of the window itself — the
     // common case costs a bump-pointer, not a malloc.  A full arena (the
     // window caught up with the carved headers) falls back to a heap rep.
@@ -116,25 +129,46 @@ TextRef SaxParser::MakeText(std::string_view raw_in_chunk) {
 }
 
 void SaxParser::EnsureWindow(size_t incoming) {
-  if (chunk_.valid() && written_ + incoming <= arena_floor_) return;
+  const bool foreign = window_foreign_;
+  if (!foreign && chunk_.valid() && written_ + incoming <= arena_floor_) {
+    return;
+  }
   if (!chunk_.valid() && incoming == 0) return;
   // The in-chunk text run cannot survive a move of the window; park it in
   // the owned spill.  Only the incomplete markup tail stays live.
+  size_t run = pos_ - text_start_;
   SpillTextRun();
   size_t tail = written_ - pos_;
   size_t need = tail + incoming;
-  if (chunk_.valid() && chunk_.use_count() == 1 && chunk_.capacity() >= need) {
+  if (!foreign && chunk_.valid() && chunk_.use_count() == 1 &&
+      chunk_.capacity() >= need) {
     // Sole owner: no slices pin these bytes, so reuse the storage in place.
     if (pos_ > 0 && tail > 0) {
       std::memmove(chunk_.mutable_data(), chunk_.data() + pos_, tail);
     }
     ++stats_.compactions;
   } else {
-    StableChunk fresh =
-        StableChunk::Allocate(std::max(kMinChunkBytes, NextPow2(need)));
+    // An adopted window is never compacted (the bytes are not ours): its
+    // unconsumed tail is spliced into an owned window instead.
+    StableChunk fresh;
+    if (spare_.valid() && spare_.use_count() == 1 &&
+        spare_.capacity() >= need) {
+      fresh = std::move(spare_);
+    } else {
+      fresh = StableChunk::Allocate(std::max(kMinChunkBytes, NextPow2(need)));
+      ++stats_.chunk_allocs;
+    }
     if (tail > 0) std::memcpy(fresh.mutable_data(), chunk_.data() + pos_, tail);
+    if (foreign) stats_.splice_bytes += tail + run;
+    if (!foreign && chunk_.valid()) {
+      // Park the replaced window even if in-flight events still pin it:
+      // by the next replacement the batch has flushed and the reuse check
+      // (sole ownership) usually passes — steady-state streaming then
+      // cycles one scratch window instead of allocating per boundary.
+      spare_ = std::move(chunk_);
+    }
     chunk_ = std::move(fresh);
-    ++stats_.chunk_allocs;
+    window_foreign_ = false;
   }
   written_ = tail;
   pos_ = 0;
@@ -173,6 +207,93 @@ Status SaxParser::Feed(std::string_view chunk) {
   // (callers observe the display between chunks).
   FlushBatch();
   return Latch(std::move(status));
+}
+
+Status SaxParser::Feed(StableChunk chunk, size_t size) {
+  XFLUX_CHECK(size <= chunk.capacity());
+  if (!chunk.valid() || size == 0) return Feed(std::string_view());
+  if (size < options_.adopt_min_bytes) {
+    // Below the adoption threshold the copy-in path wins: it keeps PR 9's
+    // cache-resident pinned window and skips per-chunk boundary splicing.
+    return Feed(std::string_view(chunk.data(), size));
+  }
+  if (!error_.ok()) return error_;
+  if (finished_) return Status::InvalidArgument("Feed after Finish");
+  if (!started_) {
+    started_ = true;
+    if (options_.emit_stream_brackets) {
+      Emit(Event::StartStream(options_.stream_id));
+    }
+  }
+  Status status;
+  // A markup token the previous feed left incomplete cannot be parsed
+  // across two buffers; complete it by copy — the splice.  Bytes drip from
+  // the adopted chunk into the owned window in small steps until the
+  // window drains (text always consumes to the window end, so a non-empty
+  // unconsumed tail is always markup).
+  constexpr size_t kSpliceStep = 256;
+  size_t offset = 0;
+  // The drain ends when every byte of the *previous* feed is consumed —
+  // the straddling token completed — not when the window is fully
+  // consumed: a splice step usually ends mid-token itself, and chasing
+  // that tail would drain the whole chunk by copy.
+  size_t old_remaining = written_ - pos_;
+  while (status.ok() && old_remaining > 0 && offset < size) {
+    size_t n = std::min(kSpliceStep, size - offset);
+    EnsureWindow(n);
+    std::memcpy(chunk_.mutable_data() + written_, chunk.data() + offset, n);
+    written_ += n;
+    offset += n;
+    stats_.splice_bytes += n;
+    size_t tail_before = written_ - pos_;
+    status = Consume();
+    size_t consumed = tail_before - (written_ - pos_);
+    old_remaining -= std::min(old_remaining, consumed);
+  }
+  if (status.ok() && old_remaining == 0 && offset < size && pos_ < written_) {
+    // The last splice step itself ended mid-token.  Those unconsumed bytes
+    // are all from the new chunk (old_remaining is zero), so rewind them:
+    // they will be scanned in place instead.
+    size_t rewind = written_ - pos_;
+    written_ -= rewind;
+    offset -= rewind;
+    stats_.splice_bytes -= rewind;
+  }
+  if (status.ok() && offset < size) {
+    // Install the adopted chunk as the scan window and consume in place.
+    // Any text run in the old window spills (it cannot span windows); the
+    // old owned window is parked for reuse as the next splice buffer.
+    if (window_foreign_ && pos_ > text_start_) {
+      stats_.splice_bytes += pos_ - text_start_;
+    }
+    SpillTextRun();
+    if (!window_foreign_ && chunk_.valid()) {
+      // Parked even if still pinned by in-flight events; see EnsureWindow.
+      spare_ = std::move(chunk_);
+    }
+    chunk_ = std::move(chunk);
+    window_foreign_ = true;
+    sidecar_used_ = 0;
+    written_ = size;
+    pos_ = offset;
+    text_start_ = offset;
+    arena_floor_ = size;  // unused while foreign; reset on demotion
+    ++stats_.chunk_adoptions;
+    stats_.adopted_bytes += size - offset;
+    status = Consume();
+  }
+  FlushBatch();
+  return Latch(std::move(status));
+}
+
+Status SaxParser::MarkupTooBigError() const {
+  return Status::ResourceExhausted("markup token exceeds max_token_bytes=" +
+                                   std::to_string(options_.max_token_bytes));
+}
+
+Status SaxParser::TextTooBigError() const {
+  return Status::ResourceExhausted("character data exceeds max_token_bytes=" +
+                                   std::to_string(options_.max_token_bytes));
 }
 
 Status SaxParser::Finish() {
@@ -309,9 +430,7 @@ Status SaxParser::Consume() {
     if (!consumed.value()) {
       if (options_.max_token_bytes > 0 &&
           written_ - pos_ > options_.max_token_bytes) {
-        return Status::ResourceExhausted(
-            "markup token exceeds max_token_bytes=" +
-            std::to_string(options_.max_token_bytes));
+        return MarkupTooBigError();
       }
       return Status::OK();
     }
@@ -333,11 +452,19 @@ Status SaxParser::Consume() {
         if (options_.max_token_bytes > 0 &&
             pending_text_.size() + (pos - text_start_) >
                 options_.max_token_bytes) {
-          return Status::ResourceExhausted(
-              "character data exceeds max_token_bytes=" +
-              std::to_string(options_.max_token_bytes));
+          return TextTooBigError();
         }
         return Status::OK();
+      }
+      // The run's length is final (markup follows); bound it here so huge
+      // windows (adopted chunks) fail exactly like the same bytes dripped
+      // through the copy path's window-end check above.
+      if (options_.max_token_bytes > 0 &&
+          pending_text_.size() + (pos - text_start_) >
+              options_.max_token_bytes) {
+        pos_ = pos;
+        stats_.bytes_scanned += scanned;
+        return TextTooBigError();
       }
       continue;
     }
@@ -384,6 +511,11 @@ Status SaxParser::Consume() {
       }
       size_t end = gt - pos;  // '>' offset relative to pos
       scanned += end - 1;
+      if (TokenTooBig(end + 1)) {
+        pos_ = pos;
+        stats_.bytes_scanned += scanned;
+        return MarkupTooBigError();
+      }
       std::string_view name(data + pos + 2, end - 2);
       while (!name.empty() && scan::IsSpaceChar(name.back())) {
         name.remove_suffix(1);
@@ -433,6 +565,11 @@ Status SaxParser::Consume() {
                                   data[name_end + 1] == '>';
         if (simple || self_closing) {
           scanned += name_end + (simple ? 0 : 1) - pos;
+          if (TokenTooBig(name_end + (simple ? 1 : 2) - pos)) {
+            pos_ = pos;
+            stats_.bytes_scanned += scanned;
+            return MarkupTooBigError();
+          }
           pos_ = pos;
           if (pos != text_start_ || !pending_text_.empty()) {
             if (Status s = FlushText(); !s.ok()) {
@@ -485,6 +622,11 @@ Status SaxParser::Consume() {
         stats_.bytes_scanned += scanned;
         return Status::ParseError("'<' inside tag");
       }
+      if (TokenTooBig(end + 1)) {
+        pos_ = pos;
+        stats_.bytes_scanned += scanned;
+        return MarkupTooBigError();
+      }
       pos_ = pos;
       if (pos != text_start_ || !pending_text_.empty()) {
         if (Status s = FlushText(); !s.ok()) {
@@ -512,9 +654,7 @@ Status SaxParser::Consume() {
       // without bound ("<tag " followed by gigabytes of attribute noise).
       if (options_.max_token_bytes > 0 &&
           written_ - pos_ > options_.max_token_bytes) {
-        return Status::ResourceExhausted(
-            "markup token exceeds max_token_bytes=" +
-            std::to_string(options_.max_token_bytes));
+        return MarkupTooBigError();
       }
       return Status::OK();
     }
@@ -525,8 +665,7 @@ Status SaxParser::Consume() {
   stats_.bytes_scanned += scanned;
   if (pos < size && options_.max_token_bytes > 0 &&
       written_ - pos > options_.max_token_bytes) {
-    return Status::ResourceExhausted("markup token exceeds max_token_bytes=" +
-                                     std::to_string(options_.max_token_bytes));
+    return MarkupTooBigError();
   }
   return Status::OK();
 }
@@ -593,6 +732,7 @@ StatusOr<bool> SaxParser::ConsumeMarkup() {
         return false;
       }
       stats_.bytes_scanned += end + 3 - scan_done_;
+      if (TokenTooBig(end + 3)) return MarkupTooBigError();
       // Comments do not break a text run; park the prefix and continue.
       SpillTextRun();
       AdvanceToken(end + 3);
@@ -606,6 +746,7 @@ StatusOr<bool> SaxParser::ConsumeMarkup() {
         return false;
       }
       stats_.bytes_scanned += end + 3 - scan_done_;
+      if (TokenTooBig(end + 3)) return MarkupTooBigError();
       XFLUX_RETURN_IF_ERROR(FlushText());
       std::string_view literal = buf.substr(9, end - 9);
       if (open_elements_.empty() && !scan::AllWhitespace(literal)) {
@@ -627,6 +768,7 @@ StatusOr<bool> SaxParser::ConsumeMarkup() {
         if (c == ']') --doctype_depth_;
         if (c == '>' && doctype_depth_ == 0) {
           stats_.bytes_scanned += i + 1 - scan_done_;
+          if (TokenTooBig(i + 1)) return MarkupTooBigError();
           SpillTextRun();
           AdvanceToken(i + 1);
           return true;
@@ -645,6 +787,7 @@ StatusOr<bool> SaxParser::ConsumeMarkup() {
         return false;
       }
       stats_.bytes_scanned += end + 2 - scan_done_;
+      if (TokenTooBig(end + 2)) return MarkupTooBigError();
       SpillTextRun();
       AdvanceToken(end + 2);
       return true;
@@ -657,6 +800,7 @@ StatusOr<bool> SaxParser::ConsumeMarkup() {
         return false;
       }
       stats_.bytes_scanned += end + 1 - scan_done_;
+      if (TokenTooBig(end + 1)) return MarkupTooBigError();
       std::string_view name = buf.substr(2, end - 2);
       while (!name.empty() && scan::IsSpaceChar(name.back())) {
         name.remove_suffix(1);
@@ -696,6 +840,7 @@ StatusOr<bool> SaxParser::ConsumeMarkup() {
       if (buf[end] == '<') {
         return Status::ParseError("'<' inside tag");
       }
+      if (TokenTooBig(end + 1)) return MarkupTooBigError();
       XFLUX_RETURN_IF_ERROR(FlushText());
       XFLUX_RETURN_IF_ERROR(EmitStartTag(buf.substr(1, end - 1)));
       AdvanceToken(end + 1);

@@ -72,6 +72,13 @@ class SaxParser {
     /// either packs inline (<= TextRef::kInlineBytes) or is copied into an
     /// owned buffer.  SIZE_MAX disables aliasing entirely.
     size_t min_alias_bytes = 8;
+    /// Feed(StableChunk) scans chunks at least this large in place
+    /// (adoption: zero copy-in, slices alias the caller's memory).
+    /// Smaller chunks take the same copy-in path as Feed(string_view) —
+    /// drip feeds must keep PR 9's cache-friendly pinned window rather
+    /// than pay per-chunk adoption bookkeeping.  SIZE_MAX disables
+    /// adoption entirely.
+    size_t adopt_min_bytes = 8 * 1024;
     /// When set (usually to the pipeline's context()->errors()), Feed and
     /// Finish surface the first downstream error as their return Status, so
     /// drivers see a poisoned pipeline without polling it separately.
@@ -82,8 +89,11 @@ class SaxParser {
   /// slow-drip and compaction regression tests).
   struct IngestStats {
     uint64_t bytes_scanned = 0;   // bytes examined by scan loops (~O(input))
-    uint64_t chunk_allocs = 0;    // StableChunk allocations
+    uint64_t chunk_allocs = 0;    // StableChunk allocations (not adoptions)
+    uint64_t chunk_adoptions = 0; // caller-owned chunks scanned in place
     uint64_t compactions = 0;     // in-place tail memmoves (chunk reused)
+    uint64_t adopted_bytes = 0;   // bytes scanned in place, never copied in
+    uint64_t splice_bytes = 0;    // boundary bytes copied off adopted chunks
     uint64_t aliased_texts = 0;   // cD payloads emitted as chunk slices
     uint64_t copied_texts = 0;    // cD payloads emitted as owned copies
     uint64_t inlined_texts = 0;   // cD payloads packed inline (no heap)
@@ -100,6 +110,22 @@ class SaxParser {
   /// first non-OK return, further Feed/Finish calls return the same error
   /// without consuming input (a parser mid-broken-token must not resume).
   Status Feed(std::string_view chunk);
+
+  /// Zero-copy variant: adopts the chunk and scans its first `size` bytes
+  /// (default: all of them) in place — no copy into the pinned window;
+  /// TextRef slices alias the adopted storage directly and keep it alive
+  /// (for mmap'd chunks, mapped) until the last slice drops.  The chunk is
+  /// handed over: the caller must treat its bytes as immutable and may not
+  /// assume anything about when they are released.  Only the bytes of a
+  /// token straddling a feed boundary are copied (IngestStats::
+  /// splice_bytes); chunks below Options::adopt_min_bytes fall back to the
+  /// copy-in path.  Event and error behavior is byte-identical to feeding
+  /// the same bytes through Feed(string_view).
+  Status Feed(StableChunk chunk, size_t size);
+  Status Feed(StableChunk chunk) {
+    size_t size = chunk.capacity();
+    return Feed(std::move(chunk), size);
+  }
 
   /// Flushes trailing text and validates that every element was closed.
   Status Finish();
@@ -188,8 +214,20 @@ class SaxParser {
   TextRef MakeText(std::string_view raw_in_chunk);
   // Makes room for `incoming` more bytes: reuses the current chunk in
   // place when it is sole-owned and large enough, otherwise pins a fresh
-  // chunk and carries the unconsumed tail over.
+  // (or recycled spare) chunk and carries the unconsumed tail over.  An
+  // adopted window is never written into or reused: its tail is spliced
+  // out into an owned window instead.
   void EnsureWindow(size_t incoming);
+  // Exact per-token resource bound, applied when a token completes so
+  // enforcement is independent of chunk boundaries (copied and adopted
+  // feeds fail identically).  The window-end checks still bound tokens
+  // that never complete.
+  bool TokenTooBig(size_t token_len) const {
+    return options_.max_token_bytes > 0 &&
+           token_len > options_.max_token_bytes;
+  }
+  Status MarkupTooBigError() const;
+  Status TextTooBigError() const;
   void Emit(Event e);
   // Hot-path emission: constructs the event in place in the batch (no
   // temporary Event, no extra move/destroy pair).  `fill` runs with a
@@ -226,11 +264,24 @@ class SaxParser {
   // text_start_ == pos_), [pos_, written_) the incomplete markup token.
   // [arena_floor_, capacity) holds embedded slice-rep headers, carved
   // downward from the top; input may grow only up to arena_floor_.
+  //
+  // When window_foreign_ is set the window is an adopted chunk scanned in
+  // place: its bytes are caller-owned (possibly a read-only mapping), so
+  // nothing is ever written into it, slice headers are carved from the
+  // chunk's sidecar arena instead of [arena_floor_, capacity), and
+  // EnsureWindow splices the unconsumed tail into an owned window rather
+  // than compacting.
   StableChunk chunk_;
   size_t written_ = 0;
   size_t pos_ = 0;
   size_t text_start_ = 0;
   size_t arena_floor_ = 0;
+  bool window_foreign_ = false;
+  size_t sidecar_used_ = 0;
+  // Owned window parked while an adopted chunk is being scanned; recycled
+  // by the next EnsureWindow so steady-state adopted streaming re-uses one
+  // splice buffer instead of allocating per boundary.
+  StableChunk spare_;
 
   // Owned spill for text runs a slice cannot represent (interrupted by a
   // comment/PI or a chunk rollover), plus content flags accumulated over

@@ -1,0 +1,467 @@
+// Tests for the owned-buffer / mapped-file zero-copy feed (DESIGN.md
+// Section 12): the adopted and mmap'd ingest paths must be byte-for-byte
+// observationally identical to the copy-in path on clean and corrupted
+// input in both scan modes; adopted storage must outlive the parser for
+// as long as any slice aliases it, with the deleter running exactly once;
+// and the boundary splice must stay a rounding error on bulk feeds.
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/event.h"
+#include "core/event_sink.h"
+#include "data/generators.h"
+#include "testing/fault_injector.h"
+#include "testing/traffic_gen.h"
+#include "util/buffer_ledger.h"
+#include "util/text_ref.h"
+#include "xml/file_source.h"
+#include "xml/sax_parser.h"
+#include "xml/scan.h"
+
+namespace xflux {
+namespace {
+
+struct ParseRun {
+  Status status = Status::OK();
+  EventVec events;
+  SaxParser::IngestStats stats;
+};
+
+void NoopDeleter(void*, const char*, size_t) {}
+
+/// Feeds `doc` split at `cuts` through the copy path (adopted=false) or
+/// as adopted foreign chunks (adopted=true) over the same boundaries.
+ParseRun ParseChunks(std::string_view doc, const std::vector<size_t>& cuts,
+                     bool adopted, SaxParser::Options options = {}) {
+  ParseRun run;
+  CollectingSink sink;
+  SaxParser parser(options, &sink);
+  size_t at = 0;
+  auto feed = [&](std::string_view piece) {
+    if (piece.empty()) return Status::OK();
+    if (adopted) {
+      return parser.Feed(
+          StableChunk::Adopt(piece.data(), piece.size(), NoopDeleter,
+                             nullptr),
+          piece.size());
+    }
+    return parser.Feed(piece);
+  };
+  for (size_t cut : cuts) {
+    run.status = feed(doc.substr(at, cut - at));
+    at = cut;
+    if (!run.status.ok()) break;
+  }
+  if (run.status.ok()) run.status = feed(doc.substr(at));
+  if (run.status.ok()) run.status = parser.Finish();
+  run.stats = parser.ingest_stats();
+  run.events = sink.Take();
+  return run;
+}
+
+/// Writes `text` to a mkstemp file; the caller unlinks.
+std::string WriteTempFile(const std::string& text) {
+  char path[] = "/tmp/xflux_file_source_XXXXXX";
+  int fd = ::mkstemp(path);
+  EXPECT_GE(fd, 0);
+  size_t off = 0;
+  while (off < text.size()) {
+    ssize_t n = ::write(fd, text.data() + off, text.size() - off);
+    if (n <= 0) {
+      ADD_FAILURE() << "temp write failed";
+      break;
+    }
+    off += static_cast<size_t>(n);
+  }
+  ::close(fd);
+  return path;
+}
+
+ParseRun ParseMapped(const std::string& path, MappedFileSource::Options mopt,
+                     SaxParser::Options options = {}) {
+  ParseRun run;
+  CollectingSink sink;
+  SaxParser parser(options, &sink);
+  auto source = MappedFileSource::Open(path, mopt);
+  if (!source.ok()) {
+    run.status = source.status();
+    return run;
+  }
+  for (;;) {
+    auto chunk = source.value().Next();
+    if (!chunk.ok()) {
+      run.status = chunk.status();
+      break;
+    }
+    if (!chunk.value().valid()) break;
+    run.status = parser.Feed(std::move(chunk).value());
+    if (!run.status.ok()) break;
+  }
+  if (run.status.ok()) run.status = parser.Finish();
+  run.stats = parser.ingest_stats();
+  run.events = sink.Take();
+  return run;
+}
+
+void ExpectSameEvents(const EventVec& a, const EventVec& b,
+                      const std::string& label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].kind, b[i].kind) << label << " event " << i;
+    ASSERT_EQ(a[i].id, b[i].id) << label << " event " << i;
+    ASSERT_EQ(a[i].tag, b[i].tag) << label << " event " << i;
+    ASSERT_EQ(a[i].oid, b[i].oid) << label << " event " << i;
+    ASSERT_EQ(a[i].chars(), b[i].chars()) << label << " event " << i;
+  }
+}
+
+void ExpectSameRun(const ParseRun& a, const ParseRun& b,
+                   const std::string& label) {
+  ASSERT_EQ(a.status.code(), b.status.code()) << label;
+  ASSERT_EQ(a.status.message(), b.status.message()) << label;
+  ExpectSameEvents(a.events, b.events, label);
+}
+
+// The core differential guarantee: feeding the same bytes copied, adopted,
+// and out of an mmap'd file yields identical events, text payloads, and
+// error verdicts — on clean documents, malformed documents, and a corpus
+// of randomly corrupted ones, in both scan modes.
+TEST(FileSource, CopiedAdoptedAndMappedRunsAreIdentical) {
+  std::vector<std::string> corpus = {
+      GenerateXmark(XmarkOptionsForBytes(48 * 1024)),
+      "<a><b>x</b><!--c--><![CDATA[<raw>]]><?pi d?></a>",
+      "<a>fish &amp; chips &bogus;</a>",
+      "<a><b>x</c></a>",
+      "<biblio><book>text",
+  };
+  for (int seed = 0; seed < 24; ++seed) {
+    corpus.push_back(CorruptBytes(
+        serve::MakeBookDocument(static_cast<uint64_t>(seed), 768),
+        static_cast<uint64_t>(seed), 0.02));
+  }
+  std::mt19937 rng(1212);
+  for (int scalar = 0; scalar <= 1; ++scalar) {
+    scan::SetForceScalar(scalar != 0);
+    for (size_t i = 0; i < corpus.size(); ++i) {
+      const std::string& doc = corpus[i];
+      std::vector<size_t> cuts;
+      size_t at = 0;
+      while (at < doc.size()) {
+        at += 1 + rng() % 4096;
+        if (at >= doc.size()) break;
+        cuts.push_back(at);
+      }
+      std::string label = std::string(scalar != 0 ? "scalar" : "simd") +
+                          " corpus[" + std::to_string(i) + "]";
+      // Tiny threshold so even small corrupted docs take the foreign-
+      // window path — the point is the boundary machinery, not the size.
+      SaxParser::Options adopt_all;
+      adopt_all.adopt_min_bytes = 1;
+      ParseRun copied = ParseChunks(doc, cuts, /*adopted=*/false);
+      ParseRun adopted = ParseChunks(doc, cuts, /*adopted=*/true, adopt_all);
+      ExpectSameRun(copied, adopted, label + " adopted");
+      EXPECT_GT(adopted.stats.chunk_adoptions, 0u) << label;
+
+      std::string path = WriteTempFile(doc);
+      MappedFileSource::Options mopt;
+      mopt.window_bytes = 4096;  // force windowed remap
+      ParseRun mapped = ParseMapped(path, mopt, adopt_all);
+      ExpectSameRun(copied, mapped, label + " mapped");
+      ::unlink(path.c_str());
+    }
+  }
+  scan::SetForceScalar(false);
+}
+
+TEST(FileSource, WindowedRemapWalksTheWholeFile) {
+  std::string doc = GenerateXmark(XmarkOptionsForBytes(96 * 1024));
+  std::string path = WriteTempFile(doc);
+  MappedFileSource::Options mopt;
+  mopt.window_bytes = 4096;  // rounds to one page; many windows
+  auto source = MappedFileSource::Open(path, mopt);
+  ASSERT_TRUE(source.ok()) << source.status();
+  EXPECT_EQ(source.value().file_bytes(), doc.size());
+  std::string rebuilt;
+  for (;;) {
+    auto chunk = source.value().Next();
+    ASSERT_TRUE(chunk.ok()) << chunk.status();
+    if (!chunk.value().valid()) break;
+    rebuilt.append(chunk.value().data(), chunk.value().capacity());
+  }
+  EXPECT_EQ(rebuilt, doc);
+  EXPECT_GT(source.value().mapped_windows(), 1u);
+  EXPECT_EQ(source.value().fallback_windows(), 0u);
+  ::unlink(path.c_str());
+}
+
+TEST(FileSource, PreadFallbackIsObservationallyIdenticalToMmap) {
+  std::string doc = GenerateXmark(XmarkOptionsForBytes(64 * 1024));
+  std::string path = WriteTempFile(doc);
+  MappedFileSource::Options mopt;
+  mopt.window_bytes = 8192;
+  ParseRun mapped = ParseMapped(path, mopt);
+  mopt.allow_mmap = false;
+  ParseRun fallback = ParseMapped(path, mopt);
+  ExpectSameRun(mapped, fallback, "pread fallback");
+
+  auto probe = MappedFileSource::Open(path, mopt);
+  ASSERT_TRUE(probe.ok());
+  for (;;) {
+    auto chunk = probe.value().Next();
+    ASSERT_TRUE(chunk.ok());
+    if (!chunk.value().valid()) break;
+  }
+  EXPECT_EQ(probe.value().mapped_windows(), 0u);
+  EXPECT_GT(probe.value().fallback_windows(), 1u);
+  ::unlink(path.c_str());
+}
+
+TEST(FileSource, PipeStreamsThroughChunkedSource) {
+  std::string doc = GenerateXmark(XmarkOptionsForBytes(192 * 1024));
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  // The document is larger than the pipe buffer: a writer thread keeps the
+  // stream moving while the source reads.
+  std::thread writer([&] {
+    size_t off = 0;
+    while (off < doc.size()) {
+      ssize_t n = ::write(fds[1], doc.data() + off, doc.size() - off);
+      if (n <= 0) break;
+      off += static_cast<size_t>(n);
+    }
+    ::close(fds[1]);
+  });
+  ChunkedFileSource::Options copt;
+  copt.chunk_bytes = 32 * 1024;
+  ChunkedFileSource source =
+      ChunkedFileSource::FromFd(fds[0], /*owns_fd=*/true, copt);
+  CollectingSink sink;
+  SaxParser parser(SaxParser::Options(), &sink);
+  uint64_t bytes = 0;
+  for (;;) {
+    auto chunk = source.Next();
+    ASSERT_TRUE(chunk.ok()) << chunk.status();
+    if (!chunk.value().valid()) break;
+    bytes += chunk.value().capacity();
+    ASSERT_TRUE(parser.Feed(std::move(chunk).value()).ok());
+  }
+  writer.join();
+  ASSERT_TRUE(parser.Finish().ok());
+  EXPECT_EQ(bytes, doc.size());
+  EXPECT_GT(parser.ingest_stats().chunk_adoptions, 0u);
+
+  ParseRun reference = ParseChunks(doc, {}, /*adopted=*/false);
+  ExpectSameEvents(sink.Take(), reference.events, "pipe");
+}
+
+TEST(FileSource, MappedFileRejectsPipes) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  std::string path = "/proc/self/fd/" + std::to_string(fds[0]);
+  auto source = MappedFileSource::Open(path);
+  EXPECT_FALSE(source.ok());
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(FileSource, DeleterRunsExactlyOnceAfterLastReferenceDrops) {
+  std::string doc = "<a><b>a comfortably aliasable text payload here</b>"
+                    "<c>another aliasable run of characters</c></a>";
+  std::atomic<int> deletions{0};
+  auto deleter = [](void* user, const char*, size_t) {
+    static_cast<std::atomic<int>*>(user)->fetch_add(1);
+  };
+  EventVec survivors;
+  {
+    CollectingSink sink;
+    SaxParser::Options options;
+    options.adopt_min_bytes = 1;
+    options.min_alias_bytes = 8;
+    SaxParser parser(options, &sink);
+    ASSERT_TRUE(parser
+                    .Feed(StableChunk::Adopt(doc.data(), doc.size(), deleter,
+                                             &deletions),
+                          doc.size())
+                    .ok());
+    ASSERT_TRUE(parser.Finish().ok());
+    survivors = sink.Take();
+  }
+  // The parser and its window handle are gone, but collected events still
+  // alias the adopted bytes: the deleter must not have fired.
+  EXPECT_EQ(deletions.load(), 0);
+  std::vector<std::string_view> texts;
+  for (const Event& e : survivors) {
+    if (e.kind == EventKind::kCharacters) texts.push_back(e.chars());
+  }
+  ASSERT_EQ(texts.size(), 2u);
+  EXPECT_EQ(texts[0], "a comfortably aliasable text payload here");
+  EXPECT_EQ(texts[1], "another aliasable run of characters");
+  survivors.clear();
+  EXPECT_EQ(deletions.load(), 1);
+}
+
+TEST(FileSource, SlicesKeepTheMappingAliveAfterParserTeardown) {
+  // Same lifetime rule with a real mmap window: reading the aliased text
+  // after parser, source, and every chunk handle are destroyed must be
+  // valid (under ASan this is an actual use-after-unmap probe).
+  std::string body(512, 'm');
+  std::string doc = "<a><b>" + body + "</b></a>";
+  std::string path = WriteTempFile(doc);
+  EventVec survivors;
+  {
+    CollectingSink sink;
+    SaxParser::Options options;
+    options.adopt_min_bytes = 1;
+    SaxParser parser(options, &sink);
+    auto source = MappedFileSource::Open(path);
+    ASSERT_TRUE(source.ok()) << source.status();
+    for (;;) {
+      auto chunk = source.value().Next();
+      ASSERT_TRUE(chunk.ok());
+      if (!chunk.value().valid()) break;
+      ASSERT_TRUE(parser.Feed(std::move(chunk).value()).ok());
+    }
+    ASSERT_TRUE(parser.Finish().ok());
+    survivors = sink.Take();
+  }
+  ::unlink(path.c_str());
+  for (const Event& e : survivors) {
+    if (e.kind == EventKind::kCharacters) {
+      EXPECT_EQ(e.chars(), body);
+      EXPECT_TRUE(e.text.is_slice());
+    }
+  }
+}
+
+TEST(FileSource, SmallChunksStayOnTheCopyPath) {
+  // Below adopt_min_bytes the copy-in path wins; handing over a small
+  // adopted chunk must not engage the foreign-window machinery.
+  std::string doc = GenerateXmark(XmarkOptionsForBytes(32 * 1024));
+  std::vector<size_t> cuts;
+  for (size_t at = 4096; at < doc.size(); at += 4096) cuts.push_back(at);
+  ParseRun adopted = ParseChunks(doc, cuts, /*adopted=*/true);  // default 8 KiB
+  ASSERT_TRUE(adopted.status.ok()) << adopted.status;
+  EXPECT_EQ(adopted.stats.chunk_adoptions, 0u);
+  EXPECT_EQ(adopted.stats.adopted_bytes, 0u);
+  ParseRun copied = ParseChunks(doc, cuts, /*adopted=*/false);
+  ExpectSameRun(copied, adopted, "below threshold");
+}
+
+TEST(FileSource, SpliceBytesAreARoundingErrorOnBulkFeeds) {
+  std::string doc = GenerateXmark(XmarkOptionsForBytes(512 * 1024));
+  std::vector<size_t> cuts;
+  for (size_t at = 64 * 1024; at < doc.size(); at += 64 * 1024) {
+    cuts.push_back(at);
+  }
+  ParseRun adopted = ParseChunks(doc, cuts, /*adopted=*/true);
+  ASSERT_TRUE(adopted.status.ok()) << adopted.status;
+  // The trailing fragment may fall below the adoption threshold; every
+  // full-sized window must adopt.
+  EXPECT_GE(adopted.stats.chunk_adoptions, cuts.size());
+  // The acceptance bar is "well under 1%": only boundary-straddling token
+  // bytes may be copied.
+  EXPECT_LT(adopted.stats.splice_bytes, doc.size() / 100);
+  EXPECT_GT(adopted.stats.adopted_bytes, doc.size() * 96 / 100);
+}
+
+TEST(FileSource, AdoptionsAreNotCountedAsAllocations) {
+  // With a draining consumer (nothing pins the splice window between
+  // feeds) the owned scratch window cycles through the spare slot: a
+  // couple of allocations at steady state, not one per boundary — and
+  // adoptions themselves never count as allocations.
+  std::string doc = GenerateXmark(XmarkOptionsForBytes(256 * 1024));
+  NullSink sink;
+  SaxParser parser(SaxParser::Options(), &sink);
+  size_t boundaries = 0;
+  for (size_t off = 0; off < doc.size(); off += 32 * 1024, ++boundaries) {
+    size_t n = std::min<size_t>(32 * 1024, doc.size() - off);
+    ASSERT_TRUE(parser
+                    .Feed(StableChunk::Adopt(doc.data() + off, n,
+                                             NoopDeleter, nullptr),
+                          n)
+                    .ok());
+  }
+  ASSERT_TRUE(parser.Finish().ok());
+  const SaxParser::IngestStats& stats = parser.ingest_stats();
+  EXPECT_GE(stats.chunk_adoptions, boundaries - 1);
+  EXPECT_LE(stats.chunk_allocs, 3u);
+}
+
+TEST(FileSource, LedgerChargesAdoptedChunkOnceAtTrueSize) {
+  // Adopted chunks have capacity == content size (no pow2 rounding), so
+  // every slice reports the true adopted footprint — and the ledger
+  // charges it once per chunk, not per slice.
+  std::string doc = "<a><b>first aliased text run here</b>"
+                    "<c>second aliased text run here</c></a>";
+  CollectingSink sink;
+  SaxParser::Options options;
+  options.adopt_min_bytes = 1;
+  options.min_alias_bytes = 8;
+  SaxParser parser(options, &sink);
+  ASSERT_TRUE(parser
+                  .Feed(StableChunk::Adopt(doc.data(), doc.size(),
+                                           NoopDeleter, nullptr),
+                        doc.size())
+                  .ok());
+  ASSERT_TRUE(parser.Finish().ok());
+  EventVec events = sink.Take();
+  std::vector<const Event*> texts;
+  for (const Event& e : events) {
+    if (e.kind == EventKind::kCharacters) texts.push_back(&e);
+  }
+  ASSERT_EQ(texts.size(), 2u);
+  ASSERT_TRUE(texts[0]->text.is_slice());
+  ASSERT_EQ(texts[0]->text.buffer_id(), texts[1]->text.buffer_id());
+  EXPECT_EQ(texts[0]->text.payload_bytes(), doc.size());
+
+  BufferLedger ledger;
+  int64_t first = ledger.Add(texts[0]->text, sizeof(Event));
+  EXPECT_EQ(first, static_cast<int64_t>(sizeof(Event) + doc.size()));
+  int64_t second = ledger.Add(texts[1]->text, sizeof(Event));
+  EXPECT_EQ(second, static_cast<int64_t>(sizeof(Event)));
+  ledger.Remove(texts[0]->text, sizeof(Event));
+  ledger.Remove(texts[1]->text, sizeof(Event));
+  EXPECT_EQ(ledger.bytes(), 0);
+}
+
+TEST(FileSource, IngestFileDrivesAParserToEof) {
+  std::string doc = GenerateXmark(XmarkOptionsForBytes(64 * 1024));
+  std::string path = WriteTempFile(doc);
+  CollectingSink sink;
+  SaxParser parser(SaxParser::Options(), &sink);
+  auto report = IngestFile(path, &parser);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report.value().bytes, doc.size());
+  EXPECT_TRUE(report.value().mapped);
+  EXPECT_GE(report.value().chunks, 1u);
+  ASSERT_TRUE(parser.Finish().ok());
+  ::unlink(path.c_str());
+
+  ParseRun reference = ParseChunks(doc, {}, /*adopted=*/false);
+  ExpectSameEvents(sink.Take(), reference.events, "IngestFile");
+}
+
+TEST(FileSource, OpenFailuresAreStructuredErrors) {
+  auto missing = MappedFileSource::Open("/nonexistent/xflux/file.xml");
+  EXPECT_FALSE(missing.ok());
+  auto missing_chunked =
+      ChunkedFileSource::Open("/nonexistent/xflux/file.xml");
+  EXPECT_FALSE(missing_chunked.ok());
+  NullSink sink;
+  SaxParser parser(SaxParser::Options(), &sink);
+  auto report = IngestFile("/nonexistent/xflux/file.xml", &parser);
+  EXPECT_FALSE(report.ok());
+}
+
+}  // namespace
+}  // namespace xflux

@@ -434,6 +434,50 @@ TEST(ServeE2E, OversizedTokenCutOffByResourceEnvelope) {
       << ending;
 }
 
+TEST(ServeE2E, BulkFeedTakesAdoptedPathAndMatchesDirectSession) {
+  // FEED frames at or above the adoption threshold (8 KiB) are handed to
+  // the backend as adopted chunks and scanned in place; the answer must
+  // still be byte-identical to a direct QuerySession over the same bytes.
+  ServerFixture fixture{ServeServer::Options()};
+  std::string doc = MakeBookDocument(/*seed=*/11, /*approx_bytes=*/256 * 1024);
+
+  auto client = ServeClient::Connect(fixture.endpoint());
+  ASSERT_TRUE(client.ok()) << client.status();
+  ServeClient* c = client.value().get();
+  ASSERT_TRUE(c->Open("X//author", "guard=off").ok());
+  constexpr size_t kFrame = 32 * 1024;  // well above the adoption threshold
+  for (size_t off = 0; off < doc.size(); off += kFrame) {
+    ASSERT_TRUE(c->FeedXml(std::string_view(doc).substr(off, kFrame)).ok());
+  }
+  ASSERT_TRUE(c->SendFinish().ok());
+  ASSERT_TRUE(c->WaitFinished(10000).ok());
+  EXPECT_EQ(c->text(), DirectAnswer("X//author", doc));
+}
+
+TEST(ServeE2E, OversizedTokenCutOffOnAdoptedFeedPath) {
+  // The length bomb again, but in bulk frames that take the zero-copy
+  // adopted path: max_token_bytes must bound the never-ending tag exactly
+  // as it does on the copy path, as a structured error over the socket.
+  ServeServer::Options options;
+  options.admission.session_limits.max_token_bytes = 1024;
+  ServerFixture fixture{options};
+  auto client = ServeClient::Connect(fixture.endpoint());
+  ASSERT_TRUE(client.ok());
+  ServeClient* c = client.value().get();
+  ASSERT_TRUE(c->Open("X//author", "guard=off").ok());
+  // One 32 KiB adopted frame carries the whole bomb: an open tag that
+  // never ends.  The tokenizer must refuse it at the bound even though the
+  // bytes arrived in a single foreign window.
+  std::string bomb = "<biblio><book ";
+  bomb.append(32 * 1024, 'a');
+  Status fed = c->FeedXml(bomb);  // the send may race the error frame
+  (void)fed;
+  Status ending = c->WaitFinished(10000);
+  EXPECT_EQ(ending.code(), StatusCode::kResourceExhausted) << ending;
+  EXPECT_NE(ending.message().find("max_token_bytes"), std::string::npos)
+      << ending;
+}
+
 TEST(ServeE2E, IdleSessionTimedOutWithStructuredError) {
   ServeServer::Options options;
   options.idle_timeout_ms = 150;
